@@ -1,0 +1,261 @@
+//! AnomalyTransformer (Xu et al., ICLR 2022) — anomaly attention with
+//! association discrepancy.
+//!
+//! Faithful core: a Transformer encoder whose *series association* (the
+//! learned attention distribution) is compared against a *prior
+//! association* (a Gaussian kernel over temporal distance). Normal points
+//! attend broadly (small discrepancy); anomalies can only associate with
+//! adjacent points (large discrepancy). The anomaly score multiplies
+//! reconstruction error by `softmax(−discrepancy)`.
+//!
+//! Simplification: the original trains with a two-phase minimax strategy
+//! and learns the prior's scale σ per position; we use a fixed σ and a
+//! single-phase loss `recon − λ·discrepancy`, which preserves the mechanism
+//! (discrepancy is pushed up for normal data so anomalies stand out below).
+
+use aero_nn::{Activation, EarlyStopping, FeedForward, LayerNorm, Linear, MultiHeadAttention};
+use aero_tensor::{Adam, Graph, Matrix, NodeId, ParamStore};
+use aero_timeseries::{MinMaxScaler, MultivariateSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{positional_encoding, score_by_blocks, NnConfig};
+use aero_core::{Detector, DetectorError, DetectorResult};
+
+/// AnomalyTransformer detector.
+#[derive(Debug)]
+pub struct AnomalyTransformer {
+    config: NnConfig,
+    /// Discrepancy weight λ in the training loss.
+    pub lambda: f32,
+    /// Prior Gaussian scale σ.
+    pub sigma: f32,
+    store: ParamStore,
+    embed: Option<Linear>,
+    attn: Option<MultiHeadAttention>,
+    norm1: Option<LayerNorm>,
+    norm2: Option<LayerNorm>,
+    ffn: Option<FeedForward>,
+    out: Option<Linear>,
+    scaler: MinMaxScaler,
+    num_variates: usize,
+    trained: bool,
+}
+
+impl AnomalyTransformer {
+    /// Creates an untrained AnomalyTransformer.
+    pub fn new(config: NnConfig) -> Self {
+        Self {
+            config,
+            lambda: 0.1,
+            sigma: 3.0,
+            store: ParamStore::new(),
+            embed: None,
+            attn: None,
+            norm1: None,
+            norm2: None,
+            ffn: None,
+            out: None,
+            scaler: MinMaxScaler::new(),
+            num_variates: 0,
+            trained: false,
+        }
+    }
+
+    fn build(&mut self, n: usize) -> DetectorResult<()> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let d = self.config.hidden;
+        let mut store = ParamStore::new();
+        self.embed = Some(Linear::new(&mut store, "at.embed", n, d, Activation::Identity, &mut rng));
+        self.attn = Some(MultiHeadAttention::new(&mut store, "at.attn", d, 2, &mut rng)?);
+        self.norm1 = Some(LayerNorm::new(&mut store, "at.ln1", d));
+        self.norm2 = Some(LayerNorm::new(&mut store, "at.ln2", d));
+        self.ffn = Some(FeedForward::new(&mut store, "at", d, 2 * d, &mut rng));
+        self.out = Some(Linear::new(&mut store, "at.out", d, n, Activation::Sigmoid, &mut rng));
+        self.store = store;
+        self.num_variates = n;
+        Ok(())
+    }
+
+    /// Row-normalized Gaussian prior association over temporal distance.
+    fn prior_association(&self, w: usize) -> Matrix {
+        let mut p = Matrix::zeros(w, w);
+        let s2 = 2.0 * self.sigma * self.sigma;
+        for i in 0..w {
+            let mut sum = 0.0f32;
+            for j in 0..w {
+                let d = (i as f32 - j as f32).abs();
+                let v = (-d * d / s2).exp();
+                p.set(i, j, v);
+                sum += v;
+            }
+            for j in 0..w {
+                p.set(i, j, p.get(i, j) / sum);
+            }
+        }
+        p
+    }
+
+    /// Forward pass: returns `(recon, discrepancy_node, per-position
+    /// discrepancy values)` where discrepancy is the symmetric KL between
+    /// series and prior associations, averaged over heads, per query row.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        tokens: &Matrix,
+    ) -> DetectorResult<(NodeId, NodeId, Vec<f32>)> {
+        let embed = self
+            .embed
+            .as_ref()
+            .ok_or_else(|| DetectorError::Invalid("AT not built".into()))?;
+        let w = tokens.rows();
+        let x = g.constant(tokens.clone());
+        let h = embed.forward(g, &self.store, x)?;
+        let pe = g.constant(positional_encoding(w, self.config.hidden));
+        let h = g.add(h, pe)?;
+
+        let (attn_out, attns) = self
+            .attn
+            .as_ref()
+            .unwrap()
+            .forward_with_attn(g, &self.store, h, h, h)?;
+        let res = g.add(h, attn_out)?;
+        let m = self.norm1.as_ref().unwrap().forward(g, &self.store, res)?;
+        let f = self.ffn.as_ref().unwrap().forward(g, &self.store, m)?;
+        let res2 = g.add(m, f)?;
+        let o = self.norm2.as_ref().unwrap().forward(g, &self.store, res2)?;
+        let recon = self.out.as_ref().unwrap().forward(g, &self.store, o)?;
+
+        // Association discrepancy: symmetric KL(P ‖ S) + KL(S ‖ P) per row,
+        // averaged over heads, kept on-tape so the loss can push it around.
+        let prior = self.prior_association(w);
+        let prior_n = g.constant(prior.clone());
+        let ln_prior = g.ln(prior_n)?;
+        let mut disc_terms = Vec::new();
+        for &s in &attns {
+            let ln_s = g.ln(s)?;
+            // KL(P‖S) = Σ P(lnP − lnS); KL(S‖P) = Σ S(lnS − lnP)
+            let diff1 = g.sub(ln_prior, ln_s)?;
+            let t1 = g.hadamard(prior_n, diff1)?;
+            let diff2 = g.sub(ln_s, ln_prior)?;
+            let t2 = g.hadamard(s, diff2)?;
+            let sym = g.add(t1, t2)?;
+            disc_terms.push(sym);
+        }
+        let mut disc = disc_terms[0];
+        for d in &disc_terms[1..] {
+            disc = g.add(disc, *d)?;
+        }
+        let disc = g.affine(disc, 1.0 / attns.len() as f32, 0.0)?;
+        // Per-query-position discrepancy = row sums (read off-tape for scores).
+        let disc_rows: Vec<f32> = {
+            let dv = g.value(disc)?;
+            (0..w).map(|r| dv.row(r).iter().sum()).collect()
+        };
+        let disc_mean = g.mean_all(disc)?;
+        Ok((recon, disc_mean, disc_rows))
+    }
+}
+
+impl Detector for AnomalyTransformer {
+    fn name(&self) -> String {
+        "AT".into()
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> DetectorResult<()> {
+        self.scaler = MinMaxScaler::new();
+        self.scaler.fit(train);
+        let scaled = self.scaler.transform(train)?;
+        self.build(train.num_variates())?;
+
+        let w = self.config.window;
+        let ends: Vec<usize> = scaled.window_ends(w, self.config.stride).collect();
+        if ends.is_empty() {
+            return Err(DetectorError::Invalid("training series too short".into()));
+        }
+        let mut opt = Adam::new(self.config.lr).with_clip_norm(5.0);
+        let mut stop = EarlyStopping::new(self.config.patience, 0.0);
+
+        for _epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f64;
+            for &end in &ends {
+                let tokens = scaled.window(end, w)?.transpose();
+                self.store.zero_grads();
+                let mut g = Graph::new();
+                let (recon, disc, _) = self.forward(&mut g, &tokens)?;
+                let rec_loss = g.mse_loss(recon, &tokens)?;
+                // Maximize discrepancy on (mostly normal) training data.
+                let neg_disc = g.affine(disc, -self.lambda, 0.0)?;
+                let loss = g.add(rec_loss, neg_disc)?;
+                epoch_loss += g.value(loss)?.scalar_value()? as f64;
+                g.backward(loss, &mut self.store)?;
+                opt.step(&mut self.store)?;
+            }
+            let mean = (epoch_loss / ends.len() as f64) as f32;
+            if !stop.update(mean) {
+                break;
+            }
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        let w = self.config.window;
+        score_by_blocks(&scaled, w, |win, _| {
+            let tokens = win.transpose();
+            let mut g = Graph::new();
+            let (recon, _, disc_rows) = self.forward(&mut g, &tokens)?;
+            let residual = tokens.sub(g.value(recon)?)?;
+            // softmax(−disc) over window positions (paper's weighting): low
+            // discrepancy (anomalous) positions get amplified.
+            let max_neg = disc_rows
+                .iter()
+                .map(|d| -d)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = disc_rows.iter().map(|d| (-d - max_neg).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let n = win.rows();
+            let mut r = Matrix::zeros(n, w);
+            for (t, e) in exps.iter().enumerate() {
+                let weight = e / sum * w as f32; // mean weight 1
+                for v in 0..n {
+                    r.set(v, t, residual.get(t, v) * weight);
+                }
+            }
+            Ok(r)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_datagen::SyntheticConfig;
+
+    #[test]
+    fn prior_association_rows_normalized() {
+        let at = AnomalyTransformer::new(NnConfig::tiny());
+        let p = at.prior_association(10);
+        for r in 0..10 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Peak on the diagonal.
+        assert!(p.get(5, 5) > p.get(5, 0));
+    }
+
+    #[test]
+    fn at_end_to_end() {
+        let ds = SyntheticConfig::tiny(23).build();
+        let mut d = AnomalyTransformer::new(NnConfig::tiny());
+        d.fit(&ds.train).unwrap();
+        let scores = d.score(&ds.test).unwrap();
+        assert_eq!(scores.shape(), (ds.num_variates(), ds.test.len()));
+        assert!(!scores.has_non_finite());
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared plumbing for the neural-network baselines: a common hyperparameter
+//! bundle and block-wise scoring helpers.
+
+use aero_tensor::Matrix;
+use aero_timeseries::MultivariateSeries;
+
+use aero_core::{DetectorError, DetectorResult};
+
+/// Hyperparameters shared by the reconstruction/forecasting baselines.
+#[derive(Debug, Clone)]
+pub struct NnConfig {
+    /// Window length fed to the network.
+    pub window: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Latent width (VAE-family methods).
+    pub latent: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Max training epochs.
+    pub epochs: usize,
+    /// Early-stopping patience.
+    pub patience: usize,
+    /// Stride between training windows.
+    pub stride: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NnConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+impl NnConfig {
+    /// Harness-scale settings (matches `AeroConfig::fast` in spirit).
+    pub fn fast() -> Self {
+        Self {
+            window: 30,
+            hidden: 32,
+            latent: 8,
+            lr: 1e-3,
+            epochs: 8,
+            patience: 3,
+            stride: 30,
+            seed: 7,
+        }
+    }
+
+    /// Tiny settings for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            window: 12,
+            hidden: 12,
+            latent: 4,
+            lr: 2e-3,
+            epochs: 3,
+            patience: 2,
+            stride: 12,
+            seed: 7,
+        }
+    }
+}
+
+/// Window end indices that tile `len` in steps of `w` (first full window,
+/// then non-overlapping blocks, plus a final tail window).
+pub fn block_ends(len: usize, w: usize) -> Vec<usize> {
+    let mut ends = Vec::new();
+    if len < w || w == 0 {
+        return ends;
+    }
+    let mut e = w - 1;
+    while e < len {
+        ends.push(e);
+        e += w;
+    }
+    if *ends.last().unwrap() != len - 1 {
+        ends.push(len - 1);
+    }
+    ends
+}
+
+/// Runs `residual_of_window(window_matrix, end)` over every scoring block
+/// and writes `|residual|` into the per-point score matrix. The window
+/// matrix passed to the closure is `N × w`; the returned residual must have
+/// the same shape.
+pub fn score_by_blocks(
+    series: &MultivariateSeries,
+    w: usize,
+    mut residual_of_window: impl FnMut(&Matrix, usize) -> DetectorResult<Matrix>,
+) -> DetectorResult<Matrix> {
+    let n = series.num_variates();
+    let len = series.len();
+    let mut scores = Matrix::zeros(n, len);
+    if len < w {
+        return Err(DetectorError::Invalid(format!(
+            "series of length {len} shorter than window {w}"
+        )));
+    }
+    for end in block_ends(len, w) {
+        let window = series.window(end, w)?;
+        let r = residual_of_window(&window, end)?;
+        if r.shape() != (n, w) {
+            return Err(DetectorError::Invalid(format!(
+                "residual shape {:?} != ({n}, {w})",
+                r.shape()
+            )));
+        }
+        let start = end + 1 - w;
+        for v in 0..n {
+            for t in 0..w {
+                scores.set(v, start + t, r.get(v, t).abs());
+            }
+        }
+    }
+    Ok(scores)
+}
+
+/// Standard sinusoidal positional encoding (constant, `len × d`).
+pub fn positional_encoding(len: usize, d: usize) -> Matrix {
+    Matrix::from_fn(len, d, |pos, j| {
+        let freq = 1.0f32 / 10000.0f32.powf((2 * (j / 2)) as f32 / d as f32);
+        let angle = pos as f32 * freq;
+        if j % 2 == 0 {
+            angle.sin()
+        } else {
+            angle.cos()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ends_tile_whole_series() {
+        assert_eq!(block_ends(10, 4), vec![3, 7, 9]);
+        assert_eq!(block_ends(8, 4), vec![3, 7]);
+        assert_eq!(block_ends(3, 4), Vec::<usize>::new());
+        assert_eq!(block_ends(4, 4), vec![3]);
+    }
+
+    #[test]
+    fn score_by_blocks_covers_every_point() {
+        let series = MultivariateSeries::regular(Matrix::from_fn(2, 10, |v, t| {
+            (v * 10 + t) as f32
+        }));
+        let scores = score_by_blocks(&series, 4, |w, _| Ok(w.clone())).unwrap();
+        // Every point's score equals |value| (residual = window itself).
+        for v in 0..2 {
+            for t in 0..10 {
+                assert_eq!(scores.get(v, t), (v * 10 + t) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn score_by_blocks_rejects_bad_residual_shape() {
+        let series = MultivariateSeries::regular(Matrix::zeros(2, 10));
+        let r = score_by_blocks(&series, 4, |_, _| Ok(Matrix::zeros(1, 1)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn positional_encoding_bounded_and_distinct() {
+        let pe = positional_encoding(20, 8);
+        assert!(pe.as_slice().iter().all(|v| v.abs() <= 1.0));
+        assert_ne!(pe.row(0).to_vec(), pe.row(5).to_vec());
+    }
+}

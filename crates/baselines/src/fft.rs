@@ -1,0 +1,199 @@
+//! Iterative radix-2 FFT used by the SR and TimesNet baselines.
+//!
+//! Self-contained (no external FFT crate): inputs are zero-padded to the
+//! next power of two by callers.
+
+/// A complex number (minimal, local to this module's users).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Constructs `re + im·i`.
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f32 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    /// Argument (phase angle).
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    fn mul(self, other: Self) -> Self {
+        Self::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Self) -> Self {
+        Self::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Self) -> Self {
+        Self::new(self.re - other.re, self.im - other.im)
+    }
+
+    /// Complex from polar form.
+    pub fn from_polar(r: f32, theta: f32) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+}
+
+/// Next power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative Cooley–Tukey FFT. `data.len()` must be a power of two.
+/// `inverse` computes the unnormalized inverse transform (callers divide by
+/// `n`).
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex::from_polar(1.0, angle);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+pub fn rfft(signal: &[f32]) -> Vec<Complex> {
+    let n = next_pow2(signal.len());
+    let mut data = vec![Complex::default(); n];
+    for (d, &s) in data.iter_mut().zip(signal) {
+        d.re = s;
+    }
+    fft_in_place(&mut data, false);
+    data
+}
+
+/// Inverse FFT returning the real parts, truncated to `out_len`.
+pub fn irfft(mut spectrum: Vec<Complex>, out_len: usize) -> Vec<f32> {
+    let n = spectrum.len() as f32;
+    fft_in_place(&mut spectrum, true);
+    spectrum
+        .into_iter()
+        .take(out_len)
+        .map(|c| c.re / n)
+        .collect()
+}
+
+/// Index (1 ≤ k < n/2) of the dominant non-DC frequency, or `None` for
+/// signals shorter than 4 samples. Used by TimesNet's period detection.
+pub fn dominant_frequency(signal: &[f32]) -> Option<usize> {
+    if signal.len() < 4 {
+        return None;
+    }
+    let spec = rfft(signal);
+    let half = spec.len() / 2;
+    (1..half).max_by(|&a, &b| {
+        spec[a]
+            .abs()
+            .partial_cmp(&spec[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0].re = 1.0;
+        fft_in_place(&mut data, false);
+        for c in &data {
+            assert!((c.abs() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let signal: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
+        let spec = rfft(&signal);
+        let back = irfft(spec, 16);
+        for (a, b) in signal.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_energy() {
+        let n = 64;
+        let freq = 5;
+        let signal: Vec<f32> = (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * freq as f32 * i as f32 / n as f32).sin())
+            .collect();
+        let spec = rfft(&signal);
+        let peak = (1..n / 2)
+            .max_by(|&a, &b| spec[a].abs().partial_cmp(&spec[b].abs()).unwrap())
+            .unwrap();
+        assert_eq!(peak, freq);
+    }
+
+    #[test]
+    fn dominant_frequency_finds_period() {
+        let n = 128;
+        let period = 16;
+        let signal: Vec<f32> = (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / period as f32).cos())
+            .collect();
+        let k = dominant_frequency(&signal).unwrap();
+        // period = n / k
+        assert_eq!(128 / k, period);
+        assert!(dominant_frequency(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn next_pow2_boundaries() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+        assert_eq!(next_pow2(9), 16);
+    }
+}

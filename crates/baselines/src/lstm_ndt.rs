@@ -1,0 +1,199 @@
+//! LSTM-NDT (Hundman et al., KDD 2018) — extension baseline.
+//!
+//! Cited in the paper's related work (spacecraft telemetry) but not part of
+//! its evaluated eleven; included here as a bonus method, available through
+//! the CLI and the library API.
+//!
+//! Faithful core: an LSTM forecasts the next observation from recent
+//! history; errors are smoothed with an EWMA (the "nonparametric dynamic
+//! thresholding" paper thresholds the *smoothed* errors, which is the part
+//! that matters for scoring). To stay comparable with every other method in
+//! this workspace, the final threshold still comes from the shared POT
+//! pipeline applied to those smoothed errors.
+
+use aero_nn::{Activation, EarlyStopping, Linear, Lstm};
+use aero_tensor::{Adam, Graph, Matrix, NodeId, ParamStore};
+use aero_timeseries::stats::ewma;
+use aero_timeseries::{MinMaxScaler, MultivariateSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::NnConfig;
+use aero_core::{Detector, DetectorError, DetectorResult};
+
+/// LSTM-NDT detector.
+#[derive(Debug)]
+pub struct LstmNdt {
+    config: NnConfig,
+    /// Forecast input history length.
+    pub input_window: usize,
+    /// EWMA smoothing factor for the error sequence.
+    pub smoothing: f32,
+    store: ParamStore,
+    lstm: Option<Lstm>,
+    head: Option<Linear>,
+    scaler: MinMaxScaler,
+    num_variates: usize,
+    trained: bool,
+}
+
+impl LstmNdt {
+    /// Creates an untrained LSTM-NDT.
+    pub fn new(config: NnConfig) -> Self {
+        Self {
+            config,
+            input_window: 16,
+            smoothing: 0.3,
+            store: ParamStore::new(),
+            lstm: None,
+            head: None,
+            scaler: MinMaxScaler::new(),
+            num_variates: 0,
+            trained: false,
+        }
+    }
+
+    fn build(&mut self, n: usize) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let h = self.config.hidden;
+        let mut store = ParamStore::new();
+        self.lstm = Some(Lstm::new(&mut store, "lstmndt", n, h, &mut rng));
+        self.head = Some(Linear::new(&mut store, "lstmndt.head", h, n, Activation::Identity, &mut rng));
+        self.store = store;
+        self.num_variates = n;
+    }
+
+    /// Forecast of the step after `history` (`N × input_window`).
+    fn forecast(&self, g: &mut Graph, history: &Matrix) -> DetectorResult<NodeId> {
+        let lstm = self
+            .lstm
+            .as_ref()
+            .ok_or_else(|| DetectorError::Invalid("LSTM-NDT not built".into()))?;
+        let tokens = g.constant(history.transpose()); // w × N
+        let hs = lstm.scan(g, &self.store, tokens)?;
+        let last = g.slice_rows(hs, self.input_window - 1, 1)?;
+        Ok(self.head.as_ref().unwrap().forward(g, &self.store, last)?) // 1 × N
+    }
+}
+
+impl Detector for LstmNdt {
+    fn name(&self) -> String {
+        "LSTM-NDT".into()
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> DetectorResult<()> {
+        self.scaler = MinMaxScaler::new();
+        self.scaler.fit(train);
+        let scaled = self.scaler.transform(train)?;
+        self.build(train.num_variates());
+
+        let w = self.input_window;
+        let targets: Vec<usize> = (w..scaled.len()).step_by(self.config.stride.max(1)).collect();
+        if targets.is_empty() {
+            return Err(DetectorError::Invalid("training series too short".into()));
+        }
+        let mut opt = Adam::new(self.config.lr).with_clip_norm(5.0);
+        let mut stop = EarlyStopping::new(self.config.patience, 0.0);
+        let n = scaled.num_variates();
+
+        for _epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f64;
+            for &t in &targets {
+                let history = scaled.window(t - 1, w)?;
+                let target = Matrix::from_fn(1, n, |_, v| scaled.get(v, t));
+                self.store.zero_grads();
+                let mut g = Graph::new();
+                let pred = self.forecast(&mut g, &history)?;
+                let loss = g.mse_loss(pred, &target)?;
+                epoch_loss += g.value(loss)?.scalar_value()? as f64;
+                g.backward(loss, &mut self.store)?;
+                opt.step(&mut self.store)?;
+            }
+            let mean = (epoch_loss / targets.len() as f64) as f32;
+            if !stop.update(mean) {
+                break;
+            }
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        let n = scaled.num_variates();
+        let len = scaled.len();
+        let w = self.input_window;
+        let mut errors = Matrix::zeros(n, len);
+        for t in w..len {
+            let history = scaled.window(t - 1, w)?;
+            let mut g = Graph::new();
+            let pred = self.forecast(&mut g, &history)?;
+            let pv = g.value(pred)?;
+            for v in 0..n {
+                errors.set(v, t, (scaled.get(v, t) - pv.get(0, v)).abs());
+            }
+        }
+        // NDT's error smoothing.
+        for v in 0..n {
+            let smoothed = ewma(errors.row(v), self.smoothing);
+            errors.row_mut(v).copy_from_slice(&smoothed);
+        }
+        Ok(errors)
+    }
+
+    fn warmup(&self) -> usize {
+        self.input_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_datagen::SyntheticConfig;
+
+    #[test]
+    fn lstm_ndt_end_to_end() {
+        let ds = SyntheticConfig::tiny(28).build();
+        let mut cfg = NnConfig::tiny();
+        cfg.stride = 20;
+        cfg.epochs = 2;
+        let mut d = LstmNdt::new(cfg);
+        d.fit(&ds.train).unwrap();
+        let scores = d.score(&ds.test).unwrap();
+        assert_eq!(scores.shape(), (ds.num_variates(), ds.test.len()));
+        assert!(!scores.has_non_finite());
+    }
+
+    #[test]
+    fn smoothing_reduces_spikiness() {
+        let ds = SyntheticConfig::tiny(29).build();
+        let mut cfg = NnConfig::tiny();
+        cfg.stride = 25;
+        cfg.epochs = 1;
+        let mut sharp = LstmNdt::new(cfg.clone());
+        sharp.smoothing = 1.0; // no smoothing
+        let mut smooth = LstmNdt::new(cfg);
+        smooth.smoothing = 0.1;
+        sharp.fit(&ds.train).unwrap();
+        smooth.fit(&ds.train).unwrap();
+        let s1 = sharp.score(&ds.test).unwrap();
+        let s2 = smooth.score(&ds.test).unwrap();
+        // Total variation of the smoothed scores must be lower.
+        let tv = |m: &Matrix| -> f32 {
+            (0..m.rows())
+                .map(|v| m.row(v).windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>())
+                .sum()
+        };
+        assert!(tv(&s2) < tv(&s1), "smoothed TV {} vs sharp TV {}", tv(&s2), tv(&s1));
+    }
+
+    #[test]
+    fn untrained_refuses_to_score() {
+        let ds = SyntheticConfig::tiny(30).build();
+        let mut d = LstmNdt::new(NnConfig::tiny());
+        assert!(d.score(&ds.test).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! SPOT and FluxEV baselines, adapted to the common scoring interface.
+//!
+//! SPOT (Siffer et al. 2017) thresholds raw values with EVT. To fit the
+//! shared fit/score/POT pipeline, the detector emits `|z|`-scores relative
+//! to the training distribution per variate — the POT stage then performs
+//! exactly the EVT tail cut SPOT would, preserving its aggressive
+//! extreme-value behaviour (high recall, weak precision in the tables).
+//!
+//! FluxEV (Li et al., WSDM 2021) augments SPOT with two-stage fluctuation
+//! extraction so that non-extreme *pattern* anomalies also surface: first
+//! remove the local predictable component (EWMA residual), then remove the
+//! normal fluctuation level (local standard deviation), and feed the result
+//! to the EVT stage.
+
+use aero_tensor::Matrix;
+use aero_timeseries::stats::{ewma, mean, std_dev};
+use aero_timeseries::MultivariateSeries;
+
+use aero_core::{Detector, DetectorError, DetectorResult};
+
+/// SPOT baseline: per-variate z-magnitude scores + the pipeline's POT cut.
+#[derive(Debug, Clone, Default)]
+pub struct SpotDetector {
+    /// Per-variate training mean.
+    means: Vec<f32>,
+    /// Per-variate training standard deviation.
+    stds: Vec<f32>,
+}
+
+impl SpotDetector {
+    /// Creates an unfitted detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Detector for SpotDetector {
+    fn name(&self) -> String {
+        "SPOT".into()
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> DetectorResult<()> {
+        self.means.clear();
+        self.stds.clear();
+        for v in 0..train.num_variates() {
+            let row = train.values().row(v);
+            self.means.push(mean(row));
+            self.stds.push(std_dev(row).max(1e-6));
+        }
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        if self.means.len() != series.num_variates() {
+            return Err(DetectorError::Invalid(format!(
+                "fitted on {} variates, scoring {}",
+                self.means.len(),
+                series.num_variates()
+            )));
+        }
+        let n = series.num_variates();
+        let len = series.len();
+        let mut out = Matrix::zeros(n, len);
+        for v in 0..n {
+            let (m, s) = (self.means[v], self.stds[v]);
+            for (dst, &x) in out.row_mut(v).iter_mut().zip(series.values().row(v)) {
+                *dst = (x - m).abs() / s;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// FluxEV baseline.
+#[derive(Debug, Clone)]
+pub struct FluxEv {
+    /// EWMA smoothing factor for the predictable component.
+    pub alpha: f32,
+    /// Local window for the fluctuation-normalization stage.
+    pub local_window: usize,
+    fitted_variates: usize,
+}
+
+impl Default for FluxEv {
+    fn default() -> Self {
+        Self { alpha: 0.2, local_window: 20, fitted_variates: 0 }
+    }
+}
+
+impl FluxEv {
+    /// Two-stage fluctuation extraction for one variate.
+    pub fn extract(&self, signal: &[f32]) -> Vec<f32> {
+        let len = signal.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        // Stage 1: residual against the one-step-behind EWMA prediction.
+        let smooth = ewma(signal, self.alpha);
+        let mut residual = vec![0.0f32; len];
+        for t in 1..len {
+            residual[t] = signal[t] - smooth[t - 1];
+        }
+        // Stage 2: normalize by the local fluctuation level so only
+        // *abnormal* fluctuations stand out.
+        let w = self.local_window.max(2);
+        let mut out = vec![0.0f32; len];
+        for t in 0..len {
+            let lo = t.saturating_sub(w);
+            if t > lo + 1 {
+                let local = &residual[lo..t];
+                let sd = std_dev(local).max(1e-6);
+                out[t] = (residual[t].abs() / sd).max(0.0);
+            }
+        }
+        out
+    }
+}
+
+impl Detector for FluxEv {
+    fn name(&self) -> String {
+        "FluxEV".into()
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> DetectorResult<()> {
+        self.fitted_variates = train.num_variates();
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        let n = series.num_variates();
+        let len = series.len();
+        let mut out = Matrix::zeros(n, len);
+        for v in 0..n {
+            let scores = self.extract(series.values().row(v));
+            out.row_mut(v).copy_from_slice(&scores);
+        }
+        Ok(out)
+    }
+
+    fn warmup(&self) -> usize {
+        self.local_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_spike() -> MultivariateSeries {
+        let mut m = Matrix::zeros(1, 300);
+        for t in 0..300 {
+            m.set(0, t, ((t as f32) * 0.37).sin() * 0.2);
+        }
+        m.set(0, 150, 6.0);
+        MultivariateSeries::regular(m)
+    }
+
+    #[test]
+    fn spot_scores_extremes_highest() {
+        let s = series_with_spike();
+        let mut d = SpotDetector::new();
+        d.fit(&s).unwrap();
+        let scores = d.score(&s).unwrap();
+        let peak = (0..300)
+            .max_by(|&a, &b| scores.get(0, a).partial_cmp(&scores.get(0, b)).unwrap())
+            .unwrap();
+        assert_eq!(peak, 150);
+    }
+
+    #[test]
+    fn spot_variate_mismatch_errors() {
+        let s = series_with_spike();
+        let mut d = SpotDetector::new();
+        d.fit(&s).unwrap();
+        let other = MultivariateSeries::regular(Matrix::zeros(3, 10));
+        assert!(d.score(&other).is_err());
+    }
+
+    #[test]
+    fn fluxev_flags_pattern_break_not_just_extremes() {
+        // A small but pattern-breaking wiggle inside an otherwise smooth
+        // series: peak value stays within the global range.
+        let mut m = Matrix::zeros(1, 400);
+        for t in 0..400 {
+            m.set(0, t, (t as f32 * 0.05).sin());
+        }
+        for t in 200..206 {
+            m.set(0, t, m.get(0, t) + if t % 2 == 0 { 0.6 } else { -0.6 });
+        }
+        let s = MultivariateSeries::regular(m);
+        let mut d = FluxEv::default();
+        d.fit(&s).unwrap();
+        let scores = d.score(&s).unwrap();
+        let peak = (20..400)
+            .max_by(|&a, &b| scores.get(0, a).partial_cmp(&scores.get(0, b)).unwrap())
+            .unwrap();
+        assert!((200..=206).contains(&peak), "peak at {peak}");
+    }
+
+    #[test]
+    fn fluxev_warmup_region_scores_zero() {
+        let s = series_with_spike();
+        let mut d = FluxEv::default();
+        d.fit(&s).unwrap();
+        let scores = d.score(&s).unwrap();
+        assert_eq!(scores.get(0, 0), 0.0);
+        assert_eq!(scores.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn fluxev_empty_signal() {
+        let d = FluxEv::default();
+        assert!(d.extract(&[]).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Template Matching (SciDetector, ICDE 2019) — the supervised celestial-
+//! event baseline: pre-defined event templates are slid over incoming data
+//! and matched by normalized cross-correlation.
+
+use aero_datagen::AnomalyKind;
+use aero_tensor::Matrix;
+use aero_timeseries::MultivariateSeries;
+
+use aero_core::{Detector, DetectorResult};
+
+/// One stored template.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Template label (for diagnostics).
+    pub name: String,
+    /// Template values (already zero-mean).
+    pub values: Vec<f32>,
+}
+
+impl Template {
+    /// Builds a zero-mean template from raw values.
+    pub fn new(name: impl Into<String>, raw: &[f32]) -> Self {
+        let mean = raw.iter().sum::<f32>() / raw.len().max(1) as f32;
+        Self {
+            name: name.into(),
+            values: raw.iter().map(|v| v - mean).collect(),
+        }
+    }
+}
+
+/// Template-matching detector with a fixed bank of event morphologies.
+#[derive(Debug, Clone)]
+pub struct TemplateMatching {
+    templates: Vec<Template>,
+    /// Minimum correlation to register as a match contribution.
+    pub min_correlation: f32,
+}
+
+impl Default for TemplateMatching {
+    fn default() -> Self {
+        Self::with_standard_bank()
+    }
+}
+
+impl TemplateMatching {
+    /// A bank built from the anomaly morphology templates (flare, dip, step,
+    /// spike, bump) at two scales each — mirroring SciDetector's fixed,
+    /// pre-defined event library (and its key weakness: anything outside
+    /// the library is invisible).
+    pub fn with_standard_bank() -> Self {
+        let mut templates = Vec::new();
+        for kind in AnomalyKind::ALL {
+            for &len in &[16usize, 40] {
+                let raw: Vec<f32> = (0..len).map(|i| kind.value(i, len, 1.0)).collect();
+                templates.push(Template::new(format!("{kind:?}-{len}"), &raw));
+            }
+        }
+        Self { templates, min_correlation: 0.5 }
+    }
+
+    /// Builds a detector from custom templates.
+    pub fn with_templates(templates: Vec<Template>) -> Self {
+        Self { templates, min_correlation: 0.5 }
+    }
+
+    /// Number of stored templates.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Normalized cross-correlation of `template` against the window of
+    /// `signal` starting at `start`.
+    fn ncc(signal: &[f32], start: usize, template: &[f32]) -> f32 {
+        let seg = &signal[start..start + template.len()];
+        let mean = seg.iter().sum::<f32>() / seg.len() as f32;
+        let mut dot = 0.0f32;
+        let mut ns = 0.0f32;
+        let mut nt = 0.0f32;
+        for (&s, &t) in seg.iter().zip(template) {
+            let sc = s - mean;
+            dot += sc * t;
+            ns += sc * sc;
+            nt += t * t;
+        }
+        let denom = (ns * nt).sqrt();
+        if denom < 1e-9 {
+            0.0
+        } else {
+            dot / denom
+        }
+    }
+
+    /// Per-point scores for one variate: each point's score is the maximum
+    /// correlation over all template placements covering it.
+    pub fn score_variate(&self, signal: &[f32]) -> Vec<f32> {
+        let len = signal.len();
+        let mut scores = vec![0.0f32; len];
+        for template in &self.templates {
+            let tl = template.values.len();
+            if tl > len {
+                continue;
+            }
+            for start in 0..=(len - tl) {
+                let c = Self::ncc(signal, start, &template.values);
+                if c >= self.min_correlation {
+                    for s in &mut scores[start..start + tl] {
+                        if c > *s {
+                            *s = c;
+                        }
+                    }
+                }
+            }
+        }
+        scores
+    }
+}
+
+impl Detector for TemplateMatching {
+    fn name(&self) -> String {
+        "TM".into()
+    }
+
+    fn fit(&mut self, _train: &MultivariateSeries) -> DetectorResult<()> {
+        // Supervised method with pre-defined templates: nothing to learn.
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        let n = series.num_variates();
+        let len = series.len();
+        let mut out = Matrix::zeros(n, len);
+        for v in 0..n {
+            let scores = self.score_variate(series.values().row(v));
+            out.row_mut(v).copy_from_slice(&scores);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_has_all_morphologies() {
+        let tm = TemplateMatching::with_standard_bank();
+        assert_eq!(tm.num_templates(), 10); // 5 kinds × 2 scales
+    }
+
+    #[test]
+    fn matching_template_scores_high_at_injection() {
+        let mut signal = vec![0.0f32; 300];
+        // Inject an exact flare of length 40.
+        for i in 0..40 {
+            signal[100 + i] = AnomalyKind::Flare.value(i, 40, 2.0);
+        }
+        let tm = TemplateMatching::with_standard_bank();
+        let scores = tm.score_variate(&signal);
+        assert!(scores[110] > 0.95, "score at flare = {}", scores[110]);
+        assert!(scores[10] < 0.6, "score off-flare = {}", scores[10]);
+    }
+
+    #[test]
+    fn unseen_morphology_scores_lower() {
+        // A sawtooth does not match any bank template perfectly.
+        let mut signal = vec![0.0f32; 200];
+        for i in 0..30 {
+            signal[80 + i] = (i % 7) as f32;
+        }
+        let tm = TemplateMatching::with_standard_bank();
+        let scores = tm.score_variate(&signal);
+        let max = scores.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max < 0.95, "sawtooth matched too well: {max}");
+    }
+
+    #[test]
+    fn constant_signal_scores_zero() {
+        let tm = TemplateMatching::with_standard_bank();
+        let scores = tm.score_variate(&[1.0; 100]);
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn detector_shapes() {
+        let series = MultivariateSeries::regular(Matrix::zeros(2, 50));
+        let mut tm = TemplateMatching::default();
+        tm.fit(&series).unwrap();
+        assert_eq!(tm.score(&series).unwrap().shape(), (2, 50));
+    }
+}

@@ -1,0 +1,188 @@
+//! TranAD (Tuli et al., VLDB 2022) — Transformer encoder-decoder with
+//! self-conditioning on the focus score.
+//!
+//! Faithful core: phase 1 reconstructs the window directly; phase 2 feeds
+//! the squared phase-1 deviation ("focus score") back as an extra input so
+//! the model re-attends to badly reconstructed regions. The anomaly score
+//! averages both phases' deviations. Simplification: the adversarial
+//! ε-schedule between the two decoders is replaced by an equally-weighted
+//! two-phase loss (the self-conditioning path, which gives TranAD its
+//! sensitivity to small deviations, is preserved).
+
+use aero_nn::{Activation, EarlyStopping, EncoderLayer, Linear};
+use aero_tensor::{Adam, Graph, Matrix, NodeId, ParamStore};
+use aero_timeseries::{MinMaxScaler, MultivariateSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{positional_encoding, score_by_blocks, NnConfig};
+use aero_core::{Detector, DetectorError, DetectorResult};
+
+/// TranAD detector.
+#[derive(Debug)]
+pub struct TranAd {
+    config: NnConfig,
+    store: ParamStore,
+    embed1: Option<Linear>,
+    embed2: Option<Linear>,
+    encoder: Option<EncoderLayer>,
+    head1: Option<Linear>,
+    head2: Option<Linear>,
+    scaler: MinMaxScaler,
+    num_variates: usize,
+    trained: bool,
+}
+
+impl TranAd {
+    /// Creates an untrained TranAD.
+    pub fn new(config: NnConfig) -> Self {
+        Self {
+            config,
+            store: ParamStore::new(),
+            embed1: None,
+            embed2: None,
+            encoder: None,
+            head1: None,
+            head2: None,
+            scaler: MinMaxScaler::new(),
+            num_variates: 0,
+            trained: false,
+        }
+    }
+
+    fn build(&mut self, n: usize) -> DetectorResult<()> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let d = self.config.hidden;
+        let mut store = ParamStore::new();
+        self.embed1 = Some(Linear::new(&mut store, "tranad.embed1", n, d, Activation::Identity, &mut rng));
+        // Phase-2 embedding takes [x ‖ focus] — twice the channels.
+        self.embed2 = Some(Linear::new(&mut store, "tranad.embed2", 2 * n, d, Activation::Identity, &mut rng));
+        self.encoder = Some(EncoderLayer::new(&mut store, "tranad.enc", d, 2, 2 * d, &mut rng)?);
+        self.head1 = Some(Linear::new(&mut store, "tranad.head1", d, n, Activation::Sigmoid, &mut rng));
+        self.head2 = Some(Linear::new(&mut store, "tranad.head2", d, n, Activation::Sigmoid, &mut rng));
+        self.store = store;
+        self.num_variates = n;
+        Ok(())
+    }
+
+    /// Two-phase forward: returns `(O1, O2)` reconstructions (`w × N`).
+    fn forward(&self, g: &mut Graph, tokens: &Matrix) -> DetectorResult<(NodeId, NodeId)> {
+        let embed1 = self
+            .embed1
+            .as_ref()
+            .ok_or_else(|| DetectorError::Invalid("TranAD not built".into()))?;
+        let w = tokens.rows();
+        let pe = positional_encoding(w, self.config.hidden);
+
+        // Phase 1.
+        let x = g.constant(tokens.clone());
+        let h1 = embed1.forward(g, &self.store, x)?;
+        let pe1 = g.constant(pe.clone());
+        let h1 = g.add(h1, pe1)?;
+        let e1 = self.encoder.as_ref().unwrap().forward(g, &self.store, h1)?;
+        let o1 = self.head1.as_ref().unwrap().forward(g, &self.store, e1)?;
+
+        // Focus score: squared phase-1 deviation, self-conditioning input.
+        let diff = g.sub(x, o1)?;
+        let focus = g.hadamard(diff, diff)?;
+        let x2 = g.concat_cols(&[x, focus])?;
+        let h2 = self.embed2.as_ref().unwrap().forward(g, &self.store, x2)?;
+        let pe2 = g.constant(pe);
+        let h2 = g.add(h2, pe2)?;
+        let e2 = self.encoder.as_ref().unwrap().forward(g, &self.store, h2)?;
+        let o2 = self.head2.as_ref().unwrap().forward(g, &self.store, e2)?;
+        Ok((o1, o2))
+    }
+}
+
+impl Detector for TranAd {
+    fn name(&self) -> String {
+        "TranAD".into()
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> DetectorResult<()> {
+        self.scaler = MinMaxScaler::new();
+        self.scaler.fit(train);
+        let scaled = self.scaler.transform(train)?;
+        self.build(train.num_variates())?;
+
+        let w = self.config.window;
+        let ends: Vec<usize> = scaled.window_ends(w, self.config.stride).collect();
+        if ends.is_empty() {
+            return Err(DetectorError::Invalid("training series too short".into()));
+        }
+        let mut opt = Adam::new(self.config.lr).with_clip_norm(5.0);
+        let mut stop = EarlyStopping::new(self.config.patience, 0.0);
+
+        for _epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f64;
+            for &end in &ends {
+                let tokens = scaled.window(end, w)?.transpose();
+                self.store.zero_grads();
+                let mut g = Graph::new();
+                let (o1, o2) = self.forward(&mut g, &tokens)?;
+                let l1 = g.mse_loss(o1, &tokens)?;
+                let l2 = g.mse_loss(o2, &tokens)?;
+                let loss = g.add(l1, l2)?;
+                epoch_loss += g.value(loss)?.scalar_value()? as f64;
+                g.backward(loss, &mut self.store)?;
+                opt.step(&mut self.store)?;
+            }
+            let mean = (epoch_loss / ends.len() as f64) as f32;
+            if !stop.update(mean) {
+                break;
+            }
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        score_by_blocks(&scaled, self.config.window, |win, _| {
+            let tokens = win.transpose();
+            let mut g = Graph::new();
+            let (o1, o2) = self.forward(&mut g, &tokens)?;
+            let r1 = tokens.sub(g.value(o1)?)?;
+            let r2 = tokens.sub(g.value(o2)?)?;
+            let n = win.rows();
+            let w = win.cols();
+            let mut r = Matrix::zeros(n, w);
+            for t in 0..w {
+                for v in 0..n {
+                    r.set(v, t, 0.5 * (r1.get(t, v).abs() + r2.get(t, v).abs()));
+                }
+            }
+            Ok(r)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_datagen::SyntheticConfig;
+
+    #[test]
+    fn tranad_end_to_end() {
+        let ds = SyntheticConfig::tiny(24).build();
+        let mut d = TranAd::new(NnConfig::tiny());
+        d.fit(&ds.train).unwrap();
+        let scores = d.score(&ds.test).unwrap();
+        assert_eq!(scores.shape(), (ds.num_variates(), ds.test.len()));
+        assert!(!scores.has_non_finite());
+    }
+
+    #[test]
+    fn two_phases_produce_different_outputs_before_training() {
+        let mut d = TranAd::new(NnConfig::tiny());
+        d.build(2).unwrap();
+        let tokens = Matrix::from_fn(12, 2, |r, c| ((r + c) as f32 * 0.2).sin() * 0.4 + 0.5);
+        let mut g = Graph::new();
+        let (o1, o2) = d.forward(&mut g, &tokens).unwrap();
+        assert_ne!(g.value(o1).unwrap(), g.value(o2).unwrap());
+    }
+}

@@ -1,0 +1,262 @@
+//! VAE-LSTM (Lin et al., ICASSP 2020) — extension baseline from the paper's
+//! related work: a VAE extracts robust local features over short
+//! sub-windows, an LSTM models long-term structure over the sequence of
+//! VAE latents, and anomalies surface as reconstruction failures of the
+//! LSTM-predicted embeddings.
+//!
+//! Like LSTM-NDT this is a bonus method (not among the paper's evaluated
+//! eleven); it shares the POT + point-adjust pipeline with everything else.
+
+use aero_nn::{kl_standard_normal, Activation, EarlyStopping, GaussianHead, Linear, Lstm};
+use aero_tensor::{Adam, Graph, Matrix, NodeId, ParamStore};
+use aero_timeseries::{MinMaxScaler, MultivariateSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::NnConfig;
+use aero_core::{Detector, DetectorError, DetectorResult};
+
+/// VAE-LSTM detector (per-variate, shared weights across variates).
+#[derive(Debug)]
+pub struct VaeLstm {
+    config: NnConfig,
+    /// Sub-window length the VAE encodes.
+    pub sub_window: usize,
+    /// Sub-windows per LSTM sequence.
+    pub seq_len: usize,
+    /// KL weight.
+    pub beta: f32,
+    store: ParamStore,
+    enc: Option<Linear>,
+    head: Option<GaussianHead>,
+    dec1: Option<Linear>,
+    dec2: Option<Linear>,
+    lstm: Option<Lstm>,
+    predict: Option<Linear>,
+    scaler: MinMaxScaler,
+    trained: bool,
+}
+
+impl VaeLstm {
+    /// Creates an untrained VAE-LSTM.
+    pub fn new(config: NnConfig) -> Self {
+        Self {
+            config,
+            sub_window: 6,
+            seq_len: 5,
+            beta: 0.1,
+            store: ParamStore::new(),
+            enc: None,
+            head: None,
+            dec1: None,
+            dec2: None,
+            lstm: None,
+            predict: None,
+            scaler: MinMaxScaler::new(),
+            trained: false,
+        }
+    }
+
+    /// Total window length one training instance covers.
+    fn span(&self) -> usize {
+        self.sub_window * self.seq_len
+    }
+
+    fn build(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let p = self.sub_window;
+        let h = self.config.hidden;
+        let z = self.config.latent;
+        let mut store = ParamStore::new();
+        self.enc = Some(Linear::new(&mut store, "vl.enc", p, h, Activation::Relu, &mut rng));
+        self.head = Some(GaussianHead::new(&mut store, "vl.head", h, z, &mut rng));
+        self.dec1 = Some(Linear::new(&mut store, "vl.dec1", z, h, Activation::Relu, &mut rng));
+        self.dec2 = Some(Linear::new(&mut store, "vl.dec2", h, p, Activation::Sigmoid, &mut rng));
+        self.lstm = Some(Lstm::new(&mut store, "vl.lstm", z, h, &mut rng));
+        self.predict = Some(Linear::new(&mut store, "vl.predict", h, z, Activation::Identity, &mut rng));
+        self.store = store;
+    }
+
+    /// Splits one variate's span into `seq_len` stacked sub-windows.
+    fn sub_windows(&self, signal: &[f32]) -> Matrix {
+        Matrix::from_fn(self.seq_len, self.sub_window, |s, i| signal[s * self.sub_window + i])
+    }
+
+    /// Forward pass over one variate's span: returns
+    /// `(vae_recon, mu, logvar, predicted_recon)` where `predicted_recon`
+    /// decodes LSTM-predicted latents for sub-windows `1..seq_len`.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        signal: &[f32],
+        eps: Option<&Matrix>,
+    ) -> DetectorResult<(NodeId, NodeId, NodeId, NodeId)> {
+        let enc = self
+            .enc
+            .as_ref()
+            .ok_or_else(|| DetectorError::Invalid("VAE-LSTM not built".into()))?;
+        let subs = self.sub_windows(signal);
+        let x = g.constant(subs);
+        let hidden = enc.forward(g, &self.store, x)?;
+        let zero_eps;
+        let eps = match eps {
+            Some(e) => e,
+            None => {
+                zero_eps = Matrix::zeros(self.seq_len, self.config.latent);
+                &zero_eps
+            }
+        };
+        let (zs, mu, logvar) = self
+            .head
+            .as_ref()
+            .unwrap()
+            .forward_with_eps(g, &self.store, hidden, eps)?;
+
+        // Local VAE reconstruction.
+        let d = self.dec1.as_ref().unwrap().forward(g, &self.store, zs)?;
+        let vae_recon = self.dec2.as_ref().unwrap().forward(g, &self.store, d)?;
+
+        // LSTM over latents (use the posterior means for stability) predicts
+        // the *next* latent; decode it to reconstruct sub-windows 1…end.
+        let states = self.lstm.as_ref().unwrap().scan(g, &self.store, mu)?;
+        let prior_states = g.slice_rows(states, 0, self.seq_len - 1)?;
+        let z_pred = self
+            .predict
+            .as_ref()
+            .unwrap()
+            .forward(g, &self.store, prior_states)?;
+        let dp = self.dec1.as_ref().unwrap().forward(g, &self.store, z_pred)?;
+        let pred_recon = self.dec2.as_ref().unwrap().forward(g, &self.store, dp)?;
+        Ok((vae_recon, mu, logvar, pred_recon))
+    }
+}
+
+impl Detector for VaeLstm {
+    fn name(&self) -> String {
+        "VAE-LSTM".into()
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> DetectorResult<()> {
+        self.scaler = MinMaxScaler::new();
+        self.scaler.fit(train);
+        let scaled = self.scaler.transform(train)?;
+        self.build();
+
+        let span = self.span();
+        let ends: Vec<usize> = scaled.window_ends(span, self.config.stride).collect();
+        if ends.is_empty() {
+            return Err(DetectorError::Invalid("training series too short".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x7a);
+        let mut opt = Adam::new(self.config.lr).with_clip_norm(5.0);
+        let mut stop = EarlyStopping::new(self.config.patience, 0.0);
+        let n = scaled.num_variates();
+
+        for _epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0f64;
+            for &end in &ends {
+                let win = scaled.window(end, span)?;
+                self.store.zero_grads();
+                let mut window_loss = 0.0f64;
+                for v in 0..n {
+                    let signal = win.row(v).to_vec();
+                    let subs = self.sub_windows(&signal);
+                    let target_later = subs.slice_rows(1, self.seq_len - 1)?;
+                    let eps = Matrix::from_fn(self.seq_len, self.config.latent, |_, _| {
+                        aero_nn::standard_normal(&mut rng)
+                    });
+                    let mut g = Graph::new();
+                    let (vae_recon, mu, logvar, pred_recon) =
+                        self.forward(&mut g, &signal, Some(&eps))?;
+                    let rec = g.mse_loss(vae_recon, &subs)?;
+                    let pred = g.mse_loss(pred_recon, &target_later)?;
+                    let kl = kl_standard_normal(&mut g, mu, logvar)?;
+                    let klw = g.affine(kl, self.beta, 0.0)?;
+                    let partial = g.add(rec, pred)?;
+                    let loss = g.add(partial, klw)?;
+                    window_loss += g.value(loss)?.scalar_value()? as f64;
+                    g.backward(loss, &mut self.store)?;
+                }
+                opt.step(&mut self.store)?;
+                epoch_loss += window_loss / n as f64;
+            }
+            let mean = (epoch_loss / ends.len() as f64) as f32;
+            if !stop.update(mean) {
+                break;
+            }
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        let span = self.span();
+        crate::common::score_by_blocks(&scaled, span, |win, _| {
+            let n = win.rows();
+            let mut r = Matrix::zeros(n, span);
+            for v in 0..n {
+                let signal = win.row(v).to_vec();
+                let mut g = Graph::new();
+                let (vae_recon, _, _, pred_recon) = self.forward(&mut g, &signal, None)?;
+                let vr = g.value(vae_recon)?;
+                let pr = g.value(pred_recon)?;
+                for s in 0..self.seq_len {
+                    for i in 0..self.sub_window {
+                        let t = s * self.sub_window + i;
+                        let local = (signal[t] - vr.get(s, i)).abs();
+                        // Prediction error exists for sub-windows ≥ 1.
+                        let predicted = if s >= 1 {
+                            (signal[t] - pr.get(s - 1, i)).abs()
+                        } else {
+                            local
+                        };
+                        r.set(v, t, 0.5 * (local + predicted));
+                    }
+                }
+            }
+            Ok(r)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_datagen::SyntheticConfig;
+
+    #[test]
+    fn vae_lstm_end_to_end() {
+        let ds = SyntheticConfig::tiny(31).build();
+        let mut cfg = NnConfig::tiny();
+        cfg.epochs = 2;
+        let mut d = VaeLstm::new(cfg);
+        d.fit(&ds.train).unwrap();
+        let scores = d.score(&ds.test).unwrap();
+        assert_eq!(scores.shape(), (ds.num_variates(), ds.test.len()));
+        assert!(!scores.has_non_finite());
+    }
+
+    #[test]
+    fn span_is_sub_window_times_seq_len() {
+        let d = VaeLstm::new(NnConfig::tiny());
+        assert_eq!(d.span(), d.sub_window * d.seq_len);
+    }
+
+    #[test]
+    fn sub_windows_partition_the_signal() {
+        let d = VaeLstm::new(NnConfig::tiny());
+        let signal: Vec<f32> = (0..d.span()).map(|i| i as f32).collect();
+        let subs = d.sub_windows(&signal);
+        assert_eq!(subs.shape(), (d.seq_len, d.sub_window));
+        assert_eq!(subs.get(0, 0), 0.0);
+        assert_eq!(subs.get(1, 0), d.sub_window as f32);
+        assert_eq!(
+            subs.get(d.seq_len - 1, d.sub_window - 1),
+            (d.span() - 1) as f32
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Score-quality tests: every detector must make an obvious injected
+//! anomaly *detectable* — its peak score inside the event must beat the
+//! 99th percentile of its scores everywhere else (threshold-free, and fair
+//! to edge-style detectors like SR/FluxEV/TM that spike at event boundaries
+//! rather than across the interior). Reconstruction-style detectors are
+//! additionally held to a point-wise ROC-AUC bar.
+//!
+//! These are smoke tests at tiny training budgets, not the paper's
+//! comparison (see `bench`). What they guard against is a detector whose
+//! score is decorative: shapes fine, values uninformative.
+
+use aero_baselines::*;
+use aero_core::Detector;
+use aero_eval::roc_auc;
+use aero_tensor::Matrix;
+use aero_timeseries::{stats::quantile, LabelGrid, MultivariateSeries};
+
+/// Smooth multi-variate sinusoids + one hard spike segment on star 0.
+fn spike_dataset() -> (MultivariateSeries, MultivariateSeries, LabelGrid) {
+    let train = MultivariateSeries::regular(Matrix::from_fn(4, 500, |v, t| {
+        ((t as f32) * 0.08 + v as f32).sin() * 0.5
+    }));
+    let mut test_vals = Matrix::from_fn(4, 300, |v, t| ((t as f32) * 0.08 + v as f32).sin() * 0.5);
+    for t in 140..150 {
+        test_vals.set(0, t, test_vals.get(0, t) + 4.0);
+    }
+    let test = MultivariateSeries::regular(test_vals);
+    let mut labels = LabelGrid::new(4, 300);
+    labels.mark_range(0, 140, 149).unwrap();
+    (train, test, labels)
+}
+
+/// Threshold-free detectability: peak score inside the event beats the
+/// 99th percentile of all scores outside it.
+fn check_detectable(mut det: Box<dyn Detector>) {
+    let (train, test, labels) = spike_dataset();
+    let name = det.name();
+    det.fit(&train).unwrap_or_else(|e| panic!("{name} fit: {e}"));
+    let scores = det.score(&test).unwrap_or_else(|e| panic!("{name} score: {e}"));
+    let warm = det.warmup();
+    let mut inside = f32::MIN;
+    let mut outside = Vec::new();
+    for v in 0..scores.rows() {
+        for t in warm..scores.cols() {
+            let s = scores.get(v, t);
+            if labels.get(v, t) {
+                inside = inside.max(s);
+            } else {
+                outside.push(s);
+            }
+        }
+    }
+    let q99 = quantile(&outside, 0.99);
+    assert!(
+        inside > q99,
+        "{name}: event peak {inside:.4} does not beat outside q99 {q99:.4}"
+    );
+}
+
+/// Point-wise ranking bar for reconstruction-style detectors.
+fn check(det: Box<dyn Detector>, min_auc: f64) {
+    let (train, test, labels) = spike_dataset();
+    let mut det = det;
+    let name = det.name();
+    det.fit(&train).unwrap_or_else(|e| panic!("{name} fit: {e}"));
+    let scores = det.score(&test).unwrap_or_else(|e| panic!("{name} score: {e}"));
+    let auc = roc_auc(&scores, &labels, det.warmup());
+    assert!(auc >= min_auc, "{name}: AUC {auc:.3} below {min_auc}");
+}
+
+fn nn() -> NnConfig {
+    let mut cfg = NnConfig::tiny();
+    cfg.epochs = 3;
+    cfg.stride = 12;
+    cfg
+}
+
+#[test]
+fn tm_detects_an_in_library_event() {
+    // Template matching only recognizes shapes from its fixed library (the
+    // paper's core criticism of it) — test it on a flare, which it holds.
+    use aero_datagen::AnomalyKind;
+    let train = MultivariateSeries::regular(Matrix::from_fn(2, 400, |v, t| {
+        ((t as f32) * 0.05 + v as f32).sin() * 0.3
+    }));
+    let mut test_vals = Matrix::from_fn(2, 300, |v, t| ((t as f32) * 0.05 + v as f32).sin() * 0.3);
+    for i in 0..40 {
+        let add = AnomalyKind::Flare.value(i, 40, 3.0);
+        test_vals.set(0, 150 + i, test_vals.get(0, 150 + i) + add);
+    }
+    let test = MultivariateSeries::regular(test_vals);
+    let mut tm = TemplateMatching::default();
+    tm.fit(&train).unwrap();
+    let scores = tm.score(&test).unwrap();
+    // Peak correlation inside the flare beats everything outside it.
+    let inside = (150..190).map(|t| scores.get(0, t)).fold(f32::MIN, f32::max);
+    let mut outside: Vec<f32> = Vec::new();
+    for v in 0..2 {
+        for t in 0..300 {
+            if v != 0 || !(150..190).contains(&t) {
+                outside.push(scores.get(v, t));
+            }
+        }
+    }
+    let q99 = quantile(&outside, 0.99);
+    assert!(inside > q99, "TM flare peak {inside:.3} vs outside q99 {q99:.3}");
+}
+
+#[test]
+fn sr_event_is_detectable() {
+    check_detectable(Box::new(SpectralResidual::default()));
+}
+
+#[test]
+fn spot_ranks_spike_above_chance() {
+    check(Box::new(SpotDetector::new()), 0.9);
+}
+
+#[test]
+fn fluxev_event_is_detectable() {
+    check_detectable(Box::new(FluxEv::default()));
+}
+
+#[test]
+fn donut_ranks_spike_above_chance() {
+    check(Box::new(Donut::new(nn())), 0.7);
+}
+
+#[test]
+fn omni_ranks_spike_above_chance() {
+    check(Box::new(OmniAnomaly::new(nn())), 0.7);
+}
+
+#[test]
+fn anomaly_transformer_ranks_spike_above_chance() {
+    check(Box::new(AnomalyTransformer::new(nn())), 0.7);
+}
+
+#[test]
+fn tranad_ranks_spike_above_chance() {
+    check(Box::new(TranAd::new(nn())), 0.7);
+}
+
+#[test]
+fn gdn_ranks_spike_above_chance() {
+    check(Box::new(Gdn::new(nn())), 0.7);
+}
+
+#[test]
+fn esg_ranks_spike_above_chance() {
+    check(Box::new(Esg::new(nn())), 0.7);
+}
+
+#[test]
+fn timesnet_ranks_spike_above_chance() {
+    check(Box::new(TimesNet::new(nn())), 0.7);
+}
+
+#[test]
+fn lstm_ndt_ranks_spike_above_chance() {
+    check(Box::new(LstmNdt::new(nn())), 0.7);
+}
+
+#[test]
+fn vae_lstm_ranks_spike_above_chance() {
+    check(Box::new(VaeLstm::new(nn())), 0.6);
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the computational kernels every experiment
+//! rests on: matmul, softmax, layer norm, attention, FFT, GPD fitting, and
+//! window-wise graph learning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aero_core::window_adjacency;
+use aero_evt::{fit_gpd, pot_threshold, PotConfig};
+use aero_nn::MultiHeadAttention;
+use aero_tensor::{Graph, Matrix, ParamStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+    Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[32usize, 128] {
+        let a = rand_matrix(&mut rng, n, n);
+        let b = rand_matrix(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_layernorm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowwise");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = rand_matrix(&mut rng, 200, 64);
+    group.bench_function("softmax_200x64", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let xn = g.constant(x.clone());
+            g.softmax_rows(xn).unwrap()
+        })
+    });
+    let gamma = Matrix::ones(1, 64);
+    let beta = Matrix::zeros(1, 64);
+    group.bench_function("layernorm_200x64", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let xn = g.constant(x.clone());
+            let gn = g.constant(gamma.clone());
+            let bn = g.constant(beta.clone());
+            g.layer_norm_rows(xn, gn, bn, 1e-5).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let mha = MultiHeadAttention::new(&mut store, "b", 32, 4, &mut rng).unwrap();
+    let x = rand_matrix(&mut rng, 200, 32);
+    group.bench_function("mha_seq200_d32_h4", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let xn = g.constant(x.clone());
+            mha.forward(&mut g, &store, xn, xn, xn).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(4);
+    let signal: Vec<f32> = (0..4096).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    group.bench_function("rfft_4096", |bch| {
+        bch.iter(|| aero_baselines::fft::rfft(&signal))
+    });
+    group.finish();
+}
+
+fn bench_evt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evt");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let peaks: Vec<f64> = (0..500).map(|_| -(rng.gen_range(1e-9f64..1.0)).ln()).collect();
+    group.bench_function("grimshaw_fit_500", |bch| {
+        bch.iter(|| fit_gpd(&peaks).unwrap())
+    });
+    let scores: Vec<f32> = (0..20000).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    group.bench_function("pot_threshold_20k", |bch| {
+        bch.iter(|| pot_threshold(&scores, PotConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_graph_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(6);
+    for &n in &[24usize, 96] {
+        let e = rand_matrix(&mut rng, n, 60);
+        group.bench_with_input(BenchmarkId::new("window_adjacency", n), &n, |bch, _| {
+            bch.iter(|| window_adjacency(&e))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_softmax_layernorm, bench_attention, bench_fft, bench_evt, bench_graph_learning
+}
+criterion_main!(kernels);

@@ -1,0 +1,83 @@
+//! Criterion benchmark matching Fig. 6's shape: one training epoch and one
+//! full test scoring pass per method, on a miniature SyntheticMiddle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aero_baselines::{Donut, Gdn, NnConfig, SpectralResidual, TranAd};
+use aero_core::{Aero, AeroConfig, Detector};
+use aero_datagen::SyntheticConfig;
+
+fn mini_dataset() -> aero_timeseries::Dataset {
+    SyntheticConfig::tiny(99).build()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds = mini_dataset();
+    let mut group = c.benchmark_group("fig6_train");
+    group.sample_size(10);
+
+    group.bench_function("AERO", |b| {
+        b.iter(|| {
+            let mut cfg = AeroConfig::tiny();
+            cfg.max_epochs = 1;
+            let mut m = Aero::new(cfg).unwrap();
+            m.fit(&ds.train).unwrap()
+        })
+    });
+    group.bench_function("Donut", |b| {
+        b.iter(|| {
+            let mut cfg = NnConfig::tiny();
+            cfg.epochs = 1;
+            let mut m = Donut::new(cfg);
+            m.fit(&ds.train).unwrap()
+        })
+    });
+    group.bench_function("TranAD", |b| {
+        b.iter(|| {
+            let mut cfg = NnConfig::tiny();
+            cfg.epochs = 1;
+            let mut m = TranAd::new(cfg);
+            m.fit(&ds.train).unwrap()
+        })
+    });
+    group.bench_function("GDN", |b| {
+        b.iter(|| {
+            let mut cfg = NnConfig::tiny();
+            cfg.epochs = 1;
+            cfg.stride = 25;
+            let mut m = Gdn::new(cfg);
+            m.fit(&ds.train).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let ds = mini_dataset();
+    let mut group = c.benchmark_group("fig6_test");
+    group.sample_size(10);
+
+    let mut cfg = AeroConfig::tiny();
+    cfg.max_epochs = 1;
+    let mut aero = Aero::new(cfg).unwrap();
+    aero.fit(&ds.train).unwrap();
+    group.bench_function("AERO", |b| b.iter(|| aero.score(&ds.test).unwrap()));
+
+    let mut sr = SpectralResidual::default();
+    sr.fit(&ds.train).unwrap();
+    group.bench_function("SR", |b| b.iter(|| sr.score(&ds.test).unwrap()));
+
+    let mut dcfg = NnConfig::tiny();
+    dcfg.epochs = 1;
+    let mut donut = Donut::new(dcfg);
+    donut.fit(&ds.train).unwrap();
+    group.bench_function("Donut", |b| b.iter(|| donut.score(&ds.test).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = methods;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training, bench_scoring
+}
+criterion_main!(methods);

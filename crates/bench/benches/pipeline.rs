@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the end-to-end pipeline stages plus the DESIGN.md
+//! §5 ablation micro-benches: Grimshaw MLE vs method-of-moments GPD fitting,
+//! and cosine vs dot-product window graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aero_core::window_adjacency;
+use aero_evt::{fit_gpd, fit_moments};
+use aero_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_gpd_fit_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pot_fit");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(8);
+    let peaks: Vec<f64> = (0..1000)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            1.0 / 0.2 * (u.powf(-0.2) - 1.0)
+        })
+        .collect();
+    group.bench_function("grimshaw_mle", |b| b.iter(|| fit_gpd(&peaks).unwrap()));
+    group.bench_function("method_of_moments", |b| {
+        b.iter(|| fit_moments(&peaks).unwrap())
+    });
+    group.finish();
+}
+
+fn dot_product_adjacency(e: &Matrix) -> Matrix {
+    let n = e.rows();
+    let mut adj = Matrix::zeros(n, n);
+    for m in 0..n {
+        for k in 0..n {
+            let dot: f32 = e.row(m).iter().zip(e.row(k)).map(|(a, b)| a * b).sum();
+            adj.set(m, k, dot);
+        }
+    }
+    adj
+}
+
+fn bench_graph_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_graph_similarity");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(9);
+    let e = Matrix::from_fn(54, 60, |_, _| rng.gen_range(-1.0..1.0));
+    group.bench_function("cosine", |b| b.iter(|| window_adjacency(&e)));
+    group.bench_function("dot_product", |b| b.iter(|| dot_product_adjacency(&e)));
+    group.finish();
+}
+
+fn bench_end_to_end_window(c: &mut Criterion) {
+    use aero_core::{Aero, AeroConfig, Detector};
+    use aero_datagen::SyntheticConfig;
+    let ds = SyntheticConfig::tiny(42).build();
+    let mut cfg = AeroConfig::tiny();
+    cfg.max_epochs = 1;
+    let mut aero = Aero::new(cfg).unwrap();
+    aero.fit(&ds.train).unwrap();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("aero_score_test_split", |b| {
+        b.iter(|| aero.score(&ds.test).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gpd_fit_ablation, bench_graph_ablation, bench_end_to_end_window
+}
+criterion_main!(pipeline);

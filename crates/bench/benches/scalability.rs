@@ -1,0 +1,33 @@
+//! Criterion benchmark matching Fig. 7's shape: AERO scoring cost versus
+//! star count N (linear growth expected).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aero_core::{Aero, AeroConfig, Detector};
+use aero_datagen::SyntheticConfig;
+
+fn bench_inference_vs_stars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_inference");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        let mut dcfg = SyntheticConfig::tiny(7);
+        dcfg.variates = n;
+        dcfg.noise_variates = (2 * n) / 3;
+        let ds = dcfg.build();
+        let mut cfg = AeroConfig::tiny();
+        cfg.max_epochs = 1;
+        let mut aero = Aero::new(cfg).unwrap();
+        aero.fit(&ds.train).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| aero.score(&ds.test).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = scalability;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inference_vs_stars
+}
+criterion_main!(scalability);

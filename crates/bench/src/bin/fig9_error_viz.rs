@@ -1,0 +1,69 @@
+//! Fig. 9 — reconstruction errors per stage: the temporal module alone
+//! (|Y − Ŷ₁|) flags concurrent noise as anomalous; adding the noise module
+//! (|Y − Ŷ₁ − Ŷ₂|) suppresses it while keeping true anomalies.
+//!
+//! Usage: `cargo run -p bench --release --bin fig9_error_viz`
+
+use aero_core::{Aero, Detector};
+use aero_datagen::SyntheticConfig;
+use bench::{sparkline, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let ds = profile.prepare(&SyntheticConfig::middle().build());
+    let mut aero = Aero::new(profile.aero_config()).expect("config");
+    aero.fit(&ds.train).expect("fit");
+    let (e1, e2) = aero.stage_scores(&ds.test).expect("scores");
+    let warm = aero.warmup();
+
+    // Pick: two variates with true anomalies, two with concurrent noise.
+    let anomaly_vars: Vec<usize> = {
+        let mut v: Vec<usize> = ds.test_labels.segments().iter().map(|s| s.variate).collect();
+        v.dedup();
+        v.into_iter().take(2).collect()
+    };
+    let noise_vars: Vec<usize> = (0..ds.num_variates())
+        .filter(|&v| !anomaly_vars.contains(&v) && ds.test_noise.row(v).iter().any(|&b| b))
+        .take(2)
+        .collect();
+
+    println!("\nFig. 9 — per-stage reconstruction errors (test split, after warmup)\n");
+    let show = |label: &str, v: usize, m: &aero_tensor::Matrix| {
+        let row: Vec<f32> = m.row(v)[warm..].iter().step_by(8).copied().collect();
+        println!("  {label:<24} {}", sparkline(&row));
+    };
+    for &v in &anomaly_vars {
+        println!("star {v} (TRUE ANOMALY):");
+        show("stage 1 |Y−Ŷ1|", v, &e1);
+        show("final   |Y−Ŷ1−Ŷ2|", v, &e2);
+    }
+    for &v in &noise_vars {
+        println!("star {v} (CONCURRENT NOISE):");
+        show("stage 1 |Y−Ŷ1|", v, &e1);
+        show("final   |Y−Ŷ1−Ŷ2|", v, &e2);
+    }
+
+    // Quantitative: on noise points the final error should drop vs stage 1;
+    // on anomaly points it should not drop (ideally grows).
+    let mut noise = (0.0f64, 0.0f64);
+    let mut anomaly = (0.0f64, 0.0f64);
+    for v in 0..ds.num_variates() {
+        for t in warm..ds.test.len() {
+            let s1 = e1.get(v, t) as f64;
+            let s2 = e2.get(v, t) as f64;
+            if ds.test_noise.get(v, t) && !ds.test_labels.get(v, t) {
+                noise = (noise.0 + s1, noise.1 + s2);
+            } else if ds.test_labels.get(v, t) {
+                anomaly = (anomaly.0 + s1, anomaly.1 + s2);
+            }
+        }
+    }
+    if noise.0 > 0.0 && anomaly.0 > 0.0 {
+        println!(
+            "\nmean error retained after stage 2:  noise points {:.2}×,  anomaly points {:.2}×",
+            noise.1 / noise.0,
+            anomaly.1 / anomaly.0
+        );
+        println!("(the paper's claim: noise shrinks, anomalies persist/grow)");
+    }
+}

@@ -1,0 +1,38 @@
+//! Table I — dataset statistics for all six benchmark datasets.
+//!
+//! Usage: `cargo run -p bench --release --bin table1_datasets`
+//! (add `--skip-astrosets` to only build the three synthetic sets).
+
+use aero_datagen::{astroset_suite, synthetic_suite};
+
+fn main() {
+    let skip_astro = std::env::args().any(|a| a == "--skip-astrosets");
+
+    println!("Table I — dataset statistics (paper values in DESIGN.md / EXPERIMENTS.md)");
+    println!(
+        "{:<17} {:>7} {:>7} {:>5} {:>10} {:>8} {:>7} {:>9} {:>8}",
+        "Dataset", "#train", "#test", "#var", "Anomaly(%)", "Noise(%)", "A/N", "#Segments", "NoiseVar"
+    );
+    println!("{}", "-".repeat(90));
+
+    let mut datasets = synthetic_suite();
+    if !skip_astro {
+        datasets.extend(astroset_suite());
+    }
+    for ds in &datasets {
+        ds.validate().expect("dataset invariants");
+        let s = ds.stats();
+        println!(
+            "{:<17} {:>7} {:>7} {:>5} {:>10.3} {:>8.3} {:>7.3} {:>9} {:>8}",
+            s.name,
+            s.train_len,
+            s.test_len,
+            s.variates,
+            s.anomaly_pct,
+            s.noise_pct,
+            s.a_n_ratio,
+            s.anomaly_segments,
+            s.noise_variates
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Table II — precision/recall/F1 of all 12 methods on the three synthetic
+//! datasets (POT thresholding, point-adjust protocol).
+//!
+//! Usage: `cargo run -p bench --release --bin table2_synthetic [--paper]`
+//! `--paper` uses the paper-scale hyperparameters; the default fast profile
+//! reproduces the result *shape* at laptop cost.
+
+use aero_datagen::synthetic_suite;
+use bench::{run_suite, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    eprintln!("profile: {profile:?}");
+    let datasets = synthetic_suite();
+    let table = run_suite(profile, &datasets);
+    println!("\nTable II — synthetic datasets ({profile:?} profile)\n");
+    println!("{}", table.render());
+    for method in table.methods() {
+        if let Some(f1) = table.mean_f1(&method) {
+            println!("mean F1 {:>9}: {:.2}%", method, f1 * 100.0);
+        }
+    }
+    if let Some(path) = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--json")
+        .map(|w| w[1].clone())
+    {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        table.write_json(std::path::Path::new(&path)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Table IV — ablation study: the full model against the seven variants on
+//! SyntheticMiddle, AstrosetMiddle, and AstrosetLow.
+//!
+//! Usage: `cargo run -p bench --release --bin table4_ablation [--paper]`
+
+use aero_core::{Aero, AblationVariant};
+use aero_datagen::{AstrosetConfig, SyntheticConfig};
+use aero_eval::ResultTable;
+use bench::{run_one, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    eprintln!("profile: {profile:?}");
+    let datasets = vec![
+        SyntheticConfig::middle().build(),
+        AstrosetConfig::middle().build(),
+        AstrosetConfig::low().build(),
+    ];
+    let base = profile.aero_config();
+    let mut table = ResultTable::new();
+    for ds in &datasets {
+        let prepared = profile.prepare(ds);
+        for variant in AblationVariant::ALL {
+            let cfg = variant.configure(&base);
+            let mut model = Aero::new(cfg).expect("valid variant config");
+            match run_one(&mut model, &prepared) {
+                Ok(out) => table.push(variant.label(), ds.name.clone(), out.metrics),
+                Err(e) => {
+                    eprintln!("    {} FAILED: {e}", variant.label());
+                    table.push(
+                        variant.label(),
+                        ds.name.clone(),
+                        aero_eval::Metrics::from_counts(0, 0, 1, 0),
+                    );
+                }
+            }
+        }
+    }
+    println!("\nTable IV — ablation study ({profile:?} profile)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,115 @@
+//! Minimal argument parsing (no external CLI crate): `--key value` pairs,
+//! `--flag` booleans, and one positional subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses from an iterator of raw arguments (excluding the binary name).
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut raw = raw.peekable();
+        while let Some(arg) = raw.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                // A value follows unless the next token is another option or
+                // the end of input → boolean flag.
+                match raw.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = raw.next().expect("peeked");
+                        if out.options.insert(key.to_string(), value).is_some() {
+                            return Err(format!("duplicate option --{key}"));
+                        }
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                return Err(format!("unexpected positional argument: {arg}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed numeric option with default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+            None => Ok(default),
+        }
+    }
+
+    /// Boolean flag (present / absent).
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let a = parse("detect --data ./d --method aero --paper");
+        assert_eq!(a.command.as_deref(), Some("detect"));
+        assert_eq!(a.get("data"), Some("./d"));
+        assert_eq!(a.get("method"), Some("aero"));
+        assert!(a.flag("paper"));
+        assert!(!a.flag("fast"));
+    }
+
+    #[test]
+    fn numeric_options_parse_with_defaults() {
+        let a = parse("generate --seed 42");
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 42);
+        assert_eq!(a.get_parsed("epochs", 7usize).unwrap(), 7);
+        assert!(a.get_parsed::<u64>("seed", 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_extra_positionals() {
+        assert!(Args::parse("a --x 1 --x 2".split_whitespace().map(String::from)).is_err());
+        assert!(Args::parse("a b".split_whitespace().map(String::from)).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_is_boolean() {
+        let a = parse("run --verbose");
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn missing_required_reports_key() {
+        let a = parse("detect");
+        let err = a.require("data").unwrap_err();
+        assert!(err.contains("--data"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Subcommand implementations for the `aero` CLI.
+
+use std::path::{Path, PathBuf};
+
+use aero_baselines::{
+    AnomalyTransformer, Donut, Esg, FluxEv, Gdn, LstmNdt, NnConfig, OmniAnomaly,
+    SpectralResidual, SpotDetector, TemplateMatching, TimesNet, TranAd, VaeLstm,
+};
+use aero_core::{build_catalog, render_catalog, run_detection, Aero, AeroConfig, Detector};
+use aero_datagen::{AstrosetConfig, SyntheticConfig};
+use aero_eval::{evaluate_point_adjusted, threshold_scores};
+use aero_evt::PotConfig;
+use aero_timeseries::io::{read_labels, read_series, write_labels, write_series};
+use aero_timeseries::{Dataset, LabelGrid};
+
+use crate::args::Args;
+
+/// The detectors `detect --method` accepts, with display names.
+pub const METHODS: [(&str, &str); 14] = [
+    ("aero", "AERO (this paper): two-stage Transformer + window-wise GNN"),
+    ("tm", "Template Matching (SciDetector)"),
+    ("sr", "Spectral Residual"),
+    ("spot", "SPOT (EVT on raw values)"),
+    ("fluxev", "FluxEV (EVT on extracted fluctuations)"),
+    ("donut", "Donut (window VAE)"),
+    ("omni", "OmniAnomaly (stochastic GRU-VAE)"),
+    ("at", "AnomalyTransformer (association discrepancy)"),
+    ("tranad", "TranAD (self-conditioned Transformer)"),
+    ("gdn", "GDN (static learned graph)"),
+    ("esg", "ESG (evolving graph)"),
+    ("timesnet", "TimesNet (period-fold convolutions)"),
+    ("lstm-ndt", "LSTM-NDT (bonus: forecast + smoothed errors)"),
+    ("vae-lstm", "VAE-LSTM (bonus: local VAE + latent LSTM)"),
+];
+
+/// Prints the method table.
+pub fn list_methods() {
+    println!("available detectors:");
+    for (key, desc) in METHODS {
+        println!("  {key:<9} {desc}");
+    }
+}
+
+fn build_detector(name: &str, paper: bool) -> Result<Box<dyn Detector>, String> {
+    let nn = if paper {
+        NnConfig { window: 60, hidden: 64, latent: 16, epochs: 100, patience: 5, stride: 10, ..NnConfig::fast() }
+    } else {
+        NnConfig::fast()
+    };
+    let aero_cfg = if paper { AeroConfig::paper() } else { AeroConfig::fast() };
+    Ok(match name {
+        "aero" => Box::new(Aero::new(aero_cfg).map_err(|e| e.to_string())?),
+        "tm" => Box::new(TemplateMatching::default()),
+        "sr" => Box::new(SpectralResidual::default()),
+        "spot" => Box::new(SpotDetector::new()),
+        "fluxev" => Box::new(FluxEv::default()),
+        "donut" => Box::new(Donut::new(nn)),
+        "omni" => Box::new(OmniAnomaly::new(nn)),
+        "at" => Box::new(AnomalyTransformer::new(nn)),
+        "tranad" => Box::new(TranAd::new(nn)),
+        "gdn" => Box::new(Gdn::new(nn)),
+        "esg" => Box::new(Esg::new(nn)),
+        "timesnet" => Box::new(TimesNet::new(nn)),
+        "lstm-ndt" => Box::new(LstmNdt::new(nn)),
+        "vae-lstm" => Box::new(VaeLstm::new(nn)),
+        other => return Err(format!("unknown method: {other} (see `aero list-methods`)")),
+    })
+}
+
+fn build_preset(name: &str, seed: Option<u64>) -> Result<Dataset, String> {
+    let synthetic = |mut cfg: SyntheticConfig| {
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        cfg.build()
+    };
+    let astro = |mut cfg: AstrosetConfig| {
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        cfg.build()
+    };
+    Ok(match name {
+        "synthetic-middle" => synthetic(SyntheticConfig::middle()),
+        "synthetic-high" => synthetic(SyntheticConfig::high()),
+        "synthetic-low" => synthetic(SyntheticConfig::low()),
+        "astroset-middle" => astro(AstrosetConfig::middle()),
+        "astroset-high" => astro(AstrosetConfig::high()),
+        "astroset-low" => astro(AstrosetConfig::low()),
+        "tiny" => synthetic(SyntheticConfig::tiny(seed.unwrap_or(42))),
+        other => return Err(format!("unknown preset: {other}")),
+    })
+}
+
+fn io_err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// `aero generate` — writes train/test series plus ground-truth grids.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let preset = args.require("preset")?;
+    let out = PathBuf::from(args.require("out")?);
+    let seed = match args.get("seed") {
+        Some(s) => Some(s.parse::<u64>().map_err(io_err)?),
+        None => None,
+    };
+    let dataset = build_preset(preset, seed)?;
+    dataset.validate().map_err(io_err)?;
+    std::fs::create_dir_all(&out).map_err(io_err)?;
+
+    write_series(&dataset.train, &out.join("train.csv")).map_err(io_err)?;
+    write_series(&dataset.test, &out.join("test.csv")).map_err(io_err)?;
+    write_labels(&dataset.test_labels, &out.join("test_labels.csv")).map_err(io_err)?;
+    write_labels(&dataset.test_noise, &out.join("test_noise.csv")).map_err(io_err)?;
+
+    let stats = dataset.stats();
+    println!(
+        "wrote {preset} to {}: {} stars, {} train / {} test points,",
+        out.display(),
+        stats.variates,
+        stats.train_len,
+        stats.test_len
+    );
+    println!(
+        "  anomalies {:.3}% ({} segments), concurrent noise {:.3}% (variates {})",
+        stats.anomaly_pct, stats.anomaly_segments, stats.noise_pct, stats.noise_variates
+    );
+    Ok(())
+}
+
+/// `aero detect` — fit, calibrate, score, threshold, persist.
+pub fn detect(args: &Args) -> Result<(), String> {
+    let data = PathBuf::from(args.require("data")?);
+    let method = args.require("method")?;
+    let out = PathBuf::from(args.require("out")?);
+    let paper = args.flag("paper");
+    let pot = PotConfig {
+        level: args.get_parsed("level", 0.99f64)?,
+        q: args.get_parsed("q", 1e-3f64)?,
+    };
+
+    let train = read_series(&data.join("train.csv")).map_err(io_err)?;
+    let test = read_series(&data.join("test.csv")).map_err(io_err)?;
+    if train.num_variates() != test.num_variates() {
+        return Err(format!(
+            "train has {} variates but test has {}",
+            train.num_variates(),
+            test.num_variates()
+        ));
+    }
+    // Ground truth is optional — used for reporting only.
+    let labels_path = data.join("test_labels.csv");
+    let labels = if labels_path.exists() {
+        Some(read_labels(&labels_path).map_err(io_err)?)
+    } else {
+        None
+    };
+    let dataset = Dataset {
+        name: data.display().to_string(),
+        test_labels: labels
+            .clone()
+            .unwrap_or_else(|| LabelGrid::new(test.num_variates(), test.len())),
+        test_noise: LabelGrid::new(test.num_variates(), test.len()),
+        train_noise: LabelGrid::new(train.num_variates(), train.len()),
+        train,
+        test,
+    };
+
+    let mut detector = build_detector(method, paper)?;
+    eprintln!("training {} …", detector.name());
+    let outcome = run_detection(detector.as_mut(), &dataset, pot).map_err(io_err)?;
+
+    // Optional model persistence (AERO only): train once, redeploy later.
+    if let Some(model_path) = args.get("save-model") {
+        if method == "aero" {
+            // Re-fit on the full training split for the saved artefact.
+            let mut model = Aero::new(if paper { AeroConfig::paper() } else { AeroConfig::fast() })
+                .map_err(io_err)?;
+            model.fit(&dataset.train).map_err(io_err)?;
+            aero_core::save_model(&model, Path::new(model_path)).map_err(io_err)?;
+            eprintln!("saved trained AERO to {model_path}");
+        } else {
+            return Err("--save-model is only supported for --method aero".into());
+        }
+    }
+
+    std::fs::create_dir_all(&out).map_err(io_err)?;
+    // scores.csv: same layout as a series file.
+    let score_series = aero_timeseries::MultivariateSeries::new(
+        outcome.scores.clone(),
+        dataset.test.timestamps().to_vec(),
+    )
+    .map_err(io_err)?;
+    write_series(&score_series, &out.join("scores.csv")).map_err(io_err)?;
+    let flags = threshold_scores(&outcome.scores, outcome.threshold.threshold);
+    write_labels(&flags, &out.join("flags.csv")).map_err(io_err)?;
+
+    let mut summary = format!(
+        "method: {}\nthreshold: {:.6} (POT level {}, q {}, gamma {:.4}, {} peaks)\n\
+         train time: {:.2}s\ntest time: {:.2}s\nflagged points: {}\n",
+        detector.name(),
+        outcome.threshold.threshold,
+        pot.level,
+        pot.q,
+        outcome.threshold.gamma,
+        outcome.threshold.peaks,
+        outcome.timing.train_secs,
+        outcome.timing.test_secs,
+        flags.count(),
+    );
+    if labels.is_some() {
+        summary.push_str(&format!(
+            "precision: {:.2}%\nrecall: {:.2}%\nF1: {:.2}%\n",
+            outcome.metrics.precision * 100.0,
+            outcome.metrics.recall * 100.0,
+            outcome.metrics.f1 * 100.0
+        ));
+    }
+    std::fs::write(out.join("summary.txt"), &summary).map_err(io_err)?;
+
+    // Ranked event catalog — the artefact an astronomer reviews.
+    let catalog = build_catalog(&flags, &outcome.scores, 3);
+    let rendered = render_catalog(&catalog, dataset.test.timestamps(), 50);
+    std::fs::write(out.join("catalog.txt"), &rendered).map_err(io_err)?;
+
+    print!("{summary}");
+    println!("{} candidate events (top ranked in catalog.txt)", catalog.len());
+    println!(
+        "wrote scores.csv, flags.csv, summary.txt, catalog.txt to {}",
+        out.display()
+    );
+    Ok(())
+}
+
+/// `aero evaluate` — point-adjusted metrics of stored flags vs labels.
+pub fn evaluate(args: &Args) -> Result<(), String> {
+    let flags = read_labels(Path::new(args.require("flags")?)).map_err(io_err)?;
+    let labels = read_labels(Path::new(args.require("labels")?)).map_err(io_err)?;
+    if flags.rows() != labels.rows() || flags.cols() != labels.cols() {
+        return Err(format!(
+            "shape mismatch: flags {}x{} vs labels {}x{}",
+            flags.rows(),
+            flags.cols(),
+            labels.rows(),
+            labels.cols()
+        ));
+    }
+    let m = evaluate_point_adjusted(&flags, &labels);
+    println!(
+        "point-adjusted: precision {:.2}%  recall {:.2}%  F1 {:.2}%",
+        m.precision * 100.0,
+        m.recall * 100.0,
+        m.f1 * 100.0
+    );
+    println!("counts: TP {}  FP {}  FN {}  TN {}", m.tp, m.fp, m.fn_, m.tn);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_method_builds() {
+        for (key, _) in METHODS {
+            assert!(build_detector(key, false).is_ok(), "{key}");
+        }
+        assert!(build_detector("nope", false).is_err());
+    }
+
+    #[test]
+    fn tiny_preset_builds_with_seed_override() {
+        let a = build_preset("tiny", Some(9)).unwrap();
+        let b = build_preset("tiny", Some(9)).unwrap();
+        assert_eq!(a.train.values(), b.train.values());
+        assert!(build_preset("bogus", None).is_err());
+    }
+
+    #[test]
+    fn generate_then_detect_then_evaluate_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("aero_cli_test_{}", std::process::id()));
+        let data = dir.join("data");
+        let out = dir.join("out");
+
+        // generate
+        let gen_args = Args::parse(
+            format!("generate --preset tiny --out {} --seed 5", data.display())
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        generate(&gen_args).unwrap();
+        assert!(data.join("train.csv").exists());
+        assert!(data.join("test_labels.csv").exists());
+
+        // detect with a fast statistical method
+        let det_args = Args::parse(
+            format!("detect --data {} --method spot --out {}", data.display(), out.display())
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        detect(&det_args).unwrap();
+        assert!(out.join("scores.csv").exists());
+        assert!(out.join("flags.csv").exists());
+        assert!(out.join("summary.txt").exists());
+        assert!(out.join("catalog.txt").exists());
+
+        // evaluate
+        let eval_args = Args::parse(
+            format!(
+                "evaluate --flags {} --labels {}",
+                out.join("flags.csv").display(),
+                data.join("test_labels.csv").display()
+            )
+            .split_whitespace()
+            .map(String::from),
+        )
+        .unwrap();
+        evaluate(&eval_args).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,67 @@
+//! `aero` — command-line anomaly detection for astronomical time series.
+//!
+//! ```text
+//! aero generate --preset synthetic-middle --out data/
+//! aero detect   --data data/ --method aero --out results/
+//! aero evaluate --flags results/flags.csv --labels data/test_labels.csv
+//! aero list-methods
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "aero — anomaly detection in astronomical observations (AERO, ICDE 2024)
+
+USAGE:
+    aero <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate       Generate a benchmark dataset as CSV files
+                     --preset <synthetic-middle|synthetic-high|synthetic-low|
+                               astroset-middle|astroset-high|astroset-low|tiny>
+                     --out <dir>           output directory
+                     [--seed <u64>]        override the preset seed
+    detect         Train a detector and score a test series
+                     --data <dir>          directory with train.csv + test.csv
+                     --method <name>       detector (see list-methods)
+                     --out <dir>           writes scores.csv, flags.csv, summary.txt
+                     [--paper]             paper-scale hyperparameters
+                     [--level <f64>]       POT initial quantile (default 0.99)
+                     [--q <f64>]           POT tail probability (default 1e-3)
+                     [--save-model <file>] persist the trained AERO as JSON
+    evaluate       Point-adjusted precision/recall/F1 of saved flags
+                     --flags <file>        0/1 CSV from `detect`
+                     --labels <file>       0/1 ground-truth CSV
+    list-methods   Show the available detectors
+    help           Show this message
+";
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("generate") => commands::generate(&args),
+        Some("detect") => commands::detect(&args),
+        Some("evaluate") => commands::evaluate(&args),
+        Some("list-methods") => {
+            commands::list_methods();
+            Ok(())
+        }
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command: {other}\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Named ablation variants (paper Table IV).
+
+use crate::config::{AeroConfig, GraphMode};
+
+/// The seven Table IV variants plus the full model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AblationVariant {
+    /// The complete AERO model.
+    Full,
+    /// 1i — remove the temporal reconstruction module.
+    WithoutTemporal,
+    /// 1ii — feed the temporal module multivariate (joint) input.
+    WithoutUnivariateInput,
+    /// 1iii — remove the short-window decoder input (ω = W).
+    WithoutShortWindow,
+    /// 2i — remove the concurrent-noise reconstruction module.
+    WithoutConcurrentNoise,
+    /// 2ii — remove the noise module *and* use multivariate input.
+    WithoutConcurrentNoiseAndUnivariate,
+    /// 2iii — replace the window-wise graph with a static complete graph.
+    StaticGraph,
+    /// 2iv — replace it with an ESG-style dynamic (EWMA-evolving) graph.
+    DynamicGraph,
+}
+
+impl AblationVariant {
+    /// All variants in the order of Table IV.
+    pub const ALL: [AblationVariant; 8] = [
+        Self::Full,
+        Self::WithoutTemporal,
+        Self::WithoutUnivariateInput,
+        Self::WithoutShortWindow,
+        Self::WithoutConcurrentNoise,
+        Self::WithoutConcurrentNoiseAndUnivariate,
+        Self::StaticGraph,
+        Self::DynamicGraph,
+    ];
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Full => "AERO",
+            Self::WithoutTemporal => "1) i   w/o temporal",
+            Self::WithoutUnivariateInput => "1) ii  w/o univariate input",
+            Self::WithoutShortWindow => "1) iii w/o short window",
+            Self::WithoutConcurrentNoise => "2) i   w/o concurrent noise",
+            Self::WithoutConcurrentNoiseAndUnivariate => "2) ii  w/o noise & univariate",
+            Self::StaticGraph => "2) iii w/o window-wise (static)",
+            Self::DynamicGraph => "2) iv  w/o window-wise (dynamic)",
+        }
+    }
+
+    /// Applies the ablation to a base configuration.
+    pub fn configure(&self, base: &AeroConfig) -> AeroConfig {
+        let mut cfg = base.clone();
+        match self {
+            Self::Full => {}
+            Self::WithoutTemporal => cfg.use_temporal = false,
+            Self::WithoutUnivariateInput => cfg.univariate_input = false,
+            Self::WithoutShortWindow => cfg.use_short_window = false,
+            Self::WithoutConcurrentNoise => cfg.use_noise_module = false,
+            Self::WithoutConcurrentNoiseAndUnivariate => {
+                cfg.use_noise_module = false;
+                cfg.univariate_input = false;
+            }
+            Self::StaticGraph => cfg.graph_mode = GraphMode::StaticComplete,
+            Self::DynamicGraph => cfg.graph_mode = GraphMode::DynamicEwma { beta: 0.9 },
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_produce_valid_configs() {
+        let base = AeroConfig::tiny();
+        for v in AblationVariant::ALL {
+            let cfg = v.configure(&base);
+            assert!(cfg.validate().is_ok(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn variants_change_the_right_switch() {
+        let base = AeroConfig::tiny();
+        assert!(!AblationVariant::WithoutTemporal.configure(&base).use_temporal);
+        assert!(!AblationVariant::WithoutUnivariateInput
+            .configure(&base)
+            .univariate_input);
+        assert!(!AblationVariant::WithoutShortWindow
+            .configure(&base)
+            .use_short_window);
+        assert!(!AblationVariant::WithoutConcurrentNoise
+            .configure(&base)
+            .use_noise_module);
+        let both = AblationVariant::WithoutConcurrentNoiseAndUnivariate.configure(&base);
+        assert!(!both.use_noise_module && !both.univariate_input);
+        assert_eq!(
+            AblationVariant::StaticGraph.configure(&base).graph_mode,
+            GraphMode::StaticComplete
+        );
+        assert!(matches!(
+            AblationVariant::DynamicGraph.configure(&base).graph_mode,
+            GraphMode::DynamicEwma { .. }
+        ));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = AblationVariant::ALL.iter().map(|v| v.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), AblationVariant::ALL.len());
+    }
+}

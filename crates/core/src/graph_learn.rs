@@ -1,0 +1,173 @@
+//! Window-wise graph structure learning (paper §III-D, Eq. 12–13) and the
+//! static / dynamic alternatives used by the Table IV ablations.
+
+use aero_nn::normalize_adjacency_thresholded;
+use aero_tensor::Matrix;
+use aero_timeseries::stats::cosine_similarity;
+
+use crate::config::GraphMode;
+
+/// Builds the window-wise adjacency `A_t` from the temporal module's error
+/// matrix `E_t ∈ R^{N×ω}` (Eq. 12–13): `A_t^{mn} = cos(E_t^{(m)}, E_t^{(n)})`.
+pub fn window_adjacency(errors: &Matrix) -> Matrix {
+    let n = errors.rows();
+    let mut adj = Matrix::zeros(n, n);
+    for m in 0..n {
+        adj.set(m, m, 1.0);
+        for k in (m + 1)..n {
+            let sim = cosine_similarity(errors.row(m), errors.row(k));
+            adj.set(m, k, sim);
+            adj.set(k, m, sim);
+        }
+    }
+    adj
+}
+
+/// Stateful graph builder covering the full model and both graph ablations.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    mode: GraphMode,
+    /// Minimum edge weight kept during normalization.
+    edge_threshold: f32,
+    /// EWMA state for the dynamic mode.
+    state: Option<Matrix>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for the given mode (no edge thresholding).
+    pub fn new(mode: GraphMode) -> Self {
+        Self { mode, edge_threshold: 0.0, state: None }
+    }
+
+    /// Creates a builder that drops edges below `edge_threshold`.
+    pub fn with_edge_threshold(mode: GraphMode, edge_threshold: f32) -> Self {
+        Self { mode, edge_threshold, state: None }
+    }
+
+    /// Resets dynamic state (call between training and scoring passes).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Raw adjacency (self-loops still present) for the current window.
+    pub fn adjacency(&mut self, errors: &Matrix) -> Matrix {
+        match self.mode {
+            GraphMode::WindowWise => window_adjacency(errors),
+            GraphMode::StaticComplete => Matrix::ones(errors.rows(), errors.rows()),
+            GraphMode::DynamicEwma { beta } => {
+                let current = window_adjacency(errors);
+                let next = match self.state.take() {
+                    Some(prev) if prev.shape() == current.shape() => {
+                        let mut m = current.clone();
+                        for (o, p) in m.as_mut_slice().iter_mut().zip(prev.as_slice()) {
+                            *o = beta * p + (1.0 - beta) * *o;
+                        }
+                        m
+                    }
+                    _ => current,
+                };
+                self.state = Some(next.clone());
+                next
+            }
+        }
+    }
+
+    /// Propagation matrix `D̃^{-1}·Ã` with self-loops removed (Eq. 14's
+    /// message-passing operator).
+    pub fn propagation(&mut self, errors: &Matrix) -> Matrix {
+        let threshold = match self.mode {
+            // The static complete graph ablation keeps every edge at weight
+            // 1, so thresholding would be a no-op anyway; skip it for
+            // clarity.
+            GraphMode::StaticComplete => 0.0,
+            _ => self.edge_threshold,
+        };
+        normalize_adjacency_thresholded(&self.adjacency(errors), threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_is_symmetric_with_unit_diagonal() {
+        let e = Matrix::from_fn(4, 6, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+        let a = window_adjacency(&e);
+        for i in 0..4 {
+            assert!((a.get(i, i) - 1.0).abs() < 1e-6);
+            for j in 0..4 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_noise_rows_link_strongly() {
+        // Variates 0 and 1 share an identical error burst; 2 is independent.
+        let mut e = Matrix::zeros(3, 10);
+        for t in 3..7 {
+            e.set(0, t, 2.0);
+            e.set(1, t, 2.0);
+            e.set(2, 9 - t, if t % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        let a = window_adjacency(&e);
+        assert!(a.get(0, 1) > 0.99, "noise pair similarity = {}", a.get(0, 1));
+        assert!(a.get(0, 2).abs() < 0.7, "independent similarity = {}", a.get(0, 2));
+    }
+
+    #[test]
+    fn static_mode_ignores_errors() {
+        let mut b = GraphBuilder::new(GraphMode::StaticComplete);
+        let e1 = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let e2 = Matrix::zeros(3, 4);
+        assert_eq!(b.adjacency(&e1), Matrix::ones(3, 3));
+        assert_eq!(b.adjacency(&e2), Matrix::ones(3, 3));
+    }
+
+    #[test]
+    fn dynamic_mode_smooths_over_windows() {
+        let mut b = GraphBuilder::new(GraphMode::DynamicEwma { beta: 0.9 });
+        // First window: strong 0-1 similarity.
+        let mut e1 = Matrix::zeros(2, 4);
+        e1.set(0, 0, 1.0);
+        e1.set(1, 0, 1.0);
+        let a1 = b.adjacency(&e1);
+        assert!(a1.get(0, 1) > 0.99);
+        // Second window: orthogonal errors → instant similarity 0, but the
+        // EWMA keeps most of the old edge.
+        let mut e2 = Matrix::zeros(2, 4);
+        e2.set(0, 0, 1.0);
+        e2.set(1, 1, 1.0);
+        let a2 = b.adjacency(&e2);
+        assert!(a2.get(0, 1) > 0.8, "EWMA edge = {}", a2.get(0, 1));
+        // Window-wise mode would have dropped straight to ~0.
+        let direct = window_adjacency(&e2);
+        assert!(direct.get(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_dynamic_state() {
+        let mut b = GraphBuilder::new(GraphMode::DynamicEwma { beta: 0.9 });
+        let mut e1 = Matrix::zeros(2, 4);
+        e1.set(0, 0, 1.0);
+        e1.set(1, 0, 1.0);
+        b.adjacency(&e1);
+        b.reset();
+        let mut e2 = Matrix::zeros(2, 4);
+        e2.set(0, 0, 1.0);
+        e2.set(1, 1, 1.0);
+        let a = b.adjacency(&e2);
+        assert!(a.get(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn propagation_has_no_self_loops() {
+        let mut b = GraphBuilder::new(GraphMode::WindowWise);
+        let e = Matrix::from_fn(3, 5, |r, c| ((r + 1) * (c + 1)) as f32 * 0.1);
+        let p = b.propagation(&e);
+        for i in 0..3 {
+            assert_eq!(p.get(i, i), 0.0);
+        }
+    }
+}

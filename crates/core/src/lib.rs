@@ -1,0 +1,46 @@
+//! # aero-core
+//!
+//! The AERO anomaly detector from *"From Chaos to Clarity: Time Series
+//! Anomaly Detection in Astronomical Observations"* (ICDE 2024):
+//!
+//! * a **temporal reconstruction module** — a shared-weight Transformer
+//!   encoder-decoder applied independently per variate (star), with a long
+//!   context window `W` and a short reconstruction window `ω` and an
+//!   irregular-interval time embedding;
+//! * a **concurrent-noise reconstruction module** — a self-loop-free GCN
+//!   whose graph is re-learned *per window* from the first module's
+//!   reconstruction errors (window-wise graph structure learning), so that
+//!   spatially/temporally random noise can be reconstructed from similarly
+//!   affected stars while true anomalies cannot;
+//! * **two-stage training** (Algorithm 1) and **online detection** with POT
+//!   thresholding (Algorithm 2);
+//! * the common [`Detector`] trait and [`run_detection`] pipeline shared
+//!   with all baselines, plus Table IV ablation variants and the Fig. 7
+//!   memory model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod config;
+pub mod detector;
+pub mod graph_learn;
+pub mod memory;
+pub mod model;
+pub mod online;
+pub mod persist;
+pub mod report;
+pub mod temporal;
+
+pub use ablation::AblationVariant;
+pub use config::{AeroConfig, GraphMode, NoiseFeatures};
+pub use detector::{
+    run_detection, Detector, DetectorError, DetectorResult, RunOutcome, RunTiming,
+};
+pub use graph_learn::{window_adjacency, GraphBuilder};
+pub use memory::{aero_memory, baseline_memory, MemoryEstimate};
+pub use model::Aero;
+pub use online::{FrameVerdict, OnlineAero, StarVerdict};
+pub use persist::{load_model, save_model};
+pub use report::{build_catalog, render_catalog, EventCandidate};
+pub use temporal::TemporalModule;

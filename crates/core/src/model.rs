@@ -1,0 +1,611 @@
+//! The AERO detector: two-stage offline training (Algorithm 1) and online
+//! scoring (Algorithm 2), wired behind the common [`Detector`] interface.
+
+use aero_nn::{Activation, EarlyStopping, GcnLayer, TrainingHistory};
+use aero_tensor::{Adam, Graph, Matrix, ParamId, ParamStore};
+use aero_timeseries::{MinMaxScaler, MultivariateSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{AeroConfig, NoiseFeatures};
+use crate::detector::{Detector, DetectorError, DetectorResult};
+use crate::graph_learn::GraphBuilder;
+use crate::temporal::TemporalModule;
+
+/// The AERO anomaly detector.
+///
+/// ```
+/// use aero_core::{Aero, AeroConfig, Detector};
+/// use aero_datagen::SyntheticConfig;
+///
+/// let dataset = SyntheticConfig::tiny(1).build();
+/// let mut aero = Aero::new(AeroConfig::tiny()).unwrap();
+/// aero.fit(&dataset.train).unwrap();
+/// let scores = aero.score(&dataset.test).unwrap();
+/// assert_eq!(scores.rows(), dataset.num_variates());
+/// ```
+#[derive(Debug)]
+pub struct Aero {
+    config: AeroConfig,
+    store: ParamStore,
+    temporal: Option<TemporalModule>,
+    temporal_ids: Vec<ParamId>,
+    gcn: Option<GcnLayer>,
+    scaler: MinMaxScaler,
+    graphs: GraphBuilder,
+    trained: bool,
+    /// Stage-1 loss trajectory (temporal module).
+    pub stage1_history: TrainingHistory,
+    /// Stage-2 loss trajectory (noise module).
+    pub stage2_history: TrainingHistory,
+}
+
+impl Aero {
+    /// Creates an untrained AERO with the given configuration.
+    pub fn new(config: AeroConfig) -> DetectorResult<Self> {
+        config.validate().map_err(DetectorError::Invalid)?;
+        let graphs = GraphBuilder::with_edge_threshold(config.graph_mode, config.edge_threshold);
+        Ok(Self {
+            config,
+            store: ParamStore::new(),
+            temporal: None,
+            temporal_ids: Vec::new(),
+            gcn: None,
+            scaler: MinMaxScaler::new(),
+            graphs,
+            trained: false,
+            stage1_history: TrainingHistory::default(),
+            stage2_history: TrainingHistory::default(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AeroConfig {
+        &self.config
+    }
+
+    /// Total scalar parameter count (0 before `fit`).
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// True once `fit` has completed.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    fn omega(&self) -> usize {
+        self.config.effective_short_window()
+    }
+
+    /// Window positions/intervals for the long window ending at `end`.
+    ///
+    /// Positions are *window-relative* (`0..W`): every window sees the same
+    /// positional ramp, so scoring positions beyond the training range stays
+    /// in-distribution. The irregular-sampling information enters through
+    /// the real inter-observation intervals `Δ_t` (Eq. 1's learnable phase
+    /// shift), which are taken from the actual timestamps.
+    fn window_times(series: &MultivariateSeries, end: usize, w: usize) -> (Vec<f32>, Vec<f32>) {
+        let start = end + 1 - w;
+        let ts = series.timestamps();
+        let positions: Vec<f32> = (0..w).map(|i| i as f32).collect();
+        let deltas: Vec<f32> = (start..=end)
+            .map(|t| if t == 0 { 0.0 } else { (ts[t] - ts[t - 1]) as f32 })
+            .collect();
+        (positions, deltas)
+    }
+
+    /// Evaluates the temporal module's error matrix `E = Y − Ŷ₁ ∈ R^{N×ω}`
+    /// for the window ending at `end` (forward only, no gradients kept).
+    fn window_errors_internal(
+        &self,
+        scaled: &MultivariateSeries,
+        end: usize,
+    ) -> DetectorResult<Matrix> {
+        let w = self.config.window;
+        let omega = self.omega();
+        let y = scaled.window(end, omega)?;
+        let Some(temporal) = &self.temporal else {
+            // Ablation 1i (w/o temporal): Ŷ₁ = 0, so E = Y.
+            return Ok(y);
+        };
+        let x = scaled.window(end, w)?;
+        let (positions, deltas) = Self::window_times(scaled, end, w);
+        let n = scaled.num_variates();
+
+        if self.config.univariate_input {
+            let mut e = Matrix::zeros(n, omega);
+            for v in 0..n {
+                let long = Matrix::col_vector(x.row(v));
+                let short = Matrix::col_vector(y.row(v));
+                let mut g = Graph::new();
+                let out =
+                    temporal.reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
+                let recon = g.value(out)?;
+                for t in 0..omega {
+                    e.set(v, t, y.get(v, t) - recon.get(t, 0));
+                }
+            }
+            Ok(e)
+        } else {
+            let long = x.transpose(); // W × N tokens
+            let short = y.transpose();
+            let mut g = Graph::new();
+            let out =
+                temporal.reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
+            let recon = g.value(out)?; // ω × N
+            let mut e = Matrix::zeros(n, omega);
+            for v in 0..n {
+                for t in 0..omega {
+                    e.set(v, t, y.get(v, t) - recon.get(t, v));
+                }
+            }
+            Ok(e)
+        }
+    }
+
+    /// Stage 1: train the temporal module to reconstruct normal patterns.
+    fn train_stage1(&mut self, scaled: &MultivariateSeries) -> DetectorResult<()> {
+        let Some(temporal) = self.temporal.clone() else {
+            return Ok(());
+        };
+        let w = self.config.window;
+        let omega = self.omega();
+        let ends: Vec<usize> = scaled.window_ends(w, self.config.train_stride).collect();
+        if ends.is_empty() {
+            return Err(DetectorError::Invalid(format!(
+                "training series of length {} shorter than window W={w}",
+                scaled.len()
+            )));
+        }
+        let mut opt = Adam::new(self.config.lr).with_clip_norm(5.0);
+        let mut stop = EarlyStopping::new(self.config.patience, 0.0);
+        let n = scaled.num_variates();
+
+        for _epoch in 0..self.config.max_epochs {
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for &end in &ends {
+                let x = scaled.window(end, w)?;
+                let y = scaled.window(end, omega)?;
+                let (positions, deltas) = Self::window_times(scaled, end, w);
+                self.store.zero_grads();
+                let mut window_loss = 0.0f64;
+                if self.config.univariate_input {
+                    for v in 0..n {
+                        let long = Matrix::col_vector(x.row(v));
+                        let short = Matrix::col_vector(y.row(v));
+                        let mut g = Graph::new();
+                        let out = temporal
+                            .reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
+                        let loss = g.mse_loss(out, &short)?;
+                        window_loss += g.value(loss)?.scalar_value()? as f64;
+                        g.backward(loss, &mut self.store)?;
+                    }
+                    window_loss /= n as f64;
+                } else {
+                    let long = x.transpose();
+                    let short = y.transpose();
+                    let mut g = Graph::new();
+                    let out = temporal
+                        .reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
+                    let loss = g.mse_loss(out, &short)?;
+                    window_loss = g.value(loss)?.scalar_value()? as f64;
+                    g.backward(loss, &mut self.store)?;
+                }
+                opt.step(&mut self.store)?;
+                epoch_loss += window_loss;
+                batches += 1;
+            }
+            let mean = (epoch_loss / batches.max(1) as f64) as f32;
+            self.stage1_history.push(mean);
+            if !stop.update(mean) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage 2: freeze the temporal module, train the GCN to reconstruct the
+    /// concurrent-noise component of the stage-1 errors.
+    fn train_stage2(&mut self, scaled: &MultivariateSeries) -> DetectorResult<()> {
+        let Some(gcn) = self.gcn.clone() else {
+            return Ok(());
+        };
+        let w = self.config.window;
+        let omega = self.omega();
+        let ends: Vec<usize> = scaled.window_ends(w, self.config.train_stride).collect();
+
+        // Freeze module 1 (Algorithm 1 trains M₂ with M₁'s parameters fixed)
+        // — which also means each window's error matrix is a constant we can
+        // precompute once instead of re-running the Transformer every epoch.
+        self.store.set_frozen(&self.temporal_ids, true)?;
+        let mut errors = Vec::with_capacity(ends.len());
+        for &end in &ends {
+            errors.push(self.window_errors_internal(scaled, end)?);
+        }
+
+        let mut opt = Adam::new(self.config.lr).with_clip_norm(5.0);
+        let mut stop = EarlyStopping::new(self.config.patience, 0.0);
+
+        for _epoch in 0..self.config.max_epochs {
+            self.graphs.reset();
+            let mut epoch_loss = 0.0f64;
+            for (&end, e) in ends.iter().zip(&errors) {
+                let feats_m = match self.config.noise_features {
+                    NoiseFeatures::Errors => e.clone(),
+                    NoiseFeatures::Window => scaled.window(end, omega)?,
+                };
+                let p = self.graphs.propagation(e);
+                self.store.zero_grads();
+                let mut g = Graph::new();
+                let feats = g.constant(feats_m);
+                let yhat2 = gcn.forward(&mut g, &self.store, &p, feats)?;
+                // loss₂ = (Y − Ŷ₁) − Ŷ₂ = E − Ŷ₂  →  MSE(Ŷ₂, E).
+                let loss = g.mse_loss(yhat2, e)?;
+                epoch_loss += g.value(loss)?.scalar_value()? as f64;
+                g.backward(loss, &mut self.store)?;
+                opt.step(&mut self.store)?;
+            }
+            let mean = (epoch_loss / ends.len().max(1) as f64) as f32;
+            self.stage2_history.push(mean);
+            if !stop.update(mean) {
+                break;
+            }
+        }
+        self.store.set_frozen(&self.temporal_ids, false)?;
+        Ok(())
+    }
+
+    /// Final residual `R = Y − Ŷ₁ − Ŷ₂` for the window ending at `end` of an
+    /// already-scaled series. Also returns the stage-1 error `E`.
+    fn window_residual(
+        &mut self,
+        scaled: &MultivariateSeries,
+        end: usize,
+    ) -> DetectorResult<(Matrix, Matrix)> {
+        let omega = self.omega();
+        let e = self.window_errors_internal(scaled, end)?;
+        let Some(gcn) = &self.gcn else {
+            return Ok((e.clone(), e));
+        };
+        let mut residual = e.clone();
+        let iterations = match self.config.noise_features {
+            NoiseFeatures::Errors => self.config.noise_iterations.max(1),
+            // The raw-window variant has no meaningful iterate (features do
+            // not shrink as noise is explained), so run a single round.
+            NoiseFeatures::Window => 1,
+        };
+        for _ in 0..iterations {
+            let feats_m = match self.config.noise_features {
+                NoiseFeatures::Errors => residual.clone(),
+                NoiseFeatures::Window => scaled.window(end, omega)?,
+            };
+            let p = self.graphs.propagation(&residual);
+            let mut g = Graph::new();
+            let feats = g.constant(feats_m);
+            let yhat2 = gcn.forward(&mut g, &self.store, &p, feats)?;
+            let mut y2 = g.value(yhat2)?.clone();
+            if self.config.amplitude_matching {
+                for v in 0..y2.rows() {
+                    let (mut dot, mut norm2) = (0.0f32, 0.0f32);
+                    for (a, b) in y2.row(v).iter().zip(residual.row(v)) {
+                        dot += a * b;
+                        norm2 += a * a;
+                    }
+                    let alpha = if norm2 > 1e-12 { (dot / norm2).clamp(0.0, 2.0) } else { 0.0 };
+                    for a in y2.row_mut(v) {
+                        *a *= alpha;
+                    }
+                }
+            }
+            residual = residual.sub(&y2)?;
+        }
+        Ok((e, residual))
+    }
+
+    /// Scoring window end indices: the first full window, then steps of
+    /// `ω/2` (half-overlapping short windows), plus a final tail window.
+    /// Each column is scored by up to two window contexts; the residuals
+    /// are min-combined, so a concurrent-noise event clipped at one block
+    /// boundary still gets fully reconstructed by the neighbouring context.
+    fn score_ends(&self, len: usize) -> Vec<usize> {
+        let w = self.config.window;
+        let omega = self.omega();
+        let stride = (omega / 2).max(1);
+        let mut ends = Vec::new();
+        if len < w {
+            return ends;
+        }
+        let mut e = w - 1;
+        while e < len {
+            ends.push(e);
+            e += stride;
+        }
+        if *ends.last().unwrap() != len - 1 {
+            ends.push(len - 1);
+        }
+        ends
+    }
+
+    /// Exposes the window-wise adjacency for analysis (Fig. 8). The series
+    /// is scaled internally; `end` is the window's last column.
+    pub fn window_graph(
+        &mut self,
+        series: &MultivariateSeries,
+        end: usize,
+    ) -> DetectorResult<Matrix> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        let e = self.window_errors_internal(&scaled, end)?;
+        Ok(crate::graph_learn::window_adjacency(&e))
+    }
+
+    /// Per-stage reconstruction errors for analysis (Fig. 9): returns
+    /// `(|E|, |R|)` score matrices over the whole series.
+    pub fn stage_scores(
+        &mut self,
+        series: &MultivariateSeries,
+    ) -> DetectorResult<(Matrix, Matrix)> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        let n = scaled.num_variates();
+        let len = scaled.len();
+        let omega = self.omega();
+        let mut e_scores = Matrix::full(n, len, f32::INFINITY);
+        let mut r_scores = Matrix::full(n, len, f32::INFINITY);
+        self.graphs.reset();
+        for end in self.score_ends(len) {
+            let (e, r) = self.window_residual(&scaled, end)?;
+            let start = end + 1 - omega;
+            for v in 0..n {
+                for t in 0..omega {
+                    let ce = e_scores.get(v, start + t);
+                    e_scores.set(v, start + t, ce.min(e.get(v, t).abs()));
+                    let cr = r_scores.get(v, start + t);
+                    r_scores.set(v, start + t, cr.min(r.get(v, t).abs()));
+                }
+            }
+        }
+        for m in [&mut e_scores, &mut r_scores] {
+            for v in m.as_mut_slice() {
+                if v.is_infinite() {
+                    *v = 0.0;
+                }
+            }
+        }
+        Ok((e_scores, r_scores))
+    }
+}
+
+impl Aero {
+    /// (Re)builds modules and the parameter store for `n` variates.
+    /// Deterministic given the config seed — identical register order on
+    /// every call, which is what makes [`Aero::load`] possible.
+    pub(crate) fn build_modules(&mut self, n: usize) -> DetectorResult<()> {
+        self.store = ParamStore::new();
+        self.stage1_history = TrainingHistory::default();
+        self.stage2_history = TrainingHistory::default();
+        let in_dim = if self.config.univariate_input { 1 } else { n };
+        if self.config.use_temporal {
+            let t = TemporalModule::new(&mut self.store, &self.config, in_dim, self.config.seed)?;
+            self.temporal_ids = t.param_ids();
+            self.temporal = Some(t);
+        } else {
+            self.temporal = None;
+            self.temporal_ids = Vec::new();
+        }
+        if self.config.use_noise_module {
+            let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5eed);
+            let omega = self.omega();
+            self.gcn = Some(GcnLayer::new_identity(
+                &mut self.store,
+                "noise.gcn",
+                omega,
+                Activation::Tanh,
+                &mut rng,
+            ));
+        } else {
+            self.gcn = None;
+        }
+        Ok(())
+    }
+
+    /// Direct access to the parameter store (used by persistence).
+    pub(crate) fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable access to the parameter store (used by persistence).
+    pub(crate) fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// The fitted scaler (used by persistence).
+    pub(crate) fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+
+    /// Restores trained state (used by persistence).
+    pub(crate) fn restore(&mut self, scaler: MinMaxScaler) {
+        self.scaler = scaler;
+        self.trained = true;
+    }
+}
+
+impl Detector for Aero {
+    fn name(&self) -> String {
+        "AERO".into()
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> DetectorResult<()> {
+        if train.len() < self.config.window + 1 {
+            return Err(DetectorError::Invalid(format!(
+                "training series of length {} too short for W={}",
+                train.len(),
+                self.config.window
+            )));
+        }
+        self.scaler = MinMaxScaler::new();
+        self.scaler.fit(train);
+        let scaled = self.scaler.transform(train)?;
+
+        self.build_modules(train.num_variates())?;
+
+        self.train_stage1(&scaled)?;
+        self.train_stage2(&scaled)?;
+        self.trained = true;
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        let n = scaled.num_variates();
+        let len = scaled.len();
+        let omega = self.omega();
+        let mut scores = Matrix::full(n, len, f32::INFINITY);
+        self.graphs.reset();
+        for end in self.score_ends(len) {
+            let (_, r) = self.window_residual(&scaled, end)?;
+            let start = end + 1 - omega;
+            for v in 0..n {
+                for t in 0..omega {
+                    let cur = scores.get(v, start + t);
+                    scores.set(v, start + t, cur.min(r.get(v, t).abs()));
+                }
+            }
+        }
+        // Unscored columns (warmup) get zero.
+        for v in 0..n {
+            for t in 0..len {
+                if scores.get(v, t).is_infinite() {
+                    scores.set(v, t, 0.0);
+                }
+            }
+        }
+        if self.config.score_smoothing > 1 {
+            let w = self.config.score_smoothing;
+            let warm = self.warmup();
+            for v in 0..n {
+                let smoothed =
+                    aero_timeseries::stats::moving_average(&scores.row(v)[warm..], w);
+                scores.row_mut(v)[warm..].copy_from_slice(&smoothed);
+            }
+        }
+        Ok(scores)
+    }
+
+    fn warmup(&self) -> usize {
+        self.config.window.saturating_sub(self.omega())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphMode;
+    use aero_datagen::SyntheticConfig;
+
+    fn tiny_dataset() -> aero_timeseries::Dataset {
+        SyntheticConfig::tiny(11).build()
+    }
+
+    #[test]
+    fn fit_then_score_shapes() {
+        let ds = tiny_dataset();
+        let mut aero = Aero::new(AeroConfig::tiny()).unwrap();
+        aero.fit(&ds.train).unwrap();
+        assert!(aero.is_trained());
+        assert!(aero.num_parameters() > 0);
+        let scores = aero.score(&ds.test).unwrap();
+        assert_eq!(scores.shape(), (ds.num_variates(), ds.test.len()));
+        assert!(!scores.has_non_finite());
+    }
+
+    #[test]
+    fn score_before_fit_errors() {
+        let ds = tiny_dataset();
+        let mut aero = Aero::new(AeroConfig::tiny()).unwrap();
+        assert!(aero.score(&ds.test).is_err());
+    }
+
+    #[test]
+    fn short_training_series_rejected() {
+        let mut aero = Aero::new(AeroConfig::tiny()).unwrap();
+        let short = MultivariateSeries::regular(aero_tensor::Matrix::zeros(2, 10));
+        assert!(aero.fit(&short).is_err());
+    }
+
+    #[test]
+    fn stage_losses_decrease() {
+        let ds = tiny_dataset();
+        let mut cfg = AeroConfig::tiny();
+        cfg.max_epochs = 4;
+        let mut aero = Aero::new(cfg).unwrap();
+        aero.fit(&ds.train).unwrap();
+        assert!(aero.stage1_history.epochs() >= 2);
+        assert!(aero.stage1_history.improved(), "{:?}", aero.stage1_history);
+        assert!(aero.stage2_history.epochs() >= 1);
+    }
+
+    #[test]
+    fn warmup_matches_window_difference() {
+        let cfg = AeroConfig::tiny();
+        let aero = Aero::new(cfg.clone()).unwrap();
+        assert_eq!(aero.warmup(), cfg.window - cfg.short_window);
+    }
+
+    #[test]
+    fn ablation_variants_all_run() {
+        let ds = tiny_dataset();
+        let variants: Vec<AeroConfig> = vec![
+            // 1i: w/o temporal
+            AeroConfig { use_temporal: false, ..AeroConfig::tiny() },
+            // 1ii: multivariate input
+            AeroConfig { univariate_input: false, ..AeroConfig::tiny() },
+            // 2i: w/o noise module
+            AeroConfig { use_noise_module: false, ..AeroConfig::tiny() },
+            // 2iii: static graph
+            AeroConfig { graph_mode: GraphMode::StaticComplete, ..AeroConfig::tiny() },
+            // 2iv: dynamic graph
+            AeroConfig { graph_mode: GraphMode::DynamicEwma { beta: 0.9 }, ..AeroConfig::tiny() },
+        ];
+        for cfg in variants {
+            let mut aero = Aero::new(cfg).unwrap();
+            aero.fit(&ds.train).unwrap();
+            let scores = aero.score(&ds.test).unwrap();
+            assert!(!scores.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn window_graph_is_square() {
+        let ds = tiny_dataset();
+        let mut aero = Aero::new(AeroConfig::tiny()).unwrap();
+        aero.fit(&ds.train).unwrap();
+        let g = aero
+            .window_graph(&ds.test, ds.test.len() - 1)
+            .unwrap();
+        assert_eq!(g.shape(), (ds.num_variates(), ds.num_variates()));
+    }
+
+    #[test]
+    fn stage_scores_cover_post_warmup_region() {
+        let ds = tiny_dataset();
+        let mut aero = Aero::new(AeroConfig::tiny()).unwrap();
+        aero.fit(&ds.train).unwrap();
+        let (e, r) = aero.stage_scores(&ds.test).unwrap();
+        assert_eq!(e.shape(), r.shape());
+        let warm = aero.warmup();
+        // After warmup, at least some scores should be non-zero.
+        let nonzero = (warm..ds.test.len()).any(|t| e.get(0, t) > 0.0);
+        assert!(nonzero);
+    }
+}

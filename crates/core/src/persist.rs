@@ -1,0 +1,150 @@
+//! Model persistence: save a trained [`Aero`] to JSON and load it back —
+//! train once offline, deploy in the online monitor.
+//!
+//! The file stores the configuration, the variate count, the fitted
+//! normalization statistics, and every parameter tensor. Loading rebuilds
+//! the module structure deterministically (same config seed ⇒ same
+//! parameter registration order) and overwrites the freshly-initialized
+//! values with the saved ones, verifying names and shapes.
+
+use std::path::Path;
+
+use aero_timeseries::MinMaxScaler;
+
+use crate::config::AeroConfig;
+use crate::detector::{DetectorError, DetectorResult};
+use crate::model::Aero;
+
+/// On-disk representation of a trained model.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct SavedAero {
+    /// Format version for forward compatibility.
+    version: u32,
+    config: AeroConfig,
+    num_variates: usize,
+    scaler_mins: Vec<f32>,
+    scaler_ranges: Vec<f32>,
+    /// `(name, rows, cols, values)` per parameter, in registration order.
+    params: Vec<(String, usize, usize, Vec<f32>)>,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Saves a trained model to `path` as JSON.
+pub fn save_model(model: &Aero, path: &Path) -> DetectorResult<()> {
+    if !model.is_trained() {
+        return Err(DetectorError::Invalid("cannot save an untrained model".into()));
+    }
+    let store = model.store();
+    let params: Vec<(String, usize, usize, Vec<f32>)> = store
+        .iter()
+        .map(|(_, p)| {
+            let v = p.value();
+            (p.name().to_string(), v.rows(), v.cols(), v.as_slice().to_vec())
+        })
+        .collect();
+    let saved = SavedAero {
+        version: FORMAT_VERSION,
+        config: model.config().clone(),
+        num_variates: model.scaler().mins().len(),
+        scaler_mins: model.scaler().mins().to_vec(),
+        scaler_ranges: model.scaler().ranges().to_vec(),
+        params,
+    };
+    let json = serde_json::to_string(&saved)
+        .map_err(|e| DetectorError::Invalid(format!("serialize: {e}")))?;
+    std::fs::write(path, json).map_err(|e| DetectorError::Invalid(format!("write: {e}")))?;
+    Ok(())
+}
+
+/// Loads a trained model from `path`.
+pub fn load_model(path: &Path) -> DetectorResult<Aero> {
+    let json =
+        std::fs::read_to_string(path).map_err(|e| DetectorError::Invalid(format!("read: {e}")))?;
+    let saved: SavedAero = serde_json::from_str(&json)
+        .map_err(|e| DetectorError::Invalid(format!("parse: {e}")))?;
+    if saved.version != FORMAT_VERSION {
+        return Err(DetectorError::Invalid(format!(
+            "unsupported model format version {}",
+            saved.version
+        )));
+    }
+
+    let mut model = Aero::new(saved.config)?;
+    model.build_modules(saved.num_variates)?;
+
+    // Overwrite the deterministic initialization with the saved values.
+    let store = model.store_mut();
+    if store.len() != saved.params.len() {
+        return Err(DetectorError::Invalid(format!(
+            "parameter count mismatch: store has {}, file has {}",
+            store.len(),
+            saved.params.len()
+        )));
+    }
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    for (id, (name, rows, cols, values)) in ids.into_iter().zip(saved.params) {
+        let current = store.get(id)?;
+        if current.name() != name {
+            return Err(DetectorError::Invalid(format!(
+                "parameter order mismatch: expected {}, file has {name}",
+                current.name()
+            )));
+        }
+        let m = aero_tensor::Matrix::from_vec(rows, cols, values)?;
+        store.set_value(id, m)?;
+    }
+
+    let scaler = MinMaxScaler::from_parts(saved.scaler_mins, saved.scaler_ranges)?;
+    model.restore(scaler);
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AeroConfig;
+    use crate::detector::Detector;
+    use aero_datagen::SyntheticConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("aero_persist_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrips_scores() {
+        let ds = SyntheticConfig::tiny(500).build();
+        let mut cfg = AeroConfig::tiny();
+        cfg.max_epochs = 2;
+        let mut model = Aero::new(cfg).unwrap();
+        model.fit(&ds.train).unwrap();
+        let original = model.score(&ds.test).unwrap();
+
+        let path = tmp("roundtrip.json");
+        save_model(&model, &path).unwrap();
+        let mut loaded = load_model(&path).unwrap();
+        assert!(loaded.is_trained());
+        let restored = loaded.score(&ds.test).unwrap();
+        assert_eq!(original, restored, "loaded model must score identically");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn untrained_model_refuses_to_save() {
+        let model = Aero::new(AeroConfig::tiny()).unwrap();
+        assert!(save_model(&model, &tmp("untrained.json")).is_err());
+    }
+
+    #[test]
+    fn corrupted_file_rejected() {
+        let path = tmp("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_rejected() {
+        assert!(load_model(Path::new("/definitely/not/here.json")).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Temporal reconstruction module (paper §III-C, Fig. 4b).
+//!
+//! A Transformer encoder-decoder applied (by default) independently to each
+//! variate: the encoder reads the long window `W` for context, the decoder
+//! reconstructs the short window `ω` through cross-attention, and a
+//! sigmoid-terminated FFN emits the normalized reconstruction `Ŷ₁`.
+
+use aero_nn::{Activation, DecoderLayer, EncoderLayer, Linear, TimeEmbedding};
+use aero_tensor::{Graph, Matrix, NodeId, ParamId, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::AeroConfig;
+use crate::detector::{DetectorError, DetectorResult};
+
+/// The temporal reconstruction network. `in_dim` is 1 for the paper's
+/// univariate-input mode and `N` for the Table IV "w/o univariate input"
+/// ablation.
+#[derive(Debug, Clone)]
+pub struct TemporalModule {
+    enc_embed: Linear,
+    dec_embed: Linear,
+    time: TimeEmbedding,
+    encoders: Vec<EncoderLayer>,
+    decoder: DecoderLayer,
+    out_hidden: Linear,
+    out_proj: Linear,
+    in_dim: usize,
+}
+
+impl TemporalModule {
+    /// Registers all parameters in `store`. `in_dim` is the token width.
+    pub fn new(
+        store: &mut ParamStore,
+        config: &AeroConfig,
+        in_dim: usize,
+        seed: u64,
+    ) -> DetectorResult<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = config.d_model;
+        let enc_embed = Linear::new(store, "temporal.enc_embed", in_dim, d, Activation::Identity, &mut rng);
+        let dec_embed = Linear::new(store, "temporal.dec_embed", in_dim, d, Activation::Identity, &mut rng);
+        let time = TimeEmbedding::new(store, "temporal.time", d, &mut rng);
+        let encoders = (0..config.encoder_layers)
+            .map(|i| EncoderLayer::new(store, &format!("temporal.enc{i}"), d, config.heads, config.d_ff, &mut rng))
+            .collect::<Result<Vec<_>, _>>()?;
+        let decoder = DecoderLayer::new(store, "temporal.dec", d, config.heads, &mut rng)?;
+        let out_hidden = Linear::new(store, "temporal.out1", d, config.d_ff, Activation::Relu, &mut rng);
+        let out_proj = Linear::new(store, "temporal.out2", config.d_ff, in_dim, Activation::Identity, &mut rng);
+        Ok(Self { enc_embed, dec_embed, time, encoders, decoder, out_hidden, out_proj, in_dim })
+    }
+
+    /// Token width (1 = univariate mode).
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// All parameter ids (for stage-2 freezing).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.enc_embed.param_ids();
+        ids.extend(self.dec_embed.param_ids());
+        ids.extend(self.time.param_ids());
+        for e in &self.encoders {
+            ids.extend(e.param_ids());
+        }
+        ids.extend(self.decoder.param_ids());
+        ids.extend(self.out_hidden.param_ids());
+        ids.extend(self.out_proj.param_ids());
+        ids
+    }
+
+    /// Records the reconstruction of one window on the tape.
+    ///
+    /// * `long` — `W × in_dim` token matrix (Eq. 3's `L_t`, transposed to
+    ///   token-major layout).
+    /// * `short` — `ω × in_dim` token matrix (`S_t`).
+    /// * `positions`/`deltas` — absolute positions and inter-observation
+    ///   intervals for the long window; the short window uses the trailing
+    ///   `ω` entries.
+    ///
+    /// Returns the `ω × in_dim` reconstruction `Ŷ₁` in `[0, 1]` (Eq. 9–10).
+    pub fn reconstruct(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        long: &Matrix,
+        short: &Matrix,
+        positions: &[f32],
+        deltas: &[f32],
+    ) -> DetectorResult<NodeId> {
+        let w = long.rows();
+        let omega = short.rows();
+        if positions.len() != w || deltas.len() != w {
+            return Err(DetectorError::Invalid(format!(
+                "need {w} positions/deltas, got {}/{}",
+                positions.len(),
+                deltas.len()
+            )));
+        }
+        if omega > w {
+            return Err(DetectorError::Invalid(format!("ω={omega} exceeds W={w}")));
+        }
+
+        // Input embeddings (Eq. 4): linear projection + time embedding.
+        let long_n = g.constant(long.clone());
+        let short_n = g.constant(short.clone());
+        let te_long = self.time.forward(g, store, positions, deltas)?;
+        let ie = self.enc_embed.forward(g, store, long_n)?;
+        let ie = g.add(ie, te_long)?;
+        let te_short = self
+            .time
+            .forward(g, store, &positions[w - omega..], &deltas[w - omega..])?;
+        let id_ = self.dec_embed.forward(g, store, short_n)?;
+        let id_ = g.add(id_, te_short)?;
+
+        // Encoder over the long context (Eq. 7).
+        let mut enc = ie;
+        for layer in &self.encoders {
+            enc = layer.forward(g, store, enc)?;
+        }
+
+        // Decoder: short-window queries cross-attend into the encoder (Eq. 8).
+        let dec = self.decoder.forward(g, store, id_, enc)?;
+
+        // Output head (Eq. 9): Sigmoid(FFN(O'_D)).
+        let h = self.out_hidden.forward(g, store, dec)?;
+        let o = self.out_proj.forward(g, store, h)?;
+        Ok(g.sigmoid(o)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(in_dim: usize) -> (TemporalModule, ParamStore, AeroConfig) {
+        let cfg = AeroConfig::tiny();
+        let mut store = ParamStore::new();
+        let m = TemporalModule::new(&mut store, &cfg, in_dim, 42).unwrap();
+        (m, store, cfg)
+    }
+
+    #[test]
+    fn reconstruction_has_short_window_shape() {
+        let (m, store, cfg) = module(1);
+        let w = cfg.window;
+        let omega = cfg.short_window;
+        let long = Matrix::from_fn(w, 1, |r, _| (r as f32 / w as f32).sin() * 0.5 + 0.5);
+        let short = long.slice_rows(w - omega, omega).unwrap();
+        let positions: Vec<f32> = (0..w).map(|i| i as f32).collect();
+        let deltas = vec![1.0f32; w];
+        let mut g = Graph::new();
+        let out = m
+            .reconstruct(&mut g, &store, &long, &short, &positions, &deltas)
+            .unwrap();
+        let v = g.value(out).unwrap();
+        assert_eq!(v.shape(), (omega, 1));
+        // Sigmoid output stays in (0, 1).
+        assert!(v.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn multivariate_mode_emits_all_variates() {
+        let (m, store, cfg) = module(3);
+        let w = cfg.window;
+        let omega = cfg.short_window;
+        let long = Matrix::from_fn(w, 3, |r, c| ((r + c) as f32 * 0.1).cos() * 0.4 + 0.5);
+        let short = long.slice_rows(w - omega, omega).unwrap();
+        let positions: Vec<f32> = (0..w).map(|i| i as f32).collect();
+        let deltas = vec![1.0f32; w];
+        let mut g = Graph::new();
+        let out = m
+            .reconstruct(&mut g, &store, &long, &short, &positions, &deltas)
+            .unwrap();
+        assert_eq!(g.value(out).unwrap().shape(), (omega, 3));
+    }
+
+    #[test]
+    fn rejects_mismatched_positions() {
+        let (m, store, cfg) = module(1);
+        let w = cfg.window;
+        let long = Matrix::zeros(w, 1);
+        let short = Matrix::zeros(cfg.short_window, 1);
+        let mut g = Graph::new();
+        let bad_pos = vec![0.0f32; w - 1];
+        let deltas = vec![1.0f32; w];
+        assert!(m
+            .reconstruct(&mut g, &store, &long, &short, &bad_pos, &deltas)
+            .is_err());
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let (m, mut store, cfg) = module(1);
+        let w = cfg.window;
+        let omega = cfg.short_window;
+        // A clean sinusoid in [0,1].
+        let long = Matrix::from_fn(w, 1, |r, _| (r as f32 * 0.3).sin() * 0.4 + 0.5);
+        let short = long.slice_rows(w - omega, omega).unwrap();
+        let positions: Vec<f32> = (0..w).map(|i| i as f32).collect();
+        let deltas = vec![1.0f32; w];
+        let mut opt = aero_tensor::Adam::new(2e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let out = m
+                .reconstruct(&mut g, &store, &long, &short, &positions, &deltas)
+                .unwrap();
+            let loss = g.mse_loss(out, &short).unwrap();
+            last = g.value(loss).unwrap().scalar_value().unwrap();
+            if first.is_none() {
+                first = Some(last);
+            }
+            g.backward(loss, &mut store).unwrap();
+            opt.step(&mut store).unwrap();
+        }
+        assert!(
+            last < first.unwrap() * 0.8,
+            "loss did not drop: {} → {last}",
+            first.unwrap()
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! True-anomaly templates (paper Fig. 5).
+//!
+//! The paper injects anomaly shapes from two PLAsTiCC classes plus the
+//! white-light flare morphology of Davenport et al. (2014). We implement the
+//! flare analytically and cover the PLAsTiCC morphology space with
+//! parametric templates: transit-like dips, step changes (e.g. eclipsing
+//! binaries entering eclipse), single-point spikes, and microlensing-style
+//! symmetric bumps.
+
+use aero_timeseries::{LabelGrid, MultivariateSeries};
+use rand::Rng;
+
+use crate::rng::choose_indices;
+
+/// Anomaly morphology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Davenport et al. (2014) white-light flare: polynomial rise, two-phase
+    /// exponential decay.
+    Flare,
+    /// Box-shaped transit dip with soft ingress/egress.
+    TransitDip,
+    /// Box-profile step change held for the whole segment.
+    Step,
+    /// Short impulsive spike (1–3 points).
+    Spike,
+    /// Symmetric microlensing-like bump (Gaussian profile).
+    MicrolensBump,
+}
+
+impl AnomalyKind {
+    /// All template kinds.
+    pub const ALL: [AnomalyKind; 5] = [
+        Self::Flare,
+        Self::TransitDip,
+        Self::Step,
+        Self::Spike,
+        Self::MicrolensBump,
+    ];
+
+    /// Template value at offset `i` in a segment of length `len`, with peak
+    /// magnitude `magnitude` (positive = brightening).
+    pub fn value(&self, i: usize, len: usize, magnitude: f32) -> f32 {
+        let len = len.max(1);
+        let frac = i as f32 / len as f32;
+        match self {
+            Self::Flare => {
+                // Rise for the first 15% (quartic polynomial shape), then
+                // fast+slow exponential decay (Davenport's two-phase model).
+                let peak = 0.15f32;
+                if frac < peak {
+                    let x = frac / peak; // 0 → 1
+                    magnitude * (1.0 + 1.941 * (x - 1.0) - 0.175 * (x - 1.0).powi(2)
+                        - 2.246 * (x - 1.0).powi(3)
+                        - 1.125 * (x - 1.0).powi(4))
+                        .max(0.0)
+                } else {
+                    let x = (frac - peak) / (1.0 - peak);
+                    magnitude * (0.689 * (-1.6 * x * 6.0).exp() + 0.303 * (-0.2783 * x * 6.0).exp())
+                }
+            }
+            Self::TransitDip => {
+                // Soft trapezoid: ingress 10%, flat bottom, egress 10%.
+                let edge = 0.1f32;
+                let depth = if frac < edge {
+                    frac / edge
+                } else if frac > 1.0 - edge {
+                    (1.0 - frac) / edge
+                } else {
+                    1.0
+                };
+                -magnitude * depth
+            }
+            Self::Step => magnitude,
+            Self::Spike => magnitude,
+            Self::MicrolensBump => {
+                let x = (frac - 0.5) / 0.18;
+                magnitude * (-0.5 * x * x).exp()
+            }
+        }
+    }
+
+    /// Typical segment length range (in samples) for this morphology.
+    pub fn span_range(&self) -> std::ops::Range<usize> {
+        match self {
+            Self::Flare => 20..50,
+            Self::TransitDip => 25..60,
+            Self::Step => 30..70,
+            Self::Spike => 1..4,
+            Self::MicrolensBump => 30..60,
+        }
+    }
+}
+
+/// One injected anomaly.
+#[derive(Debug, Clone)]
+pub struct AnomalyEvent {
+    /// Morphology.
+    pub kind: AnomalyKind,
+    /// Affected variate (true anomalies are single-star events).
+    pub variate: usize,
+    /// First affected timestamp.
+    pub start: usize,
+    /// Segment length.
+    pub len: usize,
+    /// Peak magnitude.
+    pub magnitude: f32,
+}
+
+impl AnomalyEvent {
+    /// Applies the anomaly, marking the segment in `labels`.
+    pub fn apply(&self, series: &mut MultivariateSeries, labels: &mut LabelGrid) {
+        let end = (self.start + self.len).min(series.len());
+        for t in self.start..end {
+            let add = self.kind.value(t - self.start, self.len, self.magnitude);
+            let cur = series.get(self.variate, t);
+            series.values_mut().set(self.variate, t, cur + add);
+        }
+        if end > self.start {
+            let _ = labels.mark_range(self.variate, self.start, end - 1);
+        }
+    }
+}
+
+/// Injects `count` anomaly segments at random non-overlapping positions on
+/// random variates, cycling through the template kinds. Returns the events.
+pub fn inject_anomalies(
+    series: &mut MultivariateSeries,
+    labels: &mut LabelGrid,
+    rng: &mut impl Rng,
+    count: usize,
+    magnitude: std::ops::Range<f32>,
+) -> Vec<AnomalyEvent> {
+    let n = series.num_variates();
+    let len = series.len();
+    let mut events = Vec::with_capacity(count);
+    // Spread across distinct variates when possible.
+    let variates = if count <= n {
+        choose_indices(rng, n, count)
+    } else {
+        (0..count).map(|i| i % n).collect()
+    };
+    for (i, &variate) in variates.iter().enumerate() {
+        let kind = AnomalyKind::ALL[i % AnomalyKind::ALL.len()];
+        let span = kind.span_range();
+        let seg_len = rng.gen_range(span).min(len);
+        // Retry a few times to avoid overlapping a previous event on the
+        // same variate.
+        let mut start = rng.gen_range(0..len.saturating_sub(seg_len).max(1));
+        for _ in 0..20 {
+            let overlaps = events.iter().any(|e: &AnomalyEvent| {
+                e.variate == variate && start < e.start + e.len + 5 && e.start < start + seg_len + 5
+            });
+            if !overlaps {
+                break;
+            }
+            start = rng.gen_range(0..len.saturating_sub(seg_len).max(1));
+        }
+        let ev = AnomalyEvent {
+            kind,
+            variate,
+            start,
+            len: seg_len,
+            magnitude: rng.gen_range(magnitude.clone()),
+        };
+        ev.apply(series, labels);
+        events.push(ev);
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flare_rises_fast_and_decays() {
+        let k = AnomalyKind::Flare;
+        let len = 40;
+        let vals: Vec<f32> = (0..len).map(|i| k.value(i, len, 3.0)).collect();
+        let peak_idx = vals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // Peak occurs in the first quarter; decay is monotone after it.
+        assert!(peak_idx < len / 4, "peak at {peak_idx}");
+        assert!(vals[peak_idx] > 2.0);
+        assert!(vals[len - 1] < vals[peak_idx] * 0.5);
+    }
+
+    #[test]
+    fn transit_dip_is_negative_with_flat_bottom() {
+        let k = AnomalyKind::TransitDip;
+        let vals: Vec<f32> = (0..30).map(|i| k.value(i, 30, 1.0)).collect();
+        assert!(vals.iter().all(|&v| v <= 0.0));
+        assert!((vals[15] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn microlens_bump_is_symmetric() {
+        let k = AnomalyKind::MicrolensBump;
+        let len = 41;
+        for i in 0..len / 2 {
+            let a = k.value(i, len, 2.0);
+            let b = k.value(len - i, len, 2.0);
+            assert!((a - b).abs() < 0.05, "asymmetry at {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn inject_marks_requested_segments() {
+        let mut s = MultivariateSeries::regular(Matrix::zeros(8, 1000));
+        let mut labels = LabelGrid::new(8, 1000);
+        let mut rng = StdRng::seed_from_u64(9);
+        let events = inject_anomalies(&mut s, &mut labels, &mut rng, 5, 2.0..4.0);
+        assert_eq!(events.len(), 5);
+        assert_eq!(labels.segments().len(), 5);
+        // Each event altered at least one value.
+        for e in &events {
+            let changed = (e.start..(e.start + e.len).min(1000))
+                .any(|t| s.get(e.variate, t).abs() > 1e-3);
+            assert!(changed, "event {e:?} left no trace");
+        }
+    }
+
+    #[test]
+    fn more_events_than_variates_wraps_around() {
+        let mut s = MultivariateSeries::regular(Matrix::zeros(2, 2000));
+        let mut labels = LabelGrid::new(2, 2000);
+        let mut rng = StdRng::seed_from_u64(10);
+        let events = inject_anomalies(&mut s, &mut labels, &mut rng, 4, 2.0..3.0);
+        assert_eq!(events.len(), 4);
+    }
+}

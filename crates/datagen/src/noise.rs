@@ -1,0 +1,275 @@
+//! Concurrent-noise injectors (paper §IV-A).
+//!
+//! Three noise families, each hitting a random *subset* of stars over the
+//! same random time span — the spatial and temporal randomness that defeats
+//! static and dynamic graph learners:
+//!
+//! 1. **Drift** — mean shift up or down.
+//! 2. **Darkening** — cloud-cover dip: half a period of a trigonometric
+//!    function (dip then recovery).
+//! 3. **Brightening** — dawn effect: exponentially growing brightness.
+
+use aero_timeseries::{LabelGrid, MultivariateSeries};
+use rand::Rng;
+
+use crate::rng::choose_indices;
+
+/// Noise family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// Constant mean shift.
+    Drift,
+    /// Half-sine dip (darkening then recovery).
+    Darkening,
+    /// Exponential brightening.
+    Brightening,
+}
+
+impl NoiseKind {
+    /// All families, for round-robin injection.
+    pub const ALL: [NoiseKind; 3] = [Self::Drift, Self::Darkening, Self::Brightening];
+
+    /// Additive noise value at offset `i` of a span of length `len`, with
+    /// overall magnitude `magnitude`.
+    pub fn value(&self, i: usize, len: usize, magnitude: f32) -> f32 {
+        let frac = if len <= 1 { 0.0 } else { i as f32 / (len - 1) as f32 };
+        match self {
+            Self::Drift => magnitude,
+            // Half period of sin: 0 → −magnitude → 0 (a dip when magnitude>0).
+            Self::Darkening => -magnitude * (std::f32::consts::PI * frac).sin(),
+            // exp ramp normalized to [0, magnitude].
+            Self::Brightening => {
+                let e = ((3.0 * frac).exp() - 1.0) / (3.0f32.exp() - 1.0);
+                magnitude * e
+            }
+        }
+    }
+}
+
+/// One injected concurrent-noise event.
+#[derive(Debug, Clone)]
+pub struct NoiseEvent {
+    /// Which family.
+    pub kind: NoiseKind,
+    /// Affected variates.
+    pub variates: Vec<usize>,
+    /// First affected timestamp.
+    pub start: usize,
+    /// Span length in samples.
+    pub len: usize,
+    /// Magnitude scale.
+    pub magnitude: f32,
+}
+
+impl NoiseEvent {
+    /// Samples a random event touching `n_affected` of `n_total` stars.
+    pub fn random(
+        rng: &mut impl Rng,
+        kind: NoiseKind,
+        n_total: usize,
+        n_affected: usize,
+        series_len: usize,
+        span: std::ops::Range<usize>,
+        magnitude: std::ops::Range<f32>,
+    ) -> Self {
+        let len = rng.gen_range(span).min(series_len);
+        let start = rng.gen_range(0..series_len.saturating_sub(len).max(1));
+        Self {
+            kind,
+            variates: choose_indices(rng, n_total, n_affected),
+            start,
+            len,
+            magnitude: rng.gen_range(magnitude),
+        }
+    }
+
+    /// Applies the event to `series`, marking affected points in `mask`.
+    ///
+    /// Per-star jitter (±10% magnitude) keeps affected stars similar but not
+    /// identical, matching real atmospheric interference.
+    pub fn apply(&self, series: &mut MultivariateSeries, mask: &mut LabelGrid, rng: &mut impl Rng) {
+        let end = (self.start + self.len).min(series.len());
+        for &v in &self.variates {
+            let jitter = 1.0 + rng.gen_range(-0.1..0.1);
+            for t in self.start..end {
+                let add = self.kind.value(t - self.start, self.len, self.magnitude * jitter);
+                let cur = series.get(v, t);
+                series.values_mut().set(v, t, cur + add);
+            }
+            if end > self.start {
+                let _ = mask.mark_range(v, self.start, end - 1);
+            }
+        }
+    }
+}
+
+/// Fraction of masked points within a column region.
+fn region_fraction(mask: &LabelGrid, region: &std::ops::Range<usize>) -> f64 {
+    let cols = region.end.saturating_sub(region.start);
+    if cols == 0 || mask.rows() == 0 {
+        return 0.0;
+    }
+    let mut count = 0usize;
+    for r in 0..mask.rows() {
+        for c in region.clone() {
+            if mask.get(r, c) {
+                count += 1;
+            }
+        }
+    }
+    count as f64 / (mask.rows() * cols) as f64
+}
+
+/// Injects events round-robin over the three noise families into the column
+/// `region` until the fraction of masked points *within that region* reaches
+/// `target_fraction` (or `max_events` is hit). Injecting per region lets the
+/// train and test splits each match the paper's Table I noise percentages.
+#[allow(clippy::too_many_arguments)]
+pub fn inject_noise_to_fraction(
+    series: &mut MultivariateSeries,
+    mask: &mut LabelGrid,
+    rng: &mut impl Rng,
+    target_fraction: f64,
+    affected: std::ops::Range<usize>,
+    span: std::ops::Range<usize>,
+    magnitude: std::ops::Range<f32>,
+    allowed_variates: &[usize],
+    region: std::ops::Range<usize>,
+    max_events: usize,
+) -> Vec<NoiseEvent> {
+    let region = region.start.min(series.len())..region.end.min(series.len());
+    let region_len = region.end.saturating_sub(region.start);
+    if region_len == 0 {
+        return Vec::new();
+    }
+    let mut events = Vec::new();
+    let mut kind_idx = 0;
+    while region_fraction(mask, &region) < target_fraction && events.len() < max_events {
+        let kind = NoiseKind::ALL[kind_idx % NoiseKind::ALL.len()];
+        kind_idx += 1;
+        let n_affected = rng.gen_range(affected.clone()).min(allowed_variates.len());
+        let len = rng.gen_range(span.clone()).min(region_len);
+        let start = region.start
+            + rng.gen_range(0..region_len.saturating_sub(len).max(1));
+        let mut ev = NoiseEvent {
+            kind,
+            variates: choose_indices(rng, allowed_variates.len(), n_affected),
+            start,
+            len,
+            magnitude: rng.gen_range(magnitude.clone()),
+        };
+        // Map the chosen indices into the allowed subset (the paper's
+        // synthetic sets restrict noise to 17 of 24 variates).
+        ev.variates = ev.variates.iter().map(|&i| allowed_variates[i]).collect();
+        ev.apply(series, mask, rng);
+        events.push(ev);
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat_series(n: usize, t: usize) -> MultivariateSeries {
+        MultivariateSeries::regular(Matrix::zeros(n, t))
+    }
+
+    #[test]
+    fn drift_is_constant_shift() {
+        assert_eq!(NoiseKind::Drift.value(0, 10, 1.5), 1.5);
+        assert_eq!(NoiseKind::Drift.value(9, 10, 1.5), 1.5);
+    }
+
+    #[test]
+    fn darkening_dips_and_recovers() {
+        let k = NoiseKind::Darkening;
+        assert!(k.value(0, 11, 1.0).abs() < 1e-6);
+        assert!((k.value(5, 11, 1.0) + 1.0).abs() < 1e-6); // trough at midpoint
+        assert!(k.value(10, 11, 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn brightening_monotone_increasing() {
+        let k = NoiseKind::Brightening;
+        let vals: Vec<f32> = (0..10).map(|i| k.value(i, 10, 2.0)).collect();
+        assert!(vals.windows(2).all(|w| w[1] > w[0]));
+        assert!(vals[0].abs() < 1e-6);
+        assert!((vals[9] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn event_marks_exactly_affected_region() {
+        let mut s = flat_series(4, 100);
+        let mut mask = LabelGrid::new(4, 100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ev = NoiseEvent {
+            kind: NoiseKind::Drift,
+            variates: vec![1, 3],
+            start: 10,
+            len: 5,
+            magnitude: 2.0,
+        };
+        ev.apply(&mut s, &mut mask, &mut rng);
+        assert_eq!(mask.count(), 10);
+        assert!(mask.get(1, 10) && mask.get(3, 14));
+        assert!(!mask.get(0, 12) && !mask.get(1, 9) && !mask.get(1, 15));
+        // Values moved where masked, unchanged elsewhere.
+        assert!(s.get(1, 12).abs() > 1.0);
+        assert_eq!(s.get(0, 12), 0.0);
+    }
+
+    #[test]
+    fn inject_respects_region() {
+        let mut s = flat_series(6, 400);
+        let mut mask = LabelGrid::new(6, 400);
+        let mut rng = StdRng::seed_from_u64(9);
+        let allowed: Vec<usize> = (0..6).collect();
+        inject_noise_to_fraction(
+            &mut s,
+            &mut mask,
+            &mut rng,
+            0.05,
+            2..4,
+            10..30,
+            1.0..2.0,
+            &allowed,
+            200..400,
+            100,
+        );
+        // Nothing lands before the region start.
+        for r in 0..6 {
+            assert!(mask.row(r)[..200].iter().all(|&b| !b));
+        }
+        assert!(mask.row(0).len() == 400);
+    }
+
+    #[test]
+    fn inject_reaches_target_fraction() {
+        let mut s = flat_series(10, 500);
+        let mut mask = LabelGrid::new(10, 500);
+        let mut rng = StdRng::seed_from_u64(8);
+        let allowed: Vec<usize> = (0..8).collect();
+        let events = inject_noise_to_fraction(
+            &mut s,
+            &mut mask,
+            &mut rng,
+            0.02,
+            3..6,
+            20..40,
+            1.0..2.0,
+            &allowed,
+            0..500,
+            100,
+        );
+        assert!(!events.is_empty());
+        assert!(mask.fraction() >= 0.02);
+        // Only allowed variates are affected.
+        for r in 8..10 {
+            assert!(mask.row(r).iter().all(|&v| !v));
+        }
+    }
+}

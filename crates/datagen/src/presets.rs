@@ -1,0 +1,250 @@
+//! Synthetic dataset presets matching the paper's Table I.
+//!
+//! | Dataset         | train | test | N  | Anomaly% | Noise% | Segments | Noise variates |
+//! |-----------------|-------|------|----|----------|--------|----------|----------------|
+//! | SyntheticMiddle | 4000  | 4000 | 24 | 0.180    | 1.719  | 5        | 17/24          |
+//! | SyntheticHigh   | 4000  | 4000 | 24 | 0.359    | 1.719  | 10       | 17/24          |
+//! | SyntheticLow    | 4000  | 4000 | 24 | 0.180    | 3.438  | 5        | 17/24          |
+//!
+//! "High"/"Low" refer to the anomaly-to-noise ratio: High doubles the
+//! anomalous points, Low doubles the concurrent noise.
+
+use aero_tensor::Matrix;
+use aero_timeseries::{Dataset, LabelGrid, MultivariateSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::anomalies::inject_anomalies;
+use crate::noise::inject_noise_to_fraction;
+use crate::signals::star_population;
+
+/// Configuration of one synthetic dataset build.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Dataset name.
+    pub name: String,
+    /// RNG seed (datasets are fully reproducible).
+    pub seed: u64,
+    /// Training timestamps.
+    pub train_len: usize,
+    /// Test timestamps.
+    pub test_len: usize,
+    /// Number of stars.
+    pub variates: usize,
+    /// Fraction of variable (periodic) stars.
+    pub frac_variable: f64,
+    /// Anomaly segments injected into the test split.
+    pub anomaly_segments: usize,
+    /// Target fraction of noise-affected points (both splits).
+    pub noise_fraction: f64,
+    /// Number of variates eligible for concurrent noise.
+    pub noise_variates: usize,
+}
+
+impl SyntheticConfig {
+    /// The paper's SyntheticMiddle.
+    pub fn middle() -> Self {
+        Self {
+            name: "SyntheticMiddle".into(),
+            seed: 20240701,
+            train_len: 4000,
+            test_len: 4000,
+            variates: 24,
+            frac_variable: 0.4,
+            anomaly_segments: 5,
+            noise_fraction: 0.01719,
+            noise_variates: 17,
+        }
+    }
+
+    /// The paper's SyntheticHigh (anomalous points doubled).
+    pub fn high() -> Self {
+        Self {
+            name: "SyntheticHigh".into(),
+            seed: 20240702,
+            anomaly_segments: 10,
+            ..Self::middle()
+        }
+    }
+
+    /// The paper's SyntheticLow (concurrent noise doubled).
+    pub fn low() -> Self {
+        Self {
+            name: "SyntheticLow".into(),
+            seed: 20240703,
+            noise_fraction: 0.03438,
+            ..Self::middle()
+        }
+    }
+
+    /// A miniature configuration for fast tests (not a paper dataset).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            name: "SyntheticTiny".into(),
+            seed,
+            train_len: 400,
+            test_len: 400,
+            variates: 8,
+            frac_variable: 0.4,
+            anomaly_segments: 2,
+            noise_fraction: 0.02,
+            noise_variates: 6,
+        }
+    }
+
+    /// Builds the dataset.
+    pub fn build(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total = self.train_len + self.test_len;
+
+        // 1. Base signals: a fixed population generates both splits so the
+        //    normal patterns learned on train transfer to test.
+        let population = star_population(self.variates, self.frac_variable, &mut rng);
+        let mut values = Matrix::zeros(self.variates, total);
+        for (n, kind) in population.iter().enumerate() {
+            for t in 0..total {
+                values.set(n, t, kind.sample(t as f32, &mut rng));
+            }
+        }
+        let mut series = MultivariateSeries::regular(values);
+        let mut noise_mask = LabelGrid::new(self.variates, total);
+        let labels = LabelGrid::new(self.variates, total);
+
+        // 2. Concurrent noise over the whole span, restricted to the first
+        //    `noise_variates` stars (Table I's 17/24).
+        let allowed: Vec<usize> = (0..self.noise_variates).collect();
+        for region in [0..self.train_len, self.train_len..total] {
+            inject_noise_to_fraction(
+                &mut series,
+                &mut noise_mask,
+                &mut rng,
+                self.noise_fraction,
+                (3.max(self.noise_variates / 4))..self.noise_variates.max(4),
+                30..90,
+                0.8..2.0,
+                &allowed,
+                region,
+                10_000,
+            );
+        }
+
+        // Guarantee every eligible variate carries some noise (Table I's
+        // 17/24 is the count of variates touched at least once).
+        for &v in &allowed {
+            if !noise_mask.row(v).iter().any(|&b| b) {
+                let start = rng.gen_range(0..total.saturating_sub(50).max(1));
+                let ev = crate::noise::NoiseEvent {
+                    kind: crate::noise::NoiseKind::Drift,
+                    variates: vec![v],
+                    start,
+                    len: 40,
+                    magnitude: 1.0,
+                };
+                ev.apply(&mut series, &mut noise_mask, &mut rng);
+            }
+        }
+
+        // 3. True anomalies only in the test half (training is treated as
+        //    nominal, as in the paper's unsupervised protocol).
+        let (mut test_series_half, test_labels, test_noise, train_series, train_noise) = {
+            let (train_series, test_series) = series.split_at(self.train_len).expect("split");
+            let (train_noise, test_noise) = noise_mask.split_at(self.train_len).expect("split");
+            let (_, test_labels) = labels.split_at(self.train_len).expect("split");
+            (test_series, test_labels, test_noise, train_series, train_noise)
+        };
+        let mut test_labels = test_labels;
+        inject_anomalies(
+            &mut test_series_half,
+            &mut test_labels,
+            &mut rng,
+            self.anomaly_segments,
+            2.0..4.0,
+        );
+
+        let ds = Dataset {
+            name: self.name.clone(),
+            train: train_series,
+            test: test_series_half,
+            test_labels,
+            test_noise,
+            train_noise,
+        };
+        debug_assert!(ds.validate().is_ok());
+        ds
+    }
+}
+
+/// Builds all three paper synthetic datasets.
+pub fn synthetic_suite() -> Vec<Dataset> {
+    vec![
+        SyntheticConfig::middle().build(),
+        SyntheticConfig::high().build(),
+        SyntheticConfig::low().build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_is_consistent() {
+        let ds = SyntheticConfig::tiny(1).build();
+        assert!(ds.validate().is_ok());
+        assert_eq!(ds.num_variates(), 8);
+        assert_eq!(ds.train.len(), 400);
+        assert_eq!(ds.test.len(), 400);
+        assert_eq!(ds.test_labels.segments().len(), 2);
+    }
+
+    #[test]
+    fn middle_matches_table1_shape() {
+        let ds = SyntheticConfig::middle().build();
+        let stats = ds.stats();
+        assert_eq!(stats.variates, 24);
+        assert_eq!(stats.train_len, 4000);
+        assert_eq!(stats.test_len, 4000);
+        assert_eq!(stats.anomaly_segments, 5);
+        assert_eq!(stats.noise_variates, "17/24");
+        // Anomaly% in the right ballpark of 0.180 (segment lengths are random).
+        assert!(stats.anomaly_pct > 0.05 && stats.anomaly_pct < 0.5, "{}", stats.anomaly_pct);
+        // Noise% reaches at least the target.
+        assert!(stats.noise_pct >= 1.7, "{}", stats.noise_pct);
+    }
+
+    #[test]
+    fn high_has_double_segments_low_has_double_noise() {
+        let mid = SyntheticConfig::middle().build().stats();
+        let high = SyntheticConfig::high().build().stats();
+        let low = SyntheticConfig::low().build().stats();
+        assert_eq!(high.anomaly_segments, 2 * mid.anomaly_segments);
+        assert!(low.noise_pct > 1.5 * mid.noise_pct);
+        // Ordering of A/N ratios follows the paper: High > Middle > Low.
+        assert!(high.a_n_ratio > mid.a_n_ratio);
+        assert!(mid.a_n_ratio > low.a_n_ratio);
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = SyntheticConfig::tiny(7).build();
+        let b = SyntheticConfig::tiny(7).build();
+        assert_eq!(a.train.values(), b.train.values());
+        assert_eq!(a.test_labels, b.test_labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticConfig::tiny(7).build();
+        let b = SyntheticConfig::tiny(8).build();
+        assert_ne!(a.train.values(), b.train.values());
+    }
+
+    #[test]
+    fn anomalies_only_in_test_split() {
+        let ds = SyntheticConfig::tiny(3).build();
+        // Train labels are implicitly all-false: noise exists in train but
+        // anomaly ground truth applies to test only.
+        assert!(ds.test_labels.count() > 0);
+        assert!(ds.train_noise.count() > 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Random-sampling helpers (no `rand_distr` dependency; see DESIGN.md §6).
+
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller.
+pub fn randn(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, mean: f32, std: f32) -> f32 {
+    mean + std * randn(rng)
+}
+
+/// Chooses `k` distinct indices from `0..n` (k ≤ n), in random order.
+pub fn choose_indices(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates: shuffle only the first k slots.
+    let k = k.min(n);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f32> = (0..30000).map(|_| randn(&mut rng)).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!(mean.abs() < 0.02);
+        assert!((var - 1.0).abs() < 0.04);
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f32> = (0..30000).map(|_| normal(&mut rng, 5.0, 0.2)).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / xs.len() as f32;
+        assert!((mean - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn choose_indices_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let idx = choose_indices(&mut rng, 10, 6);
+            assert_eq!(idx.len(), 6);
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6);
+            assert!(sorted.iter().all(|&i| i < 10));
+        }
+        assert_eq!(choose_indices(&mut rng, 3, 10).len(), 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Basic star-signal generators (paper §IV-A).
+//!
+//! Non-variable stars follow `N(0, 0.2²)`; variable stars follow
+//! `f(t, T) = 2·sin(2π/T · pos_t)` with added Gaussian noise, cycle `T`
+//! sampled from `[100, 300]`.
+
+use rand::Rng;
+
+use crate::rng::normal;
+
+/// Which base behaviour a simulated star follows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StarKind {
+    /// Constant-brightness star: pure Gaussian scatter around 0.
+    NonVariable {
+        /// Observation scatter (paper: 0.2).
+        sigma: f32,
+    },
+    /// Periodic variable star: sinusoid plus Gaussian scatter.
+    Variable {
+        /// Cycle length in samples (paper: sampled from 100–300).
+        period: f32,
+        /// Sinusoid amplitude (paper: 2).
+        amplitude: f32,
+        /// Additive scatter.
+        sigma: f32,
+    },
+}
+
+impl StarKind {
+    /// The paper's non-variable star.
+    pub fn non_variable() -> Self {
+        Self::NonVariable { sigma: 0.2 }
+    }
+
+    /// The paper's variable star with a random cycle in `[100, 300]`.
+    pub fn variable(rng: &mut impl Rng) -> Self {
+        Self::Variable {
+            period: rng.gen_range(100.0..=300.0),
+            amplitude: 2.0,
+            sigma: 0.2,
+        }
+    }
+
+    /// Noise-free base value at position `pos`.
+    pub fn base_value(&self, pos: f32) -> f32 {
+        match *self {
+            Self::NonVariable { .. } => 0.0,
+            Self::Variable { period, amplitude, .. } => {
+                amplitude * (2.0 * std::f32::consts::PI / period * pos).sin()
+            }
+        }
+    }
+
+    /// Samples the observed value at position `pos`.
+    pub fn sample(&self, pos: f32, rng: &mut impl Rng) -> f32 {
+        let sigma = match *self {
+            Self::NonVariable { sigma } => sigma,
+            Self::Variable { sigma, .. } => sigma,
+        };
+        normal(rng, self.base_value(pos), sigma)
+    }
+
+    /// Generates a full series of `len` samples starting at position 0.
+    pub fn generate(&self, len: usize, rng: &mut impl Rng) -> Vec<f32> {
+        (0..len).map(|t| self.sample(t as f32, rng)).collect()
+    }
+}
+
+/// Builds a mixed population: `frac_variable` of the `n` stars are variable
+/// (the paper's synthetic sets mix both kinds).
+pub fn star_population(n: usize, frac_variable: f64, rng: &mut impl Rng) -> Vec<StarKind> {
+    (0..n)
+        .map(|i| {
+            if (i as f64) < frac_variable * n as f64 {
+                StarKind::variable(rng)
+            } else {
+                StarKind::non_variable()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn non_variable_stays_near_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = StarKind::non_variable().generate(5000, &mut rng);
+        let mean: f32 = s.iter().sum::<f32>() / s.len() as f32;
+        let std = (s.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / s.len() as f32).sqrt();
+        assert!(mean.abs() < 0.02);
+        assert!((std - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn variable_star_oscillates_with_period() {
+        let kind = StarKind::Variable { period: 100.0, amplitude: 2.0, sigma: 0.0 };
+        assert!(kind.base_value(0.0).abs() < 1e-6);
+        assert!((kind.base_value(25.0) - 2.0).abs() < 1e-5);
+        assert!((kind.base_value(75.0) + 2.0).abs() < 1e-5);
+        assert!(kind.base_value(100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn variable_star_period_in_paper_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            match StarKind::variable(&mut rng) {
+                StarKind::Variable { period, .. } => {
+                    assert!((100.0..=300.0).contains(&period));
+                }
+                _ => panic!("expected variable"),
+            }
+        }
+    }
+
+    #[test]
+    fn population_mixes_kinds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pop = star_population(10, 0.3, &mut rng);
+        let variable = pop
+            .iter()
+            .filter(|k| matches!(k, StarKind::Variable { .. }))
+            .count();
+        assert_eq!(variable, 3);
+        assert_eq!(pop.len(), 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! # aero-eval
+//!
+//! Evaluation protocol of the AERO paper: point-adjusted precision / recall /
+//! F1 over the flattened `(variate, time)` grid, score thresholding, best-F1
+//! sweeps for diagnostics, and paper-style result-table rendering.
+//!
+//! ```
+//! use aero_eval::evaluate_point_adjusted;
+//! use aero_timeseries::LabelGrid;
+//!
+//! let mut truth = LabelGrid::new(1, 10);
+//! truth.mark_range(0, 2, 6).unwrap();          // one 5-point event
+//! let mut pred = LabelGrid::new(1, 10);
+//! pred.set(0, 4, true);                        // a single hit inside it
+//! let m = evaluate_point_adjusted(&pred, &truth);
+//! assert_eq!(m.recall, 1.0);                   // whole segment credited
+//! assert_eq!(m.fp, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod ranking;
+pub mod report;
+
+pub use metrics::{
+    best_f1_threshold, confusion, evaluate_point_adjusted, point_adjust, threshold_scores,
+    Metrics,
+};
+pub use ranking::{pr_auc, roc_auc};
+pub use report::{ResultRow, ResultTable};

@@ -1,0 +1,224 @@
+//! Precision / recall / F1 with the point-adjust protocol.
+//!
+//! Point adjustment (Xu et al. 2018; used by OmniAnomaly, TranAD, and AERO):
+//! if any point inside a ground-truth anomaly segment is flagged, the whole
+//! segment counts as detected. This reflects that a single alert inside a
+//! celestial event is operationally sufficient.
+
+use aero_timeseries::LabelGrid;
+
+/// Confusion counts and derived scores.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// `TP / (TP + FP)` (1 when no positives were predicted and none exist).
+    pub precision: f64,
+    /// `TP / (TP + FN)`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Derives rates from raw counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize, tn: usize) -> Self {
+        let precision = if tp + fp == 0 {
+            if fn_ == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self { tp, fp, fn_, tn, precision, recall, f1 }
+    }
+}
+
+/// Expands predictions with the point-adjust rule against `truth`.
+pub fn point_adjust(pred: &LabelGrid, truth: &LabelGrid) -> LabelGrid {
+    let mut adjusted = pred.clone();
+    for seg in truth.segments() {
+        let hit = (seg.start..=seg.end).any(|t| pred.get(seg.variate, t));
+        if hit {
+            let _ = adjusted.mark_range(seg.variate, seg.start, seg.end);
+        }
+    }
+    adjusted
+}
+
+/// Point-wise confusion over the flattened `(variate, time)` grid.
+pub fn confusion(pred: &LabelGrid, truth: &LabelGrid) -> Metrics {
+    debug_assert_eq!(pred.rows(), truth.rows());
+    debug_assert_eq!(pred.cols(), truth.cols());
+    let (mut tp, mut fp, mut fn_, mut tn) = (0usize, 0usize, 0usize, 0usize);
+    for r in 0..pred.rows() {
+        for (p, t) in pred.row(r).iter().zip(truth.row(r)) {
+            match (p, t) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => tn += 1,
+            }
+        }
+    }
+    Metrics::from_counts(tp, fp, fn_, tn)
+}
+
+/// The paper's protocol: point-adjust, then point-wise confusion.
+pub fn evaluate_point_adjusted(pred: &LabelGrid, truth: &LabelGrid) -> Metrics {
+    confusion(&point_adjust(pred, truth), truth)
+}
+
+/// Thresholds a score grid (`N × T` scores flattened row-major in `scores`)
+/// into a label grid.
+pub fn threshold_scores(scores: &aero_tensor::Matrix, threshold: f64) -> LabelGrid {
+    LabelGrid::from_fn(scores.rows(), scores.cols(), |r, c| {
+        (scores.get(r, c) as f64) >= threshold
+    })
+}
+
+/// Sweeps candidate thresholds over the score distribution and returns the
+/// `(threshold, metrics)` pair with the highest point-adjusted F1. Used for
+/// diagnostics and the "best-F1" upper-bound analyses — the headline tables
+/// always use POT.
+pub fn best_f1_threshold(
+    scores: &aero_tensor::Matrix,
+    truth: &LabelGrid,
+    candidates: usize,
+) -> (f64, Metrics) {
+    let mut vals: Vec<f32> = scores
+        .as_slice()
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if vals.is_empty() {
+        return (f64::INFINITY, Metrics::from_counts(0, 0, truth.count(), 0));
+    }
+    let mut best = (f64::INFINITY, Metrics::from_counts(0, 0, truth.count(), truth.rows() * truth.cols() - truth.count()));
+    let candidates = candidates.max(2);
+    for i in 0..candidates {
+        let q = i as f64 / (candidates - 1) as f64;
+        // Sweep the upper half of the distribution, where thresholds live.
+        let idx = ((0.5 + 0.5 * q) * (vals.len() - 1) as f64) as usize;
+        let threshold = vals[idx] as f64;
+        let pred = threshold_scores(scores, threshold);
+        let m = evaluate_point_adjusted(&pred, truth);
+        if m.f1 > best.1.f1 {
+            best = (threshold, m);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::Matrix;
+
+    fn grid(rows: usize, cols: usize, marks: &[(usize, usize, usize)]) -> LabelGrid {
+        let mut g = LabelGrid::new(rows, cols);
+        for &(r, s, e) in marks {
+            g.mark_range(r, s, e).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth = grid(1, 10, &[(0, 2, 4)]);
+        let m = evaluate_point_adjusted(&truth.clone(), &truth);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn point_adjust_expands_partial_hits() {
+        let truth = grid(1, 10, &[(0, 2, 6)]);
+        let pred = grid(1, 10, &[(0, 4, 4)]); // one point inside the segment
+        let m = evaluate_point_adjusted(&pred, &truth);
+        assert_eq!(m.tp, 5); // whole segment credited
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.fp, 0);
+    }
+
+    #[test]
+    fn point_adjust_does_not_expand_misses() {
+        let truth = grid(1, 10, &[(0, 2, 4)]);
+        let pred = grid(1, 10, &[(0, 8, 8)]); // outside the segment
+        let m = evaluate_point_adjusted(&pred, &truth);
+        assert_eq!(m.tp, 0);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 3);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn point_adjust_is_per_variate() {
+        let truth = grid(2, 10, &[(0, 2, 4)]);
+        // Hit on variate 1 must not credit the segment on variate 0.
+        let pred = grid(2, 10, &[(1, 3, 3)]);
+        let m = evaluate_point_adjusted(&pred, &truth);
+        assert_eq!(m.tp, 0);
+        assert_eq!(m.fp, 1);
+    }
+
+    #[test]
+    fn false_positives_hurt_precision() {
+        let truth = grid(1, 100, &[(0, 10, 19)]);
+        let pred = grid(1, 100, &[(0, 10, 19), (0, 50, 59)]);
+        let m = evaluate_point_adjusted(&pred, &truth);
+        assert_eq!(m.tp, 10);
+        assert_eq!(m.fp, 10);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert_eq!(m.recall, 1.0);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_predictions_on_empty_truth_are_perfect() {
+        let truth = LabelGrid::new(2, 5);
+        let pred = LabelGrid::new(2, 5);
+        let m = evaluate_point_adjusted(&pred, &truth);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn threshold_scores_selects_geq() {
+        let scores = Matrix::from_vec(1, 3, vec![0.1, 0.5, 0.9]).unwrap();
+        let g = threshold_scores(&scores, 0.5);
+        assert!(!g.get(0, 0));
+        assert!(g.get(0, 1));
+        assert!(g.get(0, 2));
+    }
+
+    #[test]
+    fn best_f1_finds_separating_threshold() {
+        // Scores: anomaly segment has clearly higher scores.
+        let mut scores = Matrix::zeros(1, 100);
+        for t in 0..100 {
+            scores.set(0, t, if (40..50).contains(&t) { 5.0 } else { 0.1 });
+        }
+        let truth = grid(1, 100, &[(0, 40, 49)]);
+        let (thr, m) = best_f1_threshold(&scores, &truth, 50);
+        assert!(thr > 0.1 && thr <= 5.0);
+        assert_eq!(m.f1, 1.0);
+    }
+}

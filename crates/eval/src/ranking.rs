@@ -1,0 +1,144 @@
+//! Threshold-free ranking metrics: ROC-AUC and PR-AUC over anomaly scores.
+//!
+//! The paper's tables are POT-thresholded, but ranking metrics separate
+//! score quality from threshold calibration — useful for diagnosing whether
+//! a weak F1 comes from the scores or from the EVT tail fit.
+
+use aero_timeseries::LabelGrid;
+
+/// Flattens a score grid and truth grid into aligned `(score, label)` pairs.
+fn pairs(scores: &aero_tensor::Matrix, truth: &LabelGrid, skip_cols: usize) -> Vec<(f32, bool)> {
+    let mut out = Vec::new();
+    for r in 0..scores.rows() {
+        let row = scores.row(r);
+        for (c, &s) in row.iter().enumerate().skip(skip_cols) {
+            if s.is_finite() {
+                out.push((s, truth.get(r, c)));
+            }
+        }
+    }
+    out
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with tie correction. Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &aero_tensor::Matrix, truth: &LabelGrid, skip_cols: usize) -> f64 {
+    let mut data = pairs(scores, truth, skip_cols);
+    let positives = data.iter().filter(|(_, l)| *l).count();
+    let negatives = data.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    data.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Average ranks over ties.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut j = i;
+        while j + 1 < data.len() && data[j + 1].0 == data[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &data[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = positives as f64;
+    let n = negatives as f64;
+    (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * n)
+}
+
+/// Area under the precision-recall curve (average precision). Returns the
+/// positive prevalence when either class is empty.
+pub fn pr_auc(scores: &aero_tensor::Matrix, truth: &LabelGrid, skip_cols: usize) -> f64 {
+    let mut data = pairs(scores, truth, skip_cols);
+    let positives = data.iter().filter(|(_, l)| *l).count();
+    if data.is_empty() {
+        return 0.0;
+    }
+    if positives == 0 {
+        return 0.0;
+    }
+    if positives == data.len() {
+        return 1.0;
+    }
+    // Descending by score; average precision = Σ P(k)·Δrecall.
+    data.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (k, (_, label)) in data.iter().enumerate() {
+        if *label {
+            tp += 1;
+            ap += tp as f64 / (k + 1) as f64;
+        }
+    }
+    ap / positives as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::Matrix;
+
+    fn truth(marks: &[usize], cols: usize) -> LabelGrid {
+        let mut g = LabelGrid::new(1, cols);
+        for &m in marks {
+            g.set(0, m, true);
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scores = Matrix::from_vec(1, 6, vec![0.1, 0.2, 0.3, 0.9, 0.8, 0.7]).unwrap();
+        let t = truth(&[3, 4, 5], 6);
+        assert!((roc_auc(&scores, &t, 0) - 1.0).abs() < 1e-12);
+        assert!((pr_auc(&scores, &t, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let scores = Matrix::from_vec(1, 4, vec![0.9, 0.8, 0.1, 0.2]).unwrap();
+        let t = truth(&[2, 3], 4);
+        assert!(roc_auc(&scores, &t, 0) < 1e-12);
+    }
+
+    #[test]
+    fn random_like_ties_give_half() {
+        let scores = Matrix::from_vec(1, 4, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        let t = truth(&[0, 2], 4);
+        assert!((roc_auc(&scores, &t, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_are_neutral() {
+        let scores = Matrix::from_vec(1, 3, vec![0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(roc_auc(&scores, &truth(&[], 3), 0), 0.5);
+        assert_eq!(roc_auc(&scores, &truth(&[0, 1, 2], 3), 0), 0.5);
+        assert_eq!(pr_auc(&scores, &truth(&[], 3), 0), 0.0);
+        assert_eq!(pr_auc(&scores, &truth(&[0, 1, 2], 3), 0), 1.0);
+    }
+
+    #[test]
+    fn skip_cols_excludes_warmup() {
+        // Warmup column 0 holds a misleading high score on a negative.
+        let scores = Matrix::from_vec(1, 4, vec![9.0, 0.1, 0.2, 0.9]).unwrap();
+        let t = truth(&[3], 4);
+        let with_warmup = roc_auc(&scores, &t, 0);
+        let without = roc_auc(&scores, &t, 1);
+        assert!(without > with_warmup);
+        assert!((without - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_auc_average_precision_hand_example() {
+        // Descending: [pos, neg, pos] → AP = (1/1 + 2/3) / 2 = 5/6.
+        let scores = Matrix::from_vec(1, 3, vec![0.9, 0.8, 0.7]).unwrap();
+        let t = truth(&[0, 2], 3);
+        assert!((pr_auc(&scores, &t, 0) - 5.0 / 6.0).abs() < 1e-12);
+    }
+}

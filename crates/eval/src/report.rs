@@ -1,0 +1,184 @@
+//! Result-table formatting for the experiment harnesses: fixed-width rows
+//! matching the layout of the paper's Tables II–IV.
+
+use crate::metrics::Metrics;
+
+/// One method's result on one dataset.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ResultRow {
+    /// Method name (e.g. "AERO", "SR").
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Point-adjusted metrics.
+    pub metrics: Metrics,
+}
+
+/// A table of results over several methods × datasets.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    rows: Vec<ResultRow>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one result.
+    pub fn push(&mut self, method: impl Into<String>, dataset: impl Into<String>, m: Metrics) {
+        self.rows.push(ResultRow { method: method.into(), dataset: dataset.into(), metrics: m });
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[ResultRow] {
+        &self.rows
+    }
+
+    /// Looks up a result.
+    pub fn get(&self, method: &str, dataset: &str) -> Option<&Metrics> {
+        self.rows
+            .iter()
+            .find(|r| r.method == method && r.dataset == dataset)
+            .map(|r| &r.metrics)
+    }
+
+    /// Distinct dataset names in first-seen order.
+    pub fn datasets(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.dataset) {
+                out.push(r.dataset.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct method names in first-seen order.
+    pub fn methods(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.method) {
+                out.push(r.method.clone());
+            }
+        }
+        out
+    }
+
+    /// Mean F1 of a method across all datasets it appears in.
+    pub fn mean_f1(&self, method: &str) -> Option<f64> {
+        let f1s: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.method == method)
+            .map(|r| r.metrics.f1)
+            .collect();
+        if f1s.is_empty() {
+            None
+        } else {
+            Some(f1s.iter().sum::<f64>() / f1s.len() as f64)
+        }
+    }
+
+    /// Serializes all rows as pretty JSON (for downstream analysis and the
+    /// EXPERIMENTS.md bookkeeping).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.rows).unwrap_or_else(|_| "[]".into())
+    }
+
+    /// Writes the JSON dump to a file.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Renders the paper-style wide table: one row per method, three columns
+    /// (Prec/Recall/F1, in %) per dataset.
+    pub fn render(&self) -> String {
+        let datasets = self.datasets();
+        let methods = self.methods();
+        let mut out = String::new();
+        out.push_str(&format!("{:<10}", "Method"));
+        for d in &datasets {
+            out.push_str(&format!(" | {:^26}", d));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<10}", ""));
+        for _ in &datasets {
+            out.push_str(&format!(" | {:>8} {:>8} {:>8}", "Prec", "Recall", "F1"));
+        }
+        out.push('\n');
+        let width = 10 + datasets.len() * 29;
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        for m in &methods {
+            out.push_str(&format!("{m:<10}"));
+            for d in &datasets {
+                match self.get(m, d) {
+                    Some(metrics) => out.push_str(&format!(
+                        " | {:>8.2} {:>8.2} {:>8.2}",
+                        metrics.precision * 100.0,
+                        metrics.recall * 100.0,
+                        metrics.f1 * 100.0
+                    )),
+                    None => out.push_str(&format!(" | {:>8} {:>8} {:>8}", "-", "-", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(p: f64, r: f64) -> Metrics {
+        let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        Metrics { tp: 0, fp: 0, fn_: 0, tn: 0, precision: p, recall: r, f1 }
+    }
+
+    #[test]
+    fn push_get_and_order() {
+        let mut t = ResultTable::new();
+        t.push("AERO", "D1", metrics(0.9, 1.0));
+        t.push("SR", "D1", metrics(0.7, 0.8));
+        t.push("AERO", "D2", metrics(0.8, 0.9));
+        assert_eq!(t.methods(), vec!["AERO", "SR"]);
+        assert_eq!(t.datasets(), vec!["D1", "D2"]);
+        assert!(t.get("AERO", "D2").is_some());
+        assert!(t.get("SR", "D2").is_none());
+    }
+
+    #[test]
+    fn mean_f1_averages_across_datasets() {
+        let mut t = ResultTable::new();
+        t.push("M", "A", metrics(1.0, 1.0)); // F1 = 1
+        t.push("M", "B", metrics(0.5, 0.5)); // F1 = 0.5
+        assert!((t.mean_f1("M").unwrap() - 0.75).abs() < 1e-12);
+        assert!(t.mean_f1("missing").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = ResultTable::new();
+        t.push("AERO", "D1", metrics(0.9, 1.0));
+        let json = t.to_json();
+        let rows: Vec<ResultRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].method, "AERO");
+        assert!((rows[0].metrics.precision - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let mut t = ResultTable::new();
+        t.push("AERO", "SyntheticMiddle", metrics(0.9079, 1.0));
+        let s = t.render();
+        assert!(s.contains("AERO"));
+        assert!(s.contains("SyntheticMiddle"));
+        assert!(s.contains("90.79"));
+        assert!(s.contains("100.00"));
+    }
+}

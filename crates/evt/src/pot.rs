@@ -1,0 +1,200 @@
+//! Peaks-Over-Threshold automatic thresholding (AERO Eq. 18; Siffer et al.).
+//!
+//! Given calibration scores (the anomaly scores of the *training* instances
+//! in AERO's protocol), the final alert threshold solves the tail equation
+//!
+//! `z_q = u + σ/γ · ((q·n/Nₜ)^{−γ} − 1)`
+//!
+//! where `u` is the empirical `level`-quantile initial threshold, `n` the
+//! number of calibration scores, `Nₜ` the number of exceedances over `u`,
+//! and `q` the desired tail probability.
+
+use crate::gpd::{self, FitMethod};
+
+/// POT configuration. The paper sets `level = 0.99`, `q = 1e-3` everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PotConfig {
+    /// Initial-threshold quantile level in `(0, 1)`.
+    pub level: f64,
+    /// Target tail probability `q`.
+    pub q: f64,
+}
+
+impl Default for PotConfig {
+    fn default() -> Self {
+        Self { level: 0.99, q: 1e-3 }
+    }
+}
+
+/// The result of POT calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PotThreshold {
+    /// Final alert threshold `z_q`.
+    pub threshold: f64,
+    /// Initial (quantile) threshold `u`.
+    pub initial: f64,
+    /// Number of exceedances used for the GPD fit.
+    pub peaks: usize,
+    /// Fitted shape parameter.
+    pub gamma: f64,
+    /// Fitted scale parameter.
+    pub sigma: f64,
+    /// Which estimator produced the parameters.
+    pub method: FitMethod,
+}
+
+/// Calibrates a POT threshold from `scores`.
+///
+/// Falls back to the raw `level`-quantile (slightly inflated) when there are
+/// too few exceedances to fit a tail (< 4 peaks), which matches SPOT's
+/// practical behaviour on short calibration sets.
+pub fn pot_threshold(scores: &[f32], config: PotConfig) -> PotThreshold {
+    let clean: Vec<f64> = scores
+        .iter()
+        .filter(|v| v.is_finite())
+        .map(|&v| v as f64)
+        .collect();
+    let n = clean.len();
+    if n == 0 {
+        return PotThreshold {
+            threshold: f64::INFINITY,
+            initial: f64::INFINITY,
+            peaks: 0,
+            gamma: 0.0,
+            sigma: 0.0,
+            method: FitMethod::MethodOfMoments,
+        };
+    }
+    let mut sorted = clean.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((config.level * (n - 1) as f64).round() as usize).min(n - 1);
+    let u = sorted[idx];
+
+    let peaks: Vec<f64> = clean
+        .iter()
+        .filter(|&&s| s > u)
+        .map(|&s| s - u)
+        .collect();
+    let nt = peaks.len();
+
+    if nt < 4 {
+        let spread = sorted[n - 1] - sorted[0];
+        return PotThreshold {
+            threshold: u + 0.05 * spread.max(1e-9),
+            initial: u,
+            peaks: nt,
+            gamma: 0.0,
+            sigma: 0.0,
+            method: FitMethod::MethodOfMoments,
+        };
+    }
+
+    match gpd::fit(&peaks) {
+        Some((fit, method)) => {
+            let r = config.q * n as f64 / nt as f64;
+            let threshold = if fit.gamma.abs() < 1e-9 {
+                u - fit.sigma * r.ln()
+            } else {
+                u + fit.sigma / fit.gamma * (r.powf(-fit.gamma) - 1.0)
+            };
+            PotThreshold {
+                threshold,
+                initial: u,
+                peaks: nt,
+                gamma: fit.gamma,
+                sigma: fit.sigma,
+                method,
+            }
+        }
+        None => PotThreshold {
+            threshold: u,
+            initial: u,
+            peaks: nt,
+            gamma: 0.0,
+            sigma: 0.0,
+            method: FitMethod::MethodOfMoments,
+        },
+    }
+}
+
+/// Applies a threshold to scores, producing binary flags.
+pub fn apply_threshold(scores: &[f32], threshold: f64) -> Vec<bool> {
+    scores.iter().map(|&s| (s as f64) >= threshold).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_scores(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threshold_exceeds_initial_quantile() {
+        let scores = gaussian_scores(20000, 17);
+        let pot = pot_threshold(&scores, PotConfig::default());
+        assert!(pot.threshold > pot.initial);
+        assert!(pot.peaks > 100);
+    }
+
+    #[test]
+    fn tail_probability_is_approximately_q() {
+        // With q = 1e-2 on 50k standard normals, roughly 500 should exceed.
+        let scores = gaussian_scores(50000, 18);
+        let pot = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-2 });
+        let exceed = scores.iter().filter(|&&s| (s as f64) > pot.threshold).count();
+        let expected = 500.0;
+        assert!(
+            (exceed as f64) > expected * 0.5 && (exceed as f64) < expected * 2.0,
+            "exceedances = {exceed}"
+        );
+    }
+
+    #[test]
+    fn smaller_q_gives_larger_threshold() {
+        let scores = gaussian_scores(20000, 19);
+        let loose = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-2 });
+        let strict = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-4 });
+        assert!(strict.threshold > loose.threshold);
+    }
+
+    #[test]
+    fn empty_scores_never_alert() {
+        let pot = pot_threshold(&[], PotConfig::default());
+        assert!(pot.threshold.is_infinite());
+        assert!(apply_threshold(&[1.0, 2.0], pot.threshold).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn few_peaks_fall_back_to_quantile() {
+        let scores = vec![1.0f32; 100];
+        let pot = pot_threshold(&scores, PotConfig::default());
+        assert!(pot.threshold >= 1.0);
+        assert_eq!(pot.peaks, 0);
+    }
+
+    #[test]
+    fn nan_scores_are_ignored() {
+        let mut scores = gaussian_scores(5000, 20);
+        scores[0] = f32::NAN;
+        scores[1] = f32::INFINITY;
+        let pot = pot_threshold(&scores, PotConfig::default());
+        assert!(pot.threshold.is_finite());
+    }
+
+    #[test]
+    fn apply_threshold_flags_correctly() {
+        let flags = apply_threshold(&[0.1, 0.9, 0.5], 0.5);
+        assert_eq!(flags, vec![false, true, true]);
+    }
+}

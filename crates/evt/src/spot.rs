@@ -1,0 +1,250 @@
+//! SPOT and DSPOT streaming detectors (Siffer et al., KDD 2017).
+//!
+//! SPOT maintains a POT threshold online: values above the alert threshold
+//! `z_q` are anomalies; values between the initial threshold `u` and `z_q`
+//! are added to the peak set and the GPD tail is refit. DSPOT additionally
+//! subtracts a moving-average drift so the tail model tracks local behaviour.
+
+use std::collections::VecDeque;
+
+use crate::gpd;
+use crate::pot::{pot_threshold, PotConfig, PotThreshold};
+
+/// Decision for one streamed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpotDecision {
+    /// Value exceeded the alert threshold.
+    Anomaly,
+    /// Value updated the tail model (between initial and alert thresholds).
+    TailEvent,
+    /// Plain normal value.
+    Normal,
+}
+
+/// Streaming SPOT detector over a univariate series.
+#[derive(Debug, Clone)]
+pub struct Spot {
+    config: PotConfig,
+    calibrated: Option<PotThreshold>,
+    peaks: Vec<f64>,
+    seen: usize,
+}
+
+impl Spot {
+    /// Creates an uncalibrated detector.
+    pub fn new(config: PotConfig) -> Self {
+        Self { config, calibrated: None, peaks: Vec::new(), seen: 0 }
+    }
+
+    /// Calibrates on an initial batch (the "n init" phase of the paper).
+    pub fn calibrate(&mut self, scores: &[f32]) {
+        let pot = pot_threshold(scores, self.config);
+        self.peaks = scores
+            .iter()
+            .filter(|v| v.is_finite())
+            .map(|&v| v as f64)
+            .filter(|&s| s > pot.initial)
+            .map(|s| s - pot.initial)
+            .collect();
+        self.seen = scores.len();
+        self.calibrated = Some(pot);
+    }
+
+    /// Current alert threshold (infinite before calibration).
+    pub fn threshold(&self) -> f64 {
+        self.calibrated.map(|c| c.threshold).unwrap_or(f64::INFINITY)
+    }
+
+    /// Initial threshold `u` (infinite before calibration).
+    pub fn initial_threshold(&self) -> f64 {
+        self.calibrated.map(|c| c.initial).unwrap_or(f64::INFINITY)
+    }
+
+    fn refit(&mut self) {
+        let Some(cal) = &mut self.calibrated else {
+            return;
+        };
+        if self.peaks.len() < 4 {
+            return;
+        }
+        if let Some((fit, method)) = gpd::fit(&self.peaks) {
+            let r = self.config.q * self.seen as f64 / self.peaks.len() as f64;
+            cal.threshold = if fit.gamma.abs() < 1e-9 {
+                cal.initial - fit.sigma * r.ln()
+            } else {
+                cal.initial + fit.sigma / fit.gamma * (r.powf(-fit.gamma) - 1.0)
+            };
+            cal.gamma = fit.gamma;
+            cal.sigma = fit.sigma;
+            cal.peaks = self.peaks.len();
+            cal.method = method;
+        }
+    }
+
+    /// Processes one value, updating the model.
+    pub fn step(&mut self, value: f32) -> SpotDecision {
+        let Some(cal) = self.calibrated else {
+            // Treat pre-calibration values as normal (caller should
+            // calibrate first; this keeps the stream total ordered).
+            return SpotDecision::Normal;
+        };
+        self.seen += 1;
+        let v = value as f64;
+        if !v.is_finite() {
+            return SpotDecision::Normal;
+        }
+        if v > cal.threshold {
+            SpotDecision::Anomaly
+        } else if v > cal.initial {
+            self.peaks.push(v - cal.initial);
+            self.refit();
+            SpotDecision::TailEvent
+        } else {
+            SpotDecision::Normal
+        }
+    }
+}
+
+/// DSPOT: SPOT on drift-removed values `x_t − mean(last d values)`.
+#[derive(Debug, Clone)]
+pub struct Dspot {
+    spot: Spot,
+    depth: usize,
+    window: VecDeque<f32>,
+    sum: f64,
+}
+
+impl Dspot {
+    /// Creates a DSPOT with drift window `depth`.
+    pub fn new(config: PotConfig, depth: usize) -> Self {
+        Self { spot: Spot::new(config), depth: depth.max(1), window: VecDeque::new(), sum: 0.0 }
+    }
+
+    fn drift(&self) -> f32 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            (self.sum / self.window.len() as f64) as f32
+        }
+    }
+
+    fn push_window(&mut self, value: f32) {
+        self.window.push_back(value);
+        self.sum += value as f64;
+        if self.window.len() > self.depth {
+            if let Some(old) = self.window.pop_front() {
+                self.sum -= old as f64;
+            }
+        }
+    }
+
+    /// Calibrates on an initial batch; the first `depth` values seed the
+    /// drift window.
+    pub fn calibrate(&mut self, scores: &[f32]) {
+        let mut residuals = Vec::with_capacity(scores.len());
+        for &s in scores {
+            residuals.push(s - self.drift());
+            self.push_window(s);
+        }
+        self.spot.calibrate(&residuals);
+    }
+
+    /// Processes one value.
+    pub fn step(&mut self, value: f32) -> SpotDecision {
+        let residual = value - self.drift();
+        let decision = self.spot.step(residual);
+        // Anomalous values do not update the drift (they would poison it).
+        if decision != SpotDecision::Anomaly {
+            self.push_window(value);
+        }
+        decision
+    }
+
+    /// Current alert threshold in residual space.
+    pub fn threshold(&self) -> f64 {
+        self.spot.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(rng: &mut StdRng) -> f32 {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    #[test]
+    fn spot_flags_extreme_values() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let calib: Vec<f32> = (0..5000).map(|_| noise(&mut rng)).collect();
+        let mut spot = Spot::new(PotConfig { level: 0.98, q: 1e-4 });
+        spot.calibrate(&calib);
+        assert_eq!(spot.step(20.0), SpotDecision::Anomaly);
+        assert_eq!(spot.step(0.0), SpotDecision::Normal);
+    }
+
+    #[test]
+    fn spot_false_alarm_rate_is_low() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let calib: Vec<f32> = (0..5000).map(|_| noise(&mut rng)).collect();
+        let mut spot = Spot::new(PotConfig { level: 0.98, q: 1e-4 });
+        spot.calibrate(&calib);
+        let mut alarms = 0;
+        for _ in 0..5000 {
+            if spot.step(noise(&mut rng)) == SpotDecision::Anomaly {
+                alarms += 1;
+            }
+        }
+        assert!(alarms <= 10, "false alarms = {alarms}");
+    }
+
+    #[test]
+    fn uncalibrated_spot_stays_silent() {
+        let mut spot = Spot::new(PotConfig::default());
+        assert_eq!(spot.step(1e9), SpotDecision::Normal);
+        assert!(spot.threshold().is_infinite());
+    }
+
+    #[test]
+    fn tail_events_update_model() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let calib: Vec<f32> = (0..3000).map(|_| noise(&mut rng)).collect();
+        let mut spot = Spot::new(PotConfig { level: 0.95, q: 1e-3 });
+        spot.calibrate(&calib);
+        let before = spot.threshold();
+        // Feed moderately large values: between u and z_q they refit the tail.
+        let u = spot.initial_threshold();
+        for _ in 0..50 {
+            let v = (u + 0.2) as f32;
+            spot.step(v);
+        }
+        assert_ne!(spot.threshold(), before);
+    }
+
+    #[test]
+    fn dspot_tracks_drift() {
+        let mut rng = StdRng::seed_from_u64(24);
+        // Slow upward drift + noise.
+        let calib: Vec<f32> = (0..4000)
+            .map(|i| i as f32 * 0.001 + 0.3 * noise(&mut rng))
+            .collect();
+        let mut dspot = Dspot::new(PotConfig { level: 0.98, q: 1e-4 }, 50);
+        dspot.calibrate(&calib);
+        // Continue the drift: plain SPOT would eventually alarm, DSPOT not.
+        let mut alarms = 0;
+        for i in 0..2000 {
+            let v = (4000 + i) as f32 * 0.001 + 0.3 * noise(&mut rng);
+            if dspot.step(v) == SpotDecision::Anomaly {
+                alarms += 1;
+            }
+        }
+        assert!(alarms <= 5, "drift false alarms = {alarms}");
+        // A genuine jump on top of the drift is still caught.
+        assert_eq!(dspot.step(6000.0 * 0.001 + 10.0), SpotDecision::Anomaly);
+    }
+}

@@ -1,0 +1,212 @@
+//! Multi-head scaled dot-product attention (Vaswani et al. 2017, Eq. 5–6 of
+//! the AERO paper).
+
+use aero_tensor::{Graph, NodeId, ParamId, ParamStore, Result, TensorError};
+use rand::Rng;
+
+/// Multi-head attention with `h` heads over model width `d_model`.
+///
+/// Heads are realized by slicing the projected `d_model` columns into `h`
+/// contiguous blocks — equivalent to the usual reshape-to-`(h, d_k)` without
+/// needing rank-3 tensors.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+    wo: ParamId,
+    heads: usize,
+    d_model: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers the four projection matrices.
+    ///
+    /// Returns an error if `d_model` is not divisible by `heads`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if heads == 0 || !d_model.is_multiple_of(heads) {
+            return Err(TensorError::ShapeMismatch {
+                expected: (d_model, heads.max(1)),
+                got: (d_model % heads.max(1), 0),
+                op: "multi_head_attention",
+            });
+        }
+        Ok(Self {
+            wq: store.register_xavier(format!("{name}.wq"), d_model, d_model, rng),
+            wk: store.register_xavier(format!("{name}.wk"), d_model, d_model, rng),
+            wv: store.register_xavier(format!("{name}.wv"), d_model, d_model, rng),
+            wo: store.register_xavier(format!("{name}.wo"), d_model, d_model, rng),
+            heads,
+            d_model,
+        })
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Parameter ids owned by this block.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.wq, self.wk, self.wv, self.wo]
+    }
+
+    /// Attention output for `query` (`Lq × d_model`) against `key`/`value`
+    /// (`Lk × d_model`). Self-attention passes the same node three times.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        query: NodeId,
+        key: NodeId,
+        value: NodeId,
+    ) -> Result<NodeId> {
+        let wq = g.param(store, self.wq)?;
+        let wk = g.param(store, self.wk)?;
+        let wv = g.param(store, self.wv)?;
+        let q = g.matmul(query, wq)?;
+        let k = g.matmul(key, wk)?;
+        let v = g.matmul(value, wv)?;
+
+        let dk = self.d_model / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qi = g.slice_cols(q, h * dk, dk)?;
+            let ki = g.slice_cols(k, h * dk, dk)?;
+            let vi = g.slice_cols(v, h * dk, dk)?;
+            let kt = g.transpose(ki)?;
+            let scores = g.matmul(qi, kt)?;
+            let scaled = g.affine(scores, scale, 0.0)?;
+            let attn = g.softmax_rows(scaled)?;
+            head_outputs.push(g.matmul(attn, vi)?);
+        }
+        let concat = g.concat_cols(&head_outputs)?;
+        let wo = g.param(store, self.wo)?;
+        g.matmul(concat, wo)
+    }
+
+    /// Like [`forward`](Self::forward) but also returns the per-head
+    /// attention matrices (used by the AnomalyTransformer baseline's
+    /// association-discrepancy analysis).
+    pub fn forward_with_attn(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        query: NodeId,
+        key: NodeId,
+        value: NodeId,
+    ) -> Result<(NodeId, Vec<NodeId>)> {
+        let wq = g.param(store, self.wq)?;
+        let wk = g.param(store, self.wk)?;
+        let wv = g.param(store, self.wv)?;
+        let q = g.matmul(query, wq)?;
+        let k = g.matmul(key, wk)?;
+        let v = g.matmul(value, wv)?;
+
+        let dk = self.d_model / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        let mut attns = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qi = g.slice_cols(q, h * dk, dk)?;
+            let ki = g.slice_cols(k, h * dk, dk)?;
+            let vi = g.slice_cols(v, h * dk, dk)?;
+            let kt = g.transpose(ki)?;
+            let scores = g.matmul(qi, kt)?;
+            let scaled = g.affine(scores, scale, 0.0)?;
+            let attn = g.softmax_rows(scaled)?;
+            attns.push(attn);
+            head_outputs.push(g.matmul(attn, vi)?);
+        }
+        let concat = g.concat_cols(&head_outputs)?;
+        let wo = g.param(store, self.wo)?;
+        Ok((g.matmul(concat, wo)?, attns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mha(d: usize, h: usize) -> (MultiHeadAttention, ParamStore) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = MultiHeadAttention::new(&mut store, "a", d, h, &mut rng).unwrap();
+        (m, store)
+    }
+
+    #[test]
+    fn rejects_indivisible_heads() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(MultiHeadAttention::new(&mut store, "a", 10, 3, &mut rng).is_err());
+        assert!(MultiHeadAttention::new(&mut store, "a", 10, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn self_attention_preserves_shape() {
+        let (m, store) = mha(8, 2);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_fn(5, 8, |r, c| ((r + c) as f32).sin()));
+        let y = m.forward(&mut g, &store, x, x, x).unwrap();
+        assert_eq!(g.value(y).unwrap().shape(), (5, 8));
+    }
+
+    #[test]
+    fn cross_attention_takes_query_length() {
+        let (m, store) = mha(8, 4);
+        let mut g = Graph::new();
+        let q = g.constant(Matrix::from_fn(3, 8, |r, c| (r * c) as f32 * 0.01));
+        let kv = g.constant(Matrix::from_fn(7, 8, |r, c| (r + c) as f32 * 0.01));
+        let y = m.forward(&mut g, &store, q, kv, kv).unwrap();
+        assert_eq!(g.value(y).unwrap().shape(), (3, 8));
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let (m, store) = mha(4, 2);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_fn(6, 4, |r, c| ((r * 13 + c * 7) % 5) as f32 * 0.1));
+        let (_, attns) = m.forward_with_attn(&mut g, &store, x, x, x).unwrap();
+        assert_eq!(attns.len(), 2);
+        for a in attns {
+            let v = g.value(a).unwrap();
+            assert_eq!(v.shape(), (6, 6));
+            for r in 0..6 {
+                let s: f32 = v.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_attention() {
+        let (m, mut store) = mha(4, 2);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_fn(3, 4, |r, c| (r as f32 - c as f32) * 0.2));
+        let y = m.forward(&mut g, &store, x, x, x).unwrap();
+        let loss = g.mean_all(y).unwrap();
+        // mean is linear; square it to make grads nontrivial
+        let sq = g.hadamard(loss, loss).unwrap();
+        g.backward(sq, &mut store).unwrap();
+        let any_nonzero = store
+            .iter()
+            .any(|(_, p)| p.grad().as_slice().iter().any(|&v| v != 0.0));
+        assert!(any_nonzero);
+    }
+}

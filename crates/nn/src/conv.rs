@@ -1,0 +1,136 @@
+//! 1-D convolution over `length × channels` sequences, used by the TimesNet
+//! baseline's inception blocks.
+
+use aero_tensor::{Graph, Matrix, NodeId, ParamId, ParamStore, Result};
+use rand::Rng;
+
+/// Same-padded 1-D convolution.
+///
+/// Implemented as im2col on the tape: for each kernel offset the padded input
+/// rows are gathered, the `k` shifted views are concatenated column-wise into
+/// a `L × (k·C_in)` matrix, and a single matmul applies the kernel.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    w: ParamId,
+    b: ParamId,
+    kernel: usize,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl Conv1d {
+    /// Registers a conv layer with odd `kernel` size (required for "same"
+    /// padding symmetry).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "Conv1d requires an odd kernel size");
+        let w = store.register_xavier(
+            format!("{name}.w"),
+            kernel * in_channels,
+            out_channels,
+            rng,
+        );
+        let b = store.register_zeros(format!("{name}.b"), 1, out_channels);
+        Self { w, b, kernel, in_channels, out_channels }
+    }
+
+    /// Kernel width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Parameter ids owned by this layer.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+
+    /// Applies the convolution to a `L × in_channels` input, producing
+    /// `L × out_channels`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> Result<NodeId> {
+        let len = g.value(x)?.rows();
+        let pad = self.kernel / 2;
+
+        // Zero-pad: [pad × C] ++ x ++ [pad × C]
+        let zeros_top = g.constant(Matrix::zeros(pad, self.in_channels));
+        let zeros_bot = g.constant(Matrix::zeros(pad, self.in_channels));
+        let padded = g.concat_rows(&[zeros_top, x, zeros_bot])?;
+
+        // k shifted views, each L × C_in.
+        let mut views = Vec::with_capacity(self.kernel);
+        for offset in 0..self.kernel {
+            let idx: Vec<usize> = (0..len).map(|t| t + offset).collect();
+            views.push(g.gather_rows(padded, &idx)?);
+        }
+        let cols = g.concat_cols(&views)?; // L × (k·C_in)
+
+        let w = g.param(store, self.w)?;
+        let b = g.param(store, self.b)?;
+        g.linear(cols, w, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_preserves_length() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let conv = Conv1d::new(&mut store, "c", 2, 5, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_fn(11, 2, |r, c| (r + c) as f32));
+        let y = conv.forward(&mut g, &store, x).unwrap();
+        assert_eq!(g.value(y).unwrap().shape(), (11, 5));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // kernel=1, W=I: y == x.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::eye(3));
+        let b = store.register_zeros("b", 1, 3);
+        let conv = Conv1d { w, b, kernel: 1, in_channels: 3, out_channels: 3 };
+        let mut g = Graph::new();
+        let input = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32);
+        let x = g.constant(input.clone());
+        let y = conv.forward(&mut g, &store, x).unwrap();
+        assert_eq!(g.value(y).unwrap(), &input);
+    }
+
+    #[test]
+    fn box_filter_averages_neighbours() {
+        // kernel=3, single channel, weights = 1/3 each: y_t = mean of window.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::col_vector(&[1.0 / 3.0; 3]));
+        let b = store.register_zeros("b", 1, 1);
+        let conv = Conv1d { w, b, kernel: 3, in_channels: 1, out_channels: 1 };
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::col_vector(&[3.0, 6.0, 9.0, 12.0]));
+        let y = conv.forward(&mut g, &store, x).unwrap();
+        let v = g.value(y).unwrap();
+        // Interior points: exact 3-point means; edges see one zero pad.
+        assert!((v.get(1, 0) - 6.0).abs() < 1e-6);
+        assert!((v.get(2, 0) - 9.0).abs() < 1e-6);
+        assert!((v.get(0, 0) - 3.0).abs() < 1e-6);
+        assert!((v.get(3, 0) - 7.0).abs() < 1e-6);
+    }
+}

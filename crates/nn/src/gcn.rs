@@ -1,0 +1,203 @@
+//! Graph convolution layer (AERO Eq. 14).
+//!
+//! `Ŷ₂ = σ((D̃^{-1} Ã Y) W_θ + b_θ)` — one propagation step with a
+//! row-normalized adjacency whose self-loops have been removed, so a node is
+//! reconstructed exclusively from its neighbours. This is the property AERO
+//! relies on to separate concurrent noise (reconstructable from similarly
+//! affected stars) from true anomalies (not reconstructable from others).
+
+use aero_tensor::{Graph, Matrix, NodeId, ParamId, ParamStore, Result};
+use rand::Rng;
+
+use crate::linear::Activation;
+
+/// Removes self-loops and row-normalizes an adjacency matrix.
+///
+/// Off-diagonal entries are clamped to `≥ 0` first (cosine similarities can
+/// be negative; negative message-passing weights would let anti-correlated
+/// noise cancel out). Rows whose degree is zero stay all-zero, so isolated
+/// variates receive no reconstruction — exactly the behaviour wanted for
+/// true anomalies.
+pub fn normalize_adjacency(adj: &Matrix) -> Matrix {
+    normalize_adjacency_thresholded(adj, 0.0)
+}
+
+/// Like [`normalize_adjacency`], but zeroes edges below `min_edge` before
+/// row-normalizing. Thresholding keeps the message-passing neighbourhood of
+/// a true anomaly empty (its error pattern only has weak, spurious
+/// similarity to other stars), while concurrently-affected stars keep their
+/// strong mutual edges — sharpening the noise/anomaly separation.
+pub fn normalize_adjacency_thresholded(adj: &Matrix, min_edge: f32) -> Matrix {
+    let n = adj.rows().min(adj.cols());
+    let mut norm = Matrix::zeros(adj.rows(), adj.cols());
+    for r in 0..n {
+        let mut degree = 0.0f32;
+        for c in 0..adj.cols() {
+            if c != r {
+                let w = adj.get(r, c);
+                if w >= min_edge {
+                    degree += w.max(0.0);
+                }
+            }
+        }
+        if degree > 1e-12 {
+            for c in 0..adj.cols() {
+                if c != r {
+                    let w = adj.get(r, c);
+                    if w >= min_edge {
+                        norm.set(r, c, w.max(0.0) / degree);
+                    }
+                }
+            }
+        }
+    }
+    norm
+}
+
+/// One-layer GCN with learnable output transform.
+#[derive(Debug, Clone)]
+pub struct GcnLayer {
+    w: ParamId,
+    b: ParamId,
+    activation: Activation,
+}
+
+impl GcnLayer {
+    /// Registers the GCN transform for feature width `dim` (window length
+    /// `ω` in AERO).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.register_xavier(format!("{name}.w"), dim, dim, rng);
+        let b = store.register_zeros(format!("{name}.b"), 1, dim);
+        Self { w, b, activation }
+    }
+
+    /// Like [`GcnLayer::new`], but initializes the transform near the
+    /// identity (`W = I + ε·noise`). With self-loop-free propagation this
+    /// biases the layer towards "copy the neighbour average" — the exact
+    /// behaviour wanted for concurrent-noise reconstruction — so training
+    /// only has to refine it.
+    pub fn new_identity(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let eps = 0.02;
+        let init = Matrix::from_fn(dim, dim, |r, c| {
+            let noise: f32 = rng.gen_range(-eps..eps);
+            if r == c {
+                1.0 + noise
+            } else {
+                noise
+            }
+        });
+        let w = store.register(format!("{name}.w"), init);
+        let b = store.register_zeros(format!("{name}.b"), 1, dim);
+        Self { w, b, activation }
+    }
+
+    /// Parameter ids owned by this layer.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+
+    /// Propagates `features` (`N × dim`) along the (already normalized,
+    /// self-loop-free) adjacency `propagation` (`N × N` constant).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        propagation: &Matrix,
+        features: NodeId,
+    ) -> Result<NodeId> {
+        let p = g.constant(propagation.clone());
+        let agg = g.matmul(p, features)?;
+        let w = g.param(store, self.w)?;
+        let b = g.param(store, self.b)?;
+        let out = g.linear(agg, w, b)?;
+        self.activation.apply(g, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalize_removes_self_loops() {
+        let adj = Matrix::from_vec(2, 2, vec![1.0, 0.5, 0.5, 1.0]).unwrap();
+        let n = normalize_adjacency(&adj);
+        assert_eq!(n.get(0, 0), 0.0);
+        assert_eq!(n.get(1, 1), 0.0);
+        assert_eq!(n.get(0, 1), 1.0);
+        assert_eq!(n.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn normalize_rows_sum_to_one_or_zero() {
+        let adj = Matrix::from_vec(
+            3,
+            3,
+            vec![1.0, 0.8, 0.2, 0.8, 1.0, 0.0, 0.2, 0.0, 1.0],
+        )
+        .unwrap();
+        let n = normalize_adjacency(&adj);
+        for r in 0..3 {
+            let s: f32 = n.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn isolated_node_row_stays_zero() {
+        // Node 2 has only negative similarity to others → degree 0.
+        let adj = Matrix::from_vec(
+            3,
+            3,
+            vec![1.0, 0.9, -0.5, 0.9, 1.0, -0.5, -0.5, -0.5, 1.0],
+        )
+        .unwrap();
+        let n = normalize_adjacency(&adj);
+        assert!(n.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gcn_reconstructs_from_neighbours_only() {
+        // With identity weights, node outputs are neighbour averages —
+        // a node's own features contribute nothing.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::eye(2));
+        let b = store.register_zeros("b", 1, 2);
+        let gcn = GcnLayer { w, b, activation: Activation::Identity };
+        let adj = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let p = normalize_adjacency(&adj);
+        let mut g = Graph::new();
+        let feats = g.constant(Matrix::from_vec(2, 2, vec![5.0, 5.0, 1.0, 1.0]).unwrap());
+        let y = gcn.forward(&mut g, &store, &p, feats).unwrap();
+        let v = g.value(y).unwrap();
+        // Node 0's output is node 1's features and vice versa.
+        assert_eq!(v.row(0), &[1.0, 1.0]);
+        assert_eq!(v.row(1), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn gcn_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let gcn = GcnLayer::new(&mut store, "g", 4, Activation::Tanh, &mut rng);
+        let adj = normalize_adjacency(&Matrix::ones(6, 6));
+        let mut g = Graph::new();
+        let feats = g.constant(Matrix::from_fn(6, 4, |r, c| (r + c) as f32 * 0.1));
+        let y = gcn.forward(&mut g, &store, &adj, feats).unwrap();
+        assert_eq!(g.value(y).unwrap().shape(), (6, 4));
+    }
+}

@@ -1,0 +1,197 @@
+//! Gated recurrent unit, used by the OmniAnomaly and ESG baselines.
+
+use aero_tensor::{Graph, Matrix, NodeId, ParamId, ParamStore, Result};
+use rand::Rng;
+
+/// A single-layer GRU scanning a `T × in_dim` sequence row by row.
+///
+/// Update equations (Cho et al. 2014):
+/// ```text
+/// z_t = σ(x_t·W_z + h_{t−1}·U_z + b_z)
+/// r_t = σ(x_t·W_r + h_{t−1}·U_r + b_r)
+/// ĥ_t = tanh(x_t·W_h + (r_t ⊙ h_{t−1})·U_h + b_h)
+/// h_t = (1 − z_t) ⊙ h_{t−1} + z_t ⊙ ĥ_t
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gru {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Gru {
+    /// Registers all nine GRU weight tensors.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut w = |suffix: &str, r: usize, c: usize| {
+            store.register_xavier(format!("{name}.{suffix}"), r, c, rng)
+        };
+        let wz = w("wz", in_dim, hidden);
+        let uz = w("uz", hidden, hidden);
+        let wr = w("wr", in_dim, hidden);
+        let ur = w("ur", hidden, hidden);
+        let wh = w("wh", in_dim, hidden);
+        let uh = w("uh", hidden, hidden);
+        let bz = store.register_zeros(format!("{name}.bz"), 1, hidden);
+        let br = store.register_zeros(format!("{name}.br"), 1, hidden);
+        let bh = store.register_zeros(format!("{name}.bh"), 1, hidden);
+        Self { wz, uz, bz, wr, ur, br, wh, uh, bh, in_dim, hidden }
+    }
+
+    /// Hidden state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Parameter ids owned by this cell.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![
+            self.wz, self.uz, self.bz, self.wr, self.ur, self.br, self.wh, self.uh, self.bh,
+        ]
+    }
+
+    /// One recurrence step: `x_t` is `1 × in_dim`, `h_prev` is `1 × hidden`.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x_t: NodeId,
+        h_prev: NodeId,
+    ) -> Result<NodeId> {
+        let wz = g.param(store, self.wz)?;
+        let uz = g.param(store, self.uz)?;
+        let bz = g.param(store, self.bz)?;
+        let wr = g.param(store, self.wr)?;
+        let ur = g.param(store, self.ur)?;
+        let br = g.param(store, self.br)?;
+        let wh = g.param(store, self.wh)?;
+        let uh = g.param(store, self.uh)?;
+        let bh = g.param(store, self.bh)?;
+
+        let xz = g.matmul(x_t, wz)?;
+        let hz = g.matmul(h_prev, uz)?;
+        let zsum = g.add(xz, hz)?;
+        let zsum = g.add_row_broadcast(zsum, bz)?;
+        let z = g.sigmoid(zsum)?;
+
+        let xr = g.matmul(x_t, wr)?;
+        let hr = g.matmul(h_prev, ur)?;
+        let rsum = g.add(xr, hr)?;
+        let rsum = g.add_row_broadcast(rsum, br)?;
+        let r = g.sigmoid(rsum)?;
+
+        let rh = g.hadamard(r, h_prev)?;
+        let xh = g.matmul(x_t, wh)?;
+        let hh = g.matmul(rh, uh)?;
+        let hsum = g.add(xh, hh)?;
+        let hsum = g.add_row_broadcast(hsum, bh)?;
+        let h_cand = g.tanh(hsum)?;
+
+        // h = (1 − z) ⊙ h_prev + z ⊙ ĥ
+        let one_minus_z = g.affine(z, -1.0, 1.0)?;
+        let keep = g.hadamard(one_minus_z, h_prev)?;
+        let update = g.hadamard(z, h_cand)?;
+        g.add(keep, update)
+    }
+
+    /// Scans a full `T × in_dim` sequence; returns the `T × hidden` stack of
+    /// hidden states.
+    pub fn scan(&self, g: &mut Graph, store: &ParamStore, xs: NodeId) -> Result<NodeId> {
+        let t_len = g.value(xs)?.rows();
+        let mut h = g.constant(Matrix::zeros(1, self.hidden));
+        let mut states = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let x_t = g.slice_rows(xs, t, 1)?;
+            h = self.step(g, store, x_t, h)?;
+            states.push(h);
+        }
+        g.concat_rows(&states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scan_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gru = Gru::new(&mut store, "g", 3, 6, &mut rng);
+        let mut g = Graph::new();
+        let xs = g.constant(Matrix::from_fn(7, 3, |r, c| (r + c) as f32 * 0.1));
+        let hs = gru.scan(&mut g, &store, xs).unwrap();
+        assert_eq!(g.value(hs).unwrap().shape(), (7, 6));
+    }
+
+    #[test]
+    fn hidden_states_bounded_by_tanh() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gru = Gru::new(&mut store, "g", 2, 4, &mut rng);
+        let mut g = Graph::new();
+        let xs = g.constant(Matrix::from_fn(20, 2, |r, _| (r as f32 * 10.0).sin() * 5.0));
+        let hs = gru.scan(&mut g, &store, xs).unwrap();
+        assert!(g.value(hs).unwrap().as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gru_learns_to_remember_first_input() {
+        // Task: output at the last step should equal the first input value.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let gru = Gru::new(&mut store, "g", 1, 8, &mut rng);
+        let head =
+            crate::linear::Linear::new(&mut store, "h", 8, 1, crate::linear::Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let seqs: Vec<(Matrix, f32)> = (0..4)
+            .map(|i| {
+                let first = (i as f32) / 4.0 - 0.4;
+                let m = Matrix::from_fn(5, 1, |r, _| if r == 0 { first } else { 0.0 });
+                (m, first)
+            })
+            .collect();
+        let mut last_loss = f32::MAX;
+        for _ in 0..200 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let mut losses = Vec::new();
+            for (xs, target) in &seqs {
+                let x = g.constant(xs.clone());
+                let hs = gru.scan(&mut g, &store, x).unwrap();
+                let last = g.slice_rows(hs, 4, 1).unwrap();
+                let y = head.forward(&mut g, &store, last).unwrap();
+                losses.push(g.mse_loss(y, &Matrix::scalar(*target)).unwrap());
+            }
+            let mut total = losses[0];
+            for l in &losses[1..] {
+                total = g.add(total, *l).unwrap();
+            }
+            last_loss = g.value(total).unwrap().scalar_value().unwrap();
+            g.backward(total, &mut store).unwrap();
+            opt.step(&mut store).unwrap();
+        }
+        assert!(last_loss < 0.02, "loss = {last_loss}");
+    }
+}

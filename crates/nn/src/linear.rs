@@ -1,0 +1,220 @@
+//! Fully-connected layer and the position-wise feed-forward block.
+
+use aero_tensor::{Graph, Matrix, NodeId, ParamId, ParamStore, Result};
+use rand::Rng;
+
+/// Activation applied by composite blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Identity (no activation).
+    #[default]
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, g: &mut Graph, x: NodeId) -> Result<NodeId> {
+        match self {
+            Self::Identity => Ok(x),
+            Self::Relu => g.relu(x),
+            Self::Tanh => g.tanh(x),
+            Self::Sigmoid => g.sigmoid(x),
+        }
+    }
+}
+
+/// A dense layer `y = act(x·W + b)` operating on `seq × in_dim` inputs.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    activation: Activation,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialized dense layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.register_xavier(format!("{name}.w"), in_dim, out_dim, rng);
+        let b = store.register_zeros(format!("{name}.b"), 1, out_dim);
+        Self { w, b, activation, in_dim, out_dim }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Parameter ids owned by this layer (for freezing).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+
+    /// Forward pass on the tape.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> Result<NodeId> {
+        let w = g.param(store, self.w)?;
+        let b = g.param(store, self.b)?;
+        let y = g.linear(x, w, b)?;
+        self.activation.apply(g, y)
+    }
+}
+
+/// Transformer position-wise feed-forward network: `Linear → ReLU → Linear`.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    inner: Linear,
+    outer: Linear,
+}
+
+impl FeedForward {
+    /// Registers a two-layer FFN with hidden width `d_ff`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        d_ff: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            inner: Linear::new(store, &format!("{name}.ffn1"), d_model, d_ff, Activation::Relu, rng),
+            outer: Linear::new(
+                store,
+                &format!("{name}.ffn2"),
+                d_ff,
+                d_model,
+                Activation::Identity,
+                rng,
+            ),
+        }
+    }
+
+    /// Parameter ids owned by this block.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.inner.param_ids();
+        ids.extend(self.outer.param_ids());
+        ids
+    }
+
+    /// Forward pass on the tape.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> Result<NodeId> {
+        let h = self.inner.forward(g, store, x)?;
+        self.outer.forward(g, store, h)
+    }
+}
+
+/// Layer normalization with learnable gain and shift, applied per row.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers a layer norm over feature width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.register(format!("{name}.gamma"), Matrix::ones(1, dim));
+        let beta = store.register_zeros(format!("{name}.beta"), 1, dim);
+        Self { gamma, beta, eps: 1e-5 }
+    }
+
+    /// Parameter ids owned by this layer.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.gamma, self.beta]
+    }
+
+    /// Forward pass on the tape.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> Result<NodeId> {
+        let gamma = g.param(store, self.gamma)?;
+        let beta = g.param(store, self.beta)?;
+        g.layer_norm_rows(x, gamma, beta, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(&mut store, "l", 4, 3, Activation::Identity, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::ones(5, 4));
+        let y = l.forward(&mut g, &store, x).unwrap();
+        assert_eq!(g.value(y).unwrap().shape(), (5, 3));
+        assert_eq!(l.in_dim(), 4);
+        assert_eq!(l.out_dim(), 3);
+    }
+
+    #[test]
+    fn relu_activation_clamps_negative() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::eye(2));
+        let b = store.register_zeros("b", 1, 2);
+        let l = Linear { w, b, activation: Activation::Relu, in_dim: 2, out_dim: 2 };
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::row_vector(&[-1.0, 2.0]));
+        let y = l.forward(&mut g, &store, x).unwrap();
+        assert_eq!(g.value(y).unwrap().as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn layer_norm_output_is_standardized_initially() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::row_vector(&[1.0, 2.0, 3.0, 4.0]));
+        let y = ln.forward(&mut g, &store, x).unwrap();
+        let v = g.value(y).unwrap();
+        let mean: f32 = v.as_slice().iter().sum::<f32>() / 4.0;
+        let var: f32 = v.as_slice().iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ffn_trains_to_fit_target() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ffn = FeedForward::new(&mut store, "f", 2, 16, &mut rng);
+        let mut opt = aero_tensor::Adam::new(0.01);
+        // Centered inputs avoid the dead-ReLU corner for tiny nets.
+        let x = Matrix::from_vec(4, 2, vec![-1., -1., -1., 1., 1., -1., 1., 1.]).unwrap();
+        let t = Matrix::from_vec(4, 2, vec![0.5, -0.5, 0.1, 0.2, -0.3, 0.4, 0.9, -0.1]).unwrap();
+        let mut last = f32::MAX;
+        for _ in 0..800 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let xn = g.constant(x.clone());
+            let y = ffn.forward(&mut g, &store, xn).unwrap();
+            let loss = g.mse_loss(y, &t).unwrap();
+            last = g.value(loss).unwrap().scalar_value().unwrap();
+            g.backward(loss, &mut store).unwrap();
+            opt.step(&mut store).unwrap();
+        }
+        assert!(last < 1e-2, "loss = {last}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Long short-term memory cell (Hochreiter & Schmidhuber 1997), used by the
+//! LSTM-NDT extension baseline (Hundman et al., KDD 2018 — cited in the
+//! paper's related work).
+
+use aero_tensor::{Graph, Matrix, NodeId, ParamId, ParamStore, Result};
+use rand::Rng;
+
+/// Single-layer LSTM scanning a `T × in_dim` sequence row by row.
+///
+/// ```text
+/// i_t = σ(x_t·W_i + h_{t−1}·U_i + b_i)      input gate
+/// f_t = σ(x_t·W_f + h_{t−1}·U_f + b_f)      forget gate
+/// o_t = σ(x_t·W_o + h_{t−1}·U_o + b_o)      output gate
+/// c̃_t = tanh(x_t·W_c + h_{t−1}·U_c + b_c)   candidate cell
+/// c_t = f_t ⊙ c_{t−1} + i_t ⊙ c̃_t
+/// h_t = o_t ⊙ tanh(c_t)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    gates: [(ParamId, ParamId, ParamId); 4], // (W, U, b) for i, f, o, c̃
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Registers all twelve LSTM weight tensors. The forget-gate bias is
+    /// initialized to 1 (standard trick for gradient flow early in training).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut gate = |suffix: &str, forget: bool| {
+            let w = store.register_xavier(format!("{name}.w{suffix}"), in_dim, hidden, rng);
+            let u = store.register_xavier(format!("{name}.u{suffix}"), hidden, hidden, rng);
+            let b = if forget {
+                store.register(format!("{name}.b{suffix}"), Matrix::ones(1, hidden))
+            } else {
+                store.register_zeros(format!("{name}.b{suffix}"), 1, hidden)
+            };
+            (w, u, b)
+        };
+        let gates = [
+            gate("i", false),
+            gate("f", true),
+            gate("o", false),
+            gate("c", false),
+        ];
+        Self { gates, in_dim, hidden }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Parameter ids owned by this cell.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.gates
+            .iter()
+            .flat_map(|(w, u, b)| [*w, *u, *b])
+            .collect()
+    }
+
+    fn gate(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        idx: usize,
+        x_t: NodeId,
+        h_prev: NodeId,
+    ) -> Result<NodeId> {
+        let (w, u, b) = self.gates[idx];
+        let wn = g.param(store, w)?;
+        let un = g.param(store, u)?;
+        let bn = g.param(store, b)?;
+        let xw = g.matmul(x_t, wn)?;
+        let hu = g.matmul(h_prev, un)?;
+        let sum = g.add(xw, hu)?;
+        g.add_row_broadcast(sum, bn)
+    }
+
+    /// One recurrence step; returns `(h_t, c_t)`.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x_t: NodeId,
+        h_prev: NodeId,
+        c_prev: NodeId,
+    ) -> Result<(NodeId, NodeId)> {
+        let i_pre = self.gate(g, store, 0, x_t, h_prev)?;
+        let i = g.sigmoid(i_pre)?;
+        let f_pre = self.gate(g, store, 1, x_t, h_prev)?;
+        let f = g.sigmoid(f_pre)?;
+        let o_pre = self.gate(g, store, 2, x_t, h_prev)?;
+        let o = g.sigmoid(o_pre)?;
+        let c_pre = self.gate(g, store, 3, x_t, h_prev)?;
+        let c_cand = g.tanh(c_pre)?;
+
+        let keep = g.hadamard(f, c_prev)?;
+        let write = g.hadamard(i, c_cand)?;
+        let c = g.add(keep, write)?;
+        let c_act = g.tanh(c)?;
+        let h = g.hadamard(o, c_act)?;
+        Ok((h, c))
+    }
+
+    /// Scans a `T × in_dim` sequence; returns the `T × hidden` hidden states.
+    pub fn scan(&self, g: &mut Graph, store: &ParamStore, xs: NodeId) -> Result<NodeId> {
+        let t_len = g.value(xs)?.rows();
+        let mut h = g.constant(Matrix::zeros(1, self.hidden));
+        let mut c = g.constant(Matrix::zeros(1, self.hidden));
+        let mut states = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let x_t = g.slice_rows(xs, t, 1)?;
+            let (nh, nc) = self.step(g, store, x_t, h, c)?;
+            h = nh;
+            c = nc;
+            states.push(h);
+        }
+        g.concat_rows(&states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::{check_gradient, Adam};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scan_shapes_and_bounds() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let lstm = Lstm::new(&mut store, "l", 3, 5, &mut rng);
+        let mut g = Graph::new();
+        let xs = g.constant(Matrix::from_fn(8, 3, |r, c| ((r + c) as f32).sin()));
+        let hs = lstm.scan(&mut g, &store, xs).unwrap();
+        let v = g.value(hs).unwrap();
+        assert_eq!(v.shape(), (8, 5));
+        assert!(v.as_slice().iter().all(|&x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let lstm = Lstm::new(&mut store, "l", 2, 3, &mut rng);
+        let (_, _, bf) = lstm.gates[1];
+        assert_eq!(store.value(bf).unwrap().as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradients_check_against_finite_differences() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        let lstm = Lstm::new(&mut store, "l", 2, 3, &mut rng);
+        let xs = Matrix::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.15);
+        for &p in &lstm.param_ids()[..3] {
+            let report = check_gradient(&store, p, 1e-2, |s, g| {
+                let x = g.constant(xs.clone());
+                let hs = lstm.scan(g, s, x)?;
+                let sq = g.hadamard(hs, hs)?;
+                g.mean_all(sq)
+            })
+            .unwrap();
+            assert!(report.passes(3e-2), "{report:?}");
+        }
+    }
+
+    #[test]
+    fn lstm_learns_a_simple_forecast() {
+        // Predict next value of an alternating sequence.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let lstm = Lstm::new(&mut store, "l", 1, 6, &mut rng);
+        let head = crate::linear::Linear::new(
+            &mut store,
+            "h",
+            6,
+            1,
+            crate::linear::Activation::Identity,
+            &mut rng,
+        );
+        let mut opt = Adam::new(0.02);
+        let seq = Matrix::from_fn(10, 1, |r, _| if r % 2 == 0 { 0.5 } else { -0.5 });
+        let target = Matrix::from_fn(10, 1, |r, _| if r % 2 == 0 { -0.5 } else { 0.5 });
+        let mut last = f32::MAX;
+        for _ in 0..150 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let xs = g.constant(seq.clone());
+            let hs = lstm.scan(&mut g, &store, xs).unwrap();
+            let preds = head.forward(&mut g, &store, hs).unwrap();
+            let loss = g.mse_loss(preds, &target).unwrap();
+            last = g.value(loss).unwrap().scalar_value().unwrap();
+            g.backward(loss, &mut store).unwrap();
+            opt.step(&mut store).unwrap();
+        }
+        assert!(last < 0.02, "loss = {last}");
+    }
+}

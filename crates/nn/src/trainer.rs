@@ -1,0 +1,153 @@
+//! Training-loop utilities: early stopping (the paper trains with
+//! patience = 5) and a small epoch-statistics record.
+
+/// Early-stopping monitor on a minimized metric.
+///
+/// `update` returns `true` while training should continue; after `patience`
+/// consecutive non-improving epochs it returns `false`.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f32,
+    best: f32,
+    bad_epochs: usize,
+    best_epoch: usize,
+    epoch: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a monitor with the given patience and minimum improvement.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        Self {
+            patience,
+            min_delta,
+            best: f32::INFINITY,
+            bad_epochs: 0,
+            best_epoch: 0,
+            epoch: 0,
+        }
+    }
+
+    /// The paper's configuration: patience 5, any improvement counts.
+    pub fn paper_default() -> Self {
+        Self::new(5, 0.0)
+    }
+
+    /// Records an epoch loss; returns `false` when training should stop.
+    pub fn update(&mut self, loss: f32) -> bool {
+        self.epoch += 1;
+        if loss.is_nan() {
+            // NaN loss: stop immediately rather than wait out the patience.
+            self.bad_epochs = self.patience;
+            return false;
+        }
+        if loss < self.best - self.min_delta {
+            self.best = loss;
+            self.best_epoch = self.epoch;
+            self.bad_epochs = 0;
+            true
+        } else {
+            self.bad_epochs += 1;
+            self.bad_epochs < self.patience
+        }
+    }
+
+    /// Best loss observed so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+
+    /// Epoch (1-based) at which the best loss occurred.
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+
+    /// Number of epochs recorded.
+    pub fn epochs(&self) -> usize {
+        self.epoch
+    }
+}
+
+/// Loss trajectory of one training stage.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingHistory {
+    /// Mean loss per epoch, in order.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainingHistory {
+    /// Records one epoch's mean loss.
+    pub fn push(&mut self, loss: f32) {
+        self.epoch_losses.push(loss);
+    }
+
+    /// Final recorded loss, if any epoch ran.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
+    }
+
+    /// Number of epochs run.
+    pub fn epochs(&self) -> usize {
+        self.epoch_losses.len()
+    }
+
+    /// True when the loss decreased from first to last epoch.
+    pub fn improved(&self) -> bool {
+        match (self.epoch_losses.first(), self.epoch_losses.last()) {
+            (Some(first), Some(last)) => last < first,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_after_patience_exhausted() {
+        let mut es = EarlyStopping::new(3, 0.0);
+        assert!(es.update(1.0));
+        assert!(es.update(0.9));
+        assert!(es.update(0.95)); // bad 1
+        assert!(es.update(0.95)); // bad 2
+        assert!(!es.update(0.95)); // bad 3 → stop
+        assert_eq!(es.best(), 0.9);
+        assert_eq!(es.best_epoch(), 2);
+    }
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(es.update(1.0));
+        assert!(es.update(1.1)); // bad 1
+        assert!(es.update(0.5)); // improvement resets
+        assert!(es.update(0.6)); // bad 1
+        assert!(!es.update(0.6)); // bad 2 → stop
+    }
+
+    #[test]
+    fn nan_loss_stops_immediately() {
+        let mut es = EarlyStopping::new(5, 0.0);
+        assert!(es.update(1.0));
+        assert!(!es.update(f32::NAN));
+    }
+
+    #[test]
+    fn min_delta_requires_meaningful_improvement() {
+        let mut es = EarlyStopping::new(1, 0.1);
+        assert!(es.update(1.0));
+        assert!(!es.update(0.95)); // improvement below min_delta → bad → stop
+    }
+
+    #[test]
+    fn history_tracks_improvement() {
+        let mut h = TrainingHistory::default();
+        assert!(!h.improved());
+        h.push(2.0);
+        h.push(1.0);
+        assert!(h.improved());
+        assert_eq!(h.final_loss(), Some(1.0));
+        assert_eq!(h.epochs(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Variational-autoencoder building blocks used by the Donut and
+//! OmniAnomaly baselines: a Gaussian latent head with the reparameterization
+//! trick, and an analytic KL term against the standard normal prior.
+
+use aero_tensor::{Graph, Matrix, NodeId, ParamStore, Result};
+use rand::Rng;
+
+use crate::linear::{Activation, Linear};
+
+/// Gaussian latent head producing `(μ, log σ²)` and a reparameterized sample.
+#[derive(Debug, Clone)]
+pub struct GaussianHead {
+    mu: Linear,
+    logvar: Linear,
+    latent_dim: usize,
+}
+
+impl GaussianHead {
+    /// Registers the two projection layers `in_dim → latent_dim`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        latent_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            mu: Linear::new(store, &format!("{name}.mu"), in_dim, latent_dim, Activation::Identity, rng),
+            logvar: Linear::new(
+                store,
+                &format!("{name}.logvar"),
+                in_dim,
+                latent_dim,
+                Activation::Identity,
+                rng,
+            ),
+            latent_dim,
+        }
+    }
+
+    /// Latent width.
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Parameter ids owned by this head.
+    pub fn param_ids(&self) -> Vec<aero_tensor::ParamId> {
+        let mut ids = self.mu.param_ids();
+        ids.extend(self.logvar.param_ids());
+        ids
+    }
+
+    /// Produces `(z, mu, logvar)` for a `rows × in_dim` input, sampling
+    /// `ε ~ N(0, 1)` from `rng` (deterministic inference can pass a zeroed
+    /// epsilon via [`Self::forward_with_eps`]).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        rng: &mut impl Rng,
+    ) -> Result<(NodeId, NodeId, NodeId)> {
+        let rows = g.value(x)?.rows();
+        let eps = Matrix::from_fn(rows, self.latent_dim, |_, _| standard_normal(rng));
+        self.forward_with_eps(g, store, x, &eps)
+    }
+
+    /// Deterministic variant with caller-provided noise (use zeros for the
+    /// posterior mean, i.e. MAP inference at scoring time).
+    pub fn forward_with_eps(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        eps: &Matrix,
+    ) -> Result<(NodeId, NodeId, NodeId)> {
+        let mu = self.mu.forward(g, store, x)?;
+        let logvar = self.logvar.forward(g, store, x)?;
+        // z = μ + exp(0.5·logvar) ⊙ ε
+        let half = g.affine(logvar, 0.5, 0.0)?;
+        let std = g.exp(half)?;
+        let eps_n = g.constant(eps.clone());
+        let noise = g.hadamard(std, eps_n)?;
+        let z = g.add(mu, noise)?;
+        Ok((z, mu, logvar))
+    }
+}
+
+/// Analytic KL divergence `KL(N(μ, σ²) ‖ N(0, 1))`, averaged over all
+/// latent entries: `−½ · mean(1 + logvar − μ² − exp(logvar))`.
+pub fn kl_standard_normal(g: &mut Graph, mu: NodeId, logvar: NodeId) -> Result<NodeId> {
+    let mu2 = g.hadamard(mu, mu)?;
+    let var = g.exp(logvar)?;
+    let one_plus = g.affine(logvar, 1.0, 1.0)?;
+    let t = g.sub(one_plus, mu2)?;
+    let t = g.sub(t, var)?;
+    let m = g.mean_all(t)?;
+    g.affine(m, -0.5, 0.0)
+}
+
+/// Samples a standard normal via Box–Muller (no `rand_distr` dependency).
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let samples: Vec<f32> = (0..20000).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var: f32 =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn kl_is_zero_for_standard_posterior() {
+        let mut g = Graph::new();
+        let mu = g.constant(Matrix::zeros(3, 4));
+        let logvar = g.constant(Matrix::zeros(3, 4));
+        let kl = kl_standard_normal(&mut g, mu, logvar).unwrap();
+        assert!(g.value(kl).unwrap().scalar_value().unwrap().abs() < 1e-7);
+    }
+
+    #[test]
+    fn kl_positive_for_shifted_posterior() {
+        let mut g = Graph::new();
+        let mu = g.constant(Matrix::full(2, 2, 2.0));
+        let logvar = g.constant(Matrix::zeros(2, 2));
+        let kl = kl_standard_normal(&mut g, mu, logvar).unwrap();
+        let v = g.value(kl).unwrap().scalar_value().unwrap();
+        assert!((v - 2.0).abs() < 1e-6, "KL = {v}"); // ½·μ² = 2
+    }
+
+    #[test]
+    fn reparameterized_sample_with_zero_eps_equals_mu() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let head = GaussianHead::new(&mut store, "h", 3, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.2));
+        let eps = Matrix::zeros(4, 2);
+        let (z, mu, _) = head.forward_with_eps(&mut g, &store, x, &eps).unwrap();
+        assert_eq!(g.value(z).unwrap(), g.value(mu).unwrap());
+    }
+}

@@ -1,0 +1,159 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer in this workspace was validated against this checker; it is
+//! public so downstream models built on the tape can verify their own
+//! backward passes (the single most common source of silent wrongness in
+//! hand-rolled autodiff).
+
+use crate::error::Result;
+use crate::graph::{Graph, NodeId};
+use crate::params::{ParamId, ParamStore};
+
+/// Outcome of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Parameter that was checked.
+    pub param: ParamId,
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_diff: f32,
+    /// Largest relative difference (`|a−n| / max(|a|, |n|, 1e-3)`).
+    pub max_rel_diff: f32,
+    /// Flat index where the worst relative difference occurred.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// True when both difference measures are under `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_diff <= tol || self.max_rel_diff <= tol
+    }
+}
+
+/// Checks the analytic gradient of `param` under the scalar loss built by
+/// `build` against central finite differences with step `eps`.
+///
+/// `build` must construct the same computation each call (it receives the
+/// store and a fresh tape, returning the loss node). The store is cloned
+/// for the perturbed evaluations, so the caller's parameters are untouched.
+pub fn check_gradient(
+    store: &ParamStore,
+    param: ParamId,
+    eps: f32,
+    mut build: impl FnMut(&ParamStore, &mut Graph) -> Result<NodeId>,
+) -> Result<GradCheckReport> {
+    // Analytic pass.
+    let mut work = store.clone();
+    work.zero_grads();
+    let mut g = Graph::new();
+    let loss = build(&work, &mut g)?;
+    g.backward(loss, &mut work)?;
+    let analytic = work.grad(param)?.clone();
+
+    let mut eval = |perturbed: &ParamStore| -> Result<f32> {
+        let mut g = Graph::new();
+        let loss = build(perturbed, &mut g)?;
+        g.value(loss)?.scalar_value()
+    };
+
+    let mut report = GradCheckReport {
+        param,
+        max_abs_diff: 0.0,
+        max_rel_diff: 0.0,
+        worst_index: 0,
+    };
+    let len = analytic.len();
+    for idx in 0..len {
+        let mut plus = store.clone();
+        let mut v = plus.value(param)?.clone();
+        v.as_mut_slice()[idx] += eps;
+        plus.set_value(param, v)?;
+        let up = eval(&plus)?;
+
+        let mut minus = store.clone();
+        let mut v = minus.value(param)?.clone();
+        v.as_mut_slice()[idx] -= eps;
+        minus.set_value(param, v)?;
+        let down = eval(&minus)?;
+
+        let numeric = (up - down) / (2.0 * eps);
+        let a = analytic.as_slice()[idx];
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1e-3);
+        if rel > report.max_rel_diff {
+            report.max_rel_diff = rel;
+            report.worst_index = idx;
+        }
+        report.max_abs_diff = report.max_abs_diff.max(abs);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn passes_on_correct_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.register(
+            "w",
+            Matrix::from_vec(2, 2, vec![0.3, -0.4, 0.1, 0.7]).unwrap(),
+        );
+        let report = check_gradient(&store, w, 1e-3, |s, g| {
+            let wn = g.param(s, w)?;
+            let x = g.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, -1.0, 0.5]).unwrap());
+            let y = g.matmul(wn, x)?;
+            let act = g.tanh(y)?;
+            let sq = g.hadamard(act, act)?;
+            g.mean_all(sq)
+        })
+        .unwrap();
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn catches_a_wrong_gradient() {
+        // Deliberately check a parameter that the loss does not even use:
+        // the analytic gradient is zero while the "loss" we evaluate changes
+        // with the perturbation through a *constant captured outside* —
+        // simulate by building a loss that uses the parameter value scaled
+        // inconsistently between forward and backward. Easiest honest way:
+        // the loss uses w², so the analytic gradient of mean(w) would be
+        // wrong; compare mean(w)'s gradient against w²'s values.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::row_vector(&[0.5, -0.25]));
+        // build() evaluates mean(w ⊙ w) but we fake the analytic gradient by
+        // pre-loading a wrong gradient into a *copy* — instead check that a
+        // mismatched build (returning mean(w)) fails against w²'s dynamics.
+        let mut calls = 0;
+        let report = check_gradient(&store, w, 1e-3, move |s, g| {
+            calls += 1;
+            let wn = g.param(s, w)?;
+            if calls == 1 {
+                // Analytic pass sees mean(w): gradient 1/2 everywhere.
+                g.mean_all(wn)
+            } else {
+                // Numeric passes see mean(w²): slope w.
+                let sq = g.hadamard(wn, wn)?;
+                g.mean_all(sq)
+            }
+        })
+        .unwrap();
+        assert!(!report.passes(1e-2), "should have failed: {report:?}");
+    }
+
+    #[test]
+    fn report_locates_worst_entry() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::row_vector(&[1.0, 2.0, 3.0]));
+        let report = check_gradient(&store, w, 1e-3, |s, g| {
+            let wn = g.param(s, w)?;
+            let sq = g.hadamard(wn, wn)?;
+            g.sum_all(sq)
+        })
+        .unwrap();
+        assert!(report.passes(1e-2));
+        assert!(report.worst_index < 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type shared by all tensor and autodiff operations.
+
+use std::fmt;
+
+/// Result alias for tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors raised by matrix kernels, the autodiff graph, and optimizers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// An operation received operands of incompatible shapes.
+    ShapeMismatch {
+        /// Shape the operation required.
+        expected: (usize, usize),
+        /// Shape it received.
+        got: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An index exceeded a dimension bound.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Exclusive upper bound.
+        bound: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A node id did not belong to the graph it was used with.
+    InvalidNode {
+        /// The out-of-range node id.
+        id: usize,
+    },
+    /// A parameter id did not belong to the parameter store.
+    InvalidParam {
+        /// The out-of-range parameter id.
+        id: usize,
+    },
+    /// `backward` was called on a node that is not a `1 × 1` scalar.
+    NonScalarLoss {
+        /// Shape of the node `backward` was called on.
+        shape: (usize, usize),
+    },
+    /// A numeric invariant was violated (NaN/Inf reached a checked boundary).
+    NonFinite {
+        /// Name of the operation that produced the value.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { expected, got, op } => write!(
+                f,
+                "shape mismatch in `{op}`: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            Self::IndexOutOfBounds { index, bound, op } => {
+                write!(f, "index {index} out of bounds {bound} in `{op}`")
+            }
+            Self::InvalidNode { id } => write!(f, "node id {id} is not in this graph"),
+            Self::InvalidParam { id } => write!(f, "param id {id} is not in this store"),
+            Self::NonScalarLoss { shape } => {
+                write!(f, "backward requires a 1x1 loss, got {}x{}", shape.0, shape.1)
+            }
+            Self::NonFinite { op } => write!(f, "non-finite value produced by `{op}`"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

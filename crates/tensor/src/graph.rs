@@ -1,0 +1,693 @@
+//! Reverse-mode automatic differentiation on a per-step tape.
+//!
+//! A [`Graph`] is created for every forward pass, records each operation as a
+//! node, and replays the tape in reverse on [`Graph::backward`]. Nodes only
+//! reference earlier nodes, so reverse creation order is a valid topological
+//! order. Parameter leaves remember their [`ParamId`]; after backward the
+//! leaf gradients are flushed into the [`ParamStore`].
+
+use crate::error::{Result, TensorError};
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// The recorded operation for one tape node.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant or parameter leaf.
+    Leaf,
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Hadamard(NodeId, NodeId),
+    /// `alpha * x + beta`, elementwise.
+    Affine { x: NodeId, alpha: f32 },
+    Matmul(NodeId, NodeId),
+    Transpose(NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Relu(NodeId),
+    Exp(NodeId),
+    Ln(NodeId),
+    /// Row-wise softmax.
+    SoftmaxRows(NodeId),
+    /// Row-wise layer normalization with learnable gain/shift.
+    LayerNormRows {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        /// Cached normalized input x̂.
+        normed: Matrix,
+        /// Cached 1/σ per row (`rows × 1`).
+        inv_std: Matrix,
+    },
+    AddRowBroadcast { x: NodeId, row: NodeId },
+    ConcatCols { parts: Vec<(NodeId, usize)> },
+    ConcatRows { parts: Vec<(NodeId, usize)> },
+    SliceCols { x: NodeId, start: usize },
+    SliceRows { x: NodeId, start: usize },
+    GatherRows { x: NodeId, indices: Vec<usize> },
+    /// Sum of all elements into a `1 × 1`.
+    SumAll(NodeId),
+    /// Mean of all elements into a `1 × 1`.
+    MeanAll(NodeId),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    param: Option<ParamId>,
+}
+
+/// Per-forward-pass autodiff tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, param: Option<ParamId>) -> NodeId {
+        self.nodes.push(Node { value, grad: None, op, param });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0).ok_or(TensorError::InvalidNode { id: id.0 })
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> Result<&Matrix> {
+        Ok(&self.node(id)?.value)
+    }
+
+    /// The accumulated gradient of a node (after `backward`).
+    pub fn grad(&self, id: NodeId) -> Result<Option<&Matrix>> {
+        Ok(self.node(id)?.grad.as_ref())
+    }
+
+    /// Inserts a constant leaf (no gradient is propagated out of the tape).
+    pub fn constant(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf, None)
+    }
+
+    /// Inserts a leaf holding the current value of parameter `id`.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Result<NodeId> {
+        let value = store.value(id)?.clone();
+        Ok(self.push(value, Op::Leaf, Some(id)))
+    }
+
+    // ---- elementwise & linear-algebra ops ---------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.node(a)?.value.add(&self.node(b)?.value)?;
+        Ok(self.push(v, Op::Add(a, b), None))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.node(a)?.value.sub(&self.node(b)?.value)?;
+        Ok(self.push(v, Op::Sub(a, b), None))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.node(a)?.value.hadamard(&self.node(b)?.value)?;
+        Ok(self.push(v, Op::Hadamard(a, b), None))
+    }
+
+    /// `alpha * x + beta` elementwise.
+    pub fn affine(&mut self, x: NodeId, alpha: f32, beta: f32) -> Result<NodeId> {
+        let v = self.node(x)?.value.affine(alpha, beta);
+        Ok(self.push(v, Op::Affine { x, alpha }, None))
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.node(a)?.value.matmul(&self.node(b)?.value)?;
+        Ok(self.push(v, Op::Matmul(a, b), None))
+    }
+
+    /// Transposed copy of `x`.
+    pub fn transpose(&mut self, x: NodeId) -> Result<NodeId> {
+        let v = self.node(x)?.value.transpose();
+        Ok(self.push(v, Op::Transpose(x), None))
+    }
+
+    /// Logistic sigmoid, elementwise.
+    pub fn sigmoid(&mut self, x: NodeId) -> Result<NodeId> {
+        let v = self.node(x)?.value.map(|a| 1.0 / (1.0 + (-a).exp()));
+        Ok(self.push(v, Op::Sigmoid(x), None))
+    }
+
+    /// Hyperbolic tangent, elementwise.
+    pub fn tanh(&mut self, x: NodeId) -> Result<NodeId> {
+        let v = self.node(x)?.value.map(f32::tanh);
+        Ok(self.push(v, Op::Tanh(x), None))
+    }
+
+    /// Rectified linear unit, elementwise.
+    pub fn relu(&mut self, x: NodeId) -> Result<NodeId> {
+        let v = self.node(x)?.value.map(|a| a.max(0.0));
+        Ok(self.push(v, Op::Relu(x), None))
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&mut self, x: NodeId) -> Result<NodeId> {
+        let v = self.node(x)?.value.map(f32::exp);
+        Ok(self.push(v, Op::Exp(x), None))
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// Inputs are clamped to `1e-12` from below to keep the forward (and the
+    /// `1/x` backward) finite on non-positive values.
+    pub fn ln(&mut self, x: NodeId) -> Result<NodeId> {
+        let v = self.node(x)?.value.map(|a| a.max(1e-12).ln());
+        Ok(self.push(v, Op::Ln(x), None))
+    }
+
+    /// Numerically-stable row-wise softmax.
+    pub fn softmax_rows(&mut self, x: NodeId) -> Result<NodeId> {
+        let xv = &self.node(x)?.value;
+        let (rows, cols) = xv.shape();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row = xv.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            let orow = out.row_mut(r);
+            for (o, &v) in orow.iter_mut().zip(row) {
+                let e = (v - m).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in orow {
+                *o *= inv;
+            }
+        }
+        Ok(self.push(out, Op::SoftmaxRows(x), None))
+    }
+
+    /// Row-wise layer normalization: `gamma ⊙ (x−μ)/σ + beta`.
+    ///
+    /// `gamma` and `beta` must be `1 × cols`.
+    pub fn layer_norm_rows(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    ) -> Result<NodeId> {
+        let xv = self.node(x)?.value.clone();
+        let gv = self.node(gamma)?.value.clone();
+        let bv = self.node(beta)?.value.clone();
+        let (rows, cols) = xv.shape();
+        if gv.shape() != (1, cols) || bv.shape() != (1, cols) {
+            return Err(TensorError::ShapeMismatch {
+                expected: (1, cols),
+                got: gv.shape(),
+                op: "layer_norm_rows",
+            });
+        }
+        let mut normed = Matrix::zeros(rows, cols);
+        let mut inv_std = Matrix::zeros(rows, 1);
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row = xv.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std.set(r, 0, istd);
+            for (c, &x) in row.iter().enumerate() {
+                let n = (x - mean) * istd;
+                normed.set(r, c, n);
+                out.set(r, c, gv.get(0, c) * n + bv.get(0, c));
+            }
+        }
+        Ok(self.push(
+            out,
+            Op::LayerNormRows { x, gamma, beta, normed, inv_std },
+            None,
+        ))
+    }
+
+    /// Adds a `1 × cols` row vector to every row of `x`.
+    pub fn add_row_broadcast(&mut self, x: NodeId, row: NodeId) -> Result<NodeId> {
+        let v = self.node(x)?.value.add_row_broadcast(&self.node(row)?.value)?;
+        Ok(self.push(v, Op::AddRowBroadcast { x, row }, None))
+    }
+
+    /// Joins matrices horizontally (column-wise).
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> Result<NodeId> {
+        let mats: Vec<&Matrix> = parts
+            .iter()
+            .map(|&p| self.node(p).map(|n| &n.value))
+            .collect::<Result<_>>()?;
+        let v = Matrix::concat_cols(&mats)?;
+        let widths = parts
+            .iter()
+            .map(|&p| Ok((p, self.node(p)?.value.cols())))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(self.push(v, Op::ConcatCols { parts: widths }, None))
+    }
+
+    /// Stacks matrices vertically (row-wise).
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> Result<NodeId> {
+        let mats: Vec<&Matrix> = parts
+            .iter()
+            .map(|&p| self.node(p).map(|n| &n.value))
+            .collect::<Result<_>>()?;
+        let v = Matrix::concat_rows(&mats)?;
+        let heights = parts
+            .iter()
+            .map(|&p| Ok((p, self.node(p)?.value.rows())))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(self.push(v, Op::ConcatRows { parts: heights }, None))
+    }
+
+    /// Copies columns `[start, start+len)`.
+    pub fn slice_cols(&mut self, x: NodeId, start: usize, len: usize) -> Result<NodeId> {
+        let v = self.node(x)?.value.slice_cols(start, len)?;
+        Ok(self.push(v, Op::SliceCols { x, start }, None))
+    }
+
+    /// Copies rows `[start, start+len)`.
+    pub fn slice_rows(&mut self, x: NodeId, start: usize, len: usize) -> Result<NodeId> {
+        let v = self.node(x)?.value.slice_rows(start, len)?;
+        Ok(self.push(v, Op::SliceRows { x, start }, None))
+    }
+
+    /// Gathers rows of `x` by (possibly repeating) indices.
+    pub fn gather_rows(&mut self, x: NodeId, indices: &[usize]) -> Result<NodeId> {
+        let v = self.node(x)?.value.gather_rows(indices)?;
+        Ok(self.push(v, Op::GatherRows { x, indices: indices.to_vec() }, None))
+    }
+
+    /// Sum of all elements as a `1 × 1`.
+    pub fn sum_all(&mut self, x: NodeId) -> Result<NodeId> {
+        let v = Matrix::scalar(self.node(x)?.value.sum());
+        Ok(self.push(v, Op::SumAll(x), None))
+    }
+
+    /// Mean of all elements as a `1 × 1`.
+    pub fn mean_all(&mut self, x: NodeId) -> Result<NodeId> {
+        let v = Matrix::scalar(self.node(x)?.value.mean());
+        Ok(self.push(v, Op::MeanAll(x), None))
+    }
+
+    // ---- composites -------------------------------------------------------
+
+    /// Mean squared error between `pred` and a constant `target`.
+    pub fn mse_loss(&mut self, pred: NodeId, target: &Matrix) -> Result<NodeId> {
+        let t = self.constant(target.clone());
+        let diff = self.sub(pred, t)?;
+        let sq = self.hadamard(diff, diff)?;
+        self.mean_all(sq)
+    }
+
+    /// `x · W + b` with `b` broadcast over rows.
+    pub fn linear(&mut self, x: NodeId, w: NodeId, b: NodeId) -> Result<NodeId> {
+        let xw = self.matmul(x, w)?;
+        self.add_row_broadcast(xw, b)
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    fn accumulate(&mut self, id: NodeId, delta: Matrix) -> Result<()> {
+        let node = self
+            .nodes
+            .get_mut(id.0)
+            .ok_or(TensorError::InvalidNode { id: id.0 })?;
+        match &mut node.grad {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => {
+                *slot = Some(delta);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs reverse-mode differentiation from scalar node `loss` and flushes
+    /// parameter-leaf gradients into `store`.
+    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) -> Result<()> {
+        let shape = self.node(loss)?.value.shape();
+        if shape != (1, 1) {
+            return Err(TensorError::NonScalarLoss { shape });
+        }
+        self.accumulate(loss, Matrix::scalar(1.0))?;
+
+        for i in (0..=loss.0).rev() {
+            let Some(dy) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            let y = self.nodes[i].value.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.accumulate(a, dy.clone())?;
+                    self.accumulate(b, dy)?;
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, dy.clone())?;
+                    self.accumulate(b, dy.affine(-1.0, 0.0))?;
+                }
+                Op::Hadamard(a, b) => {
+                    let av = self.node(a)?.value.clone();
+                    let bv = self.node(b)?.value.clone();
+                    self.accumulate(a, dy.hadamard(&bv)?)?;
+                    self.accumulate(b, dy.hadamard(&av)?)?;
+                }
+                Op::Affine { x, alpha } => {
+                    self.accumulate(x, dy.affine(alpha, 0.0))?;
+                }
+                Op::Matmul(a, b) => {
+                    let av = self.node(a)?.value.clone();
+                    let bv = self.node(b)?.value.clone();
+                    self.accumulate(a, dy.matmul_nt(&bv)?)?;
+                    self.accumulate(b, av.matmul_tn(&dy)?)?;
+                }
+                Op::Transpose(x) => {
+                    self.accumulate(x, dy.transpose())?;
+                }
+                Op::Sigmoid(x) => {
+                    let dx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                        let s = y.get(r, c);
+                        dy.get(r, c) * s * (1.0 - s)
+                    });
+                    self.accumulate(x, dx)?;
+                }
+                Op::Tanh(x) => {
+                    let dx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                        let t = y.get(r, c);
+                        dy.get(r, c) * (1.0 - t * t)
+                    });
+                    self.accumulate(x, dx)?;
+                }
+                Op::Relu(x) => {
+                    let xv = self.node(x)?.value.clone();
+                    let dx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                        if xv.get(r, c) > 0.0 {
+                            dy.get(r, c)
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accumulate(x, dx)?;
+                }
+                Op::Exp(x) => {
+                    // dy/dx = y
+                    self.accumulate(x, dy.hadamard(&y)?)?;
+                }
+                Op::Ln(x) => {
+                    let xv = self.node(x)?.value.clone();
+                    let dx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                        dy.get(r, c) / xv.get(r, c).max(1e-12)
+                    });
+                    self.accumulate(x, dx)?;
+                }
+                Op::SoftmaxRows(x) => {
+                    // dx = y ⊙ (dy − rowsum(dy ⊙ y))
+                    let (rows, cols) = y.shape();
+                    let mut dx = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        let yr = y.row(r);
+                        let dyr = dy.row(r);
+                        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+                        let dxr = dx.row_mut(r);
+                        for c in 0..cols {
+                            dxr[c] = yr[c] * (dyr[c] - dot);
+                        }
+                    }
+                    self.accumulate(x, dx)?;
+                }
+                Op::LayerNormRows { x, gamma, beta, normed, inv_std } => {
+                    let gv = self.node(gamma)?.value.clone();
+                    let (rows, cols) = normed.shape();
+                    // dgamma = Σ_rows dy ⊙ x̂ ; dbeta = Σ_rows dy
+                    let mut dgamma = Matrix::zeros(1, cols);
+                    let mut dbeta = Matrix::zeros(1, cols);
+                    let mut dx = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        let dyr = dy.row(r);
+                        let nr = normed.row(r);
+                        for c in 0..cols {
+                            dgamma.as_mut_slice()[c] += dyr[c] * nr[c];
+                            dbeta.as_mut_slice()[c] += dyr[c];
+                        }
+                        // dx̂ = gamma ⊙ dy;
+                        // dx = (dx̂ − mean(dx̂) − x̂·mean(dx̂ ⊙ x̂)) · inv_std
+                        let istd = inv_std.get(r, 0);
+                        let mut mean_dxhat = 0.0f32;
+                        let mut mean_dxhat_xhat = 0.0f32;
+                        for c in 0..cols {
+                            let dxh = gv.get(0, c) * dyr[c];
+                            mean_dxhat += dxh;
+                            mean_dxhat_xhat += dxh * nr[c];
+                        }
+                        mean_dxhat /= cols as f32;
+                        mean_dxhat_xhat /= cols as f32;
+                        let dxr = dx.row_mut(r);
+                        for c in 0..cols {
+                            let dxh = gv.get(0, c) * dyr[c];
+                            dxr[c] = (dxh - mean_dxhat - nr[c] * mean_dxhat_xhat) * istd;
+                        }
+                    }
+                    self.accumulate(x, dx)?;
+                    self.accumulate(gamma, dgamma)?;
+                    self.accumulate(beta, dbeta)?;
+                }
+                Op::AddRowBroadcast { x, row } => {
+                    // d(row) = column sums of dy.
+                    let mut drow = Matrix::zeros(1, dy.cols());
+                    for r in 0..dy.rows() {
+                        for (acc, v) in drow.as_mut_slice().iter_mut().zip(dy.row(r)) {
+                            *acc += v;
+                        }
+                    }
+                    self.accumulate(x, dy)?;
+                    self.accumulate(row, drow)?;
+                }
+                Op::ConcatCols { parts } => {
+                    let mut start = 0;
+                    for (p, width) in parts {
+                        let slice = dy.slice_cols(start, width)?;
+                        self.accumulate(p, slice)?;
+                        start += width;
+                    }
+                }
+                Op::ConcatRows { parts } => {
+                    let mut start = 0;
+                    for (p, height) in parts {
+                        let slice = dy.slice_rows(start, height)?;
+                        self.accumulate(p, slice)?;
+                        start += height;
+                    }
+                }
+                Op::SliceCols { x, start } => {
+                    let xv = self.node(x)?.value.shape();
+                    let mut dx = Matrix::zeros(xv.0, xv.1);
+                    for r in 0..dy.rows() {
+                        let src = dy.row(r);
+                        let dst = &mut dx.row_mut(r)[start..start + src.len()];
+                        dst.copy_from_slice(src);
+                    }
+                    self.accumulate(x, dx)?;
+                }
+                Op::SliceRows { x, start } => {
+                    let xv = self.node(x)?.value.shape();
+                    let mut dx = Matrix::zeros(xv.0, xv.1);
+                    for r in 0..dy.rows() {
+                        dx.row_mut(start + r).copy_from_slice(dy.row(r));
+                    }
+                    self.accumulate(x, dx)?;
+                }
+                Op::GatherRows { x, indices } => {
+                    let xv = self.node(x)?.value.shape();
+                    let mut dx = Matrix::zeros(xv.0, xv.1);
+                    for (r, &i) in indices.iter().enumerate() {
+                        let src = dy.row(r);
+                        for (acc, v) in dx.row_mut(i).iter_mut().zip(src) {
+                            *acc += v;
+                        }
+                    }
+                    self.accumulate(x, dx)?;
+                }
+                Op::SumAll(x) => {
+                    let g = dy.scalar_value()?;
+                    let (r, c) = self.node(x)?.value.shape();
+                    self.accumulate(x, Matrix::full(r, c, g))?;
+                }
+                Op::MeanAll(x) => {
+                    let g = dy.scalar_value()?;
+                    let (r, c) = self.node(x)?.value.shape();
+                    let n = (r * c).max(1) as f32;
+                    self.accumulate(x, Matrix::full(r, c, g / n))?;
+                }
+            }
+        }
+
+        // Flush parameter-leaf gradients to the store.
+        for node in &self.nodes {
+            if let (Some(pid), Some(grad)) = (node.param, node.grad.as_ref()) {
+                store.accumulate_grad(pid, grad)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_graph() -> (Graph, ParamStore) {
+        (Graph::new(), ParamStore::new())
+    }
+
+    #[test]
+    fn add_backward_distributes_grad() {
+        let (mut g, mut store) = scalar_graph();
+        let a = store.register("a", Matrix::scalar(2.0));
+        let b = store.register("b", Matrix::scalar(3.0));
+        let an = g.param(&store, a).unwrap();
+        let bn = g.param(&store, b).unwrap();
+        let s = g.add(an, bn).unwrap();
+        let loss = g.sum_all(s).unwrap();
+        g.backward(loss, &mut store).unwrap();
+        assert_eq!(store.grad(a).unwrap().as_slice(), &[1.0]);
+        assert_eq!(store.grad(b).unwrap().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn matmul_backward_matches_formula() {
+        let (mut g, mut store) = scalar_graph();
+        let a = store.register("a", Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap());
+        let b = store.register("b", Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]).unwrap());
+        let an = g.param(&store, a).unwrap();
+        let bn = g.param(&store, b).unwrap();
+        let c = g.matmul(an, bn).unwrap();
+        let loss = g.sum_all(c).unwrap();
+        g.backward(loss, &mut store).unwrap();
+        // dA = 1·Bᵀ summed over output: each row of dA = row sums of Bᵀ.
+        assert_eq!(store.grad(a).unwrap().as_slice(), &[11., 15., 11., 15.]);
+        assert_eq!(store.grad(b).unwrap().as_slice(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let (mut g, _) = scalar_graph();
+        let x = g.constant(Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]).unwrap());
+        let y = g.softmax_rows(x).unwrap();
+        let v = g.value(y).unwrap();
+        for r in 0..2 {
+            let s: f32 = v.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn non_scalar_loss_rejected() {
+        let (mut g, mut store) = scalar_graph();
+        let x = g.constant(Matrix::ones(2, 2));
+        assert!(matches!(
+            g.backward(x, &mut store),
+            Err(TensorError::NonScalarLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn mse_loss_of_equal_inputs_is_zero() {
+        let (mut g, _) = scalar_graph();
+        let t = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        let x = g.constant(t.clone());
+        let l = g.mse_loss(x, &t).unwrap();
+        assert_eq!(g.value(l).unwrap().scalar_value().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn gather_rows_backward_scatters() {
+        let (mut g, mut store) = scalar_graph();
+        let p = store.register("p", Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32));
+        let x = g.param(&store, p).unwrap();
+        let gathered = g.gather_rows(x, &[1, 1, 2]).unwrap();
+        let loss = g.sum_all(gathered).unwrap();
+        g.backward(loss, &mut store).unwrap();
+        // Row 0 untouched, row 1 gathered twice, row 2 once.
+        assert_eq!(store.grad(p).unwrap().as_slice(), &[0., 0., 2., 2., 1., 1.]);
+    }
+
+    /// Finite-difference check for a composite expression covering most ops.
+    #[test]
+    fn gradient_check_composite() {
+        let build = |store: &ParamStore, w: ParamId, b: ParamId, g: &mut Graph| -> NodeId {
+            let x = g.constant(Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]).unwrap());
+            let wn = g.param(store, w).unwrap();
+            let bn = g.param(store, b).unwrap();
+            let h = g.linear(x, wn, bn).unwrap();
+            let h = g.tanh(h).unwrap();
+            let h = g.softmax_rows(h).unwrap();
+            let sq = g.hadamard(h, h).unwrap();
+            g.mean_all(sq).unwrap()
+        };
+
+        let mut store = ParamStore::new();
+        let w = store.register(
+            "w",
+            Matrix::from_vec(3, 2, vec![0.3, -0.1, 0.2, 0.5, -0.4, 0.1]).unwrap(),
+        );
+        let b = store.register("b", Matrix::row_vector(&[0.05, -0.02]));
+
+        let mut g = Graph::new();
+        let loss = build(&store, w, b, &mut g);
+        g.backward(loss, &mut store).unwrap();
+        let analytic = store.grad(w).unwrap().clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut perturbed = store.clone();
+            let mut wv = perturbed.value(w).unwrap().clone();
+            wv.as_mut_slice()[idx] += eps;
+            perturbed.set_value(w, wv).unwrap();
+            let mut gp = Graph::new();
+            let lp = build(&perturbed, w, b, &mut gp);
+            let up = gp.value(lp).unwrap().scalar_value().unwrap();
+
+            let mut perturbed = store.clone();
+            let mut wv = perturbed.value(w).unwrap().clone();
+            wv.as_mut_slice()[idx] -= eps;
+            perturbed.set_value(w, wv).unwrap();
+            let mut gm = Graph::new();
+            let lm = build(&perturbed, w, b, &mut gm);
+            let down = gm.value(lm).unwrap().scalar_value().unwrap();
+
+            let numeric = (up - down) / (2.0 * eps);
+            let got = analytic.as_slice()[idx];
+            assert!(
+                (numeric - got).abs() < 1e-3,
+                "grad mismatch at {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! Dense row-major `f32` matrix with the CPU kernels used by the autodiff
+//! graph. Shapes are validated eagerly; all kernels are allocation-conscious
+//! (output buffers are created once, inner loops run over slices).
+
+use std::fmt;
+
+use crate::error::{Result, TensorError};
+
+/// A dense row-major matrix of `f32`.
+///
+/// `Matrix` is the only tensor rank in this workspace: vectors are `1 × n`
+/// or `n × 1` matrices, scalars are `1 × 1`. Higher-rank constructs (batches,
+/// attention heads) are expressed by slicing/concatenating columns, which
+/// keeps the autodiff core small and auditable.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: (rows, cols),
+                got: (data.len(), 1),
+                op: "from_vec",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 0.0)
+    }
+
+    /// Creates a matrix of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// A `n × 1` column vector.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// A `1 × 1` matrix holding `value`.
+    pub fn scalar(value: f32) -> Self {
+        Self { rows: 1, cols: 1, data: vec![value] }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at each position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access; panics on out-of-bounds (debug-friendly hot path).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element write; panics on out-of-bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The value of a `1 × 1` matrix.
+    pub fn scalar_value(&self) -> Result<f32> {
+        if self.rows == 1 && self.cols == 1 {
+            Ok(self.data[0])
+        } else {
+            Err(TensorError::ShapeMismatch {
+                expected: (1, 1),
+                got: self.shape(),
+                op: "scalar_value",
+            })
+        }
+    }
+
+    fn check_same_shape(&self, other: &Self, op: &'static str) -> Result<()> {
+        if self.shape() == other.shape() {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                expected: self.shape(),
+                got: other.shape(),
+                op,
+            })
+        }
+    }
+
+    /// Elementwise sum, shapes must match.
+    pub fn add(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "add")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Self { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// In-place elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Self) -> Result<()> {
+        self.check_same_shape(other, "add_assign")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * other` (BLAS `axpy`).
+    pub fn axpy(&mut self, alpha: f32, other: &Self) -> Result<()> {
+        self.check_same_shape(other, "axpy")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "sub")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Self { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "hadamard")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Self { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// `alpha * self + beta` applied elementwise.
+    pub fn affine(&self, alpha: f32, beta: f32) -> Self {
+        let data = self.data.iter().map(|a| alpha * a + beta).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` elementwise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Plain ikj-ordered kernel: the inner loop runs along contiguous rows of
+    /// both the accumulator and `other`, which vectorizes well and is fast at
+    /// the sizes this workspace uses (≤ a few hundred per side).
+    pub fn matmul(&self, other: &Self) -> Result<Self> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                expected: (self.cols, other.rows),
+                got: other.shape(),
+                op: "matmul",
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(Self { rows: m, cols: n, data: out })
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Self) -> Result<Self> {
+        if self.rows != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                expected: (self.rows, other.rows),
+                got: other.shape(),
+                op: "matmul_tn",
+            });
+        }
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(Self { rows: m, cols: n, data: out })
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Self) -> Result<Self> {
+        if self.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: (self.rows, self.cols),
+                got: other.shape(),
+                op: "matmul_nt",
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Ok(Self { rows: m, cols: n, data: out })
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// Maximum element; `None` on an empty matrix.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                Some(a) if a >= v => a,
+                _ => v,
+            })
+        })
+    }
+
+    /// Concatenates matrices vertically (stacking rows).
+    pub fn concat_rows(parts: &[&Self]) -> Result<Self> {
+        let Some(first) = parts.first() else {
+            return Ok(Self::zeros(0, 0));
+        };
+        let cols = first.cols;
+        let mut rows = 0;
+        for p in parts {
+            if p.cols != cols {
+                return Err(TensorError::ShapeMismatch {
+                    expected: (p.rows, cols),
+                    got: p.shape(),
+                    op: "concat_rows",
+                });
+            }
+            rows += p.rows;
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Concatenates matrices horizontally (joining columns).
+    pub fn concat_cols(parts: &[&Self]) -> Result<Self> {
+        let Some(first) = parts.first() else {
+            return Ok(Self::zeros(0, 0));
+        };
+        let rows = first.rows;
+        let mut cols = 0;
+        for p in parts {
+            if p.rows != rows {
+                return Err(TensorError::ShapeMismatch {
+                    expected: (rows, p.cols),
+                    got: p.shape(),
+                    op: "concat_cols",
+                });
+            }
+            cols += p.cols;
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for p in parts {
+                data.extend_from_slice(p.row(r));
+            }
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Copies columns `[start, start+len)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Result<Self> {
+        if start + len > self.cols {
+            return Err(TensorError::IndexOutOfBounds {
+                index: start + len,
+                bound: self.cols,
+                op: "slice_cols",
+            });
+        }
+        let mut data = Vec::with_capacity(self.rows * len);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            data.extend_from_slice(&row[start..start + len]);
+        }
+        Ok(Self { rows: self.rows, cols: len, data })
+    }
+
+    /// Copies rows `[start, start+len)` into a new matrix.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Result<Self> {
+        if start + len > self.rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: start + len,
+                bound: self.rows,
+                op: "slice_rows",
+            });
+        }
+        let data = self.data[start * self.cols..(start + len) * self.cols].to_vec();
+        Ok(Self { rows: len, cols: self.cols, data })
+    }
+
+    /// Gathers rows by index (rows may repeat); backward pass scatters.
+    pub fn gather_rows(&self, indices: &[usize]) -> Result<Self> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            if i >= self.rows {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: i,
+                    bound: self.rows,
+                    op: "gather_rows",
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        Ok(Self { rows: indices.len(), cols: self.cols, data })
+    }
+
+    /// Adds a `1 × cols` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Self) -> Result<Self> {
+        if row.rows != 1 || row.cols != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: (1, self.cols),
+                got: row.shape(),
+                op: "add_row_broadcast",
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-row sums as an `rows × 1` column vector.
+    pub fn row_sums(&self) -> Self {
+        let data = (0..self.rows)
+            .map(|r| self.row(r).iter().sum())
+            .collect();
+        Self { rows: self.rows, cols: 1, data }
+    }
+
+    /// Per-row means as an `rows × 1` column vector.
+    pub fn row_means(&self) -> Self {
+        let n = self.cols.max(1) as f32;
+        let mut s = self.row_sums();
+        for v in &mut s.data {
+            *v /= n;
+        }
+        s
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32).collect()).unwrap();
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32).collect()).unwrap();
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn concat_and_slice_cols_roundtrip() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(2, 2, |r, c| (r * c) as f32 + 10.0);
+        let cat = Matrix::concat_cols(&[&a, &b]).unwrap();
+        assert_eq!(cat.shape(), (2, 5));
+        assert_eq!(cat.slice_cols(0, 3).unwrap(), a);
+        assert_eq!(cat.slice_cols(3, 2).unwrap(), b);
+    }
+
+    #[test]
+    fn concat_rows_roundtrip() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(1, 3, |_, c| c as f32 - 5.0);
+        let cat = Matrix::concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(cat.shape(), (3, 3));
+        assert_eq!(cat.slice_rows(0, 2).unwrap(), a);
+        assert_eq!(cat.slice_rows(2, 1).unwrap(), b);
+    }
+
+    #[test]
+    fn gather_rows_repeats_and_bounds() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let g = a.gather_rows(&[2, 0, 2]).unwrap();
+        assert_eq!(g.as_slice(), &[4., 5., 0., 1., 4., 5.]);
+        assert!(a.gather_rows(&[3]).is_err());
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_per_row() {
+        let a = Matrix::ones(2, 3);
+        let b = Matrix::row_vector(&[1., 2., 3.]);
+        let c = a.add_row_broadcast(&b).unwrap();
+        assert_eq!(c.as_slice(), &[2., 3., 4., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), Some(4.0));
+        assert_eq!(a.row_sums().as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.row_means().as_slice(), &[1.5, 3.5]);
+    }
+
+    #[test]
+    fn eye_is_matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(a.matmul(&Matrix::eye(3)).unwrap(), a);
+        assert_eq!(Matrix::eye(3).matmul(&a).unwrap(), a);
+    }
+}

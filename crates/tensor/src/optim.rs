@@ -1,0 +1,204 @@
+//! Optimizers over a [`ParamStore`].
+//!
+//! Both optimizers skip frozen parameters, matching AERO's stage-2 training
+//! where the temporal module is frozen while the noise module learns.
+
+use crate::error::Result;
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+
+/// Plain stochastic gradient descent (used in tests and ablations).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies one update `w ← w − lr·g` to every non-frozen parameter.
+    pub fn step(&mut self, store: &mut ParamStore) -> Result<()> {
+        let lr = self.lr;
+        let ids: Vec<ParamId> = store.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            store.apply_update(id, |v, g| {
+                for (w, gr) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *w -= lr * gr;
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Adam optimizer (Kingma & Ba 2015) — the paper trains with Adam, lr=1e-3.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Denominator fuzz term.
+    pub eps: f32,
+    /// Optional global-norm gradient clipping threshold.
+    pub clip_norm: Option<f32>,
+    step: u64,
+    /// First/second moment estimates, lazily sized to the store.
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults: lr as given, β₁=0.9, β₂=0.999.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: None,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Enables global-norm gradient clipping.
+    pub fn with_clip_norm(mut self, clip: f32) -> Self {
+        self.clip_norm = Some(clip);
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        while self.m.len() < store.len() {
+            let idx = self.m.len();
+            let (r, c) = store
+                .iter()
+                .nth(idx)
+                .map(|(_, p)| p.value().shape())
+                .unwrap_or((0, 0));
+            self.m.push(Matrix::zeros(r, c));
+            self.v.push(Matrix::zeros(r, c));
+        }
+    }
+
+    /// Applies one Adam update to every non-frozen parameter.
+    pub fn step(&mut self, store: &mut ParamStore) -> Result<()> {
+        self.ensure_state(store);
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        let scale = match self.clip_norm {
+            Some(c) => {
+                let norm = store.grad_norm();
+                if norm > c && norm > 0.0 {
+                    c / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let ids: Vec<ParamId> = store.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            let m = &mut self.m[id.index()];
+            let v = &mut self.v[id.index()];
+            store.apply_update(id, |value, grad| {
+                for (((w, g), mi), vi) in value
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(grad.as_slice())
+                    .zip(m.as_mut_slice())
+                    .zip(v.as_mut_slice())
+                {
+                    let g = g * scale;
+                    *mi = b1 * *mi + (1.0 - b1) * g;
+                    *vi = b2 * *vi + (1.0 - b2) * g * g;
+                    let mhat = *mi / bias1;
+                    let vhat = *vi / bias2;
+                    *w -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizes `(w − 3)²` and checks convergence.
+    fn quadratic_descent(mut step: impl FnMut(&mut ParamStore) -> Result<()>) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::scalar(0.0));
+        for _ in 0..400 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let wn = g.param(&store, w).unwrap();
+            let target = g.constant(Matrix::scalar(3.0));
+            let d = g.sub(wn, target).unwrap();
+            let sq = g.hadamard(d, d).unwrap();
+            let loss = g.mean_all(sq).unwrap();
+            g.backward(loss, &mut store).unwrap();
+            step(&mut store).unwrap();
+        }
+        store.value(w).unwrap().scalar_value().unwrap()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = quadratic_descent(|s| opt.step(s));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let w = quadratic_descent(|s| opt.step(s));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_respects_frozen_params() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::scalar(1.0));
+        store.set_frozen(&[w], true).unwrap();
+        store
+            .accumulate_grad(w, &Matrix::scalar(10.0))
+            .unwrap();
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store).unwrap();
+        assert_eq!(store.value(w).unwrap().scalar_value().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn clip_norm_bounds_update_magnitude() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::scalar(0.0));
+        store
+            .accumulate_grad(w, &Matrix::scalar(1e6))
+            .unwrap();
+        let mut opt = Adam::new(0.1).with_clip_norm(1.0);
+        opt.step(&mut store).unwrap();
+        let v = store.value(w).unwrap().scalar_value().unwrap();
+        // With a clipped gradient the first Adam step is bounded by ~lr.
+        assert!(v.abs() <= 0.11, "v = {v}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Trainable parameter storage.
+//!
+//! Parameters live outside the per-step autodiff [`Graph`](crate::Graph):
+//! each forward pass copies the current values into leaf nodes and, after
+//! `backward`, the accumulated leaf gradients are flushed back here where the
+//! optimizer reads them.
+
+use rand::Rng;
+
+use crate::error::{Result, TensorError};
+use crate::matrix::Matrix;
+
+/// Opaque handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index, useful for diagnostics.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One named trainable tensor and its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+    /// Frozen parameters ignore gradient updates (used by AERO stage 2).
+    frozen: bool,
+}
+
+impl Param {
+    /// Human-readable parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Matrix {
+        &self.value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> &Matrix {
+        &self.grad
+    }
+
+    /// Whether optimizers skip this parameter.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+}
+
+/// Collection of all trainable parameters of a model.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter initialized to `value`.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(Param {
+            name: name.into(),
+            grad: Matrix::zeros(r, c),
+            value,
+            frozen: false,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Registers a parameter with Xavier/Glorot-uniform initialization.
+    pub fn register_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let value = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound));
+        self.register(name, value)
+    }
+
+    /// Registers a zero-initialized parameter (typical for biases).
+    pub fn register_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.register(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters (frozen included).
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Full parameter record for `id`.
+    pub fn get(&self, id: ParamId) -> Result<&Param> {
+        self.params.get(id.0).ok_or(TensorError::InvalidParam { id: id.0 })
+    }
+
+    /// Current value of parameter `id`.
+    pub fn value(&self, id: ParamId) -> Result<&Matrix> {
+        Ok(&self.get(id)?.value)
+    }
+
+    /// Accumulated gradient of parameter `id`.
+    pub fn grad(&self, id: ParamId) -> Result<&Matrix> {
+        Ok(&self.get(id)?.grad)
+    }
+
+    /// Replaces a parameter's value, keeping its gradient buffer shape.
+    pub fn set_value(&mut self, id: ParamId, value: Matrix) -> Result<()> {
+        let p = self
+            .params
+            .get_mut(id.0)
+            .ok_or(TensorError::InvalidParam { id: id.0 })?;
+        if p.value.shape() != value.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: p.value.shape(),
+                got: value.shape(),
+                op: "set_value",
+            });
+        }
+        p.value = value;
+        Ok(())
+    }
+
+    /// Adds `delta` into the stored gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) -> Result<()> {
+        let p = self
+            .params
+            .get_mut(id.0)
+            .ok_or(TensorError::InvalidParam { id: id.0 })?;
+        p.grad.add_assign(delta)
+    }
+
+    /// Resets all gradients to zero.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            for g in p.grad.as_mut_slice() {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Marks a range of parameters as frozen (their grads are ignored by
+    /// optimizers). AERO stage 2 freezes the whole temporal module this way.
+    pub fn set_frozen(&mut self, ids: &[ParamId], frozen: bool) -> Result<()> {
+        for id in ids {
+            self.params
+                .get_mut(id.0)
+                .ok_or(TensorError::InvalidParam { id: id.0 })?
+                .frozen = frozen;
+        }
+        Ok(())
+    }
+
+    /// Iterates over `(ParamId, &Param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Global L2 norm of all non-frozen gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .filter(|p| !p.frozen)
+            .map(|p| {
+                let n = p.grad.frobenius_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    pub(crate) fn apply_update(
+        &mut self,
+        id: ParamId,
+        update: impl FnOnce(&mut Matrix, &Matrix),
+    ) -> Result<()> {
+        let p = self
+            .params
+            .get_mut(id.0)
+            .ok_or(TensorError::InvalidParam { id: id.0 })?;
+        if !p.frozen {
+            // Split borrows: take grad out temporarily to satisfy aliasing.
+            let grad = std::mem::replace(&mut p.grad, Matrix::zeros(0, 0));
+            update(&mut p.value, &grad);
+            p.grad = grad;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::ones(2, 3));
+        assert_eq!(store.value(id).unwrap().shape(), (2, 3));
+        assert_eq!(store.get(id).unwrap().name(), "w");
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let id = store.register_xavier("w", 16, 16, &mut rng);
+        let bound = (6.0 / 32.0f32).sqrt();
+        assert!(store
+            .value(id)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::zeros(1, 2));
+        store
+            .accumulate_grad(id, &Matrix::row_vector(&[1.0, 2.0]))
+            .unwrap();
+        store
+            .accumulate_grad(id, &Matrix::row_vector(&[0.5, 0.5]))
+            .unwrap();
+        assert_eq!(store.grad(id).unwrap().as_slice(), &[1.5, 2.5]);
+        store.zero_grads();
+        assert_eq!(store.grad(id).unwrap().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn frozen_params_skip_updates() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::ones(1, 1));
+        store.set_frozen(&[id], true).unwrap();
+        store
+            .apply_update(id, |v, _| {
+                v.as_mut_slice()[0] = 99.0;
+            })
+            .unwrap();
+        assert_eq!(store.value(id).unwrap().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn invalid_ids_error() {
+        let store = ParamStore::new();
+        assert!(matches!(
+            store.value(ParamId(3)),
+            Err(TensorError::InvalidParam { id: 3 })
+        ));
+    }
+}

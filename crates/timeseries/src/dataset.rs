@@ -1,0 +1,206 @@
+//! A complete benchmark dataset: train/test splits, anomaly ground truth on
+//! the test split, and the concurrent-noise mask used for analysis (Fig. 8's
+//! ground-truth graph) and for Table I statistics.
+
+use crate::error::{Result, TsError};
+use crate::labels::LabelGrid;
+use crate::series::MultivariateSeries;
+
+/// Summary statistics matching the columns of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Training timestamps.
+    pub train_len: usize,
+    /// Test timestamps.
+    pub test_len: usize,
+    /// Number of variates (stars).
+    pub variates: usize,
+    /// Fraction of anomalous points in the test split (%).
+    pub anomaly_pct: f64,
+    /// Fraction of noise-affected points in the test split (%).
+    pub noise_pct: f64,
+    /// Anomaly-to-noise ratio `A/N`.
+    pub a_n_ratio: f64,
+    /// Number of contiguous anomaly segments in the test split.
+    pub anomaly_segments: usize,
+    /// Variates affected by concurrent noise, e.g. "17/24".
+    pub noise_variates: String,
+}
+
+/// Train/test splits plus ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (e.g. "SyntheticMiddle").
+    pub name: String,
+    /// Training series (assumed anomaly-free or nearly so; unsupervised).
+    pub train: MultivariateSeries,
+    /// Test series to score.
+    pub test: MultivariateSeries,
+    /// Point-wise anomaly ground truth over the test split.
+    pub test_labels: LabelGrid,
+    /// Point-wise concurrent-noise mask over the test split (analysis only —
+    /// detectors never see it).
+    pub test_noise: LabelGrid,
+    /// Concurrent-noise mask over the train split (for Fig. 8 style analysis).
+    pub train_noise: LabelGrid,
+}
+
+impl Dataset {
+    /// Validates internal shape consistency.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.train.num_variates();
+        if self.test.num_variates() != n {
+            return Err(TsError::LengthMismatch {
+                what: "test variates",
+                expected: n,
+                got: self.test.num_variates(),
+            });
+        }
+        let checks = [
+            (self.test_labels.rows(), n, "label rows"),
+            (self.test_labels.cols(), self.test.len(), "label cols"),
+            (self.test_noise.rows(), n, "noise rows"),
+            (self.test_noise.cols(), self.test.len(), "noise cols"),
+            (self.train_noise.rows(), n, "train-noise rows"),
+            (self.train_noise.cols(), self.train.len(), "train-noise cols"),
+        ];
+        for (got, expected, what) in checks {
+            if got != expected {
+                return Err(TsError::LengthMismatch { what, expected, got });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of variates.
+    pub fn num_variates(&self) -> usize {
+        self.train.num_variates()
+    }
+
+    /// Computes the Table I row for this dataset.
+    pub fn stats(&self) -> DatasetStats {
+        let anomaly_pct = self.test_labels.fraction() * 100.0;
+        let noise_pct = self.test_noise.fraction() * 100.0;
+        let a_n = if noise_pct > 0.0 { anomaly_pct / noise_pct } else { f64::INFINITY };
+        // Count noise-affected variates over both splits (union), as Table I
+        // reports per-dataset totals.
+        let affected = (0..self.num_variates())
+            .filter(|&v| {
+                self.train_noise.row(v).iter().any(|&b| b)
+                    || self.test_noise.row(v).iter().any(|&b| b)
+            })
+            .count();
+        DatasetStats {
+            name: self.name.clone(),
+            train_len: self.train.len(),
+            test_len: self.test.len(),
+            variates: self.num_variates(),
+            anomaly_pct,
+            noise_pct,
+            a_n_ratio: a_n,
+            anomaly_segments: self.test_labels.segments().len(),
+            noise_variates: format!("{affected}/{}", self.num_variates()),
+        }
+    }
+
+    /// Shortens the training split to its first `len` columns (harness-scale
+    /// runs keep the full test split — and therefore the full ground truth —
+    /// while cutting training cost).
+    pub fn truncate_train(&self, len: usize) -> Result<Self> {
+        if len >= self.train.len() {
+            return Ok(self.clone());
+        }
+        let (train, _) = self.train.split_at(len)?;
+        let (train_noise, _) = self.train_noise.split_at(len)?;
+        Ok(Self {
+            name: self.name.clone(),
+            train,
+            test: self.test.clone(),
+            test_labels: self.test_labels.clone(),
+            test_noise: self.test_noise.clone(),
+            train_noise,
+        })
+    }
+
+    /// Restricts the dataset to its first `n` variates (scalability sweeps).
+    pub fn take_variates(&self, n: usize) -> Result<Self> {
+        Ok(Self {
+            name: format!("{}[N={n}]", self.name),
+            train: self.train.take_variates(n)?,
+            test: self.test.take_variates(n)?,
+            test_labels: self.test_labels.take_rows(n)?,
+            test_noise: self.test_noise.take_rows(n)?,
+            train_noise: self.train_noise.take_rows(n)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::Matrix;
+
+    fn tiny() -> Dataset {
+        let train = MultivariateSeries::regular(Matrix::zeros(2, 20));
+        let test = MultivariateSeries::regular(Matrix::zeros(2, 10));
+        let mut labels = LabelGrid::new(2, 10);
+        labels.mark_range(0, 2, 3).unwrap();
+        let mut noise = LabelGrid::new(2, 10);
+        noise.mark_range(0, 6, 9).unwrap();
+        noise.mark_range(1, 6, 9).unwrap();
+        Dataset {
+            name: "tiny".into(),
+            train,
+            test,
+            test_labels: labels,
+            test_noise: noise,
+            train_noise: LabelGrid::new(2, 20),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_dataset() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_label_shape_mismatch() {
+        let mut d = tiny();
+        d.test_labels = LabelGrid::new(2, 5);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let s = tiny().stats();
+        assert_eq!(s.variates, 2);
+        assert_eq!(s.train_len, 20);
+        assert_eq!(s.test_len, 10);
+        assert!((s.anomaly_pct - 10.0).abs() < 1e-9); // 2 of 20 points
+        assert!((s.noise_pct - 40.0).abs() < 1e-9); // 8 of 20 points
+        assert!((s.a_n_ratio - 0.25).abs() < 1e-9);
+        assert_eq!(s.anomaly_segments, 1);
+        assert_eq!(s.noise_variates, "2/2");
+    }
+
+    #[test]
+    fn truncate_train_keeps_test_intact() {
+        let d = tiny().truncate_train(5).unwrap();
+        assert!(d.validate().is_ok());
+        assert_eq!(d.train.len(), 5);
+        assert_eq!(d.test.len(), 10);
+        assert_eq!(d.test_labels.count(), 2);
+        // No-op when len >= train length.
+        assert_eq!(tiny().truncate_train(100).unwrap().train.len(), 20);
+    }
+
+    #[test]
+    fn take_variates_slices_everything() {
+        let d = tiny().take_variates(1).unwrap();
+        assert!(d.validate().is_ok());
+        assert_eq!(d.num_variates(), 1);
+        assert_eq!(d.test_labels.rows(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for time-series containers and transforms.
+
+use std::fmt;
+
+/// Result alias for time-series operations.
+pub type Result<T> = std::result::Result<T, TsError>;
+
+/// Errors raised by series construction, windowing, and normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsError {
+    /// Two aligned structures had different lengths.
+    LengthMismatch {
+        /// What was being aligned.
+        what: &'static str,
+        /// Length required.
+        expected: usize,
+        /// Length received.
+        got: usize,
+    },
+    /// Timestamps must be strictly increasing.
+    NonMonotonicTimestamps,
+    /// A variate index exceeded the variate count.
+    VariateOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of variates available.
+        count: usize,
+    },
+    /// A window specification fell outside the series.
+    WindowOutOfRange {
+        /// Window end index.
+        end: usize,
+        /// Window length.
+        window: usize,
+        /// Series length.
+        len: usize,
+    },
+    /// A normalizer was applied before being fitted.
+    NotFitted,
+    /// Parse or I/O failure while reading a series file.
+    Io(String),
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { what, expected, got } => {
+                write!(f, "length mismatch for {what}: expected {expected}, got {got}")
+            }
+            Self::NonMonotonicTimestamps => write!(f, "timestamps must be strictly increasing"),
+            Self::VariateOutOfRange { index, count } => {
+                write!(f, "variate index {index} out of range ({count} variates)")
+            }
+            Self::WindowOutOfRange { end, window, len } => {
+                write!(f, "window (end={end}, w={window}) out of range for series of length {len}")
+            }
+            Self::NotFitted => write!(f, "normalizer used before fit()"),
+            Self::Io(msg) => write!(f, "series I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}

@@ -1,0 +1,164 @@
+//! Gap handling for irregular observation series.
+//!
+//! GWAC-style data has weather interruptions: long stretches with no frames.
+//! Detectors that assume a roughly regular cadence benefit from explicit
+//! gap handling — this module finds large gaps and can fill them by linear
+//! interpolation, returning a mask of the synthetic points so downstream
+//! evaluation can exclude them.
+
+use aero_tensor::Matrix;
+
+use crate::error::Result;
+use crate::labels::LabelGrid;
+use crate::series::MultivariateSeries;
+
+/// A detected observation gap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gap {
+    /// Index of the observation *before* the gap.
+    pub after_index: usize,
+    /// Gap duration in time units.
+    pub duration: f64,
+}
+
+/// Finds gaps whose duration exceeds `factor ×` the median inter-frame
+/// interval. Returns an empty list for series shorter than 3 points.
+pub fn find_gaps(series: &MultivariateSeries, factor: f64) -> Vec<Gap> {
+    let ts = series.timestamps();
+    if ts.len() < 3 {
+        return Vec::new();
+    }
+    let mut intervals: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+    let mut sorted = intervals.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2];
+    let threshold = median * factor.max(1.0);
+    intervals
+        .drain(..)
+        .enumerate()
+        .filter(|(_, d)| *d > threshold)
+        .map(|(i, d)| Gap { after_index: i, duration: d })
+        .collect()
+}
+
+/// Fills gaps larger than `factor ×` the median cadence with linearly
+/// interpolated points at the median cadence. Returns the regularized
+/// series and a mask marking the synthetic points.
+pub fn fill_gaps(
+    series: &MultivariateSeries,
+    factor: f64,
+) -> Result<(MultivariateSeries, LabelGrid)> {
+    let ts = series.timestamps();
+    let n = series.num_variates();
+    if ts.len() < 3 {
+        return Ok((series.clone(), LabelGrid::new(n, series.len())));
+    }
+    let mut sorted: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2].max(1e-9);
+    let threshold = median * factor.max(1.0);
+
+    let mut new_ts: Vec<f64> = Vec::with_capacity(ts.len());
+    let mut columns: Vec<Vec<f32>> = Vec::with_capacity(ts.len());
+    let mut synthetic: Vec<bool> = Vec::with_capacity(ts.len());
+
+    let col = |t: usize| -> Vec<f32> { (0..n).map(|v| series.get(v, t)).collect() };
+
+    new_ts.push(ts[0]);
+    columns.push(col(0));
+    synthetic.push(false);
+    for t in 1..ts.len() {
+        let dt = ts[t] - ts[t - 1];
+        if dt > threshold {
+            // Insert points at median cadence, linearly interpolated.
+            let missing = ((dt / median).round() as usize).saturating_sub(1);
+            for k in 1..=missing {
+                let frac = k as f64 / (missing + 1) as f64;
+                let stamp = ts[t - 1] + dt * frac;
+                let prev = col(t - 1);
+                let next = col(t);
+                let interp: Vec<f32> = prev
+                    .iter()
+                    .zip(&next)
+                    .map(|(a, b)| a + (b - a) * frac as f32)
+                    .collect();
+                new_ts.push(stamp);
+                columns.push(interp);
+                synthetic.push(true);
+            }
+        }
+        new_ts.push(ts[t]);
+        columns.push(col(t));
+        synthetic.push(false);
+    }
+
+    let len = new_ts.len();
+    let mut values = Matrix::zeros(n, len);
+    for (t, c) in columns.iter().enumerate() {
+        for (v, &x) in c.iter().enumerate() {
+            values.set(v, t, x);
+        }
+    }
+    let mut mask = LabelGrid::new(n, len);
+    for (t, &s) in synthetic.iter().enumerate() {
+        if s {
+            for v in 0..n {
+                mask.set(v, t, true);
+            }
+        }
+    }
+    Ok((MultivariateSeries::new(values, new_ts)?, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gapped() -> MultivariateSeries {
+        // Cadence 1.0 with one gap of 5.0 between indices 3 and 4.
+        let ts = vec![0.0, 1.0, 2.0, 3.0, 8.0, 9.0, 10.0];
+        let values = Matrix::from_fn(2, 7, |v, t| (v * 10 + t) as f32);
+        MultivariateSeries::new(values, ts).unwrap()
+    }
+
+    #[test]
+    fn find_gaps_locates_the_break() {
+        let gaps = find_gaps(&gapped(), 3.0);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].after_index, 3);
+        assert!((gaps[0].duration - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regular_series_has_no_gaps() {
+        let s = MultivariateSeries::regular(Matrix::zeros(1, 50));
+        assert!(find_gaps(&s, 3.0).is_empty());
+    }
+
+    #[test]
+    fn fill_gaps_inserts_interpolated_points() {
+        let (filled, mask) = fill_gaps(&gapped(), 3.0).unwrap();
+        // Gap of 5.0 at cadence 1.0 → 4 synthetic points.
+        assert_eq!(filled.len(), 11);
+        assert_eq!(mask.count(), 4 * 2); // per variate
+        // Timestamps strictly increasing and interpolation linear.
+        let ts = filled.timestamps();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        // Value halfway through the gap is halfway between endpoints.
+        // Synthetic points live at indices 4..8.
+        assert!(mask.get(0, 4) && mask.get(0, 7));
+        assert!(!mask.get(0, 3) && !mask.get(0, 8));
+        let before = filled.get(0, 3);
+        let after = filled.get(0, 8);
+        let mid = filled.get(0, 5);
+        assert!(mid > before && mid < after);
+    }
+
+    #[test]
+    fn short_series_passthrough() {
+        let s = MultivariateSeries::regular(Matrix::zeros(1, 2));
+        let (filled, mask) = fill_gaps(&s, 3.0).unwrap();
+        assert_eq!(filled.len(), 2);
+        assert_eq!(mask.count(), 0);
+    }
+}

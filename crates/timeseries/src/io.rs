@@ -1,0 +1,162 @@
+//! Minimal CSV persistence for series and label grids.
+//!
+//! Format: one header row `timestamp,star_0,star_1,…`, then one row per
+//! timestamp. Labels use `0`/`1` in the same layout. Hand-rolled (no `csv`
+//! crate) — the format is fixed and fully under our control.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use aero_tensor::Matrix;
+
+use crate::error::{Result, TsError};
+use crate::labels::LabelGrid;
+use crate::series::MultivariateSeries;
+
+fn io_err(e: impl std::fmt::Display) -> TsError {
+    TsError::Io(e.to_string())
+}
+
+/// Writes a series to `path` as CSV.
+pub fn write_series(series: &MultivariateSeries, path: &Path) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    write!(w, "timestamp").map_err(io_err)?;
+    for n in 0..series.num_variates() {
+        write!(w, ",star_{n}").map_err(io_err)?;
+    }
+    writeln!(w).map_err(io_err)?;
+    for t in 0..series.len() {
+        write!(w, "{}", series.timestamps()[t]).map_err(io_err)?;
+        for n in 0..series.num_variates() {
+            write!(w, ",{}", series.get(n, t)).map_err(io_err)?;
+        }
+        writeln!(w).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a series written by [`write_series`].
+pub fn read_series(path: &Path) -> Result<MultivariateSeries> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let reader = std::io::BufReader::new(file);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TsError::Io("empty file".into()))?
+        .map_err(io_err)?;
+    let n = header.split(',').count().saturating_sub(1);
+    if n == 0 {
+        return Err(TsError::Io("header has no variate columns".into()));
+    }
+
+    let mut timestamps = Vec::new();
+    let mut columns: Vec<Vec<f32>> = vec![Vec::new(); n];
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(io_err)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let ts: f64 = fields
+            .next()
+            .ok_or_else(|| TsError::Io(format!("line {}: missing timestamp", lineno + 2)))?
+            .trim()
+            .parse()
+            .map_err(io_err)?;
+        timestamps.push(ts);
+        for (i, col) in columns.iter_mut().enumerate() {
+            let field = fields
+                .next()
+                .ok_or_else(|| TsError::Io(format!("line {}: missing column {}", lineno + 2, i)))?;
+            col.push(field.trim().parse().map_err(io_err)?);
+        }
+    }
+
+    let t = timestamps.len();
+    let mut values = Matrix::zeros(n, t);
+    for (i, col) in columns.iter().enumerate() {
+        values.row_mut(i).copy_from_slice(col);
+    }
+    MultivariateSeries::new(values, timestamps)
+}
+
+/// Writes a label grid to `path` as CSV of `0`/`1`.
+pub fn write_labels(labels: &LabelGrid, path: &Path) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    for r in 0..labels.rows() {
+        let row: Vec<&str> = labels
+            .row(r)
+            .iter()
+            .map(|&b| if b { "1" } else { "0" })
+            .collect();
+        writeln!(w, "{}", row.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a label grid written by [`write_labels`].
+pub fn read_labels(path: &Path) -> Result<LabelGrid> {
+    let content = std::fs::read_to_string(path).map_err(io_err)?;
+    let rows: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+    if rows.is_empty() {
+        return Ok(LabelGrid::new(0, 0));
+    }
+    let cols = rows[0].split(',').count();
+    let mut grid = LabelGrid::new(rows.len(), cols);
+    for (r, line) in rows.iter().enumerate() {
+        for (c, field) in line.split(',').enumerate() {
+            if c >= cols {
+                return Err(TsError::Io(format!("row {r}: too many columns")));
+            }
+            grid.set(r, c, field.trim() == "1");
+        }
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_roundtrip() {
+        let s = MultivariateSeries::new(
+            Matrix::from_fn(3, 5, |n, t| (n * 5 + t) as f32 * 0.5),
+            vec![0.0, 1.0, 2.5, 3.0, 10.0],
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("aero_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.csv");
+        write_series(&s, &path).unwrap();
+        let back = read_series(&path).unwrap();
+        assert_eq!(back.num_variates(), 3);
+        assert_eq!(back.len(), 5);
+        assert_eq!(back.timestamps(), s.timestamps());
+        for n in 0..3 {
+            for t in 0..5 {
+                assert!((back.get(n, t) - s.get(n, t)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut l = LabelGrid::new(2, 4);
+        l.mark_range(0, 1, 2).unwrap();
+        l.mark_range(1, 3, 3).unwrap();
+        let dir = std::env::temp_dir().join("aero_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.csv");
+        write_labels(&l, &path).unwrap();
+        let back = read_labels(&path).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn read_missing_file_errors() {
+        assert!(read_series(Path::new("/definitely/not/here.csv")).is_err());
+    }
+}

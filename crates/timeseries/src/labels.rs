@@ -1,0 +1,251 @@
+//! Boolean label grids (anomaly ground truth, concurrent-noise masks) and
+//! contiguous-segment extraction.
+
+use crate::error::{Result, TsError};
+
+/// A dense `variates × timestamps` boolean grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelGrid {
+    rows: usize,
+    cols: usize,
+    data: Vec<bool>,
+}
+
+/// A contiguous run `[start, end]` (inclusive) of `true` labels on one variate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Variate the segment belongs to.
+    pub variate: usize,
+    /// First labelled index.
+    pub start: usize,
+    /// Last labelled index (inclusive).
+    pub end: usize,
+}
+
+impl Segment {
+    /// Number of points in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Segments are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when `t` falls inside the segment.
+    pub fn contains(&self, t: usize) -> bool {
+        (self.start..=self.end).contains(&t)
+    }
+}
+
+impl LabelGrid {
+    /// All-false grid.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![false; rows * cols] }
+    }
+
+    /// Builds a grid from a closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut g = Self::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    g.set(r, c, true);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of variates.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of timestamps.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads label `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes label `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Marks `[start, end]` (inclusive, clamped to the grid) on variate `r`.
+    pub fn mark_range(&mut self, r: usize, start: usize, end: usize) -> Result<()> {
+        if r >= self.rows {
+            return Err(TsError::VariateOutOfRange { index: r, count: self.rows });
+        }
+        for c in start..=end.min(self.cols.saturating_sub(1)) {
+            self.set(r, c, true);
+        }
+        Ok(())
+    }
+
+    /// Total number of `true` labels.
+    pub fn count(&self) -> usize {
+        self.data.iter().filter(|&&v| v).count()
+    }
+
+    /// Fraction of `true` labels in the grid.
+    pub fn fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.count() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Row `r` as a bool slice.
+    pub fn row(&self, r: usize) -> &[bool] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of variates with at least one `true` label.
+    pub fn affected_variates(&self) -> usize {
+        (0..self.rows)
+            .filter(|&r| self.row(r).iter().any(|&v| v))
+            .count()
+    }
+
+    /// Extracts all maximal contiguous `true` segments, per variate.
+    pub fn segments(&self) -> Vec<Segment> {
+        let mut out = Vec::new();
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut start = None;
+            for (c, &v) in row.iter().enumerate() {
+                match (v, start) {
+                    (true, None) => start = Some(c),
+                    (false, Some(s)) => {
+                        out.push(Segment { variate: r, start: s, end: c - 1 });
+                        start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(s) = start {
+                out.push(Segment { variate: r, start: s, end: self.cols - 1 });
+            }
+        }
+        out
+    }
+
+    /// Elementwise OR with another grid of the same shape.
+    pub fn union(&self, other: &Self) -> Result<Self> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(TsError::LengthMismatch {
+                what: "label grid",
+                expected: self.data.len(),
+                got: other.data.len(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a || b)
+            .collect();
+        Ok(Self { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Keeps only the first `n` variates.
+    pub fn take_rows(&self, n: usize) -> Result<Self> {
+        if n > self.rows {
+            return Err(TsError::VariateOutOfRange { index: n, count: self.rows });
+        }
+        Ok(Self { rows: n, cols: self.cols, data: self.data[..n * self.cols].to_vec() })
+    }
+
+    /// Splits at column `at` into `(left, right)`.
+    pub fn split_at(&self, at: usize) -> Result<(Self, Self)> {
+        if at > self.cols {
+            return Err(TsError::WindowOutOfRange { end: at, window: 0, len: self.cols });
+        }
+        let mut left = Self::new(self.rows, at);
+        let mut right = Self::new(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    if c < at {
+                        left.set(r, c, true);
+                    } else {
+                        right.set(r, c - at, true);
+                    }
+                }
+            }
+        }
+        Ok((left, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_range_and_count() {
+        let mut g = LabelGrid::new(2, 10);
+        g.mark_range(0, 2, 4).unwrap();
+        g.mark_range(1, 8, 20).unwrap(); // clamped to 9
+        assert_eq!(g.count(), 5);
+        assert!((g.fraction() - 0.25).abs() < 1e-12);
+        assert!(g.mark_range(2, 0, 1).is_err());
+    }
+
+    #[test]
+    fn segments_are_maximal_runs() {
+        let mut g = LabelGrid::new(1, 8);
+        g.mark_range(0, 1, 2).unwrap();
+        g.mark_range(0, 5, 7).unwrap();
+        let segs = g.segments();
+        assert_eq!(
+            segs,
+            vec![
+                Segment { variate: 0, start: 1, end: 2 },
+                Segment { variate: 0, start: 5, end: 7 },
+            ]
+        );
+        assert_eq!(segs[0].len(), 2);
+        assert!(segs[1].contains(6));
+        assert!(!segs[1].contains(4));
+    }
+
+    #[test]
+    fn segment_reaching_series_end_is_closed() {
+        let mut g = LabelGrid::new(1, 4);
+        g.mark_range(0, 3, 3).unwrap();
+        assert_eq!(g.segments(), vec![Segment { variate: 0, start: 3, end: 3 }]);
+    }
+
+    #[test]
+    fn union_and_affected_variates() {
+        let mut a = LabelGrid::new(2, 4);
+        a.mark_range(0, 0, 1).unwrap();
+        let mut b = LabelGrid::new(2, 4);
+        b.mark_range(1, 2, 3).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.count(), 4);
+        assert_eq!(u.affected_variates(), 2);
+        assert_eq!(a.affected_variates(), 1);
+    }
+
+    #[test]
+    fn split_at_partitions_labels() {
+        let mut g = LabelGrid::new(1, 6);
+        g.mark_range(0, 2, 4).unwrap();
+        let (l, r) = g.split_at(3).unwrap();
+        assert_eq!(l.count(), 1); // index 2
+        assert_eq!(r.count(), 2); // indices 3, 4 → 0, 1
+        assert!(r.get(0, 0) && r.get(0, 1));
+    }
+}

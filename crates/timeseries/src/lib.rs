@@ -1,0 +1,40 @@
+//! # aero-timeseries
+//!
+//! Core time-series containers for the AERO reproduction: the `N × T`
+//! [`MultivariateSeries`] with irregular timestamps and sliding-window
+//! extraction (paper Fig. 3), boolean [`LabelGrid`]s for anomaly ground
+//! truth and concurrent-noise masks, per-variate [`MinMaxScaler`]
+//! normalization, benchmark [`Dataset`] bundles with Table-I statistics,
+//! scalar statistics helpers, and CSV persistence.
+//!
+//! ```
+//! use aero_tensor::Matrix;
+//! use aero_timeseries::MultivariateSeries;
+//!
+//! // 3 stars × 100 observations, regular cadence.
+//! let series = MultivariateSeries::regular(Matrix::from_fn(3, 100, |v, t| {
+//!     ((t + v) as f32 * 0.2).sin()
+//! }));
+//! // The paper's sliding-window instance X_t ∈ R^{N×W}.
+//! let window = series.window(99, 20).unwrap();
+//! assert_eq!(window.shape(), (3, 20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod gaps;
+pub mod io;
+pub mod labels;
+pub mod normalize;
+pub mod series;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use error::{Result, TsError};
+pub use gaps::{fill_gaps, find_gaps, Gap};
+pub use labels::{LabelGrid, Segment};
+pub use normalize::MinMaxScaler;
+pub use series::MultivariateSeries;

@@ -1,0 +1,229 @@
+//! Core multivariate time-series container for astronomical observations.
+//!
+//! Follows the paper's data model (Fig. 3): `N` variates (stars) over `CT`
+//! timestamps, partitioned into sliding-window instances `X_t ∈ R^{N×W}`.
+
+use aero_tensor::Matrix;
+
+use crate::error::{Result, TsError};
+
+/// An `N`-variate time series with (possibly irregular) timestamps.
+///
+/// Values are stored as an `N × T` matrix: row `n` is the magnitude series
+/// of star `n`. `timestamps[t]` is the observation time of column `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultivariateSeries {
+    values: Matrix,
+    timestamps: Vec<f64>,
+}
+
+impl MultivariateSeries {
+    /// Creates a series from an `N × T` value matrix and `T` timestamps.
+    pub fn new(values: Matrix, timestamps: Vec<f64>) -> Result<Self> {
+        if values.cols() != timestamps.len() {
+            return Err(TsError::LengthMismatch {
+                what: "timestamps",
+                expected: values.cols(),
+                got: timestamps.len(),
+            });
+        }
+        if !timestamps.windows(2).all(|w| w[0] < w[1]) {
+            return Err(TsError::NonMonotonicTimestamps);
+        }
+        Ok(Self { values, timestamps })
+    }
+
+    /// Creates a regularly-sampled series (timestamps `0, 1, 2, …`).
+    pub fn regular(values: Matrix) -> Self {
+        let timestamps = (0..values.cols()).map(|t| t as f64).collect();
+        Self { values, timestamps }
+    }
+
+    /// Number of variates (stars).
+    pub fn num_variates(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        self.values.cols()
+    }
+
+    /// True when the series holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `N × T` value matrix.
+    pub fn values(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Mutable access to the value matrix (used by injectors).
+    pub fn values_mut(&mut self) -> &mut Matrix {
+        &mut self.values
+    }
+
+    /// Observation timestamps.
+    pub fn timestamps(&self) -> &[f64] {
+        &self.timestamps
+    }
+
+    /// One variate's full series as a slice-backed copy.
+    pub fn variate(&self, n: usize) -> Result<Vec<f32>> {
+        if n >= self.num_variates() {
+            return Err(TsError::VariateOutOfRange { index: n, count: self.num_variates() });
+        }
+        Ok(self.values.row(n).to_vec())
+    }
+
+    /// Value of variate `n` at time index `t`.
+    pub fn get(&self, n: usize, t: usize) -> f32 {
+        self.values.get(n, t)
+    }
+
+    /// Inter-observation intervals `Δ_t = ts[t] − ts[t−1]` as `f32`
+    /// (`Δ_0 = 0`). Used by the irregular-interval time embedding.
+    pub fn intervals(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.timestamps.len());
+        let mut prev = None;
+        for &t in &self.timestamps {
+            out.push(match prev {
+                Some(p) => (t - p) as f32,
+                None => 0.0,
+            });
+            prev = Some(t);
+        }
+        out
+    }
+
+    /// Copies the window of columns `[end+1−w, end]` (inclusive of `end`)
+    /// into an `N × w` instance matrix — the paper's `X_t`.
+    pub fn window(&self, end: usize, w: usize) -> Result<Matrix> {
+        if end >= self.len() || end + 1 < w {
+            return Err(TsError::WindowOutOfRange { end, window: w, len: self.len() });
+        }
+        let start = end + 1 - w;
+        let mut out = Matrix::zeros(self.num_variates(), w);
+        for n in 0..self.num_variates() {
+            let src = &self.values.row(n)[start..=end];
+            out.row_mut(n).copy_from_slice(src);
+        }
+        Ok(out)
+    }
+
+    /// Iterator over sliding-window end indices (`w−1, w−1+stride, …`).
+    pub fn window_ends(&self, w: usize, stride: usize) -> impl Iterator<Item = usize> {
+        let len = self.len();
+        let stride = stride.max(1);
+        (0..len)
+            .skip(w.saturating_sub(1))
+            .step_by(stride)
+            .take_while(move |&e| e < len)
+    }
+
+    /// Splits the series at column `at` into `(left, right)` halves.
+    pub fn split_at(&self, at: usize) -> Result<(Self, Self)> {
+        if at > self.len() {
+            return Err(TsError::WindowOutOfRange { end: at, window: 0, len: self.len() });
+        }
+        let left = Self {
+            values: self
+                .values
+                .slice_cols(0, at)
+                .map_err(|_| TsError::WindowOutOfRange { end: at, window: 0, len: self.len() })?,
+            timestamps: self.timestamps[..at].to_vec(),
+        };
+        let right = Self {
+            values: self
+                .values
+                .slice_cols(at, self.len() - at)
+                .map_err(|_| TsError::WindowOutOfRange { end: at, window: 0, len: self.len() })?,
+            timestamps: self.timestamps[at..].to_vec(),
+        };
+        Ok((left, right))
+    }
+
+    /// Keeps only the first `n` variates (used by scalability sweeps).
+    pub fn take_variates(&self, n: usize) -> Result<Self> {
+        if n > self.num_variates() {
+            return Err(TsError::VariateOutOfRange { index: n, count: self.num_variates() });
+        }
+        Ok(Self {
+            values: self
+                .values
+                .slice_rows(0, n)
+                .map_err(|_| TsError::VariateOutOfRange { index: n, count: self.num_variates() })?,
+            timestamps: self.timestamps.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> MultivariateSeries {
+        MultivariateSeries::regular(Matrix::from_fn(3, 10, |n, t| (n * 10 + t) as f32))
+    }
+
+    #[test]
+    fn new_validates_lengths_and_order() {
+        let m = Matrix::zeros(2, 3);
+        assert!(MultivariateSeries::new(m.clone(), vec![0.0, 1.0]).is_err());
+        assert!(MultivariateSeries::new(m.clone(), vec![0.0, 2.0, 1.0]).is_err());
+        assert!(MultivariateSeries::new(m, vec![0.0, 1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn window_extracts_trailing_columns() {
+        let s = demo();
+        let w = s.window(4, 3).unwrap();
+        assert_eq!(w.shape(), (3, 3));
+        assert_eq!(w.row(0), &[2.0, 3.0, 4.0]);
+        assert_eq!(w.row(2), &[22.0, 23.0, 24.0]);
+    }
+
+    #[test]
+    fn window_bounds_checked() {
+        let s = demo();
+        assert!(s.window(10, 3).is_err()); // end past series
+        assert!(s.window(1, 3).is_err()); // window longer than prefix
+        assert!(s.window(2, 3).is_ok());
+    }
+
+    #[test]
+    fn window_ends_respect_stride() {
+        let s = demo();
+        let ends: Vec<usize> = s.window_ends(4, 2).collect();
+        assert_eq!(ends, vec![3, 5, 7, 9]);
+        let all: Vec<usize> = s.window_ends(4, 1).collect();
+        assert_eq!(all, vec![3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn intervals_of_irregular_series() {
+        let m = Matrix::zeros(1, 4);
+        let s = MultivariateSeries::new(m, vec![0.0, 1.0, 3.0, 7.0]).unwrap();
+        assert_eq!(s.intervals(), vec![0.0, 1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn split_preserves_totals() {
+        let s = demo();
+        let (a, b) = s.split_at(6).unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 4);
+        assert_eq!(a.num_variates(), 3);
+        assert_eq!(b.get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn take_variates_truncates_rows() {
+        let s = demo();
+        let t = s.take_variates(2).unwrap();
+        assert_eq!(t.num_variates(), 2);
+        assert_eq!(t.len(), 10);
+        assert!(s.take_variates(4).is_err());
+    }
+}

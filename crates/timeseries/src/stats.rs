@@ -1,0 +1,172 @@
+//! Scalar statistics helpers shared across the workspace.
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Empirical quantile via linear interpolation; `q ∈ [0, 1]`.
+///
+/// Returns 0 on empty input. Not streaming — sorts a copy.
+pub fn quantile(xs: &[f32], q: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Exponentially-weighted moving average with smoothing factor `alpha`
+/// (`alpha = 1` copies the input; smaller is smoother).
+pub fn ewma(xs: &[f32], alpha: f32) -> Vec<f32> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut state = None;
+    for &x in xs {
+        let next = match state {
+            None => x,
+            Some(prev) => alpha * x + (1.0 - alpha) * prev,
+        };
+        out.push(next);
+        state = Some(next);
+    }
+    out
+}
+
+/// Centered moving average with window `w` (edges use the available span).
+pub fn moving_average(xs: &[f32], w: usize) -> Vec<f32> {
+    let w = w.max(1);
+    let half = w / 2;
+    (0..xs.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(xs.len());
+            mean(&xs[lo..hi])
+        })
+        .collect()
+}
+
+/// Pearson correlation of two equal-length slices (0 when degenerate).
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    if a.len() != b.len() || a.is_empty() {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0f32;
+    let mut va = 0.0f32;
+    let mut vb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    let denom = (va * vb).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+/// Cosine similarity of two equal-length slices (0 when degenerate) —
+/// the window-wise graph weight of AERO Eq. 12.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    if a.len() != b.len() || a.is_empty() {
+        return 0.0;
+    }
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = (na * nb).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn ewma_smooths_towards_input() {
+        let out = ewma(&[1.0, 1.0, 0.0], 0.5);
+        assert_eq!(out, vec![1.0, 1.0, 0.5]);
+        assert_eq!(ewma(&[3.0], 0.2), vec![3.0]);
+    }
+
+    #[test]
+    fn moving_average_handles_edges() {
+        let out = moving_average(&[0.0, 3.0, 6.0], 3);
+        assert_eq!(out, vec![1.5, 3.0, 4.5]);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        let c = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-6);
+        assert_eq!(pearson(&a, &[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_similarity_basics() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Extending the library: implement your own [`Detector`] and run it
+//! through the same POT + point-adjust pipeline as AERO and the baselines.
+//!
+//! The example detector is a robust z-score ("how many MADs from the
+//! training median is this point?") — simple, fast, and a sensible first
+//! baseline on any new dataset.
+//!
+//! Run with: `cargo run --release --example custom_detector`
+
+use aero_repro::core::{run_detection, Detector, DetectorError, DetectorResult};
+use aero_repro::datagen::SyntheticConfig;
+use aero_repro::evt::PotConfig;
+use aero_repro::tensor::Matrix;
+use aero_repro::timeseries::MultivariateSeries;
+
+/// Robust z-score detector: per-variate median and MAD from training.
+struct RobustZScore {
+    medians: Vec<f32>,
+    mads: Vec<f32>,
+}
+
+impl RobustZScore {
+    fn new() -> Self {
+        Self { medians: Vec::new(), mads: Vec::new() }
+    }
+
+    fn median(values: &mut [f32]) -> f32 {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values[values.len() / 2]
+    }
+}
+
+impl Detector for RobustZScore {
+    fn name(&self) -> String {
+        "RobustZ".into()
+    }
+
+    fn fit(&mut self, train: &MultivariateSeries) -> DetectorResult<()> {
+        self.medians.clear();
+        self.mads.clear();
+        for v in 0..train.num_variates() {
+            let mut vals = train.values().row(v).to_vec();
+            let med = Self::median(&mut vals);
+            let mut devs: Vec<f32> = vals.iter().map(|x| (x - med).abs()).collect();
+            let mad = Self::median(&mut devs).max(1e-6);
+            self.medians.push(med);
+            self.mads.push(mad);
+        }
+        Ok(())
+    }
+
+    fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
+        if self.medians.len() != series.num_variates() {
+            return Err(DetectorError::Invalid("variate count mismatch".into()));
+        }
+        let mut out = Matrix::zeros(series.num_variates(), series.len());
+        for v in 0..series.num_variates() {
+            let (med, mad) = (self.medians[v], self.mads[v]);
+            for (dst, &x) in out.row_mut(v).iter_mut().zip(series.values().row(v)) {
+                *dst = (x - med).abs() / mad;
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn main() {
+    let dataset = SyntheticConfig::tiny(99).build();
+    let mut detector = RobustZScore::new();
+    let out = run_detection(&mut detector, &dataset, PotConfig { level: 0.95, q: 1e-2 }).expect("pipeline");
+    println!(
+        "{}: precision {:.1}%  recall {:.1}%  F1 {:.1}%  (threshold {:.3})",
+        detector.name(),
+        out.metrics.precision * 100.0,
+        out.metrics.recall * 100.0,
+        out.metrics.f1 * 100.0,
+        out.threshold.threshold
+    );
+    println!("\nThat is the whole integration: implement `fit` and `score`,");
+    println!("and the shared pipeline handles normalization-free thresholding");
+    println!("(POT), point-adjusted metrics, and the experiment harnesses.");
+}

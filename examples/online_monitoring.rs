@@ -1,0 +1,64 @@
+//! Online monitoring: the operational mode of Algorithm 2 — frames arrive
+//! one at a time, each star gets an immediate verdict, and flagged points
+//! accumulate into a ranked event catalog for the morning review.
+//!
+//! Run with: `cargo run --release --example online_monitoring`
+
+use aero_repro::core::online::OnlineAero;
+use aero_repro::core::{build_catalog, render_catalog, Aero, AeroConfig, Detector};
+use aero_repro::datagen::SyntheticConfig;
+use aero_repro::evt::PotConfig;
+use aero_repro::tensor::Matrix;
+use aero_repro::timeseries::LabelGrid;
+
+fn main() {
+    let dataset = SyntheticConfig::tiny(314).build();
+    let n = dataset.num_variates();
+
+    // Offline phase: train on the calibration night.
+    let mut config = AeroConfig::tiny();
+    config.max_epochs = 8;
+    config.train_stride = 10;
+    config.lr = 2e-3;
+    let mut model = Aero::new(config).expect("config");
+    model.fit(&dataset.train).expect("fit");
+    let mut online =
+        OnlineAero::new(model, &dataset.train, PotConfig { level: 0.95, q: 1e-2 }).expect("wrap online");
+    println!(
+        "online detector armed: threshold {:.4} ({} calibration peaks)",
+        online.threshold().threshold,
+        online.threshold().peaks
+    );
+
+    // Night shift: stream every test frame.
+    let base = *dataset.train.timestamps().last().unwrap() + 1.0;
+    let mut flags = LabelGrid::new(n, dataset.test.len());
+    let mut scores = Matrix::zeros(n, dataset.test.len());
+    let mut alerts = 0usize;
+    for t in 0..dataset.test.len() {
+        let frame: Vec<f32> = (0..n).map(|v| dataset.test.get(v, t)).collect();
+        let verdict = online.push(base + t as f64, &frame).expect("frame");
+        for (v, s) in verdict.stars.iter().enumerate() {
+            scores.set(v, t, s.score);
+            if s.anomalous {
+                flags.set(v, t, true);
+                alerts += 1;
+            }
+        }
+        if verdict.any_anomalous() && alerts <= 5 {
+            println!("frame {t}: ALERT on stars {:?}", verdict.flagged());
+        }
+    }
+    println!("\nnight summary: {alerts} flagged points over {} frames", dataset.test.len());
+
+    // Morning review: the ranked event catalog.
+    let catalog = build_catalog(&flags, &scores, 3);
+    println!("\n{}", render_catalog(&catalog, dataset.test.timestamps(), 10));
+
+    // Compare against ground truth for the demo.
+    let truth = dataset.test_labels.segments();
+    println!("ground truth had {} true event segments:", truth.len());
+    for s in truth {
+        println!("  star {} at [{}, {}]", s.variate, s.start, s.end);
+    }
+}

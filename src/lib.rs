@@ -1,0 +1,13 @@
+//! Umbrella crate for the AERO reproduction workspace.
+//!
+//! Re-exports the public crates so integration tests and examples at the
+//! repository root can reach every subsystem through one dependency.
+
+pub use aero_baselines as baselines;
+pub use aero_core as core;
+pub use aero_datagen as datagen;
+pub use aero_eval as eval;
+pub use aero_evt as evt;
+pub use aero_nn as nn;
+pub use aero_tensor as tensor;
+pub use aero_timeseries as timeseries;

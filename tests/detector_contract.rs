@@ -1,0 +1,120 @@
+//! Contract tests every detector (AERO + 11 baselines) must satisfy:
+//! shape correctness, finite scores, determinism, and error handling.
+
+use aero_repro::baselines::{all_baselines, NnConfig};
+use aero_repro::core::{Aero, AeroConfig, Detector};
+use aero_repro::datagen::SyntheticConfig;
+use aero_repro::tensor::Matrix;
+use aero_repro::timeseries::MultivariateSeries;
+
+fn suite() -> Vec<Box<dyn Detector>> {
+    let mut cfg = NnConfig::tiny();
+    cfg.epochs = 2;
+    let mut v = all_baselines(&cfg);
+    let mut acfg = AeroConfig::tiny();
+    acfg.max_epochs = 2;
+    v.push(Box::new(Aero::new(acfg).unwrap()));
+    v
+}
+
+#[test]
+fn every_detector_produces_full_shape_finite_scores() {
+    let ds = SyntheticConfig::tiny(200).build();
+    for mut det in suite() {
+        let name = det.name();
+        det.fit(&ds.train).unwrap_or_else(|e| panic!("{name} fit failed: {e}"));
+        let scores = det
+            .score(&ds.test)
+            .unwrap_or_else(|e| panic!("{name} score failed: {e}"));
+        assert_eq!(
+            scores.shape(),
+            (ds.num_variates(), ds.test.len()),
+            "{name} shape"
+        );
+        assert!(!scores.has_non_finite(), "{name} produced NaN/Inf scores");
+        assert!(
+            scores.as_slice().iter().all(|&s| s >= 0.0),
+            "{name} produced negative scores"
+        );
+    }
+}
+
+#[test]
+fn every_detector_is_deterministic() {
+    let ds = SyntheticConfig::tiny(201).build();
+    for (a, b) in suite().into_iter().zip(suite()) {
+        let mut a = a;
+        let mut b = b;
+        let name = a.name();
+        a.fit(&ds.train).unwrap();
+        b.fit(&ds.train).unwrap();
+        let sa = a.score(&ds.test).unwrap();
+        let sb = b.score(&ds.test).unwrap();
+        assert_eq!(sa, sb, "{name} is not deterministic");
+    }
+}
+
+#[test]
+fn warmup_regions_are_honest() {
+    // Scores must be finite everywhere; after the declared warmup there must
+    // be at least one strictly positive score for learned detectors.
+    let ds = SyntheticConfig::tiny(202).build();
+    for mut det in suite() {
+        let name = det.name();
+        det.fit(&ds.train).unwrap();
+        let scores = det.score(&ds.test).unwrap();
+        let warm = det.warmup();
+        assert!(warm < ds.test.len(), "{name} warmup covers everything");
+        let any_positive = (0..ds.num_variates())
+            .any(|v| scores.row(v)[warm..].iter().any(|&s| s > 0.0));
+        assert!(any_positive, "{name} emitted all-zero scores after warmup");
+    }
+}
+
+#[test]
+fn scoring_a_different_length_series_works() {
+    // Online usage scores series of lengths other than the training length.
+    let ds = SyntheticConfig::tiny(203).build();
+    let (short, _) = ds.test.split_at(ds.test.len() / 2).unwrap();
+    for mut det in suite() {
+        let name = det.name();
+        det.fit(&ds.train).unwrap();
+        let scores = det.score(&short).unwrap();
+        assert_eq!(scores.cols(), short.len(), "{name} on shorter series");
+    }
+}
+
+#[test]
+fn untrained_neural_detectors_refuse_to_score() {
+    let ds = SyntheticConfig::tiny(204).build();
+    let cfg = NnConfig::tiny();
+    let neural: Vec<Box<dyn Detector>> = vec![
+        Box::new(aero_repro::baselines::Donut::new(cfg.clone())),
+        Box::new(aero_repro::baselines::OmniAnomaly::new(cfg.clone())),
+        Box::new(aero_repro::baselines::AnomalyTransformer::new(cfg.clone())),
+        Box::new(aero_repro::baselines::TranAd::new(cfg.clone())),
+        Box::new(aero_repro::baselines::Gdn::new(cfg.clone())),
+        Box::new(aero_repro::baselines::Esg::new(cfg.clone())),
+        Box::new(aero_repro::baselines::TimesNet::new(cfg)),
+        Box::new(Aero::new(AeroConfig::tiny()).unwrap()),
+    ];
+    for mut det in neural {
+        let name = det.name();
+        assert!(det.score(&ds.test).is_err(), "{name} scored untrained");
+    }
+}
+
+#[test]
+fn constant_series_does_not_break_any_detector() {
+    // Degenerate input: every star constant. Min-max scaling maps to zero;
+    // detectors must neither panic nor emit non-finite scores.
+    let train = MultivariateSeries::regular(Matrix::full(4, 300, 3.0));
+    let test = MultivariateSeries::regular(Matrix::full(4, 120, 3.0));
+    for mut det in suite() {
+        let name = det.name();
+        det.fit(&train)
+            .unwrap_or_else(|e| panic!("{name} fit on constants failed: {e}"));
+        let scores = det.score(&test).unwrap();
+        assert!(!scores.has_non_finite(), "{name} NaN on constants");
+    }
+}

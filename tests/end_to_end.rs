@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: the full AERO pipeline on generated
+//! datasets, exercising datagen → timeseries → core → evt → eval together.
+
+use aero_repro::core::{run_detection, Aero, AeroConfig, Detector};
+use aero_repro::datagen::{AstrosetConfig, SyntheticConfig};
+use aero_repro::evt::PotConfig;
+
+#[test]
+fn aero_full_pipeline_on_synthetic() {
+    let dataset = SyntheticConfig::tiny(100).build();
+    let mut model = Aero::new(AeroConfig::tiny()).unwrap();
+    let out = run_detection(&mut model, &dataset, PotConfig::default()).unwrap();
+
+    // Scores cover the test split, threshold is finite, metrics are sane.
+    assert_eq!(
+        out.scores.shape(),
+        (dataset.num_variates(), dataset.test.len())
+    );
+    assert!(out.threshold.threshold.is_finite());
+    assert!(out.metrics.precision >= 0.0 && out.metrics.precision <= 1.0);
+    assert!(out.metrics.recall >= 0.0 && out.metrics.recall <= 1.0);
+    assert!(!out.scores.has_non_finite());
+}
+
+#[test]
+fn aero_full_pipeline_on_astroset() {
+    let dataset = AstrosetConfig::tiny(101).build();
+    let mut model = Aero::new(AeroConfig::tiny()).unwrap();
+    let out = run_detection(&mut model, &dataset, PotConfig::default()).unwrap();
+    assert!(out.threshold.threshold.is_finite());
+    assert!(!out.scores.has_non_finite());
+}
+
+#[test]
+fn aero_detects_obvious_anomaly_better_than_chance() {
+    // A dataset with strong anomalies: AERO's anomaly-point scores should
+    // clearly exceed its normal-point scores.
+    let dataset = SyntheticConfig::tiny(102).build();
+    let mut cfg = AeroConfig::tiny();
+    cfg.max_epochs = 8;
+    cfg.train_stride = 10;
+    let mut model = Aero::new(cfg).unwrap();
+    model.fit(&dataset.train).unwrap();
+    let scores = model.score(&dataset.test).unwrap();
+    let warm = model.warmup();
+
+    let mut anomaly = (0.0f64, 0usize);
+    let mut normal = (0.0f64, 0usize);
+    for v in 0..dataset.num_variates() {
+        for t in warm..dataset.test.len() {
+            let s = scores.get(v, t) as f64;
+            if dataset.test_labels.get(v, t) {
+                anomaly = (anomaly.0 + s, anomaly.1 + 1);
+            } else if !dataset.test_noise.get(v, t) {
+                normal = (normal.0 + s, normal.1 + 1);
+            }
+        }
+    }
+    let anomaly_mean = anomaly.0 / anomaly.1.max(1) as f64;
+    let normal_mean = normal.0 / normal.1.max(1) as f64;
+    assert!(
+        anomaly_mean > 1.5 * normal_mean,
+        "anomaly mean {anomaly_mean:.4} vs normal mean {normal_mean:.4}"
+    );
+}
+
+#[test]
+fn aero_training_is_deterministic_given_seed() {
+    let dataset = SyntheticConfig::tiny(103).build();
+    let run = || {
+        let mut model = Aero::new(AeroConfig::tiny()).unwrap();
+        model.fit(&dataset.train).unwrap();
+        model.score(&dataset.test).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must give identical scores");
+}
+
+#[test]
+fn noise_module_reduces_false_alarm_pressure_on_noise_points() {
+    // Compare mean scores on concurrent-noise points with and without the
+    // noise module — the paper's core claim (Fig. 9 / Table IV 2i).
+    let mut gen = SyntheticConfig::tiny(104);
+    gen.noise_fraction = 0.06; // noise-heavy
+    let dataset = gen.build();
+
+    let mean_noise_score = |use_noise: bool| -> f64 {
+        let mut cfg = AeroConfig::tiny();
+        cfg.use_noise_module = use_noise;
+        cfg.max_epochs = 4;
+        let mut model = Aero::new(cfg).unwrap();
+        model.fit(&dataset.train).unwrap();
+        let scores = model.score(&dataset.test).unwrap();
+        let warm = model.warmup();
+        let mut acc = (0.0f64, 0usize);
+        for v in 0..dataset.num_variates() {
+            for t in warm..dataset.test.len() {
+                if dataset.test_noise.get(v, t) && !dataset.test_labels.get(v, t) {
+                    acc = (acc.0 + scores.get(v, t) as f64, acc.1 + 1);
+                }
+            }
+        }
+        acc.0 / acc.1.max(1) as f64
+    };
+
+    let with = mean_noise_score(true);
+    let without = mean_noise_score(false);
+    assert!(
+        with < without,
+        "noise module should shrink noise scores: with {with:.4} vs without {without:.4}"
+    );
+}
+
+#[test]
+fn pot_threshold_controls_false_alarms_on_clean_data() {
+    // A dataset with no anomalies at all: POT should flag almost nothing.
+    let mut gen = SyntheticConfig::tiny(105);
+    gen.anomaly_segments = 0;
+    gen.noise_fraction = 0.0;
+    let dataset = gen.build();
+    let mut model = Aero::new(AeroConfig::tiny()).unwrap();
+    let out = run_detection(&mut model, &dataset, PotConfig::default()).unwrap();
+    let flagged = out
+        .scores
+        .as_slice()
+        .iter()
+        .filter(|&&s| (s as f64) >= out.threshold.threshold)
+        .count();
+    let total = dataset.num_variates() * dataset.test.len();
+    assert!(
+        (flagged as f64) < 0.05 * total as f64,
+        "{flagged}/{total} points flagged on clean data"
+    );
+}

@@ -1,0 +1,104 @@
+//! Online/offline consistency: the frame-by-frame [`OnlineAero`] must agree
+//! with batch scoring — Algorithm 2 is the streaming view of the same
+//! computation, not a different model.
+
+use aero_repro::core::online::OnlineAero;
+use aero_repro::core::{Aero, AeroConfig, Detector};
+use aero_repro::datagen::SyntheticConfig;
+use aero_repro::evt::PotConfig;
+
+fn trained_pair() -> (Aero, aero_repro::timeseries::Dataset) {
+    let ds = SyntheticConfig::tiny(700).build();
+    let mut cfg = AeroConfig::tiny();
+    cfg.max_epochs = 3;
+    let mut model = Aero::new(cfg).unwrap();
+    model.fit(&ds.train).unwrap();
+    (model, ds)
+}
+
+#[test]
+fn streaming_scores_track_batch_scores() {
+    let (model, ds) = trained_pair();
+
+    // Batch scores over train ++ test (so the batch view has the same
+    // context the stream accumulates).
+    let mut batch_model = {
+        let mut cfg = AeroConfig::tiny();
+        cfg.max_epochs = 3;
+        let mut m = Aero::new(cfg).unwrap();
+        m.fit(&ds.train).unwrap();
+        m
+    };
+
+    let mut online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+    let base = *ds.train.timestamps().last().unwrap();
+    let n = ds.num_variates();
+
+    // Stream a slice of test frames and collect per-star scores.
+    let frames = 40usize;
+    let mut streamed = Vec::with_capacity(frames);
+    for t in 0..frames {
+        let frame: Vec<f32> = (0..n).map(|v| ds.test.get(v, t)).collect();
+        let verdict = online.push(base + 1.0 + t as f64, &frame).unwrap();
+        streamed.push(verdict.stars.iter().map(|s| s.score).collect::<Vec<_>>());
+    }
+
+    // The streaming scores must be broadly consistent with batch scoring of
+    // the same region: compare the ranking of the per-star mean scores.
+    // (Exact equality is not expected: the stream's window timestamps and
+    // block alignment differ from the batch block tiling.)
+    let batch_scores = batch_model.score(&ds.test).unwrap();
+    let mean_stream: Vec<f32> = (0..n)
+        .map(|v| streamed.iter().map(|f| f[v]).sum::<f32>() / frames as f32)
+        .collect();
+    let mean_batch: Vec<f32> = (0..n)
+        .map(|v| {
+            let row = &batch_scores.row(v)[..frames];
+            row.iter().sum::<f32>() / frames as f32
+        })
+        .collect();
+    // Correlation between stream and batch per-star means should be strong.
+    let corr = aero_repro::timeseries::stats::pearson(&mean_stream, &mean_batch);
+    assert!(
+        corr > 0.5,
+        "stream/batch score correlation too weak: {corr:.3}\nstream {mean_stream:?}\nbatch {mean_batch:?}"
+    );
+}
+
+#[test]
+fn streaming_is_deterministic() {
+    let (model_a, ds) = trained_pair();
+    let (model_b, _) = trained_pair();
+    let mut a = OnlineAero::new(model_a, &ds.train, PotConfig::default()).unwrap();
+    let mut b = OnlineAero::new(model_b, &ds.train, PotConfig::default()).unwrap();
+    let base = *ds.train.timestamps().last().unwrap();
+    for t in 0..10 {
+        let frame: Vec<f32> = (0..ds.num_variates()).map(|v| ds.test.get(v, t)).collect();
+        let va = a.push(base + 1.0 + t as f64, &frame).unwrap();
+        let vb = b.push(base + 1.0 + t as f64, &frame).unwrap();
+        for (x, y) in va.stars.iter().zip(&vb.stars) {
+            assert_eq!(x.score, y.score, "frame {t}");
+        }
+    }
+}
+
+#[test]
+fn saved_model_streams_identically_to_original() {
+    let (model, ds) = trained_pair();
+    let path = std::env::temp_dir().join(format!("aero_stream_persist_{}.json", std::process::id()));
+    aero_repro::core::save_model(&model, &path).unwrap();
+    let loaded = aero_repro::core::load_model(&path).unwrap();
+
+    let mut original = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+    let mut restored = OnlineAero::new(loaded, &ds.train, PotConfig::default()).unwrap();
+    let base = *ds.train.timestamps().last().unwrap();
+    for t in 0..8 {
+        let frame: Vec<f32> = (0..ds.num_variates()).map(|v| ds.test.get(v, t)).collect();
+        let va = original.push(base + 1.0 + t as f64, &frame).unwrap();
+        let vb = restored.push(base + 1.0 + t as f64, &frame).unwrap();
+        for (x, y) in va.stars.iter().zip(&vb.stars) {
+            assert_eq!(x.score, y.score, "frame {t}");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}

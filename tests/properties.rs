@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) on the core invariants: evaluation
+//! protocol, EVT thresholding, matrix algebra, normalization, and the
+//! window-wise graph.
+
+use aero_repro::core::window_adjacency;
+use aero_repro::eval::{confusion, evaluate_point_adjusted, point_adjust, Metrics};
+use aero_repro::evt::{apply_threshold, pot_threshold, PotConfig};
+use aero_repro::nn::normalize_adjacency;
+use aero_repro::tensor::Matrix;
+use aero_repro::timeseries::{LabelGrid, MinMaxScaler, MultivariateSeries};
+use proptest::prelude::*;
+
+fn label_grid(rows: usize, cols: usize) -> impl Strategy<Value = LabelGrid> {
+    proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(move |bits| {
+        LabelGrid::from_fn(rows, cols, |r, c| bits[r * cols + c])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Point adjustment never removes predictions and never lowers recall.
+    #[test]
+    fn point_adjust_is_monotone(pred in label_grid(3, 40), truth in label_grid(3, 40)) {
+        let adjusted = point_adjust(&pred, &truth);
+        for r in 0..3 {
+            for c in 0..40 {
+                if pred.get(r, c) {
+                    prop_assert!(adjusted.get(r, c), "adjustment dropped a prediction");
+                }
+            }
+        }
+        let before = confusion(&pred, &truth);
+        let after = confusion(&adjusted, &truth);
+        prop_assert!(after.recall >= before.recall - 1e-12);
+        // Adjustment only adds points inside true segments → FP unchanged.
+        prop_assert_eq!(before.fp, after.fp);
+    }
+
+    /// Point-adjusted evaluation of the truth against itself is perfect.
+    #[test]
+    fn truth_scores_perfectly(truth in label_grid(4, 30)) {
+        let m = evaluate_point_adjusted(&truth.clone(), &truth);
+        prop_assert_eq!(m.precision, 1.0);
+        prop_assert_eq!(m.recall, 1.0);
+    }
+
+    /// Confusion counts always partition the grid.
+    #[test]
+    fn confusion_partitions_grid(pred in label_grid(3, 25), truth in label_grid(3, 25)) {
+        let m = confusion(&pred, &truth);
+        prop_assert_eq!(m.tp + m.fp + m.fn_ + m.tn, 3 * 25);
+    }
+
+    /// F1 is between 0 and 1 and harmonic-mean consistent.
+    #[test]
+    fn metrics_are_consistent(tp in 0usize..100, fp in 0usize..100, fn_ in 0usize..100) {
+        let m = Metrics::from_counts(tp, fp, fn_, 10);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        if m.precision + m.recall > 0.0 {
+            let expected = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+            prop_assert!((m.f1 - expected).abs() < 1e-12);
+        }
+    }
+
+    /// The POT threshold never falls below the initial quantile threshold
+    /// and flags at most a bounded fraction of calibration points.
+    #[test]
+    fn pot_threshold_is_conservative(
+        seed in 0u64..1000,
+        scale in 0.1f32..10.0,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let scores: Vec<f32> = (0..4000).map(|_| rng.gen_range(0.0..scale)).collect();
+        let pot = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-3 });
+        prop_assert!(pot.threshold >= pot.initial - 1e-6);
+        let flagged = apply_threshold(&scores, pot.threshold)
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        // q=1e-3 on 4000 points → expect ~4; allow generous slack.
+        prop_assert!(flagged <= 80, "{flagged} flagged");
+    }
+
+    /// Matrix multiplication is associative (within f32 tolerance) and
+    /// distributes over addition.
+    #[test]
+    fn matmul_algebra(
+        a in proptest::collection::vec(-2.0f32..2.0, 6),
+        b in proptest::collection::vec(-2.0f32..2.0, 6),
+        c in proptest::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let a = Matrix::from_vec(2, 3, a).unwrap();
+        let b = Matrix::from_vec(3, 2, b).unwrap();
+        let c = Matrix::from_vec(2, 2, c).unwrap();
+        let ab_c = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let a_bc = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in ab_c.as_slice().iter().zip(a_bc.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Transpose is an involution and (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_laws(
+        a in proptest::collection::vec(-3.0f32..3.0, 12),
+        b in proptest::collection::vec(-3.0f32..3.0, 8),
+    ) {
+        let a = Matrix::from_vec(3, 4, a).unwrap();
+        let b = Matrix::from_vec(4, 2, b).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Min-max normalization keeps training data in [0, 1] and roundtrips.
+    #[test]
+    fn minmax_scaler_properties(values in proptest::collection::vec(-100.0f32..100.0, 20)) {
+        let series = MultivariateSeries::regular(Matrix::from_vec(2, 10, values).unwrap());
+        let mut scaler = MinMaxScaler::new();
+        scaler.fit(&series);
+        let scaled = scaler.transform(&series).unwrap();
+        for &v in scaled.values().as_slice() {
+            prop_assert!((-0.1001..=1.1001).contains(&v), "out of range: {v}");
+        }
+        for v in 0..2 {
+            for t in 0..10 {
+                let back = scaler.inverse(v, scaled.get(v, t)).unwrap();
+                let orig = series.get(v, t);
+                // Degenerate (constant) variates cannot roundtrip exactly.
+                let row = series.values().row(v);
+                let range = row.iter().cloned().fold(f32::MIN, f32::max)
+                    - row.iter().cloned().fold(f32::MAX, f32::min);
+                if range > 1e-3 {
+                    prop_assert!((back - orig).abs() < range * 1e-3 + 1e-3);
+                }
+            }
+        }
+    }
+
+    /// Window adjacency entries are valid cosines; the normalized
+    /// propagation matrix is row-stochastic or zero with no self-loops.
+    #[test]
+    fn graph_invariants(values in proptest::collection::vec(-5.0f32..5.0, 24)) {
+        let e = Matrix::from_vec(4, 6, values).unwrap();
+        let adj = window_adjacency(&e);
+        for r in 0..4 {
+            for c in 0..4 {
+                let v = adj.get(r, c);
+                prop_assert!((-1.0001..=1.0001).contains(&v));
+                prop_assert!((adj.get(r, c) - adj.get(c, r)).abs() < 1e-5);
+            }
+        }
+        let p = normalize_adjacency(&adj);
+        for r in 0..4 {
+            prop_assert_eq!(p.get(r, r), 0.0);
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!(sum < 1.0 + 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    /// Segments reconstruct the exact label set.
+    #[test]
+    fn segments_roundtrip(grid in label_grid(3, 30)) {
+        let mut rebuilt = LabelGrid::new(3, 30);
+        for seg in grid.segments() {
+            rebuilt.mark_range(seg.variate, seg.start, seg.end).unwrap();
+        }
+        prop_assert_eq!(rebuilt, grid);
+    }
+}
