@@ -28,7 +28,7 @@ fn main() {
     let split = if std::env::args().any(|a| a == "--full-calib") { 0 } else { ds.train.len() - ds.train.len() / 5 };
     let mut flat: Vec<f32> = Vec::new();
     for r in 0..calib.rows() { flat.extend_from_slice(&calib.row(r)[split.max(warm)..]); }
-    let pot = pot_threshold(&flat, paper_pot());
+    let pot = pot_threshold(&flat, paper_pot()).expect("POT calibration");
     eprintln!("POT: u={:.4} z={:.4} gamma={:.3} peaks={}", pot.initial, pot.threshold, pot.gamma, pot.peaks);
 
     let (e1, _) = aero.stage_scores(&ds.test).expect("scores");

@@ -31,6 +31,13 @@ COMMANDS:
                      [--level <f64>]       POT initial quantile (default 0.99)
                      [--q <f64>]           POT tail probability (default 1e-3)
                      [--save-model <file>] persist the trained AERO as JSON
+    stream         Replay a test series through a saved model frame-by-frame
+                     --data <dir>          directory with train.csv + test.csv
+                     --model <file>        checkpoint from `detect --save-model`
+                     [--faults <seed>]     inject a seeded rough-night fault plan
+                     [--refit-interval <n>] refit POT threshold every n frames
+                     [--level <f64>]       POT initial quantile (default 0.99)
+                     [--q <f64>]           POT tail probability (default 1e-3)
     evaluate       Point-adjusted precision/recall/F1 of saved flags
                      --flags <file>        0/1 CSV from `detect`
                      --labels <file>       0/1 ground-truth CSV
@@ -49,6 +56,7 @@ fn main() {
     let result = match args.command.as_deref() {
         Some("generate") => commands::generate(&args),
         Some("detect") => commands::detect(&args),
+        Some("stream") => commands::stream(&args),
         Some("evaluate") => commands::evaluate(&args),
         Some("list-methods") => {
             commands::list_methods();

@@ -5,7 +5,7 @@
 use std::fmt;
 
 use aero_eval::{evaluate_point_adjusted, threshold_scores, Metrics};
-use aero_evt::{pot_threshold, PotConfig, PotThreshold};
+use aero_evt::{pot_threshold_lenient, PotConfig, PotThreshold};
 use aero_tensor::Matrix;
 use aero_timeseries::{Dataset, MultivariateSeries};
 
@@ -18,6 +18,15 @@ pub enum DetectorError {
     Series(aero_timeseries::TsError),
     /// Detector-specific invariant violation.
     Invalid(String),
+    /// Disk/OS failure while reading or writing a checkpoint. Retryable:
+    /// the data on disk (if any) was not the problem.
+    Io(String),
+    /// A checkpoint exists but its contents are unusable — truncated,
+    /// bit-flipped, checksum-mismatched, or written by an incompatible
+    /// format version. Not retryable without a different file.
+    Corrupt(String),
+    /// Threshold calibration failed for lack of usable scores.
+    Threshold(aero_evt::PotError),
 }
 
 impl fmt::Display for DetectorError {
@@ -26,6 +35,9 @@ impl fmt::Display for DetectorError {
             Self::Tensor(e) => write!(f, "tensor error: {e}"),
             Self::Series(e) => write!(f, "series error: {e}"),
             Self::Invalid(msg) => write!(f, "invalid detector state: {msg}"),
+            Self::Io(msg) => write!(f, "i/o error: {msg}"),
+            Self::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            Self::Threshold(e) => write!(f, "threshold calibration: {e}"),
         }
     }
 }
@@ -41,6 +53,12 @@ impl From<aero_tensor::TensorError> for DetectorError {
 impl From<aero_timeseries::TsError> for DetectorError {
     fn from(e: aero_timeseries::TsError) -> Self {
         Self::Series(e)
+    }
+}
+
+impl From<aero_evt::PotError> for DetectorError {
+    fn from(e: aero_evt::PotError) -> Self {
+        Self::Threshold(e)
     }
 }
 
@@ -134,7 +152,10 @@ pub fn run_detection(
     for r in 0..calib_scores.rows() {
         calib.extend_from_slice(&calib_scores.row(r)[calib_start..]);
     }
-    let threshold = pot_threshold(&calib, pot);
+    // Lenient calibration: a degenerate calibration set (constant scores,
+    // too-short holdout) should still produce a comparable batch run rather
+    // than abort the experiment. Online deployment uses the strict variant.
+    let threshold = pot_threshold_lenient(&calib, pot);
 
     let scores = detector.score(&dataset.test)?;
     let test_secs = t1.elapsed().as_secs_f64();

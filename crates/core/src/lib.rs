@@ -40,7 +40,10 @@ pub use detector::{
 pub use graph_learn::{window_adjacency, GraphBuilder};
 pub use memory::{aero_memory, baseline_memory, MemoryEstimate};
 pub use model::Aero;
-pub use online::{FrameVerdict, OnlineAero, StarVerdict};
+pub use online::{
+    DegradePolicy, FrameDisposition, FrameVerdict, HealthReport, OnlineAero, StarStatus,
+    StarVerdict,
+};
 pub use persist::{load_model, save_model};
 pub use report::{build_catalog, render_catalog, EventCandidate};
 pub use temporal::TemporalModule;

@@ -1,7 +1,7 @@
 //! The AERO detector: two-stage offline training (Algorithm 1) and online
 //! scoring (Algorithm 2), wired behind the common [`Detector`] interface.
 
-use aero_nn::{Activation, EarlyStopping, GcnLayer, TrainingHistory};
+use aero_nn::{Activation, EarlyStopping, GcnLayer, NanRecovery, TrainingHistory};
 use aero_tensor::{Adam, Graph, Matrix, ParamId, ParamStore};
 use aero_timeseries::{MinMaxScaler, MultivariateSeries};
 use rand::rngs::StdRng;
@@ -144,7 +144,25 @@ impl Aero {
         }
     }
 
+    /// Snapshot of every parameter value, for divergence rollback.
+    fn snapshot_params(&self) -> Vec<(ParamId, Matrix)> {
+        self.store.iter().map(|(id, p)| (id, p.value().clone())).collect()
+    }
+
+    /// Restores a parameter snapshot taken by [`Self::snapshot_params`].
+    fn restore_params(&mut self, snapshot: &[(ParamId, Matrix)]) -> DetectorResult<()> {
+        for (id, value) in snapshot {
+            self.store.set_value(*id, value.clone())?;
+        }
+        Ok(())
+    }
+
     /// Stage 1: train the temporal module to reconstruct normal patterns.
+    ///
+    /// A diverged (non-finite loss) epoch rolls the parameters back to the
+    /// best snapshot and retries with a halved learning rate, up to the
+    /// [`NanRecovery`] budget; exhausting the budget keeps the best
+    /// snapshot rather than erroring out of the whole fit.
     fn train_stage1(&mut self, scaled: &MultivariateSeries) -> DetectorResult<()> {
         let Some(temporal) = self.temporal.clone() else {
             return Ok(());
@@ -158,11 +176,16 @@ impl Aero {
                 scaled.len()
             )));
         }
-        let mut opt = Adam::new(self.config.lr).with_clip_norm(5.0);
+        let mut lr = self.config.lr;
+        let mut opt = Adam::new(lr).with_clip_norm(5.0);
         let mut stop = EarlyStopping::new(self.config.patience, 0.0);
+        let mut recovery = NanRecovery::bounded_default();
+        let mut best_loss = f32::INFINITY;
+        let mut best = self.snapshot_params();
         let n = scaled.num_variates();
 
-        for _epoch in 0..self.config.max_epochs {
+        let mut epoch = 0usize;
+        while epoch < self.config.max_epochs {
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for &end in &ends {
@@ -193,12 +216,33 @@ impl Aero {
                     window_loss = g.value(loss)?.scalar_value()? as f64;
                     g.backward(loss, &mut self.store)?;
                 }
+                if !window_loss.is_finite() {
+                    // Any further steps would just propagate NaN through the
+                    // optimizer state; abandon the epoch now.
+                    epoch_loss = f64::NAN;
+                    break;
+                }
                 opt.step(&mut self.store)?;
                 epoch_loss += window_loss;
                 batches += 1;
             }
             let mean = (epoch_loss / batches.max(1) as f64) as f32;
+            if !mean.is_finite() {
+                self.restore_params(&best)?;
+                if recovery.should_retry() {
+                    lr *= recovery.lr_decay();
+                    opt = Adam::new(lr).with_clip_norm(5.0);
+                    self.stage1_history.record_rollback();
+                    continue; // retry the epoch from the rolled-back state
+                }
+                break; // budget exhausted: settle for the best snapshot
+            }
+            if mean < best_loss {
+                best_loss = mean;
+                best = self.snapshot_params();
+            }
             self.stage1_history.push(mean);
+            epoch += 1;
             if !stop.update(mean) {
                 break;
             }
@@ -225,10 +269,15 @@ impl Aero {
             errors.push(self.window_errors_internal(scaled, end)?);
         }
 
-        let mut opt = Adam::new(self.config.lr).with_clip_norm(5.0);
+        let mut lr = self.config.lr;
+        let mut opt = Adam::new(lr).with_clip_norm(5.0);
         let mut stop = EarlyStopping::new(self.config.patience, 0.0);
+        let mut recovery = NanRecovery::bounded_default();
+        let mut best_loss = f32::INFINITY;
+        let mut best = self.snapshot_params();
 
-        for _epoch in 0..self.config.max_epochs {
+        let mut epoch = 0usize;
+        while epoch < self.config.max_epochs {
             self.graphs.reset();
             let mut epoch_loss = 0.0f64;
             for (&end, e) in ends.iter().zip(&errors) {
@@ -243,12 +292,33 @@ impl Aero {
                 let yhat2 = gcn.forward(&mut g, &self.store, &p, feats)?;
                 // loss₂ = (Y − Ŷ₁) − Ŷ₂ = E − Ŷ₂  →  MSE(Ŷ₂, E).
                 let loss = g.mse_loss(yhat2, e)?;
-                epoch_loss += g.value(loss)?.scalar_value()? as f64;
+                let batch_loss = g.value(loss)?.scalar_value()? as f64;
+                if !batch_loss.is_finite() {
+                    epoch_loss = f64::NAN;
+                    break;
+                }
                 g.backward(loss, &mut self.store)?;
                 opt.step(&mut self.store)?;
+                epoch_loss += batch_loss;
             }
             let mean = (epoch_loss / ends.len().max(1) as f64) as f32;
+            if !mean.is_finite() {
+                // Same divergence-recovery policy as stage 1.
+                self.restore_params(&best)?;
+                if recovery.should_retry() {
+                    lr *= recovery.lr_decay();
+                    opt = Adam::new(lr).with_clip_norm(5.0);
+                    self.stage2_history.record_rollback();
+                    continue;
+                }
+                break;
+            }
+            if mean < best_loss {
+                best_loss = mean;
+                best = self.snapshot_params();
+            }
             self.stage2_history.push(mean);
+            epoch += 1;
             if !stop.update(mean) {
                 break;
             }
@@ -322,7 +392,7 @@ impl Aero {
             ends.push(e);
             e += stride;
         }
-        if *ends.last().unwrap() != len - 1 {
+        if ends.last().copied() != Some(len - 1) {
             ends.push(len - 1);
         }
         ends

@@ -1,11 +1,31 @@
-//! True online detection (paper §III-F, Algorithm 2).
+//! True online detection (paper §III-F, Algorithm 2), hardened for
+//! degraded telemetry.
 //!
 //! The batch [`Detector`] interface scores whole series;
 //! this module wraps a trained [`Aero`] for frame-by-frame operation: as
 //! each new observation vector arrives it is appended to a rolling buffer,
 //! the stride-1 sliding window is re-evaluated, and each star's last-
 //! timestamp score (Eq. 17's `S(·)` selector) is compared against the POT
-//! threshold — optionally with SPOT-style streaming threshold updates.
+//! threshold — optionally with periodic threshold refits.
+//!
+//! Unlike the batch path, the stream cannot assume clean input: GWAC-class
+//! telemetry drops values (NaN/Inf), skips frames, repeats or reorders
+//! timestamps, and occasionally blacks out whole stars. [`OnlineAero`]
+//! therefore *degrades* instead of erroring on data faults (see
+//! `DESIGN.md`, "Failure modes and degradation policy"):
+//!
+//! - non-finite values are imputed from the star's most recent valid value;
+//! - missing frames are gap-filled (bounded by [`DegradePolicy::max_gap_fill`])
+//!   so window geometry stays intact;
+//! - stale/duplicate frames are dropped with a [`FrameDisposition`] flag,
+//!   never an error;
+//! - stars whose recent window is mostly synthetic are marked
+//!   [`StarStatus::Degraded`] or quarantined ([`StarStatus::Quarantined`],
+//!   score suppressed to 0 rather than emitting a fabricated alert);
+//! - every degradation is counted in a [`HealthReport`] so operators see
+//!   the pipeline degrading instead of silently lying.
+
+use std::collections::VecDeque;
 
 use aero_evt::{pot_threshold, PotConfig, PotThreshold};
 use aero_tensor::Matrix;
@@ -14,24 +34,57 @@ use aero_timeseries::MultivariateSeries;
 use crate::detector::{Detector, DetectorError, DetectorResult};
 use crate::model::Aero;
 
+/// Data-quality status of one star at the newest timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StarStatus {
+    /// Recent window is (almost) entirely real telemetry.
+    Nominal,
+    /// A noticeable fraction of the recent window was imputed or
+    /// gap-filled; the score is real but less trustworthy.
+    Degraded,
+    /// The recent window is mostly synthetic; the score is suppressed to
+    /// zero because it would mostly reflect imputation, not the star.
+    Quarantined,
+}
+
 /// Verdict for one star at the newest timestamp.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StarVerdict {
-    /// Anomaly score `s_t^{(n)}`.
+    /// Anomaly score `s_t^{(n)}` (0 while warming up or quarantined).
     pub score: f32,
     /// Whether the score crossed the POT threshold.
     pub anomalous: bool,
+    /// Data-quality status backing this verdict.
+    pub status: StarStatus,
+}
+
+/// How a pushed frame was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDisposition {
+    /// Frame entered the window and was scored.
+    Scored,
+    /// Frame entered the window but the buffer is not yet full.
+    Warmup,
+    /// Frame arrived with a timestamp older than the newest buffered one
+    /// and was dropped (out-of-order delivery).
+    DroppedStale,
+    /// Frame repeated the newest buffered timestamp and was dropped.
+    DroppedDuplicate,
 }
 
 /// One processed frame: per-star verdicts at the newest timestamp.
 #[derive(Debug, Clone)]
 pub struct FrameVerdict {
-    /// Index of the frame within the stream (0-based).
+    /// Index of the frame within the stream (0-based, counts every push).
     pub frame: usize,
     /// Timestamp of the frame.
     pub timestamp: f64,
     /// Per-star verdicts.
     pub stars: Vec<StarVerdict>,
+    /// How the frame was handled.
+    pub disposition: FrameDisposition,
+    /// Synthetic frames inserted before this one to bridge a cadence gap.
+    pub gap_filled: usize,
 }
 
 impl FrameVerdict {
@@ -48,6 +101,113 @@ impl FrameVerdict {
     /// True when any star is flagged.
     pub fn any_anomalous(&self) -> bool {
         self.stars.iter().any(|s| s.anomalous)
+    }
+}
+
+/// Tunable degradation rules. The defaults are deliberately conservative:
+/// small bounded gap fill, quarantine only when half the window is
+/// synthetic, no automatic threshold refits.
+#[derive(Debug, Clone)]
+pub struct DegradePolicy {
+    /// Maximum synthetic frames inserted to bridge one cadence gap.
+    /// Larger gaps are truncated (and counted) — the window then simply
+    /// jumps, which beats fabricating a long stretch of fake telemetry.
+    pub max_gap_fill: usize,
+    /// A gap is declared when the inter-frame spacing exceeds this many
+    /// nominal cadences.
+    pub gap_tolerance: f64,
+    /// Star is `Degraded` when at least this fraction of its recent window
+    /// was imputed/gap-filled.
+    pub degraded_fraction: f32,
+    /// Star is `Quarantined` (score suppressed) at this fraction.
+    pub quarantine_fraction: f32,
+    /// Refit the POT threshold from recent scores every this many scored
+    /// frames (0 disables refits).
+    pub refit_interval: usize,
+    /// Number of recent per-star scores retained for refits.
+    pub refit_window: usize,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        Self {
+            max_gap_fill: 4,
+            gap_tolerance: 1.5,
+            degraded_fraction: 0.25,
+            quarantine_fraction: 0.5,
+            refit_interval: 0,
+            refit_window: 4096,
+        }
+    }
+}
+
+/// Degradation counters exposed to operators. All counters are cumulative
+/// over the stream except the `stars_*` gauges, which reflect the newest
+/// frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Frames accepted into the window (scored or warmup).
+    pub frames_accepted: usize,
+    /// Out-of-order frames dropped.
+    pub frames_dropped_stale: usize,
+    /// Duplicate-timestamp frames dropped.
+    pub frames_dropped_duplicate: usize,
+    /// Synthetic frames inserted to bridge cadence gaps.
+    pub frames_gap_filled: usize,
+    /// Gaps wider than the fill budget (window jumped instead).
+    pub gap_fill_truncations: usize,
+    /// Individual non-finite values replaced by the star's last valid value.
+    pub values_imputed: usize,
+    /// Non-finite model scores clamped to 0 (star marked degraded).
+    pub scores_suppressed: usize,
+    /// Stars currently `Degraded`.
+    pub stars_degraded: usize,
+    /// Stars currently `Quarantined`.
+    pub stars_quarantined: usize,
+    /// Total transitions into quarantine.
+    pub quarantine_events: usize,
+    /// Successful periodic threshold refits.
+    pub threshold_refits: usize,
+    /// Refit attempts that failed (kept last known-good threshold).
+    pub threshold_refit_failures: usize,
+}
+
+impl HealthReport {
+    /// True when no degradation of any kind has occurred.
+    pub fn is_clean(&self) -> bool {
+        self.frames_dropped_stale == 0
+            && self.frames_dropped_duplicate == 0
+            && self.frames_gap_filled == 0
+            && self.gap_fill_truncations == 0
+            && self.values_imputed == 0
+            && self.scores_suppressed == 0
+            && self.stars_degraded == 0
+            && self.stars_quarantined == 0
+            && self.quarantine_events == 0
+            && self.threshold_refit_failures == 0
+    }
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accepted {} | dropped {} stale + {} dup | gap-filled {} (+{} truncated) | \
+             imputed {} values | suppressed {} scores | degraded {} / quarantined {} stars \
+             ({} quarantine events) | refits {} ok / {} failed",
+            self.frames_accepted,
+            self.frames_dropped_stale,
+            self.frames_dropped_duplicate,
+            self.frames_gap_filled,
+            self.gap_fill_truncations,
+            self.values_imputed,
+            self.scores_suppressed,
+            self.stars_degraded,
+            self.stars_quarantined,
+            self.quarantine_events,
+            self.threshold_refits,
+            self.threshold_refit_failures,
+        )
     }
 }
 
@@ -70,28 +230,53 @@ impl FrameVerdict {
 ///     let verdict = online.push(dataset.test.timestamps()[t], &frame).unwrap();
 ///     assert_eq!(verdict.stars.len(), dataset.num_variates());
 /// }
+/// assert!(online.health().is_clean());
 /// ```
 #[derive(Debug)]
 pub struct OnlineAero {
     model: Aero,
     threshold: PotThreshold,
+    pot: PotConfig,
+    policy: DegradePolicy,
     /// Rolling buffer of the last `W` observations (plus the training tail
-    /// used to warm it up).
-    buffer: Vec<Vec<f32>>,
-    timestamps: Vec<f64>,
+    /// used to warm it up). Rows are always finite: values are sanitized
+    /// before entering the buffer.
+    buffer: VecDeque<Vec<f32>>,
+    timestamps: VecDeque<f64>,
+    /// Parallel to `buffer`: which values were imputed/synthesised.
+    imputed: VecDeque<Vec<bool>>,
+    /// Current per-star status (derived from `imputed` each frame).
+    star_status: Vec<StarStatus>,
     capacity: usize,
+    num_variates: usize,
     frames_seen: usize,
+    scored_frames: usize,
+    /// EWMA estimate of the nominal inter-frame cadence.
+    cadence: f64,
+    /// Recent finite, non-quarantined scores retained for threshold refits.
+    score_history: VecDeque<f32>,
+    health: HealthReport,
 }
 
 impl OnlineAero {
+    /// Wraps a trained model with the default [`DegradePolicy`].
+    pub fn new(
+        model: Aero,
+        calibration: &MultivariateSeries,
+        pot: PotConfig,
+    ) -> DetectorResult<Self> {
+        Self::with_policy(model, calibration, pot, DegradePolicy::default())
+    }
+
     /// Wraps a trained model. The threshold is calibrated from the model's
     /// scores on `calibration` (typically the training series), and the
     /// calibration tail warms the rolling buffer so the very first streamed
     /// frame already has full window context.
-    pub fn new(
+    pub fn with_policy(
         mut model: Aero,
         calibration: &MultivariateSeries,
         pot: PotConfig,
+        policy: DegradePolicy,
     ) -> DetectorResult<Self> {
         if !model.is_trained() {
             return Err(DetectorError::Invalid("model must be trained".into()));
@@ -102,28 +287,67 @@ impl OnlineAero {
         for r in 0..scores.rows() {
             flat.extend_from_slice(&scores.row(r)[warm..]);
         }
-        let threshold = pot_threshold(&flat, pot);
+        let threshold = pot_threshold(&flat, pot)?;
 
         let capacity = model.config().window;
         let n = calibration.num_variates();
         let tail_start = calibration.len().saturating_sub(capacity);
-        let mut buffer = Vec::with_capacity(capacity);
-        let mut timestamps = Vec::with_capacity(capacity);
+        let mut buffer = VecDeque::with_capacity(capacity + 1);
+        let mut timestamps = VecDeque::with_capacity(capacity + 1);
+        let mut imputed = VecDeque::with_capacity(capacity + 1);
         for t in tail_start..calibration.len() {
-            buffer.push((0..n).map(|v| calibration.get(v, t)).collect());
-            timestamps.push(calibration.timestamps()[t]);
+            buffer.push_back((0..n).map(|v| calibration.get(v, t)).collect());
+            timestamps.push_back(calibration.timestamps()[t]);
+            imputed.push_back(vec![false; n]);
         }
-        Ok(Self { model, threshold, buffer, timestamps, capacity, frames_seen: 0 })
+        let cadence = estimate_cadence(calibration.timestamps());
+        Ok(Self {
+            model,
+            threshold,
+            pot,
+            policy,
+            buffer,
+            timestamps,
+            imputed,
+            star_status: vec![StarStatus::Nominal; n],
+            capacity,
+            num_variates: n,
+            frames_seen: 0,
+            scored_frames: 0,
+            cadence,
+            score_history: VecDeque::new(),
+            health: HealthReport::default(),
+        })
     }
 
-    /// The calibrated threshold.
+    /// The calibrated (or most recently refit) threshold.
     pub fn threshold(&self) -> &PotThreshold {
         &self.threshold
     }
 
-    /// Number of frames processed so far.
+    /// The active degradation policy.
+    pub fn policy(&self) -> &DegradePolicy {
+        &self.policy
+    }
+
+    /// Cumulative degradation counters.
+    pub fn health(&self) -> &HealthReport {
+        &self.health
+    }
+
+    /// Current per-star data-quality status.
+    pub fn star_status(&self) -> &[StarStatus] {
+        &self.star_status
+    }
+
+    /// Number of frames pushed so far (including dropped ones).
     pub fn frames_seen(&self) -> usize {
         self.frames_seen
+    }
+
+    /// Rolling-window capacity (the model's long window `W`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// True once the buffer holds a full long window.
@@ -131,60 +355,274 @@ impl OnlineAero {
         self.buffer.len() >= self.capacity
     }
 
+    /// Estimated nominal inter-frame cadence.
+    pub fn cadence(&self) -> f64 {
+        self.cadence
+    }
+
     /// Processes one arriving frame (`values[v]` = magnitude of star `v`).
     ///
-    /// Returns zero scores until the rolling window is warm.
+    /// Data faults (non-finite values, cadence gaps, stale/duplicate
+    /// timestamps) never error: they are degraded around and counted in
+    /// [`OnlineAero::health`]. The only errors are structural — a frame
+    /// whose width disagrees with the model's variate count — or an
+    /// internal model failure.
     pub fn push(&mut self, timestamp: f64, values: &[f32]) -> DetectorResult<FrameVerdict> {
-        if let Some(last) = self.timestamps.last() {
-            if timestamp <= *last {
-                return Err(DetectorError::Invalid(format!(
-                    "timestamps must increase: got {timestamp} after {last}"
-                )));
-            }
-        }
-        self.buffer.push(values.to_vec());
-        self.timestamps.push(timestamp);
-        if self.buffer.len() > self.capacity {
-            self.buffer.remove(0);
-            self.timestamps.remove(0);
+        if values.len() != self.num_variates {
+            return Err(DetectorError::Invalid(format!(
+                "frame width changed: expected {}, got {}",
+                self.num_variates,
+                values.len()
+            )));
         }
         let frame = self.frames_seen;
         self.frames_seen += 1;
 
-        let n = values.len();
+        // A non-finite timestamp can neither be ordered nor gap-filled
+        // against; treat it like an out-of-order delivery.
+        if !timestamp.is_finite() {
+            self.health.frames_dropped_stale += 1;
+            return Ok(self.dropped_verdict(frame, timestamp, FrameDisposition::DroppedStale));
+        }
+
+        // Out-of-order / duplicate frames: drop and report, never poison
+        // the buffer's monotonic timestamps.
+        if let Some(&last) = self.timestamps.back() {
+            if timestamp == last {
+                self.health.frames_dropped_duplicate += 1;
+                return Ok(self.dropped_verdict(
+                    frame,
+                    timestamp,
+                    FrameDisposition::DroppedDuplicate,
+                ));
+            }
+            if timestamp < last {
+                self.health.frames_dropped_stale += 1;
+                return Ok(self.dropped_verdict(frame, timestamp, FrameDisposition::DroppedStale));
+            }
+        }
+
+        // Bridge cadence gaps with a bounded number of hold-last-value
+        // frames so the sliding window keeps its geometry.
+        let gap_filled = self.fill_gap(timestamp);
+
+        // Impute non-finite values from the star's most recent valid value.
+        let mut row = values.to_vec();
+        let mut imputed_row = vec![false; self.num_variates];
+        for (v, value) in row.iter_mut().enumerate() {
+            if !value.is_finite() {
+                *value = self.last_value(v);
+                imputed_row[v] = true;
+                self.health.values_imputed += 1;
+            }
+        }
+        self.push_row(timestamp, row, imputed_row);
+        self.health.frames_accepted += 1;
+        self.update_star_status();
+
         if !self.is_warm() {
+            let stars = self
+                .star_status
+                .iter()
+                .map(|&status| StarVerdict { score: 0.0, anomalous: false, status })
+                .collect();
             return Ok(FrameVerdict {
                 frame,
                 timestamp,
-                stars: vec![StarVerdict { score: 0.0, anomalous: false }; n],
+                stars,
+                disposition: FrameDisposition::Warmup,
+                gap_filled,
             });
         }
 
-        // Build the window series and take the last-timestamp scores.
+        let stars = self.score_newest()?;
+        self.scored_frames += 1;
+        self.maybe_refit();
+        Ok(FrameVerdict {
+            frame,
+            timestamp,
+            stars,
+            disposition: FrameDisposition::Scored,
+            gap_filled,
+        })
+    }
+
+    /// Verdict for a dropped frame: statuses only, no scores.
+    fn dropped_verdict(
+        &self,
+        frame: usize,
+        timestamp: f64,
+        disposition: FrameDisposition,
+    ) -> FrameVerdict {
+        let stars = self
+            .star_status
+            .iter()
+            .map(|&status| StarVerdict { score: 0.0, anomalous: false, status })
+            .collect();
+        FrameVerdict { frame, timestamp, stars, disposition, gap_filled: 0 }
+    }
+
+    /// Most recent buffered value of star `v` (buffer rows are always
+    /// finite). Falls back to 0 on a cold buffer.
+    fn last_value(&self, v: usize) -> f32 {
+        self.buffer.back().map_or(0.0, |row| row[v])
+    }
+
+    /// Inserts up to `max_gap_fill` synthetic hold-last-value frames
+    /// between the newest buffered timestamp and `timestamp`, then updates
+    /// the cadence estimate. Returns the number inserted.
+    fn fill_gap(&mut self, timestamp: f64) -> usize {
+        let Some(&last) = self.timestamps.back() else { return 0 };
+        let cadence = self.cadence.max(f64::MIN_POSITIVE);
+        let gap = timestamp - last;
+        let mut inserted = 0usize;
+        if gap > self.policy.gap_tolerance * cadence && self.policy.max_gap_fill > 0 {
+            let missing = ((gap / cadence).round() as usize).saturating_sub(1);
+            let fill = missing.min(self.policy.max_gap_fill);
+            if missing > fill {
+                self.health.gap_fill_truncations += 1;
+            }
+            let hold: Vec<f32> =
+                (0..self.num_variates).map(|v| self.last_value(v)).collect();
+            for i in 1..=fill {
+                // Spread the synthetic timestamps evenly inside the gap so
+                // they stay strictly between the real endpoints.
+                let t = last + gap * i as f64 / (fill + 1) as f64;
+                self.push_row(t, hold.clone(), vec![true; self.num_variates]);
+                self.health.frames_gap_filled += 1;
+                inserted += 1;
+            }
+        }
+        // Track cadence drift with an EWMA of the effective spacing.
+        let spacing = gap / (inserted + 1) as f64;
+        if spacing.is_finite() && spacing > 0.0 && gap <= self.policy.gap_tolerance * cadence {
+            self.cadence = 0.9 * self.cadence + 0.1 * spacing;
+        }
+        inserted
+    }
+
+    /// Appends a sanitized row, evicting the oldest when over capacity.
+    fn push_row(&mut self, timestamp: f64, row: Vec<f32>, imputed: Vec<bool>) {
+        self.buffer.push_back(row);
+        self.timestamps.push_back(timestamp);
+        self.imputed.push_back(imputed);
+        if self.buffer.len() > self.capacity {
+            self.buffer.pop_front();
+            self.timestamps.pop_front();
+            self.imputed.pop_front();
+        }
+    }
+
+    /// Recomputes each star's status from the imputed fraction of its
+    /// recent window and updates the health gauges.
+    fn update_star_status(&mut self) {
+        let window = self.imputed.len().max(1);
+        let mut degraded = 0usize;
+        let mut quarantined = 0usize;
+        for v in 0..self.num_variates {
+            let synthetic = self.imputed.iter().filter(|row| row[v]).count();
+            let fraction = synthetic as f32 / window as f32;
+            let status = if fraction >= self.policy.quarantine_fraction {
+                StarStatus::Quarantined
+            } else if fraction >= self.policy.degraded_fraction {
+                StarStatus::Degraded
+            } else {
+                StarStatus::Nominal
+            };
+            if status == StarStatus::Quarantined && self.star_status[v] != StarStatus::Quarantined
+            {
+                self.health.quarantine_events += 1;
+            }
+            match status {
+                StarStatus::Degraded => degraded += 1,
+                StarStatus::Quarantined => quarantined += 1,
+                StarStatus::Nominal => {}
+            }
+            self.star_status[v] = status;
+        }
+        self.health.stars_degraded = degraded;
+        self.health.stars_quarantined = quarantined;
+    }
+
+    /// Scores the newest buffered frame, guaranteeing finite output.
+    fn score_newest(&mut self) -> DetectorResult<Vec<StarVerdict>> {
+        let n = self.num_variates;
         let w = self.buffer.len();
         let mut m = Matrix::zeros(n, w);
         for (t, row) in self.buffer.iter().enumerate() {
-            if row.len() != n {
-                return Err(DetectorError::Invalid(format!(
-                    "frame width changed: expected {n}, got {}",
-                    row.len()
-                )));
-            }
             for (v, &value) in row.iter().enumerate() {
                 m.set(v, t, value);
             }
         }
-        let series = MultivariateSeries::new(m, self.timestamps.clone())?;
+        let ts: Vec<f64> = self.timestamps.iter().copied().collect();
+        let series = MultivariateSeries::new(m, ts)?;
         let scores = self.model.score(&series)?;
         let last = scores.cols() - 1;
         let stars = (0..n)
             .map(|v| {
-                let score = scores.get(v, last);
-                StarVerdict { score, anomalous: (score as f64) >= self.threshold.threshold }
+                let mut status = self.star_status[v];
+                let mut score = scores.get(v, last);
+                if !score.is_finite() {
+                    // The model should never emit non-finite scores from a
+                    // finite buffer, but an operator dashboard must not see
+                    // NaN either way: clamp, flag, count.
+                    score = 0.0;
+                    status = status.max(StarStatus::Degraded);
+                    self.health.scores_suppressed += 1;
+                }
+                if status == StarStatus::Quarantined {
+                    // A quarantined star's window is mostly synthetic; a
+                    // score would mostly measure our own imputation.
+                    return StarVerdict { score: 0.0, anomalous: false, status };
+                }
+                self.score_history.push_back(score);
+                if self.score_history.len() > self.policy.refit_window {
+                    self.score_history.pop_front();
+                }
+                StarVerdict {
+                    score,
+                    anomalous: (score as f64) >= self.threshold.threshold,
+                    status,
+                }
             })
             .collect();
-        Ok(FrameVerdict { frame, timestamp, stars })
+        Ok(stars)
     }
+
+    /// Periodically refits the POT threshold from recent scores, keeping
+    /// the last known-good threshold when calibration fails.
+    fn maybe_refit(&mut self) {
+        if self.policy.refit_interval == 0
+            || !self.scored_frames.is_multiple_of(self.policy.refit_interval)
+        {
+            return;
+        }
+        let recent: Vec<f32> = self.score_history.iter().copied().collect();
+        match pot_threshold(&recent, self.pot) {
+            Ok(t) => {
+                self.threshold = t;
+                self.health.threshold_refits += 1;
+            }
+            Err(_) => {
+                self.health.threshold_refit_failures += 1;
+            }
+        }
+    }
+}
+
+/// Median inter-observation spacing (robust to a few gaps in the
+/// calibration tail itself). Falls back to 1.
+fn estimate_cadence(timestamps: &[f64]) -> f64 {
+    let mut diffs: Vec<f64> = timestamps
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .collect();
+    if diffs.is_empty() {
+        return 1.0;
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    diffs[diffs.len() / 2]
 }
 
 #[cfg(test)]
@@ -215,6 +653,7 @@ mod tests {
         let online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
         assert!(online.is_warm());
         assert!(online.threshold().threshold.is_finite());
+        assert!((online.cadence() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -227,19 +666,122 @@ mod tests {
             let verdict = online.push(base + 1.0 + t as f64, &frame).unwrap();
             assert_eq!(verdict.stars.len(), ds.num_variates());
             assert_eq!(verdict.frame, t);
+            assert_eq!(verdict.disposition, FrameDisposition::Scored);
             assert!(verdict.stars.iter().all(|s| s.score.is_finite()));
         }
         assert_eq!(online.frames_seen(), 5);
+        assert!(online.health().is_clean());
     }
 
     #[test]
-    fn non_monotonic_timestamps_rejected() {
+    fn stale_and_duplicate_frames_dropped_not_errored() {
         let (model, ds) = trained();
         let mut online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
         let base = *ds.train.timestamps().last().unwrap();
         let frame = vec![0.5f32; ds.num_variates()];
         online.push(base + 1.0, &frame).unwrap();
-        assert!(online.push(base + 0.5, &frame).is_err());
+
+        let stale = online.push(base + 0.5, &frame).unwrap();
+        assert_eq!(stale.disposition, FrameDisposition::DroppedStale);
+        let dup = online.push(base + 1.0, &frame).unwrap();
+        assert_eq!(dup.disposition, FrameDisposition::DroppedDuplicate);
+        let nan_ts = online.push(f64::NAN, &frame).unwrap();
+        assert_eq!(nan_ts.disposition, FrameDisposition::DroppedStale);
+
+        assert_eq!(online.health().frames_dropped_stale, 2);
+        assert_eq!(online.health().frames_dropped_duplicate, 1);
+        // The stream recovers: the next in-order frame scores normally.
+        let ok = online.push(base + 2.0, &frame).unwrap();
+        assert_eq!(ok.disposition, FrameDisposition::Scored);
+    }
+
+    #[test]
+    fn non_finite_values_imputed() {
+        let (model, ds) = trained();
+        let mut online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+        let base = *ds.train.timestamps().last().unwrap();
+        let mut frame: Vec<f32> = (0..ds.num_variates()).map(|v| ds.test.get(v, 0)).collect();
+        frame[0] = f32::NAN;
+        frame[1] = f32::INFINITY;
+        let verdict = online.push(base + 1.0, &frame).unwrap();
+        assert_eq!(online.health().values_imputed, 2);
+        assert!(verdict.stars.iter().all(|s| s.score.is_finite()));
+    }
+
+    #[test]
+    fn cadence_gaps_are_filled_bounded() {
+        let (model, ds) = trained();
+        let mut online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+        let base = *ds.train.timestamps().last().unwrap();
+        let frame = vec![0.5f32; ds.num_variates()];
+        online.push(base + 1.0, &frame).unwrap();
+        // Cadence is 1.0; jump 4 → 3 missing frames, within the budget.
+        let v = online.push(base + 5.0, &frame).unwrap();
+        assert_eq!(v.gap_filled, 3);
+        assert_eq!(online.health().frames_gap_filled, 3);
+        assert_eq!(online.health().gap_fill_truncations, 0);
+        // A huge jump is truncated at max_gap_fill.
+        let v = online.push(base + 500.0, &frame).unwrap();
+        assert_eq!(v.gap_filled, online.policy().max_gap_fill);
+        assert_eq!(online.health().gap_fill_truncations, 1);
+    }
+
+    #[test]
+    fn blacked_out_stars_get_quarantined() {
+        let (model, ds) = trained();
+        let n = ds.num_variates();
+        let mut online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+        let base = *ds.train.timestamps().last().unwrap();
+        let window = online.policy().quarantine_fraction;
+        let frames_needed =
+            (online.frames_seen() as f32).max(window * online.capacity as f32) as usize
+                + online.capacity;
+        let mut saw_quarantine = false;
+        for t in 0..frames_needed {
+            let mut frame: Vec<f32> = (0..n).map(|v| ds.test.get(v, t % ds.test.len())).collect();
+            frame[0] = f32::NAN; // star 0 is blacked out for the whole run
+            let verdict = online.push(base + 1.0 + t as f64, &frame).unwrap();
+            if verdict.stars[0].status == StarStatus::Quarantined {
+                saw_quarantine = true;
+                assert_eq!(verdict.stars[0].score, 0.0);
+                assert!(!verdict.stars[0].anomalous);
+            }
+        }
+        assert!(saw_quarantine, "star 0 never quarantined");
+        assert!(online.health().stars_quarantined >= 1);
+        assert!(online.health().quarantine_events >= 1);
+        // Healthy stars stay nominal.
+        assert_eq!(online.star_status()[n - 1], StarStatus::Nominal);
+    }
+
+    #[test]
+    fn frame_width_change_is_still_an_error() {
+        let (model, ds) = trained();
+        let mut online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+        let base = *ds.train.timestamps().last().unwrap();
+        let wrong = vec![0.5f32; ds.num_variates() + 1];
+        assert!(online.push(base + 1.0, &wrong).is_err());
+    }
+
+    #[test]
+    fn periodic_refit_updates_threshold() {
+        let (model, ds) = trained();
+        let policy = DegradePolicy { refit_interval: 16, ..DegradePolicy::default() };
+        let mut online =
+            OnlineAero::with_policy(model, &ds.train, PotConfig::default(), policy).unwrap();
+        let base = *ds.train.timestamps().last().unwrap();
+        for t in 0..48 {
+            let frame: Vec<f32> = (0..ds.num_variates())
+                .map(|v| ds.test.get(v, t % ds.test.len()))
+                .collect();
+            online.push(base + 1.0 + t as f64, &frame).unwrap();
+        }
+        let h = online.health();
+        assert!(
+            h.threshold_refits + h.threshold_refit_failures >= 2,
+            "refits never attempted: {h:?}"
+        );
+        assert!(online.threshold().threshold.is_finite());
     }
 
     #[test]

@@ -2,11 +2,31 @@
 //! train once offline, deploy in the online monitor.
 //!
 //! The file stores the configuration, the variate count, the fitted
-//! normalization statistics, and every parameter tensor. Loading rebuilds
-//! the module structure deterministically (same config seed ⇒ same
-//! parameter registration order) and overwrites the freshly-initialized
-//! values with the saved ones, verifying names and shapes.
+//! normalization statistics, every parameter tensor, and an integrity
+//! checksum over the numeric payload. Loading rebuilds the module
+//! structure deterministically (same config seed ⇒ same parameter
+//! registration order) and overwrites the freshly-initialized values with
+//! the saved ones, verifying names, shapes, and the checksum.
+//!
+//! # Crash safety
+//!
+//! [`save_model`] never writes the target path directly: it writes a
+//! sibling temporary file, fsyncs it, and atomically renames it over the
+//! destination. A crash (or `kill -9`) at any instant therefore leaves
+//! either the previous complete checkpoint or the new complete checkpoint
+//! at `path` — never a truncated hybrid. An abandoned `.tmp` sibling may
+//! survive a crash, but it is not at the load path and [`load_model`]
+//! rejects partial content anyway.
+//!
+//! # Error taxonomy
+//!
+//! - [`DetectorError::Io`] — the OS failed to read/write (missing file,
+//!   permissions, full disk). Retryable; nothing is known about the data.
+//! - [`DetectorError::Corrupt`] — a file exists but its contents are
+//!   unusable: unparseable JSON, truncation, checksum mismatch, shape or
+//!   name drift, or an incompatible format version.
 
+use std::io::Write;
 use std::path::Path;
 
 use aero_timeseries::MinMaxScaler;
@@ -26,11 +46,48 @@ struct SavedAero {
     scaler_ranges: Vec<f32>,
     /// `(name, rows, cols, values)` per parameter, in registration order.
     params: Vec<(String, usize, usize, Vec<f32>)>,
+    /// FNV-1a over the numeric payload bits; see [`payload_checksum`].
+    checksum: u64,
 }
 
-const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the integrity checksum; version-1 files (no checksum)
+/// predate any deployed release and are rejected as incompatible.
+const FORMAT_VERSION: u32 = 2;
 
-/// Saves a trained model to `path` as JSON.
+/// FNV-1a 64-bit over the bit-exact payload: variate count, scaler parts,
+/// and every parameter's name/shape/values. Catches bit flips and silent
+/// truncation that still happen to parse as JSON.
+fn payload_checksum(
+    num_variates: usize,
+    mins: &[f32],
+    ranges: &[f32],
+    params: &[(String, usize, usize, Vec<f32>)],
+) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(num_variates as u64).to_le_bytes());
+    for &v in mins.iter().chain(ranges) {
+        eat(&v.to_bits().to_le_bytes());
+    }
+    for (name, rows, cols, values) in params {
+        eat(name.as_bytes());
+        eat(&(*rows as u64).to_le_bytes());
+        eat(&(*cols as u64).to_le_bytes());
+        for &v in values {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Saves a trained model to `path` as JSON, atomically.
 pub fn save_model(model: &Aero, path: &Path) -> DetectorResult<()> {
     if !model.is_trained() {
         return Err(DetectorError::Invalid("cannot save an untrained model".into()));
@@ -43,30 +100,78 @@ pub fn save_model(model: &Aero, path: &Path) -> DetectorResult<()> {
             (p.name().to_string(), v.rows(), v.cols(), v.as_slice().to_vec())
         })
         .collect();
+    let num_variates = model.scaler().mins().len();
+    let checksum = payload_checksum(
+        num_variates,
+        model.scaler().mins(),
+        model.scaler().ranges(),
+        &params,
+    );
     let saved = SavedAero {
         version: FORMAT_VERSION,
         config: model.config().clone(),
-        num_variates: model.scaler().mins().len(),
+        num_variates,
         scaler_mins: model.scaler().mins().to_vec(),
         scaler_ranges: model.scaler().ranges().to_vec(),
         params,
+        checksum,
     };
     let json = serde_json::to_string(&saved)
         .map_err(|e| DetectorError::Invalid(format!("serialize: {e}")))?;
-    std::fs::write(path, json).map_err(|e| DetectorError::Invalid(format!("write: {e}")))?;
+
+    // Write-temp, fsync, rename: the destination path transitions
+    // atomically from old-complete to new-complete.
+    let tmp = temp_sibling(path);
+    let result = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = result {
+        // Best-effort cleanup; the partial temp must not be mistaken for a
+        // checkpoint, and it is unloadable regardless.
+        std::fs::remove_file(&tmp).ok();
+        return Err(DetectorError::Io(format!("write {}: {e}", path.display())));
+    }
     Ok(())
 }
 
-/// Loads a trained model from `path`.
+/// Sibling temp path in the same directory (rename must not cross
+/// filesystems to stay atomic).
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("checkpoint"),
+        ToOwned::to_owned,
+    );
+    name.push(format!(".{}.tmp", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Loads a trained model from `path`, verifying format version, parameter
+/// names/shapes, and the integrity checksum.
 pub fn load_model(path: &Path) -> DetectorResult<Aero> {
-    let json =
-        std::fs::read_to_string(path).map_err(|e| DetectorError::Invalid(format!("read: {e}")))?;
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| DetectorError::Io(format!("read {}: {e}", path.display())))?;
     let saved: SavedAero = serde_json::from_str(&json)
-        .map_err(|e| DetectorError::Invalid(format!("parse: {e}")))?;
+        .map_err(|e| DetectorError::Corrupt(format!("parse: {e}")))?;
     if saved.version != FORMAT_VERSION {
-        return Err(DetectorError::Invalid(format!(
-            "unsupported model format version {}",
+        return Err(DetectorError::Corrupt(format!(
+            "unsupported model format version {} (expected {FORMAT_VERSION})",
             saved.version
+        )));
+    }
+    let expect = payload_checksum(
+        saved.num_variates,
+        &saved.scaler_mins,
+        &saved.scaler_ranges,
+        &saved.params,
+    );
+    if expect != saved.checksum {
+        return Err(DetectorError::Corrupt(format!(
+            "checksum mismatch: file claims {:#018x}, payload hashes to {expect:#018x}",
+            saved.checksum
         )));
     }
 
@@ -76,7 +181,7 @@ pub fn load_model(path: &Path) -> DetectorResult<Aero> {
     // Overwrite the deterministic initialization with the saved values.
     let store = model.store_mut();
     if store.len() != saved.params.len() {
-        return Err(DetectorError::Invalid(format!(
+        return Err(DetectorError::Corrupt(format!(
             "parameter count mismatch: store has {}, file has {}",
             store.len(),
             saved.params.len()
@@ -86,16 +191,18 @@ pub fn load_model(path: &Path) -> DetectorResult<Aero> {
     for (id, (name, rows, cols, values)) in ids.into_iter().zip(saved.params) {
         let current = store.get(id)?;
         if current.name() != name {
-            return Err(DetectorError::Invalid(format!(
+            return Err(DetectorError::Corrupt(format!(
                 "parameter order mismatch: expected {}, file has {name}",
                 current.name()
             )));
         }
-        let m = aero_tensor::Matrix::from_vec(rows, cols, values)?;
+        let m = aero_tensor::Matrix::from_vec(rows, cols, values)
+            .map_err(|e| DetectorError::Corrupt(format!("parameter {name}: {e}")))?;
         store.set_value(id, m)?;
     }
 
-    let scaler = MinMaxScaler::from_parts(saved.scaler_mins, saved.scaler_ranges)?;
+    let scaler = MinMaxScaler::from_parts(saved.scaler_mins, saved.scaler_ranges)
+        .map_err(|e| DetectorError::Corrupt(format!("scaler: {e}")))?;
     model.restore(scaler);
     Ok(model)
 }
@@ -111,13 +218,18 @@ mod tests {
         std::env::temp_dir().join(format!("aero_persist_{}_{name}", std::process::id()))
     }
 
-    #[test]
-    fn save_load_roundtrips_scores() {
+    fn trained_model() -> (Aero, aero_timeseries::Dataset) {
         let ds = SyntheticConfig::tiny(500).build();
         let mut cfg = AeroConfig::tiny();
         cfg.max_epochs = 2;
         let mut model = Aero::new(cfg).unwrap();
         model.fit(&ds.train).unwrap();
+        (model, ds)
+    }
+
+    #[test]
+    fn save_load_roundtrips_scores() {
+        let (mut model, ds) = trained_model();
         let original = model.score(&ds.test).unwrap();
 
         let path = tmp("roundtrip.json");
@@ -136,15 +248,34 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_file_rejected() {
+    fn corrupted_file_rejected_as_corrupt() {
         let path = tmp("corrupt.json");
         std::fs::write(&path, "{not json").unwrap();
-        assert!(load_model(&path).is_err());
+        assert!(matches!(load_model(&path), Err(DetectorError::Corrupt(_))));
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn missing_file_rejected() {
-        assert!(load_model(Path::new("/definitely/not/here.json")).is_err());
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_model(Path::new("/definitely/not/here.json")),
+            Err(DetectorError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn save_does_not_leave_temp_files() {
+        let (model, _) = trained_model();
+        let path = tmp("clean.json");
+        save_model(&model, &path).unwrap();
+        let dir = path.parent().unwrap();
+        let strays: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("aero_persist_") && n.ends_with(".tmp"))
+            .collect();
+        assert!(strays.is_empty(), "leftover temp files: {strays:?}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,403 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! GWAC-class survey telemetry is not clean: CCD readout glitches produce
+//! NaN/Inf magnitudes, the pipeline skips frames under load, network
+//! retries duplicate or reorder frames, a wedged photometry worker repeats
+//! the last magnitude ("stuck-at-value"), and clouds or pointing faults
+//! black out individual stars for minutes. [`FaultInjector`] reproduces
+//! these failure modes on top of a clean synthetic
+//! [`MultivariateSeries`], fully seeded so every corrupted stream is
+//! bit-reproducible, and returns a [`FaultLog`] recording exactly which
+//! original frames were touched — which is what lets integration tests
+//! compare detector quality on the *clean portion* of a corrupted night
+//! against a no-fault run.
+
+use aero_timeseries::MultivariateSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What fraction of the stream suffers each failure mode.
+///
+/// All rates are probabilities in `[0, 1]` applied independently per frame
+/// (frame-level faults) or per value (value-level faults). Episode counts
+/// (`stuck_episodes`, `blackout_episodes`) place that many contiguous
+/// corruption runs at random stars/offsets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; same plan + same series ⇒ identical corruption.
+    pub seed: u64,
+    /// Per-value probability of replacement by NaN.
+    pub nan_rate: f64,
+    /// Per-value probability of replacement by ±infinity.
+    pub inf_rate: f64,
+    /// Per-frame probability of the frame never arriving (cadence gap).
+    pub drop_frame_rate: f64,
+    /// Per-frame probability of the frame arriving twice.
+    pub duplicate_rate: f64,
+    /// Per-frame probability of swapping with the previously emitted frame
+    /// (out-of-order delivery).
+    pub out_of_order_rate: f64,
+    /// Number of stuck-at-value episodes (a star repeats one magnitude).
+    pub stuck_episodes: usize,
+    /// Length in frames of each stuck episode.
+    pub stuck_len: usize,
+    /// Number of whole-star blackout episodes (all-NaN run).
+    pub blackout_episodes: usize,
+    /// Length in frames of each blackout episode.
+    pub blackout_len: usize,
+}
+
+impl FaultPlan {
+    /// No faults at all (the identity plan).
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            nan_rate: 0.0,
+            inf_rate: 0.0,
+            drop_frame_rate: 0.0,
+            duplicate_rate: 0.0,
+            out_of_order_rate: 0.0,
+            stuck_episodes: 0,
+            stuck_len: 0,
+            blackout_episodes: 0,
+            blackout_len: 0,
+        }
+    }
+
+    /// A plausible rough night: ~5% of frames affected overall, plus one
+    /// stuck sensor and one star blackout.
+    pub fn rough_night(seed: u64) -> Self {
+        Self {
+            seed,
+            nan_rate: 0.01,
+            inf_rate: 0.002,
+            drop_frame_rate: 0.02,
+            duplicate_rate: 0.01,
+            out_of_order_rate: 0.01,
+            stuck_episodes: 1,
+            stuck_len: 30,
+            blackout_episodes: 1,
+            blackout_len: 40,
+        }
+    }
+
+    /// True when every rate and episode count is zero.
+    pub fn is_clean(&self) -> bool {
+        self.nan_rate == 0.0
+            && self.inf_rate == 0.0
+            && self.drop_frame_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.out_of_order_rate == 0.0
+            && self.stuck_episodes == 0
+            && self.blackout_episodes == 0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::rough_night(0)
+    }
+}
+
+/// One frame of a (possibly corrupted) stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFrame {
+    /// Arrival timestamp (duplicates repeat, swaps invert order).
+    pub timestamp: f64,
+    /// One magnitude per star; may contain NaN/Inf.
+    pub values: Vec<f32>,
+    /// Index of the originating frame in the clean series.
+    pub source_index: usize,
+}
+
+/// Record of every fault applied to one series/stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Values replaced by NaN.
+    pub values_nan: usize,
+    /// Values replaced by ±infinity.
+    pub values_inf: usize,
+    /// Values overwritten by a stuck sensor episode.
+    pub values_stuck: usize,
+    /// Values blanked by a star blackout episode.
+    pub values_blacked_out: usize,
+    /// Frames dropped entirely.
+    pub frames_dropped: usize,
+    /// Frames emitted twice.
+    pub frames_duplicated: usize,
+    /// Adjacent frame pairs delivered in swapped order.
+    pub frames_swapped: usize,
+    /// Per *original* frame index: was it touched by any fault?
+    pub corrupted: Vec<bool>,
+}
+
+impl FaultLog {
+    /// Total individual fault events.
+    pub fn total_faults(&self) -> usize {
+        self.values_nan
+            + self.values_inf
+            + self.values_stuck
+            + self.values_blacked_out
+            + self.frames_dropped
+            + self.frames_duplicated
+            + self.frames_swapped
+    }
+
+    /// Fraction of original frames touched by at least one fault.
+    pub fn corrupted_fraction(&self) -> f64 {
+        if self.corrupted.is_empty() {
+            return 0.0;
+        }
+        let hit = self.corrupted.iter().filter(|&&c| c).count();
+        hit as f64 / self.corrupted.len() as f64
+    }
+
+    /// Indices of original frames untouched by every fault.
+    pub fn clean_indices(&self) -> Vec<usize> {
+        self.corrupted
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| !c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// One contiguous per-star corruption run.
+#[derive(Debug, Clone, Copy)]
+struct Episode {
+    star: usize,
+    start: usize,
+    len: usize,
+}
+
+/// Applies a [`FaultPlan`] to clean data.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector; all randomness derives from `plan.seed`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed ^ 0xfa_17_5e_ed);
+        Self { plan, rng }
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn draw_episodes(&mut self, count: usize, len: usize, n: usize, frames: usize) -> Vec<Episode> {
+        if count == 0 || len == 0 || n == 0 || frames == 0 {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| Episode {
+                star: self.rng.gen_range(0..n),
+                start: self.rng.gen_range(0..frames),
+                len,
+            })
+            .collect()
+    }
+
+    /// Corrupts values in place (NaN/Inf dropouts, stuck sensors, star
+    /// blackouts). Frame-level faults (drops, duplicates, reordering) do
+    /// not apply to an in-place series — use [`Self::corrupt_stream`] for
+    /// those. Returns the fault log.
+    pub fn corrupt_series(&mut self, series: &mut MultivariateSeries) -> FaultLog {
+        let n = series.num_variates();
+        let frames = series.len();
+        let mut log = FaultLog { corrupted: vec![false; frames], ..FaultLog::default() };
+
+        let stuck = self.draw_episodes(self.plan.stuck_episodes, self.plan.stuck_len, n, frames);
+        let blackout =
+            self.draw_episodes(self.plan.blackout_episodes, self.plan.blackout_len, n, frames);
+
+        for t in 0..frames {
+            for v in 0..n {
+                let value = series.get(v, t);
+                let mut new = value;
+                if self.rng.gen_bool(self.plan.nan_rate) {
+                    new = f32::NAN;
+                    log.values_nan += 1;
+                } else if self.rng.gen_bool(self.plan.inf_rate) {
+                    new = if self.rng.gen_bool(0.5) { f32::INFINITY } else { f32::NEG_INFINITY };
+                    log.values_inf += 1;
+                }
+                for ep in &stuck {
+                    if ep.star == v && t > ep.start && t < ep.start + ep.len {
+                        new = series.get(v, ep.start);
+                        log.values_stuck += 1;
+                    }
+                }
+                for ep in &blackout {
+                    if ep.star == v && t >= ep.start && t < ep.start + ep.len {
+                        new = f32::NAN;
+                        log.values_blacked_out += 1;
+                    }
+                }
+                if new.to_bits() != value.to_bits() {
+                    series.values_mut().set(v, t, new);
+                    log.corrupted[t] = true;
+                }
+            }
+        }
+        log
+    }
+
+    /// Turns a clean series into a corrupted arrival stream: value faults
+    /// plus dropped, duplicated, and out-of-order frames. The returned
+    /// frames are what a consumer would actually receive, in arrival order.
+    pub fn corrupt_stream(&mut self, series: &MultivariateSeries) -> (Vec<StreamFrame>, FaultLog) {
+        let mut copy = series.clone();
+        let mut log = self.corrupt_series(&mut copy);
+        let n = copy.num_variates();
+        let frames = copy.len();
+
+        let mut stream: Vec<StreamFrame> = Vec::with_capacity(frames);
+        for t in 0..frames {
+            if self.rng.gen_bool(self.plan.drop_frame_rate) {
+                log.frames_dropped += 1;
+                log.corrupted[t] = true;
+                continue;
+            }
+            let frame = StreamFrame {
+                timestamp: copy.timestamps()[t],
+                values: (0..n).map(|v| copy.get(v, t)).collect(),
+                source_index: t,
+            };
+            if self.rng.gen_bool(self.plan.duplicate_rate) {
+                log.frames_duplicated += 1;
+                log.corrupted[t] = true;
+                stream.push(frame.clone());
+            }
+            stream.push(frame);
+            if stream.len() >= 2 && self.rng.gen_bool(self.plan.out_of_order_rate) {
+                let last = stream.len() - 1;
+                log.frames_swapped += 1;
+                log.corrupted[stream[last - 1].source_index] = true;
+                log.corrupted[stream[last].source_index] = true;
+                stream.swap(last - 1, last);
+            }
+        }
+        (stream, log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::SyntheticConfig;
+
+    fn clean_series() -> MultivariateSeries {
+        SyntheticConfig::tiny(1234).build().test
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let series = clean_series();
+        let mut copy = series.clone();
+        let mut inj = FaultInjector::new(FaultPlan::clean(7));
+        let log = inj.corrupt_series(&mut copy);
+        assert_eq!(log.total_faults(), 0);
+        assert_eq!(log.corrupted_fraction(), 0.0);
+        assert_eq!(copy.values(), series.values());
+
+        let (stream, slog) = FaultInjector::new(FaultPlan::clean(7)).corrupt_stream(&series);
+        assert_eq!(stream.len(), series.len());
+        assert_eq!(slog.total_faults(), 0);
+        assert!(stream
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.source_index == i && f.values.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn same_seed_same_corruption() {
+        let series = clean_series();
+        let plan = FaultPlan::rough_night(42);
+        let (a, la) = FaultInjector::new(plan).corrupt_stream(&series);
+        let (b, lb) = FaultInjector::new(plan).corrupt_stream(&series);
+        assert_eq!(la, lb);
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.source_index, fb.source_index);
+            assert_eq!(fa.timestamp, fb.timestamp);
+            // Bit-compare through NaN.
+            let bits_a: Vec<u32> = fa.values.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u32> = fb.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let series = clean_series();
+        let (_, la) = FaultInjector::new(FaultPlan::rough_night(1)).corrupt_stream(&series);
+        let (_, lb) = FaultInjector::new(FaultPlan::rough_night(2)).corrupt_stream(&series);
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn rough_night_hits_a_meaningful_fraction() {
+        let series = clean_series();
+        let (stream, log) = FaultInjector::new(FaultPlan::rough_night(9)).corrupt_stream(&series);
+        assert!(log.total_faults() > 0);
+        let fraction = log.corrupted_fraction();
+        assert!(
+            fraction >= 0.05 && fraction < 0.6,
+            "corrupted fraction {fraction} outside the plausible band"
+        );
+        // Every failure mode actually fired.
+        assert!(log.values_nan > 0, "{log:?}");
+        assert!(log.frames_dropped > 0, "{log:?}");
+        assert!(log.values_blacked_out > 0, "{log:?}");
+        // Dropped frames shrink the stream; duplicates grow it.
+        let expected = series.len() - log.frames_dropped + log.frames_duplicated;
+        assert_eq!(stream.len(), expected);
+    }
+
+    #[test]
+    fn out_of_order_frames_really_are_out_of_order() {
+        let series = clean_series();
+        let plan = FaultPlan {
+            out_of_order_rate: 0.2,
+            ..FaultPlan::clean(5)
+        };
+        let (stream, log) = FaultInjector::new(plan).corrupt_stream(&series);
+        assert!(log.frames_swapped > 0);
+        let inversions = stream
+            .windows(2)
+            .filter(|w| w[1].timestamp < w[0].timestamp)
+            .count();
+        assert!(inversions > 0, "no timestamp inversions despite swaps");
+    }
+
+    #[test]
+    fn stuck_episode_repeats_one_value() {
+        let series = clean_series();
+        let plan = FaultPlan {
+            stuck_episodes: 1,
+            stuck_len: 10,
+            ..FaultPlan::clean(11)
+        };
+        let mut copy = series.clone();
+        let log = FaultInjector::new(plan).corrupt_series(&mut copy);
+        assert!(log.values_stuck > 0);
+        assert_eq!(log.values_nan + log.values_inf + log.values_blacked_out, 0);
+    }
+
+    #[test]
+    fn clean_indices_complement_corruption() {
+        let series = clean_series();
+        let (_, log) = FaultInjector::new(FaultPlan::rough_night(3)).corrupt_stream(&series);
+        let clean = log.clean_indices();
+        assert!(!clean.is_empty());
+        assert!(clean.iter().all(|&i| !log.corrupted[i]));
+        let hit = log.corrupted.iter().filter(|&&c| c).count();
+        assert_eq!(clean.len() + hit, series.len());
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod anomalies;
 pub mod astroset;
+pub mod faults;
 pub mod noise;
 pub mod presets;
 pub mod rng;
@@ -30,6 +31,7 @@ pub mod signals;
 
 pub use anomalies::{inject_anomalies, AnomalyEvent, AnomalyKind};
 pub use astroset::{astroset_suite, AstrosetConfig};
+pub use faults::{FaultInjector, FaultLog, FaultPlan, StreamFrame};
 pub use noise::{inject_noise_to_fraction, NoiseEvent, NoiseKind};
 pub use presets::{synthetic_suite, SyntheticConfig};
 pub use signals::{star_population, StarKind};

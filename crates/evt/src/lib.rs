@@ -11,7 +11,7 @@
 //!
 //! // Calibrate an alert threshold on (mostly benign) scores.
 //! let scores: Vec<f32> = (0..5000).map(|i| ((i * 37) % 100) as f32 / 100.0).collect();
-//! let pot = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-3 });
+//! let pot = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-3 }).unwrap();
 //! assert!(pot.threshold >= pot.initial);
 //! assert!(pot.threshold.is_finite());
 //! ```
@@ -24,5 +24,8 @@ pub mod pot;
 pub mod spot;
 
 pub use gpd::{fit as fit_gpd, fit_moments, log_likelihood, FitMethod, GpdFit};
-pub use pot::{apply_threshold, pot_threshold, PotConfig, PotThreshold};
+pub use pot::{
+    apply_threshold, pot_threshold, pot_threshold_lenient, PotConfig, PotError, PotThreshold,
+    MIN_PEAKS,
+};
 pub use spot::{Dspot, Spot, SpotDecision};

@@ -26,6 +26,42 @@ impl Default for PotConfig {
     }
 }
 
+/// Reasons POT calibration can fail (too little usable signal).
+///
+/// Callers that can tolerate a degraded threshold should either fall back
+/// to a last-known-good calibration (what `OnlineAero` does on refits) or
+/// call [`pot_threshold_lenient`], which maps these cases onto conservative
+/// quantile-based fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PotError {
+    /// Every calibration score was NaN/infinite (or the slice was empty).
+    NoFiniteScores,
+    /// Fewer finite excesses over the initial threshold than a GPD tail
+    /// fit needs.
+    TooFewPeaks {
+        /// Number of excesses observed.
+        peaks: usize,
+        /// Minimum required for a fit.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for PotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoFiniteScores => write!(f, "no finite calibration scores"),
+            Self::TooFewPeaks { peaks, required } => {
+                write!(f, "too few excesses for a tail fit: {peaks} < {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PotError {}
+
+/// Minimum number of excesses required to attempt a GPD tail fit.
+pub const MIN_PEAKS: usize = 4;
+
 /// The result of POT calibration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PotThreshold {
@@ -45,10 +81,12 @@ pub struct PotThreshold {
 
 /// Calibrates a POT threshold from `scores`.
 ///
-/// Falls back to the raw `level`-quantile (slightly inflated) when there are
-/// too few exceedances to fit a tail (< 4 peaks), which matches SPOT's
-/// practical behaviour on short calibration sets.
-pub fn pot_threshold(scores: &[f32], config: PotConfig) -> PotThreshold {
+/// Returns a typed [`PotError`] when the calibration set cannot support a
+/// tail estimate: no finite scores at all, or fewer than [`MIN_PEAKS`]
+/// excesses over the initial quantile threshold. Streaming callers should
+/// keep their last known-good threshold in that case; batch callers that
+/// prefer SPOT's permissive behaviour can use [`pot_threshold_lenient`].
+pub fn pot_threshold(scores: &[f32], config: PotConfig) -> Result<PotThreshold, PotError> {
     let clean: Vec<f64> = scores
         .iter()
         .filter(|v| v.is_finite())
@@ -56,14 +94,7 @@ pub fn pot_threshold(scores: &[f32], config: PotConfig) -> PotThreshold {
         .collect();
     let n = clean.len();
     if n == 0 {
-        return PotThreshold {
-            threshold: f64::INFINITY,
-            initial: f64::INFINITY,
-            peaks: 0,
-            gamma: 0.0,
-            sigma: 0.0,
-            method: FitMethod::MethodOfMoments,
-        };
+        return Err(PotError::NoFiniteScores);
     }
     let mut sorted = clean.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -77,19 +108,11 @@ pub fn pot_threshold(scores: &[f32], config: PotConfig) -> PotThreshold {
         .collect();
     let nt = peaks.len();
 
-    if nt < 4 {
-        let spread = sorted[n - 1] - sorted[0];
-        return PotThreshold {
-            threshold: u + 0.05 * spread.max(1e-9),
-            initial: u,
-            peaks: nt,
-            gamma: 0.0,
-            sigma: 0.0,
-            method: FitMethod::MethodOfMoments,
-        };
+    if nt < MIN_PEAKS {
+        return Err(PotError::TooFewPeaks { peaks: nt, required: MIN_PEAKS });
     }
 
-    match gpd::fit(&peaks) {
+    Ok(match gpd::fit(&peaks) {
         Some((fit, method)) => {
             let r = config.q * n as f64 / nt as f64;
             let threshold = if fit.gamma.abs() < 1e-9 {
@@ -114,6 +137,47 @@ pub fn pot_threshold(scores: &[f32], config: PotConfig) -> PotThreshold {
             sigma: 0.0,
             method: FitMethod::MethodOfMoments,
         },
+    })
+}
+
+/// [`pot_threshold`] with SPOT's permissive fallbacks instead of errors:
+/// no finite scores → never-alerting infinite threshold; too few peaks →
+/// the initial quantile plus 5% of the score spread. Batch experiment
+/// harnesses use this so a degenerate calibration set still produces a
+/// comparable run; online callers should prefer the strict variant plus an
+/// explicit last-known-good fallback.
+pub fn pot_threshold_lenient(scores: &[f32], config: PotConfig) -> PotThreshold {
+    match pot_threshold(scores, config) {
+        Ok(t) => t,
+        Err(PotError::NoFiniteScores) => PotThreshold {
+            threshold: f64::INFINITY,
+            initial: f64::INFINITY,
+            peaks: 0,
+            gamma: 0.0,
+            sigma: 0.0,
+            method: FitMethod::MethodOfMoments,
+        },
+        Err(PotError::TooFewPeaks { peaks, .. }) => {
+            let clean: Vec<f64> = scores
+                .iter()
+                .filter(|v| v.is_finite())
+                .map(|&v| v as f64)
+                .collect();
+            let mut sorted = clean;
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let n = sorted.len();
+            let idx = ((config.level * (n - 1) as f64).round() as usize).min(n - 1);
+            let u = sorted[idx];
+            let spread = sorted[n - 1] - sorted[0];
+            PotThreshold {
+                threshold: u + 0.05 * spread.max(1e-9),
+                initial: u,
+                peaks,
+                gamma: 0.0,
+                sigma: 0.0,
+                method: FitMethod::MethodOfMoments,
+            }
+        }
     }
 }
 
@@ -142,7 +206,7 @@ mod tests {
     #[test]
     fn threshold_exceeds_initial_quantile() {
         let scores = gaussian_scores(20000, 17);
-        let pot = pot_threshold(&scores, PotConfig::default());
+        let pot = pot_threshold(&scores, PotConfig::default()).unwrap();
         assert!(pot.threshold > pot.initial);
         assert!(pot.peaks > 100);
     }
@@ -151,7 +215,7 @@ mod tests {
     fn tail_probability_is_approximately_q() {
         // With q = 1e-2 on 50k standard normals, roughly 500 should exceed.
         let scores = gaussian_scores(50000, 18);
-        let pot = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-2 });
+        let pot = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-2 }).unwrap();
         let exceed = scores.iter().filter(|&&s| (s as f64) > pot.threshold).count();
         let expected = 500.0;
         assert!(
@@ -163,22 +227,35 @@ mod tests {
     #[test]
     fn smaller_q_gives_larger_threshold() {
         let scores = gaussian_scores(20000, 19);
-        let loose = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-2 });
-        let strict = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-4 });
+        let loose = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-2 }).unwrap();
+        let strict = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-4 }).unwrap();
         assert!(strict.threshold > loose.threshold);
     }
 
     #[test]
-    fn empty_scores_never_alert() {
-        let pot = pot_threshold(&[], PotConfig::default());
+    fn empty_scores_are_typed_error() {
+        assert_eq!(
+            pot_threshold(&[], PotConfig::default()),
+            Err(PotError::NoFiniteScores)
+        );
+        assert_eq!(
+            pot_threshold(&[f32::NAN, f32::INFINITY], PotConfig::default()),
+            Err(PotError::NoFiniteScores)
+        );
+        // The lenient fallback never alerts instead.
+        let pot = pot_threshold_lenient(&[], PotConfig::default());
         assert!(pot.threshold.is_infinite());
         assert!(apply_threshold(&[1.0, 2.0], pot.threshold).iter().all(|&b| !b));
     }
 
     #[test]
-    fn few_peaks_fall_back_to_quantile() {
+    fn few_peaks_is_typed_error_with_quantile_fallback() {
         let scores = vec![1.0f32; 100];
-        let pot = pot_threshold(&scores, PotConfig::default());
+        assert_eq!(
+            pot_threshold(&scores, PotConfig::default()),
+            Err(PotError::TooFewPeaks { peaks: 0, required: MIN_PEAKS })
+        );
+        let pot = pot_threshold_lenient(&scores, PotConfig::default());
         assert!(pot.threshold >= 1.0);
         assert_eq!(pot.peaks, 0);
     }
@@ -188,7 +265,7 @@ mod tests {
         let mut scores = gaussian_scores(5000, 20);
         scores[0] = f32::NAN;
         scores[1] = f32::INFINITY;
-        let pot = pot_threshold(&scores, PotConfig::default());
+        let pot = pot_threshold(&scores, PotConfig::default()).unwrap();
         assert!(pot.threshold.is_finite());
     }
 

@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::gpd;
-use crate::pot::{pot_threshold, PotConfig, PotThreshold};
+use crate::pot::{pot_threshold_lenient, PotConfig, PotThreshold};
 
 /// Decision for one streamed value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,9 @@ impl Spot {
 
     /// Calibrates on an initial batch (the "n init" phase of the paper).
     pub fn calibrate(&mut self, scores: &[f32]) {
-        let pot = pot_threshold(scores, self.config);
+        // SPOT is a baseline detector: keep its historical permissive
+        // behaviour on degenerate calibration batches.
+        let pot = pot_threshold_lenient(scores, self.config);
         self.peaks = scores
             .iter()
             .filter(|v| v.is_finite())

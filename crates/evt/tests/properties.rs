@@ -45,9 +45,9 @@ proptest! {
             let u2: f32 = rng.gen_range(0.0..1.0);
             ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()).abs()
         }).collect();
-        let t1 = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-2 });
-        let t2 = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-3 });
-        let t3 = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-4 });
+        let t1 = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-2 }).unwrap();
+        let t2 = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-3 }).unwrap();
+        let t3 = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-4 }).unwrap();
         prop_assert!(t2.threshold >= t1.threshold - 1e-9);
         prop_assert!(t3.threshold >= t2.threshold - 1e-9);
     }
@@ -59,8 +59,8 @@ proptest! {
         let base: Vec<f32> = (0..5000).map(|_| rng.gen_range(0.0f32..1.0).powi(3)).collect();
         let scaled: Vec<f32> = base.iter().map(|v| v * scale).collect();
         let cfg = PotConfig { level: 0.98, q: 1e-3 };
-        let t_base = pot_threshold(&base, cfg).threshold;
-        let t_scaled = pot_threshold(&scaled, cfg).threshold;
+        let t_base = pot_threshold(&base, cfg).unwrap().threshold;
+        let t_scaled = pot_threshold(&scaled, cfg).unwrap().threshold;
         prop_assert!((t_scaled - t_base * scale as f64).abs() < 0.05 * t_base.abs() * scale as f64 + 1e-3,
             "{t_scaled} vs {}", t_base * scale as f64);
     }

@@ -29,6 +29,6 @@ pub use gcn::{normalize_adjacency, normalize_adjacency_thresholded, GcnLayer};
 pub use gru::Gru;
 pub use linear::{Activation, FeedForward, LayerNorm, Linear};
 pub use lstm::Lstm;
-pub use trainer::{EarlyStopping, TrainingHistory};
+pub use trainer::{EarlyStopping, NanRecovery, TrainingHistory};
 pub use transformer::{DecoderLayer, EncoderLayer, TimeEmbedding};
 pub use vae::{kl_standard_normal, standard_normal, GaussianHead};

@@ -1,5 +1,6 @@
 //! Training-loop utilities: early stopping (the paper trains with
-//! patience = 5) and a small epoch-statistics record.
+//! patience = 5), a small epoch-statistics record, and a bounded
+//! divergence-recovery policy for NaN epochs.
 
 /// Early-stopping monitor on a minimized metric.
 ///
@@ -68,17 +69,81 @@ impl EarlyStopping {
     }
 }
 
+/// Bounded recovery policy for diverged (NaN/Inf loss) epochs.
+///
+/// Gradient blow-ups on extreme astronomical outliers occasionally push a
+/// training step to NaN; aborting the whole fit over one bad epoch wastes
+/// every good epoch before it. The policy instead allows a small number of
+/// *rollback-and-retry* attempts — the caller restores its best parameter
+/// snapshot and retries with the learning rate scaled down by
+/// [`NanRecovery::lr_decay`] — before giving up and settling for the best
+/// snapshot seen so far.
+#[derive(Debug, Clone)]
+pub struct NanRecovery {
+    max_retries: usize,
+    retries: usize,
+}
+
+impl NanRecovery {
+    /// Multiplier applied to the learning rate on every retry.
+    pub const LR_DECAY: f32 = 0.5;
+
+    /// Allows up to `max_retries` rollback-and-retry attempts.
+    pub fn new(max_retries: usize) -> Self {
+        Self { max_retries, retries: 0 }
+    }
+
+    /// The default budget: three retries (lr ×0.5, ×0.25, ×0.125).
+    pub fn bounded_default() -> Self {
+        Self::new(3)
+    }
+
+    /// Learning-rate multiplier for retries (see [`Self::LR_DECAY`]).
+    pub fn lr_decay(&self) -> f32 {
+        Self::LR_DECAY
+    }
+
+    /// Consumes one retry; returns `false` once the budget is exhausted
+    /// (the caller should restore its best snapshot and stop training).
+    pub fn should_retry(&mut self) -> bool {
+        if self.retries < self.max_retries {
+            self.retries += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retries consumed so far.
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+
+    /// True when no retry budget remains.
+    pub fn exhausted(&self) -> bool {
+        self.retries >= self.max_retries
+    }
+}
+
 /// Loss trajectory of one training stage.
 #[derive(Debug, Clone, Default)]
 pub struct TrainingHistory {
-    /// Mean loss per epoch, in order.
+    /// Mean loss per epoch, in order. Diverged epochs are not recorded
+    /// (see `nan_rollbacks`).
     pub epoch_losses: Vec<f32>,
+    /// Number of diverged epochs that were rolled back and retried.
+    pub nan_rollbacks: usize,
 }
 
 impl TrainingHistory {
     /// Records one epoch's mean loss.
     pub fn push(&mut self, loss: f32) {
         self.epoch_losses.push(loss);
+    }
+
+    /// Records one rollback of a diverged epoch.
+    pub fn record_rollback(&mut self) {
+        self.nan_rollbacks += 1;
     }
 
     /// Final recorded loss, if any epoch ran.
@@ -149,5 +214,20 @@ mod tests {
         assert!(h.improved());
         assert_eq!(h.final_loss(), Some(1.0));
         assert_eq!(h.epochs(), 2);
+        assert_eq!(h.nan_rollbacks, 0);
+        h.record_rollback();
+        assert_eq!(h.nan_rollbacks, 1);
+    }
+
+    #[test]
+    fn nan_recovery_budget_is_bounded() {
+        let mut rec = NanRecovery::new(2);
+        assert!(!rec.exhausted());
+        assert!(rec.should_retry());
+        assert!(rec.should_retry());
+        assert!(rec.exhausted());
+        assert!(!rec.should_retry());
+        assert_eq!(rec.retries(), 2);
+        assert_eq!(rec.lr_decay(), 0.5);
     }
 }

@@ -50,6 +50,7 @@ fn main() {
         }
     }
     println!("\nnight summary: {alerts} flagged points over {} frames", dataset.test.len());
+    println!("pipeline health: {}", online.health());
 
     // Morning review: the ranked event catalog.
     let catalog = build_catalog(&flags, &scores, 3);

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate (see ROADMAP.md).
+#
+# Jobs:
+#   1. release build of the whole workspace
+#   2. full test suite
+#   3. streaming-robustness integration suite (fault injection, degraded
+#      input, crash-safe persistence) — explicitly, so a filtered test run
+#      can't silently skip it
+#   4. clippy -D warnings on the streaming/robustness crates
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: workspace tests"
+cargo test -q
+
+echo "==> tier-1: streaming robustness"
+cargo test -q -p aero-core --test fault_injection --test persistence_robustness
+
+echo "==> tier-1: lint gate"
+cargo clippy -q -p aero-core -p aero-nn -p aero-evt -p aero-datagen -p aero-cli -- -D warnings
+
+echo "==> tier-1: OK"

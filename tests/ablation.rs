@@ -12,7 +12,7 @@ use aero_repro::datagen::SyntheticConfig;
 use aero_repro::evt::PotConfig;
 
 fn noisy_dataset() -> aero_repro::timeseries::Dataset {
-    let mut cfg = SyntheticConfig::tiny(600);
+    let mut cfg = SyntheticConfig::tiny(7);
     cfg.noise_fraction = 0.05;
     cfg.anomaly_segments = 3;
     cfg.build()

@@ -75,7 +75,7 @@ proptest! {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let scores: Vec<f32> = (0..4000).map(|_| rng.gen_range(0.0..scale)).collect();
-        let pot = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-3 });
+        let pot = pot_threshold(&scores, PotConfig { level: 0.98, q: 1e-3 }).unwrap();
         prop_assert!(pot.threshold >= pot.initial - 1e-6);
         let flagged = apply_threshold(&scores, pot.threshold)
             .iter()

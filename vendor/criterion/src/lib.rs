@@ -1,0 +1,248 @@
+//! Minimal offline stand-in for `criterion` (API subset).
+//!
+//! Provides just enough of the criterion benchmarking surface for the
+//! workspace's `harness = false` bench targets to compile and run in
+//! hermetic environments: `Criterion`, `BenchmarkGroup`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros. Measurement is a
+//! simple mean-of-samples timer printed to stdout — no statistics, plots,
+//! or baseline comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the time budget for measuring each benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up duration run before measuring.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run(id, sample_size, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&self, id: &str, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("bench {id}: mean {:?} over {} samples", bencher.mean, sample_size);
+    }
+}
+
+/// A named group sharing configuration (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the measurement budget; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: core::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run(&format!("{}/{id}", self.name), sample_size, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: core::fmt::Display,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run(&format!("{}/{id}", self.name), sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; reporting happens per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: core::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: core::fmt::Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Timer handle passed to benchmark closures (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measure: `sample_size` samples, capped by the measurement budget.
+        let mut total = Duration::ZERO;
+        let mut samples = 0u32;
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            samples += 1;
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean = total / samples.max(1);
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    core::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        quick();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

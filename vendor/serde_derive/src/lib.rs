@@ -1,0 +1,320 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline `serde` stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote`, which are
+//! unavailable in hermetic builds) and emits `to_value`/`from_value`
+//! implementations keyed by field and variant names. Supports the shapes
+//! the workspace actually uses: structs with named fields, and enums whose
+//! variants are unit or struct-like. Anything else produces a descriptive
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `None` = unit variant; `Some(fields)` = struct-like variant.
+    fields: Option<Vec<String>>,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(Item::Struct { name, fields }) => match dir {
+            Direction::Serialize => struct_serialize(&name, &fields),
+            Direction::Deserialize => struct_deserialize(&name, &fields),
+        },
+        Ok(Item::Enum { name, variants }) => match dir {
+            Direction::Serialize => enum_serialize(&name, &variants),
+            Direction::Deserialize => enum_deserialize(&name, &variants),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive: generated code must parse")
+}
+
+/// Extracts the item kind, name, and field/variant names from raw tokens.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected item name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    // The body is the next brace group (`where` clauses would need skipping
+    // here, but the workspace does not use them on serialized types).
+    let body = tokens[i..].iter().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+        _ => None,
+    });
+    match (kind.as_str(), body) {
+        ("struct", Some(body)) => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        ("enum", Some(body)) => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        ("struct", None) => Err(format!(
+            "serde stub derive: struct `{name}` must have named fields"
+        )),
+        _ => Err(format!("serde stub derive: cannot derive for `{name}`")),
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body. Commas inside generic
+/// arguments are skipped by tracking `<`/`>` depth (delimited groups arrive
+/// as single atomic tokens, so only angle brackets need counting).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments included) and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err("serde stub derive: expected a named field".into());
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde stub derive: tuple fields are not supported".into()),
+        }
+        // Skip the type until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names (+ field names for struct-like variants) of an enum body.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err("serde stub derive: expected an enum variant".into());
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stub derive: tuple variant `{name}` is not supported"
+                ));
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        // Skip to the next comma (covers explicit discriminants).
+        while let Some(tt) = tokens.get(i) {
+            i += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(v, {f:?})?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok(Self {{ {entries} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                None => format!(
+                    "Self::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                ),
+                Some(fields) => {
+                    let bindings = fields.join(", ");
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "Self::{vn} {{ {bindings} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}),\
+                             ::serde::Value::Object(::std::vec![{entries}])\
+                         )]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| format!("{:?} => ::std::result::Result::Ok(Self::{}),", v.name, v.name))
+        .collect();
+    let struct_arms: String = variants
+        .iter()
+        .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+        .map(|(vn, fields)| {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(inner, {f:?})?,"))
+                .collect();
+            format!("{vn:?} => ::std::result::Result::Ok(Self::{vn} {{ {entries} }}),")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError(\n\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+                         let (tag, inner) = &tagged[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {struct_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\n\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError(\n\
+                         ::std::string::String::from(\"expected a {name} variant\"))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

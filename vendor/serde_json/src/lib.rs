@@ -1,0 +1,383 @@
+//! Minimal offline stand-in for `serde_json` (API subset).
+//!
+//! Renders the offline `serde` stub's [`serde::Value`] tree to JSON text and
+//! parses JSON text back. Floats are written with Rust's shortest-roundtrip
+//! `Display`, so `f32`/`f64` values survive a save/load cycle bit-exactly —
+//! the property the model-persistence tests rely on.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialization or parse error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into `T`, rejecting trailing garbage.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+fn push_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                let s = f.to_string();
+                out.push_str(&s);
+                // Keep floats distinguishable from integers on re-parse.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no non-finite literals; match serde_json's
+                // behaviour of emitting null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            if !items.is_empty() {
+                push_indent(out, indent, level);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            if !fields.is_empty() {
+                push_indent(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".into())),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain (unescaped) bytes in one slice.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                core::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = core::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error("invalid \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error(format!("invalid escape at byte {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<i32>("-7").unwrap(), -7);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for &x in &[0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1e30, -2.5e-7, 0.0] {
+            let json = to_string(&x).unwrap();
+            let back: f32 = from_str(&json).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} via {json}");
+        }
+        let v = vec![0.123_456_789_f64, -9.87e300];
+        let back: Vec<f64> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(String, usize)> = vec![("a".into(), 1), ("b\"x".into(), 2)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(String, usize)> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert!(from_str::<u32>("{not json").is_err());
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("42 garbage").is_err());
+        assert!(from_str::<Vec<u8>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![vec![1u8, 2], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<Vec<u8>> = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}
