@@ -126,20 +126,29 @@ impl Detector for LstmNdt {
         let n = scaled.num_variates();
         let len = scaled.len();
         let w = self.input_window;
+        // Forecasts at different timestamps are independent once training
+        // has finished, so the per-t graphs evaluate in parallel.
+        let this = &*self;
+        let preds: Vec<DetectorResult<Vec<f32>>> =
+            aero_parallel::parallel_map_range(len - w, |i| {
+                let t = w + i;
+                let history = scaled.window(t - 1, w)?;
+                let mut g = Graph::new();
+                let pred = this.forecast(&mut g, &history)?;
+                let pv = g.value(pred)?;
+                Ok((0..n).map(|v| (scaled.get(v, t) - pv.get(0, v)).abs()).collect())
+            });
         let mut errors = Matrix::zeros(n, len);
-        for t in w..len {
-            let history = scaled.window(t - 1, w)?;
-            let mut g = Graph::new();
-            let pred = self.forecast(&mut g, &history)?;
-            let pv = g.value(pred)?;
-            for v in 0..n {
-                errors.set(v, t, (scaled.get(v, t) - pv.get(0, v)).abs());
+        for (i, row) in preds.into_iter().enumerate() {
+            for (v, e) in row?.into_iter().enumerate() {
+                errors.set(v, w + i, e);
             }
         }
-        // NDT's error smoothing.
-        for v in 0..n {
-            let smoothed = ewma(errors.row(v), self.smoothing);
-            errors.row_mut(v).copy_from_slice(&smoothed);
+        // NDT's error smoothing: sequential in t, independent per variate.
+        let smoothed =
+            aero_parallel::parallel_map_range(n, |v| ewma(errors.row(v), self.smoothing));
+        for (v, row) in smoothed.iter().enumerate() {
+            errors.row_mut(v).copy_from_slice(row);
         }
         Ok(errors)
     }

@@ -136,10 +136,12 @@ impl Detector for SpectralResidual {
     fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
         let n = series.num_variates();
         let len = series.len();
+        // Variates are independent: saliency maps compute in parallel.
+        let rows =
+            aero_parallel::parallel_map_range(n, |v| self.scores(series.values().row(v)));
         let mut out = Matrix::zeros(n, len);
-        for v in 0..n {
-            let scores = self.scores(series.values().row(v));
-            out.row_mut(v).copy_from_slice(&scores);
+        for (v, scores) in rows.iter().enumerate() {
+            out.row_mut(v).copy_from_slice(scores);
         }
         Ok(out)
     }

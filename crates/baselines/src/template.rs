@@ -128,10 +128,12 @@ impl Detector for TemplateMatching {
     fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
         let n = series.num_variates();
         let len = series.len();
+        // Template correlation is embarrassingly parallel across variates.
+        let rows =
+            aero_parallel::parallel_map_range(n, |v| self.score_variate(series.values().row(v)));
         let mut out = Matrix::zeros(n, len);
-        for v in 0..n {
-            let scores = self.score_variate(series.values().row(v));
-            out.row_mut(v).copy_from_slice(&scores);
+        for (v, scores) in rows.iter().enumerate() {
+            out.row_mut(v).copy_from_slice(scores);
         }
         Ok(out)
     }

@@ -10,7 +10,7 @@
 //! period per window instead of the top-k ensemble.
 
 use aero_nn::{Activation, EarlyStopping, Linear};
-use aero_tensor::{Adam, Graph, Matrix, NodeId, ParamStore};
+use aero_tensor::{Adam, GradBuffer, Graph, Matrix, NodeId, ParamStore};
 use aero_timeseries::{MinMaxScaler, MultivariateSeries};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -132,14 +132,30 @@ impl Detector for TimesNet {
                 let win = scaled.window(end, w)?;
                 self.store.zero_grads();
                 let mut window_loss = 0.0f64;
-                for v in 0..n {
-                    let signal = win.row(v).to_vec();
-                    let mut g = Graph::new();
-                    let recon = self.reconstruct(&mut g, &signal)?;
-                    let target = Matrix::col_vector(&signal);
-                    let loss = g.mse_loss(recon, &target)?;
-                    window_loss += g.value(loss)?.scalar_value()? as f64;
-                    g.backward(loss, &mut self.store)?;
+                // Same sharded-gradient scheme as AERO Stage-1: fixed shard
+                // boundaries and an in-order merge keep training bitwise
+                // identical at any thread count.
+                let shards = aero_parallel::shard_ranges(n, 16);
+                let this = &*self;
+                let partials: Vec<DetectorResult<(f64, GradBuffer)>> =
+                    aero_parallel::parallel_map(&shards, |_, range| {
+                        let mut grads = GradBuffer::for_store(&this.store);
+                        let mut loss_sum = 0.0f64;
+                        for v in range.clone() {
+                            let signal = win.row(v).to_vec();
+                            let mut g = Graph::new();
+                            let recon = this.reconstruct(&mut g, &signal)?;
+                            let target = Matrix::col_vector(&signal);
+                            let loss = g.mse_loss(recon, &target)?;
+                            loss_sum += g.value(loss)?.scalar_value()? as f64;
+                            g.backward_into(loss, &mut grads)?;
+                        }
+                        Ok((loss_sum, grads))
+                    });
+                for partial in partials {
+                    let (shard_loss, mut grads) = partial?;
+                    window_loss += shard_loss;
+                    grads.merge_into(&mut self.store)?;
                 }
                 opt.step(&mut self.store)?;
                 epoch_loss += window_loss / n as f64;
@@ -159,17 +175,20 @@ impl Detector for TimesNet {
         }
         let scaled = self.scaler.transform(series)?;
         let w = self.config.window;
+        let this = &*self;
         score_by_blocks(&scaled, w, |win, _| {
             let n = win.rows();
+            let rows: Vec<DetectorResult<Vec<f32>>> =
+                aero_parallel::parallel_map_range(n, |v| {
+                    let signal = win.row(v).to_vec();
+                    let mut g = Graph::new();
+                    let recon = this.reconstruct(&mut g, &signal)?;
+                    let rv = g.value(recon)?;
+                    Ok(signal.iter().enumerate().map(|(t, &x)| x - rv.get(t, 0)).collect())
+                });
             let mut r = Matrix::zeros(n, w);
-            for v in 0..n {
-                let signal = win.row(v).to_vec();
-                let mut g = Graph::new();
-                let recon = self.reconstruct(&mut g, &signal)?;
-                let rv = g.value(recon)?;
-                for (t, &x) in signal.iter().enumerate() {
-                    r.set(v, t, x - rv.get(t, 0));
-                }
+            for (v, row) in rows.into_iter().enumerate() {
+                r.row_mut(v).copy_from_slice(&row?);
             }
             Ok(r)
         })

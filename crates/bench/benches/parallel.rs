@@ -1,0 +1,125 @@
+//! Benchmarks of the parallel execution substrate: blocked GEMM kernels,
+//! Stage-1 per-variate training, window scoring, and end-to-end detection,
+//! each at 1 worker thread vs. the pool default.
+//!
+//! These complement `scripts/bench.sh` (which emits `BENCH_parallel.json`
+//! for the repo's performance record): criterion gives statistically solid
+//! per-kernel numbers, the script gives reproducible wall-clock totals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aero_core::{Aero, AeroConfig, Detector};
+use aero_datagen::SyntheticConfig;
+use aero_tensor::Matrix;
+use aero_timeseries::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+    Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Thread counts exercised by every group: serial baseline and pool default.
+fn thread_counts() -> Vec<usize> {
+    let pool = aero_parallel::max_threads();
+    if pool > 1 {
+        vec![1, pool]
+    } else {
+        vec![1]
+    }
+}
+
+fn middle_scaled() -> Dataset {
+    let mut cfg = SyntheticConfig::middle();
+    cfg.train_len = 200;
+    cfg.test_len = 200;
+    cfg.build()
+}
+
+fn bench_model() -> AeroConfig {
+    let mut cfg = AeroConfig::tiny();
+    cfg.max_epochs = 1;
+    cfg
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(11);
+    // 256³ stays below the threading threshold (blocked kernel only);
+    // 384³ ≈ 56 M MACs crosses it and engages the pool.
+    for &n in &[256usize, 384] {
+        let a = rand_matrix(&mut rng, n, n);
+        let b = rand_matrix(&mut rng, n, n);
+        for threads in thread_counts() {
+            aero_parallel::set_max_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(&format!("{n}x{n}"), format!("{threads}t")),
+                &n,
+                |bch, _| bch.iter(|| a.matmul(&b).unwrap()),
+            );
+        }
+    }
+    aero_parallel::set_max_threads(1);
+    group.finish();
+}
+
+fn bench_fit_stage1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_stage1");
+    group.sample_size(10);
+    let ds = middle_scaled();
+    for threads in thread_counts() {
+        aero_parallel::set_max_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(format!("{threads}t")), |bch| {
+            bch.iter(|| {
+                let mut model = Aero::new(bench_model()).unwrap();
+                model.fit(&ds.train).unwrap()
+            })
+        });
+    }
+    aero_parallel::set_max_threads(1);
+    group.finish();
+}
+
+fn bench_score_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_window");
+    group.sample_size(10);
+    let ds = middle_scaled();
+    let mut model = Aero::new(bench_model()).unwrap();
+    model.fit(&ds.train).unwrap();
+    for threads in thread_counts() {
+        aero_parallel::set_max_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(format!("{threads}t")), |bch| {
+            bch.iter(|| model.score(&ds.test).unwrap())
+        });
+    }
+    aero_parallel::set_max_threads(1);
+    group.finish();
+}
+
+fn bench_e2e_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_detect");
+    group.sample_size(10);
+    let ds = middle_scaled();
+    for threads in thread_counts() {
+        aero_parallel::set_max_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(format!("{threads}t")), |bch| {
+            bch.iter(|| {
+                let mut model = Aero::new(bench_model()).unwrap();
+                model.fit(&ds.train).unwrap();
+                model.score(&ds.test).unwrap()
+            })
+        });
+    }
+    aero_parallel::set_max_threads(1);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_fit_stage1,
+    bench_score_window,
+    bench_e2e_detect
+);
+criterion_main!(benches);

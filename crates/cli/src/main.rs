@@ -43,6 +43,11 @@ COMMANDS:
                      --labels <file>       0/1 ground-truth CSV
     list-methods   Show the available detectors
     help           Show this message
+
+GLOBAL OPTIONS:
+    --threads <n>  Worker threads for per-variate training/scoring and large
+                   GEMMs (default: AERO_THREADS env, else all logical CPUs).
+                   Results are bitwise identical at any thread count.
 ";
 
 fn main() {
@@ -53,6 +58,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match args.get_parsed::<usize>("threads", 0) {
+        Ok(n) if n > 0 => aero_parallel::set_max_threads(n),
+        Ok(_) => {} // not given: keep AERO_THREADS / auto-detected default
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
     let result = match args.command.as_deref() {
         Some("generate") => commands::generate(&args),
         Some("detect") => commands::detect(&args),

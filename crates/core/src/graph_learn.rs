@@ -49,6 +49,13 @@ impl GraphBuilder {
         self.state = None;
     }
 
+    /// True when the adjacency depends on previous windows (EWMA state).
+    /// Stateful builders must see windows sequentially; stateless modes can
+    /// score windows in parallel with per-window clones.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self.mode, GraphMode::DynamicEwma { .. })
+    }
+
     /// Raw adjacency (self-loops still present) for the current window.
     pub fn adjacency(&mut self, errors: &Matrix) -> Matrix {
         match self.mode {

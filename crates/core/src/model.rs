@@ -1,8 +1,10 @@
 //! The AERO detector: two-stage offline training (Algorithm 1) and online
 //! scoring (Algorithm 2), wired behind the common [`Detector`] interface.
 
+use std::sync::Arc;
+
 use aero_nn::{Activation, EarlyStopping, GcnLayer, NanRecovery, TrainingHistory};
-use aero_tensor::{Adam, Graph, Matrix, ParamId, ParamStore};
+use aero_tensor::{Adam, GradBuffer, Graph, Matrix, ParamId, ParamStore};
 use aero_timeseries::{MinMaxScaler, MultivariateSeries};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,6 +13,14 @@ use crate::config::{AeroConfig, NoiseFeatures};
 use crate::detector::{Detector, DetectorError, DetectorResult};
 use crate::graph_learn::GraphBuilder;
 use crate::temporal::TemporalModule;
+
+/// Fixed shard count for per-variate gradient accumulation.
+///
+/// Work is decomposed into this many shards regardless of how many threads
+/// the pool runs, and shard buffers are merged in shard order — so the f32
+/// gradient accumulation sequence (and therefore training) is bitwise
+/// identical at any `AERO_THREADS` setting. See DESIGN.md § parallelism.
+const GRAD_SHARDS: usize = 16;
 
 /// The AERO anomaly detector.
 ///
@@ -114,17 +124,21 @@ impl Aero {
         let n = scaled.num_variates();
 
         if self.config.univariate_input {
-            let mut e = Matrix::zeros(n, omega);
-            for v in 0..n {
+            // Each variate owns an independent tape over a shared read-only
+            // store — embarrassingly parallel. Rows land by variate index,
+            // so the result is order-deterministic.
+            let rows: Vec<DetectorResult<Vec<f32>>> = aero_parallel::parallel_map_range(n, |v| {
                 let long = Matrix::col_vector(x.row(v));
                 let short = Matrix::col_vector(y.row(v));
                 let mut g = Graph::new();
                 let out =
                     temporal.reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
                 let recon = g.value(out)?;
-                for t in 0..omega {
-                    e.set(v, t, y.get(v, t) - recon.get(t, 0));
-                }
+                Ok((0..omega).map(|t| y.get(v, t) - recon.get(t, 0)).collect())
+            });
+            let mut e = Matrix::zeros(n, omega);
+            for (v, row) in rows.into_iter().enumerate() {
+                e.row_mut(v).copy_from_slice(&row?);
             }
             Ok(e)
         } else {
@@ -145,14 +159,19 @@ impl Aero {
     }
 
     /// Snapshot of every parameter value, for divergence rollback.
-    fn snapshot_params(&self) -> Vec<(ParamId, Matrix)> {
-        self.store.iter().map(|(id, p)| (id, p.value().clone())).collect()
+    ///
+    /// O(1) per parameter: values are `Arc`-shared with the store, and the
+    /// optimizer's copy-on-write update path copies a buffer only when it
+    /// actually writes that parameter — i.e. the snapshot materializes
+    /// exactly the params whose values changed since it was taken.
+    fn snapshot_params(&self) -> Vec<(ParamId, Arc<Matrix>)> {
+        self.store.iter().map(|(id, p)| (id, Arc::clone(p.value_arc()))).collect()
     }
 
     /// Restores a parameter snapshot taken by [`Self::snapshot_params`].
-    fn restore_params(&mut self, snapshot: &[(ParamId, Matrix)]) -> DetectorResult<()> {
+    fn restore_params(&mut self, snapshot: &[(ParamId, Arc<Matrix>)]) -> DetectorResult<()> {
         for (id, value) in snapshot {
-            self.store.set_value(*id, value.clone())?;
+            self.store.set_value_arc(*id, Arc::clone(value))?;
         }
         Ok(())
     }
@@ -195,15 +214,35 @@ impl Aero {
                 self.store.zero_grads();
                 let mut window_loss = 0.0f64;
                 if self.config.univariate_input {
-                    for v in 0..n {
-                        let long = Matrix::col_vector(x.row(v));
-                        let short = Matrix::col_vector(y.row(v));
-                        let mut g = Graph::new();
-                        let out = temporal
-                            .reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
-                        let loss = g.mse_loss(out, &short)?;
-                        window_loss += g.value(loss)?.scalar_value()? as f64;
-                        g.backward(loss, &mut self.store)?;
+                    // Per-variate tapes are independent, so shards accumulate
+                    // gradients into thread-local buffers against a shared
+                    // `&store`, and the buffers are merged in shard order
+                    // before the optimizer step. Shard boundaries are fixed
+                    // (GRAD_SHARDS), so the merge — and training — is
+                    // bitwise identical at any thread count.
+                    let shards = aero_parallel::shard_ranges(n, GRAD_SHARDS);
+                    let store = &self.store;
+                    let partials: Vec<DetectorResult<(f64, GradBuffer)>> =
+                        aero_parallel::parallel_map(&shards, |_, range| {
+                            let mut grads = GradBuffer::for_store(store);
+                            let mut loss_sum = 0.0f64;
+                            for v in range.clone() {
+                                let long = Matrix::col_vector(x.row(v));
+                                let short = Matrix::col_vector(y.row(v));
+                                let mut g = Graph::new();
+                                let out = temporal.reconstruct(
+                                    &mut g, store, &long, &short, &positions, &deltas,
+                                )?;
+                                let loss = g.mse_loss(out, &short)?;
+                                loss_sum += g.value(loss)?.scalar_value()? as f64;
+                                g.backward_into(loss, &mut grads)?;
+                            }
+                            Ok((loss_sum, grads))
+                        });
+                    for partial in partials {
+                        let (shard_loss, mut grads) = partial?;
+                        window_loss += shard_loss;
+                        grads.merge_into(&mut self.store)?;
                     }
                     window_loss /= n as f64;
                 } else {
@@ -329,10 +368,15 @@ impl Aero {
 
     /// Final residual `R = Y − Ŷ₁ − Ŷ₂` for the window ending at `end` of an
     /// already-scaled series. Also returns the stage-1 error `E`.
-    fn window_residual(
-        &mut self,
+    ///
+    /// Takes the graph builder explicitly so stateless graph modes can score
+    /// windows in parallel with per-window builder clones, while the EWMA
+    /// mode threads one builder through the windows sequentially.
+    fn window_residual_with(
+        &self,
         scaled: &MultivariateSeries,
         end: usize,
+        graphs: &mut GraphBuilder,
     ) -> DetectorResult<(Matrix, Matrix)> {
         let omega = self.omega();
         let e = self.window_errors_internal(scaled, end)?;
@@ -351,7 +395,7 @@ impl Aero {
                 NoiseFeatures::Errors => residual.clone(),
                 NoiseFeatures::Window => scaled.window(end, omega)?,
             };
-            let p = self.graphs.propagation(&residual);
+            let p = graphs.propagation(&residual);
             let mut g = Graph::new();
             let feats = g.constant(feats_m);
             let yhat2 = gcn.forward(&mut g, &self.store, &p, feats)?;
@@ -372,6 +416,38 @@ impl Aero {
             residual = residual.sub(&y2)?;
         }
         Ok((e, residual))
+    }
+
+    /// Residuals for a batch of scoring windows, in window order.
+    ///
+    /// Stateless graph modes (window-wise, static) score windows in parallel
+    /// with per-window builder clones; the dynamic-EWMA mode is inherently
+    /// sequential (each window's adjacency depends on the previous one), so
+    /// it threads one builder through the windows serially. Either way the
+    /// caller min-combines in window order, which is order-insensitive.
+    fn window_residuals(
+        &mut self,
+        scaled: &MultivariateSeries,
+        ends: &[usize],
+    ) -> DetectorResult<Vec<(Matrix, Matrix)>> {
+        self.graphs.reset();
+        if self.graphs.is_stateful() {
+            let mut graphs = self.graphs.clone();
+            let mut out = Vec::with_capacity(ends.len());
+            for &end in ends {
+                out.push(self.window_residual_with(scaled, end, &mut graphs)?);
+            }
+            self.graphs = graphs;
+            Ok(out)
+        } else {
+            let this = &*self;
+            aero_parallel::parallel_map(ends, |_, &end| {
+                let mut graphs = this.graphs.clone();
+                this.window_residual_with(scaled, end, &mut graphs)
+            })
+            .into_iter()
+            .collect()
+        }
     }
 
     /// Scoring window end indices: the first full window, then steps of
@@ -428,9 +504,9 @@ impl Aero {
         let omega = self.omega();
         let mut e_scores = Matrix::full(n, len, f32::INFINITY);
         let mut r_scores = Matrix::full(n, len, f32::INFINITY);
-        self.graphs.reset();
-        for end in self.score_ends(len) {
-            let (e, r) = self.window_residual(&scaled, end)?;
+        let ends = self.score_ends(len);
+        let residuals = self.window_residuals(&scaled, &ends)?;
+        for (&end, (e, r)) in ends.iter().zip(&residuals) {
             let start = end + 1 - omega;
             for v in 0..n {
                 for t in 0..omega {
@@ -541,9 +617,9 @@ impl Detector for Aero {
         let len = scaled.len();
         let omega = self.omega();
         let mut scores = Matrix::full(n, len, f32::INFINITY);
-        self.graphs.reset();
-        for end in self.score_ends(len) {
-            let (_, r) = self.window_residual(&scaled, end)?;
+        let ends = self.score_ends(len);
+        let residuals = self.window_residuals(&scaled, &ends)?;
+        for (&end, (_, r)) in ends.iter().zip(&residuals) {
             let start = end + 1 - omega;
             for v in 0..n {
                 for t in 0..omega {

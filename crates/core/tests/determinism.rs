@@ -1,0 +1,53 @@
+//! Thread-count invariance: fit + score must be **bitwise identical** at 1
+//! and 4 worker threads.
+//!
+//! The parallel substrate promises determinism by construction: gradient
+//! shards have fixed boundaries (independent of the thread count), shard
+//! buffers merge into the store in shard order, and every GEMM accumulates
+//! in a fixed per-element order. This test pins the end-to-end consequence
+//! on a scaled-down SyntheticMiddle (Table I) dataset — same 24 variates
+//! and noise profile, shorter span so two full fits stay test-sized.
+//!
+//! Kept as the only test in this binary: the thread override is process
+//! global, so no other `#[test]` may race it.
+
+use aero_core::{save_model, Aero, AeroConfig, Detector};
+use aero_datagen::SyntheticConfig;
+use aero_tensor::Matrix;
+use aero_timeseries::Dataset;
+
+fn middle_scaled() -> Dataset {
+    let mut cfg = SyntheticConfig::middle();
+    cfg.train_len = 200;
+    cfg.test_len = 200;
+    cfg.build()
+}
+
+fn fit_and_score(ds: &Dataset, tag: &str) -> (Matrix, Vec<u8>) {
+    let mut cfg = AeroConfig::tiny();
+    cfg.max_epochs = 2;
+    let mut model = Aero::new(cfg).expect("valid config");
+    model.fit(&ds.train).expect("fit");
+    let scores = model.score(&ds.test).expect("score");
+    let path = std::env::temp_dir()
+        .join(format!("aero_determinism_{}_{}.json", tag, std::process::id()));
+    save_model(&model, &path).expect("checkpoint");
+    let bytes = std::fs::read(&path).expect("read checkpoint");
+    let _ = std::fs::remove_file(&path);
+    (scores, bytes)
+}
+
+#[test]
+fn fit_and_score_are_bitwise_identical_across_thread_counts() {
+    let ds = middle_scaled();
+
+    aero_parallel::set_max_threads(1);
+    let (scores_1, model_1) = fit_and_score(&ds, "t1");
+
+    aero_parallel::set_max_threads(4);
+    let (scores_4, model_4) = fit_and_score(&ds, "t4");
+    aero_parallel::set_max_threads(1);
+
+    assert_eq!(model_1, model_4, "trained parameters diverged across thread counts");
+    assert_eq!(scores_1, scores_4, "anomaly scores diverged across thread counts");
+}

@@ -86,10 +86,8 @@ impl MultiHeadAttention {
             let qi = g.slice_cols(q, h * dk, dk)?;
             let ki = g.slice_cols(k, h * dk, dk)?;
             let vi = g.slice_cols(v, h * dk, dk)?;
-            let kt = g.transpose(ki)?;
-            let scores = g.matmul(qi, kt)?;
-            let scaled = g.affine(scores, scale, 0.0)?;
-            let attn = g.softmax_rows(scaled)?;
+            let scores = g.matmul_nt(qi, ki)?;
+            let attn = g.scaled_softmax_rows(scores, scale)?;
             head_outputs.push(g.matmul(attn, vi)?);
         }
         let concat = g.concat_cols(&head_outputs)?;
@@ -123,10 +121,8 @@ impl MultiHeadAttention {
             let qi = g.slice_cols(q, h * dk, dk)?;
             let ki = g.slice_cols(k, h * dk, dk)?;
             let vi = g.slice_cols(v, h * dk, dk)?;
-            let kt = g.transpose(ki)?;
-            let scores = g.matmul(qi, kt)?;
-            let scaled = g.affine(scores, scale, 0.0)?;
-            let attn = g.softmax_rows(scaled)?;
+            let scores = g.matmul_nt(qi, ki)?;
+            let attn = g.scaled_softmax_rows(scores, scale)?;
             attns.push(attn);
             head_outputs.push(g.matmul(attn, vi)?);
         }

@@ -1,0 +1,262 @@
+//! Scoped-thread fork/join substrate for the AERO reproduction.
+//!
+//! The workspace is offline and vendored, so there is no rayon; this crate is
+//! a minimal `std::thread::scope`-based worker layer that the hot paths share:
+//!
+//! - per-variate Stage-1 training / scoring in `aero-core` (each star owns an
+//!   independent autodiff tape),
+//! - per-window batch scoring,
+//! - per-variate loops in `aero-baselines`,
+//! - row-partitioned GEMM in `aero-tensor`.
+//!
+//! # Determinism contract
+//!
+//! Every helper returns (or fills) results **indexed by input position**, never
+//! by completion order, so outputs are independent of scheduling. Work
+//! *decomposition* helpers that feed floating-point reductions
+//! ([`shard_ranges`]) use a fixed shard count independent of the thread count,
+//! so the grouping of partial sums — and therefore the f32/f64 accumulation
+//! order once the shards are merged in index order — is bitwise identical
+//! whether the pool runs 1 thread or 64. See DESIGN.md § "Parallel execution
+//! model".
+//!
+//! # Thread-count resolution
+//!
+//! The pool size is resolved once, lazily, from the `AERO_THREADS` environment
+//! variable, falling back to [`std::thread::available_parallelism`]. It can be
+//! overridden at runtime with [`set_max_threads`] (used by the CLI `--threads`
+//! flag and by the determinism test-suite, which flips the count mid-process).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = not yet resolved; otherwise the pool size (>= 1).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Maximum number of worker threads a fork/join call may use.
+///
+/// Resolution order: previous [`set_max_threads`] call, then the
+/// `AERO_THREADS` environment variable, then the machine's available
+/// parallelism. Always >= 1.
+pub fn max_threads() -> usize {
+    let cached = MAX_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let resolved = std::env::var("AERO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    MAX_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the pool size for the rest of the process (clamped to >= 1).
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Splits `len` items into at most `max_shards` contiguous ranges of
+/// near-equal size (larger shards first, sizes differing by at most one).
+///
+/// The decomposition depends only on `len` and `max_shards` — never on the
+/// thread count — so callers that reduce per-shard partials in shard order get
+/// bitwise-identical results at any pool size.
+pub fn shard_ranges(len: usize, max_shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = max_shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Applies `f` to every item, returning results in input order.
+///
+/// Items are split into one contiguous chunk per worker; with one thread (or
+/// one item) this degenerates to a plain serial map with no thread spawned.
+/// A panic in `f` propagates to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (c, (slots, part)) in out.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate() {
+            let base = c * chunk;
+            s.spawn(move || {
+                for (i, (slot, item)) in slots.iter_mut().zip(part).enumerate() {
+                    *slot = Some(f(base + i, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("parallel_map worker filled every slot"))
+        .collect()
+}
+
+/// Applies `f` to every index in `0..len`, returning results in index order.
+pub fn parallel_map_range<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..len).collect();
+    parallel_map(&idx, |_, &i| f(i))
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` items and runs `f` on
+/// each chunk in parallel. `f` receives the chunk's starting offset in `data`.
+///
+/// Used for row-partitioned writes (e.g. filling disjoint row blocks of an
+/// output matrix). The chunk boundaries — hence which elements land in which
+/// chunk — depend only on `chunk_len`, not on the thread count.
+pub fn parallel_for_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let chunks = len.div_ceil(chunk_len);
+    let threads = max_threads().min(chunks);
+    if threads <= 1 {
+        for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(c * chunk_len, chunk);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        // One spawned task per worker; each worker owns a contiguous run of
+        // chunks so `data` is split exactly `threads` ways.
+        let chunks_per_worker = chunks.div_ceil(threads);
+        let items_per_worker = chunks_per_worker * chunk_len;
+        for (w, span) in data.chunks_mut(items_per_worker).enumerate() {
+            let base = w * items_per_worker;
+            s.spawn(move || {
+                for (c, chunk) in span.chunks_mut(chunk_len).enumerate() {
+                    f(base + c * chunk_len, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Runs the two closures concurrently and returns both results.
+pub fn join<RA, RB, FA, FB>(a: FA, b: FB) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+{
+    if max_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("join worker panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 16, 24, 100] {
+            for shards in [1usize, 2, 3, 4, 16, 64] {
+                let ranges = shard_ranges(len, shards);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end, "contiguous");
+                    covered += r.len();
+                    prev_end = r.end;
+                    assert!(!r.is_empty(), "no empty shards");
+                }
+                assert_eq!(covered, len);
+                if len > 0 {
+                    assert!(ranges.len() <= shards.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_balanced() {
+        let ranges = shard_ranges(10, 4);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    /// One combined test because `set_max_threads` mutates process state and
+    /// the default test harness runs `#[test]` fns concurrently.
+    #[test]
+    fn fork_join_helpers_are_order_preserving() {
+        set_max_threads(0);
+        assert_eq!(max_threads(), 1, "clamped to >= 1");
+
+        for threads in [1usize, 2, 4] {
+            set_max_threads(threads);
+            assert_eq!(max_threads(), threads);
+
+            let items: Vec<usize> = (0..103).collect();
+            let out = parallel_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..103).map(|x| x * 2).collect::<Vec<_>>());
+
+            let rng = parallel_map_range(17, |i| i as f32 * 0.5);
+            for (i, v) in rng.iter().enumerate() {
+                assert_eq!(*v, i as f32 * 0.5);
+            }
+
+            let mut data = vec![0usize; 37];
+            parallel_for_chunks(&mut data, 5, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = offset + i;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i);
+            }
+
+            let (a, b) = join(|| 1 + 1, || "ok");
+            assert_eq!(a, 2);
+            assert_eq!(b, "ok");
+        }
+    }
+}

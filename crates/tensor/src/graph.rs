@@ -6,9 +6,11 @@
 //! order. Parameter leaves remember their [`ParamId`]; after backward the
 //! leaf gradients are flushed into the [`ParamStore`].
 
+use std::sync::Arc;
+
 use crate::error::{Result, TensorError};
 use crate::matrix::Matrix;
-use crate::params::{ParamId, ParamStore};
+use crate::params::{GradBuffer, ParamId, ParamStore};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +27,8 @@ enum Op {
     /// `alpha * x + beta`, elementwise.
     Affine { x: NodeId, alpha: f32 },
     Matmul(NodeId, NodeId),
+    /// `a · bᵀ` without materializing the transpose.
+    MatmulNt(NodeId, NodeId),
     Transpose(NodeId),
     Sigmoid(NodeId),
     Tanh(NodeId),
@@ -33,15 +37,17 @@ enum Op {
     Ln(NodeId),
     /// Row-wise softmax.
     SoftmaxRows(NodeId),
+    /// Row-wise softmax of `alpha * x` (fused attention scaling).
+    ScaledSoftmaxRows { x: NodeId, alpha: f32 },
     /// Row-wise layer normalization with learnable gain/shift.
     LayerNormRows {
         x: NodeId,
         gamma: NodeId,
         beta: NodeId,
-        /// Cached normalized input x̂.
-        normed: Matrix,
+        /// Cached normalized input x̂ (shared: `Op` is cloned during backward).
+        normed: Arc<Matrix>,
         /// Cached 1/σ per row (`rows × 1`).
-        inv_std: Matrix,
+        inv_std: Arc<Matrix>,
     },
     AddRowBroadcast { x: NodeId, row: NodeId },
     ConcatCols { parts: Vec<(NodeId, usize)> },
@@ -57,7 +63,9 @@ enum Op {
 
 #[derive(Debug, Clone)]
 struct Node {
-    value: Matrix,
+    /// Forward value. Shared so parameter leaves alias the store's buffer
+    /// (no per-forward clone) and backward's per-node handle copy is O(1).
+    value: Arc<Matrix>,
     grad: Option<Matrix>,
     op: Op,
     param: Option<ParamId>,
@@ -86,6 +94,10 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op, param: Option<ParamId>) -> NodeId {
+        self.push_arc(Arc::new(value), op, param)
+    }
+
+    fn push_arc(&mut self, value: Arc<Matrix>, op: Op, param: Option<ParamId>) -> NodeId {
         self.nodes.push(Node { value, grad: None, op, param });
         NodeId(self.nodes.len() - 1)
     }
@@ -96,7 +108,7 @@ impl Graph {
 
     /// The forward value of a node.
     pub fn value(&self, id: NodeId) -> Result<&Matrix> {
-        Ok(&self.node(id)?.value)
+        Ok(self.node(id)?.value.as_ref())
     }
 
     /// The accumulated gradient of a node (after `backward`).
@@ -110,9 +122,13 @@ impl Graph {
     }
 
     /// Inserts a leaf holding the current value of parameter `id`.
+    ///
+    /// The leaf shares the store's buffer (`Arc` clone) — no per-forward-pass
+    /// matrix copy. The store's copy-on-write update path keeps the leaf
+    /// stable if the optimizer later writes the parameter.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Result<NodeId> {
-        let value = store.value(id)?.clone();
-        Ok(self.push(value, Op::Leaf, Some(id)))
+        let value = store.value_arc(id)?;
+        Ok(self.push_arc(value, Op::Leaf, Some(id)))
     }
 
     // ---- elementwise & linear-algebra ops ---------------------------------
@@ -145,6 +161,13 @@ impl Graph {
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
         let v = self.node(a)?.value.matmul(&self.node(b)?.value)?;
         Ok(self.push(v, Op::Matmul(a, b), None))
+    }
+
+    /// Matrix product `a · bᵀ` without materializing the transpose
+    /// (used by attention for the `Q · Kᵀ` score matrix).
+    pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.node(a)?.value.matmul_nt(&self.node(b)?.value)?;
+        Ok(self.push(v, Op::MatmulNt(a, b), None))
     }
 
     /// Transposed copy of `x`.
@@ -209,6 +232,33 @@ impl Graph {
         Ok(self.push(out, Op::SoftmaxRows(x), None))
     }
 
+    /// Numerically-stable row-wise softmax of `alpha * x`, fused so attention
+    /// does not materialize the scaled score matrix as a separate node.
+    pub fn scaled_softmax_rows(&mut self, x: NodeId, alpha: f32) -> Result<NodeId> {
+        let xv = &self.node(x)?.value;
+        let (rows, cols) = xv.shape();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row = xv.row(r);
+            let m = row
+                .iter()
+                .map(|&v| alpha * v)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            let orow = out.row_mut(r);
+            for (o, &v) in orow.iter_mut().zip(row) {
+                let e = (alpha * v - m).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in orow {
+                *o *= inv;
+            }
+        }
+        Ok(self.push(out, Op::ScaledSoftmaxRows { x, alpha }, None))
+    }
+
     /// Row-wise layer normalization: `gamma ⊙ (x−μ)/σ + beta`.
     ///
     /// `gamma` and `beta` must be `1 × cols`.
@@ -247,7 +297,13 @@ impl Graph {
         }
         Ok(self.push(
             out,
-            Op::LayerNormRows { x, gamma, beta, normed, inv_std },
+            Op::LayerNormRows {
+                x,
+                gamma,
+                beta,
+                normed: Arc::new(normed),
+                inv_std: Arc::new(inv_std),
+            },
             None,
         ))
     }
@@ -262,7 +318,7 @@ impl Graph {
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> Result<NodeId> {
         let mats: Vec<&Matrix> = parts
             .iter()
-            .map(|&p| self.node(p).map(|n| &n.value))
+            .map(|&p| self.node(p).map(|n| n.value.as_ref()))
             .collect::<Result<_>>()?;
         let v = Matrix::concat_cols(&mats)?;
         let widths = parts
@@ -276,7 +332,7 @@ impl Graph {
     pub fn concat_rows(&mut self, parts: &[NodeId]) -> Result<NodeId> {
         let mats: Vec<&Matrix> = parts
             .iter()
-            .map(|&p| self.node(p).map(|n| &n.value))
+            .map(|&p| self.node(p).map(|n| n.value.as_ref()))
             .collect::<Result<_>>()?;
         let v = Matrix::concat_rows(&mats)?;
         let heights = parts
@@ -351,6 +407,36 @@ impl Graph {
     /// Runs reverse-mode differentiation from scalar node `loss` and flushes
     /// parameter-leaf gradients into `store`.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) -> Result<()> {
+        self.backward_tape(loss)?;
+        // Flush parameter-leaf gradients to the store.
+        for node in &self.nodes {
+            if let (Some(pid), Some(grad)) = (node.param, node.grad.as_ref()) {
+                store.accumulate_grad(pid, grad)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs reverse-mode differentiation from scalar node `loss` and moves
+    /// parameter-leaf gradients into a thread-local [`GradBuffer`].
+    ///
+    /// This is the parallel-training entry point: worker shards each own a
+    /// buffer (only a shared `&ParamStore` is needed for the forward pass),
+    /// and the buffers are merged into the store afterwards in shard order,
+    /// keeping the gradient accumulation order — and therefore training —
+    /// bitwise identical at any thread count.
+    pub fn backward_into(&mut self, loss: NodeId, grads: &mut GradBuffer) -> Result<()> {
+        self.backward_tape(loss)?;
+        for node in &mut self.nodes {
+            if let (Some(pid), Some(grad)) = (node.param, node.grad.take()) {
+                grads.accumulate(pid, grad)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reverse tape walk: populates `grad` on every reachable node.
+    fn backward_tape(&mut self, loss: NodeId) -> Result<()> {
         let shape = self.node(loss)?.value.shape();
         if shape != (1, 1) {
             return Err(TensorError::NonScalarLoss { shape });
@@ -378,6 +464,13 @@ impl Graph {
                     let bv = self.node(b)?.value.clone();
                     self.accumulate(a, dy.hadamard(&bv)?)?;
                     self.accumulate(b, dy.hadamard(&av)?)?;
+                }
+                Op::MatmulNt(a, b) => {
+                    // y = A·Bᵀ ⇒ dA = dy·B, dB = dyᵀ·A.
+                    let av = self.node(a)?.value.clone();
+                    let bv = self.node(b)?.value.clone();
+                    self.accumulate(a, dy.matmul(&bv)?)?;
+                    self.accumulate(b, dy.matmul_tn(&av)?)?;
                 }
                 Op::Affine { x, alpha } => {
                     self.accumulate(x, dy.affine(alpha, 0.0))?;
@@ -438,6 +531,21 @@ impl Graph {
                         let dxr = dx.row_mut(r);
                         for c in 0..cols {
                             dxr[c] = yr[c] * (dyr[c] - dot);
+                        }
+                    }
+                    self.accumulate(x, dx)?;
+                }
+                Op::ScaledSoftmaxRows { x, alpha } => {
+                    // y = softmax(alpha·x) ⇒ dx = alpha · y ⊙ (dy − rowsum(dy ⊙ y))
+                    let (rows, cols) = y.shape();
+                    let mut dx = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        let yr = y.row(r);
+                        let dyr = dy.row(r);
+                        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+                        let dxr = dx.row_mut(r);
+                        for c in 0..cols {
+                            dxr[c] = alpha * yr[c] * (dyr[c] - dot);
                         }
                     }
                     self.accumulate(x, dx)?;
@@ -545,13 +653,6 @@ impl Graph {
                     let n = (r * c).max(1) as f32;
                     self.accumulate(x, Matrix::full(r, c, g / n))?;
                 }
-            }
-        }
-
-        // Flush parameter-leaf gradients to the store.
-        for node in &self.nodes {
-            if let (Some(pid), Some(grad)) = (node.param, node.grad.as_ref()) {
-                store.accumulate_grad(pid, grad)?;
             }
         }
         Ok(())
@@ -687,6 +788,78 @@ mod tests {
             assert!(
                 (numeric - got).abs() < 1e-3,
                 "grad mismatch at {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    /// The fused attention ops must match the unfused composition they
+    /// replace: `matmul_nt(q, k) == matmul(q, transpose(k))` and
+    /// `scaled_softmax_rows(x, α) == softmax_rows(affine(x, α, 0))`.
+    #[test]
+    fn fused_attention_ops_match_unfused_composition() {
+        let q = Matrix::from_fn(4, 3, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.25 - 0.5);
+        let k = Matrix::from_fn(6, 3, |r, c| ((r * 3 + c * 11) % 5) as f32 * 0.3 - 0.6);
+
+        let mut g = Graph::new();
+        let (qn, kn) = (g.constant(q.clone()), g.constant(k.clone()));
+        let fused_scores = g.matmul_nt(qn, kn).unwrap();
+        let fused = g.scaled_softmax_rows(fused_scores, 0.7).unwrap();
+
+        let kt = g.transpose(kn).unwrap();
+        let scores = g.matmul(qn, kt).unwrap();
+        let scaled = g.affine(scores, 0.7, 0.0).unwrap();
+        let plain = g.softmax_rows(scaled).unwrap();
+
+        let fv = g.value(fused).unwrap();
+        let pv = g.value(plain).unwrap();
+        assert_eq!(fv.shape(), (4, 6));
+        for (a, b) in fv.as_slice().iter().zip(pv.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "fused {a} vs unfused {b}");
+        }
+    }
+
+    /// Finite-difference check through `matmul_nt` + `scaled_softmax_rows`
+    /// (the fused attention path), perturbing the key projection.
+    #[test]
+    fn gradient_check_fused_attention_ops() {
+        let build = |store: &ParamStore, w: ParamId, g: &mut Graph| -> NodeId {
+            let q = g.constant(
+                Matrix::from_vec(2, 3, vec![0.2, -0.4, 0.1, 0.5, 0.3, -0.2]).unwrap(),
+            );
+            let kn = g.param(store, w).unwrap();
+            let scores = g.matmul_nt(q, kn).unwrap();
+            let attn = g.scaled_softmax_rows(scores, 0.8).unwrap();
+            let sq = g.hadamard(attn, attn).unwrap();
+            g.mean_all(sq).unwrap()
+        };
+
+        let mut store = ParamStore::new();
+        let w = store.register(
+            "k",
+            Matrix::from_vec(3, 3, vec![0.3, -0.1, 0.2, 0.5, -0.4, 0.1, -0.2, 0.4, 0.6]).unwrap(),
+        );
+
+        let mut g = Graph::new();
+        let loss = build(&store, w, &mut g);
+        g.backward(loss, &mut store).unwrap();
+        let analytic = store.grad(w).unwrap().clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..9 {
+            let mut run = |delta: f32| {
+                let mut perturbed = store.clone();
+                let mut wv = perturbed.value(w).unwrap().clone();
+                wv.as_mut_slice()[idx] += delta;
+                perturbed.set_value(w, wv).unwrap();
+                let mut gp = Graph::new();
+                let lp = build(&perturbed, w, &mut gp);
+                gp.value(lp).unwrap().scalar_value().unwrap()
+            };
+            let numeric = (run(eps) - run(-eps)) / (2.0 * eps);
+            let got = analytic.as_slice()[idx];
+            assert!(
+                (numeric - got).abs() < 1e-3,
+                "fused grad mismatch at {idx}: numeric {numeric} vs analytic {got}"
             );
         }
     }

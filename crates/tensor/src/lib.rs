@@ -10,9 +10,13 @@
 //! 2. **Auditable scope** — one tensor rank (2-D `f32` [`Matrix`]), one tape
 //!    ([`Graph`]), a handful of ops. Everything the AERO paper's equations
 //!    need and nothing more.
-//! 3. **Laptop-scale speed** — allocation-conscious kernels
-//!    (`matmul`/`matmul_tn`/`matmul_nt` avoid materializing transposes),
-//!    release-mode friendly inner loops over slices.
+//! 3. **Hardware-scale speed** — cache-blocked GEMM kernels
+//!    (`matmul`/`matmul_tn`/`matmul_nt` avoid materializing transposes and
+//!    partition rows across the `aero-parallel` pool above a size
+//!    threshold), `Arc`-shared parameter values (no per-forward clone),
+//!    release-mode friendly inner loops over slices. All kernels keep a
+//!    fixed floating-point accumulation order, so results are bitwise
+//!    identical at any thread count.
 //!
 //! ## Quick tour
 //!
@@ -50,4 +54,4 @@ pub use error::{Result, TensorError};
 pub use graph::{Graph, NodeId};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
-pub use params::{Param, ParamId, ParamStore};
+pub use params::{GradBuffer, Param, ParamId, ParamStore};

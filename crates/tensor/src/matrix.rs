@@ -253,9 +253,16 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
-    /// Plain ikj-ordered kernel: the inner loop runs along contiguous rows of
-    /// both the accumulator and `other`, which vectorizes well and is fast at
-    /// the sizes this workspace uses (≤ a few hundred per side).
+    /// Cache-blocked GEMM. Small products take a plain ikj fast path; larger
+    /// ones tile over columns ([`GEMM_NC`]) and the shared dimension
+    /// ([`GEMM_KC`]) so the `B` panel stays cache-resident, and products above
+    /// [`GEMM_PAR_MIN_MACS`] partition output rows across the
+    /// `aero-parallel` pool. Every element of the output accumulates its
+    /// `k` products in strictly increasing `p` order on every path, so the
+    /// result is bitwise identical regardless of blocking or thread count.
+    /// (The old kernels skipped `a == 0.0` terms — on dense activations that
+    /// is a mispredicted branch per element, and it broke the fixed
+    /// accumulation order; it is gone on purpose.)
     pub fn matmul(&self, other: &Self) -> Result<Self> {
         if self.cols != other.rows {
             return Err(TensorError::ShapeMismatch {
@@ -266,23 +273,17 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if m * k * n > 0 {
+            run_gemm(m, k, n, &mut out, |r0, rows, chunk| {
+                gemm_nn_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
+            });
         }
         Ok(Self { rows: m, cols: n, data: out })
     }
 
     /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// Same blocking/threading scheme and determinism contract as [`matmul`](Self::matmul).
     pub fn matmul_tn(&self, other: &Self) -> Result<Self> {
         if self.rows != other.rows {
             return Err(TensorError::ShapeMismatch {
@@ -293,23 +294,20 @@ impl Matrix {
         }
         let (m, k, n) = (self.cols, self.rows, other.cols);
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if m * k * n > 0 {
+            run_gemm(m, k, n, &mut out, |r0, _rows, chunk| {
+                gemm_tn_rows(&self.data, &other.data, chunk, r0, m, k, n);
+            });
         }
         Ok(Self { rows: m, cols: n, data: out })
     }
 
     /// `self · otherᵀ` without materializing the transpose.
+    ///
+    /// Row-blocked dot-product kernel: output rows are processed in bands of
+    /// [`GEMM_NT_MB`] so each row of `other` streams against a cache-resident
+    /// band of `self` rows. Each dot product accumulates sequentially in
+    /// increasing `p` order — same determinism contract as [`matmul`](Self::matmul).
     pub fn matmul_nt(&self, other: &Self) -> Result<Self> {
         if self.cols != other.cols {
             return Err(TensorError::ShapeMismatch {
@@ -320,17 +318,10 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        if m * k * n > 0 {
+            run_gemm(m, k, n, &mut out, |r0, rows, chunk| {
+                gemm_nt_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
+            });
         }
         Ok(Self { rows: m, cols: n, data: out })
     }
@@ -510,6 +501,148 @@ impl Matrix {
     /// True when any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// Below this many multiply-accumulates a product takes the plain (untiled)
+/// kernel — at these sizes the whole working set fits in L1/L2 and the tiling
+/// bookkeeping is pure overhead.
+const GEMM_SMALL_MACS: usize = 1 << 15;
+/// Above this many multiply-accumulates output rows are partitioned across
+/// the `aero-parallel` pool.
+const GEMM_PAR_MIN_MACS: usize = 1 << 21;
+/// Tile width along the shared (`p`) dimension.
+const GEMM_KC: usize = 128;
+/// Tile width along the output-column (`j`) dimension. A `GEMM_KC × GEMM_NC`
+/// panel of `B` is 256 KiB — sized for L2 residency.
+const GEMM_NC: usize = 512;
+/// Row-band height for the `A · Bᵀ` kernel: one row of `B` streams against a
+/// band of this many `A` rows held in cache.
+const GEMM_NT_MB: usize = 32;
+
+/// Dispatches a GEMM over the output buffer: serial for small/medium
+/// products, row-partitioned across the pool for large ones. `kernel`
+/// receives `(first_row, row_count, row_slice)` and must fill exactly those
+/// output rows. Row partitioning never changes any element's accumulation
+/// order, so threaded and serial results are bitwise identical.
+fn run_gemm(m: usize, k: usize, n: usize, out: &mut [f32], kernel: impl Fn(usize, usize, &mut [f32]) + Sync) {
+    let macs = m * k * n;
+    let threads = aero_parallel::max_threads();
+    if macs >= GEMM_PAR_MIN_MACS && threads > 1 && m > 1 {
+        let rows_per = m.div_ceil(threads);
+        aero_parallel::parallel_for_chunks(out, rows_per * n, |offset, chunk| {
+            kernel(offset / n, chunk.len() / n, chunk);
+        });
+    } else {
+        kernel(0, m, out);
+    }
+}
+
+/// `out_rows += a_rows · b` for a contiguous band of output rows.
+/// Accumulation order per output element: `p = 0..k` strictly increasing.
+fn gemm_nn_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    let m_local = out_rows.len() / n;
+    if m_local * k * n < GEMM_SMALL_MACS {
+        // Small fast path: plain ikj.
+        for i in 0..m_local {
+            let a_row = &a_rows[i * k..(i + 1) * k];
+            let out_row = &mut out_rows[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        }
+        return;
+    }
+    // Tiled: for each (j-tile, p-tile) the B panel stays cache-resident while
+    // all local rows stream over it. p-tiles advance in increasing order, so
+    // per-element accumulation order matches the fast path exactly.
+    let mut jc = 0;
+    while jc < n {
+        let jw = GEMM_NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let pw = GEMM_KC.min(k - pc);
+            for i in 0..m_local {
+                let a_row = &a_rows[i * k + pc..i * k + pc + pw];
+                let out_row = &mut out_rows[i * n + jc..i * n + jc + jw];
+                for (dp, &a) in a_row.iter().enumerate() {
+                    let row = (pc + dp) * n;
+                    let b_row = &b[row + jc..row + jc + jw];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += a * bv;
+                    }
+                }
+            }
+            pc += pw;
+        }
+        jc += jw;
+    }
+}
+
+/// `out_rows += (aᵀ · b)` restricted to output rows `i0 .. i0 + rows`,
+/// where `a` is `k × m` and `b` is `k × n`. Accumulation order per output
+/// element: `p = 0..k` strictly increasing.
+fn gemm_tn_rows(a: &[f32], b: &[f32], out_rows: &mut [f32], i0: usize, m: usize, k: usize, n: usize) {
+    let rows = out_rows.len() / n;
+    if rows * k * n < GEMM_SMALL_MACS {
+        for p in 0..k {
+            let a_seg = &a[p * m + i0..p * m + i0 + rows];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &av) in a_seg.iter().enumerate() {
+                let out_row = &mut out_rows[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        return;
+    }
+    let mut jc = 0;
+    while jc < n {
+        let jw = GEMM_NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let pw = GEMM_KC.min(k - pc);
+            for p in pc..pc + pw {
+                let a_seg = &a[p * m + i0..p * m + i0 + rows];
+                let b_row = &b[p * n + jc..p * n + jc + jw];
+                for (i, &av) in a_seg.iter().enumerate() {
+                    let out_row = &mut out_rows[i * n + jc..i * n + jc + jw];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            pc += pw;
+        }
+        jc += jw;
+    }
+}
+
+/// `out_rows = a_rows · bᵀ` for a contiguous band of output rows, where `b`
+/// is `n × k`. Each output element is one sequential dot product (increasing
+/// `p`); rows are processed in bands so a `B` row streams against a
+/// cache-resident band of `A` rows.
+fn gemm_nt_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    let m_local = out_rows.len() / n;
+    let mut ib = 0;
+    while ib < m_local {
+        let iw = GEMM_NT_MB.min(m_local - ib);
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            for i in ib..ib + iw {
+                let a_row = &a_rows[i * k..(i + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out_rows[i * n + j] = acc;
+            }
+        }
+        ib += iw;
     }
 }
 

@@ -5,6 +5,8 @@
 //! `backward`, the accumulated leaf gradients are flushed back here where the
 //! optimizer reads them.
 
+use std::sync::Arc;
+
 use rand::Rng;
 
 use crate::error::{Result, TensorError};
@@ -22,10 +24,15 @@ impl ParamId {
 }
 
 /// One named trainable tensor and its accumulated gradient.
+///
+/// Values are held behind [`Arc`] so that forward passes ([`Graph::param`](crate::Graph::param))
+/// and parameter snapshots share the buffer instead of cloning it; optimizer
+/// updates go through [`Arc::make_mut`], which copies only when a snapshot is
+/// still alive (copy-on-write).
 #[derive(Debug, Clone)]
 pub struct Param {
     name: String,
-    value: Matrix,
+    value: Arc<Matrix>,
     grad: Matrix,
     /// Frozen parameters ignore gradient updates (used by AERO stage 2).
     frozen: bool,
@@ -39,6 +46,11 @@ impl Param {
 
     /// Current value.
     pub fn value(&self) -> &Matrix {
+        &self.value
+    }
+
+    /// Shared handle to the current value (cheap to clone).
+    pub fn value_arc(&self) -> &Arc<Matrix> {
         &self.value
     }
 
@@ -71,7 +83,7 @@ impl ParamStore {
         self.params.push(Param {
             name: name.into(),
             grad: Matrix::zeros(r, c),
-            value,
+            value: Arc::new(value),
             frozen: false,
         });
         ParamId(self.params.len() - 1)
@@ -125,8 +137,20 @@ impl ParamStore {
         Ok(&self.get(id)?.grad)
     }
 
+    /// Shared handle to the current value of parameter `id` (cheap to clone;
+    /// the basis of O(1) parameter snapshots).
+    pub fn value_arc(&self, id: ParamId) -> Result<Arc<Matrix>> {
+        Ok(Arc::clone(&self.get(id)?.value))
+    }
+
     /// Replaces a parameter's value, keeping its gradient buffer shape.
     pub fn set_value(&mut self, id: ParamId, value: Matrix) -> Result<()> {
+        self.set_value_arc(id, Arc::new(value))
+    }
+
+    /// Replaces a parameter's value with an already-shared buffer (used when
+    /// restoring a snapshot taken via [`value_arc`](Self::value_arc)).
+    pub fn set_value_arc(&mut self, id: ParamId, value: Arc<Matrix>) -> Result<()> {
         let p = self
             .params
             .get_mut(id.0)
@@ -202,8 +226,58 @@ impl ParamStore {
         if !p.frozen {
             // Split borrows: take grad out temporarily to satisfy aliasing.
             let grad = std::mem::replace(&mut p.grad, Matrix::zeros(0, 0));
-            update(&mut p.value, &grad);
+            // Copy-on-write: this only copies the value when a snapshot (or a
+            // live graph leaf) still shares the Arc.
+            update(Arc::make_mut(&mut p.value), &grad);
             p.grad = grad;
+        }
+        Ok(())
+    }
+}
+
+/// Thread-local gradient accumulator with the same indexing as a
+/// [`ParamStore`].
+///
+/// Parallel training shards (`aero-core` Stage-1 per-variate training) each
+/// accumulate into their own `GradBuffer` via
+/// [`Graph::backward_into`](crate::Graph::backward_into), then the shards are
+/// merged into the store **in shard order** with [`merge_into`](Self::merge_into),
+/// which walks parameters in index order. Fixed shard boundaries + fixed merge
+/// order ⇒ the f32 additions happen in the same sequence at any thread count,
+/// so training is bitwise reproducible.
+#[derive(Debug, Default)]
+pub struct GradBuffer {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl GradBuffer {
+    /// An empty buffer sized for `store` (one lazily-allocated slot per param).
+    pub fn for_store(store: &ParamStore) -> Self {
+        Self { grads: (0..store.len()).map(|_| None).collect() }
+    }
+
+    /// Adds `delta` into the slot for `id`.
+    pub fn accumulate(&mut self, id: ParamId, delta: Matrix) -> Result<()> {
+        let slot = self
+            .grads
+            .get_mut(id.0)
+            .ok_or(TensorError::InvalidParam { id: id.0 })?;
+        match slot {
+            Some(g) => g.add_assign(&delta),
+            None => {
+                *slot = Some(delta);
+                Ok(())
+            }
+        }
+    }
+
+    /// Flushes every accumulated gradient into `store` in parameter-index
+    /// order, leaving this buffer empty (reusable).
+    pub fn merge_into(&mut self, store: &mut ParamStore) -> Result<()> {
+        for (i, slot) in self.grads.iter_mut().enumerate() {
+            if let Some(g) = slot.take() {
+                store.accumulate_grad(ParamId(i), &g)?;
+            }
         }
         Ok(())
     }

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Reproducible benchmark of the parallel execution substrate.
+#
+# Builds the release binary and emits BENCH_parallel.json at the repo root
+# (measured wall-clock medians: blocked GEMM vs naive, and fit / score /
+# end-to-end detect at 1 thread vs N).
+#
+# Usage:
+#   scripts/bench.sh            # full run, writes BENCH_parallel.json
+#   scripts/bench.sh --smoke    # tiny sizes, writes a throwaway report
+#                               # (tier-1 uses this to keep the harness wired)
+# Extra flags (--threads N, --out PATH) pass through to the binary.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+for arg in "$@"; do
+    [ "$arg" = "--smoke" ] && SMOKE=1
+done
+
+if [ "$SMOKE" = 1 ]; then
+    exec cargo run --release -q -p bench --bin bench_parallel -- \
+        --out /tmp/BENCH_parallel_smoke.json "$@"
+else
+    exec cargo run --release -q -p bench --bin bench_parallel -- "$@"
+fi

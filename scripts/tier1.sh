@@ -7,7 +7,10 @@
 #   3. streaming-robustness integration suite (fault injection, degraded
 #      input, crash-safe persistence) — explicitly, so a filtered test run
 #      can't silently skip it
-#   4. clippy -D warnings on the streaming/robustness crates
+#   4. thread-count determinism: fit + score bitwise identical at 1 vs 4
+#      worker threads, plus blocked-GEMM == naive-reference property tests
+#   5. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#   6. clippy -D warnings on the streaming/robustness/parallel crates
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +24,15 @@ cargo test -q
 echo "==> tier-1: streaming robustness"
 cargo test -q -p aero-core --test fault_injection --test persistence_robustness
 
+echo "==> tier-1: thread-count determinism"
+cargo test -q -p aero-core --test determinism
+cargo test -q -p aero-tensor --test gemm_equivalence
+
+echo "==> tier-1: benchmark harness smoke"
+sh scripts/bench.sh --smoke > /dev/null
+
 echo "==> tier-1: lint gate"
 cargo clippy -q -p aero-core -p aero-nn -p aero-evt -p aero-datagen -p aero-cli -- -D warnings
+cargo clippy -q -p aero-parallel -p aero-tensor -- -D warnings
 
 echo "==> tier-1: OK"
