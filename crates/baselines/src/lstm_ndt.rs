@@ -127,10 +127,11 @@ impl Detector for LstmNdt {
         let len = scaled.len();
         let w = self.input_window;
         // Forecasts at different timestamps are independent once training
-        // has finished, so the per-t graphs evaluate in parallel.
+        // has finished, so the per-t graphs evaluate in parallel. Supervised:
+        // a panic in one graph surfaces as a typed error, never an abort.
         let this = &*self;
-        let preds: Vec<DetectorResult<Vec<f32>>> =
-            aero_parallel::parallel_map_range(len - w, |i| {
+        let preds: Vec<Result<DetectorResult<Vec<f32>>, aero_parallel::ShardError>> =
+            aero_parallel::supervised_map_range(len - w, |i| {
                 let t = w + i;
                 let history = scaled.window(t - 1, w)?;
                 let mut g = Graph::new();
@@ -140,15 +141,15 @@ impl Detector for LstmNdt {
             });
         let mut errors = Matrix::zeros(n, len);
         for (i, row) in preds.into_iter().enumerate() {
-            for (v, e) in row?.into_iter().enumerate() {
+            for (v, e) in row.map_err(DetectorError::from)??.into_iter().enumerate() {
                 errors.set(v, w + i, e);
             }
         }
         // NDT's error smoothing: sequential in t, independent per variate.
         let smoothed =
-            aero_parallel::parallel_map_range(n, |v| ewma(errors.row(v), self.smoothing));
-        for (v, row) in smoothed.iter().enumerate() {
-            errors.row_mut(v).copy_from_slice(row);
+            aero_parallel::supervised_map_range(n, |v| ewma(errors.row(v), self.smoothing));
+        for (v, row) in smoothed.into_iter().enumerate() {
+            errors.row_mut(v).copy_from_slice(&row?);
         }
         Ok(errors)
     }

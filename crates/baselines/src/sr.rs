@@ -136,12 +136,13 @@ impl Detector for SpectralResidual {
     fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
         let n = series.num_variates();
         let len = series.len();
-        // Variates are independent: saliency maps compute in parallel.
+        // Variates are independent: saliency maps compute in parallel. A
+        // panicking shard surfaces as a typed error, never an abort.
         let rows =
-            aero_parallel::parallel_map_range(n, |v| self.scores(series.values().row(v)));
+            aero_parallel::supervised_map_range(n, |v| self.scores(series.values().row(v)));
         let mut out = Matrix::zeros(n, len);
-        for (v, scores) in rows.iter().enumerate() {
-            out.row_mut(v).copy_from_slice(scores);
+        for (v, scores) in rows.into_iter().enumerate() {
+            out.row_mut(v).copy_from_slice(&scores?);
         }
         Ok(out)
     }

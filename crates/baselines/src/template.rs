@@ -128,12 +128,14 @@ impl Detector for TemplateMatching {
     fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
         let n = series.num_variates();
         let len = series.len();
-        // Template correlation is embarrassingly parallel across variates.
-        let rows =
-            aero_parallel::parallel_map_range(n, |v| self.score_variate(series.values().row(v)));
+        // Template correlation is embarrassingly parallel across variates. A
+        // panicking shard surfaces as a typed error, never an abort.
+        let rows = aero_parallel::supervised_map_range(n, |v| {
+            self.score_variate(series.values().row(v))
+        });
         let mut out = Matrix::zeros(n, len);
-        for (v, scores) in rows.iter().enumerate() {
-            out.row_mut(v).copy_from_slice(scores);
+        for (v, scores) in rows.into_iter().enumerate() {
+            out.row_mut(v).copy_from_slice(&scores?);
         }
         Ok(out)
     }

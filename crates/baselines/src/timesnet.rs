@@ -137,8 +137,8 @@ impl Detector for TimesNet {
                 // identical at any thread count.
                 let shards = aero_parallel::shard_ranges(n, 16);
                 let this = &*self;
-                let partials: Vec<DetectorResult<(f64, GradBuffer)>> =
-                    aero_parallel::parallel_map(&shards, |_, range| {
+                let partials: Vec<Result<DetectorResult<(f64, GradBuffer)>, _>> =
+                    aero_parallel::supervised_map(&shards, |_, range| {
                         let mut grads = GradBuffer::for_store(&this.store);
                         let mut loss_sum = 0.0f64;
                         for v in range.clone() {
@@ -153,7 +153,7 @@ impl Detector for TimesNet {
                         Ok((loss_sum, grads))
                     });
                 for partial in partials {
-                    let (shard_loss, mut grads) = partial?;
+                    let (shard_loss, mut grads) = partial.map_err(DetectorError::from)??;
                     window_loss += shard_loss;
                     grads.merge_into(&mut self.store)?;
                 }
@@ -178,8 +178,8 @@ impl Detector for TimesNet {
         let this = &*self;
         score_by_blocks(&scaled, w, |win, _| {
             let n = win.rows();
-            let rows: Vec<DetectorResult<Vec<f32>>> =
-                aero_parallel::parallel_map_range(n, |v| {
+            let rows: Vec<Result<DetectorResult<Vec<f32>>, _>> =
+                aero_parallel::supervised_map_range(n, |v| {
                     let signal = win.row(v).to_vec();
                     let mut g = Graph::new();
                     let recon = this.reconstruct(&mut g, &signal)?;
@@ -188,7 +188,7 @@ impl Detector for TimesNet {
                 });
             let mut r = Matrix::zeros(n, w);
             for (v, row) in rows.into_iter().enumerate() {
-                r.row_mut(v).copy_from_slice(&row?);
+                r.row_mut(v).copy_from_slice(&row.map_err(DetectorError::from)??);
             }
             Ok(r)
         })

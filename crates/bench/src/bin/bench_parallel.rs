@@ -16,8 +16,11 @@
 
 use std::time::Instant;
 
+use aero_core::online::OnlineAero;
+use aero_core::wal::{FsyncPolicy, WalConfig, WalWriter};
 use aero_core::{Aero, AeroConfig, Detector};
 use aero_datagen::SyntheticConfig;
+use aero_evt::PotConfig;
 use aero_tensor::Matrix;
 use aero_timeseries::Dataset;
 use rand::rngs::StdRng;
@@ -38,6 +41,19 @@ struct Report {
     fit_stage1: StageReport,
     score_window: StageReport,
     e2e_detect: StageReport,
+    wal_overhead: WalReport,
+}
+
+/// Per-frame `OnlineAero::push` latency with the write-ahead log off vs.
+/// attached under two fsync policies. Measured medians, never synthesized.
+#[derive(Serialize)]
+struct WalReport {
+    frames_per_sample: usize,
+    push_no_wal_secs_per_frame: f64,
+    push_wal_fsync_never_secs_per_frame: f64,
+    push_wal_fsync_segment_secs_per_frame: f64,
+    wal_never_overhead_ratio: f64,
+    wal_segment_overhead_ratio: f64,
 }
 
 #[derive(Serialize)]
@@ -188,6 +204,51 @@ fn main() {
     });
     aero_parallel::set_max_threads(1);
 
+    // --- WAL overhead: per-frame push latency off / never / segment. ---
+    let wal_frames = if args.smoke { 30 } else { 150 };
+    let n = ds.test.num_variates();
+    let frames: Vec<(f64, Vec<f32>)> = (0..wal_frames.min(ds.test.len()))
+        .map(|t| {
+            (
+                ds.test.timestamps()[t],
+                (0..n).map(|v| ds.test.get(v, t)).collect(),
+            )
+        })
+        .collect();
+    let fresh_online = || {
+        let model = run_fit();
+        OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap()
+    };
+    let push_all = |wal: Option<FsyncPolicy>| {
+        let mut online = fresh_online();
+        let dir = std::env::temp_dir().join(format!(
+            "aero_bench_wal_{}_{:?}",
+            std::process::id(),
+            wal
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        if let Some(fsync) = wal {
+            let config = WalConfig { frames_per_segment: 16, fsync };
+            online.attach_wal(WalWriter::create(&dir, config).unwrap());
+        }
+        // Shift timestamps forward each rep so every rep's frames are
+        // fresh arrivals (re-pushing identical timestamps would measure
+        // the cheap duplicate-drop path instead of scoring + WAL).
+        let span = frames.last().map_or(1.0, |f| f.0) - frames.first().map_or(0.0, |f| f.0) + 1.0;
+        let mut offset = 0.0;
+        let per_frame = time_secs(reps, || {
+            for (ts, values) in &frames {
+                online.push(*ts + offset, values).unwrap();
+            }
+            offset += span;
+        }) / frames.len().max(1) as f64;
+        std::fs::remove_dir_all(&dir).ok();
+        per_frame
+    };
+    let wal_off = push_all(None);
+    let wal_never = push_all(Some(FsyncPolicy::Never));
+    let wal_segment = push_all(Some(FsyncPolicy::EverySegment));
+
     let speedup = |one: f64, many: f64| if many > 0.0 { one / many } else { 0.0 };
     let stage = |one: f64, many: f64| StageReport {
         secs_1t: one,
@@ -211,6 +272,14 @@ fn main() {
         fit_stage1: stage(fit_1t, fit_nt),
         score_window: stage(score_1t, score_nt),
         e2e_detect: stage(e2e_1t, e2e_nt),
+        wal_overhead: WalReport {
+            frames_per_sample: frames.len(),
+            push_no_wal_secs_per_frame: wal_off,
+            push_wal_fsync_never_secs_per_frame: wal_never,
+            push_wal_fsync_segment_secs_per_frame: wal_segment,
+            wal_never_overhead_ratio: speedup(wal_never, wal_off),
+            wal_segment_overhead_ratio: speedup(wal_segment, wal_off),
+        },
     };
     let pretty = serde_json::to_string_pretty(&report).unwrap();
     std::fs::write(&args.out, format!("{pretty}\n")).expect("writing the benchmark report");

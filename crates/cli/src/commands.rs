@@ -7,6 +7,7 @@ use aero_baselines::{
     SpectralResidual, SpotDetector, TemplateMatching, TimesNet, TranAd, VaeLstm,
 };
 use aero_core::online::{DegradePolicy, FrameDisposition, OnlineAero, StarStatus};
+use aero_core::wal::{FsyncPolicy, WalConfig, WalWriter};
 use aero_core::{build_catalog, render_catalog, run_detection, Aero, AeroConfig, Detector};
 use aero_datagen::{AstrosetConfig, FaultInjector, FaultPlan, SyntheticConfig};
 use aero_eval::{evaluate_point_adjusted, threshold_scores};
@@ -239,9 +240,9 @@ pub fn detect(args: &Args) -> Result<(), String> {
 pub fn stream(args: &Args) -> Result<(), String> {
     let data = PathBuf::from(args.require("data")?);
     let model_path = PathBuf::from(args.require("model")?);
-    // A bare `--faults` / `--refit-interval` parses as a boolean flag; a
+    // A bare `--faults` / `--refit-interval` / … parses as a boolean flag; a
     // silent no-fault run when the user asked for one defeats the point.
-    for opt in ["faults", "refit-interval"] {
+    for opt in ["faults", "refit-interval", "wal", "fsync", "kill-after"] {
         if args.flag(opt) {
             return Err(format!("--{opt} requires a value"));
         }
@@ -254,6 +255,17 @@ pub fn stream(args: &Args) -> Result<(), String> {
         refit_interval: args.get_parsed("refit-interval", 0usize)?,
         ..DegradePolicy::default()
     };
+    let wal_dir = args.get("wal").map(PathBuf::from);
+    let resume = args.flag("resume");
+    if resume && wal_dir.is_none() {
+        return Err("--resume requires --wal <dir>".into());
+    }
+    let fsync = match args.get("fsync") {
+        None => FsyncPolicy::default(),
+        Some(s) => FsyncPolicy::parse(s)
+            .ok_or_else(|| format!("--fsync must be never|segment|record, got `{s}`"))?,
+    };
+    let kill_after = args.get_parsed("kill-after", usize::MAX)?;
 
     let train = read_series(&data.join("train.csv")).map_err(io_err)?;
     let test = read_series(&data.join("test.csv")).map_err(io_err)?;
@@ -266,6 +278,40 @@ pub fn stream(args: &Args) -> Result<(), String> {
         online.threshold().threshold,
         online.cadence()
     );
+
+    // Crash recovery: replay the WAL's surviving prefix through the fresh
+    // instance first (reconstructing the exact pre-crash state), then attach
+    // the healed log and continue from where the night left off.
+    let wal_config = WalConfig { fsync, ..WalConfig::default() };
+    let mut replayed = 0usize;
+    if let Some(dir) = &wal_dir {
+        if resume {
+            let (writer, recovered, recovery) =
+                WalWriter::resume(dir, wal_config).map_err(io_err)?;
+            for f in &recovered {
+                online.push(f.timestamp, &f.values).map_err(io_err)?;
+            }
+            replayed = recovered.len();
+            eprintln!(
+                "resumed from {}: replayed {} frames across {} segments{}",
+                dir.display(),
+                recovery.frames,
+                recovery.segments,
+                if recovery.truncated {
+                    format!(
+                        " (torn tail: {} bytes and {} segments dropped)",
+                        recovery.dropped_bytes, recovery.dropped_segments
+                    )
+                } else {
+                    String::new()
+                }
+            );
+            online.attach_wal(writer);
+        } else {
+            online.attach_wal(WalWriter::create(dir, wal_config).map_err(io_err)?);
+            eprintln!("write-ahead log: {} (fsync {:?})", dir.display(), fsync);
+        }
+    }
 
     // Optional fault injection: replay the night as a rough one.
     let n = test.num_variates();
@@ -287,8 +333,17 @@ pub fn stream(args: &Args) -> Result<(), String> {
 
     let mut flagged_frames = 0usize;
     let mut flagged_points = 0usize;
-    for (timestamp, values) in &frames {
+    let mut pushed = 0usize;
+    for (timestamp, values) in frames.iter().skip(replayed) {
+        if pushed >= kill_after {
+            eprintln!(
+                "killed after {pushed} live frames (simulated crash; rerun with \
+                 --resume to continue)"
+            );
+            break;
+        }
         let verdict = online.push(*timestamp, values).map_err(io_err)?;
+        pushed += 1;
         if verdict.disposition == FrameDisposition::Scored && verdict.any_anomalous() {
             flagged_frames += 1;
             flagged_points += verdict.flagged().len();
@@ -296,8 +351,9 @@ pub fn stream(args: &Args) -> Result<(), String> {
     }
 
     println!(
-        "frames: {} pushed, {} flagged ({} star-points above threshold)",
-        frames.len(),
+        "frames: {} replayed + {} pushed, {} flagged ({} star-points above threshold)",
+        replayed,
+        pushed,
         flagged_frames,
         flagged_points
     );

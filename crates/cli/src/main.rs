@@ -38,6 +38,12 @@ COMMANDS:
                      [--refit-interval <n>] refit POT threshold every n frames
                      [--level <f64>]       POT initial quantile (default 0.99)
                      [--q <f64>]           POT tail probability (default 1e-3)
+                     [--wal <dir>]         write-ahead-log every frame before scoring
+                     [--resume]            replay the WAL in <dir> before streaming
+                                           (reconstructs the exact pre-crash state)
+                     [--fsync <never|segment|record>] WAL durability (default segment)
+                     [--kill-after <n>]    stop abruptly after n live frames
+                                           (simulated crash, for --resume demos)
     evaluate       Point-adjusted precision/recall/F1 of saved flags
                      --flags <file>        0/1 CSV from `detect`
                      --labels <file>       0/1 ground-truth CSV

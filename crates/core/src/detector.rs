@@ -27,6 +27,11 @@ pub enum DetectorError {
     Corrupt(String),
     /// Threshold calibration failed for lack of usable scores.
     Threshold(aero_evt::PotError),
+    /// A supervised work unit was abandoned after exhausting its retry
+    /// budget: a worker panic, a blown deadline, or an open circuit
+    /// breaker (see `crate::supervisor`). The pipeline itself is still
+    /// healthy — only the described unit of work was lost.
+    Supervision(String),
 }
 
 impl fmt::Display for DetectorError {
@@ -38,6 +43,7 @@ impl fmt::Display for DetectorError {
             Self::Io(msg) => write!(f, "i/o error: {msg}"),
             Self::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
             Self::Threshold(e) => write!(f, "threshold calibration: {e}"),
+            Self::Supervision(msg) => write!(f, "supervision: {msg}"),
         }
     }
 }
@@ -59,6 +65,12 @@ impl From<aero_timeseries::TsError> for DetectorError {
 impl From<aero_evt::PotError> for DetectorError {
     fn from(e: aero_evt::PotError) -> Self {
         Self::Threshold(e)
+    }
+}
+
+impl From<aero_parallel::ShardError> for DetectorError {
+    fn from(e: aero_parallel::ShardError) -> Self {
+        Self::Supervision(e.to_string())
     }
 }
 

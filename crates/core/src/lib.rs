@@ -30,7 +30,9 @@ pub mod model;
 pub mod online;
 pub mod persist;
 pub mod report;
+pub mod supervisor;
 pub mod temporal;
+pub mod wal;
 
 pub use ablation::AblationVariant;
 pub use config::{AeroConfig, GraphMode, NoiseFeatures};
@@ -39,11 +41,13 @@ pub use detector::{
 };
 pub use graph_learn::{window_adjacency, GraphBuilder};
 pub use memory::{aero_memory, baseline_memory, MemoryEstimate};
-pub use model::Aero;
+pub use model::{Aero, ChaosHook, ShardFailure};
 pub use online::{
     DegradePolicy, FrameDisposition, FrameVerdict, HealthReport, OnlineAero, StarStatus,
     StarVerdict,
 };
 pub use persist::{load_model, save_model};
 pub use report::{build_catalog, render_catalog, EventCandidate};
+pub use supervisor::{SupervisionError, Supervisor, SupervisorPolicy, SupervisorStats};
 pub use temporal::TemporalModule;
+pub use wal::{FsyncPolicy, WalConfig, WalFrame, WalRecovery, WalWriter};

@@ -1,7 +1,7 @@
 //! The AERO detector: two-stage offline training (Algorithm 1) and online
 //! scoring (Algorithm 2), wired behind the common [`Detector`] interface.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use aero_nn::{Activation, EarlyStopping, GcnLayer, NanRecovery, TrainingHistory};
 use aero_tensor::{Adam, GradBuffer, Graph, Matrix, ParamId, ParamStore};
@@ -12,7 +12,47 @@ use rand::SeedableRng;
 use crate::config::{AeroConfig, NoiseFeatures};
 use crate::detector::{Detector, DetectorError, DetectorResult};
 use crate::graph_learn::GraphBuilder;
+use crate::supervisor::{SupervisionError, Supervisor, SupervisorPolicy};
 use crate::temporal::TemporalModule;
+
+/// A per-variate failure isolated by supervised scoring: the star's row was
+/// zero-filled and the rest of the frame completed normally.
+pub type ShardFailure = SupervisionError<DetectorError>;
+
+/// Fault-injection hook for chaos testing: called with the variate index at
+/// the top of every supervised per-variate work item (Stage-1 training
+/// shards and supervised scoring). The crash-recovery suite installs hooks
+/// that panic or stall for chosen stars to prove isolation; production
+/// leaves it unset, where it costs one `Option` check.
+#[derive(Clone)]
+pub struct ChaosHook(Arc<dyn Fn(usize) + Send + Sync>);
+
+impl ChaosHook {
+    /// Wraps a closure called with each variate index before its work runs.
+    pub fn new(f: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    fn fire(&self, variate: usize) {
+        (self.0)(variate);
+    }
+}
+
+impl std::fmt::Debug for ChaosHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ChaosHook(..)")
+    }
+}
+
+/// Active supervision context for one scoring pass (see
+/// [`Aero::begin_supervised`]).
+#[derive(Debug)]
+struct SupervisionCell {
+    sup: Arc<Supervisor>,
+    /// Per-variate failures recorded by the supervised scoring path; slot
+    /// `v` is `Some` iff variate `v`'s row was zero-filled.
+    failures: Mutex<Vec<Option<ShardFailure>>>,
+}
 
 /// Fixed shard count for per-variate gradient accumulation.
 ///
@@ -48,6 +88,12 @@ pub struct Aero {
     pub stage1_history: TrainingHistory,
     /// Stage-2 loss trajectory (noise module).
     pub stage2_history: TrainingHistory,
+    /// When `Some`, per-variate scoring runs under this supervisor and
+    /// isolates failures instead of propagating them (set per scoring pass
+    /// by [`Aero::begin_supervised`]).
+    supervision: Option<SupervisionCell>,
+    /// Optional chaos-testing fault hook (see [`ChaosHook`]).
+    chaos_hook: Option<ChaosHook>,
 }
 
 impl Aero {
@@ -66,7 +112,35 @@ impl Aero {
             trained: false,
             stage1_history: TrainingHistory::default(),
             stage2_history: TrainingHistory::default(),
+            supervision: None,
+            chaos_hook: None,
         })
+    }
+
+    /// Installs (or clears) the chaos-testing fault hook.
+    pub fn set_chaos_hook(&mut self, hook: Option<ChaosHook>) {
+        self.chaos_hook = hook;
+    }
+
+    /// Arms supervised scoring: until [`Aero::end_supervised`], the
+    /// per-variate scoring path runs each star under `supervisor` unit `v`
+    /// (panic capture, deadline, retry, breaker) and zero-fills the row on
+    /// failure instead of propagating. Any previous context is discarded, so
+    /// a retried pass that panicked mid-flight starts from a clean slate.
+    pub(crate) fn begin_supervised(&mut self, supervisor: Arc<Supervisor>, num_variates: usize) {
+        self.supervision = Some(SupervisionCell {
+            sup: supervisor,
+            failures: Mutex::new(vec![None; num_variates]),
+        });
+    }
+
+    /// Disarms supervised scoring and returns the per-variate failures
+    /// recorded since [`Aero::begin_supervised`].
+    pub(crate) fn end_supervised(&mut self) -> Vec<Option<ShardFailure>> {
+        match self.supervision.take() {
+            Some(cell) => cell.failures.into_inner().unwrap_or_else(|e| e.into_inner()),
+            None => Vec::new(),
+        }
     }
 
     /// The active configuration.
@@ -127,7 +201,11 @@ impl Aero {
             // Each variate owns an independent tape over a shared read-only
             // store — embarrassingly parallel. Rows land by variate index,
             // so the result is order-deterministic.
-            let rows: Vec<DetectorResult<Vec<f32>>> = aero_parallel::parallel_map_range(n, |v| {
+            let hook = self.chaos_hook.clone();
+            let score_one = |v: usize| -> DetectorResult<Vec<f32>> {
+                if let Some(hook) = &hook {
+                    hook.fire(v);
+                }
                 let long = Matrix::col_vector(x.row(v));
                 let short = Matrix::col_vector(y.row(v));
                 let mut g = Graph::new();
@@ -135,10 +213,41 @@ impl Aero {
                     temporal.reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
                 let recon = g.value(out)?;
                 Ok((0..omega).map(|t| y.get(v, t) - recon.get(t, 0)).collect())
-            });
+            };
             let mut e = Matrix::zeros(n, omega);
-            for (v, row) in rows.into_iter().enumerate() {
-                e.row_mut(v).copy_from_slice(&row?);
+            if let Some(cell) = &self.supervision {
+                // Supervised (online) path: each star runs under its own
+                // supervisor unit; a failure zero-fills that star's row and
+                // is recorded for the caller, the other stars are untouched.
+                // When nothing fails, rows are bitwise identical to the
+                // unsupervised path — supervision adds no data flow.
+                let rows: Vec<Option<Vec<f32>>> = aero_parallel::parallel_map_range(n, |v| {
+                    match cell.sup.run(v, || score_one(v)) {
+                        Ok(row) => Some(row),
+                        Err(failure) => {
+                            let mut failures =
+                                cell.failures.lock().unwrap_or_else(|e| e.into_inner());
+                            if let Some(slot) = failures.get_mut(v) {
+                                *slot = Some(failure);
+                            }
+                            None
+                        }
+                    }
+                });
+                for (v, row) in rows.into_iter().enumerate() {
+                    if let Some(row) = row {
+                        e.row_mut(v).copy_from_slice(&row);
+                    }
+                }
+            } else {
+                // Batch path: a panic becomes a typed error for the caller
+                // (never an unwind across the pool), and any per-variate
+                // error fails the whole batch as before.
+                let rows = aero_parallel::supervised_map_range(n, score_one);
+                for (v, row) in rows.into_iter().enumerate() {
+                    let row = row.map_err(DetectorError::from)??;
+                    e.row_mut(v).copy_from_slice(&row);
+                }
             }
             Ok(e)
         } else {
@@ -202,6 +311,20 @@ impl Aero {
         let mut best_loss = f32::INFINITY;
         let mut best = self.snapshot_params();
         let n = scaled.num_variates();
+        // Shard supervisor: a transient panic in one gradient shard is
+        // retried (the shard is a pure function of the frozen window + the
+        // current parameters, so the retry is bitwise identical); a
+        // persistent one surfaces as a typed error, never a pool abort.
+        // The breaker is disabled — silently skipping a shard would corrupt
+        // the gradient sum, so training prefers a hard typed failure.
+        let shard_sup = Supervisor::new(
+            SupervisorPolicy {
+                circuit_threshold: u32::MAX,
+                ..SupervisorPolicy::default()
+            },
+            GRAD_SHARDS,
+        );
+        let hook = self.chaos_hook.clone();
 
         let mut epoch = 0usize;
         while epoch < self.config.max_epochs {
@@ -222,25 +345,33 @@ impl Aero {
                     // bitwise identical at any thread count.
                     let shards = aero_parallel::shard_ranges(n, GRAD_SHARDS);
                     let store = &self.store;
-                    let partials: Vec<DetectorResult<(f64, GradBuffer)>> =
-                        aero_parallel::parallel_map(&shards, |_, range| {
-                            let mut grads = GradBuffer::for_store(store);
-                            let mut loss_sum = 0.0f64;
-                            for v in range.clone() {
-                                let long = Matrix::col_vector(x.row(v));
-                                let short = Matrix::col_vector(y.row(v));
-                                let mut g = Graph::new();
-                                let out = temporal.reconstruct(
-                                    &mut g, store, &long, &short, &positions, &deltas,
-                                )?;
-                                let loss = g.mse_loss(out, &short)?;
-                                loss_sum += g.value(loss)?.scalar_value()? as f64;
-                                g.backward_into(loss, &mut grads)?;
-                            }
-                            Ok((loss_sum, grads))
+                    let shard_sup = &shard_sup;
+                    let hook = &hook;
+                    let partials: Vec<Result<(f64, GradBuffer), SupervisionError<DetectorError>>> =
+                        aero_parallel::parallel_map(&shards, |s, range| {
+                            shard_sup.run(s, || {
+                                let mut grads = GradBuffer::for_store(store);
+                                let mut loss_sum = 0.0f64;
+                                for v in range.clone() {
+                                    if let Some(hook) = hook {
+                                        hook.fire(v);
+                                    }
+                                    let long = Matrix::col_vector(x.row(v));
+                                    let short = Matrix::col_vector(y.row(v));
+                                    let mut g = Graph::new();
+                                    let out = temporal.reconstruct(
+                                        &mut g, store, &long, &short, &positions, &deltas,
+                                    )?;
+                                    let loss = g.mse_loss(out, &short)?;
+                                    loss_sum += g.value(loss)?.scalar_value()? as f64;
+                                    g.backward_into(loss, &mut grads)?;
+                                }
+                                Ok((loss_sum, grads))
+                            })
                         });
                     for partial in partials {
-                        let (shard_loss, mut grads) = partial?;
+                        let (shard_loss, mut grads) =
+                            partial.map_err(SupervisionError::into_detector_error)?;
                         window_loss += shard_loss;
                         grads.merge_into(&mut self.store)?;
                     }
@@ -441,11 +572,14 @@ impl Aero {
             Ok(out)
         } else {
             let this = &*self;
-            aero_parallel::parallel_map(ends, |_, &end| {
+            // supervised_map: a panicking window becomes a typed error for
+            // the caller instead of unwinding across the pool join.
+            aero_parallel::supervised_map(ends, |_, &end| {
                 let mut graphs = this.graphs.clone();
                 this.window_residual_with(scaled, end, &mut graphs)
             })
             .into_iter()
+            .map(|r| r.map_err(DetectorError::from)?)
             .collect()
         }
     }

@@ -26,6 +26,7 @@
 //!   the pipeline degrading instead of silently lying.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use aero_evt::{pot_threshold, PotConfig, PotThreshold};
 use aero_tensor::Matrix;
@@ -33,6 +34,8 @@ use aero_timeseries::MultivariateSeries;
 
 use crate::detector::{Detector, DetectorError, DetectorResult};
 use crate::model::Aero;
+use crate::supervisor::{SupervisionError, Supervisor, SupervisorPolicy};
+use crate::wal::WalWriter;
 
 /// Data-quality status of one star at the newest timestamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -126,6 +129,10 @@ pub struct DegradePolicy {
     pub refit_interval: usize,
     /// Number of recent per-star scores retained for refits.
     pub refit_window: usize,
+    /// Supervision policy for per-star scoring, whole-frame scoring, and
+    /// POT refits: deadline budget, retry schedule, and how many
+    /// consecutive failures quarantine a star via its circuit breaker.
+    pub supervision: SupervisorPolicy,
 }
 
 impl Default for DegradePolicy {
@@ -137,6 +144,7 @@ impl Default for DegradePolicy {
             quarantine_fraction: 0.5,
             refit_interval: 0,
             refit_window: 4096,
+            supervision: SupervisorPolicy::default(),
         }
     }
 }
@@ -170,6 +178,17 @@ pub struct HealthReport {
     pub threshold_refits: usize,
     /// Refit attempts that failed (kept last known-good threshold).
     pub threshold_refit_failures: usize,
+    /// Per-star scoring shards abandoned to a panic (row zero-filled).
+    pub shard_panics: usize,
+    /// Per-star scoring shards abandoned to a blown deadline budget.
+    pub shard_deadline_misses: usize,
+    /// Per-star scoring shards abandoned to a typed task error.
+    pub shard_failures: usize,
+    /// Whole frames whose scoring pass was abandoned (all stars suppressed).
+    pub frames_suppressed: usize,
+    /// Circuit breakers tripped so far (stars escalated to quarantine, plus
+    /// the frame-level breaker if whole-frame scoring keeps failing).
+    pub circuit_breaker_trips: usize,
 }
 
 impl HealthReport {
@@ -185,6 +204,11 @@ impl HealthReport {
             && self.stars_quarantined == 0
             && self.quarantine_events == 0
             && self.threshold_refit_failures == 0
+            && self.shard_panics == 0
+            && self.shard_deadline_misses == 0
+            && self.shard_failures == 0
+            && self.frames_suppressed == 0
+            && self.circuit_breaker_trips == 0
     }
 }
 
@@ -207,6 +231,16 @@ impl std::fmt::Display for HealthReport {
             self.quarantine_events,
             self.threshold_refits,
             self.threshold_refit_failures,
+        )?;
+        write!(
+            f,
+            " | shards: {} panicked / {} over deadline / {} errored | \
+             {} frames suppressed | {} breakers tripped",
+            self.shard_panics,
+            self.shard_deadline_misses,
+            self.shard_failures,
+            self.frames_suppressed,
+            self.circuit_breaker_trips,
         )
     }
 }
@@ -256,6 +290,12 @@ pub struct OnlineAero {
     /// Recent finite, non-quarantined scores retained for threshold refits.
     score_history: VecDeque<f32>,
     health: HealthReport,
+    /// Supervision units `0..n` are the stars, unit `n` the POT refit, unit
+    /// `n+1` the whole-frame scoring pass.
+    supervisor: Arc<Supervisor>,
+    /// Write-ahead log; when attached, `push` appends the raw frame before
+    /// any state mutation (see `crate::wal`).
+    wal: Option<WalWriter>,
 }
 
 impl OnlineAero {
@@ -301,6 +341,7 @@ impl OnlineAero {
             imputed.push_back(vec![false; n]);
         }
         let cadence = estimate_cadence(calibration.timestamps());
+        let supervisor = Arc::new(Supervisor::new(policy.supervision.clone(), n + 2));
         Ok(Self {
             model,
             threshold,
@@ -317,7 +358,37 @@ impl OnlineAero {
             cadence,
             score_history: VecDeque::new(),
             health: HealthReport::default(),
+            supervisor,
+            wal: None,
         })
+    }
+
+    /// Attaches a write-ahead log: every subsequent `push` appends its raw
+    /// frame to `wal` before any state mutation, so a killed process can be
+    /// reconstructed bit-exactly by replaying the log into a fresh instance.
+    pub fn attach_wal(&mut self, wal: WalWriter) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches and returns the write-ahead log, if one is attached.
+    pub fn take_wal(&mut self) -> Option<WalWriter> {
+        self.wal.take()
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&WalWriter> {
+        self.wal.as_ref()
+    }
+
+    /// The supervision layer (per-star circuit breakers and failure stats).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// Installs (or clears) the model's chaos-testing fault hook (see
+    /// [`crate::model::ChaosHook`]).
+    pub fn set_chaos_hook(&mut self, hook: Option<crate::model::ChaosHook>) {
+        self.model.set_chaos_hook(hook);
     }
 
     /// The calibrated (or most recently refit) threshold.
@@ -374,6 +445,12 @@ impl OnlineAero {
                 self.num_variates,
                 values.len()
             )));
+        }
+        // Write-ahead: log the raw frame (dropped and degraded ones
+        // included — replay must reproduce every counter) before any state
+        // changes, so a crash at any later point loses nothing.
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(timestamp, values)?;
         }
         let frame = self.frames_seen;
         self.frames_seen += 1;
@@ -522,7 +599,12 @@ impl OnlineAero {
         for v in 0..self.num_variates {
             let synthetic = self.imputed.iter().filter(|row| row[v]).count();
             let fraction = synthetic as f32 / window as f32;
-            let status = if fraction >= self.policy.quarantine_fraction {
+            // An open circuit breaker (repeated scoring failures on this
+            // star) escalates straight to quarantine, whatever the data
+            // quality — retrying a panicking shard every frame helps nobody.
+            let status = if self.supervisor.is_open(v)
+                || fraction >= self.policy.quarantine_fraction
+            {
                 StarStatus::Quarantined
             } else if fraction >= self.policy.degraded_fraction {
                 StarStatus::Degraded
@@ -545,6 +627,13 @@ impl OnlineAero {
     }
 
     /// Scores the newest buffered frame, guaranteeing finite output.
+    ///
+    /// The whole pass runs supervised: each star is its own supervisor unit
+    /// (a panicking, wedged, or erroring star gets a suppressed verdict and
+    /// an escalated status while the other stars score normally), and the
+    /// frame-level pass is wrapped once more so even a failure outside the
+    /// per-variate fan-out (e.g. the GCN stage) suppresses the frame's
+    /// verdicts instead of unwinding through `push`.
     fn score_newest(&mut self) -> DetectorResult<Vec<StarVerdict>> {
         let n = self.num_variates;
         let w = self.buffer.len();
@@ -556,11 +645,75 @@ impl OnlineAero {
         }
         let ts: Vec<f64> = self.timestamps.iter().copied().collect();
         let series = MultivariateSeries::new(m, ts)?;
-        let scores = self.model.score(&series)?;
+
+        let sup = Arc::clone(&self.supervisor);
+        let model = &mut self.model;
+        // No deadline on the whole-frame unit: the policy budget is a
+        // per-variate figure, and the per-variate path enforces it.
+        let outcome = sup.run_with(n + 1, None, true, || {
+            model.begin_supervised(Arc::clone(&sup), n);
+            let scores = model.score(&series);
+            let failures = model.end_supervised();
+            scores.map(|s| (s, failures))
+        });
+        let (scores, failures) = match outcome {
+            Ok(pair) => pair,
+            // Structural model errors (bad width, tensor shape drift) are
+            // real bugs and still propagate.
+            Err(SupervisionError::Task { error, .. })
+                if !matches!(error, DetectorError::Supervision(_)) =>
+            {
+                return Err(error);
+            }
+            // Panics, blown deadlines, an open frame breaker: suppress the
+            // whole frame's verdicts and count it, keep streaming.
+            Err(failure) => {
+                if matches!(
+                    failure,
+                    SupervisionError::Panic { .. } | SupervisionError::Task { .. }
+                ) {
+                    self.health.shard_panics += 1;
+                } else if matches!(failure, SupervisionError::DeadlineExceeded { .. }) {
+                    self.health.shard_deadline_misses += 1;
+                }
+                self.health.frames_suppressed += 1;
+                self.health.circuit_breaker_trips = self.supervisor.stats().circuits_opened;
+                let stars = self
+                    .star_status
+                    .iter()
+                    .map(|&status| StarVerdict {
+                        score: 0.0,
+                        anomalous: false,
+                        status: status.max(StarStatus::Degraded),
+                    })
+                    .collect();
+                return Ok(stars);
+            }
+        };
         let last = scores.cols() - 1;
         let stars = (0..n)
             .map(|v| {
                 let mut status = self.star_status[v];
+                // A star whose supervised shard was abandoned: verdict
+                // suppressed, status escalated (quarantined once its
+                // breaker opens), other stars unaffected.
+                if let Some(failure) = failures.get(v).and_then(|f| f.as_ref()) {
+                    match failure {
+                        SupervisionError::Panic { .. } => self.health.shard_panics += 1,
+                        SupervisionError::DeadlineExceeded { .. } => {
+                            self.health.shard_deadline_misses += 1;
+                        }
+                        SupervisionError::Task { .. } => self.health.shard_failures += 1,
+                        // Short-circuited while open: counted at trip time.
+                        SupervisionError::CircuitOpen { .. } => {}
+                    }
+                    status = if self.supervisor.is_open(v) {
+                        StarStatus::Quarantined
+                    } else {
+                        status.max(StarStatus::Degraded)
+                    };
+                    return StarVerdict { score: 0.0, anomalous: false, status };
+                }
                 let mut score = scores.get(v, last);
                 if !score.is_finite() {
                     // The model should never emit non-finite scores from a
@@ -586,6 +739,7 @@ impl OnlineAero {
                 }
             })
             .collect();
+        self.health.circuit_breaker_trips = self.supervisor.stats().circuits_opened;
         Ok(stars)
     }
 
@@ -598,7 +752,17 @@ impl OnlineAero {
             return;
         }
         let recent: Vec<f32> = self.score_history.iter().copied().collect();
-        match pot_threshold(&recent, self.pot) {
+        let pot = self.pot;
+        // POT refits run under the policy deadline but bypass the breaker:
+        // a refit that fails on a thin tail today may succeed once more
+        // scores accumulate, and a stale-but-valid threshold is an
+        // acceptable fallback in the meantime.
+        let refit_unit = self.num_variates;
+        let deadline = self.policy.supervision.deadline;
+        match self
+            .supervisor
+            .run_with(refit_unit, deadline, false, || pot_threshold(&recent, pot))
+        {
             Ok(t) => {
                 self.threshold = t;
                 self.health.threshold_refits += 1;

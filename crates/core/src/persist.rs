@@ -54,6 +54,31 @@ struct SavedAero {
 /// predate any deployed release and are rejected as incompatible.
 const FORMAT_VERSION: u32 = 2;
 
+/// Incremental FNV-1a 64-bit hasher — the integrity scheme shared by the
+/// checkpoint format (v2) and the write-ahead log (`crate::wal`).
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// FNV-1a 64-bit over the bit-exact payload: variate count, scaler parts,
 /// and every parameter's name/shape/values. Catches bit flips and silent
 /// truncation that still happen to parse as JSON.
@@ -63,28 +88,20 @@ fn payload_checksum(
     ranges: &[f32],
     params: &[(String, usize, usize, Vec<f32>)],
 ) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    eat(&(num_variates as u64).to_le_bytes());
+    let mut h = Fnv64::new();
+    h.write(&(num_variates as u64).to_le_bytes());
     for &v in mins.iter().chain(ranges) {
-        eat(&v.to_bits().to_le_bytes());
+        h.write(&v.to_bits().to_le_bytes());
     }
     for (name, rows, cols, values) in params {
-        eat(name.as_bytes());
-        eat(&(*rows as u64).to_le_bytes());
-        eat(&(*cols as u64).to_le_bytes());
+        h.write(name.as_bytes());
+        h.write(&(*rows as u64).to_le_bytes());
+        h.write(&(*cols as u64).to_le_bytes());
         for &v in values {
-            eat(&v.to_bits().to_le_bytes());
+            h.write(&v.to_bits().to_le_bytes());
         }
     }
-    h
+    h.finish()
 }
 
 /// Saves a trained model to `path` as JSON, atomically.
@@ -152,16 +169,36 @@ fn temp_sibling(path: &Path) -> std::path::PathBuf {
 /// Loads a trained model from `path`, verifying format version, parameter
 /// names/shapes, and the integrity checksum.
 pub fn load_model(path: &Path) -> DetectorResult<Aero> {
-    let json = std::fs::read_to_string(path)
+    // Read raw bytes, not a string: a garbage (non-UTF-8) file is corrupt
+    // content, not an I/O failure, and must be classified as such.
+    let bytes = std::fs::read(path)
         .map_err(|e| DetectorError::Io(format!("read {}: {e}", path.display())))?;
-    let saved: SavedAero = serde_json::from_str(&json)
+    let json = std::str::from_utf8(&bytes)
+        .map_err(|e| DetectorError::Corrupt(format!("parse: not valid UTF-8: {e}")))?;
+    // Probe the version before deserializing the full payload: an old or
+    // future file whose schema drifted must still produce the version
+    // diagnostic, not a field-level parse error.
+    #[derive(serde::Deserialize)]
+    struct VersionProbe {
+        version: u32,
+    }
+    let probe: VersionProbe = serde_json::from_str(json)
         .map_err(|e| DetectorError::Corrupt(format!("parse: {e}")))?;
-    if saved.version != FORMAT_VERSION {
+    if probe.version != FORMAT_VERSION {
+        let hint = if probe.version < FORMAT_VERSION {
+            "re-train and save with this build, or migrate the file by loading \
+             it with the release that wrote it and re-saving"
+        } else {
+            "this file was written by a newer release — upgrade this build to load it"
+        };
         return Err(DetectorError::Corrupt(format!(
-            "unsupported model format version {} (expected {FORMAT_VERSION})",
-            saved.version
+            "{} is model format version {}, but this build reads version {FORMAT_VERSION}: {hint}",
+            path.display(),
+            probe.version
         )));
     }
+    let saved: SavedAero = serde_json::from_str(json)
+        .map_err(|e| DetectorError::Corrupt(format!("parse: {e}")))?;
     let expect = payload_checksum(
         saved.num_variates,
         &saved.scaler_mins,
@@ -245,6 +282,60 @@ mod tests {
     fn untrained_model_refuses_to_save() {
         let model = Aero::new(AeroConfig::tiny()).unwrap();
         assert!(save_model(&model, &tmp("untrained.json")).is_err());
+    }
+
+    #[test]
+    fn v1_file_rejected_with_migration_hint() {
+        // A syntactically valid pre-checksum (version 1) file: the version
+        // gate must fire before any payload validation and tell the operator
+        // both the file's version and what to do about it.
+        let path = tmp("v1.json");
+        std::fs::write(
+            &path,
+            r#"{"version":1,"config":{},"num_variates":0,"scaler_mins":[],"scaler_ranges":[],"params":[],"checksum":0}"#,
+        )
+        .unwrap();
+        match load_model(&path) {
+            Err(DetectorError::Corrupt(msg)) => {
+                assert!(msg.contains("version 1"), "names the file's version: {msg}");
+                assert!(msg.contains("re-train"), "offers re-train: {msg}");
+                assert!(msg.contains("migrate"), "offers migration: {msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_rejected_with_upgrade_hint() {
+        let path = tmp("v99.json");
+        std::fs::write(
+            &path,
+            r#"{"version":99,"config":{},"num_variates":0,"scaler_mins":[],"scaler_ranges":[],"params":[],"checksum":0}"#,
+        )
+        .unwrap();
+        match load_model(&path) {
+            Err(DetectorError::Corrupt(msg)) => {
+                assert!(msg.contains("version 99"), "names the file's version: {msg}");
+                assert!(msg.contains("newer release"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_header_rejected_as_corrupt() {
+        // Binary junk that is not JSON at all — the parse gate, not the
+        // version gate, must reject it, still as Corrupt (the file exists
+        // and was readable; its *contents* are the problem).
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, [0x7fu8, b'E', b'L', b'F', 0, 1, 2, 3, 0xff, 0xfe]).unwrap();
+        match load_model(&path) {
+            Err(DetectorError::Corrupt(msg)) => assert!(msg.contains("parse"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

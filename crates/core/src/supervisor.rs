@@ -1,0 +1,539 @@
+//! Supervision layer for per-variate work units.
+//!
+//! The online pipeline decomposes into many small, independent units of work:
+//! one Stage-1 gradient shard, one star's scoring pass, one POT refit. Any of
+//! them can panic (a bug tripped by pathological input), wedge (a deadline
+//! blown on a loaded host), or fail with a typed error. Before this module a
+//! single such failure unwound through the scoped pool and tore down the whole
+//! stream; now each unit runs under a [`Supervisor`] that
+//!
+//! 1. catches panics (`catch_unwind`) and converts them to typed
+//!    [`SupervisionError`]s,
+//! 2. enforces an optional per-attempt **deadline budget**,
+//! 3. retries failed attempts a bounded number of times with **deterministic
+//!    exponential backoff** (no jitter — reproducibility beats thundering-herd
+//!    avoidance in a single-process pipeline), and
+//! 4. trips a per-unit **circuit breaker** after enough *consecutive*
+//!    exhausted-retry failures, so a repeat offender is short-circuited
+//!    instead of re-panicking every frame. `OnlineAero` maps an open breaker
+//!    onto the existing [`StarStatus::Quarantined`](crate::online::StarStatus)
+//!    escalation.
+//!
+//! The supervisor only adds control flow, never data flow: when every attempt
+//! succeeds first try, results are bitwise identical to unsupervised
+//! execution, which is what lets the crash-recovery suite assert bitwise
+//! equality across kill/resume runs (see DESIGN.md §10).
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use aero_parallel::panic_message;
+
+use crate::detector::DetectorError;
+
+/// Retry / deadline / circuit-breaker policy for a [`Supervisor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Per-attempt wall-clock budget. An attempt that finishes (even
+    /// successfully) after the budget counts as a failure — its result is
+    /// discarded, because a frame that arrives late is a frame the stream
+    /// already moved past. `None` disables the check (and its `Instant`
+    /// reads) entirely.
+    pub deadline: Option<Duration>,
+    /// Retries after the first attempt (so `max_retries = 2` means at most 3
+    /// attempts per `run` call).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubled (times [`backoff_factor`
+    /// (field)](Self::backoff_factor)) for each further retry.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the backoff for each subsequent retry.
+    pub backoff_factor: u32,
+    /// Consecutive exhausted `run` failures on one unit that trip its
+    /// circuit breaker. `u32::MAX` disables the breaker.
+    pub circuit_threshold: u32,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_factor: 2,
+            circuit_threshold: 3,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// Deterministic backoff before retry `retry` (0-based):
+    /// `backoff_base * backoff_factor^retry`, saturating.
+    pub fn backoff_delay(&self, retry: u32) -> Duration {
+        let factor = self
+            .backoff_factor
+            .max(1)
+            .saturating_pow(retry.min(16))
+            .min(1 << 16);
+        self.backoff_base.saturating_mul(factor)
+    }
+}
+
+/// Why a supervised unit of work was abandoned.
+#[derive(Debug, Clone)]
+pub enum SupervisionError<E> {
+    /// Every attempt returned a typed task error; carries the last one.
+    Task {
+        /// Unit index the failure belongs to.
+        unit: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The final attempt's error.
+        error: E,
+    },
+    /// Every attempt panicked; carries the last panic's message.
+    Panic {
+        /// Unit index the failure belongs to.
+        unit: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Stringified panic payload of the final attempt.
+        message: String,
+    },
+    /// Every attempt blew its wall-clock budget.
+    DeadlineExceeded {
+        /// Unit index the failure belongs to.
+        unit: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Wall-clock time of the final attempt.
+        elapsed: Duration,
+        /// The configured per-attempt budget.
+        budget: Duration,
+    },
+    /// The unit's circuit breaker is open; the task was not attempted.
+    CircuitOpen {
+        /// Unit index the failure belongs to.
+        unit: usize,
+    },
+}
+
+impl<E> SupervisionError<E> {
+    /// The unit index this failure belongs to.
+    pub fn unit(&self) -> usize {
+        match self {
+            Self::Task { unit, .. }
+            | Self::Panic { unit, .. }
+            | Self::DeadlineExceeded { unit, .. }
+            | Self::CircuitOpen { unit } => *unit,
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for SupervisionError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Task {
+                unit,
+                attempts,
+                error,
+            } => write!(f, "unit {unit} failed after {attempts} attempt(s): {error}"),
+            Self::Panic {
+                unit,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "unit {unit} panicked on all of {attempts} attempt(s): {message}"
+            ),
+            Self::DeadlineExceeded {
+                unit,
+                attempts,
+                elapsed,
+                budget,
+            } => write!(
+                f,
+                "unit {unit} blew its {budget:?} deadline on all of {attempts} attempt(s) \
+                 (last attempt took {elapsed:?})"
+            ),
+            Self::CircuitOpen { unit } => {
+                write!(f, "unit {unit} short-circuited: circuit breaker is open")
+            }
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for SupervisionError<E> {}
+
+impl SupervisionError<DetectorError> {
+    /// Flattens into the pipeline's error type: typed task errors pass
+    /// through unchanged; panics, blown deadlines, and open breakers become
+    /// [`DetectorError::Supervision`].
+    pub fn into_detector_error(self) -> DetectorError {
+        match self {
+            Self::Task { error, .. } => error,
+            other => DetectorError::Supervision(other.to_string()),
+        }
+    }
+}
+
+/// Cumulative counters across every `run` call on a [`Supervisor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Attempts that panicked (across all units, including retried ones).
+    pub panics: usize,
+    /// Attempts that finished past their deadline budget.
+    pub deadline_misses: usize,
+    /// Attempts that returned a typed task error.
+    pub task_failures: usize,
+    /// Retries performed (attempts beyond each call's first).
+    pub retries: usize,
+    /// Circuit breakers that transitioned closed → open.
+    pub circuits_opened: usize,
+    /// `run` calls rejected immediately because the breaker was open.
+    pub short_circuits: usize,
+}
+
+/// Per-unit circuit-breaker state. All atomic so shards on different pool
+/// threads can report failures concurrently.
+#[derive(Debug, Default)]
+struct UnitBreaker {
+    /// Consecutive exhausted `run` failures; reset to 0 on any success.
+    consecutive: AtomicU32,
+    open: AtomicBool,
+}
+
+/// Runs closures with panic capture, deadline budgets, bounded deterministic
+/// retry, and per-unit circuit breaking. See the module docs for the model.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: SupervisorPolicy,
+    units: Vec<UnitBreaker>,
+    panics: AtomicUsize,
+    deadline_misses: AtomicUsize,
+    task_failures: AtomicUsize,
+    retries: AtomicUsize,
+    circuits_opened: AtomicUsize,
+    short_circuits: AtomicUsize,
+}
+
+/// Outcome of a single attempt, before retry policy is applied.
+enum Attempt<T, E> {
+    Ok(T),
+    Failed(SupervisionError<E>),
+}
+
+impl Supervisor {
+    /// A supervisor with `units` independent circuit breakers.
+    pub fn new(policy: SupervisorPolicy, units: usize) -> Self {
+        let mut breakers = Vec::with_capacity(units);
+        breakers.resize_with(units, UnitBreaker::default);
+        Self {
+            policy,
+            units: breakers,
+            panics: AtomicUsize::new(0),
+            deadline_misses: AtomicUsize::new(0),
+            task_failures: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            circuits_opened: AtomicUsize::new(0),
+            short_circuits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> &SupervisorPolicy {
+        &self.policy
+    }
+
+    /// Number of supervised units (circuit breakers).
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether `unit`'s circuit breaker is open.
+    pub fn is_open(&self, unit: usize) -> bool {
+        self.units
+            .get(unit)
+            .is_some_and(|u| u.open.load(Ordering::Relaxed))
+    }
+
+    /// Closes `unit`'s breaker and zeroes its consecutive-failure count
+    /// (operator override / manual un-quarantine).
+    pub fn reset(&self, unit: usize) {
+        if let Some(u) = self.units.get(unit) {
+            u.consecutive.store(0, Ordering::Relaxed);
+            u.open.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> SupervisorStats {
+        SupervisorStats {
+            panics: self.panics.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            task_failures: self.task_failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            circuits_opened: self.circuits_opened.load(Ordering::Relaxed),
+            short_circuits: self.short_circuits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `task` under the full policy: breaker check, panic capture, the
+    /// policy deadline, bounded retry with deterministic backoff.
+    pub fn run<T, E>(
+        &self,
+        unit: usize,
+        task: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, SupervisionError<E>> {
+        self.run_with(unit, self.policy.deadline, true, task)
+    }
+
+    /// [`run`](Self::run) with an explicit deadline override and the option
+    /// to bypass the unit's circuit breaker (`use_breaker = false`): the
+    /// POT-refit unit retries forever-hopeful because scores may become
+    /// refittable again, and whole-frame scoring has no meaningful
+    /// per-attempt budget.
+    pub fn run_with<T, E>(
+        &self,
+        unit: usize,
+        deadline: Option<Duration>,
+        use_breaker: bool,
+        mut task: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, SupervisionError<E>> {
+        let breaker = self.units.get(unit);
+        if use_breaker {
+            if let Some(b) = breaker {
+                if b.open.load(Ordering::Relaxed) {
+                    self.short_circuits.fetch_add(1, Ordering::Relaxed);
+                    return Err(SupervisionError::CircuitOpen { unit });
+                }
+            }
+        }
+        let attempts_allowed = self.policy.max_retries.saturating_add(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.attempt_once(unit, attempt, deadline, &mut task) {
+                Attempt::Ok(value) => {
+                    if let Some(b) = breaker {
+                        b.consecutive.store(0, Ordering::Relaxed);
+                    }
+                    return Ok(value);
+                }
+                Attempt::Failed(failure) => {
+                    if attempt < attempts_allowed {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.policy.backoff_delay(attempt - 1));
+                        continue;
+                    }
+                    if use_breaker {
+                        if let Some(b) = breaker {
+                            let consecutive = b.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+                            if consecutive >= self.policy.circuit_threshold
+                                && !b.open.swap(true, Ordering::Relaxed)
+                            {
+                                self.circuits_opened.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    return Err(failure);
+                }
+            }
+        }
+    }
+
+    fn attempt_once<T, E>(
+        &self,
+        unit: usize,
+        attempt: u32,
+        deadline: Option<Duration>,
+        task: &mut impl FnMut() -> Result<T, E>,
+    ) -> Attempt<T, E> {
+        let start = deadline.map(|_| Instant::now());
+        let outcome = catch_unwind(AssertUnwindSafe(&mut *task));
+        match outcome {
+            Ok(Ok(value)) => {
+                if let (Some(budget), Some(start)) = (deadline, start) {
+                    let elapsed = start.elapsed();
+                    if elapsed > budget {
+                        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                        return Attempt::Failed(SupervisionError::DeadlineExceeded {
+                            unit,
+                            attempts: attempt,
+                            elapsed,
+                            budget,
+                        });
+                    }
+                }
+                Attempt::Ok(value)
+            }
+            Ok(Err(error)) => {
+                self.task_failures.fetch_add(1, Ordering::Relaxed);
+                Attempt::Failed(SupervisionError::Task {
+                    unit,
+                    attempts: attempt,
+                    error,
+                })
+            }
+            Err(payload) => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                Attempt::Failed(SupervisionError::Panic {
+                    unit,
+                    attempts: attempt,
+                    message: panic_message(payload),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32 as Counter;
+
+    fn quiet_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            backoff_base: Duration::from_micros(10),
+            ..SupervisorPolicy::default()
+        }
+    }
+
+    #[test]
+    fn success_passes_through() {
+        let sup = Supervisor::new(quiet_policy(), 1);
+        let out: Result<u32, SupervisionError<DetectorError>> = sup.run(0, || Ok(7));
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(sup.stats(), SupervisorStats::default());
+    }
+
+    #[test]
+    fn transient_panic_is_retried_to_success() {
+        let sup = Supervisor::new(quiet_policy(), 1);
+        let calls = Counter::new(0);
+        let out: Result<u32, SupervisionError<DetectorError>> = sup.run(0, || {
+            if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            Ok(42)
+        });
+        assert_eq!(out.unwrap(), 42);
+        let stats = sup.stats();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.retries, 1);
+        assert!(!sup.is_open(0), "success must not count toward the breaker");
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries_then_trips_breaker() {
+        let policy = SupervisorPolicy {
+            max_retries: 1,
+            circuit_threshold: 2,
+            ..quiet_policy()
+        };
+        let sup = Supervisor::new(policy, 2);
+        for round in 0..2 {
+            let out: Result<(), SupervisionError<DetectorError>> =
+                sup.run(0, || panic!("always bad"));
+            match out.unwrap_err() {
+                SupervisionError::Panic {
+                    unit,
+                    attempts,
+                    message,
+                } => {
+                    assert_eq!(unit, 0);
+                    assert_eq!(attempts, 2);
+                    assert_eq!(message, "always bad");
+                }
+                other => panic!("unexpected: {other}"),
+            }
+            assert_eq!(sup.is_open(0), round == 1);
+        }
+        // Third call short-circuits without running the task.
+        let out: Result<(), SupervisionError<DetectorError>> =
+            sup.run(0, || panic!("must not run"));
+        assert!(matches!(
+            out.unwrap_err(),
+            SupervisionError::CircuitOpen { unit: 0 }
+        ));
+        let stats = sup.stats();
+        assert_eq!(stats.panics, 4);
+        assert_eq!(stats.circuits_opened, 1);
+        assert_eq!(stats.short_circuits, 1);
+        assert!(!sup.is_open(1), "breakers are per-unit");
+        sup.reset(0);
+        assert!(!sup.is_open(0));
+        let out: Result<u32, SupervisionError<DetectorError>> = sup.run(0, || Ok(9));
+        assert_eq!(out.unwrap(), 9);
+    }
+
+    #[test]
+    fn task_errors_carry_the_typed_error() {
+        let sup = Supervisor::new(quiet_policy(), 1);
+        let out: Result<(), SupervisionError<DetectorError>> =
+            sup.run(0, || Err(DetectorError::Invalid("bad width".into())));
+        let err = out.unwrap_err();
+        assert_eq!(err.unit(), 0);
+        match err.into_detector_error() {
+            DetectorError::Invalid(msg) => assert_eq!(msg, "bad width"),
+            other => panic!("unexpected: {other}"),
+        }
+        assert_eq!(sup.stats().task_failures, 3, "default = 2 retries");
+    }
+
+    #[test]
+    fn blown_deadline_discards_the_result() {
+        let policy = SupervisorPolicy {
+            deadline: Some(Duration::from_micros(1)),
+            max_retries: 0,
+            ..quiet_policy()
+        };
+        let sup = Supervisor::new(policy, 1);
+        let out: Result<u32, SupervisionError<DetectorError>> = sup.run(0, || {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(1)
+        });
+        match out.unwrap_err() {
+            SupervisionError::DeadlineExceeded {
+                elapsed, budget, ..
+            } => {
+                assert!(elapsed >= budget);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        assert_eq!(sup.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic() {
+        let policy = SupervisorPolicy {
+            backoff_base: Duration::from_millis(3),
+            backoff_factor: 2,
+            ..SupervisorPolicy::default()
+        };
+        assert_eq!(policy.backoff_delay(0), Duration::from_millis(3));
+        assert_eq!(policy.backoff_delay(1), Duration::from_millis(6));
+        assert_eq!(policy.backoff_delay(2), Duration::from_millis(12));
+        assert_eq!(policy.backoff_delay(3), Duration::from_millis(24));
+    }
+
+    #[test]
+    fn run_with_can_bypass_the_breaker() {
+        let policy = SupervisorPolicy {
+            max_retries: 0,
+            circuit_threshold: 1,
+            ..quiet_policy()
+        };
+        let sup = Supervisor::new(policy, 1);
+        for _ in 0..3 {
+            let out: Result<(), SupervisionError<DetectorError>> =
+                sup.run_with(0, None, false, || {
+                    Err(DetectorError::Invalid("still failing".into()))
+                });
+            assert!(matches!(out.unwrap_err(), SupervisionError::Task { .. }));
+        }
+        assert!(!sup.is_open(0), "bypassed breaker never opens");
+        assert_eq!(sup.stats().short_circuits, 0);
+    }
+}

@@ -1,0 +1,623 @@
+//! Write-ahead log for the online stream.
+//!
+//! `save_model` checkpoints are crash-safe but coarse: a kill between
+//! checkpoints silently loses every frame pushed since the last save. The WAL
+//! closes that gap — [`OnlineAero::push`](crate::online::OnlineAero::push)
+//! appends each incoming frame here *before* any state mutation or scoring,
+//! so a resumed process can reconstruct the exact pre-crash state by loading
+//! the checkpoint and replaying the log. PR 2's determinism contract is what
+//! makes the replay *exact*: pushing the same frames in the same order
+//! reproduces every score, verdict, and health counter to the bit (gated by
+//! `tests/crash_recovery.rs`).
+//!
+//! # On-disk format
+//!
+//! A WAL directory holds numbered segment files `wal-000000.seg`,
+//! `wal-000001.seg`, … Each segment starts with a 16-byte header
+//! (`b"AEROWAL1"` magic + `u64` LE segment sequence number) followed by
+//! length-prefixed, checksummed records:
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes] [checksum: u64 LE]   // FNV-1a(payload)
+//! payload = frame_index: u64 LE | timestamp_bits: u64 LE
+//!         | n: u32 LE | n × value_bits: u32 LE
+//! ```
+//!
+//! The checksum reuses the FNV-1a scheme of the v2 checkpoint format.
+//! Segments rotate every [`WalConfig::frames_per_segment`] records; old
+//! segments are never rewritten.
+//!
+//! # Recovery invariants
+//!
+//! A crash can leave a torn tail (partial record), a bit-flipped record, or a
+//! half-created segment. [`replay`] scans segments in sequence order and
+//! accepts the **longest valid prefix**: it stops at the first record that is
+//! short, fails its checksum, or breaks the monotonically-contiguous
+//! `frame_index` chain, and ignores any later segment. [`WalWriter::resume`]
+//! additionally truncates the cut segment to its last valid record and
+//! deletes the ignored segments, so the post-recovery log is exactly the
+//! accepted prefix and appending continues from there.
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for per-frame latency: `Never` leaves
+//! flushing to the OS (a process kill — the chaos-harness scenario — loses
+//! nothing because the file is already written; only a whole-machine crash
+//! can), `EverySegment` fsyncs at rotation, `EveryRecord` fsyncs each append.
+//! The `wal_overhead` rows of `BENCH_parallel.json` record the measured cost.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::detector::{DetectorError, DetectorResult};
+use crate::persist::Fnv64;
+
+/// Magic bytes opening every segment file.
+pub const WAL_MAGIC: [u8; 8] = *b"AEROWAL1";
+
+/// Segment header: magic + u64 sequence number.
+const SEGMENT_HEADER_LEN: u64 = 16;
+
+/// Upper bound on one record's payload (guards against reading a corrupted
+/// length prefix as a multi-gigabyte allocation).
+const MAX_PAYLOAD_BYTES: u32 = 1 << 24;
+
+/// When to fsync WAL appends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync; the OS flushes on its own schedule. Survives process
+    /// kills (the chaos-harness crash model) but not power loss.
+    Never,
+    /// Fsync when a segment fills and rotates (and on graceful close).
+    #[default]
+    EverySegment,
+    /// Fsync after every appended record. Maximum durability, maximum cost.
+    EveryRecord,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling (`never` | `segment` | `record`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "never" => Some(Self::Never),
+            "segment" => Some(Self::EverySegment),
+            "record" => Some(Self::EveryRecord),
+            _ => None,
+        }
+    }
+}
+
+/// Write-ahead-log configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Records per segment before rotating to a new file.
+    pub frames_per_segment: usize,
+    /// Durability policy.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            frames_per_segment: 512,
+            fsync: FsyncPolicy::default(),
+        }
+    }
+}
+
+/// One logged frame, exactly as it was handed to `push`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalFrame {
+    /// 0-based position in the push stream.
+    pub frame: u64,
+    /// The frame's timestamp (raw bits are preserved, NaN included).
+    pub timestamp: f64,
+    /// The frame's values (raw bits preserved).
+    pub values: Vec<f32>,
+}
+
+/// What [`replay`] / [`WalWriter::resume`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Frames in the accepted prefix.
+    pub frames: usize,
+    /// Segment files scanned (accepted ones, including the cut segment).
+    pub segments: usize,
+    /// Whether a torn/corrupt record cut the log short.
+    pub truncated: bool,
+    /// Bytes discarded from the cut segment's tail.
+    pub dropped_bytes: u64,
+    /// Later segments ignored (and deleted on resume) past the cut.
+    pub dropped_segments: usize,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> DetectorError {
+    DetectorError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.seg"))
+}
+
+fn record_checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(payload);
+    h.finish()
+}
+
+fn encode_record(frame: u64, timestamp: f64, values: &[f32]) -> Vec<u8> {
+    let payload_len = 8 + 8 + 4 + 4 * values.len();
+    let mut buf = Vec::with_capacity(4 + payload_len + 8);
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    buf.extend_from_slice(&frame.to_le_bytes());
+    buf.extend_from_slice(&timestamp.to_bits().to_le_bytes());
+    buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for &v in values {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    let checksum = record_checksum(&buf[4..]);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// Sorted `(seq, path)` list of the segment files present in `dir`.
+fn list_segments(dir: &Path) -> DetectorResult<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("read dir", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read dir", dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        segments.push((seq, entry.path()));
+    }
+    segments.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(segments)
+}
+
+/// Result of scanning one segment's bytes.
+struct SegmentScan {
+    frames: Vec<WalFrame>,
+    /// Byte offset just past the last valid record.
+    valid_len: u64,
+    /// Whether anything after `valid_len` was rejected.
+    cut: bool,
+}
+
+/// Accepts the longest valid record prefix of one segment. `next_frame` is
+/// the frame index the first record must carry to keep the chain contiguous.
+fn scan_segment(bytes: &[u8], expected_seq: u64, mut next_frame: u64) -> SegmentScan {
+    let mut frames = Vec::new();
+    let header_ok = bytes.len() >= SEGMENT_HEADER_LEN as usize
+        && bytes[..8] == WAL_MAGIC
+        && u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice")) == expected_seq;
+    if !header_ok {
+        return SegmentScan {
+            frames,
+            valid_len: 0,
+            cut: true,
+        };
+    }
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        let Some(len_bytes) = rest.get(..4) else {
+            return cut_at(frames, pos);
+        };
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice"));
+        // 20 = frame u64 + timestamp u64 + count u32: the smallest payload.
+        if !(20..=MAX_PAYLOAD_BYTES).contains(&len) {
+            return cut_at(frames, pos);
+        }
+        let len = len as usize;
+        let Some(payload) = rest.get(4..4 + len) else {
+            return cut_at(frames, pos);
+        };
+        let Some(sum_bytes) = rest.get(4 + len..4 + len + 8) else {
+            return cut_at(frames, pos);
+        };
+        let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte slice"));
+        if record_checksum(payload) != stored {
+            return cut_at(frames, pos);
+        }
+        let frame = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
+        let timestamp =
+            f64::from_bits(u64::from_le_bytes(payload[8..16].try_into().expect("8-byte slice")));
+        let n = u32::from_le_bytes(payload[16..20].try_into().expect("4-byte slice")) as usize;
+        if payload.len() != 20 + 4 * n || frame != next_frame {
+            return cut_at(frames, pos);
+        }
+        let values = payload[20..]
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4-byte chunk"))))
+            .collect();
+        frames.push(WalFrame {
+            frame,
+            timestamp,
+            values,
+        });
+        next_frame += 1;
+        pos += 4 + len + 8;
+    }
+    SegmentScan {
+        frames,
+        valid_len: pos as u64,
+        cut: false,
+    }
+}
+
+fn cut_at(frames: Vec<WalFrame>, pos: usize) -> SegmentScan {
+    SegmentScan {
+        frames,
+        valid_len: pos as u64,
+        cut: true,
+    }
+}
+
+/// Where the accepted prefix ends, for [`WalWriter::resume`] to truncate.
+struct ScanOutcome {
+    frames: Vec<WalFrame>,
+    recovery: WalRecovery,
+    /// `(seq, path, valid_len)` of the last accepted segment, if any.
+    tail: Option<(u64, PathBuf, u64)>,
+    /// Segments past the cut (deleted on resume).
+    ignored: Vec<PathBuf>,
+}
+
+fn scan_dir(dir: &Path) -> DetectorResult<ScanOutcome> {
+    let segments = list_segments(dir)?;
+    let mut frames: Vec<WalFrame> = Vec::new();
+    let mut recovery = WalRecovery::default();
+    let mut tail: Option<(u64, PathBuf, u64)> = None;
+    let mut ignored: Vec<PathBuf> = Vec::new();
+    let mut cut = false;
+    for (i, (seq, path)) in segments.iter().enumerate() {
+        // A gap in the sequence numbering (or a directory whose first
+        // segment is not 0) means the prefix ends at the gap.
+        if cut || *seq != i as u64 {
+            recovery.truncated = true;
+            recovery.dropped_segments += 1;
+            ignored.push(path.clone());
+            cut = true;
+            continue;
+        }
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err("read", path, e))?;
+        let scan = scan_segment(&bytes, *seq, frames.len() as u64);
+        recovery.segments += 1;
+        frames.extend(scan.frames);
+        if scan.cut {
+            recovery.truncated = true;
+            recovery.dropped_bytes = bytes.len() as u64 - scan.valid_len;
+            cut = true;
+        }
+        tail = Some((*seq, path.clone(), scan.valid_len));
+    }
+    recovery.frames = frames.len();
+    Ok(ScanOutcome {
+        frames,
+        recovery,
+        tail,
+        ignored,
+    })
+}
+
+/// Reads the longest valid frame prefix from a WAL directory without
+/// modifying anything on disk.
+pub fn replay(dir: &Path) -> DetectorResult<(Vec<WalFrame>, WalRecovery)> {
+    let outcome = scan_dir(dir)?;
+    Ok((outcome.frames, outcome.recovery))
+}
+
+/// Appends checksummed frame records to a segmented log.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    config: WalConfig,
+    file: File,
+    seq: u64,
+    frames_in_segment: usize,
+    next_frame: u64,
+}
+
+impl WalWriter {
+    /// Starts a fresh log in `dir` (created if missing). Refuses to run if
+    /// the directory already holds segments — silently appending a new
+    /// stream after old frames would splice two unrelated nights together;
+    /// use [`resume`](Self::resume) for continuation.
+    pub fn create(dir: &Path, config: WalConfig) -> DetectorResult<Self> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+        if !list_segments(dir)?.is_empty() {
+            return Err(DetectorError::Invalid(format!(
+                "WAL directory {} already contains segments; use resume or point \
+                 --wal at an empty directory",
+                dir.display()
+            )));
+        }
+        let file = Self::open_segment(dir, 0)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            file,
+            seq: 0,
+            frames_in_segment: 0,
+            next_frame: 0,
+        })
+    }
+
+    /// Recovers the longest valid prefix from `dir`, truncates the torn
+    /// tail, deletes any segments past the cut, and reopens the log for
+    /// appending. Returns the writer, the recovered frames (to replay into a
+    /// fresh `OnlineAero`), and what was found.
+    pub fn resume(dir: &Path, config: WalConfig) -> DetectorResult<(Self, Vec<WalFrame>, WalRecovery)> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+        let outcome = scan_dir(dir)?;
+        for path in &outcome.ignored {
+            std::fs::remove_file(path).map_err(|e| io_err("remove", path, e))?;
+        }
+        let writer = match outcome.tail {
+            // Nothing usable at all (empty dir, or every segment ignored).
+            None => Self::create(dir, config)?,
+            // Tail segment whose own header was garbage: recreate it.
+            Some((seq, _, valid_len)) if valid_len < SEGMENT_HEADER_LEN => Self {
+                dir: dir.to_path_buf(),
+                config,
+                file: Self::open_segment(dir, seq)?,
+                seq,
+                frames_in_segment: 0,
+                next_frame: outcome.frames.len() as u64,
+            },
+            Some((seq, path, valid_len)) => {
+                // Append mode: after the truncation below, writes must land
+                // at the new end of file, not at offset 0.
+                let file = OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .map_err(|e| io_err("open", &path, e))?;
+                file.set_len(valid_len).map_err(|e| io_err("truncate", &path, e))?;
+                if config.fsync != FsyncPolicy::Never {
+                    file.sync_all().map_err(|e| io_err("fsync", &path, e))?;
+                }
+                // Count the tail segment's surviving frames so rotation
+                // stays on schedule after resume.
+                let earlier = seq as usize * config.frames_per_segment;
+                let frames_in_segment = outcome.frames.len().saturating_sub(earlier);
+                Self {
+                    dir: dir.to_path_buf(),
+                    config,
+                    file,
+                    seq,
+                    frames_in_segment,
+                    next_frame: outcome.frames.len() as u64,
+                }
+            }
+        };
+        Ok((writer, outcome.frames, outcome.recovery))
+    }
+
+    fn open_segment(dir: &Path, seq: u64) -> DetectorResult<File> {
+        let path = segment_path(dir, seq);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("create", &path, e))?;
+        let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+        header[..8].copy_from_slice(&WAL_MAGIC);
+        header[8..].copy_from_slice(&seq.to_le_bytes());
+        file.write_all(&header).map_err(|e| io_err("write", &path, e))?;
+        Ok(file)
+    }
+
+    /// Appends one frame, rotating and fsyncing per policy. Returns the
+    /// frame's 0-based index in the log.
+    pub fn append(&mut self, timestamp: f64, values: &[f32]) -> DetectorResult<u64> {
+        if self.frames_in_segment >= self.config.frames_per_segment.max(1) {
+            if self.config.fsync != FsyncPolicy::Never {
+                self.sync()?;
+            }
+            self.seq += 1;
+            self.file = Self::open_segment(&self.dir, self.seq)?;
+            self.frames_in_segment = 0;
+        }
+        let frame = self.next_frame;
+        let record = encode_record(frame, timestamp, values);
+        let path = segment_path(&self.dir, self.seq);
+        self.file
+            .write_all(&record)
+            .map_err(|e| io_err("append", &path, e))?;
+        if self.config.fsync == FsyncPolicy::EveryRecord {
+            self.sync()?;
+        }
+        self.next_frame += 1;
+        self.frames_in_segment += 1;
+        Ok(frame)
+    }
+
+    /// Flushes the current segment to disk.
+    pub fn sync(&mut self) -> DetectorResult<()> {
+        let path = segment_path(&self.dir, self.seq);
+        self.file.sync_all().map_err(|e| io_err("fsync", &path, e))
+    }
+
+    /// Index the next appended frame will get (= frames logged so far).
+    pub fn next_frame(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aero_wal_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn frame(i: usize) -> (f64, Vec<f32>) {
+        let ts = 1000.0 + i as f64 * 10.0;
+        let values = vec![i as f32, -(i as f32) * 0.5, 1.0 / (i as f32 + 1.0)];
+        (ts, values)
+    }
+
+    fn write_frames(dir: &Path, config: WalConfig, count: usize) -> WalWriter {
+        let mut w = WalWriter::create(dir, config).unwrap();
+        for i in 0..count {
+            let (ts, values) = frame(i);
+            assert_eq!(w.append(ts, &values).unwrap(), i as u64);
+        }
+        w
+    }
+
+    #[test]
+    fn roundtrip_with_rotation_preserves_bits() {
+        let dir = tmp_dir("roundtrip");
+        let config = WalConfig {
+            frames_per_segment: 4,
+            fsync: FsyncPolicy::Never,
+        };
+        let _w = write_frames(&dir, config, 11);
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 11);
+        assert_eq!(recovery.frames, 11);
+        assert_eq!(recovery.segments, 3, "4 + 4 + 3 across three segments");
+        assert!(!recovery.truncated);
+        for (i, f) in frames.iter().enumerate() {
+            let (ts, values) = frame(i);
+            assert_eq!(f.frame, i as u64);
+            assert_eq!(f.timestamp.to_bits(), ts.to_bits());
+            assert_eq!(f.values, values);
+        }
+        // NaN timestamps and values survive bit-exactly (the degradation
+        // layer, not the WAL, is what handles them).
+        let mut w = WalWriter::resume(&dir, config).unwrap().0;
+        w.append(f64::NAN, &[f32::NAN, f32::INFINITY]).unwrap();
+        let (frames, _) = replay(&dir).unwrap();
+        assert!(frames[11].timestamp.is_nan());
+        assert!(frames[11].values[0].is_nan());
+        assert_eq!(frames[11].values[1], f32::INFINITY);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_longest_valid_prefix() {
+        let dir = tmp_dir("torn");
+        let config = WalConfig {
+            frames_per_segment: 100,
+            fsync: FsyncPolicy::Never,
+        };
+        let _w = write_frames(&dir, config, 6);
+        // Simulate a kill mid-write: chop the last record in half.
+        let path = segment_path(&dir, 0);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 13).unwrap();
+        drop(file);
+
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 5, "torn 6th record dropped");
+        assert!(recovery.truncated);
+        assert!(recovery.dropped_bytes > 0);
+
+        // Resume truncates the tail and appends cleanly after it.
+        let (mut w, recovered, rec2) = WalWriter::resume(&dir, config).unwrap();
+        assert_eq!(recovered.len(), 5);
+        assert_eq!(rec2.frames, 5);
+        assert_eq!(w.next_frame(), 5);
+        let (ts, values) = frame(5);
+        w.append(ts, &values).unwrap();
+        drop(w);
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 6);
+        assert!(!recovery.truncated, "resume healed the log");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_record_cuts_prefix_and_drops_later_segments() {
+        let dir = tmp_dir("bitflip");
+        let config = WalConfig {
+            frames_per_segment: 3,
+            fsync: FsyncPolicy::Never,
+        };
+        let _w = write_frames(&dir, config, 9);
+        // Flip one payload byte in the middle of segment 1 (frames 3..6):
+        // frames 0..4 survive, the rest of segment 1 and all of segment 2
+        // are past the cut.
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = SEGMENT_HEADER_LEN as usize + {
+            let (_, vals) = frame(3);
+            let rec = encode_record(3, frame(3).0, &vals).len();
+            rec + 10
+        };
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 4, "prefix = segment 0 plus one good record");
+        assert!(recovery.truncated);
+        assert_eq!(recovery.dropped_segments, 1, "segment 2 ignored");
+
+        let (w, recovered, _) = WalWriter::resume(&dir, config).unwrap();
+        assert_eq!(recovered.len(), 4);
+        assert!(
+            !segment_path(&dir, 2).exists(),
+            "resume deletes segments past the cut"
+        );
+        drop(w);
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 4);
+        assert!(!recovery.truncated);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_nonempty_directory() {
+        let dir = tmp_dir("nonempty");
+        let _w = write_frames(&dir, WalConfig::default(), 2);
+        match WalWriter::create(&dir, WalConfig::default()) {
+            Err(DetectorError::Invalid(msg)) => assert!(msg.contains("resume"), "{msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_of_empty_directory_starts_fresh() {
+        let dir = tmp_dir("fresh");
+        let (w, frames, recovery) = WalWriter::resume(&dir, WalConfig::default()).unwrap();
+        assert!(frames.is_empty());
+        assert_eq!(recovery, WalRecovery::default());
+        assert_eq!(w.next_frame(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_segment_header_rejected() {
+        let dir = tmp_dir("badheader");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(segment_path(&dir, 0), b"NOTAWAL!\0\0\0\0\0\0\0\0junk").unwrap();
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert!(frames.is_empty());
+        assert!(recovery.truncated);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

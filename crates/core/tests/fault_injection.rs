@@ -240,6 +240,70 @@ proptest! {
             stream.len()
         );
     }
+
+    /// Layered faults — a star blackout *plus* duplicated *plus*
+    /// out-of-order frames over the same stretch — must reconcile exactly
+    /// against an independent arrival-order simulation: every frame is
+    /// counted once as accepted, stale, or duplicate (never twice, never
+    /// zero times), and every imputed value traces to a non-finite value in
+    /// an accepted frame.
+    #[test]
+    fn layered_fault_counters_reconcile_exactly(
+        seed in 0u64..1_000_000,
+        dup_rate in 0.01f64..0.2,
+        ooo_rate in 0.01f64..0.2,
+        blackouts in 1usize..3,
+        blackout_len in 20usize..41,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            nan_rate: 0.0,
+            inf_rate: 0.0,
+            drop_frame_rate: 0.0,
+            duplicate_rate: dup_rate,
+            out_of_order_rate: ooo_rate,
+            stuck_episodes: 0,
+            stuck_len: 0,
+            blackout_episodes: blackouts,
+            blackout_len,
+        };
+        let ds = night();
+        let (stream, log) = FaultInjector::new(plan).corrupt_stream(&ds.test);
+        prop_assert!(log.values_blacked_out > 0);
+        let stream = &stream[..stream.len().min(200)];
+
+        // Reference simulation: disposition depends on arrival-order
+        // timestamps alone, imputation on the values of accepted frames.
+        let calib_last = *ds.train.timestamps().last().unwrap();
+        let mut last_ts = calib_last;
+        let (mut exp_accepted, mut exp_stale, mut exp_dup, mut exp_imputed) = (0, 0, 0, 0);
+        for f in stream {
+            if !f.timestamp.is_finite() || f.timestamp < last_ts {
+                exp_stale += 1;
+            } else if f.timestamp == last_ts {
+                exp_dup += 1;
+            } else {
+                last_ts = f.timestamp;
+                exp_accepted += 1;
+                exp_imputed += f.values.iter().filter(|v| !v.is_finite()).count();
+            }
+        }
+
+        let mut online = fresh_online();
+        for f in stream {
+            online.push(f.timestamp, &f.values).unwrap();
+        }
+        let h = online.health();
+        prop_assert_eq!(h.frames_accepted, exp_accepted, "{}", h);
+        prop_assert_eq!(h.frames_dropped_stale, exp_stale, "{}", h);
+        prop_assert_eq!(h.frames_dropped_duplicate, exp_dup, "{}", h);
+        prop_assert_eq!(h.values_imputed, exp_imputed, "{}", h);
+        prop_assert_eq!(
+            h.frames_accepted + h.frames_dropped_stale + h.frames_dropped_duplicate,
+            stream.len(),
+            "a frame was double-counted or lost: {}", h
+        );
+    }
 }
 
 /// `MultivariateSeries` rejects non-monotonic timestamps, so the injector's

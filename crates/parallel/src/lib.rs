@@ -27,8 +27,44 @@
 //! overridden at runtime with [`set_max_threads`] (used by the CLI `--threads`
 //! flag and by the determinism test-suite, which flips the count mid-process).
 
+use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A panic captured from one work item of a supervised fork/join call.
+///
+/// `shard` is the input index (for [`supervised_map`]) or chunk index (for
+/// [`try_parallel_for_chunks`]) whose closure panicked; `message` is the
+/// stringified panic payload. Carrying the panic as a value instead of
+/// re-unwinding across the scoped-pool join is what lets callers isolate a
+/// single bad shard without aborting the whole pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Index of the input item / chunk whose closure panicked.
+    pub shard: usize,
+    /// Stringified panic payload.
+    pub message: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panicked on shard {}: {}", self.shard, self.message)
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// 0 = not yet resolved; otherwise the pool size (>= 1).
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -84,12 +120,15 @@ pub fn shard_ranges(len: usize, max_shards: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Applies `f` to every item, returning results in input order.
+/// Applies `f` to every item under per-item `catch_unwind`, returning one
+/// `Result` per input position.
 ///
 /// Items are split into one contiguous chunk per worker; with one thread (or
 /// one item) this degenerates to a plain serial map with no thread spawned.
-/// A panic in `f` propagates to the caller.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// A panic in `f` is captured as a typed [`ShardError`] for that item only —
+/// every other item still runs to completion, and no unwind ever crosses the
+/// scoped-pool join.
+pub fn supervised_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, ShardError>>
 where
     T: Sync,
     R: Send,
@@ -97,26 +136,68 @@ where
 {
     let n = items.len();
     let threads = max_threads().min(n);
+    let run_one = |i: usize, t: &T| -> Result<R, ShardError> {
+        catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|payload| ShardError {
+            shard: i,
+            message: panic_message(payload),
+        })
+    };
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| run_one(i, t)).collect();
     }
-    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    let mut out: Vec<Option<Result<R, ShardError>>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let chunk = n.div_ceil(threads);
-    let f = &f;
+    let run_one = &run_one;
     std::thread::scope(|s| {
         for (c, (slots, part)) in out.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate() {
             let base = c * chunk;
             s.spawn(move || {
                 for (i, (slot, item)) in slots.iter_mut().zip(part).enumerate() {
-                    *slot = Some(f(base + i, item));
+                    *slot = Some(run_one(base + i, item));
                 }
             });
         }
     });
     out.into_iter()
-        .map(|r| r.expect("parallel_map worker filled every slot"))
+        .map(|r| r.expect("supervised_map worker filled every slot"))
         .collect()
+}
+
+/// Applies `f` to every index in `0..len` under per-index `catch_unwind`,
+/// returning one `Result` per index (see [`supervised_map`]).
+pub fn supervised_map_range<R, F>(len: usize, f: F) -> Vec<Result<R, ShardError>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..len).collect();
+    supervised_map(&idx, |_, &i| f(i))
+}
+
+/// Applies `f` to every item, returning results in input order.
+///
+/// Items are split into one contiguous chunk per worker; with one thread (or
+/// one item) this degenerates to a plain serial map with no thread spawned.
+/// A panic in `f` is re-raised on the *caller* thread after every item has
+/// been attempted, carrying the lowest-index item's panic message — the pool
+/// itself never aborts, and which panic surfaces does not depend on thread
+/// scheduling. Callers that want the panic as a value use [`supervised_map`].
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let results = supervised_map(items, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => panic!("{e}"),
+        }
+    }
+    out
 }
 
 /// Applies `f` to every index in `0..len`, returning results in index order.
@@ -130,47 +211,100 @@ where
 }
 
 /// Splits `data` into contiguous chunks of `chunk_len` items and runs `f` on
-/// each chunk in parallel. `f` receives the chunk's starting offset in `data`.
+/// each chunk under per-chunk `catch_unwind`.
 ///
-/// Used for row-partitioned writes (e.g. filling disjoint row blocks of an
-/// output matrix). The chunk boundaries — hence which elements land in which
-/// chunk — depend only on `chunk_len`, not on the thread count.
-pub fn parallel_for_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+/// Every chunk is attempted even if an earlier one panics; on failure the
+/// error for the lowest-index panicking chunk is returned (independent of
+/// thread scheduling) and the contents of the failed chunks are unspecified.
+pub fn try_parallel_for_chunks<T, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: F,
+) -> Result<(), ShardError>
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     let len = data.len();
     if len == 0 {
-        return;
+        return Ok(());
     }
     let chunk_len = chunk_len.max(1);
     let chunks = len.div_ceil(chunk_len);
     let threads = max_threads().min(chunks);
+    let run_chunk = |offset: usize, chunk: &mut [T]| -> Option<ShardError> {
+        catch_unwind(AssertUnwindSafe(|| f(offset, chunk)))
+            .err()
+            .map(|payload| ShardError {
+                shard: offset / chunk_len,
+                message: panic_message(payload),
+            })
+    };
     if threads <= 1 {
+        let mut first: Option<ShardError> = None;
         for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            f(c * chunk_len, chunk);
+            let err = run_chunk(c * chunk_len, chunk);
+            if first.is_none() {
+                first = err;
+            }
         }
-        return;
+        return match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        };
     }
-    let f = &f;
+    // One spawned task per worker; each worker owns a contiguous run of
+    // chunks so `data` is split exactly `threads` ways. Each worker records
+    // the first (lowest-index) panic in its span; spans are in index order,
+    // so the first `Some` across worker slots is the global lowest.
+    let chunks_per_worker = chunks.div_ceil(threads);
+    let items_per_worker = chunks_per_worker * chunk_len;
+    let workers = len.div_ceil(items_per_worker);
+    let mut errors: Vec<Option<ShardError>> = Vec::with_capacity(workers);
+    errors.resize_with(workers, || None);
+    let run_chunk = &run_chunk;
     std::thread::scope(|s| {
-        // One spawned task per worker; each worker owns a contiguous run of
-        // chunks so `data` is split exactly `threads` ways.
-        let chunks_per_worker = chunks.div_ceil(threads);
-        let items_per_worker = chunks_per_worker * chunk_len;
-        for (w, span) in data.chunks_mut(items_per_worker).enumerate() {
+        for ((w, span), slot) in data.chunks_mut(items_per_worker).enumerate().zip(&mut errors) {
             let base = w * items_per_worker;
             s.spawn(move || {
                 for (c, chunk) in span.chunks_mut(chunk_len).enumerate() {
-                    f(base + c * chunk_len, chunk);
+                    let err = run_chunk(base + c * chunk_len, chunk);
+                    if slot.is_none() {
+                        *slot = err;
+                    }
                 }
             });
         }
     });
+    match errors.into_iter().flatten().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` items and runs `f` on
+/// each chunk in parallel. `f` receives the chunk's starting offset in `data`.
+///
+/// Used for row-partitioned writes (e.g. filling disjoint row blocks of an
+/// output matrix). The chunk boundaries — hence which elements land in which
+/// chunk — depend only on `chunk_len`, not on the thread count. A panic in
+/// `f` is re-raised on the caller thread after all chunks have been attempted
+/// (lowest-index chunk wins); callers that want the panic as a value use
+/// [`try_parallel_for_chunks`].
+pub fn parallel_for_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if let Err(e) = try_parallel_for_chunks(data, chunk_len, f) {
+        panic!("{e}");
+    }
 }
 
 /// Runs the two closures concurrently and returns both results.
+///
+/// A panic in either closure is re-raised on the caller thread with its
+/// original payload (never a pool abort).
 pub fn join<RA, RB, FA, FB>(a: FA, b: FB) -> (RA, RB)
 where
     RA: Send,
@@ -184,7 +318,10 @@ where
     std::thread::scope(|s| {
         let hb = s.spawn(b);
         let ra = a();
-        let rb = hb.join().expect("join worker panicked");
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         (ra, rb)
     })
 }
@@ -257,6 +394,65 @@ mod tests {
             let (a, b) = join(|| 1 + 1, || "ok");
             assert_eq!(a, 2);
             assert_eq!(b, "ok");
+
+            // Supervised mode: panics become typed per-item errors and every
+            // other item still completes.
+            let items: Vec<usize> = (0..23).collect();
+            let out = supervised_map(&items, |_, &x| {
+                if x % 7 == 3 {
+                    panic!("bad item {x}");
+                }
+                x * 10
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.shard, i);
+                    assert_eq!(e.message, format!("bad item {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10);
+                }
+            }
+
+            let out = supervised_map_range(9, |i| {
+                if i == 4 {
+                    panic!("boom");
+                }
+                i
+            });
+            assert!(out[4].is_err());
+            assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 8);
+
+            // try_parallel_for_chunks reports the lowest-index panicking
+            // chunk regardless of scheduling; untouched chunks still ran.
+            let mut data = vec![0usize; 40];
+            let err = try_parallel_for_chunks(&mut data, 4, |offset, chunk| {
+                if offset == 12 || offset == 28 {
+                    panic!("chunk at {offset}");
+                }
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = offset + i;
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err.shard, 3);
+            assert_eq!(err.message, "chunk at 12");
+            assert_eq!(data[0..12], (0..12).collect::<Vec<_>>()[..]);
+            assert_eq!(data[16..28], (16..28).collect::<Vec<_>>()[..]);
         }
+    }
+
+    #[test]
+    fn parallel_map_reraises_lowest_index_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&[1u32, 2, 3], |i, _| {
+                if i >= 1 {
+                    panic!("item {i} failed");
+                }
+                i
+            })
+        });
+        let message = panic_message(caught.unwrap_err());
+        assert_eq!(message, "worker panicked on shard 1: item 1 failed");
     }
 }

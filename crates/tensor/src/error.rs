@@ -46,6 +46,13 @@ pub enum TensorError {
         /// Name of the operation that produced the value.
         op: &'static str,
     },
+    /// A pool worker panicked while executing a parallel kernel shard.
+    WorkerPanic {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+        /// Panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -65,6 +72,9 @@ impl fmt::Display for TensorError {
                 write!(f, "backward requires a 1x1 loss, got {}x{}", shape.0, shape.1)
             }
             Self::NonFinite { op } => write!(f, "non-finite value produced by `{op}`"),
+            Self::WorkerPanic { shard, message } => {
+                write!(f, "worker panicked on shard {shard}: {message}")
+            }
         }
     }
 }

@@ -276,7 +276,7 @@ impl Matrix {
         if m * k * n > 0 {
             run_gemm(m, k, n, &mut out, |r0, rows, chunk| {
                 gemm_nn_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
-            });
+            })?;
         }
         Ok(Self { rows: m, cols: n, data: out })
     }
@@ -297,7 +297,7 @@ impl Matrix {
         if m * k * n > 0 {
             run_gemm(m, k, n, &mut out, |r0, _rows, chunk| {
                 gemm_tn_rows(&self.data, &other.data, chunk, r0, m, k, n);
-            });
+            })?;
         }
         Ok(Self { rows: m, cols: n, data: out })
     }
@@ -321,7 +321,7 @@ impl Matrix {
         if m * k * n > 0 {
             run_gemm(m, k, n, &mut out, |r0, rows, chunk| {
                 gemm_nt_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
-            });
+            })?;
         }
         Ok(Self { rows: m, cols: n, data: out })
     }
@@ -525,16 +525,32 @@ const GEMM_NT_MB: usize = 32;
 /// receives `(first_row, row_count, row_slice)` and must fill exactly those
 /// output rows. Row partitioning never changes any element's accumulation
 /// order, so threaded and serial results are bitwise identical.
-fn run_gemm(m: usize, k: usize, n: usize, out: &mut [f32], kernel: impl Fn(usize, usize, &mut [f32]) + Sync) {
+///
+/// A panic inside `kernel` — on a pool worker or on the serial path — is
+/// caught and surfaced as [`TensorError::WorkerPanic`] so a single bad shard
+/// cannot abort the process.
+fn run_gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    kernel: impl Fn(usize, usize, &mut [f32]) + Sync,
+) -> Result<()> {
     let macs = m * k * n;
     let threads = aero_parallel::max_threads();
     if macs >= GEMM_PAR_MIN_MACS && threads > 1 && m > 1 {
         let rows_per = m.div_ceil(threads);
-        aero_parallel::parallel_for_chunks(out, rows_per * n, |offset, chunk| {
+        aero_parallel::try_parallel_for_chunks(out, rows_per * n, |offset, chunk| {
             kernel(offset / n, chunk.len() / n, chunk);
-        });
+        })
+        .map_err(|e| TensorError::WorkerPanic { shard: e.shard, message: e.message })
     } else {
-        kernel(0, m, out);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| kernel(0, m, out))).map_err(
+            |payload| TensorError::WorkerPanic {
+                shard: 0,
+                message: aero_parallel::panic_message(payload),
+            },
+        )
     }
 }
 

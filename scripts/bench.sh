@@ -2,8 +2,9 @@
 # Reproducible benchmark of the parallel execution substrate.
 #
 # Builds the release binary and emits BENCH_parallel.json at the repo root
-# (measured wall-clock medians: blocked GEMM vs naive, and fit / score /
-# end-to-end detect at 1 thread vs N).
+# (measured wall-clock medians: blocked GEMM vs naive, fit / score /
+# end-to-end detect at 1 thread vs N, and per-frame streaming push latency
+# with the write-ahead log off / fsync-never / fsync-every-segment).
 #
 # Usage:
 #   scripts/bench.sh            # full run, writes BENCH_parallel.json

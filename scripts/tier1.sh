@@ -7,10 +7,13 @@
 #   3. streaming-robustness integration suite (fault injection, degraded
 #      input, crash-safe persistence) — explicitly, so a filtered test run
 #      can't silently skip it
-#   4. thread-count determinism: fit + score bitwise identical at 1 vs 4
+#   4. crash-recovery chaos suite: kill-and-resume must be bitwise
+#      identical to an uninterrupted run; panicking/deadline-blown shards
+#      quarantine their star while the rest of the frame keeps streaming
+#   5. thread-count determinism: fit + score bitwise identical at 1 vs 4
 #      worker threads, plus blocked-GEMM == naive-reference property tests
-#   5. benchmark harness smoke run (keeps scripts/bench.sh wired)
-#   6. clippy -D warnings on the streaming/robustness/parallel crates
+#   6. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#   7. clippy -D warnings on the full workspace
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,6 +27,9 @@ cargo test -q
 echo "==> tier-1: streaming robustness"
 cargo test -q -p aero-core --test fault_injection --test persistence_robustness
 
+echo "==> tier-1: crash recovery"
+cargo test -q -p aero-core --test crash_recovery
+
 echo "==> tier-1: thread-count determinism"
 cargo test -q -p aero-core --test determinism
 cargo test -q -p aero-tensor --test gemm_equivalence
@@ -32,7 +38,6 @@ echo "==> tier-1: benchmark harness smoke"
 sh scripts/bench.sh --smoke > /dev/null
 
 echo "==> tier-1: lint gate"
-cargo clippy -q -p aero-core -p aero-nn -p aero-evt -p aero-datagen -p aero-cli -- -D warnings
-cargo clippy -q -p aero-parallel -p aero-tensor -- -D warnings
+cargo clippy -q --workspace -- -D warnings
 
 echo "==> tier-1: OK"
