@@ -79,6 +79,21 @@ impl SpectralResidual {
             .collect()
     }
 
+    /// Score of the newest point of a streamed window: the max score over
+    /// the window's trailing quarter. A single point's saliency is noisy
+    /// (the inverse transform rings at the window edge), so the governor's
+    /// hot fallback asks "is anything salient near *now*" rather than
+    /// trusting the terminal sample alone. Deterministic — a pure function
+    /// of the window contents.
+    pub fn latest_score(&self, window: &[f32]) -> f32 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        let scores = self.scores(window);
+        let tail = scores.len().saturating_sub((scores.len() / 4).max(1));
+        scores[tail..].iter().fold(0.0f32, |a, &b| a.max(b))
+    }
+
     /// Final per-point scores: max over half-overlapping local chunks.
     ///
     /// The outer `margin` points of each chunk are discarded — the finite
@@ -194,6 +209,23 @@ mod tests {
     fn short_series_handled() {
         let sr = SpectralResidual::default();
         assert_eq!(sr.scores(&[1.0, 2.0]), vec![0.0, 0.0]);
+        assert_eq!(sr.latest_score(&[]), 0.0);
+        assert_eq!(sr.latest_score(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn latest_score_reacts_to_recent_spike() {
+        let sr = SpectralResidual::default();
+        let mut window: Vec<f32> = (0..256).map(|i| (i as f32 * 0.2).sin() * 0.3).collect();
+        let quiet = sr.latest_score(&window);
+        window[250] += 4.0; // spike near "now"
+        let spiked = sr.latest_score(&window);
+        assert!(
+            spiked > quiet + 0.5,
+            "recent spike must raise the latest score: {quiet} -> {spiked}"
+        );
+        // Determinism: same window, same score bits.
+        assert_eq!(spiked.to_bits(), sr.latest_score(&window).to_bits());
     }
 
     #[test]

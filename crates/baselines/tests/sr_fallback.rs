@@ -1,0 +1,136 @@
+//! Wires the spectral-residual baseline into the stream governor's
+//! `SrFallback` rung: under overload, stars degraded off the model are
+//! scored by SR over their buffered window instead of going dark.
+//!
+//! Lives in `aero-baselines` because the dependency points this way:
+//! `aero-core` cannot name `SpectralResidual`, so the governor takes the
+//! scorer as an injected closure ([`FallbackScorer`]).
+
+use aero_baselines::SpectralResidual;
+use aero_core::{
+    Aero, AeroConfig, Detector, FallbackScorer, LadderLevel, OnlineAero, OverloadPolicy,
+    StreamGovernor,
+};
+use aero_datagen::SyntheticConfig;
+use aero_evt::PotConfig;
+
+fn trained_online() -> (OnlineAero, aero_timeseries::Dataset) {
+    let ds = SyntheticConfig::tiny(500).build();
+    let mut cfg = AeroConfig::tiny();
+    cfg.max_epochs = 2;
+    let mut model = Aero::new(cfg).unwrap();
+    model.fit(&ds.train).unwrap();
+    let online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+    (online, ds)
+}
+
+fn sr_fallback() -> FallbackScorer {
+    let sr = SpectralResidual::default();
+    FallbackScorer::new(move |window| sr.latest_score(window))
+}
+
+/// A policy that pins forced ladder levels: the up-streak is unreachably
+/// long, so a drained queue cannot step the stars back toward Full.
+fn pinned_policy() -> OverloadPolicy {
+    OverloadPolicy {
+        up_streak: 1_000_000,
+        fallback_threshold: f32::INFINITY, // keep SR verdicts non-anomalous
+        ..OverloadPolicy::default()
+    }
+}
+
+#[test]
+fn sr_rung_scores_stars_with_the_baseline() {
+    let (online, ds) = trained_online();
+    let n = ds.num_variates();
+    let base = *ds.train.timestamps().last().unwrap();
+
+    let mut gov = StreamGovernor::with_policy(online, pinned_policy()).unwrap();
+    gov.set_fallback(Some(sr_fallback()));
+    gov.force_ladder_level(LadderLevel::SrFallback);
+
+    let mut served = 0usize;
+    for t in 0..6 {
+        let frame: Vec<f32> = (0..n).map(|v| ds.test.get(v, t)).collect();
+        assert!(gov.offer(base + 1.0 + t as f64, &frame).unwrap().is_accepted());
+        let out = gov.poll().unwrap().expect("queued frame must be served");
+        served += 1;
+        assert!(out.levels.iter().all(|&l| l == LadderLevel::SrFallback));
+        // Every non-quarantined star's score must be exactly the SR score
+        // of its current buffered window.
+        let sr = SpectralResidual::default();
+        for v in 0..n {
+            let star = out.verdict.stars[v];
+            if star.status == aero_core::StarStatus::Quarantined {
+                continue;
+            }
+            let expected = sr.latest_score(&gov.online().star_window(v));
+            assert_eq!(
+                star.score.to_bits(),
+                expected.to_bits(),
+                "star {v}: governor SR score {} != recomputed {expected}",
+                star.score
+            );
+            assert!(!star.anomalous, "infinite threshold must suppress alerts");
+        }
+    }
+    let overload = gov.online().health().overload;
+    assert_eq!(overload.fallback_scores, served * n);
+    assert_eq!(overload.held_verdicts, 0);
+    assert_eq!(overload.stars_below_full, n);
+}
+
+#[test]
+fn without_a_scorer_the_sr_rung_holds_last_verdicts() {
+    let (online, ds) = trained_online();
+    let n = ds.num_variates();
+    let base = *ds.train.timestamps().last().unwrap();
+
+    let mut gov = StreamGovernor::with_policy(online, pinned_policy()).unwrap();
+    // No fallback installed; SrFallback must degrade to hold-last behaviour.
+    gov.force_ladder_level(LadderLevel::SrFallback);
+
+    // First frame at full pipeline to seed real "last verdicts".
+    let frame0: Vec<f32> = (0..n).map(|v| ds.test.get(v, 0)).collect();
+    gov.force_ladder_level(LadderLevel::FullAero);
+    gov.offer(base + 1.0, &frame0).unwrap();
+    let seeded = gov.poll().unwrap().unwrap();
+    gov.force_ladder_level(LadderLevel::SrFallback);
+
+    let frame1: Vec<f32> = (0..n).map(|v| ds.test.get(v, 1)).collect();
+    gov.offer(base + 2.0, &frame1).unwrap();
+    let held = gov.poll().unwrap().unwrap();
+    for v in 0..n {
+        if held.verdict.stars[v].status == aero_core::StarStatus::Quarantined {
+            continue;
+        }
+        assert_eq!(
+            held.verdict.stars[v].score.to_bits(),
+            seeded.verdict.stars[v].score.to_bits(),
+            "star {v} must re-emit its previous verdict"
+        );
+    }
+    assert!(gov.online().health().overload.held_verdicts > 0);
+    assert_eq!(gov.online().health().overload.fallback_scores, 0);
+}
+
+#[test]
+fn sr_fallback_is_deterministic_across_runs() {
+    let run = || {
+        let (online, ds) = trained_online();
+        let n = ds.num_variates();
+        let base = *ds.train.timestamps().last().unwrap();
+        let mut gov = StreamGovernor::with_policy(online, pinned_policy()).unwrap();
+        gov.set_fallback(Some(sr_fallback()));
+        gov.force_ladder_level(LadderLevel::SrFallback);
+        let mut bits = Vec::new();
+        for t in 0..4 {
+            let frame: Vec<f32> = (0..n).map(|v| ds.test.get(v, t)).collect();
+            gov.offer(base + 1.0 + t as f64, &frame).unwrap();
+            let out = gov.poll().unwrap().unwrap();
+            bits.extend(out.verdict.stars.iter().map(|s| s.score.to_bits()));
+        }
+        bits
+    };
+    assert_eq!(run(), run());
+}

@@ -18,7 +18,9 @@ use std::time::Instant;
 
 use aero_core::online::OnlineAero;
 use aero_core::wal::{FsyncPolicy, WalConfig, WalWriter};
-use aero_core::{Aero, AeroConfig, Detector};
+use aero_core::{
+    Aero, AeroConfig, Detector, FallbackScorer, LadderLevel, OverloadPolicy, StreamGovernor,
+};
 use aero_datagen::SyntheticConfig;
 use aero_evt::PotConfig;
 use aero_tensor::Matrix;
@@ -42,6 +44,21 @@ struct Report {
     score_window: StageReport,
     e2e_detect: StageReport,
     wal_overhead: WalReport,
+    degradation_ladder: LadderReport,
+}
+
+/// Per-frame cost of a governed poll with every star forced onto one
+/// ladder rung — the numbers behind the overload model's claim that each
+/// rung is materially cheaper than the one above it (DESIGN.md §11).
+#[derive(Serialize)]
+struct LadderReport {
+    frames_per_sample: usize,
+    full_aero_secs_per_frame: f64,
+    stage1_only_secs_per_frame: f64,
+    sr_fallback_secs_per_frame: f64,
+    hold_last_secs_per_frame: f64,
+    stage1_saving_ratio: f64,
+    hold_last_saving_ratio: f64,
 }
 
 /// Per-frame `OnlineAero::push` latency with the write-ahead log off vs.
@@ -249,6 +266,32 @@ fn main() {
     let wal_never = push_all(Some(FsyncPolicy::Never));
     let wal_segment = push_all(Some(FsyncPolicy::EverySegment));
 
+    // --- Degradation ladder: governed per-frame cost at each forced rung.
+    // The ladder is pinned (an unreachable up-streak) so the drained queue
+    // cannot step the stars back up mid-measurement.
+    let ladder_cost = |level: LadderLevel| {
+        let online = fresh_online();
+        let policy = OverloadPolicy { up_streak: usize::MAX, ..OverloadPolicy::default() };
+        let mut gov = StreamGovernor::with_policy(online, policy).unwrap();
+        gov.set_fallback(Some(FallbackScorer::new(|w: &[f32]| {
+            w.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()))
+        })));
+        gov.force_ladder_level(level);
+        let span = frames.last().map_or(1.0, |f| f.0) - frames.first().map_or(0.0, |f| f.0) + 1.0;
+        let mut offset = 0.0;
+        time_secs(reps, || {
+            for (ts, values) in &frames {
+                gov.offer(*ts + offset, values).unwrap();
+                gov.poll().unwrap();
+            }
+            offset += span;
+        }) / frames.len().max(1) as f64
+    };
+    let ladder_full = ladder_cost(LadderLevel::FullAero);
+    let ladder_stage1 = ladder_cost(LadderLevel::Stage1Only);
+    let ladder_sr = ladder_cost(LadderLevel::SrFallback);
+    let ladder_hold = ladder_cost(LadderLevel::HoldLast);
+
     let speedup = |one: f64, many: f64| if many > 0.0 { one / many } else { 0.0 };
     let stage = |one: f64, many: f64| StageReport {
         secs_1t: one,
@@ -279,6 +322,15 @@ fn main() {
             push_wal_fsync_segment_secs_per_frame: wal_segment,
             wal_never_overhead_ratio: speedup(wal_never, wal_off),
             wal_segment_overhead_ratio: speedup(wal_segment, wal_off),
+        },
+        degradation_ladder: LadderReport {
+            frames_per_sample: frames.len(),
+            full_aero_secs_per_frame: ladder_full,
+            stage1_only_secs_per_frame: ladder_stage1,
+            sr_fallback_secs_per_frame: ladder_sr,
+            hold_last_secs_per_frame: ladder_hold,
+            stage1_saving_ratio: speedup(ladder_full, ladder_stage1),
+            hold_last_saving_ratio: speedup(ladder_full, ladder_hold),
         },
     };
     let pretty = serde_json::to_string_pretty(&report).unwrap();

@@ -8,8 +8,11 @@ use aero_baselines::{
 };
 use aero_core::online::{DegradePolicy, FrameDisposition, OnlineAero, StarStatus};
 use aero_core::wal::{FsyncPolicy, WalConfig, WalWriter};
-use aero_core::{build_catalog, render_catalog, run_detection, Aero, AeroConfig, Detector};
-use aero_datagen::{AstrosetConfig, FaultInjector, FaultPlan, SyntheticConfig};
+use aero_core::{
+    build_catalog, render_catalog, run_detection, Aero, AeroConfig, Detector, FallbackScorer,
+    OverloadPolicy, StreamGovernor,
+};
+use aero_datagen::{AstrosetConfig, FaultInjector, FaultPlan, LoadProfile, SyntheticConfig};
 use aero_eval::{evaluate_point_adjusted, threshold_scores};
 use aero_evt::PotConfig;
 use aero_timeseries::io::{read_labels, read_series, write_labels, write_series};
@@ -236,13 +239,16 @@ pub fn detect(args: &Args) -> Result<(), String> {
 
 /// `aero stream` — replay a test series frame-by-frame through a saved
 /// model, as the online monitor would consume it, and report per-frame
-/// verdicts plus the degradation health counters.
+/// verdicts plus the degradation health counters. The stream runs behind a
+/// [`StreamGovernor`]: a bounded admission queue, priority load shedding,
+/// and the degradation ladder (DESIGN.md §11), with the spectral-residual
+/// baseline wired in as the model-free fallback rung.
 pub fn stream(args: &Args) -> Result<(), String> {
     let data = PathBuf::from(args.require("data")?);
     let model_path = PathBuf::from(args.require("model")?);
     // A bare `--faults` / `--refit-interval` / … parses as a boolean flag; a
     // silent no-fault run when the user asked for one defeats the point.
-    for opt in ["faults", "refit-interval", "wal", "fsync", "kill-after"] {
+    for opt in ["faults", "refit-interval", "wal", "fsync", "kill-after", "burst", "queue-cap"] {
         if args.flag(opt) {
             return Err(format!("--{opt} requires a value"));
         }
@@ -266,52 +272,80 @@ pub fn stream(args: &Args) -> Result<(), String> {
             .ok_or_else(|| format!("--fsync must be never|segment|record, got `{s}`"))?,
     };
     let kill_after = args.get_parsed("kill-after", usize::MAX)?;
+    let burst_seed = match args.get("burst") {
+        Some(s) => Some(s.parse::<u64>().map_err(io_err)?),
+        None => None,
+    };
+    let queue_cap = args.get_parsed("queue-cap", 64usize)?;
+    // Watermarks scale with the chosen capacity: degrade from half full,
+    // recover below one eighth.
+    let overload_policy = OverloadPolicy {
+        queue_capacity: queue_cap,
+        high_watermark: queue_cap / 2,
+        low_watermark: queue_cap / 8,
+        ..OverloadPolicy::default()
+    };
+    let sr = SpectralResidual::default();
+    let fallback = FallbackScorer::new(move |window| sr.latest_score(window));
 
     let train = read_series(&data.join("train.csv")).map_err(io_err)?;
     let test = read_series(&data.join("test.csv")).map_err(io_err)?;
     let model = aero_core::load_model(&model_path).map_err(io_err)?;
-    let mut online = OnlineAero::with_policy(model, &train, pot, policy).map_err(io_err)?;
+    let online = OnlineAero::with_policy(model, &train, pot, policy).map_err(io_err)?;
     eprintln!(
-        "streaming {} frames × {} stars (threshold {:.6}, cadence {:.3})",
+        "streaming {} frames × {} stars (threshold {:.6}, cadence {:.3}, queue cap {})",
         test.len(),
         test.num_variates(),
         online.threshold().threshold,
-        online.cadence()
+        online.cadence(),
+        queue_cap,
     );
 
-    // Crash recovery: replay the WAL's surviving prefix through the fresh
-    // instance first (reconstructing the exact pre-crash state), then attach
-    // the healed log and continue from where the night left off.
+    // Crash recovery: replay the WAL's surviving prefix — including the
+    // recorded offer/poll interleaving — through a fresh governor,
+    // reconstructing queue, ladder, and counters exactly; then continue the
+    // night on the healed log.
     let wal_config = WalConfig { fsync, ..WalConfig::default() };
     let mut replayed = 0usize;
-    if let Some(dir) = &wal_dir {
-        if resume {
-            let (writer, recovered, recovery) =
-                WalWriter::resume(dir, wal_config).map_err(io_err)?;
-            for f in &recovered {
-                online.push(f.timestamp, &f.values).map_err(io_err)?;
+    let mut replay_verdicts = Vec::new();
+    let mut gov = if let (Some(dir), true) = (&wal_dir, resume) {
+        let (gov, verdicts, recovery) = StreamGovernor::resume_wal(
+            online,
+            overload_policy,
+            Some(fallback),
+            dir,
+            wal_config,
+        )
+        .map_err(io_err)?;
+        replayed = recovery.frames;
+        eprintln!(
+            "resumed from {}: replayed {} frames ({} verdicts) across {} segments{}",
+            dir.display(),
+            recovery.frames,
+            verdicts.len(),
+            recovery.segments,
+            if recovery.truncated {
+                format!(
+                    " (torn tail: {} bytes and {} segments dropped)",
+                    recovery.dropped_bytes, recovery.dropped_segments
+                )
+            } else {
+                String::new()
             }
-            replayed = recovered.len();
-            eprintln!(
-                "resumed from {}: replayed {} frames across {} segments{}",
-                dir.display(),
-                recovery.frames,
-                recovery.segments,
-                if recovery.truncated {
-                    format!(
-                        " (torn tail: {} bytes and {} segments dropped)",
-                        recovery.dropped_bytes, recovery.dropped_segments
-                    )
-                } else {
-                    String::new()
-                }
-            );
-            online.attach_wal(writer);
-        } else {
-            online.attach_wal(WalWriter::create(dir, wal_config).map_err(io_err)?);
+        );
+        replay_verdicts = verdicts;
+        gov
+    } else {
+        let mut gov =
+            StreamGovernor::with_policy(online, overload_policy).map_err(io_err)?;
+        gov.set_fallback(Some(fallback));
+        if let Some(dir) = &wal_dir {
+            gov.attach_wal(WalWriter::create(dir, wal_config).map_err(io_err)?)
+                .map_err(io_err)?;
             eprintln!("write-ahead log: {} (fsync {:?})", dir.display(), fsync);
         }
-    }
+        gov
+    };
 
     // Optional fault injection: replay the night as a rough one.
     let n = test.num_variates();
@@ -331,32 +365,94 @@ pub fn stream(args: &Args) -> Result<(), String> {
             .collect(),
     };
 
+    // Arrival schedule: steady realtime (offer one, service one) unless
+    // `--burst` turns the night into seeded 4×-realtime episodes, during
+    // which the queue fills and the governor starts shedding and degrading.
+    // The schedule always covers the FULL night; a resumed run fast-forwards
+    // past the offers the WAL already replayed so the offer/poll interleaving
+    // (and with it every admission and ladder decision) is bitwise identical
+    // to an uninterrupted run.
+    let schedule = match burst_seed {
+        Some(seed) => {
+            let profile = LoadProfile::burst_night(seed, frames.len());
+            eprintln!(
+                "burst schedule (seed {seed}): {} arrivals over {} ticks, peak {}×",
+                profile.total_arrivals().min(frames.len()),
+                frames.len(),
+                profile.peak_rate()
+            );
+            profile.arrivals()
+        }
+        None => LoadProfile::realtime(0, frames.len()).arrivals(),
+    };
+
     let mut flagged_frames = 0usize;
     let mut flagged_points = 0usize;
-    let mut pushed = 0usize;
-    for (timestamp, values) in frames.iter().skip(replayed) {
-        if pushed >= kill_after {
-            eprintln!(
-                "killed after {pushed} live frames (simulated crash; rerun with \
-                 --resume to continue)"
-            );
-            break;
-        }
-        let verdict = online.push(*timestamp, values).map_err(io_err)?;
-        pushed += 1;
-        if verdict.disposition == FrameDisposition::Scored && verdict.any_anomalous() {
+    let mut offered = 0usize;
+    let mut rejected = 0usize;
+    let mut tally = |verdict: &aero_core::GovernedVerdict| {
+        if verdict.verdict.disposition == FrameDisposition::Scored
+            && verdict.verdict.any_anomalous()
+        {
             flagged_frames += 1;
-            flagged_points += verdict.flagged().len();
+            flagged_points += verdict.verdict.flagged().len();
+        }
+    };
+    // Replayed verdicts count toward the night's flag totals so a resumed
+    // run's summary matches an uninterrupted one.
+    for v in &replay_verdicts {
+        tally(v);
+    }
+    let mut pending = frames.iter().skip(replayed);
+    let mut killed = false;
+    // Offers already recovered from the WAL. Ticks wholly inside this prefix
+    // are skipped poll-and-all (their serviced polls rode in on a later offer
+    // record's meta word); the boundary tick's trailing poll is NOT in the
+    // WAL (recovery granularity is the last offer), so it re-executes here.
+    let mut to_skip = replayed;
+    'night: for arrivals in schedule {
+        let arrivals = if to_skip > arrivals {
+            to_skip -= arrivals;
+            continue;
+        } else {
+            let live = arrivals - to_skip;
+            to_skip = 0;
+            live
+        };
+        for _ in 0..arrivals {
+            if offered >= kill_after {
+                eprintln!(
+                    "killed after {offered} live frames (simulated crash; rerun with \
+                     --resume to continue)"
+                );
+                killed = true;
+                break 'night;
+            }
+            let Some((timestamp, values)) = pending.next() else {
+                break 'night;
+            };
+            let admission = gov.offer(*timestamp, values).map_err(io_err)?;
+            offered += 1;
+            if !admission.is_accepted() {
+                rejected += 1;
+            }
+        }
+        if let Some(v) = gov.poll().map_err(io_err)? {
+            tally(&v);
+        }
+    }
+    if !killed {
+        // Night over: drain whatever backlog the bursts left behind.
+        for v in gov.drain().map_err(io_err)? {
+            tally(&v);
         }
     }
 
     println!(
-        "frames: {} replayed + {} pushed, {} flagged ({} star-points above threshold)",
-        replayed,
-        pushed,
-        flagged_frames,
-        flagged_points
+        "frames: {} replayed + {} offered ({} rejected), {} flagged ({} star-points above threshold)",
+        replayed, offered, rejected, flagged_frames, flagged_points
     );
+    let online = gov.online();
     println!("health: {}", online.health());
     let quarantined: Vec<usize> = online
         .star_status()
@@ -368,7 +464,71 @@ pub fn stream(args: &Args) -> Result<(), String> {
     if !quarantined.is_empty() {
         println!("quarantined stars at end of night: {quarantined:?}");
     }
+    println!("{}", stream_summary_json(&gov, replayed, offered, flagged_frames, flagged_points));
     Ok(())
+}
+
+/// End-of-run machine-readable summary: supervision, health, and overload
+/// accounting on one line. Hand-rolled — every value is a bare integer, so
+/// no escaping is needed.
+fn stream_summary_json(
+    gov: &StreamGovernor,
+    replayed: usize,
+    offered: usize,
+    flagged_frames: usize,
+    flagged_points: usize,
+) -> String {
+    let health = gov.online().health();
+    let sup = gov.online().supervisor().stats();
+    let ov = &health.overload;
+    let fields = |pairs: &[(&str, usize)]| {
+        pairs
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"frames\":{{{}}},\"supervisor\":{{{}}},\"health\":{{{}}},\"overload\":{{{}}}}}",
+        fields(&[
+            ("replayed", replayed),
+            ("offered", offered),
+            ("flagged_frames", flagged_frames),
+            ("flagged_points", flagged_points),
+        ]),
+        fields(&[
+            ("panics", sup.panics),
+            ("deadline_misses", sup.deadline_misses),
+            ("task_failures", sup.task_failures),
+            ("retries", sup.retries),
+            ("circuits_opened", sup.circuits_opened),
+            ("circuits_closed", sup.circuits_closed),
+            ("probes", sup.probes),
+            ("short_circuits", sup.short_circuits),
+        ]),
+        fields(&[
+            ("frames_accepted", health.frames_accepted),
+            ("values_imputed", health.values_imputed),
+            ("scores_suppressed", health.scores_suppressed),
+            ("stars_degraded", health.stars_degraded),
+            ("stars_quarantined", health.stars_quarantined),
+            ("threshold_refits", health.threshold_refits),
+            ("frames_suppressed", health.frames_suppressed),
+            ("circuit_breaker_trips", health.circuit_breaker_trips),
+        ]),
+        fields(&[
+            ("queue_depth", ov.queue_depth),
+            ("queue_peak", ov.queue_peak),
+            ("frames_rejected", ov.frames_rejected),
+            ("star_sheds", ov.star_sheds),
+            ("ladder_steps_down", ov.ladder_steps_down),
+            ("ladder_steps_up", ov.ladder_steps_up),
+            ("stars_below_full", ov.stars_below_full),
+            ("fallback_scores", ov.fallback_scores),
+            ("held_verdicts", ov.held_verdicts),
+            ("frames_behind", ov.frames_behind),
+        ]),
+    )
 }
 
 /// `aero evaluate` — point-adjusted metrics of stored flags vs labels.
@@ -483,8 +643,9 @@ mod tests {
         let model_path = dir.join("model.json");
         aero_core::save_model(&model, &model_path).unwrap();
 
-        // Clean replay, then a faulted one — both must succeed.
-        for extra in ["", " --faults 7"] {
+        // Clean replay, a faulted one, and a bursty one with a small
+        // admission queue (exercising the governor) — all must succeed.
+        for extra in ["", " --faults 7", " --burst 11 --queue-cap 8"] {
             let stream_args = Args::parse(
                 format!("stream --data {} --model {}{extra}", data.display(), model_path.display())
                     .split_whitespace()
@@ -493,6 +654,41 @@ mod tests {
             .unwrap();
             stream(&stream_args).unwrap();
         }
+
+        // A bare `--burst` (no seed) must be rejected, not silently ignored.
+        let bad = Args::parse(
+            format!("stream --data {} --model {} --burst", data.display(), model_path.display())
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(stream(&bad).unwrap_err().contains("--burst"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_summary_json_is_well_formed() {
+        let ds = SyntheticConfig::tiny(77).build();
+        let mut cfg = AeroConfig::tiny();
+        cfg.max_epochs = 1;
+        let mut model = Aero::new(cfg).unwrap();
+        model.fit(&ds.train).unwrap();
+        let online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+        let gov = StreamGovernor::new(online).unwrap();
+        let json = stream_summary_json(&gov, 1, 2, 3, 4);
+        for key in [
+            "\"frames\"",
+            "\"supervisor\"",
+            "\"health\"",
+            "\"overload\"",
+            "\"probes\":0",
+            "\"circuits_closed\":0",
+            "\"queue_peak\":0",
+            "\"replayed\":1",
+            "\"offered\":2",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

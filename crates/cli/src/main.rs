@@ -44,6 +44,13 @@ COMMANDS:
                      [--fsync <never|segment|record>] WAL durability (default segment)
                      [--kill-after <n>]    stop abruptly after n live frames
                                            (simulated crash, for --resume demos)
+                     [--burst <seed>]      deliver frames on a seeded burst
+                                           schedule (4x-realtime episodes) to
+                                           exercise admission control and the
+                                           degradation ladder
+                     [--queue-cap <n>]     admission-queue capacity (default 64);
+                                           offers beyond it are rejected and the
+                                           ladder degrades from half full
     evaluate       Point-adjusted precision/recall/F1 of saved flags
                      --flags <file>        0/1 CSV from `detect`
                      --labels <file>       0/1 ground-truth CSV

@@ -32,6 +32,10 @@ pub enum DetectorError {
     /// breaker (see `crate::supervisor`). The pipeline itself is still
     /// healthy — only the described unit of work was lost.
     Supervision(String),
+    /// The stream is saturated: the admission queue rejected work (see
+    /// `crate::overload`). The frame's data was fine — the system had no
+    /// capacity for it. Retryable once the backlog drains.
+    Overload(String),
 }
 
 impl fmt::Display for DetectorError {
@@ -44,6 +48,7 @@ impl fmt::Display for DetectorError {
             Self::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
             Self::Threshold(e) => write!(f, "threshold calibration: {e}"),
             Self::Supervision(msg) => write!(f, "supervision: {msg}"),
+            Self::Overload(msg) => write!(f, "overload: {msg}"),
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod graph_learn;
 pub mod memory;
 pub mod model;
 pub mod online;
+pub mod overload;
 pub mod persist;
 pub mod report;
 pub mod supervisor;
@@ -41,10 +42,14 @@ pub use detector::{
 };
 pub use graph_learn::{window_adjacency, GraphBuilder};
 pub use memory::{aero_memory, baseline_memory, MemoryEstimate};
-pub use model::{Aero, ChaosHook, ShardFailure};
+pub use model::{Aero, ChaosHook, ScoreMode, ShardFailure};
 pub use online::{
     DegradePolicy, FrameDisposition, FrameVerdict, HealthReport, OnlineAero, StarStatus,
     StarVerdict,
+};
+pub use overload::{
+    Admission, FallbackScorer, GovernedVerdict, LadderLevel, OverloadCounters, OverloadPolicy,
+    PriorityClass, StreamGovernor,
 };
 pub use persist::{load_model, save_model};
 pub use report::{build_catalog, render_catalog, EventCandidate};

@@ -19,6 +19,22 @@ use crate::temporal::TemporalModule;
 /// zero-filled and the rest of the frame completed normally.
 pub type ShardFailure = SupervisionError<DetectorError>;
 
+/// How much of the two-stage pipeline one star receives in a degraded
+/// scoring pass ([`Aero::score_with_modes`]) — the per-star rungs of the
+/// overload ladder (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreMode {
+    /// Both stages: score is the noise-cancelled residual `|R|`.
+    Full,
+    /// Stage 1 only: score is the raw reconstruction error `|E|` — noisier
+    /// (concurrent noise is not cancelled) but skips the GCN refinement.
+    Stage1,
+    /// No model work at all: the star's Stage-1 transformer never runs and
+    /// its scores are 0. Used for shed stars; cheaper rungs (SR fallback /
+    /// hold-last) are layered on top by the stream governor.
+    Skip,
+}
+
 /// Fault-injection hook for chaos testing: called with the variate index at
 /// the top of every supervised per-variate work item (Stage-1 training
 /// shards and supervised scoring). The crash-recovery suite installs hooks
@@ -181,16 +197,28 @@ impl Aero {
 
     /// Evaluates the temporal module's error matrix `E = Y − Ŷ₁ ∈ R^{N×ω}`
     /// for the window ending at `end` (forward only, no gradients kept).
+    ///
+    /// `skip[v] = true` zero-fills variate `v`'s row without running its
+    /// transformer — checked *before* the chaos hook and the supervisor, so
+    /// a skipped star costs nothing and leaves its breaker state untouched.
     fn window_errors_internal(
         &self,
         scaled: &MultivariateSeries,
         end: usize,
+        skip: Option<&[bool]>,
     ) -> DetectorResult<Matrix> {
         let w = self.config.window;
         let omega = self.omega();
+        let is_skipped = |v: usize| skip.is_some_and(|s| s.get(v).copied().unwrap_or(false));
         let y = scaled.window(end, omega)?;
         let Some(temporal) = &self.temporal else {
             // Ablation 1i (w/o temporal): Ŷ₁ = 0, so E = Y.
+            let mut y = y;
+            for v in 0..y.rows() {
+                if is_skipped(v) {
+                    y.row_mut(v).fill(0.0);
+                }
+            }
             return Ok(y);
         };
         let x = scaled.window(end, w)?;
@@ -203,6 +231,9 @@ impl Aero {
             // so the result is order-deterministic.
             let hook = self.chaos_hook.clone();
             let score_one = |v: usize| -> DetectorResult<Vec<f32>> {
+                if is_skipped(v) {
+                    return Ok(vec![0.0; omega]);
+                }
                 if let Some(hook) = &hook {
                     hook.fire(v);
                 }
@@ -222,6 +253,11 @@ impl Aero {
                 // When nothing fails, rows are bitwise identical to the
                 // unsupervised path — supervision adds no data flow.
                 let rows: Vec<Option<Vec<f32>>> = aero_parallel::parallel_map_range(n, |v| {
+                    if is_skipped(v) {
+                        // Shed star: zero row, no supervisor involvement —
+                        // the breaker must not see a synthetic success.
+                        return None;
+                    }
                     match cell.sup.run(v, || score_one(v)) {
                         Ok(row) => Some(row),
                         Err(failure) => {
@@ -259,6 +295,9 @@ impl Aero {
             let recon = g.value(out)?; // ω × N
             let mut e = Matrix::zeros(n, omega);
             for v in 0..n {
+                if is_skipped(v) {
+                    continue; // whole-frame transformer ran anyway; drop the row
+                }
                 for t in 0..omega {
                     e.set(v, t, y.get(v, t) - recon.get(t, v));
                 }
@@ -436,7 +475,7 @@ impl Aero {
         self.store.set_frozen(&self.temporal_ids, true)?;
         let mut errors = Vec::with_capacity(ends.len());
         for &end in &ends {
-            errors.push(self.window_errors_internal(scaled, end)?);
+            errors.push(self.window_errors_internal(scaled, end, None)?);
         }
 
         let mut lr = self.config.lr;
@@ -508,9 +547,16 @@ impl Aero {
         scaled: &MultivariateSeries,
         end: usize,
         graphs: &mut GraphBuilder,
+        skip: Option<&[bool]>,
+        run_stage2: bool,
     ) -> DetectorResult<(Matrix, Matrix)> {
         let omega = self.omega();
-        let e = self.window_errors_internal(scaled, end)?;
+        let e = self.window_errors_internal(scaled, end, skip)?;
+        if !run_stage2 {
+            // Degraded pass with no Full-mode star left: Stage-2's residual
+            // would be read by nobody, so skip the GCN and alias R = E.
+            return Ok((e.clone(), e));
+        }
         let Some(gcn) = &self.gcn else {
             return Ok((e.clone(), e));
         };
@@ -560,13 +606,15 @@ impl Aero {
         &mut self,
         scaled: &MultivariateSeries,
         ends: &[usize],
+        skip: Option<&[bool]>,
+        run_stage2: bool,
     ) -> DetectorResult<Vec<(Matrix, Matrix)>> {
         self.graphs.reset();
         if self.graphs.is_stateful() {
             let mut graphs = self.graphs.clone();
             let mut out = Vec::with_capacity(ends.len());
             for &end in ends {
-                out.push(self.window_residual_with(scaled, end, &mut graphs)?);
+                out.push(self.window_residual_with(scaled, end, &mut graphs, skip, run_stage2)?);
             }
             self.graphs = graphs;
             Ok(out)
@@ -576,7 +624,7 @@ impl Aero {
             // the caller instead of unwinding across the pool join.
             aero_parallel::supervised_map(ends, |_, &end| {
                 let mut graphs = this.graphs.clone();
-                this.window_residual_with(scaled, end, &mut graphs)
+                this.window_residual_with(scaled, end, &mut graphs, skip, run_stage2)
             })
             .into_iter()
             .map(|r| r.map_err(DetectorError::from)?)
@@ -619,7 +667,7 @@ impl Aero {
             return Err(DetectorError::Invalid("call fit() first".into()));
         }
         let scaled = self.scaler.transform(series)?;
-        let e = self.window_errors_internal(&scaled, end)?;
+        let e = self.window_errors_internal(&scaled, end, None)?;
         Ok(crate::graph_learn::window_adjacency(&e))
     }
 
@@ -639,7 +687,7 @@ impl Aero {
         let mut e_scores = Matrix::full(n, len, f32::INFINITY);
         let mut r_scores = Matrix::full(n, len, f32::INFINITY);
         let ends = self.score_ends(len);
-        let residuals = self.window_residuals(&scaled, &ends)?;
+        let residuals = self.window_residuals(&scaled, &ends, None, true)?;
         for (&end, (e, r)) in ends.iter().zip(&residuals) {
             let start = end + 1 - omega;
             for v in 0..n {
@@ -659,6 +707,75 @@ impl Aero {
             }
         }
         Ok((e_scores, r_scores))
+    }
+
+    /// [`Detector::score`] with a per-star degradation mode (the overload
+    /// ladder's model rungs, DESIGN.md §11): `Full` stars get the two-stage
+    /// residual `|R|`, `Stage1` stars the raw error `|E|`, and `Skip` stars
+    /// a zero row with their transformer never invoked.
+    ///
+    /// With every mode `Full` this delegates to [`Detector::score`] and is
+    /// bitwise identical to it — degradation is strictly opt-in per star.
+    /// When no star is `Full` the Stage-2 GCN is skipped entirely. Note that
+    /// skipping stars zero-fills their rows of the error matrix the GCN
+    /// propagates over, so `Full` scores under a partial mask legitimately
+    /// differ from an unmasked pass; the mask itself is a deterministic
+    /// function of arrival order, keeping the verdict stream reproducible.
+    pub fn score_with_modes(
+        &mut self,
+        series: &MultivariateSeries,
+        modes: &[ScoreMode],
+    ) -> DetectorResult<Matrix> {
+        if modes.iter().all(|m| *m == ScoreMode::Full) {
+            return self.score(series);
+        }
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        let n = scaled.num_variates();
+        if modes.len() != n {
+            return Err(DetectorError::Invalid(format!(
+                "{} score modes for {n} variates",
+                modes.len()
+            )));
+        }
+        let len = scaled.len();
+        let omega = self.omega();
+        let skip: Vec<bool> = modes.iter().map(|m| *m == ScoreMode::Skip).collect();
+        let run_stage2 = modes.contains(&ScoreMode::Full);
+        let mut scores = Matrix::full(n, len, f32::INFINITY);
+        let ends = self.score_ends(len);
+        let residuals = self.window_residuals(&scaled, &ends, Some(&skip), run_stage2)?;
+        for (&end, (e, r)) in ends.iter().zip(&residuals) {
+            let start = end + 1 - omega;
+            for (v, mode) in modes.iter().enumerate() {
+                let src = match mode {
+                    ScoreMode::Full => r,
+                    ScoreMode::Stage1 => e,
+                    ScoreMode::Skip => continue, // stays ∞, zeroed below
+                };
+                for t in 0..omega {
+                    let cur = scores.get(v, start + t);
+                    scores.set(v, start + t, cur.min(src.get(v, t).abs()));
+                }
+            }
+        }
+        for v in scores.as_mut_slice() {
+            if v.is_infinite() {
+                *v = 0.0;
+            }
+        }
+        if self.config.score_smoothing > 1 {
+            let w = self.config.score_smoothing;
+            let warm = self.warmup();
+            for v in 0..n {
+                let smoothed =
+                    aero_timeseries::stats::moving_average(&scores.row(v)[warm..], w);
+                scores.row_mut(v)[warm..].copy_from_slice(&smoothed);
+            }
+        }
+        Ok(scores)
     }
 }
 
@@ -752,7 +869,7 @@ impl Detector for Aero {
         let omega = self.omega();
         let mut scores = Matrix::full(n, len, f32::INFINITY);
         let ends = self.score_ends(len);
-        let residuals = self.window_residuals(&scaled, &ends)?;
+        let residuals = self.window_residuals(&scaled, &ends, None, true)?;
         for (&end, (_, r)) in ends.iter().zip(&residuals) {
             let start = end + 1 - omega;
             for v in 0..n {
@@ -874,6 +991,42 @@ mod tests {
             .window_graph(&ds.test, ds.test.len() - 1)
             .unwrap();
         assert_eq!(g.shape(), (ds.num_variates(), ds.num_variates()));
+    }
+
+    #[test]
+    fn score_with_modes_degrades_per_star() {
+        let ds = tiny_dataset();
+        let n = ds.num_variates();
+        let mut aero = Aero::new(AeroConfig::tiny()).unwrap();
+        aero.fit(&ds.train).unwrap();
+        let full = aero.score(&ds.test).unwrap();
+
+        // All-Full must be bitwise identical to the plain scoring path.
+        let modes = vec![ScoreMode::Full; n];
+        let same = aero.score_with_modes(&ds.test, &modes).unwrap();
+        assert_eq!(full.as_slice(), same.as_slice());
+
+        // Mixed: star 0 skipped, star 1 stage-1 only, the rest full.
+        let mut modes = vec![ScoreMode::Full; n];
+        modes[0] = ScoreMode::Skip;
+        modes[1] = ScoreMode::Stage1;
+        let mixed = aero.score_with_modes(&ds.test, &modes).unwrap();
+        assert_eq!(mixed.shape(), full.shape());
+        assert!(mixed.row(0).iter().all(|&s| s == 0.0), "skipped star scores 0");
+        assert!(!mixed.has_non_finite());
+
+        // All stars off Full skips the GCN and scores |E| / zeros only.
+        let stage1_only = vec![ScoreMode::Stage1; n];
+        let e_scores = aero.score_with_modes(&ds.test, &stage1_only).unwrap();
+        assert!(!e_scores.has_non_finite());
+        let (expected_e, _) = aero.stage_scores(&ds.test).unwrap();
+        // stage_scores applies no smoothing; compare only when disabled.
+        if aero.config().score_smoothing <= 1 {
+            assert_eq!(e_scores.as_slice(), expected_e.as_slice());
+        }
+
+        // Mode-count mismatch is rejected.
+        assert!(aero.score_with_modes(&ds.test, &modes[..1]).is_err());
     }
 
     #[test]

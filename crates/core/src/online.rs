@@ -24,6 +24,13 @@
 //!   score suppressed to 0 rather than emitting a fabricated alert);
 //! - every degradation is counted in a [`HealthReport`] so operators see
 //!   the pipeline degrading instead of silently lying.
+//!
+//! Overload (input arriving faster than frames can be scored) is handled one
+//! layer up by [`crate::overload::StreamGovernor`], which drives the modal
+//! entry point [`OnlineAero::push_with_modes`] and accounts its decisions in
+//! [`HealthReport::overload`].
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -33,7 +40,8 @@ use aero_tensor::Matrix;
 use aero_timeseries::MultivariateSeries;
 
 use crate::detector::{Detector, DetectorError, DetectorResult};
-use crate::model::Aero;
+use crate::model::{Aero, ScoreMode};
+use crate::overload::OverloadCounters;
 use crate::supervisor::{SupervisionError, Supervisor, SupervisorPolicy};
 use crate::wal::WalWriter;
 
@@ -189,6 +197,10 @@ pub struct HealthReport {
     /// Circuit breakers tripped so far (stars escalated to quarantine, plus
     /// the frame-level breaker if whole-frame scoring keeps failing).
     pub circuit_breaker_trips: usize,
+    /// Overload accounting (admission queue, load shedding, degradation
+    /// ladder) maintained by [`crate::overload::StreamGovernor`]; all zeros
+    /// when frames are pushed directly without a governor.
+    pub overload: OverloadCounters,
 }
 
 impl HealthReport {
@@ -209,6 +221,7 @@ impl HealthReport {
             && self.shard_failures == 0
             && self.frames_suppressed == 0
             && self.circuit_breaker_trips == 0
+            && self.overload.is_clean()
     }
 }
 
@@ -241,7 +254,8 @@ impl std::fmt::Display for HealthReport {
             self.shard_failures,
             self.frames_suppressed,
             self.circuit_breaker_trips,
-        )
+        )?;
+        write!(f, " | overload: {}", self.overload)
     }
 }
 
@@ -431,6 +445,26 @@ impl OnlineAero {
         self.cadence
     }
 
+    /// Star `v`'s current buffered window, oldest sample first (empty for an
+    /// out-of-range star). Used by the governor's SR-fallback rung, which
+    /// scores this window with a model-free baseline.
+    pub fn star_window(&self, v: usize) -> Vec<f32> {
+        if v >= self.num_variates {
+            return Vec::new();
+        }
+        self.buffer.iter().map(|row| row[v]).collect()
+    }
+
+    /// Number of stars per frame.
+    pub fn num_variates(&self) -> usize {
+        self.num_variates
+    }
+
+    /// Mutable health counters, for the governor's overload accounting.
+    pub(crate) fn health_mut(&mut self) -> &mut HealthReport {
+        &mut self.health
+    }
+
     /// Processes one arriving frame (`values[v]` = magnitude of star `v`).
     ///
     /// Data faults (non-finite values, cadence gaps, stale/duplicate
@@ -439,6 +473,40 @@ impl OnlineAero {
     /// whose width disagrees with the model's variate count — or an
     /// internal model failure.
     pub fn push(&mut self, timestamp: f64, values: &[f32]) -> DetectorResult<FrameVerdict> {
+        self.check_width(values)?;
+        // Write-ahead: log the raw frame (dropped and degraded ones
+        // included — replay must reproduce every counter) before any state
+        // changes, so a crash at any later point loses nothing.
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(timestamp, values)?;
+        }
+        self.push_inner(timestamp, values, None)
+    }
+
+    /// [`push`](Self::push) with a per-star degradation mode (the overload
+    /// ladder's model rungs, see [`ScoreMode`] and DESIGN.md §11). Intended
+    /// for [`crate::overload::StreamGovernor`], which owns WAL logging at
+    /// admission time — this entry point therefore never appends to an
+    /// attached WAL itself. `Full`-for-every-star is bitwise identical to
+    /// [`push`](Self::push).
+    pub fn push_with_modes(
+        &mut self,
+        timestamp: f64,
+        values: &[f32],
+        modes: &[ScoreMode],
+    ) -> DetectorResult<FrameVerdict> {
+        self.check_width(values)?;
+        if modes.len() != self.num_variates {
+            return Err(DetectorError::Invalid(format!(
+                "{} score modes for {} stars",
+                modes.len(),
+                self.num_variates
+            )));
+        }
+        self.push_inner(timestamp, values, Some(modes))
+    }
+
+    fn check_width(&self, values: &[f32]) -> DetectorResult<()> {
         if values.len() != self.num_variates {
             return Err(DetectorError::Invalid(format!(
                 "frame width changed: expected {}, got {}",
@@ -446,12 +514,15 @@ impl OnlineAero {
                 values.len()
             )));
         }
-        // Write-ahead: log the raw frame (dropped and degraded ones
-        // included — replay must reproduce every counter) before any state
-        // changes, so a crash at any later point loses nothing.
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append(timestamp, values)?;
-        }
+        Ok(())
+    }
+
+    fn push_inner(
+        &mut self,
+        timestamp: f64,
+        values: &[f32],
+        modes: Option<&[ScoreMode]>,
+    ) -> DetectorResult<FrameVerdict> {
         let frame = self.frames_seen;
         self.frames_seen += 1;
 
@@ -512,7 +583,7 @@ impl OnlineAero {
             });
         }
 
-        let stars = self.score_newest()?;
+        let stars = self.score_newest(modes)?;
         self.scored_frames += 1;
         self.maybe_refit();
         Ok(FrameVerdict {
@@ -634,7 +705,7 @@ impl OnlineAero {
     /// frame-level pass is wrapped once more so even a failure outside the
     /// per-variate fan-out (e.g. the GCN stage) suppresses the frame's
     /// verdicts instead of unwinding through `push`.
-    fn score_newest(&mut self) -> DetectorResult<Vec<StarVerdict>> {
+    fn score_newest(&mut self, modes: Option<&[ScoreMode]>) -> DetectorResult<Vec<StarVerdict>> {
         let n = self.num_variates;
         let w = self.buffer.len();
         let mut m = Matrix::zeros(n, w);
@@ -652,7 +723,10 @@ impl OnlineAero {
         // per-variate figure, and the per-variate path enforces it.
         let outcome = sup.run_with(n + 1, None, true, || {
             model.begin_supervised(Arc::clone(&sup), n);
-            let scores = model.score(&series);
+            let scores = match modes {
+                Some(modes) => model.score_with_modes(&series, modes),
+                None => model.score(&series),
+            };
             let failures = model.end_supervised();
             scores.map(|s| (s, failures))
         });
@@ -728,9 +802,20 @@ impl OnlineAero {
                     // score would mostly measure our own imputation.
                     return StarVerdict { score: 0.0, anomalous: false, status };
                 }
-                self.score_history.push_back(score);
-                if self.score_history.len() > self.policy.refit_window {
-                    self.score_history.pop_front();
+                let full = modes.is_none_or(|m| m[v] == ScoreMode::Full);
+                if full {
+                    // Only full two-stage scores feed the refit history:
+                    // |E| rungs and shed zeros are a different distribution
+                    // and would drag the POT tail fit around with load.
+                    self.score_history.push_back(score);
+                    if self.score_history.len() > self.policy.refit_window {
+                        self.score_history.pop_front();
+                    }
+                }
+                if modes.is_some_and(|m| m[v] == ScoreMode::Skip) {
+                    // Shed star: no model work ran; the zero is a hole, not
+                    // a measurement, and must not read as "nominal".
+                    return StarVerdict { score: 0.0, anomalous: false, status };
                 }
                 StarVerdict {
                     score,

@@ -1,0 +1,858 @@
+//! Overload control for the streaming detector (DESIGN.md §11): admission
+//! control, priority load shedding, and a deadline-aware degradation ladder.
+//!
+//! A GWAC-class ingest node sees frames arrive faster than it can score them
+//! whenever a backlog flushes after a network partition or several camera
+//! feeds land on one worker. Left alone, [`OnlineAero`] would buffer that
+//! pressure in its caller: memory grows without bound and every star's
+//! verdict falls uniformly behind realtime. [`StreamGovernor`] wraps the
+//! stream behind three mechanisms, all **deterministic functions of arrival
+//! order** so the crash-recovery and thread-count bitwise gates keep holding:
+//!
+//! 1. **Admission control** — [`StreamGovernor::offer`] places each arriving
+//!    frame in a bounded queue; at capacity the frame is [`Admission::Rejected`]
+//!    (explicit backpressure, counted in
+//!    [`OverloadCounters::frames_rejected`]), which bounds resident memory.
+//! 2. **Priority load shedding** — while the queue runs above its high
+//!    watermark, [`StreamGovernor::poll`] sheds the cheapest stars from the
+//!    frame being serviced: quarantined stars first, then degraded, then
+//!    nominal — and *never* anomaly-suspect stars (a star whose recent
+//!    verdict was anomalous), so the alerts the telescope exists to catch
+//!    are the last thing sacrificed.
+//! 3. **Degradation ladder** — sustained pressure steps every non-suspect
+//!    star down a rung: full two-stage AERO → Stage-1-only (`|E|`) →
+//!    spectral-residual fallback (model-free, via an injected
+//!    [`FallbackScorer`]) → hold-last-verdict. Sustained headroom steps back
+//!    up, with hysteresis (different streak lengths down vs up) so the
+//!    ladder doesn't chatter at a watermark.
+//!
+//! Deadline awareness is advisory: when the supervision policy sets a
+//! per-attempt deadline, its misses corroborate the queue-depth signal, but
+//! the queue depth — reproducible from the offer/poll interleaving alone —
+//! is what actually drives stepping. The interleaving itself is written
+//! ahead to the WAL (each offered frame carries the number of polls since
+//! the previous offer), so [`StreamGovernor::resume_wal`] replays bitwise
+//! into the same ladder state; recovery granularity is the offer boundary
+//! (polls after the final offer are re-executed, reproducing the same
+//! verdicts).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use aero_parallel::WorkBudget;
+
+use crate::detector::{DetectorError, DetectorResult};
+use crate::model::ScoreMode;
+use crate::online::{FrameDisposition, FrameVerdict, OnlineAero, StarStatus};
+use crate::wal::{WalConfig, WalRecovery, WalWriter};
+
+/// One star's rung on the degradation ladder, cheapest last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderLevel {
+    /// Full two-stage AERO: score is the noise-cancelled residual `|R|`.
+    FullAero,
+    /// Stage-1 only: score is the raw reconstruction error `|E|`.
+    Stage1Only,
+    /// Model skipped; the star's buffered window is scored by the injected
+    /// model-free [`FallbackScorer`] (spectral residual in the CLI wiring).
+    SrFallback,
+    /// No scoring at all: the star's previous verdict is re-emitted.
+    HoldLast,
+}
+
+impl LadderLevel {
+    /// One rung cheaper. Without a fallback scorer the `SrFallback` rung is
+    /// vacuous and is skipped.
+    fn down(self, has_fallback: bool) -> Self {
+        match self {
+            Self::FullAero => Self::Stage1Only,
+            Self::Stage1Only if has_fallback => Self::SrFallback,
+            Self::Stage1Only | Self::SrFallback | Self::HoldLast => Self::HoldLast,
+        }
+    }
+
+    /// One rung richer.
+    fn up(self, has_fallback: bool) -> Self {
+        match self {
+            Self::HoldLast if has_fallback => Self::SrFallback,
+            Self::HoldLast | Self::SrFallback => Self::Stage1Only,
+            Self::Stage1Only | Self::FullAero => Self::FullAero,
+        }
+    }
+
+    /// The model work this rung requests from [`OnlineAero::push_with_modes`].
+    fn score_mode(self) -> ScoreMode {
+        match self {
+            Self::FullAero => ScoreMode::Full,
+            Self::Stage1Only => ScoreMode::Stage1,
+            Self::SrFallback | Self::HoldLast => ScoreMode::Skip,
+        }
+    }
+}
+
+/// Shedding priority of one star, shed in ascending order. `Suspect` stars
+/// (recent anomalous verdict) are never shed at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PriorityClass {
+    /// Quarantined data quality: its verdict is suppressed anyway.
+    Quarantined,
+    /// Degraded data quality: verdict is already less trustworthy.
+    Degraded,
+    /// Healthy star with a quiet recent history.
+    Nominal,
+    /// Recently anomalous: the one class overload must not touch.
+    Suspect,
+}
+
+/// Outcome of [`StreamGovernor::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Frame queued; `depth` is the queue depth including it.
+    Accepted {
+        /// Queue depth after admission.
+        depth: usize,
+    },
+    /// Queue at capacity; the frame was dropped at the door. Explicit
+    /// backpressure: the caller may retry after draining some polls.
+    Rejected {
+        /// Queue depth that caused the rejection.
+        depth: usize,
+    },
+}
+
+impl Admission {
+    /// True when the frame was queued.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Self::Accepted { .. })
+    }
+
+    /// Converts backpressure into the pipeline's error type for callers that
+    /// treat a full queue as fatal: `Accepted` yields the queue depth,
+    /// `Rejected` a [`DetectorError::Overload`].
+    pub fn into_result(self) -> DetectorResult<usize> {
+        match self {
+            Self::Accepted { depth } => Ok(depth),
+            Self::Rejected { depth } => Err(DetectorError::Overload(format!(
+                "admission queue full at depth {depth}"
+            ))),
+        }
+    }
+}
+
+/// Tunables for the governor. Defaults are sized for a queue that absorbs
+/// short bursts untouched, starts degrading at half full, and recovers
+/// lazily (hysteresis: stepping up takes much longer than stepping down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadPolicy {
+    /// Bounded admission-queue capacity; offers beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Depth above which polls count as pressure (shedding and down-steps).
+    pub high_watermark: usize,
+    /// Depth at or below which polls count as headroom (up-steps).
+    pub low_watermark: usize,
+    /// Consecutive pressure polls before every non-suspect star steps down.
+    pub down_streak: usize,
+    /// Consecutive headroom polls before every star steps up.
+    pub up_streak: usize,
+    /// Serviced frames for which an anomalous verdict pins its star as
+    /// [`PriorityClass::Suspect`] (never shed, always scored at full rung).
+    pub suspect_hold: usize,
+    /// Anomaly threshold for [`FallbackScorer`] scores. The fallback's scale
+    /// is unrelated to the POT-calibrated model threshold, so it gets its
+    /// own conservative cut.
+    pub fallback_threshold: f32,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            high_watermark: 32,
+            low_watermark: 8,
+            down_streak: 3,
+            up_streak: 16,
+            suspect_hold: 128,
+            fallback_threshold: 3.0,
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        if self.high_watermark >= self.queue_capacity {
+            return Err(format!(
+                "high_watermark {} must be below queue_capacity {}",
+                self.high_watermark, self.queue_capacity
+            ));
+        }
+        if self.low_watermark > self.high_watermark {
+            return Err(format!(
+                "low_watermark {} must not exceed high_watermark {}",
+                self.low_watermark, self.high_watermark
+            ));
+        }
+        if self.down_streak == 0 || self.up_streak == 0 {
+            return Err("down_streak and up_streak must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Overload accounting embedded in [`crate::online::HealthReport`].
+/// `queue_depth`, `queue_peak`, `stars_below_full`, and `frames_behind` are
+/// gauges (newest state); everything else is cumulative.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadCounters {
+    /// Current admission-queue depth.
+    pub queue_depth: usize,
+    /// Deepest the queue has been.
+    pub queue_peak: usize,
+    /// Offers rejected at the door (queue at capacity).
+    pub frames_rejected: usize,
+    /// Star-frames shed (one star skipped for one serviced frame).
+    pub star_sheds: usize,
+    /// Per-star down-steps taken by the degradation ladder.
+    pub ladder_steps_down: usize,
+    /// Per-star up-steps taken by the degradation ladder.
+    pub ladder_steps_up: usize,
+    /// Stars currently below the full two-stage rung.
+    pub stars_below_full: usize,
+    /// Verdicts produced by the model-free fallback scorer.
+    pub fallback_scores: usize,
+    /// Verdicts re-emitted from a star's previous poll (hold-last rung).
+    pub held_verdicts: usize,
+    /// Frames queued behind the one just serviced (backlog gauge).
+    pub frames_behind: usize,
+}
+
+impl OverloadCounters {
+    /// True when overload never forced any decision. Gauges (and up-steps,
+    /// which only ever follow down-steps) are excluded: a drained queue is
+    /// not degradation.
+    pub fn is_clean(&self) -> bool {
+        self.frames_rejected == 0
+            && self.star_sheds == 0
+            && self.ladder_steps_down == 0
+            && self.fallback_scores == 0
+            && self.held_verdicts == 0
+    }
+}
+
+impl fmt::Display for OverloadCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue {} (peak {}) | rejected {} | shed {} star-frames | \
+             ladder {} down / {} up ({} below full) | {} fallback / {} held | {} behind",
+            self.queue_depth,
+            self.queue_peak,
+            self.frames_rejected,
+            self.star_sheds,
+            self.ladder_steps_down,
+            self.ladder_steps_up,
+            self.stars_below_full,
+            self.fallback_scores,
+            self.held_verdicts,
+            self.frames_behind,
+        )
+    }
+}
+
+/// Signature of the injected fallback scoring function: a star's trailing
+/// window in, a single anomaly score out.
+pub type FallbackFn = dyn Fn(&[f32]) -> f32 + Send + Sync;
+
+/// Model-free per-star scorer for the `SrFallback` rung: maps a star's
+/// buffered window (oldest first) to an anomaly score. The CLI wires the
+/// spectral-residual baseline here; core cannot depend on `aero-baselines`
+/// (the dependency points the other way), hence the injection.
+#[derive(Clone)]
+pub struct FallbackScorer(Arc<FallbackFn>);
+
+impl FallbackScorer {
+    /// Wraps a window-scoring closure.
+    pub fn new(f: impl Fn(&[f32]) -> f32 + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    fn score(&self, window: &[f32]) -> f32 {
+        (self.0)(window)
+    }
+}
+
+impl fmt::Debug for FallbackScorer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FallbackScorer(..)")
+    }
+}
+
+/// A serviced frame's verdict plus the overload decisions behind it.
+#[derive(Debug, Clone)]
+pub struct GovernedVerdict {
+    /// The per-star verdicts (fallback / held rungs already substituted).
+    pub verdict: FrameVerdict,
+    /// Which stars were shed for this frame.
+    pub shed: Vec<bool>,
+    /// Each star's ladder rung when the frame was serviced.
+    pub levels: Vec<LadderLevel>,
+    /// Each star's shedding priority when the frame was serviced.
+    pub classes: Vec<PriorityClass>,
+}
+
+/// A frame parked in the admission queue.
+#[derive(Debug, Clone)]
+struct QueuedFrame {
+    timestamp: f64,
+    values: Vec<f32>,
+}
+
+/// How many of `max_sheddable` stars to shed at queue depth `depth`: zero at
+/// the high watermark, scaling linearly to all of them at capacity.
+fn shed_count(depth: usize, high: usize, capacity: usize, max_sheddable: usize) -> usize {
+    if depth <= high {
+        return 0;
+    }
+    let span = capacity.saturating_sub(high).max(1);
+    let over = (depth - high).min(span);
+    max_sheddable * over / span
+}
+
+/// Admission control + load shedding + degradation ladder around an
+/// [`OnlineAero`]. See the module docs for the model; `core/tests/overload.rs`
+/// holds the chaos harness that pins down the determinism contract.
+#[derive(Debug)]
+pub struct StreamGovernor {
+    online: OnlineAero,
+    policy: OverloadPolicy,
+    queue: VecDeque<QueuedFrame>,
+    /// Per-star ladder rung.
+    levels: Vec<LadderLevel>,
+    /// Serviced-frame index until which star `v` stays a suspect.
+    suspect_until: Vec<usize>,
+    /// Last emitted (score, anomalous) per star, for the hold-last rung.
+    last_verdicts: Vec<(f32, bool)>,
+    pressure_streak: usize,
+    headroom_streak: usize,
+    /// Frames serviced so far (the suspect clock).
+    polls: usize,
+    /// Polls since the previous offer — written as WAL metadata so resume
+    /// replays the exact offer/poll interleaving.
+    polls_since_offer: u32,
+    wal: Option<WalWriter>,
+    budget: WorkBudget,
+    fallback: Option<FallbackScorer>,
+}
+
+impl StreamGovernor {
+    /// Wraps a stream with the default [`OverloadPolicy`].
+    pub fn new(online: OnlineAero) -> DetectorResult<Self> {
+        Self::with_policy(online, OverloadPolicy::default())
+    }
+
+    /// Wraps a stream with an explicit policy.
+    pub fn with_policy(online: OnlineAero, policy: OverloadPolicy) -> DetectorResult<Self> {
+        policy.validate().map_err(DetectorError::Invalid)?;
+        let n = online.num_variates();
+        let budget = WorkBudget::new(policy.queue_capacity.saturating_mul(n.max(1)));
+        Ok(Self {
+            online,
+            policy,
+            queue: VecDeque::new(),
+            levels: vec![LadderLevel::FullAero; n],
+            suspect_until: vec![0; n],
+            last_verdicts: vec![(0.0, false); n],
+            pressure_streak: 0,
+            headroom_streak: 0,
+            polls: 0,
+            polls_since_offer: 0,
+            wal: None,
+            budget,
+            fallback: None,
+        })
+    }
+
+    /// Installs (or clears) the model-free fallback scorer. Without one the
+    /// ladder's `SrFallback` rung is skipped (stars drop straight from
+    /// Stage-1-only to hold-last).
+    pub fn set_fallback(&mut self, fallback: Option<FallbackScorer>) {
+        self.fallback = fallback;
+    }
+
+    /// Attaches a write-ahead log. Every subsequent offer (accepted or
+    /// rejected) is logged *with the polls-since-previous-offer count* before
+    /// the admission decision, so [`StreamGovernor::resume_wal`] can replay
+    /// the exact interleaving. The wrapped [`OnlineAero`] must not carry its
+    /// own WAL — the governor owns logging.
+    pub fn attach_wal(&mut self, wal: WalWriter) -> DetectorResult<()> {
+        if self.online.wal().is_some() {
+            return Err(DetectorError::Invalid(
+                "detach the OnlineAero WAL before attaching one to the governor".into(),
+            ));
+        }
+        self.wal = Some(wal);
+        Ok(())
+    }
+
+    /// Detaches and returns the write-ahead log, if any.
+    pub fn take_wal(&mut self) -> Option<WalWriter> {
+        self.wal.take()
+    }
+
+    /// Offers one arriving frame for admission. The only errors are
+    /// structural (frame width, WAL I/O); a full queue is the
+    /// [`Admission::Rejected`] value, not an error.
+    pub fn offer(&mut self, timestamp: f64, values: &[f32]) -> DetectorResult<Admission> {
+        if values.len() != self.online.num_variates() {
+            return Err(DetectorError::Invalid(format!(
+                "frame width changed: expected {}, got {}",
+                self.online.num_variates(),
+                values.len()
+            )));
+        }
+        // Write-ahead: even a frame about to be rejected is logged first —
+        // the rejection is recomputed deterministically on replay from the
+        // same queue state, and logging before deciding means a crash
+        // between the two can't silently lose the decision.
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append_with_meta(timestamp, values, self.polls_since_offer)?;
+        }
+        self.polls_since_offer = 0;
+        Ok(self.admit(timestamp, values))
+    }
+
+    /// The admission decision proper (shared by `offer` and WAL replay).
+    fn admit(&mut self, timestamp: f64, values: &[f32]) -> Admission {
+        let n = self.online.num_variates();
+        let depth = self.queue.len();
+        if depth >= self.policy.queue_capacity {
+            let overload = &mut self.online.health_mut().overload;
+            overload.frames_rejected += 1;
+            overload.queue_depth = depth;
+            return Admission::Rejected { depth };
+        }
+        self.budget.try_charge(n.max(1));
+        self.queue.push_back(QueuedFrame {
+            timestamp,
+            values: values.to_vec(),
+        });
+        let depth = self.queue.len();
+        let overload = &mut self.online.health_mut().overload;
+        overload.queue_depth = depth;
+        overload.queue_peak = overload.queue_peak.max(depth);
+        Admission::Accepted { depth }
+    }
+
+    /// Services the oldest queued frame: steps the ladder, picks the shed
+    /// set, scores what remains, and substitutes the fallback / hold-last
+    /// rungs. Returns `None` on an empty queue.
+    pub fn poll(&mut self) -> DetectorResult<Option<GovernedVerdict>> {
+        let depth = self.queue.len();
+        let Some(frame) = self.queue.pop_front() else {
+            let overload = &mut self.online.health_mut().overload;
+            overload.queue_depth = 0;
+            overload.frames_behind = 0;
+            return Ok(None);
+        };
+        let n = self.online.num_variates();
+        self.polls_since_offer = self.polls_since_offer.saturating_add(1);
+
+        // Pressure signal = depth at poll time (the frame being serviced
+        // included): a pure function of the offer/poll interleaving.
+        self.step_ladder(depth);
+        let classes = self.classes();
+        let shed = self.shed_set(depth, &classes);
+
+        let modes: Vec<ScoreMode> = (0..n)
+            .map(|v| {
+                if shed[v] {
+                    ScoreMode::Skip
+                } else if classes[v] == PriorityClass::Suspect {
+                    // Suspects are pinned to the full pipeline whatever the
+                    // ladder says: a candidate alert gets the best verdict
+                    // the system can produce.
+                    ScoreMode::Full
+                } else {
+                    self.levels[v].score_mode()
+                }
+            })
+            .collect();
+
+        let mut verdict = self
+            .online
+            .push_with_modes(frame.timestamp, &frame.values, &modes)?;
+        self.budget.release(n.max(1));
+        self.polls += 1;
+        let scored = verdict.disposition == FrameDisposition::Scored;
+
+        // Substitute the model-free rungs into the verdict. Quarantined
+        // stars stay suppressed: SR on a mostly-imputed window would score
+        // our own imputation, and a held verdict would predate the blackout.
+        let mut fallback_scores = 0usize;
+        let mut held_verdicts = 0usize;
+        let mut star_sheds = 0usize;
+        for v in 0..n {
+            if shed[v] {
+                star_sheds += 1;
+                continue;
+            }
+            if !scored || classes[v] == PriorityClass::Suspect {
+                continue;
+            }
+            let quarantined = verdict.stars[v].status == StarStatus::Quarantined;
+            match self.levels[v] {
+                LadderLevel::FullAero | LadderLevel::Stage1Only => {}
+                LadderLevel::SrFallback => match (&self.fallback, quarantined) {
+                    (Some(fb), false) => {
+                        let score = fb.score(&self.online.star_window(v));
+                        verdict.stars[v].score = score;
+                        verdict.stars[v].anomalous = score >= self.policy.fallback_threshold;
+                        fallback_scores += 1;
+                    }
+                    _ => {
+                        // No scorer (or quarantined): behave as hold-last.
+                        if !quarantined {
+                            let (score, anomalous) = self.last_verdicts[v];
+                            verdict.stars[v].score = score;
+                            verdict.stars[v].anomalous = anomalous;
+                            held_verdicts += 1;
+                        }
+                    }
+                },
+                LadderLevel::HoldLast => {
+                    if !quarantined {
+                        let (score, anomalous) = self.last_verdicts[v];
+                        verdict.stars[v].score = score;
+                        verdict.stars[v].anomalous = anomalous;
+                        held_verdicts += 1;
+                    }
+                }
+            }
+        }
+
+        // Bookkeeping: suspects, hold-last memory, gauges.
+        let mut stars_below_full = 0usize;
+        for (v, &was_shed) in shed.iter().enumerate() {
+            let star = verdict.stars[v];
+            if star.anomalous {
+                self.suspect_until[v] = self.polls + self.policy.suspect_hold;
+            }
+            if scored && !was_shed {
+                self.last_verdicts[v] = (star.score, star.anomalous);
+            }
+            if self.levels[v] != LadderLevel::FullAero {
+                stars_below_full += 1;
+            }
+        }
+        let backlog = self.queue.len();
+        let overload = &mut self.online.health_mut().overload;
+        overload.star_sheds += star_sheds;
+        overload.fallback_scores += fallback_scores;
+        overload.held_verdicts += held_verdicts;
+        overload.stars_below_full = stars_below_full;
+        overload.queue_depth = backlog;
+        overload.frames_behind = backlog;
+
+        Ok(Some(GovernedVerdict {
+            verdict,
+            shed,
+            levels: self.levels.clone(),
+            classes,
+        }))
+    }
+
+    /// Polls until the queue is empty, collecting every verdict.
+    pub fn drain(&mut self) -> DetectorResult<Vec<GovernedVerdict>> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(v) = self.poll()? {
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Steps the hysteretic ladder from the queue-depth signal.
+    fn step_ladder(&mut self, depth: usize) {
+        let has_fallback = self.fallback.is_some();
+        if depth > self.policy.high_watermark {
+            self.pressure_streak += 1;
+            self.headroom_streak = 0;
+            if self.pressure_streak >= self.policy.down_streak {
+                self.pressure_streak = 0;
+                let mut steps = 0usize;
+                for (v, level) in self.levels.iter_mut().enumerate() {
+                    if self.suspect_until[v] > self.polls {
+                        continue; // suspects never degrade
+                    }
+                    let next = level.down(has_fallback);
+                    if next != *level {
+                        *level = next;
+                        steps += 1;
+                    }
+                }
+                self.online.health_mut().overload.ladder_steps_down += steps;
+            }
+        } else if depth <= self.policy.low_watermark {
+            self.headroom_streak += 1;
+            self.pressure_streak = 0;
+            if self.headroom_streak >= self.policy.up_streak {
+                self.headroom_streak = 0;
+                let mut steps = 0usize;
+                for level in self.levels.iter_mut() {
+                    let next = level.up(has_fallback);
+                    if next != *level {
+                        *level = next;
+                        steps += 1;
+                    }
+                }
+                self.online.health_mut().overload.ladder_steps_up += steps;
+            }
+        } else {
+            // Between the watermarks: hold the current rungs and require the
+            // streaks to restart — that's the hysteresis band.
+            self.pressure_streak = 0;
+            self.headroom_streak = 0;
+        }
+    }
+
+    /// Current shedding priority of every star.
+    fn classes(&self) -> Vec<PriorityClass> {
+        self.online
+            .star_status()
+            .iter()
+            .enumerate()
+            .map(|(v, status)| {
+                if self.suspect_until[v] > self.polls {
+                    PriorityClass::Suspect
+                } else {
+                    match status {
+                        StarStatus::Quarantined => PriorityClass::Quarantined,
+                        StarStatus::Degraded => PriorityClass::Degraded,
+                        StarStatus::Nominal => PriorityClass::Nominal,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Picks the shed set for this poll: lowest classes first, ties by star
+    /// index, suspects excluded outright — so an anomaly-suspect star can
+    /// never be shed while any lower-priority star survives.
+    fn shed_set(&mut self, depth: usize, classes: &[PriorityClass]) -> Vec<bool> {
+        let n = classes.len();
+        let mut shed = vec![false; n];
+        let sheddable: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..n)
+                .filter(|&v| classes[v] != PriorityClass::Suspect)
+                .collect();
+            idx.sort_by_key(|&v| (classes[v], v));
+            idx
+        };
+        let count = shed_count(
+            depth,
+            self.policy.high_watermark,
+            self.policy.queue_capacity,
+            sheddable.len(),
+        );
+        for &v in sheddable.iter().take(count) {
+            shed[v] = true;
+        }
+        shed
+    }
+
+    /// Resumes a governed stream from its write-ahead log: recovers the
+    /// longest valid prefix, then replays the recorded offer/poll
+    /// interleaving through a freshly rebuilt `online` (same model, same
+    /// calibration), reproducing queue, ladder, suspect set, and every
+    /// counter bitwise. Returns the replayed verdicts so the caller can
+    /// deduplicate against already-emitted output. Legacy records without
+    /// interleaving metadata are replayed conservatively (drain fully, then
+    /// offer), which reproduces an ungoverned `push` stream.
+    pub fn resume_wal(
+        online: OnlineAero,
+        policy: OverloadPolicy,
+        fallback: Option<FallbackScorer>,
+        dir: &Path,
+        config: WalConfig,
+    ) -> DetectorResult<(Self, Vec<GovernedVerdict>, WalRecovery)> {
+        if online.wal().is_some() {
+            return Err(DetectorError::Invalid(
+                "detach the OnlineAero WAL before resuming a governed stream".into(),
+            ));
+        }
+        let (wal, frames, recovery) = WalWriter::resume(dir, config)?;
+        let mut gov = Self::with_policy(online, policy)?;
+        gov.fallback = fallback;
+        let mut verdicts = Vec::new();
+        for frame in frames {
+            match frame.meta {
+                Some(polls) => {
+                    for _ in 0..polls {
+                        if let Some(v) = gov.poll()? {
+                            verdicts.push(v);
+                        }
+                    }
+                    gov.admit(frame.timestamp, &frame.values);
+                    gov.polls_since_offer = 0;
+                }
+                None => {
+                    verdicts.extend(gov.drain()?);
+                    gov.admit(frame.timestamp, &frame.values);
+                    gov.polls_since_offer = 0;
+                    verdicts.extend(gov.drain()?);
+                }
+            }
+        }
+        gov.wal = Some(wal);
+        Ok((gov, verdicts, recovery))
+    }
+
+    /// Forces every star onto one rung (benchmarks and operator runbooks;
+    /// the ladder keeps stepping from here).
+    pub fn force_ladder_level(&mut self, level: LadderLevel) {
+        for slot in self.levels.iter_mut() {
+            *slot = level;
+        }
+    }
+
+    /// The wrapped stream (health counters, thresholds, star status).
+    pub fn online(&self) -> &OnlineAero {
+        &self.online
+    }
+
+    /// Consumes the governor, returning the wrapped stream.
+    pub fn into_online(self) -> OnlineAero {
+        self.online
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Each star's current ladder rung.
+    pub fn levels(&self) -> &[LadderLevel] {
+        &self.levels
+    }
+
+    /// The memory/work accountant (peak tracks the deepest backlog).
+    pub fn budget(&self) -> &WorkBudget {
+        &self.budget
+    }
+
+    /// Frames serviced so far.
+    pub fn polls(&self) -> usize {
+        self.polls
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &OverloadPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_steps_skip_vacuous_fallback_rung() {
+        // With a fallback scorer the ladder walks every rung.
+        let mut level = LadderLevel::FullAero;
+        let mut walked = vec![level];
+        for _ in 0..4 {
+            level = level.down(true);
+            walked.push(level);
+        }
+        assert_eq!(
+            walked,
+            vec![
+                LadderLevel::FullAero,
+                LadderLevel::Stage1Only,
+                LadderLevel::SrFallback,
+                LadderLevel::HoldLast,
+                LadderLevel::HoldLast,
+            ]
+        );
+        // Without one, SrFallback is skipped in both directions.
+        assert_eq!(LadderLevel::Stage1Only.down(false), LadderLevel::HoldLast);
+        assert_eq!(LadderLevel::HoldLast.up(false), LadderLevel::Stage1Only);
+        assert_eq!(LadderLevel::HoldLast.up(true), LadderLevel::SrFallback);
+        assert_eq!(LadderLevel::FullAero.up(true), LadderLevel::FullAero);
+    }
+
+    #[test]
+    fn shed_count_scales_between_watermark_and_capacity() {
+        // high = 32, capacity = 64, 10 sheddable stars.
+        assert_eq!(shed_count(0, 32, 64, 10), 0);
+        assert_eq!(shed_count(32, 32, 64, 10), 0);
+        assert_eq!(shed_count(48, 32, 64, 10), 5);
+        assert_eq!(shed_count(64, 32, 64, 10), 10);
+        assert_eq!(shed_count(1000, 32, 64, 10), 10, "clamped past capacity");
+        assert_eq!(shed_count(64, 32, 64, 0), 0, "nothing sheddable");
+        // Degenerate watermark geometry must not divide by zero.
+        assert_eq!(shed_count(5, 4, 4, 3), 3);
+    }
+
+    #[test]
+    fn admission_into_result_maps_rejection_to_overload_error() {
+        assert_eq!(Admission::Accepted { depth: 3 }.into_result().unwrap(), 3);
+        let err = Admission::Rejected { depth: 64 }.into_result().unwrap_err();
+        assert!(matches!(err, DetectorError::Overload(_)));
+        assert!(err.to_string().contains("64"));
+    }
+
+    #[test]
+    fn policy_validation_rejects_inverted_watermarks() {
+        assert!(OverloadPolicy::default().validate().is_ok());
+        let bad = OverloadPolicy { high_watermark: 64, ..OverloadPolicy::default() };
+        assert!(bad.validate().is_err());
+        let bad = OverloadPolicy { low_watermark: 33, ..OverloadPolicy::default() };
+        assert!(bad.validate().is_err());
+        let bad = OverloadPolicy { queue_capacity: 0, ..OverloadPolicy::default() };
+        assert!(bad.validate().is_err());
+        let bad = OverloadPolicy { up_streak: 0, ..OverloadPolicy::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn counters_cleanliness_ignores_gauges() {
+        let mut c = OverloadCounters::default();
+        assert!(c.is_clean());
+        c.queue_depth = 10;
+        c.queue_peak = 20;
+        c.frames_behind = 10;
+        c.ladder_steps_up = 1; // only reachable after a down-step in practice
+        assert!(c.is_clean(), "gauges are not degradation");
+        c.star_sheds = 1;
+        assert!(!c.is_clean());
+        let shown = c.to_string();
+        assert!(shown.contains("shed 1 star-frames"), "{shown}");
+    }
+
+    #[test]
+    fn priority_classes_order_suspect_last() {
+        let mut classes = vec![
+            PriorityClass::Suspect,
+            PriorityClass::Nominal,
+            PriorityClass::Quarantined,
+            PriorityClass::Degraded,
+        ];
+        classes.sort();
+        assert_eq!(
+            classes,
+            vec![
+                PriorityClass::Quarantined,
+                PriorityClass::Degraded,
+                PriorityClass::Nominal,
+                PriorityClass::Suspect,
+            ]
+        );
+    }
+}

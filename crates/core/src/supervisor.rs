@@ -24,6 +24,8 @@
 //! execution, which is what lets the crash-recovery suite assert bitwise
 //! equality across kill/resume runs (see DESIGN.md §10).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
@@ -53,6 +55,15 @@ pub struct SupervisorPolicy {
     /// Consecutive exhausted `run` failures on one unit that trip its
     /// circuit breaker. `u32::MAX` disables the breaker.
     pub circuit_threshold: u32,
+    /// Half-open recovery: after this many short-circuited calls, an open
+    /// breaker admits one unretried **probe** attempt. A successful probe
+    /// closes the breaker ([`SupervisorStats::circuits_closed`]); a failed
+    /// one re-arms the wait. `u32::MAX` (the default) disables half-open —
+    /// an open breaker then stays open until [`Supervisor::reset`], which
+    /// preserves the PR 3 behaviour the crash-recovery gates pin down.
+    /// The probe schedule counts *calls*, not wall-clock, so it is exactly
+    /// reproduced by a WAL replay.
+    pub probe_after: u32,
 }
 
 impl Default for SupervisorPolicy {
@@ -63,6 +74,7 @@ impl Default for SupervisorPolicy {
             backoff_base: Duration::from_millis(1),
             backoff_factor: 2,
             circuit_threshold: 3,
+            probe_after: u32::MAX,
         }
     }
 }
@@ -193,6 +205,11 @@ pub struct SupervisorStats {
     pub circuits_opened: usize,
     /// `run` calls rejected immediately because the breaker was open.
     pub short_circuits: usize,
+    /// Half-open probe attempts admitted through an open breaker.
+    pub probes: usize,
+    /// Circuit breakers that transitioned open → closed via a successful
+    /// half-open probe (manual [`Supervisor::reset`] calls are not counted).
+    pub circuits_closed: usize,
 }
 
 /// Per-unit circuit-breaker state. All atomic so shards on different pool
@@ -202,6 +219,9 @@ struct UnitBreaker {
     /// Consecutive exhausted `run` failures; reset to 0 on any success.
     consecutive: AtomicU32,
     open: AtomicBool,
+    /// Calls short-circuited since the breaker opened (or since the last
+    /// failed probe); drives the half-open probe schedule.
+    short_circuited: AtomicU32,
 }
 
 /// Runs closures with panic capture, deadline budgets, bounded deterministic
@@ -216,6 +236,8 @@ pub struct Supervisor {
     retries: AtomicUsize,
     circuits_opened: AtomicUsize,
     short_circuits: AtomicUsize,
+    probes: AtomicUsize,
+    circuits_closed: AtomicUsize,
 }
 
 /// Outcome of a single attempt, before retry policy is applied.
@@ -238,6 +260,8 @@ impl Supervisor {
             retries: AtomicUsize::new(0),
             circuits_opened: AtomicUsize::new(0),
             short_circuits: AtomicUsize::new(0),
+            probes: AtomicUsize::new(0),
+            circuits_closed: AtomicUsize::new(0),
         }
     }
 
@@ -264,6 +288,7 @@ impl Supervisor {
         if let Some(u) = self.units.get(unit) {
             u.consecutive.store(0, Ordering::Relaxed);
             u.open.store(false, Ordering::Relaxed);
+            u.short_circuited.store(0, Ordering::Relaxed);
         }
     }
 
@@ -276,6 +301,8 @@ impl Supervisor {
             retries: self.retries.load(Ordering::Relaxed),
             circuits_opened: self.circuits_opened.load(Ordering::Relaxed),
             short_circuits: self.short_circuits.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            circuits_closed: self.circuits_closed.load(Ordering::Relaxed),
         }
     }
 
@@ -305,8 +332,29 @@ impl Supervisor {
         if use_breaker {
             if let Some(b) = breaker {
                 if b.open.load(Ordering::Relaxed) {
-                    self.short_circuits.fetch_add(1, Ordering::Relaxed);
-                    return Err(SupervisionError::CircuitOpen { unit });
+                    let waited = b.short_circuited.fetch_add(1, Ordering::Relaxed) + 1;
+                    let probe_due =
+                        self.policy.probe_after != u32::MAX && waited > self.policy.probe_after;
+                    if !probe_due {
+                        self.short_circuits.fetch_add(1, Ordering::Relaxed);
+                        return Err(SupervisionError::CircuitOpen { unit });
+                    }
+                    // Half-open: admit exactly one unretried probe. Success
+                    // closes the breaker; failure re-arms the wait.
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    return match self.attempt_once(unit, 1, deadline, &mut task) {
+                        Attempt::Ok(value) => {
+                            b.short_circuited.store(0, Ordering::Relaxed);
+                            b.consecutive.store(0, Ordering::Relaxed);
+                            b.open.store(false, Ordering::Relaxed);
+                            self.circuits_closed.fetch_add(1, Ordering::Relaxed);
+                            Ok(value)
+                        }
+                        Attempt::Failed(failure) => {
+                            b.short_circuited.store(0, Ordering::Relaxed);
+                            Err(failure)
+                        }
+                    };
                 }
             }
         }
@@ -516,6 +564,126 @@ mod tests {
         assert_eq!(policy.backoff_delay(1), Duration::from_millis(6));
         assert_eq!(policy.backoff_delay(2), Duration::from_millis(12));
         assert_eq!(policy.backoff_delay(3), Duration::from_millis(24));
+    }
+
+    #[test]
+    fn half_open_probe_recovers_breaker() {
+        let policy = SupervisorPolicy {
+            max_retries: 0,
+            circuit_threshold: 1,
+            probe_after: 2,
+            ..quiet_policy()
+        };
+        let sup = Supervisor::new(policy, 1);
+        let out: Result<(), SupervisionError<DetectorError>> = sup.run(0, || panic!("down"));
+        assert!(matches!(out.unwrap_err(), SupervisionError::Panic { .. }));
+        assert!(sup.is_open(0));
+
+        // Two calls short-circuit while the breaker waits out `probe_after`.
+        for _ in 0..2 {
+            let out: Result<(), SupervisionError<DetectorError>> =
+                sup.run(0, || panic!("must not run"));
+            assert!(matches!(
+                out.unwrap_err(),
+                SupervisionError::CircuitOpen { unit: 0 }
+            ));
+        }
+        assert_eq!(sup.stats().short_circuits, 2);
+
+        // Third call is the probe; it still fails, so the breaker re-arms.
+        let out: Result<(), SupervisionError<DetectorError>> = sup.run(0, || panic!("still down"));
+        match out.unwrap_err() {
+            SupervisionError::Panic { attempts, .. } => {
+                assert_eq!(attempts, 1, "probes are never retried");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        assert!(sup.is_open(0), "failed probe keeps the breaker open");
+        assert_eq!(sup.stats().probes, 1);
+        assert_eq!(sup.stats().circuits_closed, 0);
+
+        // Re-armed: two more short-circuits, then a probe that succeeds and
+        // closes the breaker.
+        for _ in 0..2 {
+            let out: Result<u32, SupervisionError<DetectorError>> = sup.run(0, || Ok(1));
+            assert!(matches!(
+                out.unwrap_err(),
+                SupervisionError::CircuitOpen { unit: 0 }
+            ));
+        }
+        let out: Result<u32, SupervisionError<DetectorError>> = sup.run(0, || Ok(5));
+        assert_eq!(out.unwrap(), 5, "successful probe returns its value");
+        assert!(!sup.is_open(0), "successful probe closes the breaker");
+        let stats = sup.stats();
+        assert_eq!(stats.probes, 2);
+        assert_eq!(stats.circuits_closed, 1);
+        assert_eq!(stats.short_circuits, 4);
+        assert_eq!(stats.retries, 0);
+
+        // Breaker is fully closed again: normal calls run the task.
+        let out: Result<u32, SupervisionError<DetectorError>> = sup.run(0, || Ok(6));
+        assert_eq!(out.unwrap(), 6);
+    }
+
+    #[test]
+    fn stats_are_deterministic_across_thread_counts() {
+        // The same failing workload, fanned out over the pool at different
+        // thread counts, must land on identical cumulative stats — the
+        // counters are pure functions of the work, not of the schedule.
+        let run_workload = |threads: usize| {
+            let saved = aero_parallel::max_threads();
+            aero_parallel::set_max_threads(threads);
+            let policy = SupervisorPolicy {
+                max_retries: 1,
+                circuit_threshold: u32::MAX,
+                ..quiet_policy()
+            };
+            let sup = Supervisor::new(policy, 8);
+            aero_parallel::parallel_map_range(8, |unit| {
+                let out: Result<u32, SupervisionError<DetectorError>> = sup.run(unit, || {
+                    if unit % 2 == 0 {
+                        Err(DetectorError::Invalid(format!("unit {unit}")))
+                    } else {
+                        Ok(unit as u32)
+                    }
+                });
+                out.is_ok()
+            });
+            let stats = sup.stats();
+            aero_parallel::set_max_threads(saved);
+            stats
+        };
+        let serial = run_workload(1);
+        let parallel = run_workload(4);
+        assert_eq!(serial, parallel);
+        // 4 even units × 2 attempts each (1 retry), odd units succeed.
+        assert_eq!(serial.task_failures, 8);
+        assert_eq!(serial.retries, 4);
+        assert_eq!(serial.panics, 0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_across_thread_counts() {
+        let policy = SupervisorPolicy {
+            backoff_base: Duration::from_millis(2),
+            backoff_factor: 3,
+            ..SupervisorPolicy::default()
+        };
+        let expected: Vec<Duration> = (0..6).map(|r| policy.backoff_delay(r)).collect();
+        for threads in [1usize, 4] {
+            let saved = aero_parallel::max_threads();
+            aero_parallel::set_max_threads(threads);
+            let schedules = aero_parallel::parallel_map_range(4, |_| {
+                (0..6).map(|r| policy.backoff_delay(r)).collect::<Vec<_>>()
+            });
+            aero_parallel::set_max_threads(saved);
+            for schedule in schedules {
+                assert_eq!(schedule, expected);
+            }
+        }
+        assert_eq!(expected[0], Duration::from_millis(2));
+        assert_eq!(expected[1], Duration::from_millis(6));
+        assert_eq!(expected[2], Duration::from_millis(18));
     }
 
     #[test]

@@ -21,11 +21,24 @@
 //! [len: u32 LE] [payload: len bytes] [checksum: u64 LE]   // FNV-1a(payload)
 //! payload = frame_index: u64 LE | timestamp_bits: u64 LE
 //!         | n: u32 LE | n × value_bits: u32 LE
+//!         | [meta: u32 LE]                                 // optional
 //! ```
+//!
+//! The trailing `meta` word is optional and disambiguated by length: a
+//! payload of exactly `20 + 4n` bytes has no meta, `24 + 4n` bytes carries
+//! one. [`OnlineAero::push`](crate::online::OnlineAero::push) writes plain
+//! records; the overload governor ([`crate::overload`]) writes each offered
+//! frame with `meta` = the number of service polls performed since the
+//! previous offer, which is exactly the information a resume needs to replay
+//! the same offer/poll interleaving — and therefore the same admission,
+//! shed, and ladder decisions — that the crashed process made.
 //!
 //! The checksum reuses the FNV-1a scheme of the v2 checkpoint format.
 //! Segments rotate every [`WalConfig::frames_per_segment`] records; old
-//! segments are never rewritten.
+//! segments are never rewritten. Rotation also fsyncs the **directory**
+//! (policy permitting) so the new segment's directory entry is durable, and
+//! [`WalWriter::resume`] fsyncs the directory after deleting post-cut
+//! segments so a crash immediately after recovery cannot resurrect them.
 //!
 //! # Recovery invariants
 //!
@@ -45,6 +58,10 @@
 //! nothing because the file is already written; only a whole-machine crash
 //! can), `EverySegment` fsyncs at rotation, `EveryRecord` fsyncs each append.
 //! The `wal_overhead` rows of `BENCH_parallel.json` record the measured cost.
+
+// Streaming modules run unattended for whole nights; a stray `unwrap` is a
+// latent crash, so the lint gate forbids them outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -115,6 +132,11 @@ pub struct WalFrame {
     pub timestamp: f64,
     /// The frame's values (raw bits preserved).
     pub values: Vec<f32>,
+    /// Optional caller metadata. The overload governor stores the number of
+    /// service polls performed since the previous offer, so resume can
+    /// replay the exact offer/poll interleaving. Plain
+    /// [`WalWriter::append`] records carry `None`.
+    pub meta: Option<u32>,
 }
 
 /// What [`replay`] / [`WalWriter::resume`] found on disk.
@@ -140,14 +162,26 @@ fn segment_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("wal-{seq:06}.seg"))
 }
 
+/// Fsyncs the WAL directory itself, making file creations and deletions
+/// durable. File-content fsync does not cover directory entries: without
+/// this, a crash right after rotation can lose the new segment's entry, and
+/// a crash right after [`WalWriter::resume`] can resurrect a deleted
+/// post-cut segment. On platforms where directories cannot be opened for
+/// syncing, the error is surfaced to the caller.
+fn fsync_dir(dir: &Path) -> DetectorResult<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("fsync dir", dir, e))
+}
+
 fn record_checksum(payload: &[u8]) -> u64 {
     let mut h = Fnv64::new();
     h.write(payload);
     h.finish()
 }
 
-fn encode_record(frame: u64, timestamp: f64, values: &[f32]) -> Vec<u8> {
-    let payload_len = 8 + 8 + 4 + 4 * values.len();
+fn encode_record(frame: u64, timestamp: f64, values: &[f32], meta: Option<u32>) -> Vec<u8> {
+    let payload_len = 8 + 8 + 4 + 4 * values.len() + if meta.is_some() { 4 } else { 0 };
     let mut buf = Vec::with_capacity(4 + payload_len + 8);
     buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
     buf.extend_from_slice(&frame.to_le_bytes());
@@ -156,9 +190,61 @@ fn encode_record(frame: u64, timestamp: f64, values: &[f32]) -> Vec<u8> {
     for &v in values {
         buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
+    if let Some(m) = meta {
+        buf.extend_from_slice(&m.to_le_bytes());
+    }
     let checksum = record_checksum(&buf[4..]);
     buf.extend_from_slice(&checksum.to_le_bytes());
     buf
+}
+
+/// Little-endian `u32` at `at`, if in bounds.
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes
+        .get(at..at.checked_add(4)?)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
+}
+
+/// Little-endian `u64` at `at`, if in bounds.
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    bytes
+        .get(at..at.checked_add(8)?)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_le_bytes)
+}
+
+/// Decodes one checksum-verified payload, or `None` if it is structurally
+/// invalid or breaks the contiguous frame chain. The value count `n` is the
+/// authoritative layout descriptor: a payload of `20 + 4n` bytes has no
+/// trailing meta word, `24 + 4n` bytes carries one, anything else is
+/// corrupt.
+fn parse_payload(payload: &[u8], expected_frame: u64) -> Option<WalFrame> {
+    let frame = read_u64(payload, 0)?;
+    let timestamp = f64::from_bits(read_u64(payload, 8)?);
+    let n = read_u32(payload, 16)? as usize;
+    let values_end = 20usize.checked_add(n.checked_mul(4)?)?;
+    let meta = if payload.len() == values_end {
+        None
+    } else if payload.len() == values_end.checked_add(4)? {
+        Some(read_u32(payload, values_end)?)
+    } else {
+        return None;
+    };
+    if frame != expected_frame {
+        return None;
+    }
+    let values = payload
+        .get(20..values_end)?
+        .chunks_exact(4)
+        .map(|c| c.try_into().ok().map(u32::from_le_bytes).map(f32::from_bits))
+        .collect::<Option<Vec<f32>>>()?;
+    Some(WalFrame {
+        frame,
+        timestamp,
+        values,
+        meta,
+    })
 }
 
 /// Sorted `(seq, path)` list of the segment files present in `dir`.
@@ -196,8 +282,8 @@ struct SegmentScan {
 fn scan_segment(bytes: &[u8], expected_seq: u64, mut next_frame: u64) -> SegmentScan {
     let mut frames = Vec::new();
     let header_ok = bytes.len() >= SEGMENT_HEADER_LEN as usize
-        && bytes[..8] == WAL_MAGIC
-        && u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice")) == expected_seq;
+        && bytes.get(..8) == Some(&WAL_MAGIC[..])
+        && read_u64(bytes, 8) == Some(expected_seq);
     if !header_ok {
         return SegmentScan {
             frames,
@@ -208,10 +294,9 @@ fn scan_segment(bytes: &[u8], expected_seq: u64, mut next_frame: u64) -> Segment
     let mut pos = SEGMENT_HEADER_LEN as usize;
     while pos < bytes.len() {
         let rest = &bytes[pos..];
-        let Some(len_bytes) = rest.get(..4) else {
+        let Some(len) = read_u32(rest, 0) else {
             return cut_at(frames, pos);
         };
-        let len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice"));
         // 20 = frame u64 + timestamp u64 + count u32: the smallest payload.
         if !(20..=MAX_PAYLOAD_BYTES).contains(&len) {
             return cut_at(frames, pos);
@@ -220,29 +305,16 @@ fn scan_segment(bytes: &[u8], expected_seq: u64, mut next_frame: u64) -> Segment
         let Some(payload) = rest.get(4..4 + len) else {
             return cut_at(frames, pos);
         };
-        let Some(sum_bytes) = rest.get(4 + len..4 + len + 8) else {
+        let Some(stored) = read_u64(rest, 4 + len) else {
             return cut_at(frames, pos);
         };
-        let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte slice"));
         if record_checksum(payload) != stored {
             return cut_at(frames, pos);
         }
-        let frame = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
-        let timestamp =
-            f64::from_bits(u64::from_le_bytes(payload[8..16].try_into().expect("8-byte slice")));
-        let n = u32::from_le_bytes(payload[16..20].try_into().expect("4-byte slice")) as usize;
-        if payload.len() != 20 + 4 * n || frame != next_frame {
+        let Some(frame) = parse_payload(payload, next_frame) else {
             return cut_at(frames, pos);
-        }
-        let values = payload[20..]
-            .chunks_exact(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4-byte chunk"))))
-            .collect();
-        frames.push(WalFrame {
-            frame,
-            timestamp,
-            values,
-        });
+        };
+        frames.push(frame);
         next_frame += 1;
         pos += 4 + len + 8;
     }
@@ -364,6 +436,13 @@ impl WalWriter {
         for path in &outcome.ignored {
             std::fs::remove_file(path).map_err(|e| io_err("remove", path, e))?;
         }
+        if !outcome.ignored.is_empty() {
+            // Make the deletions durable regardless of the fsync policy:
+            // resume runs once per process, and a resurrected post-cut
+            // segment would splice already-rejected frames back into the
+            // next recovery's prefix scan.
+            fsync_dir(dir)?;
+        }
         let writer = match outcome.tail {
             // Nothing usable at all (empty dir, or every segment ignored).
             None => Self::create(dir, config)?,
@@ -422,6 +501,27 @@ impl WalWriter {
     /// Appends one frame, rotating and fsyncing per policy. Returns the
     /// frame's 0-based index in the log.
     pub fn append(&mut self, timestamp: f64, values: &[f32]) -> DetectorResult<u64> {
+        self.append_record(timestamp, values, None)
+    }
+
+    /// [`append`](Self::append) with a caller-supplied meta word (the
+    /// overload governor's polls-since-last-offer count; see
+    /// [`WalFrame::meta`]).
+    pub fn append_with_meta(
+        &mut self,
+        timestamp: f64,
+        values: &[f32],
+        meta: u32,
+    ) -> DetectorResult<u64> {
+        self.append_record(timestamp, values, Some(meta))
+    }
+
+    fn append_record(
+        &mut self,
+        timestamp: f64,
+        values: &[f32],
+        meta: Option<u32>,
+    ) -> DetectorResult<u64> {
         if self.frames_in_segment >= self.config.frames_per_segment.max(1) {
             if self.config.fsync != FsyncPolicy::Never {
                 self.sync()?;
@@ -429,9 +529,15 @@ impl WalWriter {
             self.seq += 1;
             self.file = Self::open_segment(&self.dir, self.seq)?;
             self.frames_in_segment = 0;
+            if self.config.fsync != FsyncPolicy::Never {
+                // The new segment's *directory entry* must be durable too,
+                // or a crash here silently drops every record appended to a
+                // file the next recovery cannot even see.
+                fsync_dir(&self.dir)?;
+            }
         }
         let frame = self.next_frame;
-        let record = encode_record(frame, timestamp, values);
+        let record = encode_record(frame, timestamp, values, meta);
         let path = segment_path(&self.dir, self.seq);
         self.file
             .write_all(&record)
@@ -565,7 +671,7 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = SEGMENT_HEADER_LEN as usize + {
             let (_, vals) = frame(3);
-            let rec = encode_record(3, frame(3).0, &vals).len();
+            let rec = encode_record(3, frame(3).0, &vals, None).len();
             rec + 10
         };
         bytes[mid] ^= 0x40;
@@ -607,6 +713,72 @@ mod tests {
         assert!(frames.is_empty());
         assert_eq!(recovery, WalRecovery::default());
         assert_eq!(w.next_frame(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn meta_records_roundtrip_and_mix_with_plain_ones() {
+        let dir = tmp_dir("meta");
+        let config = WalConfig {
+            frames_per_segment: 3,
+            fsync: FsyncPolicy::Never,
+        };
+        let mut w = WalWriter::create(&dir, config).unwrap();
+        // Alternate governor-style meta records with plain ones across a
+        // rotation boundary.
+        for i in 0..7u64 {
+            let (ts, values) = frame(i as usize);
+            let got = if i % 2 == 0 {
+                w.append_with_meta(ts, &values, i as u32 * 3).unwrap()
+            } else {
+                w.append(ts, &values).unwrap()
+            };
+            assert_eq!(got, i);
+        }
+        drop(w);
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 7);
+        assert!(!recovery.truncated);
+        for (i, f) in frames.iter().enumerate() {
+            let expected = if i % 2 == 0 { Some(i as u32 * 3) } else { None };
+            assert_eq!(f.meta, expected, "frame {i}");
+            assert_eq!(f.values, frame(i).1);
+        }
+        // Resume appends cleanly after a mixed log.
+        let (mut w, recovered, _) = WalWriter::resume(&dir, config).unwrap();
+        assert_eq!(recovered.len(), 7);
+        w.append_with_meta(frame(7).0, &frame(7).1, 99).unwrap();
+        let (frames, _) = replay(&dir).unwrap();
+        assert_eq!(frames[7].meta, Some(99));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn meta_payload_with_wrong_length_is_rejected() {
+        let dir = tmp_dir("metalen");
+        let config = WalConfig {
+            frames_per_segment: 100,
+            fsync: FsyncPolicy::Never,
+        };
+        let _w = write_frames(&dir, config, 2);
+        // Hand-craft a record whose payload length matches neither 20+4n
+        // nor 24+4n for its declared count: checksum passes, parser rejects.
+        // (The 32-byte payload would be valid for n=2+meta or n=3 plain;
+        // claiming n=4 makes it fit neither layout.)
+        let mut bogus = encode_record(2, 1.0, &[1.0, 2.0], Some(5));
+        bogus[4 + 16] = 4;
+        let payload_len = u32::from_le_bytes(bogus[..4].try_into().unwrap()) as usize;
+        let sum = record_checksum(&bogus[4..4 + payload_len]);
+        let sum_at = 4 + payload_len;
+        bogus[sum_at..sum_at + 8].copy_from_slice(&sum.to_le_bytes());
+        let path = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&bogus);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 2, "malformed meta record cut, prefix kept");
+        assert!(recovery.truncated);
         std::fs::remove_dir_all(&dir).ok();
     }
 

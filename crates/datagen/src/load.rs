@@ -1,0 +1,143 @@
+//! Deterministic burst / load-spike generation for overload testing.
+//!
+//! A streaming detector that keeps up with the telescope's nominal cadence
+//! can still fall behind when frames arrive in bursts: a backlog flush after
+//! a network partition, a co-hosted pipeline stealing the CPU, or a
+//! multi-camera night where several feeds land on one ingest worker. The
+//! overload chaos harness needs those shapes reproducibly, so [`LoadProfile`]
+//! turns a seed into an **arrivals-per-service-tick schedule**: tick `t`
+//! delivers `arrivals[t]` frames while the detector services exactly one.
+//!
+//! A sustained value of 1 is realtime; a burst episode of 4 is the "4×
+//! realtime" input the tier-1 overload smoke drives. Like everything in this
+//! crate, the schedule is seeded and bit-reproducible: the same seed yields
+//! the same bursts, which is what lets the governor's shed/degrade decisions
+//! — functions of arrival order alone — be asserted bitwise across thread
+//! counts and crash-resume cycles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded arrivals-per-tick schedule with burst episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadProfile {
+    /// RNG seed; same profile ⇒ identical schedule.
+    pub seed: u64,
+    /// Schedule length in service ticks.
+    pub ticks: usize,
+    /// Arrivals per tick outside bursts (1 = realtime).
+    pub base_rate: usize,
+    /// Arrivals per tick inside a burst episode (4 = the tier-1 smoke).
+    pub burst_rate: usize,
+    /// Number of burst episodes placed at seeded offsets.
+    pub burst_episodes: usize,
+    /// Length of each burst episode in ticks.
+    pub burst_len: usize,
+}
+
+impl LoadProfile {
+    /// Steady realtime input: one arrival per tick, no bursts.
+    pub fn realtime(seed: u64, ticks: usize) -> Self {
+        Self {
+            seed,
+            ticks,
+            base_rate: 1,
+            burst_rate: 1,
+            burst_episodes: 0,
+            burst_len: 0,
+        }
+    }
+
+    /// A night with occasional 4×-realtime bursts: nominal cadence broken by
+    /// `burst_episodes` seeded episodes during which four frames arrive per
+    /// serviced frame. This is the tier-1 overload-smoke shape.
+    pub fn burst_night(seed: u64, ticks: usize) -> Self {
+        Self {
+            seed,
+            ticks,
+            base_rate: 1,
+            burst_rate: 4,
+            burst_episodes: 2,
+            burst_len: (ticks / 6).max(1),
+        }
+    }
+
+    /// Arrivals per service tick. `out[t]` frames arrive during tick `t`;
+    /// the consumer services one frame per tick, so any `out[t] > 1`
+    /// accumulates backlog that only drains through ticks with `out[t] = 0`
+    /// — which this generator never emits — or through load shedding.
+    pub fn arrivals(&self) -> Vec<usize> {
+        let mut out = vec![self.base_rate; self.ticks];
+        if self.ticks == 0 || self.burst_episodes == 0 || self.burst_len == 0 {
+            return out;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1b57_u64);
+        for _ in 0..self.burst_episodes {
+            let start = rng.gen_range(0..self.ticks);
+            for slot in out.iter_mut().skip(start).take(self.burst_len) {
+                *slot = self.burst_rate;
+            }
+        }
+        out
+    }
+
+    /// Total frames the schedule delivers.
+    pub fn total_arrivals(&self) -> usize {
+        self.arrivals().iter().sum()
+    }
+
+    /// Peak arrivals in any single tick.
+    pub fn peak_rate(&self) -> usize {
+        self.arrivals().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = LoadProfile::burst_night(9, 240).arrivals();
+        let b = LoadProfile::burst_night(9, 240).arrivals();
+        assert_eq!(a, b);
+        let c = LoadProfile::burst_night(10, 240).arrivals();
+        assert_ne!(a, c, "different seeds should move the bursts");
+    }
+
+    #[test]
+    fn realtime_profile_is_flat() {
+        let p = LoadProfile::realtime(3, 50);
+        assert_eq!(p.arrivals(), vec![1; 50]);
+        assert_eq!(p.total_arrivals(), 50);
+        assert_eq!(p.peak_rate(), 1);
+    }
+
+    #[test]
+    fn burst_night_reaches_four_x() {
+        let p = LoadProfile::burst_night(7, 120);
+        let arrivals = p.arrivals();
+        assert_eq!(arrivals.len(), 120);
+        assert_eq!(p.peak_rate(), 4, "burst episodes must hit 4× realtime");
+        assert!(arrivals.iter().all(|&a| a == 1 || a == 4));
+        assert!(
+            p.total_arrivals() > 120,
+            "bursts must deliver more frames than ticks"
+        );
+    }
+
+    #[test]
+    fn degenerate_profiles_do_not_panic() {
+        assert!(LoadProfile::realtime(1, 0).arrivals().is_empty());
+        let p = LoadProfile {
+            seed: 1,
+            ticks: 5,
+            base_rate: 1,
+            burst_rate: 4,
+            burst_episodes: 3,
+            burst_len: 100, // longer than the schedule: clamped by take()
+        };
+        assert_eq!(p.arrivals().len(), 5);
+        assert_eq!(p.peak_rate(), 4);
+    }
+}

@@ -301,6 +301,99 @@ where
     }
 }
 
+/// A bounded accounting of outstanding work, shared between a producer
+/// (admission) and a consumer (service) side.
+///
+/// The overload governor in `aero-core` charges one unit per queued star-row
+/// and releases on service, so the amount of buffered work — and therefore
+/// resident memory — is capped by construction rather than by hope. The
+/// budget itself is purely an accountant: it never blocks, it only answers
+/// "would this charge exceed the cap?", leaving the shed/reject decision to
+/// the caller (which keeps the decision deterministic and testable).
+///
+/// All operations are atomic so the charge/release sides may live on
+/// different threads, but correctness of `try_charge` under *concurrent*
+/// chargers is best-effort (two racing charges may both succeed just under
+/// the cap). The streaming pipeline charges from a single admission thread,
+/// where the accounting is exact.
+#[derive(Debug)]
+pub struct WorkBudget {
+    capacity: usize,
+    used: AtomicUsize,
+    /// High-water mark of `used`, for post-run bound assertions.
+    peak: AtomicUsize,
+}
+
+impl WorkBudget {
+    /// A budget that admits at most `capacity` units of outstanding work.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Charges `units` if the total stays within capacity; returns whether
+    /// the charge was admitted.
+    pub fn try_charge(&self, units: usize) -> bool {
+        let mut current = self.used.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = current.checked_add(units) else {
+                return false;
+            };
+            if next > self.capacity {
+                return false;
+            }
+            match self.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Releases `units` of previously-charged work (saturating at zero, so a
+    /// double release cannot underflow into a huge "available" balance).
+    pub fn release(&self, units: usize) {
+        let mut current = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(units);
+            match self.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Units currently charged.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The configured cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest `used` value ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
 /// Runs the two closures concurrently and returns both results.
 ///
 /// A panic in either closure is re-raised on the caller thread with its
@@ -440,6 +533,29 @@ mod tests {
             assert_eq!(data[0..12], (0..12).collect::<Vec<_>>()[..]);
             assert_eq!(data[16..28], (16..28).collect::<Vec<_>>()[..]);
         }
+    }
+
+    #[test]
+    fn work_budget_charges_releases_and_tracks_peak() {
+        let b = WorkBudget::new(10);
+        assert_eq!(b.capacity(), 10);
+        assert!(b.try_charge(4));
+        assert!(b.try_charge(6));
+        assert_eq!(b.used(), 10);
+        assert!(!b.try_charge(1), "over-cap charge refused");
+        b.release(3);
+        assert_eq!(b.used(), 7);
+        assert!(b.try_charge(3));
+        assert_eq!(b.peak(), 10);
+        // Double release saturates instead of underflowing.
+        b.release(1000);
+        assert_eq!(b.used(), 0);
+        assert!(!b.try_charge(11), "single charge above cap refused");
+        assert!(b.try_charge(10));
+        // Zero-capacity budget admits only zero-unit charges.
+        let z = WorkBudget::new(0);
+        assert!(z.try_charge(0));
+        assert!(!z.try_charge(1));
     }
 
     #[test]

@@ -12,8 +12,13 @@
 #      quarantine their star while the rest of the frame keeps streaming
 #   5. thread-count determinism: fit + score bitwise identical at 1 vs 4
 #      worker threads, plus blocked-GEMM == naive-reference property tests
-#   6. benchmark harness smoke run (keeps scripts/bench.sh wired)
-#   7. clippy -D warnings on the full workspace
+#   6. overload smoke: seeded 4x-realtime bursts keep queue depth and the
+#      work budget bounded, shed accounting reconciles, suspects are never
+#      shed, and the governed verdict stream is bitwise identical across
+#      thread counts and WAL kill-resume
+#   7. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#   8. clippy -D warnings on the full workspace (the streaming modules
+#      additionally deny unwrap/expect via their own inner lint attrs)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,6 +38,9 @@ cargo test -q -p aero-core --test crash_recovery
 echo "==> tier-1: thread-count determinism"
 cargo test -q -p aero-core --test determinism
 cargo test -q -p aero-tensor --test gemm_equivalence
+
+echo "==> tier-1: overload smoke (burst admission, shedding, ladder)"
+cargo test -q -p aero-core --test overload
 
 echo "==> tier-1: benchmark harness smoke"
 sh scripts/bench.sh --smoke > /dev/null
