@@ -1,19 +1,27 @@
-//! Reproducible wall-clock benchmark of the parallel execution substrate.
+//! Reproducible wall-clock benchmark of the parallel execution substrate
+//! and the runtime-dispatched kernel layer.
 //!
 //! Emits `BENCH_parallel.json` (repo root, or `--out <path>`) recording,
-//! for each stage — blocked GEMM, Stage-1 fit, scoring, end-to-end detect —
-//! the median wall-clock at 1 thread vs. the pool default, plus a
-//! single-thread naive-vs-blocked GEMM comparison so the kernel win is
-//! visible even on single-core hosts.
+//! for each stage — GEMM, Stage-1 fit, scoring, end-to-end detect — the
+//! median wall-clock at 1 thread vs. the pool default. The GEMM section
+//! compares three single-thread kernels (textbook naive, blocked scalar
+//! dispatch, blocked SIMD dispatch on the detected backend) so both the
+//! blocking win and the SIMD win are visible separately, and the report
+//! records the host's CPU features plus the dispatch choice. A final
+//! section profiles steady-state heap allocations per streamed
+//! `OnlineAero::push` with a counting global allocator alongside the
+//! tensor workspace-pool miss counters.
 //!
 //! Numbers are **measured, never synthesized**: on a 1-CPU container the
-//! multi-thread rows will honestly show ~1× (there is no second core to
-//! run on), and the JSON records the host's logical CPU count so readers
-//! can interpret them.
+//! multi-thread rows will honestly show ~1×, on a CPU without AVX2/AVX-512
+//! the SIMD rows are `null`, and the JSON records enough host facts
+//! (logical CPUs, features, backend) to interpret every row.
 //!
 //! Flags: `--smoke` (tiny sizes, used by tier-1 to keep the harness wired),
 //! `--threads <n>` (parallel variant thread count), `--out <path>`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use aero_core::online::OnlineAero;
@@ -23,11 +31,41 @@ use aero_core::{
 };
 use aero_datagen::SyntheticConfig;
 use aero_evt::PotConfig;
-use aero_tensor::Matrix;
+use aero_tensor::{workspace, Backend, Matrix};
 use aero_timeseries::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is a
+// relaxed atomic increment with no other side effects.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 #[derive(Serialize)]
 struct Report {
@@ -39,12 +77,41 @@ struct Report {
     host_logical_cpus: usize,
     threads_parallel_variant: usize,
     reps_per_sample: usize,
+    cpu: CpuReport,
     gemm: GemmReport,
     fit_stage1: StageReport,
     score_window: StageReport,
     e2e_detect: StageReport,
+    streaming_allocs: AllocReport,
     wal_overhead: WalReport,
     degradation_ladder: LadderReport,
+}
+
+/// CPU features the dispatcher probes and the backend choice it made, so
+/// every kernel row in this report can be attributed to the code path that
+/// actually ran.
+#[derive(Serialize)]
+struct CpuReport {
+    arch: &'static str,
+    avx2: bool,
+    avx512f: bool,
+    neon: bool,
+    force_scalar_env: bool,
+    detected_backend: &'static str,
+    active_backend: &'static str,
+}
+
+/// Steady-state heap-allocation profile of `OnlineAero::push` after
+/// warm-up. The workspace-pool miss counters must read zero (every tensor
+/// buffer and graph tape is served from the pool); `heap_allocs_per_push`
+/// is the remaining non-tensor bookkeeping (verdicts, EVT state).
+#[derive(Serialize)]
+struct AllocReport {
+    warmup_pushes: usize,
+    measured_pushes: usize,
+    heap_allocs_per_push: f64,
+    tensor_buffer_misses: u64,
+    graph_tape_misses: u64,
 }
 
 /// Per-frame cost of a governed poll with every star forced onto one
@@ -73,13 +140,20 @@ struct WalReport {
     wal_segment_overhead_ratio: f64,
 }
 
+/// Single-thread GEMM ladder: textbook naive loop → blocked scalar
+/// dispatch → blocked SIMD dispatch (detected backend), then the blocked
+/// kernel at N threads. SIMD rows are `null` when the host has no SIMD
+/// backend (or `AERO_FORCE_SCALAR=1` pinned dispatch to scalar).
 #[derive(Serialize)]
 struct GemmReport {
     size: String,
     naive_1t_secs: f64,
-    blocked_1t_secs: f64,
+    scalar_1t_secs: f64,
+    simd_backend: &'static str,
+    simd_1t_secs: Option<f64>,
     blocked_nt_secs: f64,
-    kernel_speedup_vs_naive_1t: f64,
+    scalar_speedup_vs_naive_1t: f64,
+    simd_speedup_vs_scalar_1t: Option<f64>,
     thread_speedup: f64,
 }
 
@@ -171,7 +245,15 @@ fn main() {
     let reps = if args.smoke { 1 } else { 3 };
     let logical_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    // --- GEMM: naive vs blocked (1 thread), blocked at 1 vs N threads. ---
+    // --- Backend: honor AERO_FORCE_SCALAR, otherwise run on the detected
+    // SIMD backend; flip to scalar only for the explicit scalar GEMM rows.
+    let detected = aero_tensor::detected_backend();
+    let active = if aero_tensor::force_scalar_env() { Backend::Scalar } else { detected };
+    assert!(aero_tensor::set_backend(active));
+    let simd = (active != Backend::Scalar).then_some(active);
+
+    // --- GEMM ladder: naive vs blocked-scalar vs blocked-SIMD (1 thread),
+    // then blocked at N threads on the active backend. ---
     let gemm_n = if args.smoke { 128 } else { 384 };
     let mut rng = StdRng::seed_from_u64(7);
     let a = rand_matrix(&mut rng, gemm_n, gemm_n);
@@ -181,9 +263,18 @@ fn main() {
     let gemm_naive = time_secs(reps, || {
         naive_matmul(&a, &b);
     });
-    let gemm_blocked_1t = time_secs(reps, || {
+    assert!(aero_tensor::set_backend(Backend::Scalar));
+    let gemm_scalar_1t = time_secs(reps, || {
         a.matmul(&b).unwrap();
     });
+    let gemm_simd_1t = simd.map(|backend| {
+        assert!(aero_tensor::set_backend(backend));
+        time_secs(reps, || {
+            a.matmul(&b).unwrap();
+        })
+    });
+    assert!(aero_tensor::set_backend(active));
+    let gemm_blocked_1t = gemm_simd_1t.unwrap_or(gemm_scalar_1t);
     aero_parallel::set_max_threads(args.threads);
     let gemm_blocked_nt = time_secs(reps, || {
         a.matmul(&b).unwrap();
@@ -292,6 +383,34 @@ fn main() {
     let ladder_sr = ladder_cost(LadderLevel::SrFallback);
     let ladder_hold = ladder_cost(LadderLevel::HoldLast);
 
+    // --- Steady-state allocation profile of the streaming scoring path
+    // (single thread; pool warm-up is two full passes over the frames). ---
+    let streaming_allocs = {
+        let mut online = fresh_online();
+        let span = frames.last().map_or(1.0, |f| f.0) - frames.first().map_or(0.0, |f| f.0) + 1.0;
+        let mut offset = 0.0;
+        for _ in 0..2 {
+            for (ts, values) in &frames {
+                online.push(*ts + offset, values).unwrap();
+            }
+            offset += span;
+        }
+        workspace::reset_stats();
+        let before = allocs_now();
+        for (ts, values) in &frames {
+            online.push(*ts + offset, values).unwrap();
+        }
+        let heap_delta = allocs_now() - before;
+        let stats = workspace::stats();
+        AllocReport {
+            warmup_pushes: frames.len() * 2,
+            measured_pushes: frames.len(),
+            heap_allocs_per_push: heap_delta as f64 / frames.len().max(1) as f64,
+            tensor_buffer_misses: stats.buffer_misses,
+            graph_tape_misses: stats.tape_misses,
+        }
+    };
+
     let speedup = |one: f64, many: f64| if many > 0.0 { one / many } else { 0.0 };
     let stage = |one: f64, many: f64| StageReport {
         secs_1t: one,
@@ -304,17 +423,30 @@ fn main() {
         host_logical_cpus: logical_cpus,
         threads_parallel_variant: args.threads,
         reps_per_sample: reps,
+        cpu: CpuReport {
+            arch: std::env::consts::ARCH,
+            avx2: Backend::Avx2.is_supported(),
+            avx512f: Backend::Avx512.is_supported(),
+            neon: Backend::Neon.is_supported(),
+            force_scalar_env: aero_tensor::force_scalar_env(),
+            detected_backend: detected.name(),
+            active_backend: aero_tensor::backend().name(),
+        },
         gemm: GemmReport {
             size: format!("{gemm_n}x{gemm_n}x{gemm_n}"),
             naive_1t_secs: gemm_naive,
-            blocked_1t_secs: gemm_blocked_1t,
+            scalar_1t_secs: gemm_scalar_1t,
+            simd_backend: simd.map_or("none", Backend::name),
+            simd_1t_secs: gemm_simd_1t,
             blocked_nt_secs: gemm_blocked_nt,
-            kernel_speedup_vs_naive_1t: speedup(gemm_naive, gemm_blocked_1t),
+            scalar_speedup_vs_naive_1t: speedup(gemm_naive, gemm_scalar_1t),
+            simd_speedup_vs_scalar_1t: gemm_simd_1t.map(|s| speedup(gemm_scalar_1t, s)),
             thread_speedup: speedup(gemm_blocked_1t, gemm_blocked_nt),
         },
         fit_stage1: stage(fit_1t, fit_nt),
         score_window: stage(score_1t, score_nt),
         e2e_detect: stage(e2e_1t, e2e_nt),
+        streaming_allocs,
         wal_overhead: WalReport {
             frames_per_sample: frames.len(),
             push_no_wal_secs_per_frame: wal_off,

@@ -1,0 +1,126 @@
+//! Steady-state allocation gate for the streaming scoring path.
+//!
+//! After warm-up, `OnlineAero::push` must perform **zero** heap allocations
+//! in tensor ops: every `Matrix` output and every `Graph` tape comes out of
+//! the `aero_tensor::workspace` pool. Two independent witnesses:
+//!
+//! 1. the pool's own miss counters (a miss means a tensor buffer or tape was
+//!    not served from the pool and had to allocate) must stay at exactly
+//!    zero across the measured pushes, and
+//! 2. a counting `#[global_allocator]` bounds the *total* per-push
+//!    allocation count, proving the measured batches are steady (no growth
+//!    between consecutive batches beyond EVT bookkeeping noise).
+//!
+//! This is a dedicated test binary so the global allocator and the
+//! single-thread pool override cannot interfere with sibling tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aero_core::online::OnlineAero;
+use aero_core::{Aero, AeroConfig, Detector};
+use aero_datagen::SyntheticConfig;
+use aero_evt::PotConfig;
+use aero_tensor::workspace;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is a
+// relaxed atomic increment with no other side effects.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_push_is_tensor_alloc_free() {
+    // Single-threaded: pool workers have their own thread-local shards that
+    // only become steady after their own warm-up; the zero-miss contract is
+    // asserted on the deterministic serial path.
+    aero_parallel::set_max_threads(1);
+
+    let mut data_cfg = SyntheticConfig::middle();
+    data_cfg.train_len = 160;
+    data_cfg.test_len = 400;
+    let ds = data_cfg.build();
+
+    let mut model_cfg = AeroConfig::tiny();
+    model_cfg.max_epochs = 1;
+    let mut model = Aero::new(model_cfg).unwrap();
+    model.fit(&ds.train).unwrap();
+    let mut online = OnlineAero::new(model, &ds.train, PotConfig::default()).unwrap();
+
+    let n = ds.test.num_variates();
+    let frames: Vec<(f64, Vec<f32>)> = (0..ds.test.len())
+        .map(|t| {
+            (
+                ds.test.timestamps()[t],
+                (0..n).map(|v| ds.test.get(v, t)).collect(),
+            )
+        })
+        .collect();
+
+    // Warm-up: fills the rolling window and populates the buffer/tape pools
+    // with every size class the scoring graph uses.
+    let (warm, rest) = frames.split_at(frames.len() / 2);
+    for (ts, values) in warm {
+        online.push(*ts, values).unwrap();
+    }
+
+    // Measured: two consecutive batches over fresh frames.
+    let half = rest.len() / 2;
+    let mut batch_allocs = [0u64; 2];
+    workspace::reset_stats();
+    for (i, chunk) in [&rest[..half], &rest[half..]].into_iter().enumerate() {
+        let before = allocs();
+        for (ts, values) in chunk {
+            online.push(*ts, values).unwrap();
+        }
+        batch_allocs[i] = allocs() - before;
+    }
+
+    // Witness 1: the tensor layer never fell back to the system allocator.
+    let stats = workspace::stats();
+    assert_eq!(
+        stats.buffer_misses, 0,
+        "steady-state pushes allocated tensor buffers: {stats:?}"
+    );
+    assert_eq!(
+        stats.tape_misses, 0,
+        "steady-state pushes allocated graph tapes: {stats:?}"
+    );
+
+    // Witness 2: total per-push heap traffic is steady — the second batch
+    // allocates no more than the first (amortized EVT/verdict bookkeeping
+    // may appear in either batch, but nothing may grow per batch).
+    assert!(
+        batch_allocs[1] <= batch_allocs[0].max(half as u64),
+        "allocation count grew between steady-state batches: {batch_allocs:?} over {half} pushes"
+    );
+    let per_push = batch_allocs[1] as f64 / half.max(1) as f64;
+    println!(
+        "steady-state: {per_push:.2} heap allocs/push over {half} pushes, \
+         pool stats {stats:?}, batches {batch_allocs:?}"
+    );
+}

@@ -90,7 +90,7 @@ fn event_tape(seed: u64, ticks: usize) -> Vec<Event> {
         tape.push(Event::Poll);
     }
     // Drain the residual backlog (capacity polls is always enough).
-    tape.extend(std::iter::repeat(Event::Poll).take(tight_policy().queue_capacity));
+    tape.extend(std::iter::repeat_n(Event::Poll, tight_policy().queue_capacity));
     tape
 }
 
@@ -387,7 +387,7 @@ proptest! {
             }
             tape.push(Event::Poll);
         }
-        tape.extend(std::iter::repeat(Event::Poll).take(capacity));
+        tape.extend(std::iter::repeat_n(Event::Poll, capacity));
         let mut gov = governed(policy);
         run_tape(&mut gov, &tape); // invariants asserted inside
         prop_assert_eq!(gov.queue_depth(), 0, "drain left a backlog");

@@ -348,7 +348,7 @@ mod tests {
         assert!(log.total_faults() > 0);
         let fraction = log.corrupted_fraction();
         assert!(
-            fraction >= 0.05 && fraction < 0.6,
+            (0.05..0.6).contains(&fraction),
             "corrupted fraction {fraction} outside the plausible band"
         );
         // Every failure mode actually fired.

@@ -134,45 +134,46 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let n = items.len();
-    let threads = max_threads().min(n);
-    let run_one = |i: usize, t: &T| -> Result<R, ShardError> {
-        catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|payload| ShardError {
-            shard: i,
-            message: panic_message(payload),
-        })
-    };
-    if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| run_one(i, t)).collect();
-    }
-    let mut out: Vec<Option<Result<R, ShardError>>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    let chunk = n.div_ceil(threads);
-    let run_one = &run_one;
-    std::thread::scope(|s| {
-        for (c, (slots, part)) in out.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate() {
-            let base = c * chunk;
-            s.spawn(move || {
-                for (i, (slot, item)) in slots.iter_mut().zip(part).enumerate() {
-                    *slot = Some(run_one(base + i, item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("supervised_map worker filled every slot"))
-        .collect()
+    supervised_map_range(items.len(), |i| f(i, &items[i]))
 }
 
 /// Applies `f` to every index in `0..len` under per-index `catch_unwind`,
 /// returning one `Result` per index (see [`supervised_map`]).
+///
+/// This is the shared core of the map family: it partitions the index range
+/// directly, so no intermediate index buffer is ever allocated.
 pub fn supervised_map_range<R, F>(len: usize, f: F) -> Vec<Result<R, ShardError>>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let idx: Vec<usize> = (0..len).collect();
-    supervised_map(&idx, |_, &i| f(i))
+    let threads = max_threads().min(len);
+    let run_one = |i: usize| -> Result<R, ShardError> {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| ShardError {
+            shard: i,
+            message: panic_message(payload),
+        })
+    };
+    if threads <= 1 {
+        return (0..len).map(run_one).collect();
+    }
+    let mut out: Vec<Option<Result<R, ShardError>>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    let chunk = len.div_ceil(threads);
+    let run_one = &run_one;
+    std::thread::scope(|s| {
+        for (c, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = c * chunk;
+            s.spawn(move || {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(run_one(base + i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("supervised_map_range worker filled every slot"))
+        .collect()
 }
 
 /// Applies `f` to every item, returning results in input order.
@@ -206,8 +207,14 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let idx: Vec<usize> = (0..len).collect();
-    parallel_map(&idx, |_, &i| f(i))
+    let mut out = Vec::with_capacity(len);
+    for r in supervised_map_range(len, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => panic!("{e}"),
+        }
+    }
+    out
 }
 
 /// Splits `data` into contiguous chunks of `chunk_len` items and runs `f` on

@@ -5,19 +5,86 @@
 //! reference earlier nodes, so reverse creation order is a valid topological
 //! order. Parameter leaves remember their [`ParamId`]; after backward the
 //! leaf gradients are flushed into the [`ParamStore`].
+//!
+//! Tapes themselves are pooled: dropping a `Graph` clears its nodes (whose
+//! matrix buffers return to the [`workspace`](crate::workspace) pool) and
+//! parks the node vector for the next `Graph::new`, so a steady-state
+//! forward/backward loop allocates nothing.
 
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::error::{Result, TensorError};
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::params::{GradBuffer, ParamId, ParamStore};
+use crate::workspace;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeId(usize);
 
+/// A node's forward value: owned by the tape for op outputs, shared with the
+/// [`ParamStore`] for parameter leaves (no per-forward clone, O(1) leaf).
+#[derive(Debug)]
+enum Value {
+    Owned(Matrix),
+    Shared(Arc<Matrix>),
+}
+
+impl std::ops::Deref for Value {
+    type Target = Matrix;
+    #[inline]
+    fn deref(&self) -> &Matrix {
+        match self {
+            Value::Owned(m) => m,
+            Value::Shared(m) => m,
+        }
+    }
+}
+
+/// Concat operands stored inline: attention concatenates `heads (+1)` parts,
+/// which fits without a heap list; wider concats spill to a `Vec`.
+const PARTS_INLINE: usize = 8;
+
+/// `(operand, width-or-height)` list for the concat ops.
+#[derive(Debug)]
+enum PartList {
+    Inline { len: u8, parts: [(NodeId, usize); PARTS_INLINE] },
+    Spilled(Vec<(NodeId, usize)>),
+}
+
+impl PartList {
+    fn new() -> Self {
+        PartList::Inline { len: 0, parts: [(NodeId(0), 0); PARTS_INLINE] }
+    }
+
+    fn push(&mut self, item: (NodeId, usize)) {
+        match self {
+            PartList::Inline { len, parts } => {
+                if (*len as usize) < PARTS_INLINE {
+                    parts[*len as usize] = item;
+                    *len += 1;
+                } else {
+                    let mut v = parts.to_vec();
+                    v.push(item);
+                    *self = PartList::Spilled(v);
+                }
+            }
+            PartList::Spilled(v) => v.push(item),
+        }
+    }
+
+    fn as_slice(&self) -> &[(NodeId, usize)] {
+        match self {
+            PartList::Inline { len, parts } => &parts[..*len as usize],
+            PartList::Spilled(v) => v,
+        }
+    }
+}
+
 /// The recorded operation for one tape node.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 enum Op {
     /// Constant or parameter leaf.
     Leaf,
@@ -44,14 +111,14 @@ enum Op {
         x: NodeId,
         gamma: NodeId,
         beta: NodeId,
-        /// Cached normalized input x̂ (shared: `Op` is cloned during backward).
-        normed: Arc<Matrix>,
+        /// Cached normalized input x̂.
+        normed: Matrix,
         /// Cached 1/σ per row (`rows × 1`).
-        inv_std: Arc<Matrix>,
+        inv_std: Matrix,
     },
     AddRowBroadcast { x: NodeId, row: NodeId },
-    ConcatCols { parts: Vec<(NodeId, usize)> },
-    ConcatRows { parts: Vec<(NodeId, usize)> },
+    ConcatCols { parts: PartList },
+    ConcatRows { parts: PartList },
     SliceCols { x: NodeId, start: usize },
     SliceRows { x: NodeId, start: usize },
     GatherRows { x: NodeId, indices: Vec<usize> },
@@ -61,26 +128,129 @@ enum Op {
     MeanAll(NodeId),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Node {
-    /// Forward value. Shared so parameter leaves alias the store's buffer
-    /// (no per-forward clone) and backward's per-node handle copy is O(1).
-    value: Arc<Matrix>,
+    value: Value,
     grad: Option<Matrix>,
     op: Op,
     param: Option<ParamId>,
 }
 
+/// The forward value of node `id` within a tape slice (valid for any node
+/// recorded before the slice boundary).
+fn value_of(nodes: &[Node], id: NodeId) -> Result<&Matrix> {
+    nodes
+        .get(id.0)
+        .map(|n| &*n.value)
+        .ok_or(TensorError::InvalidNode { id: id.0 })
+}
+
+/// Adds `delta` into node `id`'s gradient slot (taking the matrix whole when
+/// the slot is empty — no zero-init pass).
+fn acc_grad(nodes: &mut [Node], id: NodeId, delta: Matrix) -> Result<()> {
+    let node = nodes.get_mut(id.0).ok_or(TensorError::InvalidNode { id: id.0 })?;
+    match &mut node.grad {
+        Some(g) => g.add_assign(&delta),
+        slot @ None => {
+            *slot = Some(delta);
+            Ok(())
+        }
+    }
+}
+
+/// Tapes a thread keeps ready for its next `Graph::new`.
+const TAPE_LOCAL_CAP: usize = 4;
+/// Tapes parked globally (fed by exiting threads, e.g. scoped pool workers).
+const TAPE_GLOBAL_CAP: usize = 16;
+
+static GLOBAL_TAPES: Mutex<Vec<Vec<Node>>> = Mutex::new(Vec::new());
+
+fn lock_tapes() -> MutexGuard<'static, Vec<Vec<Node>>> {
+    match GLOBAL_TAPES.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct TapeShelf {
+    tapes: Vec<Vec<Node>>,
+}
+
+impl Drop for TapeShelf {
+    /// Parks this thread's tapes globally so capacity warmed up on an
+    /// ephemeral worker survives the thread's death.
+    fn drop(&mut self) {
+        if self.tapes.is_empty() {
+            return;
+        }
+        let mut global = lock_tapes();
+        while let Some(t) = self.tapes.pop() {
+            if global.len() >= TAPE_GLOBAL_CAP {
+                break;
+            }
+            global.push(t);
+        }
+    }
+}
+
+thread_local! {
+    static TAPE_POOL: RefCell<TapeShelf> = const { RefCell::new(TapeShelf { tapes: Vec::new() }) };
+}
+
 /// Per-forward-pass autodiff tape.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Graph {
     nodes: Vec<Node>,
 }
 
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Graph {
+    /// Returns the node buffers to the workspace pool and parks the cleared
+    /// tape for reuse by the next `Graph::new` on this thread.
+    fn drop(&mut self) {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        nodes.clear();
+        let mut pending = Some(nodes);
+        let _ = TAPE_POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.tapes.len() < TAPE_LOCAL_CAP {
+                if let Some(t) = pending.take() {
+                    p.tapes.push(t);
+                }
+            }
+        });
+        if let Some(t) = pending {
+            let mut global = lock_tapes();
+            if global.len() < TAPE_GLOBAL_CAP {
+                global.push(t);
+            }
+        }
+    }
+}
+
 impl Graph {
-    /// Creates an empty tape.
+    /// Creates an empty tape, reusing pooled tape capacity when available.
     pub fn new() -> Self {
-        Self::default()
+        let pooled = TAPE_POOL
+            .try_with(|p| p.borrow_mut().tapes.pop())
+            .ok()
+            .flatten()
+            .or_else(|| lock_tapes().pop());
+        match pooled {
+            Some(nodes) => {
+                workspace::note_tape(true);
+                Self { nodes }
+            }
+            None => {
+                workspace::note_tape(false);
+                Self { nodes: Vec::new() }
+            }
+        }
     }
 
     /// Number of recorded nodes.
@@ -94,11 +264,12 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op, param: Option<ParamId>) -> NodeId {
-        self.push_arc(Arc::new(value), op, param)
+        self.nodes.push(Node { value: Value::Owned(value), grad: None, op, param });
+        NodeId(self.nodes.len() - 1)
     }
 
-    fn push_arc(&mut self, value: Arc<Matrix>, op: Op, param: Option<ParamId>) -> NodeId {
-        self.nodes.push(Node { value, grad: None, op, param });
+    fn push_shared(&mut self, value: Arc<Matrix>, op: Op, param: Option<ParamId>) -> NodeId {
+        self.nodes.push(Node { value: Value::Shared(value), grad: None, op, param });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -108,10 +279,13 @@ impl Graph {
 
     /// The forward value of a node.
     pub fn value(&self, id: NodeId) -> Result<&Matrix> {
-        Ok(self.node(id)?.value.as_ref())
+        Ok(&self.node(id)?.value)
     }
 
-    /// The accumulated gradient of a node (after `backward`).
+    /// The accumulated gradient of a node.
+    ///
+    /// After `backward`, only leaf nodes retain gradients — interior-node
+    /// gradients are consumed (moved, not copied) as the tape unwinds.
     pub fn grad(&self, id: NodeId) -> Result<Option<&Matrix>> {
         Ok(self.node(id)?.grad.as_ref())
     }
@@ -128,7 +302,7 @@ impl Graph {
     /// stable if the optimizer later writes the parameter.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Result<NodeId> {
         let value = store.value_arc(id)?;
-        Ok(self.push_arc(value, Op::Leaf, Some(id)))
+        Ok(self.push_shared(value, Op::Leaf, Some(id)))
     }
 
     // ---- elementwise & linear-algebra ops ---------------------------------
@@ -190,7 +364,7 @@ impl Graph {
 
     /// Rectified linear unit, elementwise.
     pub fn relu(&mut self, x: NodeId) -> Result<NodeId> {
-        let v = self.node(x)?.value.map(|a| a.max(0.0));
+        let v = self.node(x)?.value.relu();
         Ok(self.push(v, Op::Relu(x), None))
     }
 
@@ -210,23 +384,27 @@ impl Graph {
     }
 
     /// Numerically-stable row-wise softmax.
+    ///
+    /// The per-row max fold, `exp`, and sum stay sequential scalar (their
+    /// accumulation order is part of the determinism contract); only the
+    /// elementwise normalize step goes through the dispatched kernel layer.
     pub fn softmax_rows(&mut self, x: NodeId) -> Result<NodeId> {
-        let xv = &self.node(x)?.value;
-        let (rows, cols) = xv.shape();
-        let mut out = Matrix::zeros(rows, cols);
-        for r in 0..rows {
-            let row = xv.row(r);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            let orow = out.row_mut(r);
-            for (o, &v) in orow.iter_mut().zip(row) {
-                let e = (v - m).exp();
-                *o = e;
-                sum += e;
-            }
-            let inv = 1.0 / sum;
-            for o in orow {
-                *o *= inv;
+        let mut out;
+        {
+            let xv = &self.node(x)?.value;
+            let (rows, cols) = xv.shape();
+            out = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                let row = xv.row(r);
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                let orow = out.row_mut(r);
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    let e = (v - m).exp();
+                    *o = e;
+                    sum += e;
+                }
+                kernels::scale_inplace(orow, 1.0 / sum);
             }
         }
         Ok(self.push(out, Op::SoftmaxRows(x), None))
@@ -235,25 +413,25 @@ impl Graph {
     /// Numerically-stable row-wise softmax of `alpha * x`, fused so attention
     /// does not materialize the scaled score matrix as a separate node.
     pub fn scaled_softmax_rows(&mut self, x: NodeId, alpha: f32) -> Result<NodeId> {
-        let xv = &self.node(x)?.value;
-        let (rows, cols) = xv.shape();
-        let mut out = Matrix::zeros(rows, cols);
-        for r in 0..rows {
-            let row = xv.row(r);
-            let m = row
-                .iter()
-                .map(|&v| alpha * v)
-                .fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            let orow = out.row_mut(r);
-            for (o, &v) in orow.iter_mut().zip(row) {
-                let e = (alpha * v - m).exp();
-                *o = e;
-                sum += e;
-            }
-            let inv = 1.0 / sum;
-            for o in orow {
-                *o *= inv;
+        let mut out;
+        {
+            let xv = &self.node(x)?.value;
+            let (rows, cols) = xv.shape();
+            out = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                let row = xv.row(r);
+                let m = row
+                    .iter()
+                    .map(|&v| alpha * v)
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                let orow = out.row_mut(r);
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    let e = (alpha * v - m).exp();
+                    *o = e;
+                    sum += e;
+                }
+                kernels::scale_inplace(orow, 1.0 / sum);
             }
         }
         Ok(self.push(out, Op::ScaledSoftmaxRows { x, alpha }, None))
@@ -261,7 +439,9 @@ impl Graph {
 
     /// Row-wise layer normalization: `gamma ⊙ (x−μ)/σ + beta`.
     ///
-    /// `gamma` and `beta` must be `1 × cols`.
+    /// `gamma` and `beta` must be `1 × cols`. The per-row mean/variance
+    /// reductions stay sequential scalar; the elementwise normalize+affine
+    /// phase goes through the dispatched kernel layer.
     pub fn layer_norm_rows(
         &mut self,
         x: NodeId,
@@ -269,43 +449,42 @@ impl Graph {
         beta: NodeId,
         eps: f32,
     ) -> Result<NodeId> {
-        let xv = self.node(x)?.value.clone();
-        let gv = self.node(gamma)?.value.clone();
-        let bv = self.node(beta)?.value.clone();
-        let (rows, cols) = xv.shape();
-        if gv.shape() != (1, cols) || bv.shape() != (1, cols) {
-            return Err(TensorError::ShapeMismatch {
-                expected: (1, cols),
-                got: gv.shape(),
-                op: "layer_norm_rows",
-            });
-        }
-        let mut normed = Matrix::zeros(rows, cols);
-        let mut inv_std = Matrix::zeros(rows, 1);
-        let mut out = Matrix::zeros(rows, cols);
-        for r in 0..rows {
-            let row = xv.row(r);
-            let mean = row.iter().sum::<f32>() / cols as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            inv_std.set(r, 0, istd);
-            for (c, &x) in row.iter().enumerate() {
-                let n = (x - mean) * istd;
-                normed.set(r, c, n);
-                out.set(r, c, gv.get(0, c) * n + bv.get(0, c));
+        let mut normed;
+        let mut inv_std;
+        let mut out;
+        {
+            let xv = &self.node(x)?.value;
+            let gv = &self.node(gamma)?.value;
+            let bv = &self.node(beta)?.value;
+            let (rows, cols) = xv.shape();
+            if gv.shape() != (1, cols) || bv.shape() != (1, cols) {
+                return Err(TensorError::ShapeMismatch {
+                    expected: (1, cols),
+                    got: gv.shape(),
+                    op: "layer_norm_rows",
+                });
+            }
+            normed = Matrix::zeros(rows, cols);
+            inv_std = Matrix::zeros(rows, 1);
+            out = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                let row = xv.row(r);
+                let mean = row.iter().sum::<f32>() / cols as f32;
+                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+                let istd = 1.0 / (var + eps).sqrt();
+                inv_std.set(r, 0, istd);
+                kernels::layer_norm_row(
+                    row,
+                    gv.row(0),
+                    bv.row(0),
+                    mean,
+                    istd,
+                    normed.row_mut(r),
+                    out.row_mut(r),
+                );
             }
         }
-        Ok(self.push(
-            out,
-            Op::LayerNormRows {
-                x,
-                gamma,
-                beta,
-                normed: Arc::new(normed),
-                inv_std: Arc::new(inv_std),
-            },
-            None,
-        ))
+        Ok(self.push(out, Op::LayerNormRows { x, gamma, beta, normed, inv_std }, None))
     }
 
     /// Adds a `1 × cols` row vector to every row of `x`.
@@ -316,30 +495,70 @@ impl Graph {
 
     /// Joins matrices horizontally (column-wise).
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> Result<NodeId> {
-        let mats: Vec<&Matrix> = parts
-            .iter()
-            .map(|&p| self.node(p).map(|n| n.value.as_ref()))
-            .collect::<Result<_>>()?;
-        let v = Matrix::concat_cols(&mats)?;
-        let widths = parts
-            .iter()
-            .map(|&p| Ok((p, self.node(p)?.value.cols())))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(self.push(v, Op::ConcatCols { parts: widths }, None))
+        let mut meta = PartList::new();
+        let mut out;
+        {
+            let Some(&first) = parts.first() else {
+                return Ok(self.push(Matrix::zeros(0, 0), Op::ConcatCols { parts: meta }, None));
+            };
+            let rows = self.node(first)?.value.rows();
+            let mut cols = 0;
+            for &p in parts {
+                let m = &self.node(p)?.value;
+                if m.rows() != rows {
+                    return Err(TensorError::ShapeMismatch {
+                        expected: (rows, m.cols()),
+                        got: m.shape(),
+                        op: "concat_cols",
+                    });
+                }
+                meta.push((p, m.cols()));
+                cols += m.cols();
+            }
+            out = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                let mut off = 0;
+                for &(p, w) in meta.as_slice() {
+                    let src = self.node(p)?.value.row(r);
+                    out.row_mut(r)[off..off + w].copy_from_slice(src);
+                    off += w;
+                }
+            }
+        }
+        Ok(self.push(out, Op::ConcatCols { parts: meta }, None))
     }
 
     /// Stacks matrices vertically (row-wise).
     pub fn concat_rows(&mut self, parts: &[NodeId]) -> Result<NodeId> {
-        let mats: Vec<&Matrix> = parts
-            .iter()
-            .map(|&p| self.node(p).map(|n| n.value.as_ref()))
-            .collect::<Result<_>>()?;
-        let v = Matrix::concat_rows(&mats)?;
-        let heights = parts
-            .iter()
-            .map(|&p| Ok((p, self.node(p)?.value.rows())))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(self.push(v, Op::ConcatRows { parts: heights }, None))
+        let mut meta = PartList::new();
+        let mut out;
+        {
+            let Some(&first) = parts.first() else {
+                return Ok(self.push(Matrix::zeros(0, 0), Op::ConcatRows { parts: meta }, None));
+            };
+            let cols = self.node(first)?.value.cols();
+            let mut rows = 0;
+            for &p in parts {
+                let m = &self.node(p)?.value;
+                if m.cols() != cols {
+                    return Err(TensorError::ShapeMismatch {
+                        expected: (m.rows(), cols),
+                        got: m.shape(),
+                        op: "concat_rows",
+                    });
+                }
+                meta.push((p, m.rows()));
+                rows += m.rows();
+            }
+            out = Matrix::zeros(rows, cols);
+            let mut elem_off = 0;
+            for &(p, h) in meta.as_slice() {
+                let src = &self.node(p)?.value;
+                out.as_mut_slice()[elem_off..elem_off + h * cols].copy_from_slice(src.as_slice());
+                elem_off += h * cols;
+            }
+        }
+        Ok(self.push(out, Op::ConcatRows { parts: meta }, None))
     }
 
     /// Copies columns `[start, start+len)`.
@@ -390,20 +609,6 @@ impl Graph {
 
     // ---- backward ---------------------------------------------------------
 
-    fn accumulate(&mut self, id: NodeId, delta: Matrix) -> Result<()> {
-        let node = self
-            .nodes
-            .get_mut(id.0)
-            .ok_or(TensorError::InvalidNode { id: id.0 })?;
-        match &mut node.grad {
-            Some(g) => g.add_assign(&delta),
-            slot @ None => {
-                *slot = Some(delta);
-                Ok(())
-            }
-        }
-    }
-
     /// Runs reverse-mode differentiation from scalar node `loss` and flushes
     /// parameter-leaf gradients into `store`.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) -> Result<()> {
@@ -435,71 +640,91 @@ impl Graph {
         Ok(())
     }
 
-    /// Reverse tape walk: populates `grad` on every reachable node.
+    /// Reverse tape walk.
+    ///
+    /// Each step splits the tape at the current node: ops only reference
+    /// strictly earlier nodes, so the node's own op/value can be borrowed
+    /// while deltas accumulate into the prefix. The incoming gradient `dy`
+    /// is *taken* from interior nodes (leaves keep theirs for the flush),
+    /// so no gradient, operand value, or op metadata is ever cloned.
     fn backward_tape(&mut self, loss: NodeId) -> Result<()> {
         let shape = self.node(loss)?.value.shape();
         if shape != (1, 1) {
             return Err(TensorError::NonScalarLoss { shape });
         }
-        self.accumulate(loss, Matrix::scalar(1.0))?;
+        acc_grad(&mut self.nodes, loss, Matrix::scalar(1.0))?;
 
         for i in (0..=loss.0).rev() {
-            let Some(dy) = self.nodes[i].grad.clone() else {
+            let (before, rest) = self.nodes.split_at_mut(i);
+            let node = &mut rest[0];
+            if matches!(node.op, Op::Leaf) {
+                continue;
+            }
+            let Some(dy) = node.grad.take() else {
                 continue;
             };
-            let op = self.nodes[i].op.clone();
-            let y = self.nodes[i].value.clone();
-            match op {
-                Op::Leaf => {}
+            let y = &node.value;
+            match &node.op {
+                Op::Leaf => unreachable!("handled above"),
                 Op::Add(a, b) => {
-                    self.accumulate(a, dy.clone())?;
-                    self.accumulate(b, dy)?;
+                    let (a, b) = (*a, *b);
+                    acc_grad(before, a, dy.clone())?;
+                    acc_grad(before, b, dy)?;
                 }
                 Op::Sub(a, b) => {
-                    self.accumulate(a, dy.clone())?;
-                    self.accumulate(b, dy.affine(-1.0, 0.0))?;
+                    let (a, b) = (*a, *b);
+                    acc_grad(before, a, dy.clone())?;
+                    acc_grad(before, b, dy.affine(-1.0, 0.0))?;
                 }
                 Op::Hadamard(a, b) => {
-                    let av = self.node(a)?.value.clone();
-                    let bv = self.node(b)?.value.clone();
-                    self.accumulate(a, dy.hadamard(&bv)?)?;
-                    self.accumulate(b, dy.hadamard(&av)?)?;
+                    let (a, b) = (*a, *b);
+                    let da = dy.hadamard(value_of(before, b)?)?;
+                    let db = dy.hadamard(value_of(before, a)?)?;
+                    acc_grad(before, a, da)?;
+                    acc_grad(before, b, db)?;
                 }
                 Op::MatmulNt(a, b) => {
                     // y = A·Bᵀ ⇒ dA = dy·B, dB = dyᵀ·A.
-                    let av = self.node(a)?.value.clone();
-                    let bv = self.node(b)?.value.clone();
-                    self.accumulate(a, dy.matmul(&bv)?)?;
-                    self.accumulate(b, dy.matmul_tn(&av)?)?;
+                    let (a, b) = (*a, *b);
+                    let da = dy.matmul(value_of(before, b)?)?;
+                    let db = dy.matmul_tn(value_of(before, a)?)?;
+                    acc_grad(before, a, da)?;
+                    acc_grad(before, b, db)?;
                 }
                 Op::Affine { x, alpha } => {
-                    self.accumulate(x, dy.affine(alpha, 0.0))?;
+                    let (x, alpha) = (*x, *alpha);
+                    acc_grad(before, x, dy.affine(alpha, 0.0))?;
                 }
                 Op::Matmul(a, b) => {
-                    let av = self.node(a)?.value.clone();
-                    let bv = self.node(b)?.value.clone();
-                    self.accumulate(a, dy.matmul_nt(&bv)?)?;
-                    self.accumulate(b, av.matmul_tn(&dy)?)?;
+                    let (a, b) = (*a, *b);
+                    let da = dy.matmul_nt(value_of(before, b)?)?;
+                    let db = value_of(before, a)?.matmul_tn(&dy)?;
+                    acc_grad(before, a, da)?;
+                    acc_grad(before, b, db)?;
                 }
                 Op::Transpose(x) => {
-                    self.accumulate(x, dy.transpose())?;
+                    let x = *x;
+                    acc_grad(before, x, dy.transpose())?;
                 }
                 Op::Sigmoid(x) => {
+                    let x = *x;
                     let dx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
                         let s = y.get(r, c);
                         dy.get(r, c) * s * (1.0 - s)
                     });
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::Tanh(x) => {
+                    let x = *x;
                     let dx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
                         let t = y.get(r, c);
                         dy.get(r, c) * (1.0 - t * t)
                     });
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::Relu(x) => {
-                    let xv = self.node(x)?.value.clone();
+                    let x = *x;
+                    let xv = value_of(before, x)?;
                     let dx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
                         if xv.get(r, c) > 0.0 {
                             dy.get(r, c)
@@ -507,21 +732,25 @@ impl Graph {
                             0.0
                         }
                     });
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::Exp(x) => {
                     // dy/dx = y
-                    self.accumulate(x, dy.hadamard(&y)?)?;
+                    let x = *x;
+                    let dx = dy.hadamard(y)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::Ln(x) => {
-                    let xv = self.node(x)?.value.clone();
+                    let x = *x;
+                    let xv = value_of(before, x)?;
                     let dx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
                         dy.get(r, c) / xv.get(r, c).max(1e-12)
                     });
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::SoftmaxRows(x) => {
                     // dx = y ⊙ (dy − rowsum(dy ⊙ y))
+                    let x = *x;
                     let (rows, cols) = y.shape();
                     let mut dx = Matrix::zeros(rows, cols);
                     for r in 0..rows {
@@ -533,10 +762,11 @@ impl Graph {
                             dxr[c] = yr[c] * (dyr[c] - dot);
                         }
                     }
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::ScaledSoftmaxRows { x, alpha } => {
                     // y = softmax(alpha·x) ⇒ dx = alpha · y ⊙ (dy − rowsum(dy ⊙ y))
+                    let (x, alpha) = (*x, *alpha);
                     let (rows, cols) = y.shape();
                     let mut dx = Matrix::zeros(rows, cols);
                     for r in 0..rows {
@@ -548,110 +778,119 @@ impl Graph {
                             dxr[c] = alpha * yr[c] * (dyr[c] - dot);
                         }
                     }
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::LayerNormRows { x, gamma, beta, normed, inv_std } => {
-                    let gv = self.node(gamma)?.value.clone();
+                    let (x, gamma, beta) = (*x, *gamma, *beta);
                     let (rows, cols) = normed.shape();
                     // dgamma = Σ_rows dy ⊙ x̂ ; dbeta = Σ_rows dy
                     let mut dgamma = Matrix::zeros(1, cols);
                     let mut dbeta = Matrix::zeros(1, cols);
                     let mut dx = Matrix::zeros(rows, cols);
-                    for r in 0..rows {
-                        let dyr = dy.row(r);
-                        let nr = normed.row(r);
-                        for c in 0..cols {
-                            dgamma.as_mut_slice()[c] += dyr[c] * nr[c];
-                            dbeta.as_mut_slice()[c] += dyr[c];
-                        }
-                        // dx̂ = gamma ⊙ dy;
-                        // dx = (dx̂ − mean(dx̂) − x̂·mean(dx̂ ⊙ x̂)) · inv_std
-                        let istd = inv_std.get(r, 0);
-                        let mut mean_dxhat = 0.0f32;
-                        let mut mean_dxhat_xhat = 0.0f32;
-                        for c in 0..cols {
-                            let dxh = gv.get(0, c) * dyr[c];
-                            mean_dxhat += dxh;
-                            mean_dxhat_xhat += dxh * nr[c];
-                        }
-                        mean_dxhat /= cols as f32;
-                        mean_dxhat_xhat /= cols as f32;
-                        let dxr = dx.row_mut(r);
-                        for c in 0..cols {
-                            let dxh = gv.get(0, c) * dyr[c];
-                            dxr[c] = (dxh - mean_dxhat - nr[c] * mean_dxhat_xhat) * istd;
+                    {
+                        let gv = value_of(before, gamma)?;
+                        for r in 0..rows {
+                            let dyr = dy.row(r);
+                            let nr = normed.row(r);
+                            for c in 0..cols {
+                                dgamma.as_mut_slice()[c] += dyr[c] * nr[c];
+                                dbeta.as_mut_slice()[c] += dyr[c];
+                            }
+                            // dx̂ = gamma ⊙ dy;
+                            // dx = (dx̂ − mean(dx̂) − x̂·mean(dx̂ ⊙ x̂)) · inv_std
+                            let istd = inv_std.get(r, 0);
+                            let mut mean_dxhat = 0.0f32;
+                            let mut mean_dxhat_xhat = 0.0f32;
+                            for c in 0..cols {
+                                let dxh = gv.get(0, c) * dyr[c];
+                                mean_dxhat += dxh;
+                                mean_dxhat_xhat += dxh * nr[c];
+                            }
+                            mean_dxhat /= cols as f32;
+                            mean_dxhat_xhat /= cols as f32;
+                            let dxr = dx.row_mut(r);
+                            for c in 0..cols {
+                                let dxh = gv.get(0, c) * dyr[c];
+                                dxr[c] = (dxh - mean_dxhat - nr[c] * mean_dxhat_xhat) * istd;
+                            }
                         }
                     }
-                    self.accumulate(x, dx)?;
-                    self.accumulate(gamma, dgamma)?;
-                    self.accumulate(beta, dbeta)?;
+                    acc_grad(before, x, dx)?;
+                    acc_grad(before, gamma, dgamma)?;
+                    acc_grad(before, beta, dbeta)?;
                 }
                 Op::AddRowBroadcast { x, row } => {
                     // d(row) = column sums of dy.
+                    let (x, row) = (*x, *row);
                     let mut drow = Matrix::zeros(1, dy.cols());
                     for r in 0..dy.rows() {
                         for (acc, v) in drow.as_mut_slice().iter_mut().zip(dy.row(r)) {
                             *acc += v;
                         }
                     }
-                    self.accumulate(x, dy)?;
-                    self.accumulate(row, drow)?;
+                    acc_grad(before, x, dy)?;
+                    acc_grad(before, row, drow)?;
                 }
                 Op::ConcatCols { parts } => {
                     let mut start = 0;
-                    for (p, width) in parts {
+                    for &(p, width) in parts.as_slice() {
                         let slice = dy.slice_cols(start, width)?;
-                        self.accumulate(p, slice)?;
+                        acc_grad(before, p, slice)?;
                         start += width;
                     }
                 }
                 Op::ConcatRows { parts } => {
                     let mut start = 0;
-                    for (p, height) in parts {
+                    for &(p, height) in parts.as_slice() {
                         let slice = dy.slice_rows(start, height)?;
-                        self.accumulate(p, slice)?;
+                        acc_grad(before, p, slice)?;
                         start += height;
                     }
                 }
                 Op::SliceCols { x, start } => {
-                    let xv = self.node(x)?.value.shape();
+                    let (x, start) = (*x, *start);
+                    let xv = value_of(before, x)?.shape();
                     let mut dx = Matrix::zeros(xv.0, xv.1);
                     for r in 0..dy.rows() {
                         let src = dy.row(r);
                         let dst = &mut dx.row_mut(r)[start..start + src.len()];
                         dst.copy_from_slice(src);
                     }
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::SliceRows { x, start } => {
-                    let xv = self.node(x)?.value.shape();
+                    let (x, start) = (*x, *start);
+                    let xv = value_of(before, x)?.shape();
                     let mut dx = Matrix::zeros(xv.0, xv.1);
                     for r in 0..dy.rows() {
                         dx.row_mut(start + r).copy_from_slice(dy.row(r));
                     }
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::GatherRows { x, indices } => {
-                    let xv = self.node(x)?.value.shape();
+                    let x = *x;
+                    let xv = value_of(before, x)?.shape();
                     let mut dx = Matrix::zeros(xv.0, xv.1);
-                    for (r, &i) in indices.iter().enumerate() {
+                    for (r, &idx) in indices.iter().enumerate() {
                         let src = dy.row(r);
-                        for (acc, v) in dx.row_mut(i).iter_mut().zip(src) {
+                        for (acc, v) in dx.row_mut(idx).iter_mut().zip(src) {
                             *acc += v;
                         }
                     }
-                    self.accumulate(x, dx)?;
+                    acc_grad(before, x, dx)?;
                 }
                 Op::SumAll(x) => {
+                    let x = *x;
                     let g = dy.scalar_value()?;
-                    let (r, c) = self.node(x)?.value.shape();
-                    self.accumulate(x, Matrix::full(r, c, g))?;
+                    let (r, c) = value_of(before, x)?.shape();
+                    acc_grad(before, x, Matrix::full(r, c, g))?;
                 }
                 Op::MeanAll(x) => {
+                    let x = *x;
                     let g = dy.scalar_value()?;
-                    let (r, c) = self.node(x)?.value.shape();
+                    let (r, c) = value_of(before, x)?.shape();
                     let n = (r * c).max(1) as f32;
-                    self.accumulate(x, Matrix::full(r, c, g / n))?;
+                    acc_grad(before, x, Matrix::full(r, c, g / n))?;
                 }
             }
         }
@@ -737,6 +976,47 @@ mod tests {
         g.backward(loss, &mut store).unwrap();
         // Row 0 untouched, row 1 gathered twice, row 2 once.
         assert_eq!(store.grad(p).unwrap().as_slice(), &[0., 0., 2., 2., 1., 1.]);
+    }
+
+    #[test]
+    fn tape_is_pooled_across_graphs() {
+        // Warm up: build and drop a graph, then check the next one reuses
+        // the tape (observable via the tape hit counter).
+        {
+            let mut g = Graph::new();
+            let x = g.constant(Matrix::ones(2, 2));
+            let _ = g.sum_all(x).unwrap();
+        }
+        let before = crate::workspace::stats();
+        {
+            let mut g = Graph::new();
+            let x = g.constant(Matrix::ones(2, 2));
+            let _ = g.sum_all(x).unwrap();
+        }
+        let after = crate::workspace::stats();
+        assert!(
+            after.tape_hits > before.tape_hits,
+            "expected a pooled-tape hit: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn wide_concat_spills_and_roundtrips() {
+        // More parts than the inline capacity exercises the spill path in
+        // both forward and backward.
+        let (mut g, mut store) = scalar_graph();
+        let p = store.register("p", Matrix::ones(2, 1));
+        let parts: Vec<NodeId> = (0..PARTS_INLINE + 3)
+            .map(|_| g.param(&store, p).unwrap())
+            .collect();
+        let cat = g.concat_cols(&parts).unwrap();
+        assert_eq!(g.value(cat).unwrap().shape(), (2, PARTS_INLINE + 3));
+        let loss = g.sum_all(cat).unwrap();
+        g.backward(loss, &mut store).unwrap();
+        assert_eq!(
+            store.grad(p).unwrap().as_slice(),
+            &[(PARTS_INLINE + 3) as f32, (PARTS_INLINE + 3) as f32]
+        );
     }
 
     /// Finite-difference check for a composite expression covering most ops.
@@ -846,7 +1126,7 @@ mod tests {
 
         let eps = 1e-3f32;
         for idx in 0..9 {
-            let mut run = |delta: f32| {
+            let run = |delta: f32| {
                 let mut perturbed = store.clone();
                 let mut wv = perturbed.value(w).unwrap().clone();
                 wv.as_mut_slice()[idx] += delta;

@@ -1,0 +1,416 @@
+//! Shared kernel bodies, written once in lane-friendly form.
+//!
+//! Every function here is `#[inline(always)]` and is instantiated by each
+//! backend wrapper in `kernels/mod.rs`: the scalar wrapper compiles it with
+//! the crate's baseline target features, the AVX2/AVX-512 wrappers recompile
+//! the *same body* under `#[target_feature(...)]` so LLVM's auto-vectorizer
+//! can use wider registers. There are no intrinsics and no FMA contraction
+//! (Rust never contracts `a * b + c` by default), and each output element
+//! accumulates its `k` products in strictly increasing `p` order on every
+//! path — so all backends are bitwise identical by construction; the wider
+//! ISA only changes how many *independent* output elements move per cycle.
+//!
+//! The GEMM kernels use a register-tiled micro-kernel: an `MR × NR` block of
+//! output elements is held in an accumulator array (lowered to vector
+//! registers) while the shared dimension streams past. Spilling a partial
+//! accumulator to memory and reloading it between `p`-tiles is exact in
+//! IEEE-754, so cache blocking does not perturb results either.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+/// Micro-tile height: output rows per register block.
+const MR: usize = 4;
+/// Micro-tile width: output columns per register block (two AVX2 lanes).
+const NR: usize = 16;
+/// Tile width along the shared (`p`) dimension.
+pub(crate) const GEMM_KC: usize = 128;
+/// Tile width along the output-column (`j`) dimension. A `GEMM_KC × GEMM_NC`
+/// panel of `B` is 256 KiB — sized for L2 residency.
+pub(crate) const GEMM_NC: usize = 512;
+
+// ---- GEMM: C += A · B ------------------------------------------------------
+
+/// Register-tiled inner block for `gemm_nn_rows`: accumulates the `MR_N × NR`
+/// output block at `(i, j)` over `p ∈ [pc, pc+pw)`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_nn<const MR_N: usize>(
+    a_rows: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+    pc: usize,
+    pw: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR_N];
+    for (r, acc_r) in acc.iter_mut().enumerate() {
+        let o = &out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        acc_r.copy_from_slice(o);
+    }
+    for p in pc..pc + pw {
+        let brow = &b[p * n + j..p * n + j + NR];
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let a = a_rows[(i + r) * k + p];
+            for (acc_l, &bv) in acc_r.iter_mut().zip(brow) {
+                *acc_l += a * bv;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        o.copy_from_slice(acc_r);
+    }
+}
+
+/// `out_rows += a_rows · b` for a contiguous band of output rows.
+/// Accumulation order per output element: `p = 0..k` strictly increasing.
+#[inline(always)]
+pub(crate) fn gemm_nn_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    let m_local = out_rows.len() / n;
+    let mut jc = 0;
+    while jc < n {
+        let jw = GEMM_NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let pw = GEMM_KC.min(k - pc);
+            let mut i = 0;
+            while i < m_local {
+                let iw = MR.min(m_local - i);
+                let mut j = jc;
+                while j + NR <= jc + jw {
+                    match iw {
+                        4 => micro_nn::<4>(a_rows, b, out_rows, k, n, i, j, pc, pw),
+                        3 => micro_nn::<3>(a_rows, b, out_rows, k, n, i, j, pc, pw),
+                        2 => micro_nn::<2>(a_rows, b, out_rows, k, n, i, j, pc, pw),
+                        _ => micro_nn::<1>(a_rows, b, out_rows, k, n, i, j, pc, pw),
+                    }
+                    j += NR;
+                }
+                // Column remainder (< NR): plain loops, same per-element order.
+                if j < jc + jw {
+                    for r in i..i + iw {
+                        for dp in 0..pw {
+                            let p = pc + dp;
+                            let a = a_rows[r * k + p];
+                            let brow = &b[p * n..(p + 1) * n];
+                            let orow = &mut out_rows[r * n..(r + 1) * n];
+                            for jj in j..jc + jw {
+                                orow[jj] += a * brow[jj];
+                            }
+                        }
+                    }
+                }
+                i += iw;
+            }
+            pc += pw;
+        }
+        jc += jw;
+    }
+}
+
+// ---- GEMM: C += Aᵀ · B ------------------------------------------------------
+
+/// Register-tiled inner block for `gemm_tn_rows` (`a` is `k × m`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_tn<const MR_N: usize>(
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    i0: usize,
+    m: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+    pc: usize,
+    pw: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR_N];
+    for (r, acc_r) in acc.iter_mut().enumerate() {
+        let o = &out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        acc_r.copy_from_slice(o);
+    }
+    for p in pc..pc + pw {
+        let brow = &b[p * n + j..p * n + j + NR];
+        let aseg = &a[p * m + i0 + i..p * m + i0 + i + MR_N];
+        for (acc_r, &av) in acc.iter_mut().zip(aseg) {
+            for (acc_l, &bv) in acc_r.iter_mut().zip(brow) {
+                *acc_l += av * bv;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        o.copy_from_slice(acc_r);
+    }
+}
+
+/// `out_rows += (aᵀ · b)` restricted to output rows `i0 .. i0 + rows`,
+/// where `a` is `k × m` and `b` is `k × n`. Accumulation order per output
+/// element: `p = 0..k` strictly increasing.
+#[inline(always)]
+pub(crate) fn gemm_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    i0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    let rows = out_rows.len() / n;
+    let mut jc = 0;
+    while jc < n {
+        let jw = GEMM_NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let pw = GEMM_KC.min(k - pc);
+            let mut i = 0;
+            while i < rows {
+                let iw = MR.min(rows - i);
+                let mut j = jc;
+                while j + NR <= jc + jw {
+                    match iw {
+                        4 => micro_tn::<4>(a, b, out_rows, i0, m, n, i, j, pc, pw),
+                        3 => micro_tn::<3>(a, b, out_rows, i0, m, n, i, j, pc, pw),
+                        2 => micro_tn::<2>(a, b, out_rows, i0, m, n, i, j, pc, pw),
+                        _ => micro_tn::<1>(a, b, out_rows, i0, m, n, i, j, pc, pw),
+                    }
+                    j += NR;
+                }
+                if j < jc + jw {
+                    for r in i..i + iw {
+                        for dp in 0..pw {
+                            let p = pc + dp;
+                            let av = a[p * m + i0 + r];
+                            let brow = &b[p * n..(p + 1) * n];
+                            let orow = &mut out_rows[r * n..(r + 1) * n];
+                            for jj in j..jc + jw {
+                                orow[jj] += av * brow[jj];
+                            }
+                        }
+                    }
+                }
+                i += iw;
+            }
+            pc += pw;
+        }
+        jc += jw;
+    }
+}
+
+// ---- GEMM: C = A · Bᵀ -------------------------------------------------------
+
+/// Register-tiled inner block for `gemm_nt_rows` over a packed `k × NR`
+/// column panel of `Bᵀ` (`panel[p·NR + l] = b[(j+l)·k + p]`).
+#[inline(always)]
+fn micro_nt<const MR_N: usize>(
+    a_rows: &[f32],
+    panel: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR_N];
+    for p in 0..k {
+        let brow = &panel[p * NR..p * NR + NR];
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let a = a_rows[(i + r) * k + p];
+            for (acc_l, &bv) in acc_r.iter_mut().zip(brow) {
+                *acc_l += a * bv;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        o.copy_from_slice(acc_r);
+    }
+}
+
+/// `out_rows = a_rows · bᵀ` for a contiguous band of output rows, where `b`
+/// is `n × k`. Each output element is one sequential dot product over
+/// increasing `p` — vectorization spreads *columns* across lanes via a
+/// packed `p`-major panel of `B` rows, leaving each element's accumulation
+/// order untouched.
+#[inline(always)]
+pub(crate) fn gemm_nt_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let m_local = out_rows.len() / n;
+    if k == 0 {
+        // `out` is pre-zeroed by the caller; an empty dot product stays 0.
+        return;
+    }
+    let mut panel = crate::workspace::take_buffer(k * NR);
+    let mut j = 0;
+    while j + NR <= n {
+        panel.clear();
+        for p in 0..k {
+            for l in 0..NR {
+                panel.push(b[(j + l) * k + p]);
+            }
+        }
+        let mut i = 0;
+        while i < m_local {
+            let iw = MR.min(m_local - i);
+            match iw {
+                4 => micro_nt::<4>(a_rows, &panel, out_rows, k, n, i, j),
+                3 => micro_nt::<3>(a_rows, &panel, out_rows, k, n, i, j),
+                2 => micro_nt::<2>(a_rows, &panel, out_rows, k, n, i, j),
+                _ => micro_nt::<1>(a_rows, &panel, out_rows, k, n, i, j),
+            }
+            i += iw;
+        }
+        j += NR;
+    }
+    if j < n {
+        for r in 0..m_local {
+            let a_row = &a_rows[r * k..(r + 1) * k];
+            for jj in j..n {
+                let b_row = &b[jj * k..(jj + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out_rows[r * n + jj] = acc;
+            }
+        }
+    }
+    crate::workspace::recycle_buffer(panel);
+}
+
+// ---- elementwise maps ------------------------------------------------------
+
+/// `out = a + b`, elementwise (clears and refills `out`).
+#[inline(always)]
+pub(crate) fn add_into(a: &[f32], b: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(x, y)| x + y));
+}
+
+/// `out = a − b`, elementwise.
+#[inline(always)]
+pub(crate) fn sub_into(a: &[f32], b: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(x, y)| x - y));
+}
+
+/// `out = a ⊙ b`, elementwise.
+#[inline(always)]
+pub(crate) fn mul_into(a: &[f32], b: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(x, y)| x * y));
+}
+
+/// `out = alpha·x + beta`, elementwise.
+#[inline(always)]
+pub(crate) fn affine_into(x: &[f32], alpha: f32, beta: f32, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(x.iter().map(|&v| alpha * v + beta));
+}
+
+/// `out = max(x, 0)`, elementwise.
+#[inline(always)]
+pub(crate) fn relu_into(x: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(x.iter().map(|&v| v.max(0.0)));
+}
+
+/// `dst += src`, elementwise.
+#[inline(always)]
+pub(crate) fn add_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// `dst += alpha · src`, elementwise (BLAS `axpy`).
+#[inline(always)]
+pub(crate) fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += alpha * s;
+    }
+}
+
+/// `x *= s`, elementwise — the normalize step of a softmax row.
+#[inline(always)]
+pub(crate) fn scale_inplace(x: &mut [f32], s: f32) {
+    for v in x {
+        *v *= s;
+    }
+}
+
+// ---- fused row/optimizer kernels ------------------------------------------
+
+/// Elementwise phase of row-wise layer norm: given the row's precomputed
+/// `mean` and `istd = 1/σ` (reductions stay sequential scalar in the caller
+/// so their accumulation order never changes), writes `x̂ = (x−μ)·istd` into
+/// `normed_row` and `γ·x̂ + β` into `out_row`.
+#[inline(always)]
+pub(crate) fn layer_norm_row(
+    x_row: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    mean: f32,
+    istd: f32,
+    normed_row: &mut [f32],
+    out_row: &mut [f32],
+) {
+    for (((&x, &g), &b), (nr, or)) in x_row
+        .iter()
+        .zip(gamma)
+        .zip(beta)
+        .zip(normed_row.iter_mut().zip(out_row.iter_mut()))
+    {
+        let n = (x - mean) * istd;
+        *nr = n;
+        *or = g * n + b;
+    }
+}
+
+/// One Adam update over a parameter's flat buffers. Fully elementwise
+/// (`sqrt`/`div` are IEEE-exact), so vectorization cannot change results.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn adam_update(
+    w: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    scale: f32,
+    b1: f32,
+    b2: f32,
+    bias1: f32,
+    bias2: f32,
+    lr: f32,
+    eps: f32,
+) {
+    for (((w, &g), mi), vi) in w.iter_mut().zip(g).zip(m.iter_mut()).zip(v.iter_mut()) {
+        let g = g * scale;
+        *mi = b1 * *mi + (1.0 - b1) * g;
+        *vi = b2 * *vi + (1.0 - b2) * g * g;
+        let mhat = *mi / bias1;
+        let vhat = *vi / bias2;
+        *w -= lr * mhat / (vhat.sqrt() + eps);
+    }
+}
+
+/// One SGD update `w ← w − lr·g` over a parameter's flat buffers.
+#[inline(always)]
+pub(crate) fn sgd_update(w: &mut [f32], g: &[f32], lr: f32) {
+    for (w, &g) in w.iter_mut().zip(g) {
+        *w -= lr * g;
+    }
+}

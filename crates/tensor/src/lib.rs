@@ -10,13 +10,16 @@
 //! 2. **Auditable scope** — one tensor rank (2-D `f32` [`Matrix`]), one tape
 //!    ([`Graph`]), a handful of ops. Everything the AERO paper's equations
 //!    need and nothing more.
-//! 3. **Hardware-scale speed** — cache-blocked GEMM kernels
+//! 3. **Hardware-scale speed** — runtime-dispatched SIMD kernels
+//!    ([`backend`]/[`set_backend`]: scalar, AVX2, AVX-512, NEON — bitwise
+//!    identical by construction), register-tiled cache-blocked GEMM
 //!    (`matmul`/`matmul_tn`/`matmul_nt` avoid materializing transposes and
 //!    partition rows across the `aero-parallel` pool above a size
-//!    threshold), `Arc`-shared parameter values (no per-forward clone),
-//!    release-mode friendly inner loops over slices. All kernels keep a
-//!    fixed floating-point accumulation order, so results are bitwise
-//!    identical at any thread count.
+//!    threshold), a [`workspace`] buffer pool that makes steady-state op
+//!    outputs and graph tapes allocation-free, and `Arc`-shared parameter
+//!    values (no per-forward clone). All kernels keep a fixed per-element
+//!    floating-point accumulation order, so results are bitwise identical
+//!    at any backend and thread count.
 //!
 //! ## Quick tour
 //!
@@ -39,19 +42,24 @@
 //! assert!((w - 2.0).abs() < 0.05);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the kernel dispatch layer can scope a single
+// `allow(unsafe_code)` onto its feature-detected `#[target_feature]` calls.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod check;
 mod error;
 mod graph;
+mod kernels;
 mod matrix;
 mod optim;
 mod params;
+pub mod workspace;
 
 pub use check::{check_gradient, GradCheckReport};
 pub use error::{Result, TensorError};
 pub use graph::{Graph, NodeId};
+pub use kernels::{backend, detected_backend, force_scalar_env, set_backend, Backend};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{GradBuffer, Param, ParamId, ParamStore};

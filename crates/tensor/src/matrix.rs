@@ -1,10 +1,13 @@
-//! Dense row-major `f32` matrix with the CPU kernels used by the autodiff
-//! graph. Shapes are validated eagerly; all kernels are allocation-conscious
-//! (output buffers are created once, inner loops run over slices).
+//! Dense row-major `f32` matrix backed by the [`workspace`](crate::workspace)
+//! buffer pool and the runtime-dispatched [`kernels`](crate::kernels) layer.
+//! Shapes are validated eagerly; every op output reuses pooled capacity, so
+//! steady-state workloads stop touching the system allocator.
 
 use std::fmt;
 
 use crate::error::{Result, TensorError};
+use crate::kernels;
+use crate::workspace;
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -12,11 +15,29 @@ use crate::error::{Result, TensorError};
 /// or `n × 1` matrices, scalars are `1 × 1`. Higher-rank constructs (batches,
 /// attention heads) are expressed by slicing/concatenating columns, which
 /// keeps the autodiff core small and auditable.
-#[derive(Clone, PartialEq)]
+///
+/// Buffers are drawn from the [`workspace`] pool on construction and
+/// recycled on drop, so cloning and op outputs are allocation-free once the
+/// pool is warm.
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        let mut data = workspace::take_buffer(self.data.len());
+        data.extend_from_slice(&self.data);
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        workspace::recycle_buffer(std::mem::take(&mut self.data));
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -32,7 +53,9 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix from a flat row-major buffer.
     ///
-    /// Returns [`TensorError::ShapeMismatch`] when `data.len() != rows*cols`.
+    /// The caller's buffer is adopted as-is (and joins the pool when the
+    /// matrix is dropped). Returns [`TensorError::ShapeMismatch`] when
+    /// `data.len() != rows*cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {
             return Err(TensorError::ShapeMismatch {
@@ -46,7 +69,10 @@ impl Matrix {
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        let len = rows * cols;
+        let mut data = workspace::take_buffer(len);
+        data.resize(len, value);
+        Self { rows, cols, data }
     }
 
     /// Creates a zero matrix.
@@ -70,22 +96,28 @@ impl Matrix {
 
     /// A `1 × n` row vector.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        let mut data = workspace::take_buffer(values.len());
+        data.extend_from_slice(values);
+        Self { rows: 1, cols: values.len(), data }
     }
 
     /// A `n × 1` column vector.
     pub fn col_vector(values: &[f32]) -> Self {
-        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+        let mut data = workspace::take_buffer(values.len());
+        data.extend_from_slice(values);
+        Self { rows: values.len(), cols: 1, data }
     }
 
     /// A `1 × 1` matrix holding `value`.
     pub fn scalar(value: f32) -> Self {
-        Self { rows: 1, cols: 1, data: vec![value] }
+        let mut data = workspace::take_buffer(1);
+        data.push(value);
+        Self { rows: 1, cols: 1, data }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` at each position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = workspace::take_buffer(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -129,9 +161,9 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Consumes the matrix, returning its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the matrix, returning its buffer (which leaves the pool).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element access; panics on out-of-bounds (debug-friendly hot path).
@@ -188,81 +220,74 @@ impl Matrix {
     /// Elementwise sum, shapes must match.
     pub fn add(&self, other: &Self) -> Result<Self> {
         self.check_same_shape(other, "add")?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
+        let mut data = workspace::take_buffer(self.data.len());
+        kernels::add_into(&self.data, &other.data, &mut data);
         Ok(Self { rows: self.rows, cols: self.cols, data })
     }
 
     /// In-place elementwise `self += other`.
     pub fn add_assign(&mut self, other: &Self) -> Result<()> {
         self.check_same_shape(other, "add_assign")?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        kernels::add_assign(&mut self.data, &other.data);
         Ok(())
     }
 
     /// In-place `self += alpha * other` (BLAS `axpy`).
     pub fn axpy(&mut self, alpha: f32, other: &Self) -> Result<()> {
         self.check_same_shape(other, "axpy")?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernels::axpy(&mut self.data, alpha, &other.data);
         Ok(())
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Self) -> Result<Self> {
         self.check_same_shape(other, "sub")?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a - b)
-            .collect();
+        let mut data = workspace::take_buffer(self.data.len());
+        kernels::sub_into(&self.data, &other.data, &mut data);
         Ok(Self { rows: self.rows, cols: self.cols, data })
     }
 
     /// Elementwise (Hadamard) product.
     pub fn hadamard(&self, other: &Self) -> Result<Self> {
         self.check_same_shape(other, "hadamard")?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .collect();
+        let mut data = workspace::take_buffer(self.data.len());
+        kernels::mul_into(&self.data, &other.data, &mut data);
         Ok(Self { rows: self.rows, cols: self.cols, data })
     }
 
     /// `alpha * self + beta` applied elementwise.
     pub fn affine(&self, alpha: f32, beta: f32) -> Self {
-        let data = self.data.iter().map(|a| alpha * a + beta).collect();
+        let mut data = workspace::take_buffer(self.data.len());
+        kernels::affine_into(&self.data, alpha, beta, &mut data);
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise `max(x, 0)` via the dispatched kernel layer.
+    pub fn relu(&self) -> Self {
+        let mut data = workspace::take_buffer(self.data.len());
+        kernels::relu_into(&self.data, &mut data);
         Self { rows: self.rows, cols: self.cols, data }
     }
 
     /// Applies `f` elementwise, returning a new matrix.
+    ///
+    /// Generic over the closure, so it cannot be backend-multiversioned;
+    /// hot elementwise paths have dedicated kernels instead.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        let data = self.data.iter().map(|&a| f(a)).collect();
+        let mut data = workspace::take_buffer(self.data.len());
+        data.extend(self.data.iter().map(|&a| f(a)));
         Self { rows: self.rows, cols: self.cols, data }
     }
 
     /// Matrix product `self · other`.
     ///
-    /// Cache-blocked GEMM. Small products take a plain ikj fast path; larger
-    /// ones tile over columns ([`GEMM_NC`]) and the shared dimension
-    /// ([`GEMM_KC`]) so the `B` panel stays cache-resident, and products above
-    /// [`GEMM_PAR_MIN_MACS`] partition output rows across the
-    /// `aero-parallel` pool. Every element of the output accumulates its
-    /// `k` products in strictly increasing `p` order on every path, so the
-    /// result is bitwise identical regardless of blocking or thread count.
-    /// (The old kernels skipped `a == 0.0` terms — on dense activations that
-    /// is a mispredicted branch per element, and it broke the fixed
-    /// accumulation order; it is gone on purpose.)
+    /// Register-tiled, cache-blocked GEMM dispatched through the
+    /// [`kernels`] layer (scalar / AVX2 / AVX-512 / NEON, bitwise identical
+    /// by construction). Products above [`GEMM_PAR_MIN_MACS`] partition
+    /// output rows across the `aero-parallel` pool. Every element of the
+    /// output accumulates its `k` products in strictly increasing `p` order
+    /// on every path, so the result is bitwise identical regardless of
+    /// backend, blocking, or thread count.
     pub fn matmul(&self, other: &Self) -> Result<Self> {
         if self.cols != other.rows {
             return Err(TensorError::ShapeMismatch {
@@ -272,10 +297,11 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = workspace::take_buffer(m * n);
+        out.resize(m * n, 0.0);
         if m * k * n > 0 {
             run_gemm(m, k, n, &mut out, |r0, rows, chunk| {
-                gemm_nn_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
+                kernels::gemm_nn_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
             })?;
         }
         Ok(Self { rows: m, cols: n, data: out })
@@ -283,7 +309,8 @@ impl Matrix {
 
     /// `selfᵀ · other` without materializing the transpose.
     ///
-    /// Same blocking/threading scheme and determinism contract as [`matmul`](Self::matmul).
+    /// Same dispatch/blocking/threading scheme and determinism contract as
+    /// [`matmul`](Self::matmul).
     pub fn matmul_tn(&self, other: &Self) -> Result<Self> {
         if self.rows != other.rows {
             return Err(TensorError::ShapeMismatch {
@@ -293,10 +320,11 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.cols, self.rows, other.cols);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = workspace::take_buffer(m * n);
+        out.resize(m * n, 0.0);
         if m * k * n > 0 {
             run_gemm(m, k, n, &mut out, |r0, _rows, chunk| {
-                gemm_tn_rows(&self.data, &other.data, chunk, r0, m, k, n);
+                kernels::gemm_tn_rows(&self.data, &other.data, chunk, r0, m, k, n);
             })?;
         }
         Ok(Self { rows: m, cols: n, data: out })
@@ -304,10 +332,10 @@ impl Matrix {
 
     /// `self · otherᵀ` without materializing the transpose.
     ///
-    /// Row-blocked dot-product kernel: output rows are processed in bands of
-    /// [`GEMM_NT_MB`] so each row of `other` streams against a cache-resident
-    /// band of `self` rows. Each dot product accumulates sequentially in
-    /// increasing `p` order — same determinism contract as [`matmul`](Self::matmul).
+    /// Packs `NR`-column panels of `other` so lanes can vectorize across
+    /// output columns while each dot product still accumulates sequentially
+    /// in increasing `p` order — same determinism contract as
+    /// [`matmul`](Self::matmul).
     pub fn matmul_nt(&self, other: &Self) -> Result<Self> {
         if self.cols != other.cols {
             return Err(TensorError::ShapeMismatch {
@@ -317,24 +345,40 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = workspace::take_buffer(m * n);
+        out.resize(m * n, 0.0);
         if m * k * n > 0 {
             run_gemm(m, k, n, &mut out, |r0, rows, chunk| {
-                gemm_nt_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
+                kernels::gemm_nt_rows(&self.data[r0 * k..(r0 + rows) * k], &other.data, chunk, k, n);
             })?;
         }
         Ok(Self { rows: m, cols: n, data: out })
     }
 
-    /// Transposed copy.
+    /// Transposed copy, copied in 8×8 blocks so both the source reads and
+    /// the destination writes stay within a few cache lines per block
+    /// (a plain row sweep strides the destination by `rows` every element).
     pub fn transpose(&self) -> Self {
-        let mut out = Self::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        const TB: usize = 8;
+        let (r_n, c_n) = (self.rows, self.cols);
+        let mut out = workspace::take_buffer(r_n * c_n);
+        out.resize(r_n * c_n, 0.0);
+        let mut rb = 0;
+        while rb < r_n {
+            let rh = TB.min(r_n - rb);
+            let mut cb = 0;
+            while cb < c_n {
+                let cw = TB.min(c_n - cb);
+                for r in rb..rb + rh {
+                    for c in cb..cb + cw {
+                        out[c * r_n + r] = self.data[r * c_n + c];
+                    }
+                }
+                cb += cw;
             }
+            rb += rh;
         }
-        out
+        Self { rows: c_n, cols: r_n, data: out }
     }
 
     /// Sum of all elements.
@@ -383,7 +427,7 @@ impl Matrix {
             }
             rows += p.rows;
         }
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = workspace::take_buffer(rows * cols);
         for p in parts {
             data.extend_from_slice(&p.data);
         }
@@ -407,7 +451,7 @@ impl Matrix {
             }
             cols += p.cols;
         }
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = workspace::take_buffer(rows * cols);
         for r in 0..rows {
             for p in parts {
                 data.extend_from_slice(p.row(r));
@@ -425,7 +469,7 @@ impl Matrix {
                 op: "slice_cols",
             });
         }
-        let mut data = Vec::with_capacity(self.rows * len);
+        let mut data = workspace::take_buffer(self.rows * len);
         for r in 0..self.rows {
             let row = self.row(r);
             data.extend_from_slice(&row[start..start + len]);
@@ -442,13 +486,14 @@ impl Matrix {
                 op: "slice_rows",
             });
         }
-        let data = self.data[start * self.cols..(start + len) * self.cols].to_vec();
+        let mut data = workspace::take_buffer(len * self.cols);
+        data.extend_from_slice(&self.data[start * self.cols..(start + len) * self.cols]);
         Ok(Self { rows: len, cols: self.cols, data })
     }
 
     /// Gathers rows by index (rows may repeat); backward pass scatters.
     pub fn gather_rows(&self, indices: &[usize]) -> Result<Self> {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut data = workspace::take_buffer(indices.len() * self.cols);
         for &i in indices {
             if i >= self.rows {
                 return Err(TensorError::IndexOutOfBounds {
@@ -473,18 +518,15 @@ impl Matrix {
         }
         let mut out = self.clone();
         for r in 0..out.rows {
-            for (o, b) in out.row_mut(r).iter_mut().zip(&row.data) {
-                *o += b;
-            }
+            kernels::add_assign(out.row_mut(r), &row.data);
         }
         Ok(out)
     }
 
     /// Per-row sums as an `rows × 1` column vector.
     pub fn row_sums(&self) -> Self {
-        let data = (0..self.rows)
-            .map(|r| self.row(r).iter().sum())
-            .collect();
+        let mut data = workspace::take_buffer(self.rows);
+        data.extend((0..self.rows).map(|r| self.row(r).iter().sum::<f32>()));
         Self { rows: self.rows, cols: 1, data }
     }
 
@@ -504,21 +546,9 @@ impl Matrix {
     }
 }
 
-/// Below this many multiply-accumulates a product takes the plain (untiled)
-/// kernel — at these sizes the whole working set fits in L1/L2 and the tiling
-/// bookkeeping is pure overhead.
-const GEMM_SMALL_MACS: usize = 1 << 15;
 /// Above this many multiply-accumulates output rows are partitioned across
 /// the `aero-parallel` pool.
 const GEMM_PAR_MIN_MACS: usize = 1 << 21;
-/// Tile width along the shared (`p`) dimension.
-const GEMM_KC: usize = 128;
-/// Tile width along the output-column (`j`) dimension. A `GEMM_KC × GEMM_NC`
-/// panel of `B` is 256 KiB — sized for L2 residency.
-const GEMM_NC: usize = 512;
-/// Row-band height for the `A · Bᵀ` kernel: one row of `B` streams against a
-/// band of this many `A` rows held in cache.
-const GEMM_NT_MB: usize = 32;
 
 /// Dispatches a GEMM over the output buffer: serial for small/medium
 /// products, row-partitioned across the pool for large ones. `kernel`
@@ -551,114 +581,6 @@ fn run_gemm(
                 message: aero_parallel::panic_message(payload),
             },
         )
-    }
-}
-
-/// `out_rows += a_rows · b` for a contiguous band of output rows.
-/// Accumulation order per output element: `p = 0..k` strictly increasing.
-fn gemm_nn_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
-    let m_local = out_rows.len() / n;
-    if m_local * k * n < GEMM_SMALL_MACS {
-        // Small fast path: plain ikj.
-        for i in 0..m_local {
-            let a_row = &a_rows[i * k..(i + 1) * k];
-            let out_row = &mut out_rows[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += a * bv;
-                }
-            }
-        }
-        return;
-    }
-    // Tiled: for each (j-tile, p-tile) the B panel stays cache-resident while
-    // all local rows stream over it. p-tiles advance in increasing order, so
-    // per-element accumulation order matches the fast path exactly.
-    let mut jc = 0;
-    while jc < n {
-        let jw = GEMM_NC.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let pw = GEMM_KC.min(k - pc);
-            for i in 0..m_local {
-                let a_row = &a_rows[i * k + pc..i * k + pc + pw];
-                let out_row = &mut out_rows[i * n + jc..i * n + jc + jw];
-                for (dp, &a) in a_row.iter().enumerate() {
-                    let row = (pc + dp) * n;
-                    let b_row = &b[row + jc..row + jc + jw];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += a * bv;
-                    }
-                }
-            }
-            pc += pw;
-        }
-        jc += jw;
-    }
-}
-
-/// `out_rows += (aᵀ · b)` restricted to output rows `i0 .. i0 + rows`,
-/// where `a` is `k × m` and `b` is `k × n`. Accumulation order per output
-/// element: `p = 0..k` strictly increasing.
-fn gemm_tn_rows(a: &[f32], b: &[f32], out_rows: &mut [f32], i0: usize, m: usize, k: usize, n: usize) {
-    let rows = out_rows.len() / n;
-    if rows * k * n < GEMM_SMALL_MACS {
-        for p in 0..k {
-            let a_seg = &a[p * m + i0..p * m + i0 + rows];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &av) in a_seg.iter().enumerate() {
-                let out_row = &mut out_rows[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
-        }
-        return;
-    }
-    let mut jc = 0;
-    while jc < n {
-        let jw = GEMM_NC.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let pw = GEMM_KC.min(k - pc);
-            for p in pc..pc + pw {
-                let a_seg = &a[p * m + i0..p * m + i0 + rows];
-                let b_row = &b[p * n + jc..p * n + jc + jw];
-                for (i, &av) in a_seg.iter().enumerate() {
-                    let out_row = &mut out_rows[i * n + jc..i * n + jc + jw];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
-                    }
-                }
-            }
-            pc += pw;
-        }
-        jc += jw;
-    }
-}
-
-/// `out_rows = a_rows · bᵀ` for a contiguous band of output rows, where `b`
-/// is `n × k`. Each output element is one sequential dot product (increasing
-/// `p`); rows are processed in bands so a `B` row streams against a
-/// cache-resident band of `A` rows.
-fn gemm_nt_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
-    let m_local = out_rows.len() / n;
-    let mut ib = 0;
-    while ib < m_local {
-        let iw = GEMM_NT_MB.min(m_local - ib);
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            for i in ib..ib + iw {
-                let a_row = &a_rows[i * k..(i + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                out_rows[i * n + j] = acc;
-            }
-        }
-        ib += iw;
     }
 }
 
@@ -702,6 +624,29 @@ mod tests {
     fn transpose_involution() {
         let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f32);
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_matches_naive_loop() {
+        // Shapes straddle the 8×8 tile in every combination (exact multiple,
+        // remainder rows, remainder cols, smaller than one tile).
+        for &(rows, cols) in &[(8usize, 8usize), (16, 24), (13, 9), (5, 3), (1, 17), (9, 1)] {
+            let a = Matrix::from_fn(rows, cols, |r, c| (r * 31 + c * 7) as f32 - 40.0);
+            let tiled = a.transpose();
+            let mut naive = Matrix::zeros(cols, rows);
+            for r in 0..rows {
+                for c in 0..cols {
+                    naive.set(c, r, a.get(r, c));
+                }
+            }
+            assert_eq!(tiled, naive, "transpose mismatch at {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn relu_matches_map() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r as f32 - 1.0) * (c as f32 - 2.0));
+        assert_eq!(a.relu(), a.map(|v| v.max(0.0)));
     }
 
     #[test]
@@ -755,5 +700,11 @@ mod tests {
         let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
         assert_eq!(a.matmul(&Matrix::eye(3)).unwrap(), a);
         assert_eq!(Matrix::eye(3).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn into_vec_roundtrips() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(a.into_vec(), vec![1., 2., 3., 4.]);
     }
 }

@@ -4,6 +4,7 @@
 //! where the temporal module is frozen while the noise module learns.
 
 use crate::error::Result;
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 
@@ -26,9 +27,7 @@ impl Sgd {
         let ids: Vec<ParamId> = store.iter().map(|(id, _)| id).collect();
         for id in ids {
             store.apply_update(id, |v, g| {
-                for (w, gr) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
-                    *w -= lr * gr;
-                }
+                kernels::sgd_update(v.as_mut_slice(), g.as_slice(), lr);
             })?;
         }
         Ok(())
@@ -118,20 +117,19 @@ impl Adam {
             let m = &mut self.m[id.index()];
             let v = &mut self.v[id.index()];
             store.apply_update(id, |value, grad| {
-                for (((w, g), mi), vi) in value
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(grad.as_slice())
-                    .zip(m.as_mut_slice())
-                    .zip(v.as_mut_slice())
-                {
-                    let g = g * scale;
-                    *mi = b1 * *mi + (1.0 - b1) * g;
-                    *vi = b2 * *vi + (1.0 - b2) * g * g;
-                    let mhat = *mi / bias1;
-                    let vhat = *vi / bias2;
-                    *w -= lr * mhat / (vhat.sqrt() + eps);
-                }
+                kernels::adam_update(
+                    value.as_mut_slice(),
+                    grad.as_slice(),
+                    m.as_mut_slice(),
+                    v.as_mut_slice(),
+                    scale,
+                    b1,
+                    b2,
+                    bias1,
+                    bias2,
+                    lr,
+                    eps,
+                );
             })?;
         }
         Ok(())

@@ -1,0 +1,246 @@
+//! Size-bucketed `f32` buffer pool backing [`Matrix`](crate::Matrix) storage.
+//!
+//! Every matrix buffer in this crate is taken from — and returned to — this
+//! pool, so a steady-state workload (e.g. scoring one streamed window per
+//! frame) stops touching the system allocator once the pool is warm: each
+//! request is served from a free list in O(1) with no heap traffic.
+//!
+//! ## Structure
+//!
+//! * **Thread-local free lists**, one per power-of-two size class. The hot
+//!   path (take → use → drop → recycle) is a `RefCell` borrow and a
+//!   `Vec::pop`/`push` — no locks, no atomics beyond the stats counters.
+//! * **Global shards**, one `Mutex`-guarded free list per class. The parallel
+//!   pool (`aero-parallel`) spawns *scoped* worker threads that die after
+//!   every fork/join call, so a worker's thread-local lists would never
+//!   accumulate reuse. Instead, when a thread exits, its local lists are
+//!   flushed into the global shards, and fresh workers pull from there before
+//!   falling back to the allocator.
+//!
+//! ## Sizing and bounds
+//!
+//! A request for `len` elements is served from the class `2^⌈log₂ len⌉`; a
+//! returned buffer files under `2^⌊log₂ capacity⌋`, so any pooled buffer can
+//! serve any request mapped to its class. Free lists are bounded
+//! ([`LOCAL_CAP`]/[`GLOBAL_CAP`] buffers per class) and buffers above
+//! [`MAX_POOLED_ELEMS`] elements are never pooled, which caps worst-case
+//! retention; overflow is simply dropped to the allocator.
+//!
+//! The [`stats`] counters (buffer and tape hits/misses) are the basis of the
+//! zero-allocation gate in `crates/bench`: after warm-up, a steady-state
+//! streamed window must report zero buffer misses and zero tape misses.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of power-of-two size classes (index = log₂ of the class size).
+const NUM_CLASSES: usize = usize::BITS as usize;
+/// Buffers above this many elements (64 MiB of `f32`) bypass the pool.
+const MAX_POOLED_ELEMS: usize = 1 << 24;
+/// Maximum buffers kept per class in a thread-local free list.
+const LOCAL_CAP: usize = 8;
+/// Maximum buffers kept per class in a global shard.
+const GLOBAL_CAP: usize = 32;
+
+static BUFFER_HITS: AtomicU64 = AtomicU64::new(0);
+static BUFFER_MISSES: AtomicU64 = AtomicU64::new(0);
+static TAPE_HITS: AtomicU64 = AtomicU64::new(0);
+static TAPE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Global per-class shards fed by exiting threads and drained by new ones.
+static GLOBAL: [Mutex<Vec<Vec<f32>>>; NUM_CLASSES] =
+    [const { Mutex::new(Vec::new()) }; NUM_CLASSES];
+
+struct LocalPool {
+    buckets: [Vec<Vec<f32>>; NUM_CLASSES],
+}
+
+impl LocalPool {
+    fn new() -> Self {
+        Self { buckets: std::array::from_fn(|_| Vec::new()) }
+    }
+}
+
+impl Drop for LocalPool {
+    /// Flushes this thread's free lists into the global shards so buffers
+    /// warmed up on an ephemeral pool worker survive the thread's death.
+    fn drop(&mut self) {
+        for (cls, bucket) in self.buckets.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = lock_shard(cls);
+            while let Some(buf) = bucket.pop() {
+                if shard.len() >= GLOBAL_CAP {
+                    break;
+                }
+                shard.push(buf);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalPool> = RefCell::new(LocalPool::new());
+}
+
+/// Locks one global shard, recovering from poisoning (a panicking worker
+/// only ever leaves the shard in a valid state — it holds plain `Vec`s).
+fn lock_shard(cls: usize) -> std::sync::MutexGuard<'static, Vec<Vec<f32>>> {
+    match GLOBAL[cls].lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Size class that serves a request of `len` elements (`⌈log₂ len⌉`).
+#[inline]
+fn class_of_request(len: usize) -> usize {
+    len.next_power_of_two().trailing_zeros() as usize
+}
+
+/// Size class a buffer of `capacity` elements files under (`⌊log₂ cap⌋`).
+#[inline]
+fn class_of_capacity(capacity: usize) -> usize {
+    (usize::BITS - 1 - capacity.leading_zeros()) as usize
+}
+
+/// Takes an **empty** buffer with `capacity() >= len` from the pool.
+///
+/// The buffer has length 0; fill it with `extend`/`resize` (guaranteed not
+/// to reallocate up to `len`). Return it with [`recycle_buffer`] — dropping
+/// a [`Matrix`](crate::Matrix) does this automatically.
+pub fn take_buffer(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if len > MAX_POOLED_ELEMS {
+        BUFFER_MISSES.fetch_add(1, Ordering::Relaxed);
+        return Vec::with_capacity(len);
+    }
+    let cls = class_of_request(len);
+    let local = LOCAL
+        .try_with(|p| p.borrow_mut().buckets[cls].pop())
+        .ok()
+        .flatten();
+    let reused = local.or_else(|| lock_shard(cls).pop());
+    match reused {
+        Some(mut buf) => {
+            buf.clear();
+            BUFFER_HITS.fetch_add(1, Ordering::Relaxed);
+            buf
+        }
+        None => {
+            BUFFER_MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::with_capacity(1 << cls)
+        }
+    }
+}
+
+/// Returns a buffer to the pool (contents are discarded).
+///
+/// Buffers with zero capacity, or larger than the pooling bound, are dropped.
+/// When the thread-local list for the class is full the buffer spills into
+/// the global shard; when that is also full it is dropped to the allocator.
+pub fn recycle_buffer(buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap == 0 || cap > MAX_POOLED_ELEMS {
+        return;
+    }
+    let cls = class_of_capacity(cap);
+    let mut pending = Some(buf);
+    let _ = LOCAL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        if p.buckets[cls].len() < LOCAL_CAP {
+            if let Some(b) = pending.take() {
+                p.buckets[cls].push(b);
+            }
+        }
+    });
+    if let Some(b) = pending {
+        let mut shard = lock_shard(cls);
+        if shard.len() < GLOBAL_CAP {
+            shard.push(b);
+        }
+    }
+}
+
+/// Counter snapshot for the buffer pool and the graph tape pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer requests served from a free list.
+    pub buffer_hits: u64,
+    /// Buffer requests that had to call the allocator.
+    pub buffer_misses: u64,
+    /// [`Graph`](crate::Graph) tapes reused from the tape pool.
+    pub tape_hits: u64,
+    /// [`Graph`](crate::Graph) tapes freshly allocated.
+    pub tape_misses: u64,
+}
+
+/// Reads the global pool counters (cumulative since process start or the
+/// last [`reset_stats`]).
+pub fn stats() -> PoolStats {
+    PoolStats {
+        buffer_hits: BUFFER_HITS.load(Ordering::Relaxed),
+        buffer_misses: BUFFER_MISSES.load(Ordering::Relaxed),
+        tape_hits: TAPE_HITS.load(Ordering::Relaxed),
+        tape_misses: TAPE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes all pool counters (used by benchmarks and the allocation gate).
+pub fn reset_stats() {
+    BUFFER_HITS.store(0, Ordering::Relaxed);
+    BUFFER_MISSES.store(0, Ordering::Relaxed);
+    TAPE_HITS.store(0, Ordering::Relaxed);
+    TAPE_MISSES.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn note_tape(hit: bool) {
+    if hit {
+        TAPE_HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        TAPE_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_consistent() {
+        // A buffer allocated for any request must file back under a class
+        // that can serve the same request again.
+        for len in [1usize, 2, 3, 7, 8, 9, 100, 1023, 1024, 1025] {
+            let cls = class_of_request(len);
+            assert!(1usize << cls >= len);
+            assert_eq!(class_of_capacity(1 << cls), cls);
+        }
+    }
+
+    #[test]
+    fn take_recycle_roundtrip_reuses_capacity() {
+        let buf = take_buffer(100);
+        assert!(buf.capacity() >= 100);
+        let ptr = buf.as_ptr();
+        recycle_buffer(buf);
+        let again = take_buffer(90); // same class (128)
+        assert_eq!(again.as_ptr(), ptr, "expected the pooled buffer back");
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn zero_len_requests_do_not_touch_the_pool() {
+        let before = stats();
+        let buf = take_buffer(0);
+        assert_eq!(buf.capacity(), 0);
+        recycle_buffer(buf);
+        let after = stats();
+        assert_eq!(before.buffer_misses, after.buffer_misses);
+    }
+}

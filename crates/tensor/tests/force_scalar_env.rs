@@ -1,0 +1,39 @@
+//! `AERO_FORCE_SCALAR=1` pins dispatch to the scalar backend.
+//!
+//! This lives in its own test binary (one test, no siblings) because the
+//! override is read lazily on the *first* kernel dispatch in the process:
+//! the env var must be set before any other test touches a kernel.
+
+use aero_tensor::{backend, force_scalar_env, Backend, Matrix};
+
+#[test]
+fn env_override_forces_scalar_and_stays_correct() {
+    std::env::set_var("AERO_FORCE_SCALAR", "1");
+    assert!(force_scalar_env());
+
+    // First kernel use happens below; the lazily-initialized dispatcher must
+    // pick scalar regardless of what the CPU supports.
+    let a = Matrix::from_fn(7, 13, |r, c| (r * 13 + c) as f32 * 0.25 - 10.0);
+    let b = Matrix::from_fn(13, 17, |r, c| (r * 17 + c) as f32 * 0.125 - 12.0);
+    let got = a.matmul(&b).unwrap();
+    assert_eq!(backend(), Backend::Scalar);
+
+    let naive = Matrix::from_fn(7, 17, |i, j| {
+        let mut acc = 0.0f32;
+        for p in 0..13 {
+            acc += a.get(i, p) * b.get(p, j);
+        }
+        acc
+    });
+    assert_eq!(got, naive);
+
+    // The env var only controls the *default*; an explicit set_backend may
+    // still activate a supported SIMD backend afterwards (results identical
+    // by the bitwise contract).
+    for sb in [Backend::Avx2, Backend::Avx512, Backend::Neon] {
+        if sb.is_supported() {
+            assert!(aero_tensor::set_backend(sb));
+            assert_eq!(a.matmul(&b).unwrap(), naive);
+        }
+    }
+}

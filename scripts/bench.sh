@@ -1,10 +1,17 @@
 #!/usr/bin/env sh
-# Reproducible benchmark of the parallel execution substrate.
+# Reproducible benchmark of the parallel execution substrate and the
+# runtime-dispatched kernel layer.
 #
-# Builds the release binary and emits BENCH_parallel.json at the repo root
-# (measured wall-clock medians: blocked GEMM vs naive, fit / score /
-# end-to-end detect at 1 thread vs N, and per-frame streaming push latency
-# with the write-ahead log off / fsync-never / fsync-every-segment).
+# Builds the release binary and emits BENCH_parallel.json at the repo root.
+# Every row is a measured wall-clock median, never synthesized:
+#   - GEMM kernel ladder: naive vs blocked-scalar vs blocked-SIMD at one
+#     thread (separate scalar and simd rows, with the host's CPU features
+#     and the dispatch choice recorded alongside), then blocked at N threads
+#   - fit / score / end-to-end detect at 1 thread vs N
+#   - steady-state heap allocations per streamed OnlineAero::push, with the
+#     tensor workspace-pool miss counters (both must read zero)
+#   - per-frame streaming push latency with the write-ahead log off /
+#     fsync-never / fsync-every-segment, and the degradation-ladder rungs
 #
 # Usage:
 #   scripts/bench.sh            # full run, writes BENCH_parallel.json

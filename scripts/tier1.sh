@@ -12,12 +12,21 @@
 #      quarantine their star while the rest of the frame keeps streaming
 #   5. thread-count determinism: fit + score bitwise identical at 1 vs 4
 #      worker threads, plus blocked-GEMM == naive-reference property tests
-#   6. overload smoke: seeded 4x-realtime bursts keep queue depth and the
+#   6. kernel equivalence: SIMD backends (AVX2/AVX-512/NEON, whichever the
+#      host supports) bitwise identical to the scalar fallback across every
+#      dispatched kernel, plus the AERO_FORCE_SCALAR env override
+#   7. scalar-fallback pass: the tensor suite re-runs with
+#      AERO_FORCE_SCALAR=1 so the scalar dispatch path stays green even on
+#      hosts where detection would always pick SIMD
+#   8. streaming allocation gate: steady-state OnlineAero::push serves every
+#      tensor buffer and graph tape from the workspace pool (zero misses,
+#      counting-allocator harness)
+#   9. overload smoke: seeded 4x-realtime bursts keep queue depth and the
 #      work budget bounded, shed accounting reconciles, suspects are never
 #      shed, and the governed verdict stream is bitwise identical across
 #      thread counts and WAL kill-resume
-#   7. benchmark harness smoke run (keeps scripts/bench.sh wired)
-#   8. clippy -D warnings on the full workspace (the streaming modules
+#  10. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#  11. clippy -D warnings on the full workspace (the streaming modules
 #      additionally deny unwrap/expect via their own inner lint attrs)
 set -eu
 
@@ -38,6 +47,15 @@ cargo test -q -p aero-core --test crash_recovery
 echo "==> tier-1: thread-count determinism"
 cargo test -q -p aero-core --test determinism
 cargo test -q -p aero-tensor --test gemm_equivalence
+
+echo "==> tier-1: kernel equivalence (SIMD == scalar, bitwise)"
+cargo test -q -p aero-tensor --test kernel_equivalence --test force_scalar_env
+
+echo "==> tier-1: scalar-fallback pass (AERO_FORCE_SCALAR=1)"
+AERO_FORCE_SCALAR=1 cargo test -q -p aero-tensor
+
+echo "==> tier-1: streaming allocation gate (workspace pool, zero misses)"
+cargo test -q -p bench --test alloc_streaming
 
 echo "==> tier-1: overload smoke (burst admission, shedding, ladder)"
 cargo test -q -p aero-core --test overload
