@@ -1,6 +1,7 @@
 //! Subcommand implementations for the `aero` CLI.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use aero_baselines::{
     AnomalyTransformer, Donut, Esg, FluxEv, Gdn, LstmNdt, NnConfig, OmniAnomaly,
@@ -8,9 +9,12 @@ use aero_baselines::{
 };
 use aero_core::online::{DegradePolicy, FrameDisposition, OnlineAero, StarStatus};
 use aero_core::wal::{FsyncPolicy, WalConfig, WalWriter};
+use aero_core::fleet::{
+    FleetConfig, FleetCoordinator, ShardAssignment, ShardFactory, StarCatalog,
+};
 use aero_core::{
-    build_catalog, render_catalog, run_detection, Aero, AeroConfig, Detector, FallbackScorer,
-    OverloadPolicy, StreamGovernor,
+    build_catalog, render_catalog, render_fleet_health, run_detection, Aero, AeroConfig, Detector,
+    FallbackScorer, OverloadPolicy, StreamGovernor, SupervisorPolicy,
 };
 use aero_datagen::{AstrosetConfig, FaultInjector, FaultPlan, LoadProfile, SyntheticConfig};
 use aero_eval::{evaluate_point_adjusted, threshold_scores};
@@ -244,15 +248,28 @@ pub fn detect(args: &Args) -> Result<(), String> {
 /// and the degradation ladder (DESIGN.md §11), with the spectral-residual
 /// baseline wired in as the model-free fallback rung.
 pub fn stream(args: &Args) -> Result<(), String> {
-    let data = PathBuf::from(args.require("data")?);
-    let model_path = PathBuf::from(args.require("model")?);
     // A bare `--faults` / `--refit-interval` / … parses as a boolean flag; a
     // silent no-fault run when the user asked for one defeats the point.
-    for opt in ["faults", "refit-interval", "wal", "fsync", "kill-after", "burst", "queue-cap"] {
+    for opt in [
+        "faults", "refit-interval", "wal", "fsync", "kill-after", "burst", "queue-cap", "shards",
+        "probe-after", "kill-shard", "rebalance-every",
+    ] {
         if args.flag(opt) {
             return Err(format!("--{opt} requires a value"));
         }
     }
+    if args.get("shards").is_some() {
+        return stream_fleet(args);
+    }
+    for opt in ["probe-after", "kill-shard", "rebalance-every"] {
+        if args.get(opt).is_some() {
+            return Err(format!(
+                "--{opt} applies to shard-level fleet supervision; add --shards <n>"
+            ));
+        }
+    }
+    let data = PathBuf::from(args.require("data")?);
+    let model_path = PathBuf::from(args.require("model")?);
     let pot = PotConfig {
         level: args.get_parsed("level", 0.99f64)?,
         q: args.get_parsed("q", 1e-3f64)?,
@@ -531,6 +548,322 @@ fn stream_summary_json(
     )
 }
 
+/// `aero stream --shards N` — shared-nothing fleet mode.
+///
+/// The star catalog is partitioned across N shards, each a fully independent
+/// failure domain (its own detector, WAL directory `<wal>/shard-KKKK/`,
+/// degradation ladder, and breaker) behind a routing coordinator. Compact
+/// per-shard models are trained in-process and checkpointed next to the WAL
+/// (`<wal>/models/`) so shard restarts and `--resume` load identical bits.
+fn stream_fleet(args: &Args) -> Result<(), String> {
+    let data = PathBuf::from(args.require("data")?);
+    if args.get("model").is_some() {
+        return Err(
+            "fleet mode trains per-shard models in-process; drop --model (checkpoints land \
+             under <wal>/models/)"
+                .into(),
+        );
+    }
+    let num_shards: usize = args.get_parsed("shards", 0usize)?;
+    if num_shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let pot = PotConfig {
+        level: args.get_parsed("level", 0.99f64)?,
+        q: args.get_parsed("q", 1e-3f64)?,
+    };
+    let policy = DegradePolicy {
+        refit_interval: args.get_parsed("refit-interval", 0usize)?,
+        ..DegradePolicy::default()
+    };
+    let wal_root = args.get("wal").map(PathBuf::from);
+    let resume = args.flag("resume");
+    if resume && wal_root.is_none() {
+        return Err("--resume requires --wal <dir>".into());
+    }
+    let fsync = match args.get("fsync") {
+        None => FsyncPolicy::default(),
+        Some(s) => FsyncPolicy::parse(s)
+            .ok_or_else(|| format!("--fsync must be never|segment|record, got `{s}`"))?,
+    };
+    let kill_after = args.get_parsed("kill-after", usize::MAX)?;
+    let chaos_kill = match args.get("kill-shard") {
+        Some(s) => Some(s.parse::<usize>().map_err(io_err)?),
+        None => None,
+    };
+    if chaos_kill.is_some() && kill_after == usize::MAX {
+        return Err("--kill-shard needs --kill-after <n> (the offer count where it dies)".into());
+    }
+    let probe_after = args.get_parsed("probe-after", u32::MAX)?;
+    let rebalance_every = args.get_parsed("rebalance-every", 0usize)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let burst_seed = match args.get("burst") {
+        Some(s) => Some(s.parse::<u64>().map_err(io_err)?),
+        None => None,
+    };
+    let queue_cap = args.get_parsed("queue-cap", 64usize)?;
+    let overload_policy = OverloadPolicy {
+        queue_capacity: queue_cap,
+        high_watermark: queue_cap / 2,
+        low_watermark: queue_cap / 8,
+        ..OverloadPolicy::default()
+    };
+
+    let train = read_series(&data.join("train.csv")).map_err(io_err)?;
+    let test = read_series(&data.join("test.csv")).map_err(io_err)?;
+    let n = test.num_variates();
+    if num_shards > n {
+        return Err(format!("--shards {num_shards} exceeds the {n}-star catalog"));
+    }
+    if chaos_kill.is_some_and(|k| k >= num_shards) {
+        return Err(format!("--kill-shard names shard {} of {num_shards}", chaos_kill.unwrap_or(0)));
+    }
+    let catalog = StarCatalog::sequential(n);
+    let assignment = ShardAssignment::partition(&catalog, num_shards, seed).map_err(io_err)?;
+
+    // Per-shard checkpoints: trained on first build, loaded bit-for-bit on
+    // every restart/resume. Without a WAL root they live in a per-process
+    // temp directory (restarts in this process still reload identical bits).
+    let models_dir = match &wal_root {
+        Some(root) => root.join("models"),
+        None => std::env::temp_dir().join(format!("aero_fleet_models_{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&models_dir).map_err(io_err)?;
+    let factory: ShardFactory = {
+        let train = train.clone();
+        let models_dir = models_dir.clone();
+        let policy = policy.clone();
+        Arc::new(move |members: &[usize]| {
+            let slice = train
+                .select_variates(members)
+                .map_err(|e| aero_core::DetectorError::Invalid(e.to_string()))?;
+            let key: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+            let path = models_dir.join(format!("shard-{}.json", key.join("-")));
+            let model = if path.exists() {
+                aero_core::load_model(&path)?
+            } else {
+                let mut model = Aero::new(AeroConfig::tiny())?;
+                model.fit(&slice)?;
+                aero_core::save_model(&model, &path)?;
+                model
+            };
+            OnlineAero::with_policy(model, &slice, pot, policy.clone())
+        })
+    };
+    let sr = SpectralResidual::default();
+    let fallback = FallbackScorer::new(move |window| sr.latest_score(window));
+    let config = FleetConfig {
+        seed,
+        overload: overload_policy,
+        shard_supervision: SupervisorPolicy { probe_after, ..SupervisorPolicy::default() },
+        epoch_frames: rebalance_every,
+        wal_root: wal_root.clone(),
+        wal: WalConfig { fsync, ..WalConfig::default() },
+    };
+
+    let mut flagged_frames = 0usize;
+    let mut flagged_points = 0usize;
+    let mut tally = |verdict: &aero_core::GovernedVerdict| {
+        if verdict.verdict.disposition == FrameDisposition::Scored
+            && verdict.verdict.any_anomalous()
+        {
+            flagged_frames += 1;
+            flagged_points += verdict.verdict.flagged().len();
+        }
+    };
+
+    let mut replayed = 0usize;
+    let mut to_skip = 0usize;
+    let mut fleet = if resume {
+        let (fleet, recovered) =
+            FleetCoordinator::resume(catalog, assignment, factory, Some(fallback), config)
+                .map_err(io_err)?;
+        replayed = recovered.replayed.iter().map(Vec::len).sum();
+        to_skip = recovered.frames_routed;
+        eprintln!(
+            "resumed fleet: {} frames routed, {} verdicts replayed, {} plans recovered",
+            recovered.frames_routed, replayed, recovered.plans_recovered
+        );
+        for shard in &recovered.replayed {
+            for v in shard {
+                tally(v);
+            }
+        }
+        fleet
+    } else {
+        FleetCoordinator::new(catalog, assignment, factory, Some(fallback), config)
+            .map_err(io_err)?
+    };
+    eprintln!(
+        "fleet: {} stars across {} shards (routing seed {seed}{})",
+        n,
+        num_shards,
+        wal_root
+            .as_ref()
+            .map(|r| format!(", WAL root {}", r.display()))
+            .unwrap_or_default(),
+    );
+
+    let frames: Vec<(f64, Vec<f32>)> = match args.get("faults") {
+        Some(fault_seed) => {
+            let fault_seed = fault_seed.parse::<u64>().map_err(io_err)?;
+            let (stream, log) =
+                FaultInjector::new(FaultPlan::rough_night(fault_seed)).corrupt_stream(&test);
+            eprintln!(
+                "injected faults (seed {fault_seed}): {} events, {:.1}% of frames touched",
+                log.total_faults(),
+                log.corrupted_fraction() * 100.0
+            );
+            stream.into_iter().map(|f| (f.timestamp, f.values)).collect()
+        }
+        None => (0..test.len())
+            .map(|t| (test.timestamps()[t], (0..n).map(|v| test.get(v, t)).collect()))
+            .collect(),
+    };
+    let schedule = match burst_seed {
+        Some(s) => LoadProfile::burst_night(s, frames.len()).arrivals(),
+        None => LoadProfile::realtime(0, frames.len()).arrivals(),
+    };
+
+    let mut offered = 0usize;
+    let mut rejected = 0usize;
+    let mut killed = false;
+    let mut chaos_pending = chaos_kill;
+    let mut pending = frames.iter().skip(to_skip);
+    'night: for arrivals in schedule {
+        let arrivals = if to_skip > arrivals {
+            to_skip -= arrivals;
+            continue;
+        } else {
+            let live = arrivals - to_skip;
+            to_skip = 0;
+            live
+        };
+        for _ in 0..arrivals {
+            if offered >= kill_after {
+                if let Some(k) = chaos_pending.take() {
+                    // In-process chaos: one shard dies and must restart from
+                    // its own WAL while the night keeps streaming.
+                    fleet.kill_shard(k).map_err(io_err)?;
+                    eprintln!("chaos: killed shard {k} after {offered} frames");
+                } else if chaos_kill.is_none() {
+                    eprintln!(
+                        "killed after {offered} live frames (simulated crash; rerun with \
+                         --resume to continue)"
+                    );
+                    killed = true;
+                    break 'night;
+                }
+            }
+            let Some((timestamp, values)) = pending.next() else {
+                break 'night;
+            };
+            for admission in fleet.offer(*timestamp, values).map_err(io_err)?.into_iter().flatten()
+            {
+                if !admission.is_accepted() {
+                    rejected += 1;
+                }
+            }
+            offered += 1;
+        }
+        for v in fleet.poll().map_err(io_err)?.into_iter().flatten() {
+            tally(&v);
+        }
+    }
+    if !killed {
+        for shard in fleet.drain().map_err(io_err)? {
+            for v in &shard {
+                tally(v);
+            }
+        }
+    }
+
+    let health = fleet.health();
+    println!(
+        "frames: {} replayed + {} offered ({} shard slices rejected), {} flagged ({} star-points above threshold)",
+        replayed, offered, rejected, flagged_frames, flagged_points
+    );
+    print!("{}", render_fleet_health(&health));
+    println!("{}", fleet_summary_json(&health, replayed, offered, flagged_frames, flagged_points));
+    Ok(())
+}
+
+/// Machine-readable fleet summary: routing totals, per-shard states, the
+/// shard-level supervisor, and the aggregate health rollup.
+fn fleet_summary_json(
+    health: &aero_core::FleetHealth,
+    replayed: usize,
+    offered: usize,
+    flagged_frames: usize,
+    flagged_points: usize,
+) -> String {
+    let fields = |pairs: &[(&str, usize)]| {
+        pairs
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let shards = health
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"shard\":{},\"state\":\"{}\",{}}}",
+                s.shard,
+                s.state.label(),
+                fields(&[
+                    ("stars", s.stars),
+                    ("emitted", s.emitted),
+                    ("queue_depth", s.queue_depth),
+                    ("frames_accepted", s.health.frames_accepted),
+                    ("star_sheds", s.health.overload.star_sheds),
+                ])
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let sup = &health.supervisor;
+    let agg = &health.aggregate;
+    format!(
+        "{{\"frames\":{{{}}},\"fleet\":{{{}}},\"shards\":[{}],\"supervisor\":{{{}}},\"aggregate\":{{{}}}}}",
+        fields(&[
+            ("replayed", replayed),
+            ("offered", offered),
+            ("flagged_frames", flagged_frames),
+            ("flagged_points", flagged_points),
+        ]),
+        fields(&[
+            ("shards", health.shards.len()),
+            ("frames_routed", health.frames_routed),
+            ("frames_lost", health.frames_lost),
+            ("shard_failures", health.shard_failures),
+            ("shard_restarts", health.shard_restarts),
+            ("shards_down", health.shards_down),
+            ("rebalance_plans", health.rebalance_plans),
+        ]),
+        shards,
+        fields(&[
+            ("task_failures", sup.task_failures),
+            ("retries", sup.retries),
+            ("circuits_opened", sup.circuits_opened),
+            ("circuits_closed", sup.circuits_closed),
+            ("probes", sup.probes),
+            ("short_circuits", sup.short_circuits),
+        ]),
+        fields(&[
+            ("frames_accepted", agg.frames_accepted),
+            ("values_imputed", agg.values_imputed),
+            ("stars_degraded", agg.stars_degraded),
+            ("stars_quarantined", agg.stars_quarantined),
+            ("threshold_refits", agg.threshold_refits),
+            ("frames_suppressed", agg.frames_suppressed),
+            ("star_sheds", agg.overload.star_sheds),
+            ("frames_rejected", agg.overload.frames_rejected),
+        ]),
+    )
+}
+
 /// `aero evaluate` — point-adjusted metrics of stored flags vs labels.
 pub fn evaluate(args: &Args) -> Result<(), String> {
     let flags = read_labels(Path::new(args.require("flags")?)).map_err(io_err)?;
@@ -663,6 +996,63 @@ mod tests {
         )
         .unwrap();
         assert!(stream(&bad).unwrap_err().contains("--burst"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_fleet_survives_shard_kill_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("aero_cli_fleet_{}", std::process::id()));
+        let data = dir.join("data");
+        let wal = dir.join("wal");
+        let gen_args = Args::parse(
+            format!("generate --preset tiny --out {} --seed 9", data.display())
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        generate(&gen_args).unwrap();
+
+        // Night 1: two shards, one chaos-killed mid-night (it must restart
+        // from its own WAL in-process), with epoch rebalancing enabled.
+        let run = |extra: &str| {
+            let stream_args = Args::parse(
+                format!(
+                    "stream --data {} --shards 2 --wal {} --rebalance-every 64{extra}",
+                    data.display(),
+                    wal.display()
+                )
+                .split_whitespace()
+                .map(String::from),
+            )
+            .unwrap();
+            stream(&stream_args)
+        };
+        run(" --kill-shard 1 --kill-after 40 --probe-after 4").unwrap();
+
+        // Per-shard WAL directories and model checkpoints exist.
+        assert!(wal.join("shard-0000").is_dir());
+        assert!(wal.join("shard-0001").is_dir());
+        assert!(wal.join("fleet-plan").is_dir());
+        assert!(std::fs::read_dir(wal.join("models")).unwrap().count() >= 2);
+
+        // Night 2: resume the whole fleet from its per-shard WALs.
+        run(" --resume").unwrap();
+
+        // Guard rails: fleet flags demand values / fleet context.
+        let bad = Args::parse(
+            format!("stream --data {} --shards", data.display())
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(stream(&bad).unwrap_err().contains("--shards"));
+        let bad = Args::parse(
+            format!("stream --data {} --model x.json --probe-after 3", data.display())
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(stream(&bad).unwrap_err().contains("--shards"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -51,6 +51,26 @@ COMMANDS:
                      [--queue-cap <n>]     admission-queue capacity (default 64);
                                            offers beyond it are rejected and the
                                            ladder degrades from half full
+                     [--shards <n>]        fleet mode: partition the catalog
+                                           across n shared-nothing shards, each
+                                           with its own detector, WAL directory
+                                           (<wal>/shard-KKKK/), ladder, and
+                                           breaker; drop --model (per-shard
+                                           models are trained in-process and
+                                           checkpointed under <wal>/models/)
+                     [--probe-after <k>]   half-open breaker probe schedule for
+                                           shard-level supervision: a
+                                           quarantined shard gets one restart
+                                           probe after k short-circuited calls
+                                           (fleet mode only)
+                     [--kill-shard <k>]    chaos: kill shard k after
+                                           --kill-after offers; it must restart
+                                           from its own WAL while the other
+                                           shards keep streaming (fleet only)
+                     [--rebalance-every <f>] record a measured-cost rebalance
+                                           plan every f routed frames (fleet
+                                           only; plans land in the WAL and are
+                                           applied at the next fleet build)
     evaluate       Point-adjusted precision/recall/F1 of saved flags
                      --flags <file>        0/1 CSV from `detect`
                      --labels <file>       0/1 ground-truth CSV

@@ -36,6 +36,9 @@ pub enum DetectorError {
     /// `crate::overload`). The frame's data was fine — the system had no
     /// capacity for it. Retryable once the backlog drains.
     Overload(String),
+    /// A WAL directory's segment headers belong to a different shard or
+    /// catalog partition than the one resuming it (fleet isolation guard).
+    WalMismatch(String),
 }
 
 impl fmt::Display for DetectorError {
@@ -49,6 +52,7 @@ impl fmt::Display for DetectorError {
             Self::Threshold(e) => write!(f, "threshold calibration: {e}"),
             Self::Supervision(msg) => write!(f, "supervision: {msg}"),
             Self::Overload(msg) => write!(f, "overload: {msg}"),
+            Self::WalMismatch(msg) => write!(f, "WAL identity mismatch: {msg}"),
         }
     }
 }

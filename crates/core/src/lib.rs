@@ -24,6 +24,7 @@
 pub mod ablation;
 pub mod config;
 pub mod detector;
+pub mod fleet;
 pub mod graph_learn;
 pub mod memory;
 pub mod model;
@@ -40,6 +41,10 @@ pub use config::{AeroConfig, GraphMode, NoiseFeatures};
 pub use detector::{
     run_detection, Detector, DetectorError, DetectorResult, RunOutcome, RunTiming,
 };
+pub use fleet::{
+    FleetConfig, FleetCoordinator, FleetHealth, FleetResume, RebalancePlan, ShardAssignment,
+    ShardFactory, ShardHealth, ShardState, StarCatalog,
+};
 pub use graph_learn::{window_adjacency, GraphBuilder};
 pub use memory::{aero_memory, baseline_memory, MemoryEstimate};
 pub use model::{Aero, ChaosHook, ScoreMode, ShardFailure};
@@ -52,7 +57,7 @@ pub use overload::{
     PriorityClass, StreamGovernor,
 };
 pub use persist::{load_model, save_model};
-pub use report::{build_catalog, render_catalog, EventCandidate};
+pub use report::{build_catalog, render_catalog, render_fleet_health, EventCandidate};
 pub use supervisor::{SupervisionError, Supervisor, SupervisorPolicy, SupervisorStats};
 pub use temporal::TemporalModule;
-pub use wal::{FsyncPolicy, WalConfig, WalFrame, WalRecovery, WalWriter};
+pub use wal::{FsyncPolicy, WalConfig, WalFrame, WalIdentity, WalRecovery, WalWriter};

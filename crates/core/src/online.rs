@@ -223,6 +223,31 @@ impl HealthReport {
             && self.circuit_breaker_trips == 0
             && self.overload.is_clean()
     }
+
+    /// Adds another detector's report into this one (fleet rollups).
+    /// Cumulative counters sum exactly; the gauges (`stars_degraded`,
+    /// `stars_quarantined`, queue depths) sum across shards, which reads as
+    /// the fleet-wide total because every star lives in exactly one shard.
+    pub fn absorb(&mut self, other: &HealthReport) {
+        self.frames_accepted += other.frames_accepted;
+        self.frames_dropped_stale += other.frames_dropped_stale;
+        self.frames_dropped_duplicate += other.frames_dropped_duplicate;
+        self.frames_gap_filled += other.frames_gap_filled;
+        self.gap_fill_truncations += other.gap_fill_truncations;
+        self.values_imputed += other.values_imputed;
+        self.scores_suppressed += other.scores_suppressed;
+        self.stars_degraded += other.stars_degraded;
+        self.stars_quarantined += other.stars_quarantined;
+        self.quarantine_events += other.quarantine_events;
+        self.threshold_refits += other.threshold_refits;
+        self.threshold_refit_failures += other.threshold_refit_failures;
+        self.shard_panics += other.shard_panics;
+        self.shard_deadline_misses += other.shard_deadline_misses;
+        self.shard_failures += other.shard_failures;
+        self.frames_suppressed += other.frames_suppressed;
+        self.circuit_breaker_trips += other.circuit_breaker_trips;
+        self.overload.absorb(&other.overload);
+    }
 }
 
 impl std::fmt::Display for HealthReport {

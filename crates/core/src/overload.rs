@@ -244,6 +244,23 @@ impl OverloadCounters {
             && self.fallback_scores == 0
             && self.held_verdicts == 0
     }
+
+    /// Adds another governor's counters into this one (fleet rollups).
+    /// Cumulative counters sum exactly; gauges and peaks also sum, so the
+    /// rolled-up `queue_depth`/`frames_behind` read as fleet-wide backlog
+    /// and `queue_peak` as an upper bound on simultaneous depth.
+    pub fn absorb(&mut self, other: &OverloadCounters) {
+        self.queue_depth += other.queue_depth;
+        self.queue_peak += other.queue_peak;
+        self.frames_rejected += other.frames_rejected;
+        self.star_sheds += other.star_sheds;
+        self.ladder_steps_down += other.ladder_steps_down;
+        self.ladder_steps_up += other.ladder_steps_up;
+        self.stars_below_full += other.stars_below_full;
+        self.fallback_scores += other.fallback_scores;
+        self.held_verdicts += other.held_verdicts;
+        self.frames_behind += other.frames_behind;
+    }
 }
 
 impl fmt::Display for OverloadCounters {

@@ -8,6 +8,8 @@
 use aero_tensor::Matrix;
 use aero_timeseries::LabelGrid;
 
+use crate::fleet::FleetHealth;
+
 /// One candidate event on one star.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventCandidate {
@@ -119,6 +121,41 @@ pub fn render_catalog(events: &[EventCandidate], timestamps: &[f64], limit: usiz
     out
 }
 
+/// Renders a [`FleetHealth`] rollup as a fixed-width operator table: one row
+/// per shard (state, stars, emitted verdicts, queue depth, accepted/shed
+/// frames, last error) plus a fleet-wide summary line.
+pub fn render_fleet_health(health: &FleetHealth) -> String {
+    let mut out = String::from(
+        "shard  state        stars  emitted  queue  accepted  shed   last error\n",
+    );
+    for s in &health.shards {
+        out.push_str(&format!(
+            "{:<6} {:<12} {:<6} {:<8} {:<6} {:<9} {:<6} {}\n",
+            s.shard,
+            s.state.label(),
+            s.stars,
+            s.emitted,
+            s.queue_depth,
+            s.health.frames_accepted,
+            s.health.overload.star_sheds,
+            s.last_error.as_deref().unwrap_or("-"),
+        ));
+    }
+    out.push_str(&format!(
+        "fleet: {} routed, {} lost, {} failures, {} restarts, {} down, {} plans, breaker {} open / {} closed / {} probes\n",
+        health.frames_routed,
+        health.frames_lost,
+        health.shard_failures,
+        health.shard_restarts,
+        health.shards_down,
+        health.rebalance_plans,
+        health.supervisor.circuits_opened,
+        health.supervisor.circuits_closed,
+        health.supervisor.probes,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +218,42 @@ mod tests {
         assert!(text.contains("… and 1 more"));
         // Peak timestamp of the best event (t=6 → 12.0).
         assert!(text.contains("12.0"));
+    }
+
+    #[test]
+    fn fleet_health_table_lists_every_shard() {
+        use crate::fleet::{ShardHealth, ShardState};
+        use crate::online::HealthReport;
+        use crate::supervisor::SupervisorStats;
+        let shard = |k: usize, state: ShardState, err: Option<&str>| ShardHealth {
+            shard: k,
+            state,
+            stars: 5,
+            emitted: 12,
+            queue_depth: 1,
+            last_error: err.map(String::from),
+            health: HealthReport::default(),
+        };
+        let health = FleetHealth {
+            shards: vec![
+                shard(0, ShardState::Running, None),
+                shard(1, ShardState::Quarantined, Some("wal corrupt")),
+            ],
+            frames_routed: 40,
+            shard_restarts: 2,
+            shard_failures: 3,
+            shards_down: 1,
+            frames_lost: 4,
+            rebalance_plans: 1,
+            supervisor: SupervisorStats::default(),
+            aggregate: HealthReport::default(),
+        };
+        let text = render_fleet_health(&health);
+        assert!(text.contains("running"));
+        assert!(text.contains("quarantined"));
+        assert!(text.contains("wal corrupt"));
+        assert!(text.contains("40 routed"));
+        assert_eq!(text.lines().count(), 4, "header + 2 shards + summary");
     }
 
     #[test]

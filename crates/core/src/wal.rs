@@ -15,7 +15,13 @@
 //! A WAL directory holds numbered segment files `wal-000000.seg`,
 //! `wal-000001.seg`, … Each segment starts with a 16-byte header
 //! (`b"AEROWAL1"` magic + `u64` LE segment sequence number) followed by
-//! length-prefixed, checksummed records:
+//! length-prefixed, checksummed records. Fleet shards write an extended
+//! 32-byte header instead (`b"AEROWAL2"` magic + `u64` LE sequence +
+//! `u64` LE catalog hash + `u32` LE shard id + `u32` LE reserved) carrying a
+//! [`WalIdentity`], so a resume pointed at the wrong shard's directory — or
+//! at a log recorded under a different catalog partition — fails with a
+//! typed [`DetectorError::WalMismatch`] instead of silently replaying
+//! another shard's frames:
 //!
 //! ```text
 //! [len: u32 LE] [payload: len bytes] [checksum: u64 LE]   // FNV-1a(payload)
@@ -63,6 +69,7 @@
 // latent crash, so the lint gate forbids them outside tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -70,11 +77,18 @@ use std::path::{Path, PathBuf};
 use crate::detector::{DetectorError, DetectorResult};
 use crate::persist::Fnv64;
 
-/// Magic bytes opening every segment file.
+/// Magic bytes opening every legacy (unidentified) segment file.
 pub const WAL_MAGIC: [u8; 8] = *b"AEROWAL1";
 
-/// Segment header: magic + u64 sequence number.
+/// Magic bytes opening every identified (fleet-shard) segment file.
+pub const WAL_MAGIC_V2: [u8; 8] = *b"AEROWAL2";
+
+/// Legacy segment header: magic + u64 sequence number.
 const SEGMENT_HEADER_LEN: u64 = 16;
+
+/// Identified segment header: magic + u64 sequence + u64 catalog hash +
+/// u32 shard id + u32 reserved.
+const SEGMENT_HEADER_V2_LEN: u64 = 32;
 
 /// Upper bound on one record's payload (guards against reading a corrupted
 /// length prefix as a multi-gigabyte allocation).
@@ -105,6 +119,31 @@ impl FsyncPolicy {
     }
 }
 
+/// Who a WAL belongs to: one shard of one catalog partition.
+///
+/// Stamped into every segment header (the `AEROWAL2` format) when
+/// [`WalConfig::identity`] is set. On resume the stored identity must match
+/// the expected one word-for-word; a legacy `AEROWAL1` segment (no identity)
+/// is also rejected when an identity is expected, because an unidentified
+/// log cannot prove it holds this shard's frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalIdentity {
+    /// Shard index within the fleet (coordinator logs use `u32::MAX`).
+    pub shard_id: u32,
+    /// Hash of the catalog partition the shard serves (star ids + membership).
+    pub catalog_hash: u64,
+}
+
+impl fmt::Display for WalIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} / catalog {:#018x}",
+            self.shard_id, self.catalog_hash
+        )
+    }
+}
+
 /// Write-ahead-log configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalConfig {
@@ -112,6 +151,10 @@ pub struct WalConfig {
     pub frames_per_segment: usize,
     /// Durability policy.
     pub fsync: FsyncPolicy,
+    /// When set, segments are written with the identified `AEROWAL2` header
+    /// and recovery rejects segments whose stored identity differs. `None`
+    /// (the default) keeps the legacy single-detector format bit-identical.
+    pub identity: Option<WalIdentity>,
 }
 
 impl Default for WalConfig {
@@ -119,6 +162,7 @@ impl Default for WalConfig {
         Self {
             frames_per_segment: 512,
             fsync: FsyncPolicy::default(),
+            identity: None,
         }
     }
 }
@@ -277,52 +321,95 @@ struct SegmentScan {
     cut: bool,
 }
 
+/// Parses a segment header: `(header_len, stored_identity)`, or `None` when
+/// the header is structurally invalid (short, bad magic, wrong sequence).
+fn parse_segment_header(bytes: &[u8], expected_seq: u64) -> Option<(usize, Option<WalIdentity>)> {
+    if bytes.len() >= SEGMENT_HEADER_LEN as usize
+        && bytes.get(..8) == Some(&WAL_MAGIC[..])
+        && read_u64(bytes, 8) == Some(expected_seq)
+    {
+        return Some((SEGMENT_HEADER_LEN as usize, None));
+    }
+    if bytes.len() >= SEGMENT_HEADER_V2_LEN as usize
+        && bytes.get(..8) == Some(&WAL_MAGIC_V2[..])
+        && read_u64(bytes, 8) == Some(expected_seq)
+    {
+        let identity = WalIdentity {
+            catalog_hash: read_u64(bytes, 16)?,
+            shard_id: read_u32(bytes, 24)?,
+        };
+        return Some((SEGMENT_HEADER_V2_LEN as usize, Some(identity)));
+    }
+    None
+}
+
 /// Accepts the longest valid record prefix of one segment. `next_frame` is
 /// the frame index the first record must carry to keep the chain contiguous.
-fn scan_segment(bytes: &[u8], expected_seq: u64, mut next_frame: u64) -> SegmentScan {
+/// When `expected` is set, a segment whose header carries a different
+/// identity — or no identity at all — is a hard [`DetectorError::WalMismatch`]
+/// rather than a silent cut: the log is not *this shard's* log, and treating
+/// it as a torn tail would misreplay another shard's frames.
+fn scan_segment(
+    bytes: &[u8],
+    expected_seq: u64,
+    mut next_frame: u64,
+    expected: Option<WalIdentity>,
+) -> DetectorResult<SegmentScan> {
     let mut frames = Vec::new();
-    let header_ok = bytes.len() >= SEGMENT_HEADER_LEN as usize
-        && bytes.get(..8) == Some(&WAL_MAGIC[..])
-        && read_u64(bytes, 8) == Some(expected_seq);
-    if !header_ok {
-        return SegmentScan {
+    let Some((header_len, stored)) = parse_segment_header(bytes, expected_seq) else {
+        return Ok(SegmentScan {
             frames,
             valid_len: 0,
             cut: true,
-        };
+        });
+    };
+    if let Some(exp) = expected {
+        match stored {
+            None => {
+                return Err(DetectorError::WalMismatch(format!(
+                    "segment carries no identity header (legacy AEROWAL1); expected {exp}"
+                )));
+            }
+            Some(got) if got != exp => {
+                return Err(DetectorError::WalMismatch(format!(
+                    "segment belongs to {got}; expected {exp}"
+                )));
+            }
+            Some(_) => {}
+        }
     }
-    let mut pos = SEGMENT_HEADER_LEN as usize;
+    let mut pos = header_len;
     while pos < bytes.len() {
         let rest = &bytes[pos..];
         let Some(len) = read_u32(rest, 0) else {
-            return cut_at(frames, pos);
+            return Ok(cut_at(frames, pos));
         };
         // 20 = frame u64 + timestamp u64 + count u32: the smallest payload.
         if !(20..=MAX_PAYLOAD_BYTES).contains(&len) {
-            return cut_at(frames, pos);
+            return Ok(cut_at(frames, pos));
         }
         let len = len as usize;
         let Some(payload) = rest.get(4..4 + len) else {
-            return cut_at(frames, pos);
+            return Ok(cut_at(frames, pos));
         };
         let Some(stored) = read_u64(rest, 4 + len) else {
-            return cut_at(frames, pos);
+            return Ok(cut_at(frames, pos));
         };
         if record_checksum(payload) != stored {
-            return cut_at(frames, pos);
+            return Ok(cut_at(frames, pos));
         }
         let Some(frame) = parse_payload(payload, next_frame) else {
-            return cut_at(frames, pos);
+            return Ok(cut_at(frames, pos));
         };
         frames.push(frame);
         next_frame += 1;
         pos += 4 + len + 8;
     }
-    SegmentScan {
+    Ok(SegmentScan {
         frames,
         valid_len: pos as u64,
         cut: false,
-    }
+    })
 }
 
 fn cut_at(frames: Vec<WalFrame>, pos: usize) -> SegmentScan {
@@ -343,7 +430,7 @@ struct ScanOutcome {
     ignored: Vec<PathBuf>,
 }
 
-fn scan_dir(dir: &Path) -> DetectorResult<ScanOutcome> {
+fn scan_dir(dir: &Path, expected: Option<WalIdentity>) -> DetectorResult<ScanOutcome> {
     let segments = list_segments(dir)?;
     let mut frames: Vec<WalFrame> = Vec::new();
     let mut recovery = WalRecovery::default();
@@ -364,7 +451,14 @@ fn scan_dir(dir: &Path) -> DetectorResult<ScanOutcome> {
         File::open(path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(|e| io_err("read", path, e))?;
-        let scan = scan_segment(&bytes, *seq, frames.len() as u64);
+        let scan = scan_segment(&bytes, *seq, frames.len() as u64, expected).map_err(|e| {
+            match e {
+                DetectorError::WalMismatch(msg) => {
+                    DetectorError::WalMismatch(format!("{}: {msg}", path.display()))
+                }
+                other => other,
+            }
+        })?;
         recovery.segments += 1;
         frames.extend(scan.frames);
         if scan.cut {
@@ -384,9 +478,22 @@ fn scan_dir(dir: &Path) -> DetectorResult<ScanOutcome> {
 }
 
 /// Reads the longest valid frame prefix from a WAL directory without
-/// modifying anything on disk.
+/// modifying anything on disk. Accepts both legacy and identified segments
+/// without checking who they belong to (forensics mode); recovery paths that
+/// *continue* a log go through [`WalWriter::resume`], which enforces
+/// [`WalConfig::identity`].
 pub fn replay(dir: &Path) -> DetectorResult<(Vec<WalFrame>, WalRecovery)> {
-    let outcome = scan_dir(dir)?;
+    let outcome = scan_dir(dir, None)?;
+    Ok((outcome.frames, outcome.recovery))
+}
+
+/// [`replay`] that additionally verifies every segment header carries
+/// exactly `identity`, failing with [`DetectorError::WalMismatch`] otherwise.
+pub fn replay_identified(
+    dir: &Path,
+    identity: WalIdentity,
+) -> DetectorResult<(Vec<WalFrame>, WalRecovery)> {
+    let outcome = scan_dir(dir, Some(identity))?;
     Ok((outcome.frames, outcome.recovery))
 }
 
@@ -415,7 +522,7 @@ impl WalWriter {
                 dir.display()
             )));
         }
-        let file = Self::open_segment(dir, 0)?;
+        let file = Self::open_segment(dir, 0, config.identity)?;
         Ok(Self {
             dir: dir.to_path_buf(),
             config,
@@ -432,7 +539,7 @@ impl WalWriter {
     /// fresh `OnlineAero`), and what was found.
     pub fn resume(dir: &Path, config: WalConfig) -> DetectorResult<(Self, Vec<WalFrame>, WalRecovery)> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
-        let outcome = scan_dir(dir)?;
+        let outcome = scan_dir(dir, config.identity)?;
         for path in &outcome.ignored {
             std::fs::remove_file(path).map_err(|e| io_err("remove", path, e))?;
         }
@@ -450,7 +557,7 @@ impl WalWriter {
             Some((seq, _, valid_len)) if valid_len < SEGMENT_HEADER_LEN => Self {
                 dir: dir.to_path_buf(),
                 config,
-                file: Self::open_segment(dir, seq)?,
+                file: Self::open_segment(dir, seq, config.identity)?,
                 seq,
                 frames_in_segment: 0,
                 next_frame: outcome.frames.len() as u64,
@@ -483,7 +590,7 @@ impl WalWriter {
         Ok((writer, outcome.frames, outcome.recovery))
     }
 
-    fn open_segment(dir: &Path, seq: u64) -> DetectorResult<File> {
+    fn open_segment(dir: &Path, seq: u64, identity: Option<WalIdentity>) -> DetectorResult<File> {
         let path = segment_path(dir, seq);
         let mut file = OpenOptions::new()
             .write(true)
@@ -491,9 +598,23 @@ impl WalWriter {
             .truncate(true)
             .open(&path)
             .map_err(|e| io_err("create", &path, e))?;
-        let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
-        header[..8].copy_from_slice(&WAL_MAGIC);
-        header[8..].copy_from_slice(&seq.to_le_bytes());
+        let header: Vec<u8> = match identity {
+            None => {
+                let mut h = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+                h.extend_from_slice(&WAL_MAGIC);
+                h.extend_from_slice(&seq.to_le_bytes());
+                h
+            }
+            Some(id) => {
+                let mut h = Vec::with_capacity(SEGMENT_HEADER_V2_LEN as usize);
+                h.extend_from_slice(&WAL_MAGIC_V2);
+                h.extend_from_slice(&seq.to_le_bytes());
+                h.extend_from_slice(&id.catalog_hash.to_le_bytes());
+                h.extend_from_slice(&id.shard_id.to_le_bytes());
+                h.extend_from_slice(&0u32.to_le_bytes());
+                h
+            }
+        };
         file.write_all(&header).map_err(|e| io_err("write", &path, e))?;
         Ok(file)
     }
@@ -527,7 +648,7 @@ impl WalWriter {
                 self.sync()?;
             }
             self.seq += 1;
-            self.file = Self::open_segment(&self.dir, self.seq)?;
+            self.file = Self::open_segment(&self.dir, self.seq, self.config.identity)?;
             self.frames_in_segment = 0;
             if self.config.fsync != FsyncPolicy::Never {
                 // The new segment's *directory entry* must be durable too,
@@ -598,6 +719,7 @@ mod tests {
         let config = WalConfig {
             frames_per_segment: 4,
             fsync: FsyncPolicy::Never,
+            identity: None,
         };
         let _w = write_frames(&dir, config, 11);
         let (frames, recovery) = replay(&dir).unwrap();
@@ -628,6 +750,7 @@ mod tests {
         let config = WalConfig {
             frames_per_segment: 100,
             fsync: FsyncPolicy::Never,
+            identity: None,
         };
         let _w = write_frames(&dir, config, 6);
         // Simulate a kill mid-write: chop the last record in half.
@@ -662,6 +785,7 @@ mod tests {
         let config = WalConfig {
             frames_per_segment: 3,
             fsync: FsyncPolicy::Never,
+            identity: None,
         };
         let _w = write_frames(&dir, config, 9);
         // Flip one payload byte in the middle of segment 1 (frames 3..6):
@@ -722,6 +846,7 @@ mod tests {
         let config = WalConfig {
             frames_per_segment: 3,
             fsync: FsyncPolicy::Never,
+            identity: None,
         };
         let mut w = WalWriter::create(&dir, config).unwrap();
         // Alternate governor-style meta records with plain ones across a
@@ -759,6 +884,7 @@ mod tests {
         let config = WalConfig {
             frames_per_segment: 100,
             fsync: FsyncPolicy::Never,
+            identity: None,
         };
         let _w = write_frames(&dir, config, 2);
         // Hand-craft a record whose payload length matches neither 20+4n
@@ -779,6 +905,74 @@ mod tests {
         let (frames, recovery) = replay(&dir).unwrap();
         assert_eq!(frames.len(), 2, "malformed meta record cut, prefix kept");
         assert!(recovery.truncated);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identified_wal_roundtrips_and_rejects_wrong_identity() {
+        let dir = tmp_dir("identity");
+        let id = WalIdentity { shard_id: 3, catalog_hash: 0xfeed_beef_cafe_0042 };
+        let config = WalConfig {
+            frames_per_segment: 2,
+            fsync: FsyncPolicy::Never,
+            identity: Some(id),
+        };
+        let w = write_frames(&dir, config, 5);
+        drop(w);
+
+        // Plain replay (forensics) and identity-checked replay both accept it.
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 5);
+        assert!(!recovery.truncated);
+        let (frames, _) = replay_identified(&dir, id).unwrap();
+        assert_eq!(frames.len(), 5);
+
+        // Resume with the right identity continues across rotation.
+        let (mut w, recovered, _) = WalWriter::resume(&dir, config).unwrap();
+        assert_eq!(recovered.len(), 5);
+        w.append(frame(5).0, &frame(5).1).unwrap();
+        drop(w);
+        assert_eq!(replay_identified(&dir, id).unwrap().0.len(), 6);
+
+        // A different shard id or catalog hash is a typed hard error, for
+        // replay and resume alike — never a silent truncation.
+        for wrong in [
+            WalIdentity { shard_id: 4, ..id },
+            WalIdentity { catalog_hash: 1, ..id },
+        ] {
+            match replay_identified(&dir, wrong) {
+                Err(DetectorError::WalMismatch(msg)) => {
+                    assert!(msg.contains("shard 3"), "{msg}");
+                }
+                other => panic!("expected WalMismatch, got {other:?}"),
+            }
+            let bad = WalConfig { identity: Some(wrong), ..config };
+            assert!(matches!(
+                WalWriter::resume(&dir, bad),
+                Err(DetectorError::WalMismatch(_))
+            ));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_wal_rejected_when_identity_expected() {
+        let dir = tmp_dir("legacy_identity");
+        let legacy = WalConfig {
+            frames_per_segment: 100,
+            fsync: FsyncPolicy::Never,
+            identity: None,
+        };
+        let _w = write_frames(&dir, legacy, 3);
+        let id = WalIdentity { shard_id: 0, catalog_hash: 7 };
+        match replay_identified(&dir, id) {
+            Err(DetectorError::WalMismatch(msg)) => assert!(msg.contains("AEROWAL1"), "{msg}"),
+            other => panic!("expected WalMismatch, got {other:?}"),
+        }
+        // Identity is only enforced when expected: the same legacy log
+        // replays fine without one.
+        let (frames, _) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,91 @@
+//! Catalog partitioning for fleet-scale synthetic nights.
+//!
+//! The fleet coordinator in `aero-core` assigns every star of a night to one
+//! shard; this module carves the corresponding per-shard [`Dataset`] slices
+//! so each shard's detector can be trained and calibrated on exactly the
+//! stars it serves. Slicing is pure indexing — same night, same assignment,
+//! same bits — so a shard rebuilt after a crash retrains on an identical
+//! dataset and reproduces its pre-crash model bit-for-bit.
+
+use aero_timeseries::{Dataset, Result as TsResult, TsError};
+
+/// Groups a star→shard assignment vector into per-shard member lists.
+///
+/// `assignment[star] = shard` with `shard < num_shards`; members within each
+/// shard are returned in ascending star order, which is the canonical local
+/// variate order used by shard detectors and WAL frames.
+pub fn shard_members(assignment: &[usize], num_shards: usize) -> TsResult<Vec<Vec<usize>>> {
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+    for (star, &shard) in assignment.iter().enumerate() {
+        if shard >= num_shards {
+            return Err(TsError::VariateOutOfRange { index: shard, count: num_shards });
+        }
+        members[shard].push(star);
+    }
+    Ok(members)
+}
+
+/// Slices one night into per-shard datasets following `assignment`.
+///
+/// Every star appears in exactly one returned dataset; shard `k` holds the
+/// stars with `assignment[star] == k` in ascending star order. Shards may be
+/// empty only if the assignment never names them.
+pub fn partition_night(
+    night: &Dataset,
+    assignment: &[usize],
+    num_shards: usize,
+) -> TsResult<Vec<Dataset>> {
+    if assignment.len() != night.num_variates() {
+        return Err(TsError::LengthMismatch {
+            what: "fleet assignment",
+            expected: night.num_variates(),
+            got: assignment.len(),
+        });
+    }
+    shard_members(assignment, num_shards)?
+        .iter()
+        .map(|members| night.select_variates(members))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::SyntheticConfig;
+
+    #[test]
+    fn partition_covers_every_star_exactly_once() {
+        let night = SyntheticConfig::tiny(11).build();
+        let n = night.num_variates();
+        let assignment: Vec<usize> = (0..n).map(|star| star % 3).collect();
+        let shards = partition_night(&night, &assignment, 3).unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(|d| d.num_variates()).sum::<usize>(), n);
+        for d in &shards {
+            assert!(d.validate().is_ok());
+            assert_eq!(d.test.len(), night.test.len());
+        }
+        // Shard 1 holds stars 1, 4, 7 in ascending order; its first variate
+        // is star 1's series, bit-for-bit.
+        assert_eq!(shards[1].train.variate(0).unwrap(), night.train.variate(1).unwrap());
+    }
+
+    #[test]
+    fn partition_rejects_bad_shapes() {
+        let night = SyntheticConfig::tiny(11).build();
+        let n = night.num_variates();
+        assert!(partition_night(&night, &vec![0; n - 1], 1).is_err());
+        let mut assignment = vec![0; n];
+        assignment[2] = 5;
+        assert!(partition_night(&night, &assignment, 2).is_err());
+    }
+
+    #[test]
+    fn shard_members_groups_in_ascending_order() {
+        let members = shard_members(&[1, 0, 1, 0, 1], 2).unwrap();
+        assert_eq!(members, vec![vec![1, 3], vec![0, 2, 4]]);
+        // A shard the assignment never names stays empty.
+        let members = shard_members(&[0, 0], 2).unwrap();
+        assert!(members[1].is_empty());
+    }
+}

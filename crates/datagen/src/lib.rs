@@ -24,6 +24,7 @@
 pub mod anomalies;
 pub mod astroset;
 pub mod faults;
+pub mod fleet;
 pub mod load;
 pub mod noise;
 pub mod presets;
@@ -33,6 +34,7 @@ pub mod signals;
 pub use anomalies::{inject_anomalies, AnomalyEvent, AnomalyKind};
 pub use astroset::{astroset_suite, AstrosetConfig};
 pub use faults::{FaultInjector, FaultLog, FaultPlan, StreamFrame};
+pub use fleet::{partition_night, shard_members};
 pub use load::LoadProfile;
 pub use noise::{inject_noise_to_fraction, NoiseEvent, NoiseKind};
 pub use presets::{synthetic_suite, SyntheticConfig};

@@ -176,6 +176,60 @@ where
         .collect()
 }
 
+/// Applies `f` to every item **by mutable reference** under per-item
+/// `catch_unwind`, returning one `Result` per input position.
+///
+/// The mutable sibling of [`supervised_map`]: each worker owns a contiguous
+/// `chunks_mut` span of the input, so no two threads ever alias an item. Used
+/// by the detector fleet, where every item is an independent shard governor
+/// that must keep running — and stay isolated — when a sibling shard panics
+/// mid-poll. A panicking item's closure may have left that item in an
+/// arbitrary (but memory-safe) state; callers are expected to discard and
+/// rebuild it, which is exactly what the fleet's restart-from-WAL path does.
+pub fn supervised_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<Result<R, ShardError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = max_threads().min(len);
+    let run_one = |i: usize, item: &mut T| -> Result<R, ShardError> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| ShardError {
+            shard: i,
+            message: panic_message(payload),
+        })
+    };
+    if threads <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
+    }
+    let mut out: Vec<Option<Result<R, ShardError>>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    let chunk = len.div_ceil(threads);
+    let run_one = &run_one;
+    std::thread::scope(|s| {
+        for ((c, span), slots) in items
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(out.chunks_mut(chunk))
+        {
+            let base = c * chunk;
+            s.spawn(move || {
+                for (i, (item, slot)) in span.iter_mut().zip(slots.iter_mut()).enumerate() {
+                    *slot = Some(run_one(base + i, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("supervised_map_mut worker filled every slot"))
+        .collect()
+}
+
 /// Applies `f` to every item, returning results in input order.
 ///
 /// Items are split into one contiguous chunk per worker; with one thread (or
@@ -522,6 +576,28 @@ mod tests {
             });
             assert!(out[4].is_err());
             assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 8);
+
+            // Mutable supervised mode: each item is mutated in place, a
+            // panicking item becomes a typed error, and its neighbours'
+            // mutations still land.
+            let mut cells: Vec<usize> = (0..11).collect();
+            let out = supervised_map_mut(&mut cells, |i, cell| {
+                if i == 6 {
+                    panic!("shard {i} died");
+                }
+                *cell += 100;
+                *cell
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 6 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.shard, 6);
+                    assert_eq!(e.message, "shard 6 died");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i + 100);
+                    assert_eq!(cells[i], i + 100);
+                }
+            }
 
             // try_parallel_for_chunks reports the lowest-index panicking
             // chunk regardless of scheduling; untouched chunks still ran.

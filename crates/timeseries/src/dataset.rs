@@ -124,6 +124,19 @@ impl Dataset {
         })
     }
 
+    /// Restricts the dataset to exactly the variates named by `indices`, in
+    /// the given order (one fleet shard's slice of a full-sky night).
+    pub fn select_variates(&self, indices: &[usize]) -> Result<Self> {
+        Ok(Self {
+            name: format!("{}[shard of {}]", self.name, indices.len()),
+            train: self.train.select_variates(indices)?,
+            test: self.test.select_variates(indices)?,
+            test_labels: self.test_labels.select_rows(indices)?,
+            test_noise: self.test_noise.select_rows(indices)?,
+            train_noise: self.train_noise.select_rows(indices)?,
+        })
+    }
+
     /// Restricts the dataset to its first `n` variates (scalability sweeps).
     pub fn take_variates(&self, n: usize) -> Result<Self> {
         Ok(Self {
@@ -194,6 +207,16 @@ mod tests {
         assert_eq!(d.test_labels.count(), 2);
         // No-op when len >= train length.
         assert_eq!(tiny().truncate_train(100).unwrap().train.len(), 20);
+    }
+
+    #[test]
+    fn select_variates_slices_by_index() {
+        let d = tiny().select_variates(&[1]).unwrap();
+        assert!(d.validate().is_ok());
+        assert_eq!(d.num_variates(), 1);
+        assert_eq!(d.test_labels.count(), 0, "labels live on variate 0");
+        assert_eq!(d.test_noise.count(), 4);
+        assert!(tiny().select_variates(&[2]).is_err());
     }
 
     #[test]

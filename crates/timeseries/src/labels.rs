@@ -158,6 +158,18 @@ impl LabelGrid {
         Ok(Self { rows: self.rows, cols: self.cols, data })
     }
 
+    /// Keeps exactly the rows named by `indices`, in the given order.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Self> {
+        let mut out = Self::new(indices.len(), self.cols);
+        for (r, &n) in indices.iter().enumerate() {
+            if n >= self.rows {
+                return Err(TsError::VariateOutOfRange { index: n, count: self.rows });
+            }
+            out.data[r * self.cols..(r + 1) * self.cols].copy_from_slice(self.row(n));
+        }
+        Ok(out)
+    }
+
     /// Keeps only the first `n` variates.
     pub fn take_rows(&self, n: usize) -> Result<Self> {
         if n > self.rows {

@@ -144,6 +144,24 @@ impl MultivariateSeries {
         Ok((left, right))
     }
 
+    /// Keeps exactly the variates named by `indices`, in the given order
+    /// (used by the fleet coordinator to carve one shard's stars out of a
+    /// full-sky series).
+    pub fn select_variates(&self, indices: &[usize]) -> Result<Self> {
+        let count = self.num_variates();
+        let mut values = aero_tensor::Matrix::zeros(indices.len(), self.len());
+        for (r, &n) in indices.iter().enumerate() {
+            if n >= count {
+                return Err(TsError::VariateOutOfRange { index: n, count });
+            }
+            values.row_mut(r).copy_from_slice(self.values.row(n));
+        }
+        Ok(Self {
+            values,
+            timestamps: self.timestamps.clone(),
+        })
+    }
+
     /// Keeps only the first `n` variates (used by scalability sweeps).
     pub fn take_variates(&self, n: usize) -> Result<Self> {
         if n > self.num_variates() {
@@ -216,6 +234,18 @@ mod tests {
         assert_eq!(b.len(), 4);
         assert_eq!(a.num_variates(), 3);
         assert_eq!(b.get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn select_variates_picks_named_rows() {
+        let s = demo();
+        let t = s.select_variates(&[2, 0]).unwrap();
+        assert_eq!(t.num_variates(), 2);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.get(0, 1), 21.0);
+        assert_eq!(t.get(1, 1), 1.0);
+        assert!(s.select_variates(&[3]).is_err());
+        assert_eq!(s.select_variates(&[]).unwrap().num_variates(), 0);
     }
 
     #[test]

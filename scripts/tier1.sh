@@ -25,8 +25,13 @@
 #      work budget bounded, shed accounting reconciles, suspects are never
 #      shed, and the governed verdict stream is bitwise identical across
 #      thread counts and WAL kill-resume
-#  10. benchmark harness smoke run (keeps scripts/bench.sh wired)
-#  11. clippy -D warnings on the full workspace (the streaming modules
+#  10. fleet isolation: the shared-nothing shard suite (chaos kill mid-night,
+#      bitwise shard resume, WAL identity rejection, deterministic
+#      routing/rebalancing) plus a 4-shard CLI burst smoke with one injected
+#      shard kill — the killed shard must restart from its own WAL while the
+#      other shards keep streaming
+#  11. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#  12. clippy -D warnings on the full workspace (the streaming modules
 #      additionally deny unwrap/expect via their own inner lint attrs)
 set -eu
 
@@ -59,6 +64,17 @@ cargo test -q -p bench --test alloc_streaming
 
 echo "==> tier-1: overload smoke (burst admission, shedding, ladder)"
 cargo test -q -p aero-core --test overload
+
+echo "==> tier-1: fleet isolation (shard chaos, bitwise resume, routing)"
+cargo test -q -p aero-core --test fleet
+fleet_tmp="$(mktemp -d)"
+trap 'rm -rf "$fleet_tmp"' EXIT
+cargo run --release -q -p aero-cli --bin aero -- generate \
+    --preset tiny --seed 41 --out "$fleet_tmp/data" > /dev/null
+cargo run --release -q -p aero-cli --bin aero -- stream \
+    --data "$fleet_tmp/data" --shards 4 --burst 41 \
+    --wal "$fleet_tmp/wal" --rebalance-every 64 \
+    --kill-shard 2 --kill-after 40 --probe-after 4 > /dev/null
 
 echo "==> tier-1: benchmark harness smoke"
 sh scripts/bench.sh --smoke > /dev/null
