@@ -30,7 +30,8 @@ use aero_core::fleet::{FleetConfig, FleetCoordinator, ShardAssignment, ShardFact
 use aero_core::online::{DegradePolicy, OnlineAero};
 use aero_core::wal::{FsyncPolicy, WalConfig, WalWriter};
 use aero_core::{
-    Aero, AeroConfig, Detector, FallbackScorer, LadderLevel, OverloadPolicy, StreamGovernor,
+    Aero, AeroConfig, Detector, FallbackScorer, LadderLevel, OverloadPolicy, ScoreMode,
+    StreamGovernor,
 };
 use aero_datagen::SyntheticConfig;
 use aero_evt::PotConfig;
@@ -85,10 +86,47 @@ struct Report {
     fit_stage1: StageReport,
     score_window: StageReport,
     e2e_detect: StageReport,
+    batched_inference: BatchedReport,
+    pipelined_push: PipelinedReport,
     streaming_allocs: AllocReport,
     wal_overhead: WalReport,
     degradation_ladder: LadderReport,
     fleet_scaling: FleetScalingReport,
+}
+
+/// Batched cross-star Stage-1 (one stacked `(N·W)×d` GEMM per layer) vs the
+/// per-star path (N small GEMMs + tape bookkeeping) over the same streamed
+/// frames. Both runs are single-threaded, so the speedup is the GEMM shape
+/// and the tape-free forward, not parallelism — it is meaningful on any
+/// host. `stage1` rows force `ScoreMode::Stage1` to isolate the rewritten
+/// path; `full` rows run the whole push (Stage-2 GCN included) to show the
+/// end-to-end effect.
+#[derive(Serialize)]
+struct BatchedReport {
+    stars: usize,
+    frames_per_sample: usize,
+    per_star_stage1_secs_per_frame: f64,
+    batched_stage1_secs_per_frame: f64,
+    stage1_speedup: f64,
+    per_star_full_secs_per_frame: f64,
+    batched_full_secs_per_frame: f64,
+    full_speedup: f64,
+}
+
+/// Sequential `push` vs `push_pipelined` (frame `t`'s Stage-1 overlapping
+/// frame `t−1`'s Stage-2 on the worker pool) at the parallel-variant thread
+/// count. The overlap needs a second core: on a 1-CPU host the join runs
+/// sequentially, the speedup is honestly ~1×, and the row is marked
+/// `skipped_single_cpu`.
+#[derive(Serialize)]
+struct PipelinedReport {
+    frames_per_sample: usize,
+    host_logical_cpus: usize,
+    threads: usize,
+    sequential_secs_per_frame: f64,
+    pipelined_secs_per_frame: f64,
+    overlap_speedup: Option<f64>,
+    note: Option<&'static str>,
 }
 
 /// Fleet-coordinator streaming throughput vs shard count (one pool shard
@@ -105,8 +143,12 @@ struct FleetScalingReport {
 #[derive(Serialize)]
 struct FleetScalingRow {
     shards: usize,
+    /// Logical CPUs on the host — multi-shard rows only show a throughput
+    /// win when this exceeds the shard count being spread.
+    host_logical_cpus: usize,
     secs_per_frame: f64,
     frames_per_sec: f64,
+    note: Option<&'static str>,
 }
 
 /// CPU features the dispatcher probes and the backend choice it made, so
@@ -176,14 +218,21 @@ struct GemmReport {
     blocked_nt_secs: f64,
     scalar_speedup_vs_naive_1t: f64,
     simd_speedup_vs_scalar_1t: Option<f64>,
-    thread_speedup: f64,
+    /// Logical CPUs on the host — a sub-1.0 "speedup" on a 1-CPU host is
+    /// pool overhead, not a regression, so the ratio is withheld there.
+    host_logical_cpus: usize,
+    thread_speedup: Option<f64>,
+    note: Option<&'static str>,
 }
 
 #[derive(Serialize)]
 struct StageReport {
+    /// Logical CPUs on the host (see [`GemmReport::host_logical_cpus`]).
+    host_logical_cpus: usize,
     secs_1t: f64,
     secs_nt: f64,
-    thread_speedup: f64,
+    thread_speedup: Option<f64>,
+    note: Option<&'static str>,
 }
 
 struct Args {
@@ -213,6 +262,14 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+fn speedup_ratio(one: f64, many: f64) -> f64 {
+    if many > 0.0 {
+        one / many
+    } else {
+        0.0
+    }
 }
 
 /// Median-of-`reps` wall-clock seconds for `f`.
@@ -405,6 +462,72 @@ fn main() {
     let ladder_sr = ladder_cost(LadderLevel::SrFallback);
     let ladder_hold = ladder_cost(LadderLevel::HoldLast);
 
+    // --- Batched cross-star Stage-1 vs per-star over the same streamed
+    // frames, single thread (the speedup is the stacked GEMM shape and the
+    // tape-free forward, not parallelism). Stage1 modes isolate the
+    // rewritten path; the full rows add the (unchanged) Stage-2 GCN. ---
+    let span = frames.last().map_or(1.0, |f| f.0) - frames.first().map_or(0.0, |f| f.0) + 1.0;
+    let stage1_modes = vec![ScoreMode::Stage1; n];
+    let stream_cost = |batched: bool, modes: Option<&[ScoreMode]>| {
+        let mut online = fresh_online();
+        online.set_batched_inference(batched);
+        let mut offset = 0.0;
+        time_secs(reps, || {
+            for (ts, values) in &frames {
+                match modes {
+                    Some(m) => online.push_with_modes(*ts + offset, values, m).unwrap(),
+                    None => online.push(*ts + offset, values).unwrap(),
+                };
+            }
+            offset += span;
+        }) / frames.len().max(1) as f64
+    };
+    let batched_report = {
+        let per_star_stage1 = stream_cost(false, Some(&stage1_modes));
+        let batched_stage1 = stream_cost(true, Some(&stage1_modes));
+        let per_star_full = stream_cost(false, None);
+        let batched_full = stream_cost(true, None);
+        BatchedReport {
+            stars: n,
+            frames_per_sample: frames.len(),
+            per_star_stage1_secs_per_frame: per_star_stage1,
+            batched_stage1_secs_per_frame: batched_stage1,
+            stage1_speedup: speedup_ratio(per_star_stage1, batched_stage1),
+            per_star_full_secs_per_frame: per_star_full,
+            batched_full_secs_per_frame: batched_full,
+            full_speedup: speedup_ratio(per_star_full, batched_full),
+        }
+    };
+
+    // --- Pipelined push: Stage-1 of frame t overlapping Stage-2 of t−1 on
+    // the worker pool, vs sequential pushes at the same thread count. ---
+    let pipelined_report = {
+        aero_parallel::set_max_threads(args.threads);
+        let sequential = stream_cost(true, None);
+        let pipelined = {
+            let mut online = fresh_online();
+            let mut offset = 0.0;
+            time_secs(reps, || {
+                for (ts, values) in &frames {
+                    online.push_pipelined(*ts + offset, values).unwrap();
+                }
+                online.flush().unwrap();
+                offset += span;
+            }) / frames.len().max(1) as f64
+        };
+        aero_parallel::set_max_threads(1);
+        PipelinedReport {
+            frames_per_sample: frames.len(),
+            host_logical_cpus: logical_cpus,
+            threads: args.threads,
+            sequential_secs_per_frame: sequential,
+            pipelined_secs_per_frame: pipelined,
+            overlap_speedup: (logical_cpus > 1)
+                .then(|| speedup_ratio(sequential, pipelined)),
+            note: (logical_cpus <= 1).then_some("skipped_single_cpu"),
+        }
+    };
+
     // --- Steady-state allocation profile of the streaming scoring path
     // (single thread; pool warm-up is two full passes over the frames). ---
     let streaming_allocs = {
@@ -474,18 +597,24 @@ fn main() {
             }) / frames.len().max(1) as f64;
             FleetScalingRow {
                 shards,
+                host_logical_cpus: logical_cpus,
                 secs_per_frame,
                 frames_per_sec: if secs_per_frame > 0.0 { 1.0 / secs_per_frame } else { 0.0 },
+                note: (logical_cpus <= 1 && shards > 1).then_some("skipped_single_cpu"),
             }
         })
         .collect();
     aero_parallel::set_max_threads(1);
 
-    let speedup = |one: f64, many: f64| if many > 0.0 { one / many } else { 0.0 };
+    let speedup = speedup_ratio;
+    let single_cpu = logical_cpus <= 1;
+    let cpu_note = single_cpu.then_some("skipped_single_cpu");
     let stage = |one: f64, many: f64| StageReport {
+        host_logical_cpus: logical_cpus,
         secs_1t: one,
         secs_nt: many,
-        thread_speedup: speedup(one, many),
+        thread_speedup: (!single_cpu).then(|| speedup_ratio(one, many)),
+        note: cpu_note,
     };
     let report = Report {
         benchmark: "parallel substrate + blocked GEMM",
@@ -511,11 +640,15 @@ fn main() {
             blocked_nt_secs: gemm_blocked_nt,
             scalar_speedup_vs_naive_1t: speedup(gemm_naive, gemm_scalar_1t),
             simd_speedup_vs_scalar_1t: gemm_simd_1t.map(|s| speedup(gemm_scalar_1t, s)),
-            thread_speedup: speedup(gemm_blocked_1t, gemm_blocked_nt),
+            host_logical_cpus: logical_cpus,
+            thread_speedup: (!single_cpu).then(|| speedup_ratio(gemm_blocked_1t, gemm_blocked_nt)),
+            note: cpu_note,
         },
         fit_stage1: stage(fit_1t, fit_nt),
         score_window: stage(score_1t, score_nt),
         e2e_detect: stage(e2e_1t, e2e_nt),
+        batched_inference: batched_report,
+        pipelined_push: pipelined_report,
         streaming_allocs,
         wal_overhead: WalReport {
             frames_per_sample: frames.len(),

@@ -118,6 +118,18 @@ fn steady_state_push_is_tensor_alloc_free() {
         batch_allocs[1] <= batch_allocs[0].max(half as u64),
         "allocation count grew between steady-state batches: {batch_allocs:?} over {half} pushes"
     );
+
+    // Witness 3: a hard per-push ceiling. The pre-batching path sat at
+    // ~108 heap allocs/push; the batched Stage-1 default runs at ~16
+    // (bookkeeping Vecs only — every tensor comes from the pool). The
+    // ceiling fails loudly if per-block Vec churn or a pooling regression
+    // creeps back into the stacked path.
+    let ceiling = 32 * half as u64;
+    assert!(
+        batch_allocs[1] <= ceiling,
+        "steady-state heap traffic regressed: {batch_allocs:?} over {half} pushes \
+         exceeds the {ceiling} ceiling (32/push)"
+    );
     let per_push = batch_allocs[1] as f64 / half.max(1) as f64;
     println!(
         "steady-state: {per_push:.2} heap allocs/push over {half} pushes, \

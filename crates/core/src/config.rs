@@ -96,6 +96,17 @@ pub struct AeroConfig {
     /// anomalies are sustained, so light smoothing trades a little response
     /// sharpness for fewer isolated false alarms.
     pub score_smoothing: usize,
+    /// Route Stage-1 scoring through the batched cross-star path: all
+    /// stars' windows stacked into one `(N·W) × d` matrix, one GEMM per
+    /// Transformer layer instead of N small ones. Bitwise identical to the
+    /// per-star path (gated in tier-1), so it defaults on; the flag exists
+    /// for A/B benchmarking and as an escape hatch. `AERO_BATCHED=0/1`
+    /// overrides it at runtime.
+    pub batched_inference: bool,
+}
+
+fn default_batched_inference() -> bool {
+    true
 }
 
 impl Default for AeroConfig {
@@ -130,6 +141,7 @@ impl AeroConfig {
             noise_iterations: 2,
             amplitude_matching: true,
             score_smoothing: 1,
+            batched_inference: default_batched_inference(),
         }
     }
 

@@ -472,6 +472,9 @@ pub struct FleetCoordinator {
     factory: ShardFactory,
     fallback: Option<FallbackScorer>,
     config: FleetConfig,
+    /// Fleet-wide batched-inference override, re-applied to every shard a
+    /// restart rebuilds (the factory's model config is the default).
+    batched_override: Option<bool>,
     /// `None` while a shard is down or quarantined.
     shards: Vec<Option<StreamGovernor>>,
     states: Vec<ShardState>,
@@ -647,6 +650,7 @@ impl FleetCoordinator {
             factory,
             fallback,
             config,
+            batched_override: None,
             shards: (0..num_shards).map(|_| None).collect(),
             states: vec![ShardState::Down; num_shards],
             last_errors: vec![None; num_shards],
@@ -670,16 +674,29 @@ impl FleetCoordinator {
         }
     }
 
+    /// Routes every shard's Stage-1 through (or around) the batched
+    /// cross-star path — see [`crate::Aero::set_batched`]. Applies to live
+    /// shards immediately and to every shard a later restart rebuilds.
+    pub fn set_batched_inference(&mut self, on: bool) {
+        self.batched_override = Some(on);
+        for gov in self.shards.iter_mut().flatten() {
+            gov.set_batched_inference(on);
+        }
+    }
+
     /// Builds shard `k`'s detector via the factory and validates its width.
     fn build_online(&self, shard: usize) -> DetectorResult<OnlineAero> {
         let members = self.assignment.members(shard);
-        let online = (self.factory)(members)?;
+        let mut online = (self.factory)(members)?;
         if online.num_variates() != members.len() {
             return Err(DetectorError::Invalid(format!(
                 "shard {shard} factory built {} variates for {} member stars",
                 online.num_variates(),
                 members.len()
             )));
+        }
+        if let Some(on) = self.batched_override {
+            online.set_batched_inference(on);
         }
         Ok(online)
     }
@@ -704,14 +721,18 @@ impl FleetCoordinator {
         wal_dir: Option<&Path>,
         wal_config: WalConfig,
         trailing_polls: usize,
+        batched: Option<bool>,
     ) -> DetectorResult<StreamGovernor> {
-        let online = factory(members)?;
+        let mut online = factory(members)?;
         if online.num_variates() != members.len() {
             return Err(DetectorError::Invalid(format!(
                 "factory built {} variates for {} member stars",
                 online.num_variates(),
                 members.len()
             )));
+        }
+        if let Some(on) = batched {
+            online.set_batched_inference(on);
         }
         match wal_dir {
             Some(dir) => {
@@ -765,6 +786,7 @@ impl FleetCoordinator {
         let wal_dir = root.as_deref().map(|r| shard_wal_dir(r, shard));
         let wal_config = self.shard_wal_config(shard);
         let trailing = self.trailing_polls[shard];
+        let batched = self.batched_override;
         let outcome = self.supervisor.run(shard, || {
             Self::rebuild_shard(
                 &factory,
@@ -774,6 +796,7 @@ impl FleetCoordinator {
                 wal_dir.as_deref(),
                 wal_config,
                 trailing,
+                batched,
             )
         });
         match outcome {

@@ -35,6 +35,21 @@ pub enum ScoreMode {
     Skip,
 }
 
+/// Stage-1 output held between the two halves of the split scoring
+/// pipeline: the scaled series, its scoring windows and their error
+/// matrices, plus the degradation modes the pass was started with. Produced
+/// by [`Aero::score_stage1`], consumed by [`Aero::score_stage2`] /
+/// [`Aero::score_stage2_detached`] — the pipelined push holds one of these
+/// per in-flight frame.
+#[derive(Debug)]
+pub(crate) struct PendingStage1 {
+    scaled: MultivariateSeries,
+    ends: Vec<usize>,
+    errors: Vec<Matrix>,
+    modes: Option<Vec<ScoreMode>>,
+    run_stage2: bool,
+}
+
 /// Fault-injection hook for chaos testing: called with the variate index at
 /// the top of every supervised per-variate work item (Stage-1 training
 /// shards and supervised scoring). The crash-recovery suite installs hooks
@@ -110,6 +125,9 @@ pub struct Aero {
     supervision: Option<SupervisionCell>,
     /// Optional chaos-testing fault hook (see [`ChaosHook`]).
     chaos_hook: Option<ChaosHook>,
+    /// Programmatic override of `config.batched_inference` (A/B harnesses);
+    /// `None` falls through to the `AERO_BATCHED` env var, then the config.
+    batched_override: Option<bool>,
 }
 
 impl Aero {
@@ -130,7 +148,30 @@ impl Aero {
             stage2_history: TrainingHistory::default(),
             supervision: None,
             chaos_hook: None,
+            batched_override: None,
         })
+    }
+
+    /// Forces the batched Stage-1 path on or off for this instance,
+    /// overriding both `config.batched_inference` and the `AERO_BATCHED`
+    /// env var. Used by the equivalence tests and A/B benchmarks.
+    pub fn set_batched(&mut self, on: bool) {
+        self.batched_override = Some(on);
+    }
+
+    /// Whether Stage-1 scoring routes through the batched cross-star path.
+    /// Precedence: [`Aero::set_batched`] > `AERO_BATCHED=0/1` > config.
+    pub fn batched_enabled(&self) -> bool {
+        if let Some(on) = self.batched_override {
+            return on;
+        }
+        static ENV: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+        let env = ENV.get_or_init(|| match std::env::var("AERO_BATCHED") {
+            Ok(v) if v == "0" => Some(false),
+            Ok(v) if v == "1" => Some(true),
+            _ => None,
+        });
+        env.unwrap_or(self.config.batched_inference)
     }
 
     /// Installs (or clears) the chaos-testing fault hook.
@@ -226,6 +267,17 @@ impl Aero {
         let n = scaled.num_variates();
 
         if self.config.univariate_input {
+            // Batched cross-star path: all active stars' windows stacked
+            // row-wise and run through one GEMM per layer. Bitwise identical
+            // to the per-star path (tier-1 gated), including under nominal
+            // supervision — supervision adds no data flow when nothing
+            // fails, and the batched forward has no per-star failure
+            // boundary anyway (an error fails the whole frame). Chaos tests
+            // need per-star fault isolation, so an installed hook keeps the
+            // per-star path.
+            if self.chaos_hook.is_none() && self.batched_enabled() {
+                return self.window_errors_batched(temporal, &x, &y, &positions, &deltas, skip);
+            }
             // Each variate owns an independent tape over a shared read-only
             // store — embarrassingly parallel. Rows land by variate index,
             // so the result is order-deterministic.
@@ -304,6 +356,47 @@ impl Aero {
             }
             Ok(e)
         }
+    }
+
+    /// Batched Stage-1 error matrix: the univariate path's per-star windows
+    /// stacked into one `(A·W) × 1` / `(A·ω) × 1` pair (A = active stars)
+    /// and reconstructed in a single tape-free forward pass — one GEMM per
+    /// layer instead of A small ones. Results are de-interleaved back into
+    /// per-star rows of `E`. Skipped stars keep zero rows and never enter
+    /// the stack, matching the per-star path exactly.
+    fn window_errors_batched(
+        &self,
+        temporal: &TemporalModule,
+        x: &Matrix,
+        y: &Matrix,
+        positions: &[f32],
+        deltas: &[f32],
+        skip: Option<&[bool]>,
+    ) -> DetectorResult<Matrix> {
+        let n = x.rows();
+        let w = x.cols();
+        let omega = y.cols();
+        let is_skipped = |v: usize| skip.is_some_and(|s| s.get(v).copied().unwrap_or(false));
+        let active: Vec<usize> = (0..n).filter(|&v| !is_skipped(v)).collect();
+        let mut e = Matrix::zeros(n, omega);
+        if active.is_empty() {
+            return Ok(e);
+        }
+        let blocks = active.len();
+        let mut long = Matrix::zeros(blocks * w, 1);
+        let mut short = Matrix::zeros(blocks * omega, 1);
+        for (b, &v) in active.iter().enumerate() {
+            long.as_mut_slice()[b * w..(b + 1) * w].copy_from_slice(x.row(v));
+            short.as_mut_slice()[b * omega..(b + 1) * omega].copy_from_slice(y.row(v));
+        }
+        let recon =
+            temporal.reconstruct_batched(&self.store, &long, &short, positions, deltas, blocks)?;
+        for (b, &v) in active.iter().enumerate() {
+            for t in 0..omega {
+                e.set(v, t, y.get(v, t) - recon.get(b * omega + t, 0));
+            }
+        }
+        Ok(e)
     }
 
     /// Snapshot of every parameter value, for divergence rollback.
@@ -550,8 +643,23 @@ impl Aero {
         skip: Option<&[bool]>,
         run_stage2: bool,
     ) -> DetectorResult<(Matrix, Matrix)> {
-        let omega = self.omega();
         let e = self.window_errors_internal(scaled, end, skip)?;
+        self.stage2_from_error(scaled, end, e, graphs, run_stage2)
+    }
+
+    /// Stage-2 noise cancellation for one window given its precomputed
+    /// Stage-1 error matrix — the second half of [`window_residual_with`]
+    /// (split out so the pipelined push can run Stage-2 of frame `t−1`
+    /// while Stage-1 of frame `t` scores concurrently).
+    fn stage2_from_error(
+        &self,
+        scaled: &MultivariateSeries,
+        end: usize,
+        e: Matrix,
+        graphs: &mut GraphBuilder,
+        run_stage2: bool,
+    ) -> DetectorResult<(Matrix, Matrix)> {
+        let omega = self.omega();
         if !run_stage2 {
             // Degraded pass with no Full-mode star left: Stage-2's residual
             // would be read by nobody, so skip the GCN and alias R = E.
@@ -630,6 +738,146 @@ impl Aero {
             .map(|r| r.map_err(DetectorError::from)?)
             .collect()
         }
+    }
+
+    /// Stage-1 half of the split scoring pipeline: scales the series, runs
+    /// the temporal module over every scoring window and returns the error
+    /// matrices plus everything Stage-2 needs to finish the pass.
+    /// `modes = None` means an undegraded pass (all stars `Full`).
+    pub(crate) fn score_stage1(
+        &self,
+        series: &MultivariateSeries,
+        modes: Option<&[ScoreMode]>,
+    ) -> DetectorResult<PendingStage1> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let scaled = self.scaler.transform(series)?;
+        let n = scaled.num_variates();
+        if let Some(modes) = modes {
+            if modes.len() != n {
+                return Err(DetectorError::Invalid(format!(
+                    "{} score modes for {n} variates",
+                    modes.len()
+                )));
+            }
+        }
+        let skip: Option<Vec<bool>> =
+            modes.map(|m| m.iter().map(|mode| *mode == ScoreMode::Skip).collect());
+        let run_stage2 = modes.is_none_or(|m| m.contains(&ScoreMode::Full));
+        let ends = self.score_ends(scaled.len());
+        let errors = {
+            let skip = skip.as_deref();
+            aero_parallel::supervised_map(&ends, |_, &end| {
+                self.window_errors_internal(&scaled, end, skip)
+            })
+            .into_iter()
+            .map(|r| r.map_err(DetectorError::from)?)
+            .collect::<DetectorResult<Vec<Matrix>>>()?
+        };
+        Ok(PendingStage1 {
+            scaled,
+            ends,
+            errors,
+            modes: modes.map(<[ScoreMode]>::to_vec),
+            run_stage2,
+        })
+    }
+
+    /// Stage-2 half: noise-cancels the pending error matrices and
+    /// min-combines them into the final score matrix. Composing this with
+    /// [`Aero::score_stage1`] is exactly [`Detector::score`] (modes `None`)
+    /// or [`Aero::score_with_modes`] — both delegate here.
+    pub(crate) fn score_stage2(&mut self, pending: PendingStage1) -> DetectorResult<Matrix> {
+        self.graphs.reset();
+        let residuals = if self.graphs.is_stateful() {
+            let mut graphs = self.graphs.clone();
+            let mut out = Vec::with_capacity(pending.ends.len());
+            for (&end, e) in pending.ends.iter().zip(&pending.errors) {
+                out.push(self.stage2_from_error(
+                    &pending.scaled,
+                    end,
+                    e.clone(),
+                    &mut graphs,
+                    pending.run_stage2,
+                )?);
+            }
+            self.graphs = graphs;
+            out
+        } else {
+            let this = &*self;
+            let p = &pending;
+            aero_parallel::supervised_map(&pending.ends, |i, &end| {
+                let mut graphs = this.graphs.clone();
+                this.stage2_from_error(&p.scaled, end, p.errors[i].clone(), &mut graphs, p.run_stage2)
+            })
+            .into_iter()
+            .map(|r| r.map_err(DetectorError::from)?)
+            .collect::<DetectorResult<Vec<_>>>()?
+        };
+        Ok(self.combine_scores(&pending, &residuals))
+    }
+
+    /// Like [`Aero::score_stage2`] but borrowing `self` immutably, so the
+    /// pipelined push can finish frame `t−1` while frame `t`'s Stage-1
+    /// scores concurrently on another thread. Works on a reset clone of the
+    /// graph builder; every scoring pass resets the builder on entry anyway,
+    /// so discarding the clone's state afterwards is indistinguishable from
+    /// the sequential path.
+    pub(crate) fn score_stage2_detached(&self, pending: &PendingStage1) -> DetectorResult<Matrix> {
+        let mut graphs = self.graphs.clone();
+        graphs.reset();
+        let mut residuals = Vec::with_capacity(pending.ends.len());
+        for (&end, e) in pending.ends.iter().zip(&pending.errors) {
+            residuals.push(self.stage2_from_error(
+                &pending.scaled,
+                end,
+                e.clone(),
+                &mut graphs,
+                pending.run_stage2,
+            )?);
+        }
+        Ok(self.combine_scores(pending, &residuals))
+    }
+
+    /// Min-combines window residuals into the final `N × len` score matrix
+    /// (mode-aware), zeroes unscored (warmup) columns, and applies score
+    /// smoothing — the shared tail of both scoring paths.
+    fn combine_scores(&self, pending: &PendingStage1, residuals: &[(Matrix, Matrix)]) -> Matrix {
+        let n = pending.scaled.num_variates();
+        let len = pending.scaled.len();
+        let omega = self.omega();
+        let mut scores = Matrix::full(n, len, f32::INFINITY);
+        for (&end, (e, r)) in pending.ends.iter().zip(residuals) {
+            let start = end + 1 - omega;
+            for v in 0..n {
+                let mode = pending.modes.as_ref().map_or(ScoreMode::Full, |m| m[v]);
+                let src = match mode {
+                    ScoreMode::Full => r,
+                    ScoreMode::Stage1 => e,
+                    ScoreMode::Skip => continue, // stays ∞, zeroed below
+                };
+                for t in 0..omega {
+                    let cur = scores.get(v, start + t);
+                    scores.set(v, start + t, cur.min(src.get(v, t).abs()));
+                }
+            }
+        }
+        for v in scores.as_mut_slice() {
+            if v.is_infinite() {
+                *v = 0.0;
+            }
+        }
+        if self.config.score_smoothing > 1 {
+            let w = self.config.score_smoothing;
+            let warm = self.warmup();
+            for v in 0..n {
+                let smoothed =
+                    aero_timeseries::stats::moving_average(&scores.row(v)[warm..], w);
+                scores.row_mut(v)[warm..].copy_from_slice(&smoothed);
+            }
+        }
+        scores
     }
 
     /// Scoring window end indices: the first full window, then steps of
@@ -729,53 +977,8 @@ impl Aero {
         if modes.iter().all(|m| *m == ScoreMode::Full) {
             return self.score(series);
         }
-        if !self.trained {
-            return Err(DetectorError::Invalid("call fit() first".into()));
-        }
-        let scaled = self.scaler.transform(series)?;
-        let n = scaled.num_variates();
-        if modes.len() != n {
-            return Err(DetectorError::Invalid(format!(
-                "{} score modes for {n} variates",
-                modes.len()
-            )));
-        }
-        let len = scaled.len();
-        let omega = self.omega();
-        let skip: Vec<bool> = modes.iter().map(|m| *m == ScoreMode::Skip).collect();
-        let run_stage2 = modes.contains(&ScoreMode::Full);
-        let mut scores = Matrix::full(n, len, f32::INFINITY);
-        let ends = self.score_ends(len);
-        let residuals = self.window_residuals(&scaled, &ends, Some(&skip), run_stage2)?;
-        for (&end, (e, r)) in ends.iter().zip(&residuals) {
-            let start = end + 1 - omega;
-            for (v, mode) in modes.iter().enumerate() {
-                let src = match mode {
-                    ScoreMode::Full => r,
-                    ScoreMode::Stage1 => e,
-                    ScoreMode::Skip => continue, // stays ∞, zeroed below
-                };
-                for t in 0..omega {
-                    let cur = scores.get(v, start + t);
-                    scores.set(v, start + t, cur.min(src.get(v, t).abs()));
-                }
-            }
-        }
-        for v in scores.as_mut_slice() {
-            if v.is_infinite() {
-                *v = 0.0;
-            }
-        }
-        if self.config.score_smoothing > 1 {
-            let w = self.config.score_smoothing;
-            let warm = self.warmup();
-            for v in 0..n {
-                let smoothed =
-                    aero_timeseries::stats::moving_average(&scores.row(v)[warm..], w);
-                scores.row_mut(v)[warm..].copy_from_slice(&smoothed);
-            }
-        }
-        Ok(scores)
+        let pending = self.score_stage1(series, Some(modes))?;
+        self.score_stage2(pending)
     }
 }
 
@@ -860,43 +1063,8 @@ impl Detector for Aero {
     }
 
     fn score(&mut self, series: &MultivariateSeries) -> DetectorResult<Matrix> {
-        if !self.trained {
-            return Err(DetectorError::Invalid("call fit() first".into()));
-        }
-        let scaled = self.scaler.transform(series)?;
-        let n = scaled.num_variates();
-        let len = scaled.len();
-        let omega = self.omega();
-        let mut scores = Matrix::full(n, len, f32::INFINITY);
-        let ends = self.score_ends(len);
-        let residuals = self.window_residuals(&scaled, &ends, None, true)?;
-        for (&end, (_, r)) in ends.iter().zip(&residuals) {
-            let start = end + 1 - omega;
-            for v in 0..n {
-                for t in 0..omega {
-                    let cur = scores.get(v, start + t);
-                    scores.set(v, start + t, cur.min(r.get(v, t).abs()));
-                }
-            }
-        }
-        // Unscored columns (warmup) get zero.
-        for v in 0..n {
-            for t in 0..len {
-                if scores.get(v, t).is_infinite() {
-                    scores.set(v, t, 0.0);
-                }
-            }
-        }
-        if self.config.score_smoothing > 1 {
-            let w = self.config.score_smoothing;
-            let warm = self.warmup();
-            for v in 0..n {
-                let smoothed =
-                    aero_timeseries::stats::moving_average(&scores.row(v)[warm..], w);
-                scores.row_mut(v)[warm..].copy_from_slice(&smoothed);
-            }
-        }
-        Ok(scores)
+        let pending = self.score_stage1(series, None)?;
+        self.score_stage2(pending)
     }
 
     fn warmup(&self) -> usize {

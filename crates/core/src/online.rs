@@ -40,7 +40,7 @@ use aero_tensor::Matrix;
 use aero_timeseries::MultivariateSeries;
 
 use crate::detector::{Detector, DetectorError, DetectorResult};
-use crate::model::{Aero, ScoreMode};
+use crate::model::{Aero, PendingStage1, ScoreMode};
 use crate::overload::OverloadCounters;
 use crate::supervisor::{SupervisionError, Supervisor, SupervisorPolicy};
 use crate::wal::WalWriter;
@@ -335,6 +335,34 @@ pub struct OnlineAero {
     /// Write-ahead log; when attached, `push` appends the raw frame before
     /// any state mutation (see `crate::wal`).
     wal: Option<WalWriter>,
+    /// Frame whose Stage-1 pass has run but whose Stage-2/verdict is still
+    /// outstanding — the one-deep pipeline of
+    /// [`push_pipelined`](Self::push_pipelined).
+    pending: Option<PendingFrame>,
+}
+
+/// A frame in flight in the pipelined push: ingested and Stage-1-scored,
+/// awaiting Stage-2 + verdict emission on the *next* push (or
+/// [`OnlineAero::flush`]).
+#[derive(Debug)]
+struct PendingFrame {
+    frame: usize,
+    timestamp: f64,
+    gap_filled: usize,
+    stage1: PendingStage1,
+    /// Star statuses as of this frame's ingest. The next push's ingest
+    /// updates `star_status` *before* this frame's verdict is finalized, so
+    /// the verdict must read the snapshot — that is what keeps the pipelined
+    /// verdict stream bitwise identical to the sequential one.
+    status_snapshot: Vec<StarStatus>,
+}
+
+/// Outcome of the ingest half of a push: either the frame needs no model
+/// work (dropped / warmup — verdict already complete), or it entered the
+/// window and is ready to score.
+enum Ingested {
+    Deferred(FrameVerdict),
+    Ready { frame: usize, timestamp: f64, gap_filled: usize },
 }
 
 impl OnlineAero {
@@ -399,6 +427,7 @@ impl OnlineAero {
             health: HealthReport::default(),
             supervisor,
             wal: None,
+            pending: None,
         })
     }
 
@@ -531,6 +560,147 @@ impl OnlineAero {
         self.push_inner(timestamp, values, Some(modes))
     }
 
+    /// Pipelined [`push`](Self::push): frame `t`'s Stage-1 transformer pass
+    /// overlaps with frame `t−1`'s Stage-2 GCN + verdict on the
+    /// `aero-parallel` pool, trading one frame of verdict latency for
+    /// near-2× steady-state throughput on multi-core hosts.
+    ///
+    /// The WAL append (first, before any state change) and the verdict
+    /// stream are identical to sequential pushes — verdicts simply arrive
+    /// one call later: each call returns the *previous* frame's verdict
+    /// (plus, for dropped/warmup frames which need no model work, the
+    /// current frame's own verdict). Call [`flush`](Self::flush) at end of
+    /// stream for the last in-flight verdict. Mixing with sequential
+    /// [`push`](Self::push) requires a `flush` in between (enforced).
+    ///
+    /// The pipelined pass runs Stage-1 unsupervised: a scoring failure
+    /// propagates as an error rather than degrading per-star, so chaos
+    /// isolation testing should use the sequential path.
+    pub fn push_pipelined(
+        &mut self,
+        timestamp: f64,
+        values: &[f32],
+    ) -> DetectorResult<Vec<FrameVerdict>> {
+        self.check_width(values)?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(timestamp, values)?;
+        }
+        let mut out = Vec::with_capacity(2);
+        match self.ingest(timestamp, values) {
+            Ingested::Deferred(verdict) => {
+                // No model work for this frame; finish the in-flight one
+                // first so verdicts still emit in frame order.
+                if let Some(prev) = self.flush()? {
+                    out.push(prev);
+                }
+                out.push(verdict);
+            }
+            Ingested::Ready { frame, timestamp, gap_filled } => {
+                let series = self.buffer_series()?;
+                let prev = self.pending.take();
+                let model = &self.model;
+                let (stage1, prev_scores) = match &prev {
+                    Some(p) => {
+                        // The overlap: both closures borrow the model
+                        // immutably — Stage-1 of frame t reads parameters,
+                        // Stage-2 of t−1 reads parameters + its own pending
+                        // errors. All OnlineAero state mutation happens
+                        // outside the join, in frame order.
+                        let (s1, s2) = aero_parallel::join(
+                            || model.score_stage1(&series, None),
+                            || model.score_stage2_detached(&p.stage1),
+                        );
+                        (s1, Some(s2))
+                    }
+                    None => (model.score_stage1(&series, None), None),
+                };
+                if let (Some(p), Some(scores)) = (prev, prev_scores) {
+                    let scores = scores?;
+                    out.push(self.finalize_pending(p, scores));
+                }
+                self.pending = Some(PendingFrame {
+                    frame,
+                    timestamp,
+                    gap_filled,
+                    stage1: stage1?,
+                    status_snapshot: self.star_status.clone(),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Completes the in-flight pipelined frame, if any: runs its Stage-2
+    /// pass and returns its verdict. No-op (`None`) when nothing is pending.
+    pub fn flush(&mut self) -> DetectorResult<Option<FrameVerdict>> {
+        let Some(prev) = self.pending.take() else {
+            return Ok(None);
+        };
+        let scores = self.model.score_stage2_detached(&prev.stage1)?;
+        Ok(Some(self.finalize_pending(prev, scores)))
+    }
+
+    /// Stage-2 + verdict emission for a pipelined frame — the mutation tail
+    /// that [`score_newest`](Self::score_newest)'s success branch performs,
+    /// reading star statuses from the frame's ingest-time snapshot.
+    fn finalize_pending(&mut self, prev: PendingFrame, scores: Matrix) -> FrameVerdict {
+        let n = self.num_variates;
+        let last = scores.cols() - 1;
+        let stars = (0..n)
+            .map(|v| {
+                let mut status = prev.status_snapshot[v];
+                let mut score = scores.get(v, last);
+                if !score.is_finite() {
+                    score = 0.0;
+                    status = status.max(StarStatus::Degraded);
+                    self.health.scores_suppressed += 1;
+                }
+                if status == StarStatus::Quarantined {
+                    return StarVerdict { score: 0.0, anomalous: false, status };
+                }
+                self.score_history.push_back(score);
+                if self.score_history.len() > self.policy.refit_window {
+                    self.score_history.pop_front();
+                }
+                StarVerdict {
+                    score,
+                    anomalous: (score as f64) >= self.threshold.threshold,
+                    status,
+                }
+            })
+            .collect();
+        self.health.circuit_breaker_trips = self.supervisor.stats().circuits_opened;
+        self.scored_frames += 1;
+        self.maybe_refit();
+        FrameVerdict {
+            frame: prev.frame,
+            timestamp: prev.timestamp,
+            stars,
+            disposition: FrameDisposition::Scored,
+            gap_filled: prev.gap_filled,
+        }
+    }
+
+    /// Routes the model's Stage-1 through (or around) the batched
+    /// cross-star path — see [`Aero::set_batched`].
+    pub fn set_batched_inference(&mut self, on: bool) {
+        self.model.set_batched(on);
+    }
+
+    /// The rolling buffer as a scorable series (newest frame last).
+    fn buffer_series(&self) -> DetectorResult<MultivariateSeries> {
+        let n = self.num_variates;
+        let w = self.buffer.len();
+        let mut m = Matrix::zeros(n, w);
+        for (t, row) in self.buffer.iter().enumerate() {
+            for (v, &value) in row.iter().enumerate() {
+                m.set(v, t, value);
+            }
+        }
+        let ts: Vec<f64> = self.timestamps.iter().copied().collect();
+        Ok(MultivariateSeries::new(m, ts)?)
+    }
+
     fn check_width(&self, values: &[f32]) -> DetectorResult<()> {
         if values.len() != self.num_variates {
             return Err(DetectorError::Invalid(format!(
@@ -548,6 +718,34 @@ impl OnlineAero {
         values: &[f32],
         modes: Option<&[ScoreMode]>,
     ) -> DetectorResult<FrameVerdict> {
+        if self.pending.is_some() {
+            return Err(DetectorError::Invalid(
+                "pipelined frame in flight: call flush() before pushing sequentially".into(),
+            ));
+        }
+        match self.ingest(timestamp, values) {
+            Ingested::Deferred(verdict) => Ok(verdict),
+            Ingested::Ready { frame, timestamp, gap_filled } => {
+                let stars = self.score_newest(modes)?;
+                self.scored_frames += 1;
+                self.maybe_refit();
+                Ok(FrameVerdict {
+                    frame,
+                    timestamp,
+                    stars,
+                    disposition: FrameDisposition::Scored,
+                    gap_filled,
+                })
+            }
+        }
+    }
+
+    /// The mutation half of a push: drop checks, gap fill, imputation,
+    /// buffer append, status update. Infallible — data faults degrade, they
+    /// never error. Scoring (the read-only half) happens afterwards, which
+    /// is what lets the pipelined push overlap it with the previous frame's
+    /// Stage-2.
+    fn ingest(&mut self, timestamp: f64, values: &[f32]) -> Ingested {
         let frame = self.frames_seen;
         self.frames_seen += 1;
 
@@ -555,7 +753,11 @@ impl OnlineAero {
         // against; treat it like an out-of-order delivery.
         if !timestamp.is_finite() {
             self.health.frames_dropped_stale += 1;
-            return Ok(self.dropped_verdict(frame, timestamp, FrameDisposition::DroppedStale));
+            return Ingested::Deferred(self.dropped_verdict(
+                frame,
+                timestamp,
+                FrameDisposition::DroppedStale,
+            ));
         }
 
         // Out-of-order / duplicate frames: drop and report, never poison
@@ -563,7 +765,7 @@ impl OnlineAero {
         if let Some(&last) = self.timestamps.back() {
             if timestamp == last {
                 self.health.frames_dropped_duplicate += 1;
-                return Ok(self.dropped_verdict(
+                return Ingested::Deferred(self.dropped_verdict(
                     frame,
                     timestamp,
                     FrameDisposition::DroppedDuplicate,
@@ -571,7 +773,11 @@ impl OnlineAero {
             }
             if timestamp < last {
                 self.health.frames_dropped_stale += 1;
-                return Ok(self.dropped_verdict(frame, timestamp, FrameDisposition::DroppedStale));
+                return Ingested::Deferred(self.dropped_verdict(
+                    frame,
+                    timestamp,
+                    FrameDisposition::DroppedStale,
+                ));
             }
         }
 
@@ -599,7 +805,7 @@ impl OnlineAero {
                 .iter()
                 .map(|&status| StarVerdict { score: 0.0, anomalous: false, status })
                 .collect();
-            return Ok(FrameVerdict {
+            return Ingested::Deferred(FrameVerdict {
                 frame,
                 timestamp,
                 stars,
@@ -608,16 +814,7 @@ impl OnlineAero {
             });
         }
 
-        let stars = self.score_newest(modes)?;
-        self.scored_frames += 1;
-        self.maybe_refit();
-        Ok(FrameVerdict {
-            frame,
-            timestamp,
-            stars,
-            disposition: FrameDisposition::Scored,
-            gap_filled,
-        })
+        Ingested::Ready { frame, timestamp, gap_filled }
     }
 
     /// Verdict for a dropped frame: statuses only, no scores.
@@ -732,15 +929,7 @@ impl OnlineAero {
     /// verdicts instead of unwinding through `push`.
     fn score_newest(&mut self, modes: Option<&[ScoreMode]>) -> DetectorResult<Vec<StarVerdict>> {
         let n = self.num_variates;
-        let w = self.buffer.len();
-        let mut m = Matrix::zeros(n, w);
-        for (t, row) in self.buffer.iter().enumerate() {
-            for (v, &value) in row.iter().enumerate() {
-                m.set(v, t, value);
-            }
-        }
-        let ts: Vec<f64> = self.timestamps.iter().copied().collect();
-        let series = MultivariateSeries::new(m, ts)?;
+        let series = self.buffer_series()?;
 
         let sup = Arc::clone(&self.supervisor);
         let model = &mut self.model;

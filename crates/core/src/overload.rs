@@ -403,6 +403,13 @@ impl StreamGovernor {
         self.fallback = fallback;
     }
 
+    /// Routes the wrapped detector's Stage-1 through (or around) the batched
+    /// cross-star path — see [`crate::Aero::set_batched`]. Bitwise identical
+    /// either way; the switch exists for A/B benchmarking.
+    pub fn set_batched_inference(&mut self, on: bool) {
+        self.online.set_batched_inference(on);
+    }
+
     /// Attaches a write-ahead log. Every subsequent offer (accepted or
     /// rejected) is logged *with the polls-since-previous-offer count* before
     /// the admission decision, so [`StreamGovernor::resume_wal`] can replay

@@ -127,6 +127,76 @@ impl TemporalModule {
         let o = self.out_proj.forward(g, store, h)?;
         Ok(g.sigmoid(o)?)
     }
+
+    /// Batched tape-free reconstruction of `blocks` windows at once.
+    ///
+    /// * `long` — `(blocks·W) × in_dim`: each block's long window stacked
+    ///   row-wise.
+    /// * `short` — `(blocks·ω) × in_dim`, same block order.
+    /// * `positions`/`deltas` — shared by all blocks (the batched caller
+    ///   stacks windows from the *same frame*, so the time axis is common).
+    ///
+    /// Returns the `(blocks·ω) × in_dim` reconstruction, block *b*'s rows
+    /// at `b·ω .. (b+1)·ω` — bitwise identical to `blocks` separate
+    /// [`reconstruct`](Self::reconstruct) calls, because every projection
+    /// GEMM preserves per-row accumulation order under row stacking,
+    /// residual adds / layer norms / the output head are row-independent,
+    /// and attention is evaluated block-diagonally on row slices. The time
+    /// embedding depends only on the shared time axis, so it is computed
+    /// once and tiled across blocks.
+    pub fn reconstruct_batched(
+        &self,
+        store: &ParamStore,
+        long: &Matrix,
+        short: &Matrix,
+        positions: &[f32],
+        deltas: &[f32],
+        blocks: usize,
+    ) -> DetectorResult<Matrix> {
+        if blocks == 0 {
+            return Err(DetectorError::Invalid("batched reconstruct needs ≥ 1 block".into()));
+        }
+        let w = long.rows() / blocks;
+        let omega = short.rows() / blocks;
+        if long.rows() != w * blocks || short.rows() != omega * blocks {
+            return Err(DetectorError::Invalid(format!(
+                "stacked rows {}/{} not divisible by {blocks} blocks",
+                long.rows(),
+                short.rows()
+            )));
+        }
+        if positions.len() != w || deltas.len() != w {
+            return Err(DetectorError::Invalid(format!(
+                "need {w} positions/deltas, got {}/{}",
+                positions.len(),
+                deltas.len()
+            )));
+        }
+        if omega > w {
+            return Err(DetectorError::Invalid(format!("ω={omega} exceeds W={w}")));
+        }
+
+        // Input embeddings: stacked projection GEMMs + the shared time
+        // embedding tiled per block (elementwise add is tiling-safe).
+        let te_long = self.time.forward_value(store, positions, deltas)?;
+        let te_long = aero_tensor::forward::tile_rows(&te_long, blocks);
+        let ie = self.enc_embed.forward_value(store, long)?.add(&te_long)?;
+        let te_short =
+            self.time.forward_value(store, &positions[w - omega..], &deltas[w - omega..])?;
+        let te_short = aero_tensor::forward::tile_rows(&te_short, blocks);
+        let id_ = self.dec_embed.forward_value(store, short)?.add(&te_short)?;
+
+        let mut enc = ie;
+        for layer in &self.encoders {
+            enc = layer.forward_batched(store, &enc, w, blocks)?;
+        }
+
+        let dec = self.decoder.forward_batched(store, &id_, &enc, omega, w, blocks)?;
+
+        let h = self.out_hidden.forward_value(store, &dec)?;
+        let o = self.out_proj.forward_value(store, &h)?;
+        Ok(aero_tensor::forward::sigmoid(&o))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,287 @@
+//! Pipelined-push equivalence gate (tier-1 `batched-equivalence`).
+//!
+//! [`OnlineAero::push_pipelined`] overlaps frame *t*'s Stage-1 transformer
+//! pass with frame *t−1*'s Stage-2 GCN on the worker pool, but the
+//! observable contract is unchanged from sequential [`OnlineAero::push`]:
+//!
+//! * the verdict stream is **bitwise identical**, merely emitted one call
+//!   late (with [`OnlineAero::flush`] draining the last in-flight frame);
+//! * the final [`HealthReport`], POT threshold, and star statuses match;
+//! * the WAL **bytes** on disk are identical — appends happen in the same
+//!   order, before any model work;
+//! * a WAL written by a pipelined run resumes into the same stream after a
+//!   mid-flight kill, even when the kill strands an unscored pending frame
+//!   (its WAL record survives, so replay re-scores it).
+//!
+//! Both tests mutate the process-global worker-thread count, so they take a
+//! shared lock instead of relying on test-runner scheduling.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use aero_core::online::{FrameVerdict, OnlineAero};
+use aero_core::wal::{FsyncPolicy, WalConfig, WalWriter};
+use aero_core::{load_model, save_model, Aero, AeroConfig, DegradePolicy};
+use aero_datagen::{FaultInjector, FaultPlan, SyntheticConfig};
+use aero_evt::PotConfig;
+use aero_timeseries::Dataset;
+use proptest::prelude::*;
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn night() -> Dataset {
+    let mut cfg = SyntheticConfig::tiny(20260808);
+    cfg.anomaly_segments = 2;
+    cfg.build()
+}
+
+/// Trains the tiny model once per test binary and checkpoints it; every run
+/// loads its own copy so baseline and pipelined instances are independent.
+fn checkpoint_path() -> &'static std::path::Path {
+    static PATH: OnceLock<std::path::PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let path =
+            std::env::temp_dir().join(format!("aero_pipelined_model_{}.json", std::process::id()));
+        let ds = night();
+        let mut cfg = AeroConfig::tiny();
+        cfg.max_epochs = 2;
+        let mut model = Aero::new(cfg).expect("valid tiny config");
+        use aero_core::Detector;
+        model.fit(&ds.train).expect("training the tiny model");
+        save_model(&model, &path).expect("checkpointing the tiny model");
+        path
+    })
+}
+
+/// Refits enabled: the pipelined path must hit `maybe_refit` at the same
+/// frame numbers, so the threshold trajectory is part of the contract.
+fn policy() -> DegradePolicy {
+    DegradePolicy { refit_interval: 16, refit_window: 256, ..DegradePolicy::default() }
+}
+
+fn fresh_online() -> OnlineAero {
+    let model = load_model(checkpoint_path()).expect("loading the shared checkpoint");
+    OnlineAero::with_policy(model, &night().train, PotConfig::default(), policy())
+        .expect("calibration")
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("aero_pipelined_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn wal_config() -> WalConfig {
+    WalConfig { frames_per_segment: 32, fsync: FsyncPolicy::Never, identity: None }
+}
+
+/// Every WAL segment's bytes, concatenated in segment order.
+fn wal_bytes(dir: &std::path::Path) -> Vec<u8> {
+    let mut segments: Vec<_> = std::fs::read_dir(dir)
+        .expect("wal dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    segments.sort();
+    let mut out = Vec::new();
+    for segment in segments {
+        out.extend(std::fs::read(&segment).expect("wal segment"));
+    }
+    out
+}
+
+/// Canonical byte encoding of one verdict; float fields as raw bits.
+fn fingerprint(verdict: &FrameVerdict) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + verdict.stars.len() * 8);
+    out.extend_from_slice(&(verdict.frame as u64).to_le_bytes());
+    out.extend_from_slice(&verdict.timestamp.to_bits().to_le_bytes());
+    out.push(verdict.disposition as u8);
+    out.extend_from_slice(&(verdict.gap_filled as u64).to_le_bytes());
+    for star in &verdict.stars {
+        out.extend_from_slice(&star.score.to_bits().to_le_bytes());
+        out.push(star.anomalous as u8);
+        out.push(star.status as u8);
+    }
+    out
+}
+
+/// A corrupted night: duplicates, stale frames, and a blackout exercise the
+/// deferred (no-model-work) path, where `push_pipelined` must first drain
+/// the in-flight frame to keep verdicts in frame order.
+fn corrupted_frames(fault_seed: u64) -> Vec<(f64, Vec<f32>)> {
+    let ds = night();
+    let plan = FaultPlan {
+        seed: fault_seed,
+        nan_rate: 0.01,
+        inf_rate: 0.002,
+        drop_frame_rate: 0.01,
+        duplicate_rate: 0.02,
+        out_of_order_rate: 0.02,
+        stuck_episodes: 0,
+        stuck_len: 0,
+        blackout_episodes: 1,
+        blackout_len: 25,
+    };
+    let (stream, _) = FaultInjector::new(plan).corrupt_stream(&ds.test);
+    stream.into_iter().take(180).map(|f| (f.timestamp, f.values)).collect()
+}
+
+/// Sequential reference: plain `push` per frame, WAL attached.
+fn sequential_run(
+    frames: &[(f64, Vec<f32>)],
+    wal_dir: &std::path::Path,
+) -> (Vec<Vec<u8>>, String, u64) {
+    let mut online = fresh_online();
+    online.attach_wal(WalWriter::create(wal_dir, wal_config()).expect("wal create"));
+    let prints = frames
+        .iter()
+        .map(|(ts, values)| fingerprint(&online.push(*ts, values).expect("sequential push")))
+        .collect();
+    let health = format!("{:?}", online.health());
+    (prints, health, online.threshold().threshold.to_bits())
+}
+
+/// Pipelined run: `push_pipelined` per frame, final `flush`, WAL attached.
+fn pipelined_run(
+    frames: &[(f64, Vec<f32>)],
+    wal_dir: &std::path::Path,
+) -> (Vec<Vec<u8>>, String, u64) {
+    let mut online = fresh_online();
+    online.attach_wal(WalWriter::create(wal_dir, wal_config()).expect("wal create"));
+    let mut prints: Vec<Vec<u8>> = Vec::with_capacity(frames.len());
+    for (ts, values) in frames {
+        for verdict in online.push_pipelined(*ts, values).expect("pipelined push") {
+            prints.push(fingerprint(&verdict));
+        }
+    }
+    if let Some(last) = online.flush().expect("flush") {
+        prints.push(fingerprint(&last));
+    }
+    let health = format!("{:?}", online.health());
+    (prints, health, online.threshold().threshold.to_bits())
+}
+
+/// Kill a pipelined process at `kill_at` (dropping an unscored in-flight
+/// frame), optionally tear the WAL tail, resume from checkpoint + WAL
+/// replay, and finish the stream pipelined.
+fn killed_pipelined_run(
+    frames: &[(f64, Vec<f32>)],
+    kill_at: usize,
+    tear_tail: bool,
+    wal_dir: &std::path::Path,
+) -> (Vec<Vec<u8>>, String, u64) {
+    // Phase 1: doomed process — no flush, so the newest frame dies pending.
+    {
+        let mut online = fresh_online();
+        online.attach_wal(WalWriter::create(wal_dir, wal_config()).expect("wal create"));
+        for (ts, values) in &frames[..kill_at] {
+            online.push_pipelined(*ts, values).expect("pre-kill push");
+        }
+    }
+    if tear_tail && kill_at > 0 {
+        let newest = std::fs::read_dir(wal_dir)
+            .expect("wal dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .max()
+            .expect("at least one segment");
+        let len = std::fs::metadata(&newest).expect("segment metadata").len();
+        let file = std::fs::OpenOptions::new().write(true).open(&newest).expect("segment open");
+        file.set_len(len.saturating_sub(7)).expect("tear");
+    }
+
+    // Phase 2: resume. Replay happens before re-attaching the WAL so
+    // replayed frames are not appended twice.
+    let (writer, recovered, _recovery) = WalWriter::resume(wal_dir, wal_config()).expect("resume");
+    let mut online = fresh_online();
+    let mut prints: Vec<Vec<u8>> = Vec::new();
+    for f in &recovered {
+        for verdict in online.push_pipelined(f.timestamp, &f.values).expect("replayed push") {
+            prints.push(fingerprint(&verdict));
+        }
+    }
+    let resume_from = recovered.len();
+    online.attach_wal(writer);
+
+    // Phase 3: live again (the source re-sends anything a torn tail lost).
+    for (ts, values) in &frames[resume_from..] {
+        for verdict in online.push_pipelined(*ts, values).expect("post-resume push") {
+            prints.push(fingerprint(&verdict));
+        }
+    }
+    if let Some(last) = online.flush().expect("flush") {
+        prints.push(fingerprint(&last));
+    }
+    let health = format!("{:?}", online.health());
+    (prints, health, online.threshold().threshold.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Pipelined and sequential runs over the same corrupted night must
+    /// agree on every observable: verdict bytes, health, threshold, WAL.
+    #[test]
+    fn pipelined_stream_is_bitwise_identical_to_sequential(
+        fault_seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let _guard = global_lock();
+        let frames = corrupted_frames(fault_seed);
+        let seq_dir = tmp_dir(&format!("seq_{fault_seed}_{threads}"));
+        let pipe_dir = tmp_dir(&format!("pipe_{fault_seed}_{threads}"));
+
+        aero_parallel::set_max_threads(threads);
+        let (seq_prints, seq_health, seq_threshold) = sequential_run(&frames, &seq_dir);
+        let (pipe_prints, pipe_health, pipe_threshold) = pipelined_run(&frames, &pipe_dir);
+        aero_parallel::set_max_threads(1);
+
+        prop_assert_eq!(seq_prints.len(), pipe_prints.len(), "verdict counts diverged");
+        for (i, (s, p)) in seq_prints.iter().zip(&pipe_prints).enumerate() {
+            prop_assert_eq!(s, p, "verdict {} diverged at {} threads", i, threads);
+        }
+        prop_assert_eq!(seq_health, pipe_health, "health reports diverged");
+        prop_assert_eq!(seq_threshold, pipe_threshold, "POT threshold diverged");
+        prop_assert_eq!(
+            wal_bytes(&seq_dir),
+            wal_bytes(&pipe_dir),
+            "WAL bytes diverged"
+        );
+        std::fs::remove_dir_all(&seq_dir).ok();
+        std::fs::remove_dir_all(&pipe_dir).ok();
+    }
+
+    /// Kill a pipelined process mid-stream — stranding an unscored pending
+    /// frame — and the resumed pipelined run must replay into a verdict
+    /// stream bitwise identical to an uninterrupted *sequential* run.
+    #[test]
+    fn killed_pipelined_run_resumes_bitwise_identical(
+        kill_at in 5usize..120,
+        fault_seed in 0u64..1_000,
+        tear_tail in proptest::bool::ANY,
+    ) {
+        let _guard = global_lock();
+        let frames = corrupted_frames(fault_seed);
+        let kill_at = kill_at.min(frames.len() - 1);
+        let base_dir = tmp_dir(&format!("kill_base_{kill_at}_{fault_seed}"));
+        let kill_dir = tmp_dir(&format!("kill_{kill_at}_{fault_seed}"));
+
+        aero_parallel::set_max_threads(4);
+        let (base_prints, base_health, base_threshold) = sequential_run(&frames, &base_dir);
+        let (res_prints, res_health, res_threshold) =
+            killed_pipelined_run(&frames, kill_at, tear_tail, &kill_dir);
+        aero_parallel::set_max_threads(1);
+
+        prop_assert_eq!(base_prints.len(), res_prints.len(), "verdict counts diverged");
+        for (i, (b, r)) in base_prints.iter().zip(&res_prints).enumerate() {
+            prop_assert_eq!(
+                b, r,
+                "verdict {} diverged (kill at {}, torn tail {})", i, kill_at, tear_tail
+            );
+        }
+        prop_assert_eq!(base_health, res_health, "health reports diverged");
+        prop_assert_eq!(base_threshold, res_threshold, "POT threshold diverged");
+        std::fs::remove_dir_all(&base_dir).ok();
+        std::fs::remove_dir_all(&kill_dir).ok();
+    }
+}

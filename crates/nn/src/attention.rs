@@ -1,7 +1,7 @@
 //! Multi-head scaled dot-product attention (Vaswani et al. 2017, Eq. 5–6 of
 //! the AERO paper).
 
-use aero_tensor::{Graph, NodeId, ParamId, ParamStore, Result, TensorError};
+use aero_tensor::{forward, Graph, Matrix, NodeId, ParamId, ParamStore, Result, TensorError};
 use rand::Rng;
 
 /// Multi-head attention with `h` heads over model width `d_model`.
@@ -93,6 +93,59 @@ impl MultiHeadAttention {
         let concat = g.concat_cols(&head_outputs)?;
         let wo = g.param(store, self.wo)?;
         g.matmul(concat, wo)
+    }
+
+    /// Tape-free attention over `blocks` independent sequences stacked
+    /// row-wise: `query` is `(blocks·q_rows) × d_model`, `key`/`value` are
+    /// `(blocks·kv_rows) × d_model`.
+    ///
+    /// The Q/K/V and output projections run as single stacked GEMMs (this
+    /// is the batching win: one `(N·L)×d` matmul instead of N small ones —
+    /// bitwise identical because GEMM accumulates each output element over
+    /// `p` in a fixed order regardless of row count). Attention itself is
+    /// block-diagonal across sequences, so scores/softmax/`attn·V` are
+    /// computed per block on row slices, exactly as the per-sequence path
+    /// does.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_batched(
+        &self,
+        store: &ParamStore,
+        query: &Matrix,
+        key: &Matrix,
+        value: &Matrix,
+        q_rows: usize,
+        kv_rows: usize,
+        blocks: usize,
+    ) -> Result<Matrix> {
+        let q = query.matmul(store.value(self.wq)?)?;
+        let k = key.matmul(store.value(self.wk)?)?;
+        let v = value.matmul(store.value(self.wv)?)?;
+
+        let dk = self.d_model / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+        // Each head's output is copied straight into its column range of the
+        // stacked concat matrix — same values `concat_cols`/`concat_rows`
+        // would assemble, without any per-block Vec churn (the streaming
+        // alloc gate counts every heap allocation on this path).
+        let mut concat = Matrix::zeros(blocks * q_rows, self.d_model);
+        for bl in 0..blocks {
+            let qb = q.slice_rows(bl * q_rows, q_rows)?;
+            let kb = k.slice_rows(bl * kv_rows, kv_rows)?;
+            let vb = v.slice_rows(bl * kv_rows, kv_rows)?;
+            for h in 0..self.heads {
+                let qi = qb.slice_cols(h * dk, dk)?;
+                let ki = kb.slice_cols(h * dk, dk)?;
+                let vi = vb.slice_cols(h * dk, dk)?;
+                let scores = qi.matmul_nt(&ki)?;
+                let attn = forward::scaled_softmax_rows(&scores, scale);
+                let out = attn.matmul(&vi)?;
+                for r in 0..q_rows {
+                    concat.row_mut(bl * q_rows + r)[h * dk..(h + 1) * dk]
+                        .copy_from_slice(out.row(r));
+                }
+            }
+        }
+        concat.matmul(store.value(self.wo)?)
     }
 
     /// Like [`forward`](Self::forward) but also returns the per-head

@@ -27,6 +27,17 @@ impl Activation {
             Self::Sigmoid => g.sigmoid(x),
         }
     }
+
+    /// Applies the activation tape-free, via the same bodies the graph ops
+    /// call — bitwise identical to [`apply`](Self::apply) by construction.
+    pub fn apply_value(self, x: Matrix) -> Matrix {
+        match self {
+            Self::Identity => x,
+            Self::Relu => x.relu(),
+            Self::Tanh => x.map(f32::tanh),
+            Self::Sigmoid => aero_tensor::forward::sigmoid(&x),
+        }
+    }
 }
 
 /// A dense layer `y = act(x·W + b)` operating on `seq × in_dim` inputs.
@@ -76,6 +87,15 @@ impl Linear {
         let y = g.linear(x, w, b)?;
         self.activation.apply(g, y)
     }
+
+    /// Tape-free forward for inference: the same `matmul` +
+    /// `add_row_broadcast` + activation the graph op records, without the
+    /// tape. Rows are independent, so stacking many sequences into one `x`
+    /// is bitwise identical to per-sequence calls.
+    pub fn forward_value(&self, store: &ParamStore, x: &Matrix) -> Result<Matrix> {
+        let y = x.matmul(store.value(self.w)?)?.add_row_broadcast(store.value(self.b)?)?;
+        Ok(self.activation.apply_value(y))
+    }
 }
 
 /// Transformer position-wise feed-forward network: `Linear → ReLU → Linear`.
@@ -119,6 +139,12 @@ impl FeedForward {
         let h = self.inner.forward(g, store, x)?;
         self.outer.forward(g, store, h)
     }
+
+    /// Tape-free forward for inference (row-independent; stacking-safe).
+    pub fn forward_value(&self, store: &ParamStore, x: &Matrix) -> Result<Matrix> {
+        let h = self.inner.forward_value(store, x)?;
+        self.outer.forward_value(store, &h)
+    }
 }
 
 /// Layer normalization with learnable gain and shift, applied per row.
@@ -147,6 +173,19 @@ impl LayerNorm {
         let gamma = g.param(store, self.gamma)?;
         let beta = g.param(store, self.beta)?;
         g.layer_norm_rows(x, gamma, beta, self.eps)
+    }
+
+    /// Tape-free forward for inference. Per-row mean/variance reductions
+    /// run in the shared `forward::layer_norm_rows` body (sequential
+    /// scalar), so stacked rows normalize exactly as they do per-sequence.
+    pub fn forward_value(&self, store: &ParamStore, x: &Matrix) -> Result<Matrix> {
+        let (out, _normed, _inv_std) = aero_tensor::forward::layer_norm_rows(
+            x,
+            store.value(self.gamma)?,
+            store.value(self.beta)?,
+            self.eps,
+        )?;
+        Ok(out)
     }
 }
 

@@ -52,6 +52,26 @@ impl EncoderLayer {
         let res2 = g.add(m, f)?;
         self.norm2.forward(g, store, res2)
     }
+
+    /// Tape-free forward over `blocks` independent sequences of
+    /// `rows_per_block` rows stacked into one `(blocks·rows) × d_model`
+    /// matrix: attention/FFN projections run as stacked GEMMs, residual
+    /// adds and layer norms are row-independent, and self-attention stays
+    /// block-diagonal — bitwise identical to per-sequence [`forward`](Self::forward).
+    pub fn forward_batched(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        rows_per_block: usize,
+        blocks: usize,
+    ) -> Result<Matrix> {
+        let a = self.attn.forward_batched(store, x, x, x, rows_per_block, rows_per_block, blocks)?;
+        let res = x.add(&a)?;
+        let m = self.norm1.forward_value(store, &res)?;
+        let f = self.ffn.forward_value(store, &m)?;
+        let res2 = m.add(&f)?;
+        self.norm2.forward_value(store, &res2)
+    }
 }
 
 /// One decoder layer: self-attention over the short-window queries, then
@@ -111,6 +131,26 @@ impl DecoderLayer {
         let c = self.cross_attn.forward(g, store, m, enc, enc)?;
         let res2 = g.add(m, c)?;
         self.norm2.forward(g, store, res2)
+    }
+
+    /// Tape-free forward over `blocks` stacked sequences: `y` is
+    /// `(blocks·q_rows) × d`, `enc` is `(blocks·kv_rows) × d`. Cross
+    /// attention pairs block *b* of `y` with block *b* of `enc`.
+    pub fn forward_batched(
+        &self,
+        store: &ParamStore,
+        y: &Matrix,
+        enc: &Matrix,
+        q_rows: usize,
+        kv_rows: usize,
+        blocks: usize,
+    ) -> Result<Matrix> {
+        let a = self.self_attn.forward_batched(store, y, y, y, q_rows, q_rows, blocks)?;
+        let res = y.add(&a)?;
+        let m = self.norm1.forward_value(store, &res)?;
+        let c = self.cross_attn.forward_batched(store, &m, enc, enc, q_rows, kv_rows, blocks)?;
+        let res2 = m.add(&c)?;
+        self.norm2.forward_value(store, &res2)
     }
 }
 
@@ -206,6 +246,51 @@ impl TimeEmbedding {
         let t4 = g.hadamard(sin_cn, sin_s)?;
         let cos_bs = g.sub(t3, t4)?;
         g.add(sin_bs, cos_bs)
+    }
+
+    /// Tape-free embedding for inference: the exact op sequence of
+    /// [`forward`](Self::forward) evaluated with the same `Matrix` methods
+    /// the graph ops call, so the result is bitwise identical. The output
+    /// depends only on `positions`/`deltas`/`α` — per-star windows sharing
+    /// the same frame share one embedding, which the batched path tiles
+    /// across row blocks.
+    pub fn forward_value(
+        &self,
+        store: &ParamStore,
+        positions: &[f32],
+        deltas: &[f32],
+    ) -> Result<Matrix> {
+        debug_assert_eq!(positions.len(), deltas.len());
+        let len = positions.len();
+        let d = self.d_model;
+
+        let mut base = Matrix::zeros(len, d);
+        for (i, &pos) in positions.iter().enumerate() {
+            for j in 0..d {
+                let freq = (1.0f32 / 10000.0f32.powf(j as f32 / d as f32)) * pos;
+                base.set(i, j, freq);
+            }
+        }
+        let alpha = store.value(self.alpha)?;
+        let s = Matrix::col_vector(deltas).matmul(alpha)?; // len × d
+
+        let sin_cn = base.map(f32::sin);
+        let cos_cn = base.map(f32::cos);
+
+        let s2 = s.hadamard(&s)?;
+        let s3 = s2.hadamard(&s)?;
+        let s3_div = s3.affine(-1.0 / 6.0, 0.0);
+        let sin_s = s.add(&s3_div)?;
+        let half_s2 = s2.affine(-0.5, 0.0);
+        let cos_s = half_s2.affine(1.0, 1.0);
+
+        let t1 = sin_cn.hadamard(&cos_s)?;
+        let t2 = cos_cn.hadamard(&sin_s)?;
+        let sin_bs = t1.add(&t2)?;
+        let t3 = cos_cn.hadamard(&cos_s)?;
+        let t4 = sin_cn.hadamard(&sin_s)?;
+        let cos_bs = t3.sub(&t4)?;
+        sin_bs.add(&cos_bs)
     }
 }
 

@@ -1,0 +1,137 @@
+//! Tape-free forward op bodies shared by the autodiff [`Graph`](crate::Graph)
+//! and the batched inference path.
+//!
+//! Training needs the tape; scoring does not. The batched cross-star
+//! inference path (see `aero-core`) runs Stage-1 forwards as plain
+//! [`Matrix`] arithmetic, so the ops whose forward pass is *not* a direct
+//! `Matrix` method — softmax, layer norm, sigmoid — live here and are
+//! called both from `Graph` (which then records the op on the tape) and
+//! from the tape-free path. One body, two callers: the batched path is
+//! bitwise identical to the graph path by construction, not by test alone.
+//!
+//! The reduction structure mirrors the kernel-layer contract: per-row
+//! max/sum/mean/variance folds stay sequential scalar, and only the
+//! elementwise phases go through the dispatched kernels.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::kernels;
+use crate::{Matrix, Result, TensorError};
+
+/// Numerically-stable row-wise softmax of `alpha * x`.
+///
+/// Identical body to [`Graph::scaled_softmax_rows`](crate::Graph::scaled_softmax_rows):
+/// the per-row max fold, `exp`, and sum are sequential scalar; only the
+/// normalize step is dispatched.
+pub fn scaled_softmax_rows(x: &Matrix, alpha: f32) -> Matrix {
+    let (rows, cols) = x.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let row = x.row(r);
+        let m = row
+            .iter()
+            .map(|&v| alpha * v)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let orow = out.row_mut(r);
+        for (o, &v) in orow.iter_mut().zip(row) {
+            let e = (alpha * v - m).exp();
+            *o = e;
+            sum += e;
+        }
+        kernels::scale_inplace(orow, 1.0 / sum);
+    }
+    out
+}
+
+/// Row-wise layer normalization: `gamma ⊙ (x−μ)/σ + beta`.
+///
+/// `gamma` and `beta` must be `1 × cols`. Returns `(out, normed, inv_std)`
+/// — the graph caller keeps `normed`/`inv_std` for the backward pass; the
+/// tape-free caller uses only `out`.
+pub fn layer_norm_rows(
+    x: &Matrix,
+    gamma: &Matrix,
+    beta: &Matrix,
+    eps: f32,
+) -> Result<(Matrix, Matrix, Matrix)> {
+    let (rows, cols) = x.shape();
+    if gamma.shape() != (1, cols) || beta.shape() != (1, cols) {
+        return Err(TensorError::ShapeMismatch {
+            expected: (1, cols),
+            got: gamma.shape(),
+            op: "layer_norm_rows",
+        });
+    }
+    let mut normed = Matrix::zeros(rows, cols);
+    let mut inv_std = Matrix::zeros(rows, 1);
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std.set(r, 0, istd);
+        kernels::layer_norm_row(
+            row,
+            gamma.row(0),
+            beta.row(0),
+            mean,
+            istd,
+            normed.row_mut(r),
+            out.row_mut(r),
+        );
+    }
+    Ok((out, normed, inv_std))
+}
+
+/// Logistic sigmoid, elementwise. Same body as [`Graph::sigmoid`](crate::Graph::sigmoid).
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    x.map(|a| 1.0 / (1.0 + (-a).exp()))
+}
+
+/// `times` row-wise copies of `m` — the values [`Matrix::concat_rows`]
+/// would assemble from `times` references, without building the reference
+/// `Vec` (the streaming alloc gate counts every heap allocation).
+pub fn tile_rows(m: &Matrix, times: usize) -> Matrix {
+    let (rows, cols) = m.shape();
+    let mut out = Matrix::zeros(rows * times, cols);
+    for t in 0..times {
+        for r in 0..rows {
+            out.row_mut(t * rows + r).copy_from_slice(m.row(r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let s = scaled_softmax_rows(&x, 0.5);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_rejects_bad_gamma() {
+        let x = Matrix::zeros(2, 3);
+        let g = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        assert!(layer_norm_rows(&x, &g, &b, 1e-5).is_err());
+    }
+
+    #[test]
+    fn sigmoid_is_bounded() {
+        let x = Matrix::from_vec(1, 3, vec![-100.0, 0.0, 100.0]).unwrap();
+        let s = sigmoid(&x);
+        assert!((s.get(0, 0) - 0.0).abs() < 1e-6);
+        assert!((s.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!((s.get(0, 2) - 1.0).abs() < 1e-6);
+    }
+}

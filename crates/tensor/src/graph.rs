@@ -352,7 +352,7 @@ impl Graph {
 
     /// Logistic sigmoid, elementwise.
     pub fn sigmoid(&mut self, x: NodeId) -> Result<NodeId> {
-        let v = self.node(x)?.value.map(|a| 1.0 / (1.0 + (-a).exp()));
+        let v = crate::forward::sigmoid(&self.node(x)?.value);
         Ok(self.push(v, Op::Sigmoid(x), None))
     }
 
@@ -413,27 +413,7 @@ impl Graph {
     /// Numerically-stable row-wise softmax of `alpha * x`, fused so attention
     /// does not materialize the scaled score matrix as a separate node.
     pub fn scaled_softmax_rows(&mut self, x: NodeId, alpha: f32) -> Result<NodeId> {
-        let mut out;
-        {
-            let xv = &self.node(x)?.value;
-            let (rows, cols) = xv.shape();
-            out = Matrix::zeros(rows, cols);
-            for r in 0..rows {
-                let row = xv.row(r);
-                let m = row
-                    .iter()
-                    .map(|&v| alpha * v)
-                    .fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0f32;
-                let orow = out.row_mut(r);
-                for (o, &v) in orow.iter_mut().zip(row) {
-                    let e = (alpha * v - m).exp();
-                    *o = e;
-                    sum += e;
-                }
-                kernels::scale_inplace(orow, 1.0 / sum);
-            }
-        }
+        let out = crate::forward::scaled_softmax_rows(&self.node(x)?.value, alpha);
         Ok(self.push(out, Op::ScaledSoftmaxRows { x, alpha }, None))
     }
 
@@ -449,41 +429,12 @@ impl Graph {
         beta: NodeId,
         eps: f32,
     ) -> Result<NodeId> {
-        let mut normed;
-        let mut inv_std;
-        let mut out;
-        {
+        let (out, normed, inv_std) = {
             let xv = &self.node(x)?.value;
             let gv = &self.node(gamma)?.value;
             let bv = &self.node(beta)?.value;
-            let (rows, cols) = xv.shape();
-            if gv.shape() != (1, cols) || bv.shape() != (1, cols) {
-                return Err(TensorError::ShapeMismatch {
-                    expected: (1, cols),
-                    got: gv.shape(),
-                    op: "layer_norm_rows",
-                });
-            }
-            normed = Matrix::zeros(rows, cols);
-            inv_std = Matrix::zeros(rows, 1);
-            out = Matrix::zeros(rows, cols);
-            for r in 0..rows {
-                let row = xv.row(r);
-                let mean = row.iter().sum::<f32>() / cols as f32;
-                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-                let istd = 1.0 / (var + eps).sqrt();
-                inv_std.set(r, 0, istd);
-                kernels::layer_norm_row(
-                    row,
-                    gv.row(0),
-                    bv.row(0),
-                    mean,
-                    istd,
-                    normed.row_mut(r),
-                    out.row_mut(r),
-                );
-            }
-        }
+            crate::forward::layer_norm_rows(xv, gv, bv, eps)?
+        };
         Ok(self.push(out, Op::LayerNormRows { x, gamma, beta, normed, inv_std }, None))
     }
 

@@ -10,6 +10,15 @@
 //! path — so all backends are bitwise identical by construction; the wider
 //! ISA only changes how many *independent* output elements move per cycle.
 //!
+//! The one deliberate exception is the opt-in FMA mode (`AERO_FMA=1` /
+//! `set_fma`, default **off**): the GEMM entry points branch once on the
+//! process-global flag into a `const FMA: bool` instantiation whose inner
+//! step is `acc = a.mul_add(b, acc)`. Fused multiply-add skips the
+//! intermediate rounding, so its results are *more* accurate but not
+//! bitwise equal to the default path — which is why it is tolerance-gated
+//! in tests and never on by default. With the flag off, `mul_add` is never
+//! executed and every existing bitwise gate is untouched.
+//!
 //! The GEMM kernels use a register-tiled micro-kernel: an `MR × NR` block of
 //! output elements is held in an accumulator array (lowered to vector
 //! registers) while the shared dimension streams past. Spilling a partial
@@ -21,6 +30,12 @@
 /// Micro-tile height: output rows per register block.
 const MR: usize = 4;
 /// Micro-tile width: output columns per register block (two AVX2 lanes).
+/// Narrower 8- and 4-wide tiles catch the skinny shapes the per-variate
+/// Transformer actually runs (d_model-sized projections, head-dim attention
+/// products) which would otherwise fall through to the scalar remainder
+/// loop and run at memory-bound speed: the remainder loop re-loads and
+/// re-stores each output element on every `p` step, while a register tile
+/// keeps the accumulators live across the whole `p` range.
 const NR: usize = 16;
 /// Tile width along the shared (`p`) dimension.
 pub(crate) const GEMM_KC: usize = 128;
@@ -30,11 +45,24 @@ pub(crate) const GEMM_NC: usize = 512;
 
 // ---- GEMM: C += A · B ------------------------------------------------------
 
-/// Register-tiled inner block for `gemm_nn_rows`: accumulates the `MR_N × NR`
-/// output block at `(i, j)` over `p ∈ [pc, pc+pw)`.
+/// One multiply-accumulate step: plain `acc + a·b` (two roundings, the
+/// bitwise-pinned default) or fused `a.mul_add(b, acc)` when the FMA mode
+/// is active. `FMA` is a const generic so the branch is decided once at the
+/// GEMM entry point, not per element.
+#[inline(always)]
+fn madd<const FMA: bool>(acc: f32, a: f32, b: f32) -> f32 {
+    if FMA {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// Register-tiled inner block for `gemm_nn_rows`: accumulates the
+/// `MR_N × NR_W` output block at `(i, j)` over `p ∈ [pc, pc+pw)`.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn micro_nn<const MR_N: usize>(
+fn micro_nn<const MR_N: usize, const NR_W: usize, const FMA: bool>(
     a_rows: &[f32],
     b: &[f32],
     out_rows: &mut [f32],
@@ -45,23 +73,46 @@ fn micro_nn<const MR_N: usize>(
     pc: usize,
     pw: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR_N];
+    let mut acc = [[0.0f32; NR_W]; MR_N];
     for (r, acc_r) in acc.iter_mut().enumerate() {
-        let o = &out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        let o = &out_rows[(i + r) * n + j..(i + r) * n + j + NR_W];
         acc_r.copy_from_slice(o);
     }
     for p in pc..pc + pw {
-        let brow = &b[p * n + j..p * n + j + NR];
+        let brow = &b[p * n + j..p * n + j + NR_W];
         for (r, acc_r) in acc.iter_mut().enumerate() {
             let a = a_rows[(i + r) * k + p];
             for (acc_l, &bv) in acc_r.iter_mut().zip(brow) {
-                *acc_l += a * bv;
+                *acc_l = madd::<FMA>(*acc_l, a, bv);
             }
         }
     }
     for (r, acc_r) in acc.iter().enumerate() {
-        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR_W];
         o.copy_from_slice(acc_r);
+    }
+}
+
+/// Dispatches one `iw × NR_W` tile of `micro_nn` by row count.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_nn<const NR_W: usize, const FMA: bool>(
+    a_rows: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    iw: usize,
+    j: usize,
+    pc: usize,
+    pw: usize,
+) {
+    match iw {
+        4 => micro_nn::<4, NR_W, FMA>(a_rows, b, out_rows, k, n, i, j, pc, pw),
+        3 => micro_nn::<3, NR_W, FMA>(a_rows, b, out_rows, k, n, i, j, pc, pw),
+        2 => micro_nn::<2, NR_W, FMA>(a_rows, b, out_rows, k, n, i, j, pc, pw),
+        _ => micro_nn::<1, NR_W, FMA>(a_rows, b, out_rows, k, n, i, j, pc, pw),
     }
 }
 
@@ -69,9 +120,45 @@ fn micro_nn<const MR_N: usize>(
 /// Accumulation order per output element: `p = 0..k` strictly increasing.
 #[inline(always)]
 pub(crate) fn gemm_nn_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    if crate::kernels::fma_enabled() {
+        gemm_nn_impl::<true>(a_rows, b, out_rows, k, n)
+    } else {
+        gemm_nn_impl::<false>(a_rows, b, out_rows, k, n)
+    }
+}
+
+#[inline(always)]
+fn gemm_nn_impl<const FMA: bool>(
+    a_rows: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+) {
     if n == 0 || k == 0 {
         return;
     }
+    // Monomorphize the remainder handling away when every column lands in a
+    // full-width tile: folding the narrow-tile loops into the wide nest
+    // costs the large-shape path ~40% (register pressure in the combined
+    // body), so the exact-multiple case compiles the original wide-only
+    // nest. Tile choice never changes per-element accumulation order, so
+    // both nests are bitwise identical where they overlap.
+    if n.is_multiple_of(NR) {
+        gemm_nn_nest::<false, FMA>(a_rows, b, out_rows, k, n)
+    } else {
+        gemm_nn_nest::<true, FMA>(a_rows, b, out_rows, k, n)
+    }
+}
+
+#[inline(always)]
+fn gemm_nn_nest<const NARROW: bool, const FMA: bool>(
+    a_rows: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+) {
     let m_local = out_rows.len() / n;
     let mut jc = 0;
     while jc < n {
@@ -84,16 +171,23 @@ pub(crate) fn gemm_nn_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: u
                 let iw = MR.min(m_local - i);
                 let mut j = jc;
                 while j + NR <= jc + jw {
-                    match iw {
-                        4 => micro_nn::<4>(a_rows, b, out_rows, k, n, i, j, pc, pw),
-                        3 => micro_nn::<3>(a_rows, b, out_rows, k, n, i, j, pc, pw),
-                        2 => micro_nn::<2>(a_rows, b, out_rows, k, n, i, j, pc, pw),
-                        _ => micro_nn::<1>(a_rows, b, out_rows, k, n, i, j, pc, pw),
-                    }
+                    tile_nn::<NR, FMA>(a_rows, b, out_rows, k, n, i, iw, j, pc, pw);
                     j += NR;
                 }
-                // Column remainder (< NR): plain loops, same per-element order.
-                if j < jc + jw {
+                // Narrower register tiles for the column remainder: same
+                // per-element accumulation order, just fewer lanes per tile.
+                if NARROW {
+                    while j + 8 <= jc + jw {
+                        tile_nn::<8, FMA>(a_rows, b, out_rows, k, n, i, iw, j, pc, pw);
+                        j += 8;
+                    }
+                    while j + 4 <= jc + jw {
+                        tile_nn::<4, FMA>(a_rows, b, out_rows, k, n, i, iw, j, pc, pw);
+                        j += 4;
+                    }
+                }
+                // Final remainder (< 4): plain loops, same per-element order.
+                if NARROW && j < jc + jw {
                     for r in i..i + iw {
                         for dp in 0..pw {
                             let p = pc + dp;
@@ -101,7 +195,7 @@ pub(crate) fn gemm_nn_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: u
                             let brow = &b[p * n..(p + 1) * n];
                             let orow = &mut out_rows[r * n..(r + 1) * n];
                             for jj in j..jc + jw {
-                                orow[jj] += a * brow[jj];
+                                orow[jj] = madd::<FMA>(orow[jj], a, brow[jj]);
                             }
                         }
                     }
@@ -119,7 +213,7 @@ pub(crate) fn gemm_nn_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: u
 /// Register-tiled inner block for `gemm_tn_rows` (`a` is `k × m`).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn micro_tn<const MR_N: usize>(
+fn micro_tn<const MR_N: usize, const NR_W: usize, const FMA: bool>(
     a: &[f32],
     b: &[f32],
     out_rows: &mut [f32],
@@ -131,23 +225,47 @@ fn micro_tn<const MR_N: usize>(
     pc: usize,
     pw: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR_N];
+    let mut acc = [[0.0f32; NR_W]; MR_N];
     for (r, acc_r) in acc.iter_mut().enumerate() {
-        let o = &out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        let o = &out_rows[(i + r) * n + j..(i + r) * n + j + NR_W];
         acc_r.copy_from_slice(o);
     }
     for p in pc..pc + pw {
-        let brow = &b[p * n + j..p * n + j + NR];
+        let brow = &b[p * n + j..p * n + j + NR_W];
         let aseg = &a[p * m + i0 + i..p * m + i0 + i + MR_N];
         for (acc_r, &av) in acc.iter_mut().zip(aseg) {
             for (acc_l, &bv) in acc_r.iter_mut().zip(brow) {
-                *acc_l += av * bv;
+                *acc_l = madd::<FMA>(*acc_l, av, bv);
             }
         }
     }
     for (r, acc_r) in acc.iter().enumerate() {
-        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR_W];
         o.copy_from_slice(acc_r);
+    }
+}
+
+/// Dispatches one `iw × NR_W` tile of `micro_tn` by row count.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_tn<const NR_W: usize, const FMA: bool>(
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    i0: usize,
+    m: usize,
+    n: usize,
+    i: usize,
+    iw: usize,
+    j: usize,
+    pc: usize,
+    pw: usize,
+) {
+    match iw {
+        4 => micro_tn::<4, NR_W, FMA>(a, b, out_rows, i0, m, n, i, j, pc, pw),
+        3 => micro_tn::<3, NR_W, FMA>(a, b, out_rows, i0, m, n, i, j, pc, pw),
+        2 => micro_tn::<2, NR_W, FMA>(a, b, out_rows, i0, m, n, i, j, pc, pw),
+        _ => micro_tn::<1, NR_W, FMA>(a, b, out_rows, i0, m, n, i, j, pc, pw),
     }
 }
 
@@ -164,9 +282,46 @@ pub(crate) fn gemm_tn_rows(
     k: usize,
     n: usize,
 ) {
+    if crate::kernels::fma_enabled() {
+        gemm_tn_impl::<true>(a, b, out_rows, i0, m, k, n)
+    } else {
+        gemm_tn_impl::<false>(a, b, out_rows, i0, m, k, n)
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tn_impl<const FMA: bool>(
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    i0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     if n == 0 || k == 0 {
         return;
     }
+    // Same wide/narrow monomorphization as `gemm_nn_impl`.
+    if n.is_multiple_of(NR) {
+        gemm_tn_nest::<false, FMA>(a, b, out_rows, i0, m, k, n)
+    } else {
+        gemm_tn_nest::<true, FMA>(a, b, out_rows, i0, m, k, n)
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tn_nest<const NARROW: bool, const FMA: bool>(
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    i0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let rows = out_rows.len() / n;
     let mut jc = 0;
     while jc < n {
@@ -179,15 +334,20 @@ pub(crate) fn gemm_tn_rows(
                 let iw = MR.min(rows - i);
                 let mut j = jc;
                 while j + NR <= jc + jw {
-                    match iw {
-                        4 => micro_tn::<4>(a, b, out_rows, i0, m, n, i, j, pc, pw),
-                        3 => micro_tn::<3>(a, b, out_rows, i0, m, n, i, j, pc, pw),
-                        2 => micro_tn::<2>(a, b, out_rows, i0, m, n, i, j, pc, pw),
-                        _ => micro_tn::<1>(a, b, out_rows, i0, m, n, i, j, pc, pw),
-                    }
+                    tile_tn::<NR, FMA>(a, b, out_rows, i0, m, n, i, iw, j, pc, pw);
                     j += NR;
                 }
-                if j < jc + jw {
+                if NARROW {
+                    while j + 8 <= jc + jw {
+                        tile_tn::<8, FMA>(a, b, out_rows, i0, m, n, i, iw, j, pc, pw);
+                        j += 8;
+                    }
+                    while j + 4 <= jc + jw {
+                        tile_tn::<4, FMA>(a, b, out_rows, i0, m, n, i, iw, j, pc, pw);
+                        j += 4;
+                    }
+                }
+                if NARROW && j < jc + jw {
                     for r in i..i + iw {
                         for dp in 0..pw {
                             let p = pc + dp;
@@ -195,7 +355,7 @@ pub(crate) fn gemm_tn_rows(
                             let brow = &b[p * n..(p + 1) * n];
                             let orow = &mut out_rows[r * n..(r + 1) * n];
                             for jj in j..jc + jw {
-                                orow[jj] += av * brow[jj];
+                                orow[jj] = madd::<FMA>(orow[jj], av, brow[jj]);
                             }
                         }
                     }
@@ -210,10 +370,10 @@ pub(crate) fn gemm_tn_rows(
 
 // ---- GEMM: C = A · Bᵀ -------------------------------------------------------
 
-/// Register-tiled inner block for `gemm_nt_rows` over a packed `k × NR`
-/// column panel of `Bᵀ` (`panel[p·NR + l] = b[(j+l)·k + p]`).
+/// Register-tiled inner block for `gemm_nt_rows` over a packed `k × NR_W`
+/// column panel of `Bᵀ` (`panel[p·NR_W + l] = b[(j+l)·k + p]`).
 #[inline(always)]
-fn micro_nt<const MR_N: usize>(
+fn micro_nt<const MR_N: usize, const NR_W: usize, const FMA: bool>(
     a_rows: &[f32],
     panel: &[f32],
     out_rows: &mut [f32],
@@ -222,19 +382,53 @@ fn micro_nt<const MR_N: usize>(
     i: usize,
     j: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR_N];
+    let mut acc = [[0.0f32; NR_W]; MR_N];
     for p in 0..k {
-        let brow = &panel[p * NR..p * NR + NR];
+        let brow = &panel[p * NR_W..p * NR_W + NR_W];
         for (r, acc_r) in acc.iter_mut().enumerate() {
             let a = a_rows[(i + r) * k + p];
             for (acc_l, &bv) in acc_r.iter_mut().zip(brow) {
-                *acc_l += a * bv;
+                *acc_l = madd::<FMA>(*acc_l, a, bv);
             }
         }
     }
     for (r, acc_r) in acc.iter().enumerate() {
-        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR];
+        let o = &mut out_rows[(i + r) * n + j..(i + r) * n + j + NR_W];
         o.copy_from_slice(acc_r);
+    }
+}
+
+/// Packs columns `j .. j+NR_W` of `Bᵀ` (`b` is `n × k`) into a `p`-major
+/// panel and runs `micro_nt` over every row band. Packing only reorders
+/// reads; each output element still accumulates `p = 0..k` in order.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn panel_nt<const NR_W: usize, const FMA: bool>(
+    a_rows: &[f32],
+    b: &[f32],
+    panel: &mut Vec<f32>,
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+    m_local: usize,
+    j: usize,
+) {
+    panel.clear();
+    for p in 0..k {
+        for l in 0..NR_W {
+            panel.push(b[(j + l) * k + p]);
+        }
+    }
+    let mut i = 0;
+    while i < m_local {
+        let iw = MR.min(m_local - i);
+        match iw {
+            4 => micro_nt::<4, NR_W, FMA>(a_rows, panel, out_rows, k, n, i, j),
+            3 => micro_nt::<3, NR_W, FMA>(a_rows, panel, out_rows, k, n, i, j),
+            2 => micro_nt::<2, NR_W, FMA>(a_rows, panel, out_rows, k, n, i, j),
+            _ => micro_nt::<1, NR_W, FMA>(a_rows, panel, out_rows, k, n, i, j),
+        }
+        i += iw;
     }
 }
 
@@ -245,44 +439,71 @@ fn micro_nt<const MR_N: usize>(
 /// order untouched.
 #[inline(always)]
 pub(crate) fn gemm_nt_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    if crate::kernels::fma_enabled() {
+        gemm_nt_impl::<true>(a_rows, b, out_rows, k, n)
+    } else {
+        gemm_nt_impl::<false>(a_rows, b, out_rows, k, n)
+    }
+}
+
+#[inline(always)]
+fn gemm_nt_impl<const FMA: bool>(
+    a_rows: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+) {
     if n == 0 {
         return;
     }
-    let m_local = out_rows.len() / n;
     if k == 0 {
         // `out` is pre-zeroed by the caller; an empty dot product stays 0.
         return;
     }
+    // Same wide/narrow monomorphization as `gemm_nn_impl`.
+    if n.is_multiple_of(NR) {
+        gemm_nt_nest::<false, FMA>(a_rows, b, out_rows, k, n)
+    } else {
+        gemm_nt_nest::<true, FMA>(a_rows, b, out_rows, k, n)
+    }
+}
+
+#[inline(always)]
+fn gemm_nt_nest<const NARROW: bool, const FMA: bool>(
+    a_rows: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    let m_local = out_rows.len() / n;
     let mut panel = crate::workspace::take_buffer(k * NR);
     let mut j = 0;
     while j + NR <= n {
-        panel.clear();
-        for p in 0..k {
-            for l in 0..NR {
-                panel.push(b[(j + l) * k + p]);
-            }
-        }
-        let mut i = 0;
-        while i < m_local {
-            let iw = MR.min(m_local - i);
-            match iw {
-                4 => micro_nt::<4>(a_rows, &panel, out_rows, k, n, i, j),
-                3 => micro_nt::<3>(a_rows, &panel, out_rows, k, n, i, j),
-                2 => micro_nt::<2>(a_rows, &panel, out_rows, k, n, i, j),
-                _ => micro_nt::<1>(a_rows, &panel, out_rows, k, n, i, j),
-            }
-            i += iw;
-        }
+        panel_nt::<NR, FMA>(a_rows, b, &mut panel, out_rows, k, n, m_local, j);
         j += NR;
     }
-    if j < n {
+    // Narrower panels for the column remainder — the dominant case for the
+    // attention `scores · V` product, whose output width is the head dim.
+    if NARROW {
+        while j + 8 <= n {
+            panel_nt::<8, FMA>(a_rows, b, &mut panel, out_rows, k, n, m_local, j);
+            j += 8;
+        }
+        while j + 4 <= n {
+            panel_nt::<4, FMA>(a_rows, b, &mut panel, out_rows, k, n, m_local, j);
+            j += 4;
+        }
+    }
+    if NARROW && j < n {
         for r in 0..m_local {
             let a_row = &a_rows[r * k..(r + 1) * k];
             for jj in j..n {
                 let b_row = &b[jj * k..(jj + 1) * k];
                 let mut acc = 0.0f32;
                 for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
+                    acc = madd::<FMA>(acc, av, bv);
                 }
                 out_rows[r * n + jj] = acc;
             }

@@ -49,6 +49,7 @@
 
 mod check;
 mod error;
+pub mod forward;
 mod graph;
 mod kernels;
 mod matrix;
@@ -59,7 +60,10 @@ pub mod workspace;
 pub use check::{check_gradient, GradCheckReport};
 pub use error::{Result, TensorError};
 pub use graph::{Graph, NodeId};
-pub use kernels::{backend, detected_backend, force_scalar_env, set_backend, Backend};
+pub use kernels::{
+    backend, detected_backend, fma_enabled, fma_env, force_scalar_env, set_backend, set_fma,
+    Backend,
+};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{GradBuffer, Param, ParamId, ParamStore};

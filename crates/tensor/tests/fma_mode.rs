@@ -1,0 +1,62 @@
+//! Opt-in FMA GEMM mode (`AERO_FMA=1` / `set_fma`).
+//!
+//! The FMA flag is process-global, so all phases live in one test function:
+//! default-off check, fused-vs-pinned tolerance comparison, and a bitwise
+//! re-check that turning the mode back off restores the pinned results.
+
+use aero_tensor::{fma_enabled, set_fma, Matrix};
+
+/// Deterministic LCG fill in roughly `[-0.5, 0.5)`.
+fn fill(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut s = seed;
+    let data = (0..rows * cols)
+        .map(|_| {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (s >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+#[test]
+fn fma_mode_default_off_and_tolerance_gated() {
+    // This test binary never sets AERO_FMA, so the env default must be off.
+    assert!(!fma_enabled(), "FMA mode must default off");
+
+    // Odd sizes cover the micro-kernel remainders; k spans two p-tiles.
+    let a = fill(33, 129, 0x243f_6a88);
+    let b = fill(129, 47, 0x8525_08db);
+    let pinned = a.matmul(&b).unwrap();
+
+    set_fma(true);
+    assert!(fma_enabled());
+    let fused = a.matmul(&b).unwrap();
+    set_fma(false);
+    assert!(!fma_enabled());
+
+    // Fused results agree to rounding noise: |diff| ≤ tol · (1 + |pinned|).
+    // (k=129 products of O(0.25) magnitude keep everything O(10), so a
+    // relative 1e-5 band is ~100 ulps of headroom.)
+    for r in 0..33 {
+        for c in 0..47 {
+            let p = pinned.get(r, c);
+            let f = fused.get(r, c);
+            assert!(
+                (p - f).abs() <= 1e-5 * (1.0 + p.abs()),
+                "fused GEMM outside tolerance at ({r},{c}): pinned={p}, fused={f}"
+            );
+        }
+    }
+
+    // Switching the mode off restores the pinned path bitwise.
+    let again = a.matmul(&b).unwrap();
+    for r in 0..33 {
+        for c in 0..47 {
+            assert_eq!(
+                pinned.get(r, c).to_bits(),
+                again.get(r, c).to_bits(),
+                "pinned path perturbed after FMA round-trip at ({r},{c})"
+            );
+        }
+    }
+}

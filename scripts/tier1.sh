@@ -30,8 +30,14 @@
 #      routing/rebalancing) plus a 4-shard CLI burst smoke with one injected
 #      shard kill — the killed shard must restart from its own WAL while the
 #      other shards keep streaming
-#  11. benchmark harness smoke run (keeps scripts/bench.sh wired)
-#  12. clippy -D warnings on the full workspace (the streaming modules
+#  11. batched equivalence: the batched cross-star Stage-1 path is bitwise
+#      identical to the per-star path across star counts, thread counts,
+#      kernel backends, and score-mode mixes; the pipelined push emits a
+#      verdict stream, WAL bytes, and health bitwise identical to
+#      sequential pushes (kill-resume included); plus one governed stream
+#      smoke with batching forced on
+#  12. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#  13. clippy -D warnings on the full workspace (the streaming modules
 #      additionally deny unwrap/expect via their own inner lint attrs)
 set -eu
 
@@ -75,6 +81,12 @@ cargo run --release -q -p aero-cli --bin aero -- stream \
     --data "$fleet_tmp/data" --shards 4 --burst 41 \
     --wal "$fleet_tmp/wal" --rebalance-every 64 \
     --kill-shard 2 --kill-after 40 --probe-after 4 > /dev/null
+
+echo "==> tier-1: batched equivalence (batched == per-star, pipelined == sequential)"
+cargo test -q -p aero-core --test batched --test pipelined
+AERO_BATCHED=1 cargo run --release -q -p aero-cli --bin aero -- stream \
+    --data "$fleet_tmp/data" --shards 2 --burst 17 \
+    --wal "$fleet_tmp/wal_batched" > /dev/null
 
 echo "==> tier-1: benchmark harness smoke"
 sh scripts/bench.sh --smoke > /dev/null
