@@ -92,6 +92,30 @@ struct Report {
     wal_overhead: WalReport,
     degradation_ladder: LadderReport,
     fleet_scaling: FleetScalingReport,
+    serve_throughput: ServeThroughputReport,
+}
+
+/// Wire-level ingest throughput of the resident `aero serve` loop
+/// (DESIGN.md §15): real TCP sockets on loopback, one-frame Ingest batches,
+/// admission latency measured client-side from write to Ack/Reject. The
+/// detector stays single-threaded by design, so more connections buy
+/// concurrency of arrival, not scoring parallelism — the interesting
+/// numbers are the p99 under contention and that throughput does not
+/// collapse.
+#[derive(Serialize)]
+struct ServeThroughputReport {
+    frames_per_connection: usize,
+    rows: Vec<ServeThroughputRow>,
+}
+
+#[derive(Serialize)]
+struct ServeThroughputRow {
+    connections: usize,
+    frames_sent: usize,
+    frames_admitted: usize,
+    frames_per_sec: f64,
+    p50_admission_latency_secs: f64,
+    p99_admission_latency_secs: f64,
 }
 
 /// Batched cross-star Stage-1 (one stacked `(N·W)×d` GEMM per layer) vs the
@@ -283,6 +307,45 @@ fn time_secs(reps: usize, mut f: impl FnMut()) -> f64 {
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     samples[samples.len() / 2]
+}
+
+/// Minimal blocking wire client for the serve-throughput section: framed
+/// handshake, send, and one-reply recv over a loopback socket.
+struct ServeClient {
+    stream: std::net::TcpStream,
+    decoder: aero_core::serve::Decoder,
+}
+
+impl ServeClient {
+    fn connect(addr: std::net::SocketAddr, tenant: u32) -> Self {
+        use aero_core::serve::{WireMsg, DEFAULT_MAX_PAYLOAD, WIRE_PROTOCOL};
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut client = Self { stream, decoder: aero_core::serve::Decoder::new(DEFAULT_MAX_PAYLOAD) };
+        client.send(&WireMsg::Hello { tenant, protocol: WIRE_PROTOCOL });
+        match client.recv() {
+            WireMsg::HelloAck { .. } => client,
+            other => panic!("handshake failed: {other:?}"),
+        }
+    }
+
+    fn send(&mut self, msg: &aero_core::serve::WireMsg) {
+        use std::io::Write;
+        self.stream.write_all(&aero_core::serve::encode(msg)).unwrap();
+    }
+
+    fn recv(&mut self) -> aero_core::serve::WireMsg {
+        use std::io::Read;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            if let Some(msg) = self.decoder.next().unwrap() {
+                return msg;
+            }
+            let got = self.stream.read(&mut chunk).unwrap();
+            assert!(got > 0, "server closed the connection mid-reply");
+            self.decoder.extend(&chunk[..got]);
+        }
+    }
 }
 
 fn rand_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
@@ -606,6 +669,106 @@ fn main() {
         .collect();
     aero_parallel::set_max_threads(1);
 
+    // --- Resident-service wire throughput: the `aero serve` loop behind a
+    // real loopback listener, driven by 1 / 4 / 16 concurrent connections
+    // sending one-frame Ingest batches. Quotas are opened wide so admission
+    // control is not the bottleneck being measured. ---
+    aero_parallel::set_max_threads(args.threads);
+    let serve_frames = frames.clone();
+    let serve_rows: Vec<ServeThroughputRow> = [1usize, 4, 16]
+        .iter()
+        .map(|&conns| {
+            use aero_core::serve::{self, WireFrame, WireMsg};
+            let policy = OverloadPolicy {
+                queue_capacity: 256,
+                high_watermark: 128,
+                low_watermark: 32,
+                tenant_quota: Some(aero_core::TenantQuota {
+                    burst: 4096,
+                    refill_per_poll: 64,
+                }),
+                ..OverloadPolicy::default()
+            };
+            let mut gov = StreamGovernor::with_policy(fresh_online(), policy).unwrap();
+            gov.set_fallback(Some(FallbackScorer::new(|w: &[f32]| {
+                w.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()))
+            })));
+            let core =
+                serve::ServeCore::new(gov, serve::ServeOptions { verdict_log: None }).unwrap();
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let server = std::thread::spawn(move || {
+                serve::serve(listener, core, serve::ServeConfig::default(), shutdown).unwrap()
+            });
+
+            let span =
+                serve_frames.last().map_or(1.0, |f| f.0) - serve_frames.first().map_or(0.0, |f| f.0)
+                    + 1.0;
+            let t0 = Instant::now();
+            let clients: Vec<_> = (0..conns)
+                .map(|c| {
+                    let frames = serve_frames.clone();
+                    std::thread::spawn(move || {
+                        let mut client = ServeClient::connect(addr, c as u32);
+                        let mut latencies = Vec::with_capacity(frames.len());
+                        let mut admitted = 0usize;
+                        // Distinct timestamp lanes per connection so every
+                        // admitted frame is a fresh arrival, not a duplicate.
+                        let offset = span * (c + 1) as f64;
+                        for (seq, (ts, values)) in frames.iter().enumerate() {
+                            let msg = WireMsg::Ingest {
+                                seq: seq as u64,
+                                frames: vec![WireFrame {
+                                    timestamp: *ts + offset,
+                                    values: values.clone(),
+                                }],
+                            };
+                            let sent = Instant::now();
+                            client.send(&msg);
+                            match client.recv() {
+                                WireMsg::Ack { admitted: a, .. } => admitted += a as usize,
+                                WireMsg::Reject { admitted: a, .. } => admitted += a as usize,
+                                other => panic!("unexpected reply: {other:?}"),
+                            }
+                            latencies.push(sent.elapsed().as_secs_f64());
+                        }
+                        (latencies, admitted)
+                    })
+                })
+                .collect();
+            let mut latencies = Vec::new();
+            let mut admitted = 0usize;
+            for c in clients {
+                let (l, a) = c.join().unwrap();
+                latencies.extend(l);
+                admitted += a;
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+
+            let mut drainer = ServeClient::connect(addr, 0);
+            drainer.send(&WireMsg::Drain);
+            match drainer.recv() {
+                WireMsg::DrainAck(_) => {}
+                other => panic!("expected DrainAck, got {other:?}"),
+            }
+            server.join().unwrap();
+
+            latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+            let sent = serve_frames.len() * conns;
+            ServeThroughputRow {
+                connections: conns,
+                frames_sent: sent,
+                frames_admitted: admitted,
+                frames_per_sec: if elapsed > 0.0 { sent as f64 / elapsed } else { 0.0 },
+                p50_admission_latency_secs: pct(0.50),
+                p99_admission_latency_secs: pct(0.99),
+            }
+        })
+        .collect();
+    aero_parallel::set_max_threads(1);
+
     let speedup = speedup_ratio;
     let single_cpu = logical_cpus <= 1;
     let cpu_note = single_cpu.then_some("skipped_single_cpu");
@@ -671,6 +834,10 @@ fn main() {
             frames_per_sample: frames.len(),
             stars: n,
             rows: fleet_rows,
+        },
+        serve_throughput: ServeThroughputReport {
+            frames_per_connection: frames.len(),
+            rows: serve_rows,
         },
     };
     let pretty = serde_json::to_string_pretty(&report).unwrap();

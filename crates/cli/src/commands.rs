@@ -14,7 +14,7 @@ use aero_core::fleet::{
 };
 use aero_core::{
     build_catalog, render_catalog, render_fleet_health, run_detection, Aero, AeroConfig, Detector,
-    FallbackScorer, OverloadPolicy, StreamGovernor, SupervisorPolicy,
+    FallbackScorer, JsonObject, OverloadPolicy, StreamGovernor, SupervisorPolicy,
 };
 use aero_datagen::{AstrosetConfig, FaultInjector, FaultPlan, LoadProfile, SyntheticConfig};
 use aero_eval::{evaluate_point_adjusted, threshold_scores};
@@ -485,9 +485,10 @@ pub fn stream(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// End-of-run machine-readable summary: supervision, health, and overload
-/// accounting on one line. Hand-rolled — every value is a bare integer, so
-/// no escaping is needed.
+/// End-of-run machine-readable summary: supervision and the full health
+/// report (overload counters and tenant lanes nested inside) on one line.
+/// Shares the encoder with the `aero serve` status endpoint and drain
+/// summary ([`aero_core::stream_summary_json`]).
 fn stream_summary_json(
     gov: &StreamGovernor,
     replayed: usize,
@@ -495,56 +496,13 @@ fn stream_summary_json(
     flagged_frames: usize,
     flagged_points: usize,
 ) -> String {
-    let health = gov.online().health();
-    let sup = gov.online().supervisor().stats();
-    let ov = &health.overload;
-    let fields = |pairs: &[(&str, usize)]| {
-        pairs
-            .iter()
-            .map(|(k, v)| format!("\"{k}\":{v}"))
-            .collect::<Vec<_>>()
-            .join(",")
-    };
-    format!(
-        "{{\"frames\":{{{}}},\"supervisor\":{{{}}},\"health\":{{{}}},\"overload\":{{{}}}}}",
-        fields(&[
-            ("replayed", replayed),
-            ("offered", offered),
-            ("flagged_frames", flagged_frames),
-            ("flagged_points", flagged_points),
-        ]),
-        fields(&[
-            ("panics", sup.panics),
-            ("deadline_misses", sup.deadline_misses),
-            ("task_failures", sup.task_failures),
-            ("retries", sup.retries),
-            ("circuits_opened", sup.circuits_opened),
-            ("circuits_closed", sup.circuits_closed),
-            ("probes", sup.probes),
-            ("short_circuits", sup.short_circuits),
-        ]),
-        fields(&[
-            ("frames_accepted", health.frames_accepted),
-            ("values_imputed", health.values_imputed),
-            ("scores_suppressed", health.scores_suppressed),
-            ("stars_degraded", health.stars_degraded),
-            ("stars_quarantined", health.stars_quarantined),
-            ("threshold_refits", health.threshold_refits),
-            ("frames_suppressed", health.frames_suppressed),
-            ("circuit_breaker_trips", health.circuit_breaker_trips),
-        ]),
-        fields(&[
-            ("queue_depth", ov.queue_depth),
-            ("queue_peak", ov.queue_peak),
-            ("frames_rejected", ov.frames_rejected),
-            ("star_sheds", ov.star_sheds),
-            ("ladder_steps_down", ov.ladder_steps_down),
-            ("ladder_steps_up", ov.ladder_steps_up),
-            ("stars_below_full", ov.stars_below_full),
-            ("fallback_scores", ov.fallback_scores),
-            ("held_verdicts", ov.held_verdicts),
-            ("frames_behind", ov.frames_behind),
-        ]),
+    aero_core::stream_summary_json(
+        gov.online().health(),
+        &gov.online().supervisor().stats(),
+        replayed,
+        offered,
+        flagged_frames,
+        flagged_points,
     )
 }
 
@@ -797,71 +755,43 @@ fn fleet_summary_json(
     flagged_frames: usize,
     flagged_points: usize,
 ) -> String {
-    let fields = |pairs: &[(&str, usize)]| {
-        pairs
-            .iter()
-            .map(|(k, v)| format!("\"{k}\":{v}"))
-            .collect::<Vec<_>>()
-            .join(",")
-    };
-    let shards = health
-        .shards
-        .iter()
-        .map(|s| {
-            format!(
-                "{{\"shard\":{},\"state\":\"{}\",{}}}",
-                s.shard,
-                s.state.label(),
-                fields(&[
-                    ("stars", s.stars),
-                    ("emitted", s.emitted),
-                    ("queue_depth", s.queue_depth),
-                    ("frames_accepted", s.health.frames_accepted),
-                    ("star_sheds", s.health.overload.star_sheds),
-                ])
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",");
-    let sup = &health.supervisor;
-    let agg = &health.aggregate;
-    format!(
-        "{{\"frames\":{{{}}},\"fleet\":{{{}}},\"shards\":[{}],\"supervisor\":{{{}}},\"aggregate\":{{{}}}}}",
-        fields(&[
-            ("replayed", replayed),
-            ("offered", offered),
-            ("flagged_frames", flagged_frames),
-            ("flagged_points", flagged_points),
-        ]),
-        fields(&[
-            ("shards", health.shards.len()),
-            ("frames_routed", health.frames_routed),
-            ("frames_lost", health.frames_lost),
-            ("shard_failures", health.shard_failures),
-            ("shard_restarts", health.shard_restarts),
-            ("shards_down", health.shards_down),
-            ("rebalance_plans", health.rebalance_plans),
-        ]),
-        shards,
-        fields(&[
-            ("task_failures", sup.task_failures),
-            ("retries", sup.retries),
-            ("circuits_opened", sup.circuits_opened),
-            ("circuits_closed", sup.circuits_closed),
-            ("probes", sup.probes),
-            ("short_circuits", sup.short_circuits),
-        ]),
-        fields(&[
-            ("frames_accepted", agg.frames_accepted),
-            ("values_imputed", agg.values_imputed),
-            ("stars_degraded", agg.stars_degraded),
-            ("stars_quarantined", agg.stars_quarantined),
-            ("threshold_refits", agg.threshold_refits),
-            ("frames_suppressed", agg.frames_suppressed),
-            ("star_sheds", agg.overload.star_sheds),
-            ("frames_rejected", agg.overload.frames_rejected),
-        ]),
-    )
+    let shards = health.shards.iter().map(|s| {
+        JsonObject::new()
+            .num("shard", s.shard)
+            .str("state", s.state.label())
+            .num("stars", s.stars)
+            .num("emitted", s.emitted)
+            .num("queue_depth", s.queue_depth)
+            .num("frames_accepted", s.health.frames_accepted)
+            .num("star_sheds", s.health.overload.star_sheds)
+            .finish()
+    });
+    JsonObject::new()
+        .raw(
+            "frames",
+            &JsonObject::new()
+                .num("replayed", replayed)
+                .num("offered", offered)
+                .num("flagged_frames", flagged_frames)
+                .num("flagged_points", flagged_points)
+                .finish(),
+        )
+        .raw(
+            "fleet",
+            &JsonObject::new()
+                .num("shards", health.shards.len())
+                .num("frames_routed", health.frames_routed)
+                .num("frames_lost", health.frames_lost)
+                .num("shard_failures", health.shard_failures)
+                .num("shard_restarts", health.shard_restarts)
+                .num("shards_down", health.shards_down)
+                .num("rebalance_plans", health.rebalance_plans)
+                .finish(),
+        )
+        .arr("shards", shards)
+        .raw("supervisor", &aero_core::supervisor_json(&health.supervisor))
+        .raw("aggregate", &aero_core::health_json(&health.aggregate))
+        .finish()
 }
 
 /// `aero evaluate` — point-adjusted metrics of stored flags vs labels.

@@ -9,6 +9,7 @@
 
 mod args;
 mod commands;
+mod netcmd;
 
 use args::Args;
 
@@ -71,6 +72,42 @@ COMMANDS:
                                            plan every f routed frames (fleet
                                            only; plans land in the WAL and are
                                            applied at the next fleet build)
+    serve          Resident network service: length-delimited TCP ingest of
+                   star-frame batches into the governed detector
+                     --data <dir>          directory with train.csv (context)
+                     --model <file>        checkpoint from `detect --save-model`
+                     [--listen <addr>]     bind address (default 127.0.0.1:0;
+                                           prints `listening on <addr>` when up)
+                     [--wal <dir>]         write-ahead-log every admitted frame
+                     [--resume]            replay the WAL before accepting
+                                           connections (bitwise restart)
+                     [--fsync <never|segment|record>] WAL durability
+                     [--verdicts <file>]   append one line per scored verdict
+                     [--queue-cap <n>]     admission-queue capacity (default 64)
+                     [--quota-burst <n>]   per-tenant token-bucket burst (default 32)
+                     [--quota-refill <n>]  tokens refilled per serviced poll (default 1)
+                     [--read-timeout-ms <n>] socket read timeout (default 100)
+                     [--idle-timeout-ms <n>] drop stalled/idle connections (default 10000)
+                     [--max-conns <n>]     concurrent connection cap (default 64)
+                     [--level/--q/--refit-interval] as for `stream`
+                   Runs until a client sends Drain; then stops accepting,
+                   flushes admitted frames, fsyncs the WAL, and prints the
+                   final summary JSON.
+    loadgen        Deterministic load-generator client for `serve`
+                     --connect <addr>      server address (host:port)
+                     --data <dir>          directory with test.csv to send
+                     [--conns <n>]         concurrent connections (default 1)
+                     [--tenants <n>]       tenant lanes, conn % n (default 1)
+                     [--burst <seed>]      seeded burst schedule (else realtime)
+                     [--ticks <n>]         send at most n schedule ticks
+                     [--wire-faults <seed>] inject wire-level faults (garbage,
+                                           torn frames, duplicates, slow-loris)
+                     [--fault-period <n>]  one fault every n batches (default 7)
+                     [--resume-from-status] skip frames the server already holds
+                     [--drain]             send Drain after the load completes
+                     [--status]            just fetch and print the status JSON
+                     [--drain-only]        just drain the server and print the
+                                           final summary
     evaluate       Point-adjusted precision/recall/F1 of saved flags
                      --flags <file>        0/1 CSV from `detect`
                      --labels <file>       0/1 ground-truth CSV
@@ -103,6 +140,8 @@ fn main() {
         Some("generate") => commands::generate(&args),
         Some("detect") => commands::detect(&args),
         Some("stream") => commands::stream(&args),
+        Some("serve") => netcmd::serve_cmd(&args),
+        Some("loadgen") => netcmd::loadgen(&args),
         Some("evaluate") => commands::evaluate(&args),
         Some("list-methods") => {
             commands::list_methods();

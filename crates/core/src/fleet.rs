@@ -764,7 +764,7 @@ impl FleetCoordinator {
     /// Marks shard `k` dead, snapshotting its health for reporting.
     fn fail_shard(&mut self, shard: usize, reason: String) {
         if let Some(gov) = self.shards[shard].take() {
-            self.last_health[shard] = *gov.online().health();
+            self.last_health[shard] = gov.online().health().clone();
         }
         self.states[shard] = ShardState::Down;
         self.last_errors[shard] = Some(reason);
@@ -994,10 +994,10 @@ impl FleetCoordinator {
         let mut shards_down = 0usize;
         for k in 0..num_shards {
             let (health, queue_depth) = match self.shards[k].as_ref() {
-                Some(gov) => (*gov.online().health(), gov.queue_depth()),
+                Some(gov) => (gov.online().health().clone(), gov.queue_depth()),
                 None => {
                     shards_down += 1;
-                    (self.last_health[k], 0)
+                    (self.last_health[k].clone(), 0)
                 }
             };
             aggregate.absorb(&health);

@@ -32,6 +32,7 @@ pub mod online;
 pub mod overload;
 pub mod persist;
 pub mod report;
+pub mod serve;
 pub mod supervisor;
 pub mod temporal;
 pub mod wal;
@@ -54,10 +55,15 @@ pub use online::{
 };
 pub use overload::{
     Admission, FallbackScorer, GovernedVerdict, LadderLevel, OverloadCounters, OverloadPolicy,
-    PriorityClass, StreamGovernor,
+    PriorityClass, RejectReason, StreamGovernor, TenantCounters, TenantQuota, TenantRollup,
+    MAX_TENANT_ID,
 };
 pub use persist::{load_model, save_model};
-pub use report::{build_catalog, render_catalog, render_fleet_health, EventCandidate};
+pub use report::{
+    build_catalog, health_json, json_escape, overload_json, render_catalog, render_fleet_health,
+    stream_summary_json, supervisor_json, tenants_json, EventCandidate, JsonObject,
+};
+pub use serve::{ServeConfig, ServeCore, ServeOptions, ServeReport, ServeState};
 pub use supervisor::{SupervisionError, Supervisor, SupervisorPolicy, SupervisorStats};
 pub use temporal::TemporalModule;
 pub use wal::{FsyncPolicy, WalConfig, WalFrame, WalIdentity, WalRecovery, WalWriter};

@@ -160,7 +160,7 @@ impl Default for DegradePolicy {
 /// Degradation counters exposed to operators. All counters are cumulative
 /// over the stream except the `stars_*` gauges, which reflect the newest
 /// frame.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HealthReport {
     /// Frames accepted into the window (scored or warmup).
     pub frames_accepted: usize,
@@ -201,6 +201,10 @@ pub struct HealthReport {
     /// ladder) maintained by [`crate::overload::StreamGovernor`]; all zeros
     /// when frames are pushed directly without a governor.
     pub overload: OverloadCounters,
+    /// Per-tenant admission lanes (offered/admitted/shed/rejected),
+    /// maintained by [`crate::overload::StreamGovernor::offer_from`]; empty
+    /// for untenanted streams.
+    pub tenants: crate::overload::TenantRollup,
 }
 
 impl HealthReport {
@@ -222,6 +226,7 @@ impl HealthReport {
             && self.frames_suppressed == 0
             && self.circuit_breaker_trips == 0
             && self.overload.is_clean()
+            && self.tenants.is_clean()
     }
 
     /// Adds another detector's report into this one (fleet rollups).
@@ -247,6 +252,7 @@ impl HealthReport {
         self.frames_suppressed += other.frames_suppressed;
         self.circuit_breaker_trips += other.circuit_breaker_trips;
         self.overload.absorb(&other.overload);
+        self.tenants.absorb(&other.tenants);
     }
 }
 
@@ -280,7 +286,22 @@ impl std::fmt::Display for HealthReport {
             self.frames_suppressed,
             self.circuit_breaker_trips,
         )?;
-        write!(f, " | overload: {}", self.overload)
+        write!(f, " | overload: {}", self.overload)?;
+        if !self.tenants.is_empty() {
+            write!(f, " | tenants:")?;
+            for lane in self.tenants.lanes() {
+                write!(
+                    f,
+                    " [{}: {} offered / {} admitted / {} shed / {} rejected]",
+                    lane.tenant,
+                    lane.offered,
+                    lane.admitted,
+                    lane.shed,
+                    lane.rejected(),
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 

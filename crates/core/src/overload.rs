@@ -108,6 +108,33 @@ pub enum PriorityClass {
     Suspect,
 }
 
+/// Why an offer was turned away at the door. The reason is part of the wire
+/// contract (`aero serve` echoes it to clients), so each carries a distinct
+/// back-off story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admission queue at capacity: the whole service is saturated. Retry
+    /// after backing off for a few service ticks.
+    Backpressure,
+    /// The offering tenant's token bucket is empty: *this client* is over
+    /// its fair share while the service may be healthy. Retry next tick.
+    QuotaExceeded,
+    /// The service is draining toward shutdown and accepts no new work.
+    /// Reconnect after the successor process comes up.
+    Draining,
+}
+
+impl RejectReason {
+    /// Stable lowercase label used on the wire and in JSON summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Backpressure => "backpressure",
+            Self::QuotaExceeded => "quota_exceeded",
+            Self::Draining => "draining",
+        }
+    }
+}
+
 /// Outcome of [`StreamGovernor::offer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admission {
@@ -116,10 +143,12 @@ pub enum Admission {
         /// Queue depth after admission.
         depth: usize,
     },
-    /// Queue at capacity; the frame was dropped at the door. Explicit
-    /// backpressure: the caller may retry after draining some polls.
+    /// The frame was dropped at the door. Explicit backpressure: the caller
+    /// may retry after the reason's back-off contract.
     Rejected {
-        /// Queue depth that caused the rejection.
+        /// Why the frame was turned away.
+        reason: RejectReason,
+        /// Queue depth that caused (or witnessed) the rejection.
         depth: usize,
     },
 }
@@ -136,9 +165,114 @@ impl Admission {
     pub fn into_result(self) -> DetectorResult<usize> {
         match self {
             Self::Accepted { depth } => Ok(depth),
-            Self::Rejected { depth } => Err(DetectorError::Overload(format!(
-                "admission queue full at depth {depth}"
+            Self::Rejected { reason, depth } => Err(DetectorError::Overload(format!(
+                "admission rejected ({}) at depth {depth}",
+                reason.label()
             ))),
+        }
+    }
+}
+
+/// Deterministic per-tenant token-bucket quota. The clock is the service
+/// poll (never wall time), so every admission decision stays a pure function
+/// of the offer/poll interleaving — the same property the ladder and the
+/// crash-recovery gates rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Bucket capacity: the largest burst of frames one tenant can have
+    /// admitted back-to-back without waiting for refills.
+    pub burst: u32,
+    /// Tokens returned to every bucket per serviced poll.
+    pub refill_per_poll: u32,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self { burst: 32, refill_per_poll: 1 }
+    }
+}
+
+impl TenantQuota {
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.burst == 0 {
+            return Err("tenant burst must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One tenant's admission ledger: the per-tenant slice of the overload
+/// accounting, embedded in [`crate::online::HealthReport::tenants`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Wire tenant id (0..32767).
+    pub tenant: u32,
+    /// Frames this tenant offered.
+    pub offered: usize,
+    /// Frames admitted into the queue.
+    pub admitted: usize,
+    /// Star-frames shed while servicing this tenant's admitted frames.
+    pub shed: usize,
+    /// Offers rejected because the shared queue was at capacity.
+    pub rejected_backpressure: usize,
+    /// Offers rejected because this tenant's bucket was empty.
+    pub rejected_quota: usize,
+}
+
+impl TenantCounters {
+    /// Total rejections of either kind.
+    pub fn rejected(&self) -> usize {
+        self.rejected_backpressure + self.rejected_quota
+    }
+}
+
+/// Per-tenant rollup: lanes sorted by tenant id so iteration, JSON output,
+/// and fleet aggregation are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantRollup {
+    lanes: Vec<TenantCounters>,
+}
+
+impl TenantRollup {
+    /// The lanes, ascending by tenant id.
+    pub fn lanes(&self) -> &[TenantCounters] {
+        &self.lanes
+    }
+
+    /// True when no tenant has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// True when no tenant was ever rejected or shed.
+    pub fn is_clean(&self) -> bool {
+        self.lanes.iter().all(|l| l.rejected() == 0 && l.shed == 0)
+    }
+
+    /// The lane for `tenant`, created on first touch.
+    pub fn lane_mut(&mut self, tenant: u32) -> &mut TenantCounters {
+        let at = match self.lanes.binary_search_by_key(&tenant, |l| l.tenant) {
+            Ok(at) => at,
+            Err(at) => {
+                self.lanes.insert(at, TenantCounters { tenant, ..TenantCounters::default() });
+                at
+            }
+        };
+        &mut self.lanes[at]
+    }
+
+    /// Merges another rollup into this one (fleet aggregation): lanes with
+    /// the same tenant id sum counter-by-counter, new tenants are inserted
+    /// in id order.
+    pub fn absorb(&mut self, other: &TenantRollup) {
+        for lane in &other.lanes {
+            let mine = self.lane_mut(lane.tenant);
+            mine.offered += lane.offered;
+            mine.admitted += lane.admitted;
+            mine.shed += lane.shed;
+            mine.rejected_backpressure += lane.rejected_backpressure;
+            mine.rejected_quota += lane.rejected_quota;
         }
     }
 }
@@ -165,6 +299,10 @@ pub struct OverloadPolicy {
     /// is unrelated to the POT-calibrated model threshold, so it gets its
     /// own conservative cut.
     pub fallback_threshold: f32,
+    /// Per-tenant token-bucket quota for [`StreamGovernor::offer_from`].
+    /// `None` (the default) disables tenancy: plain [`StreamGovernor::offer`]
+    /// keeps its exact pre-tenant behavior and WAL bytes.
+    pub tenant_quota: Option<TenantQuota>,
 }
 
 impl Default for OverloadPolicy {
@@ -177,6 +315,7 @@ impl Default for OverloadPolicy {
             up_streak: 16,
             suspect_hold: 128,
             fallback_threshold: 3.0,
+            tenant_quota: None,
         }
     }
 }
@@ -201,6 +340,9 @@ impl OverloadPolicy {
         }
         if self.down_streak == 0 || self.up_streak == 0 {
             return Err("down_streak and up_streak must be at least 1".into());
+        }
+        if let Some(quota) = &self.tenant_quota {
+            quota.validate()?;
         }
         Ok(())
     }
@@ -329,6 +471,31 @@ pub struct GovernedVerdict {
 struct QueuedFrame {
     timestamp: f64,
     values: Vec<f32>,
+    /// Offering tenant (shed attribution), `None` for untenanted offers.
+    tenant: Option<u32>,
+}
+
+/// Highest tenant id representable in the packed WAL meta word (15 bits).
+pub const MAX_TENANT_ID: u32 = (1 << 15) - 1;
+
+/// Tenant ids ride in the governor's WAL meta word so quota state replays
+/// bitwise: bit 31 flags the packed layout, bits 16..31 hold `tenant id + 0`
+/// (15 bits), bits 0..16 the polls-since-previous-offer count (saturated).
+/// Untenanted offers keep the legacy bare-polls word, so pre-tenant WALs
+/// replay unchanged.
+const TENANT_META_FLAG: u32 = 1 << 31;
+
+fn pack_meta(tenant: u32, polls: u32) -> u32 {
+    TENANT_META_FLAG | (tenant << 16) | polls.min(0xFFFF)
+}
+
+/// Splits a WAL meta word into (tenant, polls-since-offer).
+fn unpack_meta(meta: u32) -> (Option<u32>, u32) {
+    if meta & TENANT_META_FLAG != 0 {
+        (Some((meta >> 16) & MAX_TENANT_ID), meta & 0xFFFF)
+    } else {
+        (None, meta)
+    }
 }
 
 /// How many of `max_sheddable` stars to shed at queue depth `depth`: zero at
@@ -366,6 +533,9 @@ pub struct StreamGovernor {
     wal: Option<WalWriter>,
     budget: WorkBudget,
     fallback: Option<FallbackScorer>,
+    /// Per-tenant token buckets (present only when the policy enables
+    /// tenancy). BTreeMap so refills iterate in tenant-id order.
+    tenant_buckets: std::collections::BTreeMap<u32, u32>,
 }
 
 impl StreamGovernor {
@@ -393,6 +563,7 @@ impl StreamGovernor {
             wal: None,
             budget,
             fallback: None,
+            tenant_buckets: std::collections::BTreeMap::new(),
         })
     }
 
@@ -449,23 +620,83 @@ impl StreamGovernor {
             wal.append_with_meta(timestamp, values, self.polls_since_offer)?;
         }
         self.polls_since_offer = 0;
-        Ok(self.admit(timestamp, values))
+        Ok(self.admit(None, timestamp, values))
     }
 
-    /// The admission decision proper (shared by `offer` and WAL replay).
-    fn admit(&mut self, timestamp: f64, values: &[f32]) -> Admission {
+    /// [`offer`](Self::offer) on behalf of a tenant: the offer passes the
+    /// tenant's token bucket before the shared queue, and both the quota and
+    /// backpressure outcomes land in the tenant's
+    /// [`TenantCounters`] lane. Requires [`OverloadPolicy::tenant_quota`].
+    /// The tenant id rides in the WAL meta word, so a resumed governor
+    /// replays bucket state and every per-tenant decision bitwise.
+    pub fn offer_from(
+        &mut self,
+        tenant: u32,
+        timestamp: f64,
+        values: &[f32],
+    ) -> DetectorResult<Admission> {
+        if self.policy.tenant_quota.is_none() {
+            return Err(DetectorError::Invalid(
+                "offer_from requires OverloadPolicy::tenant_quota".into(),
+            ));
+        }
+        if tenant > MAX_TENANT_ID {
+            return Err(DetectorError::Invalid(format!(
+                "tenant id {tenant} exceeds the {MAX_TENANT_ID} wire maximum"
+            )));
+        }
+        if values.len() != self.online.num_variates() {
+            return Err(DetectorError::Invalid(format!(
+                "frame width changed: expected {}, got {}",
+                self.online.num_variates(),
+                values.len()
+            )));
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append_with_meta(timestamp, values, pack_meta(tenant, self.polls_since_offer))?;
+        }
+        self.polls_since_offer = 0;
+        Ok(self.admit(Some(tenant), timestamp, values))
+    }
+
+    /// The admission decision proper (shared by `offer`, `offer_from`, and
+    /// WAL replay): tenant bucket first, then the shared bounded queue.
+    fn admit(&mut self, tenant: Option<u32>, timestamp: f64, values: &[f32]) -> Admission {
         let n = self.online.num_variates();
         let depth = self.queue.len();
+        if let Some(t) = tenant {
+            let burst = self.policy.tenant_quota.map(|q| q.burst).unwrap_or(u32::MAX);
+            let bucket = self.tenant_buckets.entry(t).or_insert(burst);
+            let lane = self.online.health_mut().tenants.lane_mut(t);
+            lane.offered += 1;
+            if *bucket == 0 {
+                lane.rejected_quota += 1;
+                self.online.health_mut().overload.queue_depth = depth;
+                return Admission::Rejected { reason: RejectReason::QuotaExceeded, depth };
+            }
+        }
         if depth >= self.policy.queue_capacity {
+            if let Some(t) = tenant {
+                self.online.health_mut().tenants.lane_mut(t).rejected_backpressure += 1;
+            }
             let overload = &mut self.online.health_mut().overload;
             overload.frames_rejected += 1;
             overload.queue_depth = depth;
-            return Admission::Rejected { depth };
+            return Admission::Rejected { reason: RejectReason::Backpressure, depth };
+        }
+        if let Some(t) = tenant {
+            // Charge the token only on acceptance: quota measures admitted
+            // work, not attempts the shared queue turned away.
+            if let Some(bucket) = self.tenant_buckets.get_mut(&t) {
+                *bucket -= 1;
+            }
+            self.online.health_mut().tenants.lane_mut(t).admitted += 1;
         }
         self.budget.try_charge(n.max(1));
         self.queue.push_back(QueuedFrame {
             timestamp,
             values: values.to_vec(),
+            tenant,
         });
         let depth = self.queue.len();
         let overload = &mut self.online.health_mut().overload;
@@ -487,6 +718,15 @@ impl StreamGovernor {
         };
         let n = self.online.num_variates();
         self.polls_since_offer = self.polls_since_offer.saturating_add(1);
+
+        // The service poll is the tenant clock: every bucket refills here.
+        // Only serviced polls count (empty polls are not WAL-recorded), so
+        // replay ticks the buckets exactly as the live run did.
+        if let Some(quota) = self.policy.tenant_quota {
+            for bucket in self.tenant_buckets.values_mut() {
+                *bucket = bucket.saturating_add(quota.refill_per_poll).min(quota.burst);
+            }
+        }
 
         // Pressure signal = depth at poll time (the frame being serviced
         // included): a pure function of the offer/poll interleaving.
@@ -576,6 +816,9 @@ impl StreamGovernor {
             }
         }
         let backlog = self.queue.len();
+        if let Some(t) = frame.tenant {
+            self.online.health_mut().tenants.lane_mut(t).shed += star_sheds;
+        }
         let overload = &mut self.online.health_mut().overload;
         overload.star_sheds += star_sheds;
         overload.fallback_scores += fallback_scores;
@@ -716,18 +959,19 @@ impl StreamGovernor {
         let mut verdicts = Vec::new();
         for frame in frames {
             match frame.meta {
-                Some(polls) => {
+                Some(meta) => {
+                    let (tenant, polls) = unpack_meta(meta);
                     for _ in 0..polls {
                         if let Some(v) = gov.poll()? {
                             verdicts.push(v);
                         }
                     }
-                    gov.admit(frame.timestamp, &frame.values);
+                    gov.admit(tenant, frame.timestamp, &frame.values);
                     gov.polls_since_offer = 0;
                 }
                 None => {
                     verdicts.extend(gov.drain()?);
-                    gov.admit(frame.timestamp, &frame.values);
+                    gov.admit(None, frame.timestamp, &frame.values);
                     gov.polls_since_offer = 0;
                     verdicts.extend(gov.drain()?);
                 }
@@ -827,9 +1071,59 @@ mod tests {
     #[test]
     fn admission_into_result_maps_rejection_to_overload_error() {
         assert_eq!(Admission::Accepted { depth: 3 }.into_result().unwrap(), 3);
-        let err = Admission::Rejected { depth: 64 }.into_result().unwrap_err();
+        let err = Admission::Rejected { reason: RejectReason::Backpressure, depth: 64 }
+            .into_result()
+            .unwrap_err();
         assert!(matches!(err, DetectorError::Overload(_)));
         assert!(err.to_string().contains("64"));
+        assert!(err.to_string().contains("backpressure"));
+        let err = Admission::Rejected { reason: RejectReason::QuotaExceeded, depth: 1 }
+            .into_result()
+            .unwrap_err();
+        assert!(err.to_string().contains("quota_exceeded"));
+    }
+
+    #[test]
+    fn tenant_meta_word_round_trips_and_saturates() {
+        assert_eq!(unpack_meta(pack_meta(0, 0)), (Some(0), 0));
+        assert_eq!(unpack_meta(pack_meta(7, 12)), (Some(7), 12));
+        assert_eq!(unpack_meta(pack_meta(MAX_TENANT_ID, 5)), (Some(MAX_TENANT_ID), 5));
+        // Poll counts saturate at the 16-bit field instead of corrupting
+        // the tenant bits.
+        assert_eq!(unpack_meta(pack_meta(3, 1 << 20)), (Some(3), 0xFFFF));
+        // Legacy bare-polls words stay untenanted.
+        assert_eq!(unpack_meta(42), (None, 42));
+        assert_eq!(unpack_meta(0), (None, 0));
+    }
+
+    #[test]
+    fn tenant_rollup_merges_lanes_by_id() {
+        let mut a = TenantRollup::default();
+        a.lane_mut(3).admitted = 5;
+        a.lane_mut(1).offered = 2;
+        let mut b = TenantRollup::default();
+        b.lane_mut(3).admitted = 7;
+        b.lane_mut(3).rejected_quota = 1;
+        b.lane_mut(9).shed = 4;
+        a.absorb(&b);
+        let ids: Vec<u32> = a.lanes().iter().map(|l| l.tenant).collect();
+        assert_eq!(ids, vec![1, 3, 9], "lanes stay sorted by tenant id");
+        assert_eq!(a.lanes()[1].admitted, 12);
+        assert_eq!(a.lanes()[1].rejected(), 1);
+        assert_eq!(a.lanes()[2].shed, 4);
+        assert!(!a.is_clean());
+        assert!(TenantRollup::default().is_clean());
+    }
+
+    #[test]
+    fn tenant_quota_validation() {
+        assert!(TenantQuota::default().validate().is_ok());
+        assert!(TenantQuota { burst: 0, refill_per_poll: 1 }.validate().is_err());
+        let policy = OverloadPolicy {
+            tenant_quota: Some(TenantQuota { burst: 0, refill_per_poll: 1 }),
+            ..OverloadPolicy::default()
+        };
+        assert!(policy.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! The resident `aero serve` network service (DESIGN.md §15).
+//!
+//! Three layers, strictly separated so everything below the socket is
+//! deterministic and unit-testable without a network:
+//!
+//! * [`codec`] — the length-delimited, checksummed wire protocol. Pure
+//!   bytes↔[`codec::WireMsg`]; bounded incremental decoding; every
+//!   malformed input is a typed [`codec::WireError`].
+//! * [`service`] — [`service::ServeCore`], the single-threaded detector
+//!   state machine: multi-tenant admission through
+//!   [`crate::StreamGovernor::offer_from`], the drain lifecycle, the
+//!   verdict log, and the status / summary JSON documents. Every decision
+//!   is a pure function of the order messages are handed to it, which is
+//!   what makes a WAL-resumed service bitwise identical to an
+//!   uninterrupted one.
+//! * [`server`] — the TCP shell: one acceptor thread plus one supervised
+//!   thread per connection, all funneling decoded requests over an
+//!   `mpsc` channel into the detector thread that owns the `ServeCore`.
+//!   Connection threads enforce read deadlines, idle timeouts, and decode
+//!   bounds; a poisoned connection dies alone, the detector never sees a
+//!   byte of it.
+
+pub mod codec;
+pub mod server;
+pub mod service;
+
+pub use codec::{
+    encode, wire_checksum, Decoder, WireError, WireFrame, WireMsg, DEFAULT_MAX_PAYLOAD,
+    WIRE_HEADER_LEN, WIRE_MAGIC, WIRE_PROTOCOL,
+};
+pub use server::{serve, ServeConfig, ServeReport};
+pub use service::{ServeCore, ServeOptions, ServeState};

@@ -1,0 +1,429 @@
+//! The TCP shell around [`ServeCore`].
+//!
+//! Thread layout:
+//!
+//! ```text
+//! acceptor thread ──spawns──▶ connection thread (one per socket)
+//!                                   │ decoded requests
+//!                                   ▼
+//!                         mpsc ──▶ detector loop (serve() caller's thread,
+//!                                   owns the ServeCore)
+//! ```
+//!
+//! Admission decisions are made only on the detector thread, in channel
+//! arrival order, so they remain a deterministic function of the request
+//! sequence. Connection threads do everything untrusted: framed decode with
+//! a bounded buffer, per-read deadlines, an idle/stall timeout that defeats
+//! slow-loris and mid-frame disconnects, and typed protocol errors. A
+//! malformed connection is answered with [`WireMsg::Error`] and dropped;
+//! the detector never observes its bytes.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aero_parallel::{supervised_spawn, SupervisedHandle};
+
+use crate::detector::{DetectorError, DetectorResult};
+use crate::overload::MAX_TENANT_ID;
+use crate::serve::codec::{encode, Decoder, WireError, WireMsg, WIRE_PROTOCOL};
+use crate::serve::service::ServeCore;
+
+/// Error codes carried by [`WireMsg::Error`].
+const ERR_DECODE: u8 = 1;
+const ERR_WIDTH: u8 = 2;
+const ERR_VERSION: u8 = 3;
+const ERR_STATE: u8 = 4;
+
+/// Socket-layer tuning for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Per-message payload bound handed to each connection's [`Decoder`].
+    pub max_payload: usize,
+    /// Deadline for a single `read()`; also the granularity at which idle
+    /// connection threads notice a shutdown.
+    pub read_timeout: Duration,
+    /// Maximum silence (no complete message progress) before a connection is
+    /// closed — the slow-loris / torn-frame bound.
+    pub idle_timeout: Duration,
+    /// Maximum simultaneous connections; later ones are refused with a
+    /// typed error.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_payload: crate::serve::codec::DEFAULT_MAX_PAYLOAD,
+            read_timeout: Duration::from_millis(100),
+            idle_timeout: Duration::from_secs(10),
+            max_connections: 64,
+        }
+    }
+}
+
+/// What a serve run did, returned once the listener shuts down.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The frozen end-of-night summary (drain always runs before return).
+    pub summary_json: String,
+    /// Connections accepted over the run.
+    pub connections: usize,
+    /// Connections dropped for wire-protocol violations.
+    pub protocol_errors: usize,
+    /// Connections refused because `max_connections` was reached.
+    pub refused: usize,
+}
+
+/// One decoded request forwarded to the detector loop, with a reply lane
+/// back to the owning connection thread.
+struct Request {
+    tenant: u32,
+    msg: WireMsg,
+    reply: Sender<WireMsg>,
+}
+
+struct ConnShared {
+    shutdown: Arc<AtomicBool>,
+    drain_flag: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    protocol_errors: Arc<AtomicUsize>,
+    cfg: ServeConfig,
+    stars: usize,
+}
+
+/// Runs the service until a wire `Drain` arrives (or `shutdown` is set
+/// externally), then drains the core — flush backlog, fsync WAL, freeze the
+/// summary — and returns the report. The caller's thread becomes the
+/// detector loop; accept and per-connection I/O run on supervised threads.
+pub fn serve(
+    listener: TcpListener,
+    mut core: ServeCore,
+    cfg: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+) -> DetectorResult<ServeReport> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DetectorError::Invalid(format!("listener nonblocking: {e}")))?;
+    let (tx, rx): (Sender<Request>, Receiver<Request>) = mpsc::channel();
+    let drain_flag = Arc::new(AtomicBool::new(false));
+    let connections = Arc::new(AtomicUsize::new(0));
+    let refused = Arc::new(AtomicUsize::new(0));
+    let protocol_errors = Arc::new(AtomicUsize::new(0));
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let drain_flag = Arc::clone(&drain_flag);
+        let connections = Arc::clone(&connections);
+        let refused = Arc::clone(&refused);
+        let protocol_errors = Arc::clone(&protocol_errors);
+        let cfg = cfg.clone();
+        let stars = core.stars();
+        supervised_spawn("serve-acceptor", move || {
+            accept_loop(
+                listener,
+                tx,
+                ConnShared {
+                    shutdown,
+                    drain_flag,
+                    live: Arc::new(AtomicUsize::new(0)),
+                    protocol_errors,
+                    cfg,
+                    stars,
+                },
+                connections,
+                refused,
+            )
+        })
+        .map_err(|e| DetectorError::Invalid(format!("spawn acceptor: {e}")))?
+    };
+
+    // Detector loop: the only thread that touches the core. Requests are
+    // serviced strictly in channel order.
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(req) => {
+                let reply = match req.msg {
+                    WireMsg::Ingest { seq, frames } => {
+                        match core.handle_ingest(req.tenant, seq, &frames) {
+                            Ok(reply) => reply,
+                            Err(DetectorError::Invalid(msg)) if msg.contains("frame width") => {
+                                WireMsg::Error { code: ERR_WIDTH, message: msg }
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    WireMsg::Status => WireMsg::StatusJson(core.status_json()),
+                    WireMsg::Drain => {
+                        let summary = core.handle_drain()?;
+                        drain_flag.store(true, Ordering::SeqCst);
+                        shutdown.store(true, Ordering::SeqCst);
+                        WireMsg::DrainAck(summary)
+                    }
+                    other => WireMsg::Error {
+                        code: ERR_STATE,
+                        message: format!("unexpected message on detector lane: {other:?}"),
+                    },
+                };
+                // A dead connection just misses its reply; not an error.
+                let _ = req.reply.send(reply);
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    drop(rx);
+
+    // Always leave through a drain: flush backlog, sync the WAL, freeze the
+    // summary — whether shutdown came over the wire or from the caller.
+    let summary_json = core.handle_drain()?;
+    match acceptor.join() {
+        Ok(()) => {}
+        Err(e) => return Err(DetectorError::Invalid(e.to_string())),
+    }
+    Ok(ServeReport {
+        summary_json,
+        connections: connections.load(Ordering::SeqCst),
+        protocol_errors: protocol_errors.load(Ordering::SeqCst),
+        refused: refused.load(Ordering::SeqCst),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Request>,
+    shared: ConnShared,
+    connections: Arc<AtomicUsize>,
+    refused: Arc<AtomicUsize>,
+) {
+    let mut workers: Vec<SupervisedHandle<()>> = Vec::new();
+    let mut next_id = 0usize;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.live.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+                    refused.fetch_add(1, Ordering::SeqCst);
+                    refuse(stream);
+                    continue;
+                }
+                connections.fetch_add(1, Ordering::SeqCst);
+                shared.live.fetch_add(1, Ordering::SeqCst);
+                next_id += 1;
+                let name = format!("serve-conn-{next_id}");
+                let tx = tx.clone();
+                let conn = ConnShared {
+                    shutdown: Arc::clone(&shared.shutdown),
+                    drain_flag: Arc::clone(&shared.drain_flag),
+                    live: Arc::clone(&shared.live),
+                    protocol_errors: Arc::clone(&shared.protocol_errors),
+                    cfg: shared.cfg.clone(),
+                    stars: shared.stars,
+                };
+                match supervised_spawn(&name, move || {
+                    connection_loop(stream, tx, &conn);
+                    conn.live.fetch_sub(1, Ordering::SeqCst);
+                }) {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => {
+                        shared.live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                // Reap finished workers so a long-lived server doesn't
+                // accumulate handles.
+                workers.retain(|w| !w.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Shutdown: connection threads observe the flag within one read
+    // deadline; a panicked worker is contained, not propagated — the report
+    // already counts its protocol damage, and the detector state is owned
+    // elsewhere.
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn refuse(mut stream: TcpStream) {
+    let msg = WireMsg::Error { code: ERR_STATE, message: "connection limit reached".into() };
+    let _ = stream.write_all(&encode(&msg));
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Drives one client connection: handshake, bounded decode, forwarding to
+/// the detector lane, and reply writing. Returns when the client leaves,
+/// times out, violates the protocol, or the server shuts down (after drain
+/// every in-flight reply is still delivered).
+fn connection_loop(mut stream: TcpStream, tx: Sender<Request>, shared: &ConnShared) {
+    if stream.set_read_timeout(Some(shared.cfg.read_timeout)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut decoder = Decoder::new(shared.cfg.max_payload);
+    let mut tenant: Option<u32> = None;
+    let mut chunk = [0u8; 64 * 1024];
+    // Stall clock: reset whenever a complete message is decoded. Bounds both
+    // total silence and slow-loris drip-feeding of a torn frame.
+    let mut last_progress = Instant::now();
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && !shared.drain_flag.load(Ordering::SeqCst) {
+            return; // hard shutdown: no farewell owed
+        }
+        if shared.drain_flag.load(Ordering::SeqCst) {
+            // Drained: answer anything still buffered, then leave.
+            let _ = drain_buffered(&mut stream, &mut decoder, &tx, &mut tenant, shared);
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed (possibly mid-frame: torn bytes die here)
+            Ok(n) => {
+                decoder.extend(&chunk[..n]);
+                loop {
+                    match decoder.next() {
+                        Ok(Some(msg)) => {
+                            last_progress = Instant::now();
+                            if !dispatch(&mut stream, msg, &tx, &mut tenant, shared) {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(err) => {
+                            protocol_error(&mut stream, shared, &err);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+        if last_progress.elapsed() >= shared.cfg.idle_timeout {
+            // Idle or drip-feeding a frame slower than the stall bound.
+            let msg = if decoder.buffered() > 0 { "stalled mid-frame" } else { "idle timeout" };
+            protocol_error(&mut stream, shared, &WireError::BadPayload(msg.into()));
+            return;
+        }
+    }
+}
+
+/// After drain: decode whatever already arrived and answer it (clients get
+/// their typed `Draining` rejections), then close.
+fn drain_buffered(
+    stream: &mut TcpStream,
+    decoder: &mut Decoder,
+    tx: &Sender<Request>,
+    tenant: &mut Option<u32>,
+    shared: &ConnShared,
+) -> std::io::Result<()> {
+    while let Ok(Some(msg)) = decoder.next() {
+        if !dispatch(stream, msg, tx, tenant, shared) {
+            break;
+        }
+    }
+    stream.shutdown(std::net::Shutdown::Both)
+}
+
+fn protocol_error(stream: &mut TcpStream, shared: &ConnShared, err: &WireError) {
+    shared.protocol_errors.fetch_add(1, Ordering::SeqCst);
+    let msg = WireMsg::Error { code: ERR_DECODE, message: err.to_string() };
+    let _ = stream.write_all(&encode(&msg));
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Handles one decoded message. Returns `false` when the connection should
+/// close.
+fn dispatch(
+    stream: &mut TcpStream,
+    msg: WireMsg,
+    tx: &Sender<Request>,
+    tenant: &mut Option<u32>,
+    shared: &ConnShared,
+) -> bool {
+    match msg {
+        WireMsg::Hello { tenant: t, protocol } => {
+            if protocol != WIRE_PROTOCOL {
+                let reply = WireMsg::Error {
+                    code: ERR_VERSION,
+                    message: format!("protocol {protocol} unsupported (server speaks {WIRE_PROTOCOL})"),
+                };
+                let _ = stream.write_all(&encode(&reply));
+                return false;
+            }
+            if t > MAX_TENANT_ID {
+                let reply = WireMsg::Error {
+                    code: ERR_STATE,
+                    message: format!("tenant {t} exceeds the {MAX_TENANT_ID} maximum"),
+                };
+                let _ = stream.write_all(&encode(&reply));
+                return false;
+            }
+            *tenant = Some(t);
+            let ack = WireMsg::HelloAck { protocol: WIRE_PROTOCOL, stars: shared.stars as u32 };
+            stream.write_all(&encode(&ack)).is_ok()
+        }
+        WireMsg::Ingest { seq, frames } => {
+            let Some(t) = *tenant else {
+                let reply = WireMsg::Error {
+                    code: ERR_STATE,
+                    message: "Ingest before Hello".into(),
+                };
+                shared.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = stream.write_all(&encode(&reply));
+                return false;
+            };
+            forward(stream, tx, t, WireMsg::Ingest { seq, frames })
+        }
+        WireMsg::Status => forward(stream, tx, tenant.unwrap_or(0), WireMsg::Status),
+        WireMsg::Drain => forward(stream, tx, tenant.unwrap_or(0), WireMsg::Drain),
+        WireMsg::Bye => false,
+        // Server-to-client tags arriving at the server are protocol abuse.
+        other => {
+            shared.protocol_errors.fetch_add(1, Ordering::SeqCst);
+            let reply = WireMsg::Error {
+                code: ERR_STATE,
+                message: format!("client sent a server-side message: {other:?}"),
+            };
+            let _ = stream.write_all(&encode(&reply));
+            false
+        }
+    }
+}
+
+/// Sends one request to the detector lane and writes its reply back. The
+/// per-request channel keeps replies on the right connection without the
+/// detector knowing sockets exist.
+fn forward(stream: &mut TcpStream, tx: &Sender<Request>, tenant: u32, msg: WireMsg) -> bool {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if tx.send(Request { tenant, msg, reply: reply_tx }).is_err() {
+        return false; // detector loop gone (post-drain)
+    }
+    match reply_rx.recv() {
+        Ok(reply) => {
+            let closing = matches!(reply, WireMsg::Error { .. });
+            if stream.write_all(&encode(&reply)).is_err() {
+                return false;
+            }
+            !closing
+        }
+        Err(_) => false,
+    }
+}

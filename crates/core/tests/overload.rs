@@ -67,6 +67,7 @@ fn tight_policy() -> OverloadPolicy {
         up_streak: 4,
         suspect_hold: 32,
         fallback_threshold: 3.0,
+        tenant_quota: None,
     }
 }
 
@@ -377,6 +378,7 @@ proptest! {
             up_streak: 4,
             suspect_hold: 32,
             fallback_threshold: 3.0,
+            tenant_quota: None,
         };
         let mut tape = Vec::new();
         let mut next = 0usize;

@@ -1,0 +1,229 @@
+//! Adversarial property suite for the `aero serve` wire codec
+//! (DESIGN.md §15): round trips are bitwise, split/pipelined delivery
+//! reassembles, and *no* byte stream — random garbage, truncations,
+//! flipped bits, hostile length prefixes — can panic the decoder or make
+//! it allocate past its bound. Malformed input always surfaces as a typed
+//! [`WireError`].
+
+use aero_core::serve::codec::{
+    encode, wire_checksum, Decoder, WireError, WireFrame, WireMsg, DEFAULT_MAX_PAYLOAD,
+    WIRE_HEADER_LEN, WIRE_MAGIC, WIRE_PROTOCOL,
+};
+use aero_core::RejectReason;
+use proptest::prelude::*;
+
+/// Builds one message of each wire kind from raw entropy words. Float
+/// fields take fully arbitrary bit patterns (NaNs and infinities included)
+/// — the codec must preserve them exactly.
+fn msg_from(kind: u8, a: u64, b: u64, words: &[u64]) -> WireMsg {
+    let frames = |n: usize| -> Vec<WireFrame> {
+        (0..n)
+            .map(|i| WireFrame {
+                timestamp: f64::from_bits(a.rotate_left(i as u32)),
+                values: words
+                    .iter()
+                    .take(1 + i % words.len().max(1))
+                    .map(|&w| f32::from_bits((w >> (8 * (i % 4))) as u32))
+                    .collect(),
+            })
+            .collect()
+    };
+    let text = |n: usize| -> String {
+        words.iter().take(n).map(|w| format!("w{w:x} \"quoted\\\u{1f52d}")).collect()
+    };
+    match kind % 11 {
+        0 => WireMsg::Hello { tenant: a as u32, protocol: b as u16 },
+        1 => WireMsg::Ingest { seq: a, frames: frames(b as usize % 5) },
+        2 => WireMsg::Status,
+        3 => WireMsg::Drain,
+        4 => WireMsg::Bye,
+        5 => WireMsg::HelloAck { protocol: a as u16, stars: b as u32 },
+        6 => WireMsg::Ack { seq: a, admitted: b as u16, depth: (b >> 16) as u32 },
+        7 => WireMsg::Reject {
+            seq: a,
+            reason: match b % 3 {
+                0 => RejectReason::Backpressure,
+                1 => RejectReason::QuotaExceeded,
+                _ => RejectReason::Draining,
+            },
+            admitted: (b >> 2) as u16,
+            rejected: (b >> 18) as u16,
+        },
+        8 => WireMsg::StatusJson(text(b as usize % 4)),
+        9 => WireMsg::DrainAck(text(b as usize % 3)),
+        _ => WireMsg::Error { code: a as u8, message: text(b as usize % 3) },
+    }
+}
+
+/// Bitwise message equality: `PartialEq` on floats treats NaN != NaN, so
+/// compare Ingest frames through their bit patterns.
+fn bitwise_eq(a: &WireMsg, b: &WireMsg) -> bool {
+    match (a, b) {
+        (WireMsg::Ingest { seq: sa, frames: fa }, WireMsg::Ingest { seq: sb, frames: fb }) => {
+            sa == sb
+                && fa.len() == fb.len()
+                && fa.iter().zip(fb).all(|(x, y)| {
+                    x.timestamp.to_bits() == y.timestamp.to_bits()
+                        && x.values.len() == y.values.len()
+                        && x.values
+                            .iter()
+                            .zip(&y.values)
+                            .all(|(u, v)| u.to_bits() == v.to_bits())
+                })
+        }
+        _ => a == b,
+    }
+}
+
+const WORD: core::ops::Range<u64> = 0u64..u64::MAX;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity, bit for bit, for every message kind.
+    fn roundtrip_is_bitwise(kind in 0u8..11, a in WORD, b in WORD,
+                            words in proptest::collection::vec(WORD, 4)) {
+        let msg = msg_from(kind, a, b, &words);
+        let bytes = encode(&msg);
+        let mut dec = Decoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.extend(&bytes);
+        let got = dec.next().unwrap().expect("one complete message");
+        prop_assert!(bitwise_eq(&msg, &got), "{:?} != {:?}", msg, got);
+        prop_assert_eq!(dec.next().unwrap(), None);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Delivery fragmentation (any chunking of the byte stream) never
+    /// changes what is decoded — pipelined messages reassemble in order.
+    fn chunked_delivery_reassembles(kinds in proptest::collection::vec(0u8..11, 3),
+                                    seeds in proptest::collection::vec(WORD, 3),
+                                    chunk in 1usize..17) {
+        let msgs: Vec<WireMsg> = kinds
+            .iter()
+            .zip(&seeds)
+            .map(|(&k, &s)| msg_from(k, s, s >> 7, &[s, s ^ 0xff, s << 9]))
+            .collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode(m));
+        }
+        let mut dec = Decoder::new(DEFAULT_MAX_PAYLOAD);
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.extend(piece);
+            while let Some(m) = dec.next().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got.len(), msgs.len());
+        for (a, b) in msgs.iter().zip(&got) {
+            prop_assert!(bitwise_eq(a, b));
+        }
+    }
+
+    /// Pure garbage never panics: it either waits for more bytes (header
+    /// incomplete) or yields a typed error — and a stream that does not
+    /// open with the magic must never decode.
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 64),
+                            len in 0usize..65) {
+        let bytes = &bytes[..len];
+        let mut dec = Decoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.extend(bytes);
+        match dec.next() {
+            Ok(Some(_)) => prop_assert!(
+                bytes[..4] == WIRE_MAGIC,
+                "decoded a message from a non-magic stream"
+            ),
+            Ok(None) => prop_assert!(
+                len < WIRE_HEADER_LEN || bytes[..4] == WIRE_MAGIC,
+                "a full non-magic header must error, not wait"
+            ),
+            Err(_) => {} // typed rejection is the expected outcome
+        }
+    }
+
+    /// A truncated frame decodes to "need more bytes", and completing it
+    /// later yields the original message — torn TCP segments cannot
+    /// corrupt, only delay.
+    fn truncation_waits_then_completes(kind in 0u8..11, a in WORD, b in WORD,
+                                       cut in 1usize..12) {
+        let msg = msg_from(kind, a, b, &[a ^ b, a | 1, b | 2, a.wrapping_add(b)]);
+        let bytes = encode(&msg);
+        let cut = cut.min(bytes.len() - 1);
+        let (head, tail) = bytes.split_at(bytes.len() - cut);
+        let mut dec = Decoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.extend(head);
+        prop_assert_eq!(dec.next().unwrap(), None, "must wait, not error");
+        dec.extend(tail);
+        let got = dec.next().unwrap().expect("completed after the tail arrives");
+        prop_assert!(bitwise_eq(&msg, &got));
+    }
+
+    /// A flipped bit anywhere past the length prefix is caught by the
+    /// checksum (or as a structural error) — never silently accepted as a
+    /// different message.
+    fn flipped_payload_bit_is_detected(kind in 0u8..11, a in WORD, b in WORD,
+                                       byte in 0usize..4096, bit in 0u32..8) {
+        let msg = msg_from(kind, a, b, &[a, b, a ^ b]);
+        let mut bytes = encode(&msg);
+        // Corrupt checksum or payload only; length-prefix corruption is the
+        // hostile-length property below.
+        let lo = 8;
+        let idx = lo + byte % (bytes.len() - lo);
+        bytes[idx] ^= 1 << bit;
+        let mut dec = Decoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.extend(&bytes);
+        match dec.next() {
+            Err(_) => {}
+            Ok(got) => prop_assert!(
+                false,
+                "corrupted frame decoded cleanly: {:?} from flipping byte {} bit {}",
+                got, idx, bit
+            ),
+        }
+    }
+
+    /// Hostile length prefixes can never provoke an allocation beyond the
+    /// decoder's bound: oversized claims are rejected from the header alone,
+    /// and the buffer never exceeds bound + header + one read chunk.
+    fn hostile_length_never_overallocates(len in 0u64..u64::from(u32::MAX),
+                                          junk in 0usize..64) {
+        let len = len as u32;
+        let max = 4096usize;
+        let mut dec = Decoder::new(max);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WIRE_MAGIC);
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&vec![0xAB; junk]);
+        dec.extend(&bytes);
+        let result = dec.next();
+        if len as usize > max {
+            prop_assert_eq!(result, Err(WireError::Oversized { len, max }));
+        }
+        prop_assert!(dec.buffered() <= max + WIRE_HEADER_LEN + junk);
+    }
+}
+
+#[test]
+fn tenant_reject_reasons_cover_the_enum() {
+    for reason in [
+        RejectReason::Backpressure,
+        RejectReason::QuotaExceeded,
+        RejectReason::Draining,
+    ] {
+        let msg = WireMsg::Reject { seq: 1, reason, admitted: 0, rejected: 1 };
+        let bytes = encode(&msg);
+        let mut dec = Decoder::new(DEFAULT_MAX_PAYLOAD);
+        dec.extend(&bytes);
+        assert_eq!(dec.next().unwrap(), Some(msg));
+    }
+}
+
+#[test]
+fn checksum_matches_header_field() {
+    let bytes = encode(&WireMsg::Hello { tenant: 5, protocol: WIRE_PROTOCOL });
+    let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let header_crc = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    assert_eq!(header_crc, wire_checksum(&bytes[WIRE_HEADER_LEN..WIRE_HEADER_LEN + len]));
+}

@@ -30,6 +30,7 @@ pub mod noise;
 pub mod presets;
 pub mod rng;
 pub mod signals;
+pub mod wire;
 
 pub use anomalies::{inject_anomalies, AnomalyEvent, AnomalyKind};
 pub use astroset::{astroset_suite, AstrosetConfig};
@@ -39,3 +40,4 @@ pub use load::LoadProfile;
 pub use noise::{inject_noise_to_fraction, NoiseEvent, NoiseKind};
 pub use presets::{synthetic_suite, SyntheticConfig};
 pub use signals::{star_population, StarKind};
+pub use wire::{WireFault, WireFaultPlan};

@@ -1,0 +1,200 @@
+//! Seeded wire-level fault plans for the `aero loadgen` client.
+//!
+//! Protocol-agnostic by design: faults operate on the *byte stream* of an
+//! already-encoded message, so this module knows nothing about the serve
+//! codec. The loadgen client composes `encode(batch)` with
+//! [`WireFaultPlan::apply`] to produce the hostile traffic the server must
+//! survive — garbage prefixes, torn frames followed by a disconnect,
+//! duplicated (replayed) batches, and slow-loris drip feeds.
+//!
+//! Determinism: every decision is a pure function of `(seed, batch_index)`
+//! via a splitmix-style hash, so a fault schedule replays identically
+//! across runs, processes, and reconnects — the same contract as
+//! [`crate::faults::FaultPlan`] for sensor-level corruption.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What to do to one outgoing batch's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFault {
+    /// Send the bytes untouched.
+    Clean,
+    /// Prepend `len` non-protocol bytes (the server must reject the
+    /// connection with a typed error, not fall over).
+    Garbage {
+        /// How many garbage bytes precede the frame.
+        len: usize,
+    },
+    /// Send only the first `keep` bytes of the frame, then disconnect —
+    /// a torn frame / mid-frame crash.
+    Truncate {
+        /// Bytes of the frame that survive.
+        keep: usize,
+    },
+    /// Send the frame twice back-to-back — a replayed batch the admission
+    /// accounting must attribute to the sending tenant both times.
+    Duplicate,
+    /// Send the frame in `chunks` pieces (slow-loris when paired with a
+    /// client-side delay between pieces).
+    SlowChunks {
+        /// Number of pieces to split into (≥ 2).
+        chunks: usize,
+    },
+}
+
+/// A deterministic schedule of wire faults over batch indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFaultPlan {
+    /// Master seed; two plans with the same seed are identical.
+    pub seed: u64,
+    /// Fire one fault roughly every `period` batches (0 disables faults).
+    pub period: usize,
+}
+
+impl WireFaultPlan {
+    /// No faults ever — clean traffic.
+    pub fn clean() -> Self {
+        Self { seed: 0, period: 0 }
+    }
+
+    /// The default chaos mix: one fault about every `period` batches,
+    /// cycling deterministically through garbage, torn frames, duplicates,
+    /// and slow-loris chunking.
+    pub fn chaos(seed: u64, period: usize) -> Self {
+        Self { seed, period: period.max(1) }
+    }
+
+    fn rng_for(&self, batch: u64) -> StdRng {
+        // splitmix-style avalanche over (seed, batch) so neighbouring
+        // batches draw unrelated faults.
+        let mut z = self.seed ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// The fault assigned to batch `batch` (pure function of the plan and
+    /// the index).
+    pub fn fault_for(&self, batch: u64) -> WireFault {
+        if self.period == 0 || batch % self.period as u64 != self.period as u64 - 1 {
+            return WireFault::Clean;
+        }
+        let mut rng = self.rng_for(batch);
+        match rng.gen_range(0..4u32) {
+            0 => WireFault::Garbage { len: rng.gen_range(1..64) },
+            1 => WireFault::Truncate { keep: rng.gen_range(1..24) },
+            2 => WireFault::Duplicate,
+            _ => WireFault::SlowChunks { chunks: rng.gen_range(2..9) },
+        }
+    }
+
+    /// Applies batch `batch`'s fault to its encoded bytes, returning the
+    /// pieces to write in order and whether the connection must be torn
+    /// down afterwards (torn frames end with a disconnect).
+    pub fn apply(&self, batch: u64, frame: &[u8]) -> (Vec<Vec<u8>>, bool) {
+        match self.fault_for(batch) {
+            WireFault::Clean => (vec![frame.to_vec()], false),
+            WireFault::Garbage { len } => {
+                let mut rng = self.rng_for(batch);
+                // Never start with the protocol magic 'A': the server must
+                // classify this as garbage, not a plausible frame.
+                let garbage: Vec<u8> =
+                    (0..len).map(|_| 0x80 | (rng.gen_range(0..0x7Fu16) as u8)).collect();
+                (vec![garbage], true)
+            }
+            WireFault::Truncate { keep } => {
+                let keep = keep.min(frame.len().saturating_sub(1)).max(1);
+                (vec![frame[..keep].to_vec()], true)
+            }
+            WireFault::Duplicate => (vec![frame.to_vec(), frame.to_vec()], false),
+            WireFault::SlowChunks { chunks } => {
+                let n = chunks.clamp(2, frame.len().max(2));
+                let step = frame.len().div_ceil(n);
+                (frame.chunks(step.max(1)).map(<[u8]>::to_vec).collect(), false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_never_faults() {
+        let plan = WireFaultPlan::clean();
+        for b in 0..256 {
+            assert_eq!(plan.fault_for(b), WireFault::Clean);
+        }
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_periodic() {
+        let a = WireFaultPlan::chaos(42, 5);
+        let b = WireFaultPlan::chaos(42, 5);
+        let mut fault_count = 0;
+        for batch in 0..100 {
+            let fa = a.fault_for(batch);
+            assert_eq!(fa, b.fault_for(batch), "batch {batch}");
+            if fa != WireFault::Clean {
+                fault_count += 1;
+                assert_eq!(batch % 5, 4, "faults only on period boundaries");
+            }
+        }
+        assert_eq!(fault_count, 20);
+    }
+
+    #[test]
+    fn chaos_mix_covers_every_fault_kind() {
+        let plan = WireFaultPlan::chaos(7, 1);
+        let mut garbage = 0;
+        let mut truncate = 0;
+        let mut duplicate = 0;
+        let mut slow = 0;
+        for batch in 0..64 {
+            match plan.fault_for(batch) {
+                WireFault::Garbage { .. } => garbage += 1,
+                WireFault::Truncate { .. } => truncate += 1,
+                WireFault::Duplicate => duplicate += 1,
+                WireFault::SlowChunks { .. } => slow += 1,
+                WireFault::Clean => unreachable!("period 1 faults every batch"),
+            }
+        }
+        assert!(garbage > 0 && truncate > 0 && duplicate > 0 && slow > 0);
+    }
+
+    #[test]
+    fn apply_shapes_bytes_correctly() {
+        let frame: Vec<u8> = (0..40u8).collect();
+        let plan = WireFaultPlan::chaos(3, 1);
+        for batch in 0..64u64 {
+            let (pieces, disconnect) = plan.apply(batch, &frame);
+            match plan.fault_for(batch) {
+                WireFault::Clean => unreachable!(),
+                WireFault::Garbage { len } => {
+                    assert!(disconnect);
+                    assert_eq!(pieces.len(), 1);
+                    assert_eq!(pieces[0].len(), len);
+                    assert_ne!(pieces[0][0], b'A', "garbage must not mimic the magic");
+                }
+                WireFault::Truncate { keep } => {
+                    assert!(disconnect);
+                    assert_eq!(pieces[0], frame[..keep.min(frame.len() - 1)]);
+                }
+                WireFault::Duplicate => {
+                    assert!(!disconnect);
+                    assert_eq!(pieces.len(), 2);
+                    assert_eq!(pieces[0], frame);
+                    assert_eq!(pieces[1], frame);
+                }
+                WireFault::SlowChunks { .. } => {
+                    assert!(!disconnect);
+                    assert!(pieces.len() >= 2);
+                    let glued: Vec<u8> = pieces.concat();
+                    assert_eq!(glued, frame, "chunking must be lossless");
+                }
+            }
+        }
+    }
+}

@@ -480,9 +480,91 @@ where
     })
 }
 
+/// A long-lived named thread whose panic is captured as a value instead of
+/// unwinding into a detached-thread abort. The service layer (`aero serve`)
+/// runs its acceptor and per-connection workers under this so one poisoned
+/// connection thread reports a [`ThreadError`] at join time while the rest of
+/// the process keeps serving.
+#[derive(Debug)]
+pub struct SupervisedHandle<T> {
+    name: String,
+    handle: std::thread::JoinHandle<Result<T, String>>,
+}
+
+/// A supervised thread's terminal failure: it panicked (payload captured) or
+/// its handle could not be joined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadError {
+    /// The name the thread was spawned with.
+    pub name: String,
+    /// Stringified panic payload.
+    pub message: String,
+}
+
+impl fmt::Display for ThreadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "supervised thread `{}` panicked: {}", self.name, self.message)
+    }
+}
+
+impl std::error::Error for ThreadError {}
+
+impl<T> SupervisedHandle<T> {
+    /// The spawn-time thread name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the thread has exited (panicked or returned).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Blocks until the thread exits, returning its value or captured panic.
+    pub fn join(self) -> Result<T, ThreadError> {
+        let name = self.name;
+        match self.handle.join() {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(message)) => Err(ThreadError { name, message }),
+            // Unreachable in practice (the closure never unwinds past
+            // catch_unwind), but a join error must not panic the supervisor.
+            Err(payload) => Err(ThreadError { name, message: panic_message(payload) }),
+        }
+    }
+}
+
+/// Spawns a named OS thread whose panics are caught and surfaced as a
+/// [`ThreadError`] from [`SupervisedHandle::join`]. Unlike the fork/join
+/// helpers above this is for *resident* threads (network acceptors,
+/// connection handlers) that outlive any single work batch.
+pub fn supervised_spawn<T, F>(name: &str, f: F) -> std::io::Result<SupervisedHandle<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let handle = std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || catch_unwind(AssertUnwindSafe(f)).map_err(panic_message))?;
+    Ok(SupervisedHandle { name: name.to_string(), handle })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn supervised_spawn_returns_value() {
+        let h = supervised_spawn("worker", || 7usize).unwrap();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn supervised_spawn_captures_panic() {
+        let h = supervised_spawn("doomed", || panic!("wire fault")).unwrap();
+        let err = h.join().unwrap_err();
+        assert_eq!(err.name, "doomed");
+        assert!(err.message.contains("wire fault"), "{}", err.message);
+    }
 
     #[test]
     fn shard_ranges_cover_exactly() {

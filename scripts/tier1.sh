@@ -36,8 +36,15 @@
 #      verdict stream, WAL bytes, and health bitwise identical to
 #      sequential pushes (kill-resume included); plus one governed stream
 #      smoke with batching forced on
-#  12. benchmark harness smoke run (keeps scripts/bench.sh wired)
-#  13. clippy -D warnings on the full workspace (the streaming modules
+#  12. resident service: wire-codec adversarial property suite (garbage,
+#      torn frames, flipped bits, hostile lengths — typed errors, bounded
+#      allocation), then real-process end-to-end runs of `aero serve` +
+#      `aero loadgen` over loopback TCP — kill -9 mid-night + --resume must
+#      be bitwise identical to an uninterrupted run, seeded wire faults
+#      across concurrent tenant connections must never poison the detector,
+#      and the status/drain endpoints must answer on the same wire
+#  13. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#  14. clippy -D warnings on the full workspace (the streaming modules
 #      additionally deny unwrap/expect via their own inner lint attrs)
 set -eu
 
@@ -87,6 +94,10 @@ cargo test -q -p aero-core --test batched --test pipelined
 AERO_BATCHED=1 cargo run --release -q -p aero-cli --bin aero -- stream \
     --data "$fleet_tmp/data" --shards 2 --burst 17 \
     --wal "$fleet_tmp/wal_batched" > /dev/null
+
+echo "==> tier-1: resident serve (wire codec + kill -9 resume + wire faults)"
+cargo test -q -p aero-core --test wire_codec
+cargo test -q -p aero-cli --test serve
 
 echo "==> tier-1: benchmark harness smoke"
 sh scripts/bench.sh --smoke > /dev/null
