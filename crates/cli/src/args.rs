@@ -1,5 +1,6 @@
 //! Minimal argument parsing (no external CLI crate): `--key value` pairs,
-//! `--flag` booleans, and one positional subcommand.
+//! `--flag` booleans, a positional subcommand, and trailing positional
+//! operands (e.g. `aero wal verify <dir>`).
 
 use std::collections::BTreeMap;
 
@@ -10,6 +11,8 @@ pub struct Args {
     pub command: Option<String>,
     options: BTreeMap<String, String>,
     flags: Vec<String>,
+    /// Non-flag arguments after the subcommand, in order.
+    positionals: Vec<String>,
 }
 
 impl Args {
@@ -33,7 +36,7 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(arg);
             } else {
-                return Err(format!("unexpected positional argument: {arg}"));
+                out.positionals.push(arg);
             }
         }
         Ok(out)
@@ -66,6 +69,11 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// The `i`-th positional operand after the subcommand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
 }
 
 #[cfg(test)]
@@ -95,9 +103,13 @@ mod tests {
     }
 
     #[test]
-    fn rejects_duplicates_and_extra_positionals() {
+    fn rejects_duplicates_and_collects_positionals() {
         assert!(Args::parse("a --x 1 --x 2".split_whitespace().map(String::from)).is_err());
-        assert!(Args::parse("a b".split_whitespace().map(String::from)).is_err());
+        let a = parse("wal verify /tmp/shard-0000");
+        assert_eq!(a.command.as_deref(), Some("wal"));
+        assert_eq!(a.positional(0), Some("verify"));
+        assert_eq!(a.positional(1), Some("/tmp/shard-0000"));
+        assert_eq!(a.positional(2), None);
     }
 
     #[test]

@@ -610,6 +610,10 @@ fn stream_fleet(args: &Args) -> Result<(), String> {
     };
     let sr = SpectralResidual::default();
     let fallback = FallbackScorer::new(move |window| sr.latest_score(window));
+    let migrate_live = args.flag("migrate-live");
+    if migrate_live && rebalance_every == 0 {
+        return Err("--migrate-live needs --rebalance-every <n> (no plans, nothing to apply)".into());
+    }
     let config = FleetConfig {
         seed,
         overload: overload_policy,
@@ -617,6 +621,8 @@ fn stream_fleet(args: &Args) -> Result<(), String> {
         epoch_frames: rebalance_every,
         wal_root: wal_root.clone(),
         wal: WalConfig { fsync, ..WalConfig::default() },
+        migrate_live,
+        chaos_migration_kill: None,
     };
 
     let mut flagged_frames = 0usize;
@@ -762,6 +768,7 @@ fn fleet_summary_json(
             .num("stars", s.stars)
             .num("emitted", s.emitted)
             .num("queue_depth", s.queue_depth)
+            .num("frames_lost", s.frames_lost)
             .num("frames_accepted", s.health.frames_accepted)
             .num("star_sheds", s.health.overload.star_sheds)
             .finish()
@@ -786,12 +793,65 @@ fn fleet_summary_json(
                 .num("shard_restarts", health.shard_restarts)
                 .num("shards_down", health.shards_down)
                 .num("rebalance_plans", health.rebalance_plans)
+                .num("stars_moved", health.stars_moved)
+                .num("migrations_rolled_back", health.migrations_rolled_back)
                 .finish(),
         )
         .arr("shards", shards)
         .raw("supervisor", &aero_core::supervisor_json(&health.supervisor))
         .raw("aggregate", &aero_core::health_json(&health.aggregate))
         .finish()
+}
+
+/// `aero wal <verb>` — offline WAL tooling. `verify <dir>` scrubs one WAL
+/// directory without modifying it and prints a findings JSON; a damaged log
+/// is an `Err` (exit 1) so scripts can gate on it.
+pub fn wal(args: &Args) -> Result<(), String> {
+    match args.positional(0) {
+        Some("verify") => {}
+        Some(other) => return Err(format!("unknown wal subcommand: {other} (try `verify`)")),
+        None => return Err("usage: aero wal verify <dir>".into()),
+    }
+    let dir = Path::new(
+        args.positional(1)
+            .ok_or("usage: aero wal verify <dir>")?,
+    );
+    let report = aero_core::wal::verify(dir, None).map_err(io_err)?;
+    let findings = report.findings.iter().map(|f| {
+        JsonObject::new()
+            .num("segment", f.segment as usize)
+            .str("path", &f.path.display().to_string())
+            .num("offset", f.offset as usize)
+            .str("kind", f.kind.label())
+            .str("detail", &f.detail)
+            .finish()
+    });
+    let mut out = JsonObject::new()
+        .str("dir", &dir.display().to_string())
+        .str("status", if report.is_clean() { "clean" } else { "corrupt" })
+        .num("segments", report.segments)
+        .num("frames", report.frames)
+        .num("bytes", report.bytes as usize);
+    if let Some(identity) = report.identity {
+        out = out.raw(
+            "identity",
+            &JsonObject::new()
+                .num("shard_id", identity.shard_id as usize)
+                .num("catalog_hash", identity.catalog_hash as usize)
+                .finish(),
+        );
+    }
+    let rendered = out.arr("findings", findings).finish();
+    println!("{rendered}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} finding(s) in {}",
+            report.findings.len(),
+            dir.display()
+        ))
+    }
 }
 
 /// `aero evaluate` — point-adjusted metrics of stored flags vs labels.

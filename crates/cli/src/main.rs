@@ -72,6 +72,20 @@ COMMANDS:
                                            plan every f routed frames (fleet
                                            only; plans land in the WAL and are
                                            applied at the next fleet build)
+                     [--migrate-live]      apply rebalance plans mid-night via
+                                           the WAL-fenced two-phase handoff:
+                                           affected shards are fenced,
+                                           snapshotted into the migration log,
+                                           and rebuilt under epoch-versioned
+                                           WAL directories; survives kill -9
+                                           at any instant (fleet only, needs
+                                           --rebalance-every)
+    wal            Offline WAL tooling
+                     aero wal verify <dir>  scrub one WAL directory: segment
+                                           headers, record checksums, torn
+                                           tails, sequence gaps, frame-chain
+                                           breaks; prints a findings JSON and
+                                           exits 1 if the log is damaged
     serve          Resident network service: length-delimited TCP ingest of
                    star-frame batches into the governed detector
                      --data <dir>          directory with train.csv (context)
@@ -142,6 +156,7 @@ fn main() {
         Some("stream") => commands::stream(&args),
         Some("serve") => netcmd::serve_cmd(&args),
         Some("loadgen") => netcmd::loadgen(&args),
+        Some("wal") => commands::wal(&args),
         Some("evaluate") => commands::evaluate(&args),
         Some("list-methods") => {
             commands::list_methods();

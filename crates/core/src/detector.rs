@@ -39,6 +39,11 @@ pub enum DetectorError {
     /// A WAL directory's segment headers belong to a different shard or
     /// catalog partition than the one resuming it (fleet isolation guard).
     WalMismatch(String),
+    /// The WAL device is out of space (ENOSPC or a short write). The
+    /// in-memory detector state is still coherent — only durability is
+    /// gone — so callers should degrade (e.g. drop to `HoldLast` and stop
+    /// logging) rather than crash. Retryable once space is reclaimed.
+    WalFull(String),
 }
 
 impl fmt::Display for DetectorError {
@@ -53,6 +58,7 @@ impl fmt::Display for DetectorError {
             Self::Supervision(msg) => write!(f, "supervision: {msg}"),
             Self::Overload(msg) => write!(f, "overload: {msg}"),
             Self::WalMismatch(msg) => write!(f, "WAL identity mismatch: {msg}"),
+            Self::WalFull(msg) => write!(f, "WAL device full: {msg}"),
         }
     }
 }

@@ -42,22 +42,53 @@
 //! hold-last > shed). At every `epoch_frames` routed frames it computes a
 //! deterministic LPT (longest-processing-time) [`RebalancePlan`] from
 //! `(catalog, seed, costs)` and appends it to the coordinator's own plan
-//! WAL, so a resumed process replays the identical plan sequence. Plans are
-//! **advisory during the night** — live stars are never migrated mid-stream
-//! (that would change WAL identities under a running shard) — and are
-//! applied when the fleet is next rebuilt, via
-//! [`ShardAssignment::from_plan`].
+//! WAL, so a resumed process replays the identical plan sequence. By
+//! default plans are **advisory during the night** — they are applied when
+//! the fleet is next rebuilt, via [`ShardAssignment::from_plan`].
+//!
+//! # Live migration (`migrate_live`)
+//!
+//! With [`FleetConfig::migrate_live`] set, the coordinator applies each
+//! plan *mid-night* through a WAL-fenced two-phase handoff (DESIGN.md §16):
+//! every shard whose membership changes is **fenced** (queue drained with
+//! shedding and the ladder frozen — an administrative drain is not load),
+//! its full per-star state is snapshotted into a
+//! [`MigrationBegin`](crate::migrate::MigrationBegin) record appended to
+//! `wal/fleet-plan/migrations.log`, replacement shards are built for the
+//! new membership (moved stars' windows aligned onto their destination's
+//! timestamps), each gets a fresh **epoch-versioned** WAL directory
+//! (`shard-KKKK-eEEEE`) and identity, and a
+//! [`MigrationCommit`](crate::migrate::MigrationCommit) record plus
+//! per-directory commit markers make the flip durable before routing
+//! switches in memory. Fence-drained verdicts are handed to the caller
+//! from a per-shard hold-out queue on subsequent polls, so no verdict is
+//! lost or duplicated across the handoff.
+//!
+//! Recovery ([`FleetCoordinator::resume`]) re-derives the whole night from
+//! the logs alone: a trailing `Begin` without its `Commit` is rolled back
+//! (partial epoch directories deleted, the migration re-executes on the
+//! next poll), committed migrations are rolled forward from their recorded
+//! snapshots, and each shard's directory chain is replayed
+//! segment-by-segment — so a process killed at *any* instant of a handoff
+//! resumes with verdict streams, health counters, and the final assignment
+//! bitwise identical to a night where the kill never happened (gated by
+//! `tests/migration.rs`).
 
 // Streaming modules run unattended for whole nights; a stray `unwrap` is a
 // latent crash, so the lint gate forbids them outside tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use aero_parallel::supervised_map_mut;
 
 use crate::detector::{DetectorError, DetectorResult};
+use crate::migrate::{
+    self, DetectorState, GovernorState, MigrationBegin, MigrationCommit, MigrationKillPoint,
+    MigrationRecord, ShardSnapshot,
+};
 use crate::online::{HealthReport, OnlineAero};
 use crate::overload::{
     Admission, FallbackScorer, GovernedVerdict, LadderLevel, OverloadPolicy, PriorityClass,
@@ -316,6 +347,30 @@ impl ShardAssignment {
             catalog_hash: h.finish(),
         }
     }
+
+    /// [`shard_identity`](Self::shard_identity) versioned by migration
+    /// epoch: equal to the plain identity at epoch 0 (the PR-stable on-disk
+    /// format), and mixing the epoch into the hash afterwards — so a star
+    /// migrated away and later migrated *back* still gets a fresh identity
+    /// (no ABA: the old directory can never be mistaken for the new one).
+    pub fn shard_identity_at(
+        &self,
+        catalog: &StarCatalog,
+        shard: usize,
+        epoch: u64,
+    ) -> WalIdentity {
+        let base = self.shard_identity(catalog, shard);
+        if epoch == 0 {
+            return base;
+        }
+        let mut h = Fnv64::new();
+        h.write(&base.catalog_hash.to_le_bytes());
+        h.write(&epoch.to_le_bytes());
+        WalIdentity {
+            shard_id: base.shard_id,
+            catalog_hash: h.finish(),
+        }
+    }
 }
 
 /// Identity stamped on the coordinator's own plan log (not a star shard).
@@ -363,6 +418,17 @@ pub struct FleetConfig {
     /// Segment/fsync configuration shared by every per-shard WAL (the
     /// per-shard [`WalIdentity`] is filled in by the coordinator).
     pub wal: WalConfig,
+    /// Apply rebalance plans mid-night through the WAL-fenced two-phase
+    /// handoff (see the module docs) instead of leaving them advisory.
+    /// Default `false`: plans only take effect at the next fleet build.
+    pub migrate_live: bool,
+    /// Chaos injection for the migration test harness: abort with a typed
+    /// error at the given [`MigrationKillPoint`] of the given plan epoch's
+    /// handoff, simulating `kill -9` at that phase boundary. The
+    /// coordinator is not usable afterwards — drop it and
+    /// [`resume`](FleetCoordinator::resume), exactly as a crashed process
+    /// would.
+    pub chaos_migration_kill: Option<(u64, MigrationKillPoint)>,
 }
 
 /// A shard's lifecycle state as the coordinator sees it.
@@ -401,6 +467,9 @@ pub struct ShardHealth {
     pub emitted: usize,
     /// Current admission-queue depth (0 while down).
     pub queue_depth: usize,
+    /// Frame slices this shard dropped while down (this process's run —
+    /// lost frames are in no WAL, so a resume restarts the count).
+    pub frames_lost: usize,
     /// Last failure message, if the shard ever died.
     pub last_error: Option<String>,
     /// The shard detector's own health report (last snapshot while down).
@@ -424,6 +493,12 @@ pub struct FleetHealth {
     pub frames_lost: usize,
     /// Rebalance plans recorded so far.
     pub rebalance_plans: usize,
+    /// Stars re-homed by committed live migrations (cumulative; rebuilt
+    /// from the migration log on resume).
+    pub stars_moved: usize,
+    /// Half-finished migrations rolled back by [`FleetCoordinator::resume`]
+    /// (this process's run; an uninterrupted night reports 0).
+    pub migrations_rolled_back: usize,
     /// Shard-level supervisor counters (restarts, breaker, probes).
     pub supervisor: SupervisorStats,
     /// Sum of every shard's [`HealthReport`] (see [`HealthReport::absorb`]).
@@ -463,6 +538,21 @@ fn star_cost(shed: bool, class: PriorityClass, level: LadderLevel) -> u64 {
     }
 }
 
+/// Stars whose owning shard differs between two assignments.
+fn moved_stars(old: &[usize], new: &[usize]) -> usize {
+    old.iter().zip(new).filter(|(a, b)| a != b).count()
+}
+
+/// Accumulates one directory's recovery summary into a shard's chain total
+/// (a migrated shard replays several directories on resume).
+fn absorb_recovery(into: &mut WalRecovery, r: WalRecovery) {
+    into.frames += r.frames;
+    into.segments += r.segments;
+    into.truncated |= r.truncated;
+    into.dropped_bytes += r.dropped_bytes;
+    into.dropped_segments += r.dropped_segments;
+}
+
 /// Routes full-sky frames across a fleet of shared-nothing shard detectors,
 /// isolating faults and rolling health up. See the module docs for the
 /// model; `core/tests/fleet.rs` holds the chaos harness.
@@ -497,6 +587,22 @@ pub struct FleetCoordinator {
     shard_restarts: usize,
     shard_failures: usize,
     frames_lost: usize,
+    /// Per-shard slice of `frames_lost` (same increments, per owner).
+    frames_lost_per_shard: Vec<usize>,
+    /// Plan epoch of each shard's last membership change (0 = never
+    /// migrated); selects the shard's WAL directory and identity.
+    shard_epochs: Vec<u64>,
+    /// Fence-drained verdicts awaiting emission: after a migration the
+    /// caller receives these (one per poll round, FIFO) before the new
+    /// shard is polled, so the handoff neither drops nor reorders output.
+    pending_out: Vec<VecDeque<GovernedVerdict>>,
+    /// Post-migration rebuild seed: the merged snapshot a shard restart
+    /// must re-install before replaying its current epoch directory.
+    seeds: Vec<Option<Arc<(DetectorState, GovernorState)>>>,
+    /// Plans already applied live (prefix of `plans`).
+    migrations_done: usize,
+    stars_moved: usize,
+    migrations_rolled_back: usize,
 }
 
 impl std::fmt::Debug for FleetCoordinator {
@@ -513,6 +619,20 @@ impl std::fmt::Debug for FleetCoordinator {
 /// directory listing sorts in shard order.
 pub fn shard_wal_dir(root: &Path, shard: usize) -> PathBuf {
     root.join(format!("shard-{shard:04}"))
+}
+
+/// Epoch-versioned shard WAL directory: `shard-KKKK` for epoch 0 (the
+/// pre-migration layout, unchanged on disk) and `shard-KKKK-eEEEE` after a
+/// live migration re-homed the shard at plan epoch `e`. Superseded
+/// directories are kept — [`FleetCoordinator::resume`] replays the whole
+/// chain — so live migration trades disk for crash-safety; prune old
+/// epochs only after archiving a night.
+pub fn shard_epoch_wal_dir(root: &Path, shard: usize, epoch: u64) -> PathBuf {
+    if epoch == 0 {
+        shard_wal_dir(root, shard)
+    } else {
+        root.join(format!("shard-{shard:04}-e{epoch:04}"))
+    }
 }
 
 /// `<root>/fleet-plan` — the coordinator's rebalance-plan log.
@@ -555,11 +675,20 @@ impl FleetCoordinator {
         Ok(fleet)
     }
 
-    /// Resumes a fleet from its per-shard WALs and plan log: every shard is
-    /// rebuilt through `factory` and replayed to its pre-crash state (queue,
-    /// ladder, counters — bitwise), the cost ledger is reconstructed from
-    /// the replayed verdicts, and recorded rebalance plans are re-read so
-    /// the continuation emits the identical plan sequence.
+    /// Resumes a fleet from its per-shard WALs, plan log, and migration
+    /// log. Pass the **initial** (epoch-0) `assignment` the night started
+    /// with — committed live migrations are rolled forward from the logs
+    /// and the returned fleet ends on the correct post-migration
+    /// assignment.
+    ///
+    /// Reconstruction order: recorded plans are re-read (never recomputed);
+    /// a trailing `Begin` without its `Commit` is rolled back (its partial
+    /// epoch directories deleted, the log truncated — the handoff
+    /// re-executes on the next poll); then every shard's directory chain is
+    /// replayed segment by segment, re-deriving each committed migration's
+    /// fence drain and merged snapshot install along the way. Queue,
+    /// ladder, counters, and the cost ledger all land bitwise on the
+    /// crashed process's state.
     pub fn resume(
         catalog: StarCatalog,
         assignment: ShardAssignment,
@@ -574,27 +703,6 @@ impl FleetCoordinator {
         };
         let mut fleet = Self::skeleton(catalog, assignment, factory, fallback, config)?;
         let num_shards = fleet.assignment.num_shards();
-        let mut replayed = Vec::with_capacity(num_shards);
-        let mut recoveries = Vec::with_capacity(num_shards);
-        for k in 0..num_shards {
-            let online = fleet.build_online(k)?;
-            let (gov, verdicts, recovery) = StreamGovernor::resume_wal(
-                online,
-                fleet.config.overload.clone(),
-                fleet.fallback.clone(),
-                &shard_wal_dir(&root, k),
-                fleet.shard_wal_config(k),
-            )?;
-            fleet.frames_routed = fleet.frames_routed.max(recovery.frames);
-            fleet.emitted[k] = verdicts.len();
-            for v in &verdicts {
-                fleet.charge_costs(k, v);
-            }
-            fleet.shards[k] = Some(gov);
-            fleet.states[k] = ShardState::Running;
-            replayed.push(verdicts);
-            recoveries.push(recovery);
-        }
         if fleet.config.epoch_frames > 0 {
             let cfg = WalConfig {
                 identity: Some(plan_log_identity(&fleet.catalog)),
@@ -616,6 +724,151 @@ impl FleetCoordinator {
                 });
             }
             fleet.plan_log = Some(log);
+        }
+        // The migration log: a trailing Begin without its Commit is a
+        // half-finished handoff — roll it back to the fence so the night
+        // has exactly one deterministic outcome. Everything before it is
+        // committed and rolls forward below.
+        let plan_dir = plan_wal_dir(&root);
+        let mut records = migrate::read_migrations(&plan_dir)?;
+        if let Some(last) = records.last() {
+            if let MigrationRecord::Begin(b) = &last.record {
+                for snap in &b.affected {
+                    let dir = shard_epoch_wal_dir(&root, snap.shard as usize, b.epoch);
+                    if dir.exists() {
+                        std::fs::remove_dir_all(&dir).map_err(|e| {
+                            DetectorError::Io(format!(
+                                "roll back migration dir {}: {e}",
+                                dir.display()
+                            ))
+                        })?;
+                    }
+                }
+                let offset = last.offset;
+                migrate::truncate_migrations(&plan_dir, offset)?;
+                fleet.migrations_rolled_back += 1;
+                records.pop();
+            }
+        }
+        let mut committed: Vec<MigrationBegin> = Vec::new();
+        let mut iter = records.into_iter();
+        while let Some(rec) = iter.next() {
+            let MigrationRecord::Begin(b) = rec.record else {
+                return Err(DetectorError::Corrupt(
+                    "migration log: Commit without a preceding Begin".into(),
+                ));
+            };
+            match iter.next().map(|r| r.record) {
+                Some(MigrationRecord::Commit(c)) if c.epoch == b.epoch => committed.push(b),
+                _ => {
+                    return Err(DetectorError::Corrupt(format!(
+                        "migration log: Begin epoch {} not followed by its Commit",
+                        b.epoch
+                    )))
+                }
+            }
+        }
+        // Segment-by-segment replay of every shard's directory chain,
+        // starting from the epoch-0 layout the caller's assignment
+        // describes.
+        let mut replayed: Vec<Vec<GovernedVerdict>> = vec![Vec::new(); num_shards];
+        let mut recoveries: Vec<WalRecovery> = vec![WalRecovery::default(); num_shards];
+        let mut total_frames = vec![0usize; num_shards];
+        for k in 0..num_shards {
+            let online = fleet.build_online(k)?;
+            let (gov, verdicts, recovery) = StreamGovernor::resume_wal(
+                online,
+                fleet.config.overload.clone(),
+                fleet.fallback.clone(),
+                &shard_wal_dir(&root, k),
+                fleet.shard_wal_config(k),
+            )?;
+            total_frames[k] += recovery.frames;
+            absorb_recovery(&mut recoveries[k], recovery);
+            for v in &verdicts {
+                fleet.charge_costs(k, v);
+            }
+            replayed[k].extend(verdicts);
+            fleet.shards[k] = Some(gov);
+            fleet.states[k] = ShardState::Running;
+        }
+        for begin in &committed {
+            let epoch = begin.epoch;
+            let shard_of: Vec<usize> = begin.shard_of.iter().map(|&s| s as usize).collect();
+            let planned = ShardAssignment::from_plan(&fleet.catalog, num_shards, shard_of, epoch)?;
+            let old_shard_of: Vec<usize> = fleet.assignment.shard_map().to_vec();
+            // The live fence ran at the first poll after the epoch-boundary
+            // offer — zero unfenced polls in between — so a full fenced
+            // drain of the replayed shard reproduces it bitwise.
+            for snap in &begin.affected {
+                let k = snap.shard as usize;
+                let drained = match fleet.shards[k].as_mut() {
+                    Some(gov) => gov.drain_fenced()?,
+                    None => {
+                        return Err(DetectorError::Corrupt(format!(
+                            "migration epoch {epoch} names shard {k}, which is not live"
+                        )))
+                    }
+                };
+                for v in &drained {
+                    fleet.charge_costs(k, v);
+                }
+                replayed[k].extend(drained);
+            }
+            // Roll forward: rebuild each affected shard from the recorded
+            // snapshots (exactly the live commit's derivation), then replay
+            // its new epoch directory before the next migration's fence.
+            for snap in &begin.affected {
+                let k = snap.shard as usize;
+                let new_members = planned.members(k).to_vec();
+                let (det, gov_state) =
+                    migrate::merge_shard_state(begin, &old_shard_of, k, &new_members)?;
+                let seed = Arc::new((det, gov_state));
+                let online = fleet.build_online_members(&new_members)?;
+                let mut gov = Self::seeded_governor(
+                    online,
+                    &fleet.config.overload,
+                    &fleet.fallback,
+                    &seed,
+                )?;
+                let dir = shard_epoch_wal_dir(&root, k, epoch);
+                let identity = planned.shard_identity_at(&fleet.catalog, k, epoch);
+                // The marker is advisory (the log is authoritative):
+                // validate it when present, restore it when the crash beat
+                // the marker write.
+                let members_u32: Vec<u32> = new_members.iter().map(|&s| s as u32).collect();
+                match migrate::read_commit_marker(&dir, Some(identity))? {
+                    Some((marker_epoch, _, _)) if marker_epoch != epoch => {
+                        return Err(DetectorError::Corrupt(format!(
+                            "commit marker in {} names epoch {marker_epoch}, log says {epoch}",
+                            dir.display()
+                        )));
+                    }
+                    Some(_) => {}
+                    None => migrate::write_commit_marker(&dir, epoch, identity, &members_u32)?,
+                }
+                let wal_config = WalConfig {
+                    identity: Some(identity),
+                    ..fleet.config.wal
+                };
+                let (verdicts, recovery) = gov.resume_wal_into(&dir, wal_config)?;
+                total_frames[k] += recovery.frames;
+                absorb_recovery(&mut recoveries[k], recovery);
+                for v in &verdicts {
+                    fleet.charge_costs_members(&new_members, v);
+                }
+                replayed[k].extend(verdicts);
+                fleet.shards[k] = Some(gov);
+                fleet.seeds[k] = Some(seed);
+                fleet.shard_epochs[k] = epoch;
+            }
+            fleet.stars_moved += moved_stars(fleet.assignment.shard_map(), planned.shard_map());
+            fleet.assignment = planned;
+            fleet.migrations_done += 1;
+        }
+        for k in 0..num_shards {
+            fleet.emitted[k] = replayed[k].len();
+            fleet.frames_routed = fleet.frames_routed.max(total_frames[k]);
         }
         let resume = FleetResume {
             frames_routed: fleet.frames_routed,
@@ -664,12 +917,23 @@ impl FleetCoordinator {
             shard_restarts: 0,
             shard_failures: 0,
             frames_lost: 0,
+            frames_lost_per_shard: vec![0; num_shards],
+            shard_epochs: vec![0; num_shards],
+            pending_out: (0..num_shards).map(|_| VecDeque::new()).collect(),
+            seeds: vec![None; num_shards],
+            migrations_done: 0,
+            stars_moved: 0,
+            migrations_rolled_back: 0,
         })
     }
 
     fn shard_wal_config(&self, shard: usize) -> WalConfig {
         WalConfig {
-            identity: Some(self.assignment.shard_identity(&self.catalog, shard)),
+            identity: Some(self.assignment.shard_identity_at(
+                &self.catalog,
+                shard,
+                self.shard_epochs[shard],
+            )),
             ..self.config.wal
         }
     }
@@ -686,11 +950,17 @@ impl FleetCoordinator {
 
     /// Builds shard `k`'s detector via the factory and validates its width.
     fn build_online(&self, shard: usize) -> DetectorResult<OnlineAero> {
-        let members = self.assignment.members(shard);
+        self.build_online_members(self.assignment.members(shard))
+    }
+
+    /// Builds a detector over an explicit member set — the migration path
+    /// constructs shards for a membership the live assignment does not have
+    /// yet.
+    fn build_online_members(&self, members: &[usize]) -> DetectorResult<OnlineAero> {
         let mut online = (self.factory)(members)?;
         if online.num_variates() != members.len() {
             return Err(DetectorError::Invalid(format!(
-                "shard {shard} factory built {} variates for {} member stars",
+                "factory built {} variates for {} member stars",
                 online.num_variates(),
                 members.len()
             )));
@@ -708,10 +978,32 @@ impl FleetCoordinator {
         Ok(gov)
     }
 
-    /// Rebuilds a dead shard to its exact pre-death state: factory, WAL
-    /// replay, then re-execution of the coordinator's trailing polls. Runs
-    /// as an associated function so the supervisor closure borrows nothing
-    /// from `self`.
+    /// Installs a merged migration snapshot into a factory-fresh detector
+    /// and wraps it in a governor — the common core of the live commit, the
+    /// post-migration shard restart, and the resume roll-forward. Clock
+    /// install precedes lane install: the suspect-countdown rebase is
+    /// relative to the governor's poll clock.
+    fn seeded_governor(
+        online: OnlineAero,
+        overload: &OverloadPolicy,
+        fallback: &Option<FallbackScorer>,
+        seed: &(DetectorState, GovernorState),
+    ) -> DetectorResult<StreamGovernor> {
+        let mut online = online;
+        online.install_migration(&seed.0)?;
+        let mut gov = StreamGovernor::with_policy(online, overload.clone())?;
+        gov.set_fallback(fallback.clone());
+        gov.install_clocks(&seed.1);
+        let mapping: Vec<(usize, usize)> = (0..seed.1.stars.len()).map(|i| (i, i)).collect();
+        gov.install_migration(&seed.1, &mapping)?;
+        Ok(gov)
+    }
+
+    /// Rebuilds a dead shard to its exact pre-death state: factory, seed
+    /// snapshot (when the shard has been migrated this night), WAL replay
+    /// of its current epoch directory, then re-execution of the
+    /// coordinator's trailing polls. Runs as an associated function so the
+    /// supervisor closure borrows nothing from `self`.
     #[allow(clippy::too_many_arguments)]
     fn rebuild_shard(
         factory: &ShardFactory,
@@ -722,6 +1014,7 @@ impl FleetCoordinator {
         wal_config: WalConfig,
         trailing_polls: usize,
         batched: Option<bool>,
+        seed: Option<&(DetectorState, GovernorState)>,
     ) -> DetectorResult<StreamGovernor> {
         let mut online = factory(members)?;
         if online.num_variates() != members.len() {
@@ -734,31 +1027,26 @@ impl FleetCoordinator {
         if let Some(on) = batched {
             online.set_batched_inference(on);
         }
-        match wal_dir {
-            Some(dir) => {
-                let (mut gov, _replayed, _recovery) = StreamGovernor::resume_wal(
-                    online,
-                    overload.clone(),
-                    fallback.clone(),
-                    dir,
-                    wal_config,
-                )?;
-                // The replayed verdicts and these trailing re-polls were all
-                // emitted before the death; discard them so the caller's
-                // stream continues without duplicates.
-                for _ in 0..trailing_polls {
-                    gov.poll()?;
-                }
-                Ok(gov)
-            }
+        let mut gov = match seed {
+            Some(seed) => Self::seeded_governor(online, overload, fallback, seed)?,
             None => {
-                // No WAL: the restart is a cold start (state lost, stream
-                // not bitwise). Isolation still holds.
                 let mut gov = StreamGovernor::with_policy(online, overload.clone())?;
                 gov.set_fallback(fallback.clone());
-                Ok(gov)
+                gov
+            }
+        };
+        if let Some(dir) = wal_dir {
+            // The replayed verdicts and these trailing re-polls were all
+            // emitted before the death; discard them so the caller's
+            // stream continues without duplicates.
+            let (_replayed, _recovery) = gov.resume_wal_into(dir, wal_config)?;
+            for _ in 0..trailing_polls {
+                gov.poll()?;
             }
         }
+        // Without a WAL the restart is a cold start from the seed (or from
+        // scratch); isolation still holds, the stream is not bitwise.
+        Ok(gov)
     }
 
     /// Marks shard `k` dead, snapshotting its health for reporting.
@@ -783,10 +1071,13 @@ impl FleetCoordinator {
         let overload = self.config.overload.clone();
         let fallback = self.fallback.clone();
         let root = self.config.wal_root.clone();
-        let wal_dir = root.as_deref().map(|r| shard_wal_dir(r, shard));
+        let wal_dir = root
+            .as_deref()
+            .map(|r| shard_epoch_wal_dir(r, shard, self.shard_epochs[shard]));
         let wal_config = self.shard_wal_config(shard);
         let trailing = self.trailing_polls[shard];
         let batched = self.batched_override;
+        let seed = self.seeds[shard].clone();
         let outcome = self.supervisor.run(shard, || {
             Self::rebuild_shard(
                 &factory,
@@ -797,6 +1088,7 @@ impl FleetCoordinator {
                 wal_config,
                 trailing,
                 batched,
+                seed.as_deref(),
             )
         });
         match outcome {
@@ -819,7 +1111,19 @@ impl FleetCoordinator {
 
     /// Adds a serviced verdict's measured work to the per-star cost ledger.
     fn charge_costs(&mut self, shard: usize, verdict: &GovernedVerdict) {
-        let members = self.assignment.members(shard);
+        for (local, &star) in self.assignment.members[shard].iter().enumerate() {
+            self.costs[star] += star_cost(
+                verdict.shed[local],
+                verdict.classes[local],
+                verdict.levels[local],
+            );
+        }
+    }
+
+    /// [`charge_costs`](Self::charge_costs) against an explicit member set:
+    /// resume replays verdicts recorded under memberships the in-flight
+    /// reconstruction has not switched to (or has already switched past).
+    fn charge_costs_members(&mut self, members: &[usize], verdict: &GovernedVerdict) {
         for (local, &star) in members.iter().enumerate() {
             self.costs[star] += star_cost(
                 verdict.shed[local],
@@ -860,6 +1164,183 @@ impl FleetCoordinator {
         Ok(())
     }
 
+    /// The chaos hook: aborts the handoff with a typed error at the
+    /// configured phase boundary, leaving exactly the on-disk state a
+    /// `kill -9` at that instant would. The coordinator must be dropped and
+    /// resumed afterwards.
+    fn chaos_kill(&self, epoch: u64, point: MigrationKillPoint) -> DetectorResult<()> {
+        if self.config.chaos_migration_kill == Some((epoch, point)) {
+            return Err(DetectorError::Io(format!(
+                "chaos: killed at {point:?} of migration epoch {epoch}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Applies every recorded-but-unapplied plan through the two-phase
+    /// handoff, in epoch order. Runs at the top of [`poll`](Self::poll),
+    /// immediately after [`maybe_plan`](Self::maybe_plan): the
+    /// epoch-boundary offer is always the last record of the superseded
+    /// directories, so recovery's fence-drain reproduces the live one
+    /// exactly (no unfenced poll can slip between boundary and fence).
+    fn maybe_migrate(&mut self) -> DetectorResult<()> {
+        if !self.config.migrate_live {
+            return Ok(());
+        }
+        while self.migrations_done < self.plans.len() {
+            if !self.execute_migration()? {
+                // An affected shard is down/quarantined: defer and retry
+                // next poll. Recovery is directory-driven, so the deferral
+                // shifts nothing — the fence lands wherever the drain does.
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the next plan's handoff end to end: fence + snapshot,
+    /// durable `Begin`, destination build, durable `Commit` + markers,
+    /// in-memory flip. `Ok(false)` defers (an affected shard isn't
+    /// running). An `Err` mid-handoff leaves the coordinator unusable —
+    /// crash-only by design; drop it and [`resume`](Self::resume).
+    fn execute_migration(&mut self) -> DetectorResult<bool> {
+        let num_shards = self.assignment.num_shards();
+        let plan = &self.plans[self.migrations_done];
+        let epoch = plan.epoch;
+        let planned =
+            ShardAssignment::from_plan(&self.catalog, num_shards, plan.shard_of.clone(), epoch)?;
+        let affected: Vec<usize> = (0..num_shards)
+            .filter(|&k| self.assignment.members(k) != planned.members(k))
+            .collect();
+        if affected.is_empty() {
+            // The plan re-derives the current assignment: nothing moves,
+            // no fence, no new directories.
+            self.migrations_done += 1;
+            return Ok(true);
+        }
+        self.chaos_kill(epoch, MigrationKillPoint::PreFence)?;
+        for &k in &affected {
+            self.ensure_running(k);
+            if self.shards[k].is_none() {
+                return Ok(false);
+            }
+        }
+        // Phase 1 — fence. Each affected shard drains its in-flight queue
+        // under the fence (no shedding, ladder frozen), the drained
+        // verdicts move to the hold-out queue (their costs charged now, at
+        // their true service point), and the shard's full state is
+        // exported.
+        let mut snapshots = Vec::with_capacity(affected.len());
+        for &k in &affected {
+            let drained = match self.shards[k].as_mut() {
+                Some(gov) => gov.drain_fenced()?,
+                None => return Ok(false),
+            };
+            for v in &drained {
+                self.charge_costs(k, v);
+            }
+            self.pending_out[k].extend(drained);
+            let (detector, governor) = match self.shards[k].as_ref() {
+                Some(gov) => (gov.online().export_migration()?, gov.export_migration()?),
+                None => return Ok(false),
+            };
+            snapshots.push(ShardSnapshot {
+                shard: k as u32,
+                members: self
+                    .assignment
+                    .members(k)
+                    .iter()
+                    .map(|&s| s as u32)
+                    .collect(),
+                detector,
+                governor,
+            });
+        }
+        self.chaos_kill(epoch, MigrationKillPoint::PostFence)?;
+        let record = MigrationRecord::Begin(MigrationBegin {
+            epoch,
+            frames_routed: self.frames_routed as u64,
+            shard_of: planned.shard_map().iter().map(|&s| s as u32).collect(),
+            affected: snapshots,
+        });
+        let root = self.config.wal_root.clone();
+        if let Some(root) = &root {
+            migrate::append_migration(&plan_wal_dir(root), &record)?;
+        }
+        let MigrationRecord::Begin(begin) = record else {
+            unreachable!()
+        };
+        // Phase 2 — build each destination: factory model for the new
+        // membership, merged snapshot installed (moved stars aligned to the
+        // destination's timestamps), fresh epoch-versioned WAL directory.
+        let old_shard_of: Vec<usize> = self.assignment.shard_map().to_vec();
+        let mut staged = Vec::with_capacity(affected.len());
+        for &k in &affected {
+            let new_members = planned.members(k).to_vec();
+            let (det, gov_state) =
+                migrate::merge_shard_state(&begin, &old_shard_of, k, &new_members)?;
+            let seed = Arc::new((det, gov_state));
+            let online = self.build_online_members(&new_members)?;
+            let mut gov =
+                Self::seeded_governor(online, &self.config.overload, &self.fallback, &seed)?;
+            if let Some(root) = &root {
+                let dir = shard_epoch_wal_dir(root, k, epoch);
+                if dir.exists() {
+                    // Can only be garbage from an attempt that never
+                    // committed (a committed epoch advances
+                    // `migrations_done` past this plan), so clear it.
+                    std::fs::remove_dir_all(&dir).map_err(|e| {
+                        DetectorError::Io(format!(
+                            "clear stale migration dir {}: {e}",
+                            dir.display()
+                        ))
+                    })?;
+                }
+                let wal_config = WalConfig {
+                    identity: Some(planned.shard_identity_at(&self.catalog, k, epoch)),
+                    ..self.config.wal
+                };
+                let wal = WalWriter::create(&dir, wal_config)?;
+                gov.attach_wal(wal)?;
+            }
+            staged.push((k, gov, seed));
+        }
+        self.chaos_kill(epoch, MigrationKillPoint::PreCommit)?;
+        // Phase 3 — commit: the durable decision record, then a marker in
+        // every new directory binding it to its epoch and identity.
+        if let Some(root) = &root {
+            migrate::append_migration(
+                &plan_wal_dir(root),
+                &MigrationRecord::Commit(MigrationCommit { epoch }),
+            )?;
+            for &k in &affected {
+                let members: Vec<u32> = planned.members(k).iter().map(|&s| s as u32).collect();
+                migrate::write_commit_marker(
+                    &shard_epoch_wal_dir(root, k, epoch),
+                    epoch,
+                    planned.shard_identity_at(&self.catalog, k, epoch),
+                    &members,
+                )?;
+            }
+        }
+        self.chaos_kill(epoch, MigrationKillPoint::PostCommit)?;
+        // Flip — atomic in memory. Replaced governors (and their sealed
+        // WAL handles) drop here; the superseded directories stay on disk
+        // for recovery replay.
+        for (k, gov, seed) in staged {
+            self.shards[k] = Some(gov);
+            self.states[k] = ShardState::Running;
+            self.last_errors[k] = None;
+            self.shard_epochs[k] = epoch;
+            self.seeds[k] = Some(seed);
+            self.trailing_polls[k] = 0;
+        }
+        self.stars_moved += moved_stars(self.assignment.shard_map(), planned.shard_map());
+        self.assignment = planned;
+        self.migrations_done += 1;
+        Ok(true)
+    }
+
     /// Routes one full-sky frame: each shard receives its member stars'
     /// slice. A dead shard is first offered a restart; if it stays down its
     /// slice is dropped and counted ([`FleetHealth::frames_lost`]) — no
@@ -884,6 +1365,7 @@ impl FleetCoordinator {
             self.ensure_running(k);
             let Some(gov) = self.shards[k].as_mut() else {
                 self.frames_lost += 1;
+                self.frames_lost_per_shard[k] += 1;
                 out.push(None);
                 continue;
             };
@@ -899,6 +1381,7 @@ impl FleetCoordinator {
                     // from its log on the next service round.
                     self.fail_shard(k, e.to_string());
                     self.frames_lost += 1;
+                    self.frames_lost_per_shard[k] += 1;
                     out.push(None);
                 }
             }
@@ -913,37 +1396,57 @@ impl FleetCoordinator {
     /// next round — every other shard's verdict is unaffected.
     pub fn poll(&mut self) -> DetectorResult<Vec<Option<GovernedVerdict>>> {
         self.maybe_plan()?;
+        self.maybe_migrate()?;
         let num_shards = self.assignment.num_shards();
         for k in 0..num_shards {
             self.ensure_running(k);
         }
-        let results = supervised_map_mut(&mut self.shards, |_, slot| {
+        let results = supervised_map_mut(&mut self.shards, |_k, slot| {
             slot.as_mut().map(StreamGovernor::poll)
         });
         let mut out = Vec::with_capacity(num_shards);
         for (k, result) in results.into_iter().enumerate() {
-            match result {
+            let produced = match result {
                 // The shard's poll panicked: capture, isolate, restart later.
                 Err(shard_err) => {
                     self.fail_shard(k, shard_err.to_string());
-                    out.push(None);
+                    None
                 }
                 // Shard was down this round.
-                Ok(None) => out.push(None),
+                Ok(None) => None,
                 // Typed failure from inside the shard (WAL I/O, ...).
                 Ok(Some(Err(e))) => {
                     self.fail_shard(k, e.to_string());
-                    out.push(None);
+                    None
                 }
                 Ok(Some(Ok(verdict))) => {
                     self.trailing_polls[k] += 1;
                     if let Some(v) = &verdict {
-                        self.emitted[k] += 1;
                         self.charge_costs(k, v);
                     }
-                    out.push(verdict);
+                    verdict
                 }
+            };
+            // `pending_out` is a pure reorder buffer: a migration's
+            // fence-drained verdicts were serviced before the handoff, so
+            // they leave first, in order, while the governor keeps its
+            // normal one-poll-per-round cadence behind them. Costs were
+            // charged at production (fence drain or the poll above), never
+            // at emission, so a crash inside this window loses nothing —
+            // resume re-derives every verdict and emits the backlog as
+            // replayed output.
+            let emit = if self.pending_out[k].is_empty() {
+                produced
+            } else {
+                if let Some(v) = produced {
+                    self.pending_out[k].push_back(v);
+                }
+                self.pending_out[k].pop_front()
+            };
+            if emit.is_some() {
+                self.emitted[k] += 1;
             }
+            out.push(emit);
         }
         Ok(out)
     }
@@ -1007,6 +1510,7 @@ impl FleetCoordinator {
                 stars: self.assignment.members(k).len(),
                 emitted: self.emitted[k],
                 queue_depth,
+                frames_lost: self.frames_lost_per_shard[k],
                 last_error: self.last_errors[k].clone(),
                 health,
             });
@@ -1019,6 +1523,8 @@ impl FleetCoordinator {
             shards_down,
             frames_lost: self.frames_lost,
             rebalance_plans: self.plans.len(),
+            stars_moved: self.stars_moved,
+            migrations_rolled_back: self.migrations_rolled_back,
             supervisor: self.supervisor.stats(),
             aggregate,
         }
@@ -1058,6 +1564,27 @@ impl FleetCoordinator {
     /// Shard `k`'s lifecycle state.
     pub fn shard_state(&self, shard: usize) -> ShardState {
         self.states[shard]
+    }
+
+    /// Plan epoch of shard `k`'s last membership change (0 = never
+    /// migrated); names its current WAL directory.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shard_epochs[shard]
+    }
+
+    /// Stars re-homed by committed live migrations so far.
+    pub fn stars_moved(&self) -> usize {
+        self.stars_moved
+    }
+
+    /// Half-finished migrations this process rolled back on resume.
+    pub fn migrations_rolled_back(&self) -> usize {
+        self.migrations_rolled_back
+    }
+
+    /// The per-star measured-cost ledger feeding rebalance plans.
+    pub fn star_costs(&self) -> &[u64] {
+        &self.costs
     }
 
     /// The shard-level supervisor (restart retries, breaker, probes).

@@ -27,6 +27,7 @@ pub mod detector;
 pub mod fleet;
 pub mod graph_learn;
 pub mod memory;
+pub mod migrate;
 pub mod model;
 pub mod online;
 pub mod overload;
@@ -48,6 +49,10 @@ pub use fleet::{
 };
 pub use graph_learn::{window_adjacency, GraphBuilder};
 pub use memory::{aero_memory, baseline_memory, MemoryEstimate};
+pub use migrate::{
+    DetectorState, GovernorStarState, GovernorState, MigrationBegin, MigrationCommit,
+    MigrationKillPoint, MigrationRecord, ShardSnapshot, StarLane,
+};
 pub use model::{Aero, ChaosHook, ScoreMode, ShardFailure};
 pub use online::{
     DegradePolicy, FrameDisposition, FrameVerdict, HealthReport, OnlineAero, StarStatus,
@@ -64,6 +69,11 @@ pub use report::{
     stream_summary_json, supervisor_json, tenants_json, EventCandidate, JsonObject,
 };
 pub use serve::{ServeConfig, ServeCore, ServeOptions, ServeReport, ServeState};
-pub use supervisor::{SupervisionError, Supervisor, SupervisorPolicy, SupervisorStats};
+pub use supervisor::{
+    BreakerState, SupervisionError, Supervisor, SupervisorPolicy, SupervisorStats,
+};
 pub use temporal::TemporalModule;
-pub use wal::{FsyncPolicy, WalConfig, WalFrame, WalIdentity, WalRecovery, WalWriter};
+pub use wal::{
+    FsyncPolicy, WalConfig, WalFinding, WalFindingKind, WalFrame, WalIdentity, WalRecovery,
+    WalVerifyReport, WalWriter,
+};

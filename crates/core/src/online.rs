@@ -347,8 +347,10 @@ pub struct OnlineAero {
     scored_frames: usize,
     /// EWMA estimate of the nominal inter-frame cadence.
     cadence: f64,
-    /// Recent finite, non-quarantined scores retained for threshold refits.
-    score_history: VecDeque<f32>,
+    /// Recent finite, non-quarantined scores retained for threshold refits,
+    /// one lane per star so a migrating star carries its refit history with
+    /// it (lanes are concatenated star-major at refit time).
+    score_history: Vec<VecDeque<f32>>,
     health: HealthReport,
     /// Supervision units `0..n` are the stars, unit `n` the POT refit, unit
     /// `n+1` the whole-frame scoring pass.
@@ -444,7 +446,7 @@ impl OnlineAero {
             frames_seen: 0,
             scored_frames: 0,
             cadence,
-            score_history: VecDeque::new(),
+            score_history: vec![VecDeque::new(); n],
             health: HealthReport::default(),
             supervisor,
             wal: None,
@@ -679,9 +681,10 @@ impl OnlineAero {
                 if status == StarStatus::Quarantined {
                     return StarVerdict { score: 0.0, anomalous: false, status };
                 }
-                self.score_history.push_back(score);
-                if self.score_history.len() > self.policy.refit_window {
-                    self.score_history.pop_front();
+                let cap = history_cap(self.policy.refit_window, n);
+                self.score_history[v].push_back(score);
+                if self.score_history[v].len() > cap {
+                    self.score_history[v].pop_front();
                 }
                 StarVerdict {
                     score,
@@ -1042,9 +1045,10 @@ impl OnlineAero {
                     // Only full two-stage scores feed the refit history:
                     // |E| rungs and shed zeros are a different distribution
                     // and would drag the POT tail fit around with load.
-                    self.score_history.push_back(score);
-                    if self.score_history.len() > self.policy.refit_window {
-                        self.score_history.pop_front();
+                    let cap = history_cap(self.policy.refit_window, n);
+                    self.score_history[v].push_back(score);
+                    if self.score_history[v].len() > cap {
+                        self.score_history[v].pop_front();
                     }
                 }
                 if modes.is_some_and(|m| m[v] == ScoreMode::Skip) {
@@ -1071,7 +1075,11 @@ impl OnlineAero {
         {
             return;
         }
-        let recent: Vec<f32> = self.score_history.iter().copied().collect();
+        let recent: Vec<f32> = self
+            .score_history
+            .iter()
+            .flat_map(|lane| lane.iter().copied())
+            .collect();
         let pot = self.pot;
         // POT refits run under the policy deadline but bypass the breaker:
         // a refit that fails on a thin tail today may succeed once more
@@ -1092,6 +1100,108 @@ impl OnlineAero {
             }
         }
     }
+
+    /// Snapshots the detector half of a shard for live migration (DESIGN.md
+    /// §16): window buffers in star-major lanes, the poll-independent shard
+    /// clocks, the calibrated threshold, health counters, and every
+    /// supervisor breaker. Requires no pipelined frame in flight.
+    pub fn export_migration(&self) -> DetectorResult<crate::migrate::DetectorState> {
+        if self.pending.is_some() {
+            return Err(DetectorError::Invalid(
+                "flush the pipelined frame before exporting migration state".into(),
+            ));
+        }
+        let n = self.num_variates;
+        let stars = (0..n)
+            .map(|v| crate::migrate::StarLane {
+                window: self.buffer.iter().map(|row| row[v]).collect(),
+                imputed: self.imputed.iter().map(|row| row[v]).collect(),
+                status: self.star_status[v],
+                score_history: self.score_history[v].iter().copied().collect(),
+                breaker: self.supervisor.unit_state(v),
+            })
+            .collect();
+        Ok(crate::migrate::DetectorState {
+            timestamps: self.timestamps.iter().copied().collect(),
+            cadence: self.cadence,
+            frames_seen: self.frames_seen as u64,
+            scored_frames: self.scored_frames as u64,
+            threshold: self.threshold,
+            health: self.health.clone(),
+            sup_stats: self.supervisor.stats(),
+            refit_breaker: self.supervisor.unit_state(n),
+            frame_breaker: self.supervisor.unit_state(n + 1),
+            stars,
+        })
+    }
+
+    /// Installs a migrated shard snapshot over a freshly built detector
+    /// (same model config, new membership). `state.stars` must already be
+    /// assembled in this detector's star order, with every lane's window
+    /// aligned to `state.timestamps` (see
+    /// [`crate::migrate::align_star_lane`]). Replaces window buffers,
+    /// clocks, threshold, health, and supervisor state wholesale.
+    pub fn install_migration(
+        &mut self,
+        state: &crate::migrate::DetectorState,
+    ) -> DetectorResult<()> {
+        if self.pending.is_some() {
+            return Err(DetectorError::Invalid(
+                "cannot install migration state over a pipelined frame".into(),
+            ));
+        }
+        let n = self.num_variates;
+        if state.stars.len() != n {
+            return Err(DetectorError::Invalid(format!(
+                "migration snapshot has {} star lanes for a {n}-star detector",
+                state.stars.len()
+            )));
+        }
+        let len = state.timestamps.len();
+        for (v, lane) in state.stars.iter().enumerate() {
+            if lane.window.len() != len || lane.imputed.len() != len {
+                return Err(DetectorError::Invalid(format!(
+                    "star lane {v} window length {} does not match {len} timestamps",
+                    lane.window.len()
+                )));
+            }
+        }
+        self.timestamps = state.timestamps.iter().copied().collect();
+        self.buffer = (0..len)
+            .map(|t| state.stars.iter().map(|lane| lane.window[t]).collect())
+            .collect();
+        self.imputed = (0..len)
+            .map(|t| state.stars.iter().map(|lane| lane.imputed[t]).collect())
+            .collect();
+        self.star_status = state.stars.iter().map(|lane| lane.status).collect();
+        let cap = history_cap(self.policy.refit_window, n);
+        self.score_history = state
+            .stars
+            .iter()
+            .map(|lane| {
+                let skip = lane.score_history.len().saturating_sub(cap);
+                lane.score_history[skip..].iter().copied().collect()
+            })
+            .collect();
+        self.cadence = state.cadence;
+        self.frames_seen = state.frames_seen as usize;
+        self.scored_frames = state.scored_frames as usize;
+        self.threshold = state.threshold;
+        self.health = state.health.clone();
+        self.supervisor.install_stats(state.sup_stats);
+        for (v, lane) in state.stars.iter().enumerate() {
+            self.supervisor.install_unit_state(v, lane.breaker);
+        }
+        self.supervisor.install_unit_state(n, state.refit_breaker);
+        self.supervisor.install_unit_state(n + 1, state.frame_breaker);
+        Ok(())
+    }
+}
+
+/// Per-star refit-history cap: the policy's `refit_window` split across
+/// lanes, floored so thin shards still accumulate a usable tail.
+fn history_cap(refit_window: usize, n: usize) -> usize {
+    (refit_window / n.max(1)).max(16)
 }
 
 /// Median inter-observation spacing (robust to a few gaps in the

@@ -536,6 +536,14 @@ pub struct StreamGovernor {
     /// Per-tenant token buckets (present only when the policy enables
     /// tenancy). BTreeMap so refills iterate in tenant-id order.
     tenant_buckets: std::collections::BTreeMap<u32, u32>,
+    /// Migration fence (see [`drain_fenced`](Self::drain_fenced)): while
+    /// set, polls neither shed stars nor step the ladder — an
+    /// administrative drain is not load.
+    fenced: bool,
+    /// Set when an append failed with [`DetectorError::WalFull`]: the log
+    /// was detached and every star forced to `HoldLast` instead of
+    /// crashing the stream.
+    wal_exhausted: bool,
 }
 
 impl StreamGovernor {
@@ -564,6 +572,8 @@ impl StreamGovernor {
             budget,
             fallback: None,
             tenant_buckets: std::collections::BTreeMap::new(),
+            fenced: false,
+            wal_exhausted: false,
         })
     }
 
@@ -616,9 +626,8 @@ impl StreamGovernor {
         // the rejection is recomputed deterministically on replay from the
         // same queue state, and logging before deciding means a crash
         // between the two can't silently lose the decision.
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append_with_meta(timestamp, values, self.polls_since_offer)?;
-        }
+        let meta = self.polls_since_offer;
+        self.log_offer(timestamp, values, meta)?;
         self.polls_since_offer = 0;
         Ok(self.admit(None, timestamp, values))
     }
@@ -652,11 +661,37 @@ impl StreamGovernor {
                 values.len()
             )));
         }
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append_with_meta(timestamp, values, pack_meta(tenant, self.polls_since_offer))?;
-        }
+        let meta = pack_meta(tenant, self.polls_since_offer);
+        self.log_offer(timestamp, values, meta)?;
         self.polls_since_offer = 0;
         Ok(self.admit(Some(tenant), timestamp, values))
+    }
+
+    /// Appends one offer to the WAL, degrading instead of crashing when the
+    /// device is full: on [`DetectorError::WalFull`] the log is detached
+    /// (its on-disk prefix stays valid), every star drops to `HoldLast`,
+    /// and the stream keeps serving from memory. Other errors propagate.
+    fn log_offer(&mut self, timestamp: f64, values: &[f32], meta: u32) -> DetectorResult<()> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        match wal.append_with_meta(timestamp, values, meta) {
+            Ok(_) => Ok(()),
+            Err(DetectorError::WalFull(_)) => {
+                self.wal = None;
+                self.wal_exhausted = true;
+                self.force_ladder_level(LadderLevel::HoldLast);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether the WAL was detached mid-run because the device filled up.
+    /// While set, verdicts past the detach point are hold-last and are not
+    /// recoverable by [`StreamGovernor::resume_wal`].
+    pub fn wal_exhausted(&self) -> bool {
+        self.wal_exhausted
     }
 
     /// The admission decision proper (shared by `offer`, `offer_from`, and
@@ -729,10 +764,18 @@ impl StreamGovernor {
         }
 
         // Pressure signal = depth at poll time (the frame being serviced
-        // included): a pure function of the offer/poll interleaving.
-        self.step_ladder(depth);
+        // included): a pure function of the offer/poll interleaving. A
+        // migration fence suppresses both the ladder and the shed set: the
+        // backlog being flushed is administrative, not arrival pressure, and
+        // a star must not leave its shard with a shed mark it would never
+        // have earned in an uninterrupted run.
         let classes = self.classes();
-        let shed = self.shed_set(depth, &classes);
+        let shed = if self.fenced {
+            vec![false; n]
+        } else {
+            self.step_ladder(depth);
+            self.shed_set(depth, &classes)
+        };
 
         let modes: Vec<ScoreMode> = (0..n)
             .map(|v| {
@@ -844,8 +887,26 @@ impl StreamGovernor {
         Ok(out)
     }
 
+    /// Polls until the queue is empty under a migration fence: no star is
+    /// shed and the ladder holds still, so the drained verdicts are exactly
+    /// what an unfenced, unpressured governor would have produced. This is
+    /// phase 1 of a live handoff (DESIGN.md §16) — after it returns, the
+    /// governor is quiescent and [`export_migration`](Self::export_migration)
+    /// can snapshot it.
+    pub fn drain_fenced(&mut self) -> DetectorResult<Vec<GovernedVerdict>> {
+        self.fenced = true;
+        let out = self.drain();
+        self.fenced = false;
+        out
+    }
+
     /// Steps the hysteretic ladder from the queue-depth signal.
     fn step_ladder(&mut self, depth: usize) {
+        if self.wal_exhausted {
+            // Pinned to hold-last until the operator restarts with space:
+            // stepping back up would emit unlogged (unrecoverable) verdicts.
+            return;
+        }
         let has_fallback = self.fallback.is_some();
         if depth > self.policy.high_watermark {
             self.pressure_streak += 1;
@@ -956,29 +1017,129 @@ impl StreamGovernor {
         let (wal, frames, recovery) = WalWriter::resume(dir, config)?;
         let mut gov = Self::with_policy(online, policy)?;
         gov.fallback = fallback;
+        let verdicts = gov.replay_frames(frames)?;
+        gov.wal = Some(wal);
+        Ok((gov, verdicts, recovery))
+    }
+
+    /// Replays recovered WAL frames through this governor, reproducing the
+    /// recorded offer/poll interleaving (see [`resume_wal`](Self::resume_wal)
+    /// for the semantics of the meta word and of legacy meta-less records).
+    fn replay_frames(&mut self, frames: Vec<crate::wal::WalFrame>) -> DetectorResult<Vec<GovernedVerdict>> {
         let mut verdicts = Vec::new();
         for frame in frames {
             match frame.meta {
                 Some(meta) => {
                     let (tenant, polls) = unpack_meta(meta);
                     for _ in 0..polls {
-                        if let Some(v) = gov.poll()? {
+                        if let Some(v) = self.poll()? {
                             verdicts.push(v);
                         }
                     }
-                    gov.admit(tenant, frame.timestamp, &frame.values);
-                    gov.polls_since_offer = 0;
+                    self.admit(tenant, frame.timestamp, &frame.values);
+                    self.polls_since_offer = 0;
                 }
                 None => {
-                    verdicts.extend(gov.drain()?);
-                    gov.admit(None, frame.timestamp, &frame.values);
-                    gov.polls_since_offer = 0;
-                    verdicts.extend(gov.drain()?);
+                    verdicts.extend(self.drain()?);
+                    self.admit(None, frame.timestamp, &frame.values);
+                    self.polls_since_offer = 0;
+                    verdicts.extend(self.drain()?);
                 }
             }
         }
-        gov.wal = Some(wal);
-        Ok((gov, verdicts, recovery))
+        Ok(verdicts)
+    }
+
+    /// Resumes a governed stream from a WAL **on top of a seeded governor**:
+    /// the post-commit half of a live shard migration (DESIGN.md §16). The
+    /// caller builds the governor (fresh model, new membership), installs a
+    /// [`crate::migrate::ShardSnapshot`] via
+    /// [`install_migration`](Self::install_migration), and then replays the
+    /// shard's *new* epoch directory here — frames appended after the
+    /// handoff committed. The governor must not already own a WAL.
+    pub fn resume_wal_into(
+        &mut self,
+        dir: &Path,
+        config: WalConfig,
+    ) -> DetectorResult<(Vec<GovernedVerdict>, WalRecovery)> {
+        if self.wal.is_some() {
+            return Err(DetectorError::Invalid(
+                "governor already owns a WAL; detach it before resume_wal_into".into(),
+            ));
+        }
+        let (wal, frames, recovery) = WalWriter::resume(dir, config)?;
+        let verdicts = self.replay_frames(frames)?;
+        self.wal = Some(wal);
+        Ok((verdicts, recovery))
+    }
+
+    /// Snapshots the governor half of a shard for migration: poll clock,
+    /// ladder/suspect/hold-last state per star, streaks, and tenant buckets.
+    /// Requires a drained queue ([`drain_fenced`](Self::drain_fenced) first)
+    /// — queued frames belong in the WAL, not the snapshot.
+    pub fn export_migration(&self) -> DetectorResult<crate::migrate::GovernorState> {
+        if !self.queue.is_empty() {
+            return Err(DetectorError::Invalid(format!(
+                "cannot export a governor with {} queued frames; drain first",
+                self.queue.len()
+            )));
+        }
+        Ok(crate::migrate::GovernorState {
+            polls: self.polls as u64,
+            polls_since_offer: self.polls_since_offer,
+            pressure_streak: self.pressure_streak as u64,
+            headroom_streak: self.headroom_streak as u64,
+            tenant_buckets: self.tenant_buckets.iter().map(|(&t, &b)| (t, b)).collect(),
+            stars: (0..self.levels.len())
+                .map(|v| crate::migrate::GovernorStarState {
+                    level: self.levels[v],
+                    suspect_remaining: self.suspect_until[v].saturating_sub(self.polls) as u64,
+                    last_score: self.last_verdicts[v].0,
+                    last_anomalous: self.last_verdicts[v].1,
+                })
+                .collect(),
+        })
+    }
+
+    /// Installs a migrated governor snapshot, rebasing each star's suspect
+    /// deadline onto this governor's poll clock. `stars` maps each snapshot
+    /// lane to a star index here (destination shards install a sub-slice of
+    /// the source snapshot; a rebuilt shard installs all lanes in order).
+    pub fn install_migration(
+        &mut self,
+        state: &crate::migrate::GovernorState,
+        stars: &[(usize, usize)],
+    ) -> DetectorResult<()> {
+        if !self.queue.is_empty() {
+            return Err(DetectorError::Invalid(
+                "cannot install migration state over a non-empty queue".into(),
+            ));
+        }
+        for &(from, to) in stars {
+            let lane = state.stars.get(from).ok_or_else(|| {
+                DetectorError::Invalid(format!("snapshot lane {from} out of range"))
+            })?;
+            if to >= self.levels.len() {
+                return Err(DetectorError::Invalid(format!(
+                    "star index {to} out of range for {}-star governor",
+                    self.levels.len()
+                )));
+            }
+            self.levels[to] = lane.level;
+            self.suspect_until[to] = self.polls + lane.suspect_remaining as usize;
+            self.last_verdicts[to] = (lane.last_score, lane.last_anomalous);
+        }
+        Ok(())
+    }
+
+    /// Installs the shard-wide governor clocks from a snapshot (full-shard
+    /// rebuild only — a destination merging one star keeps its own clocks).
+    pub fn install_clocks(&mut self, state: &crate::migrate::GovernorState) {
+        self.polls = state.polls as usize;
+        self.polls_since_offer = state.polls_since_offer;
+        self.pressure_streak = state.pressure_streak as usize;
+        self.headroom_streak = state.headroom_streak as usize;
+        self.tenant_buckets = state.tenant_buckets.iter().copied().collect();
     }
 
     /// Forces every star onto one rung (benchmarks and operator runbooks;

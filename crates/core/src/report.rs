@@ -333,11 +333,11 @@ pub fn render_catalog(events: &[EventCandidate], timestamps: &[f64], limit: usiz
 /// frames, last error) plus a fleet-wide summary line.
 pub fn render_fleet_health(health: &FleetHealth) -> String {
     let mut out = String::from(
-        "shard  state        stars  emitted  queue  accepted  shed   last error\n",
+        "shard  state        stars  emitted  queue  accepted  shed   lost   last error\n",
     );
     for s in &health.shards {
         out.push_str(&format!(
-            "{:<6} {:<12} {:<6} {:<8} {:<6} {:<9} {:<6} {}\n",
+            "{:<6} {:<12} {:<6} {:<8} {:<6} {:<9} {:<6} {:<6} {}\n",
             s.shard,
             s.state.label(),
             s.stars,
@@ -345,17 +345,20 @@ pub fn render_fleet_health(health: &FleetHealth) -> String {
             s.queue_depth,
             s.health.frames_accepted,
             s.health.overload.star_sheds,
+            s.frames_lost,
             s.last_error.as_deref().unwrap_or("-"),
         ));
     }
     out.push_str(&format!(
-        "fleet: {} routed, {} lost, {} failures, {} restarts, {} down, {} plans, breaker {} open / {} closed / {} probes\n",
+        "fleet: {} routed, {} lost, {} failures, {} restarts, {} down, {} plans, {} moved, {} rolled back, breaker {} open / {} closed / {} probes\n",
         health.frames_routed,
         health.frames_lost,
         health.shard_failures,
         health.shard_restarts,
         health.shards_down,
         health.rebalance_plans,
+        health.stars_moved,
+        health.migrations_rolled_back,
         health.supervisor.circuits_opened,
         health.supervisor.circuits_closed,
         health.supervisor.probes,
@@ -438,6 +441,7 @@ mod tests {
             stars: 5,
             emitted: 12,
             queue_depth: 1,
+            frames_lost: 2,
             last_error: err.map(String::from),
             health: HealthReport::default(),
         };
@@ -452,6 +456,8 @@ mod tests {
             shards_down: 1,
             frames_lost: 4,
             rebalance_plans: 1,
+            stars_moved: 6,
+            migrations_rolled_back: 1,
             supervisor: SupervisorStats::default(),
             aggregate: HealthReport::default(),
         };
@@ -460,6 +466,8 @@ mod tests {
         assert!(text.contains("quarantined"));
         assert!(text.contains("wal corrupt"));
         assert!(text.contains("40 routed"));
+        assert!(text.contains("6 moved"));
+        assert!(text.contains("1 rolled back"));
         assert_eq!(text.lines().count(), 4, "header + 2 shards + summary");
     }
 

@@ -224,6 +224,19 @@ struct UnitBreaker {
     short_circuited: AtomicU32,
 }
 
+/// A plain-data snapshot of one unit's circuit breaker, used by the fleet
+/// migration path to transplant a star's breaker history onto the
+/// destination shard's supervisor (see `crate::migrate`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerState {
+    /// Consecutive exhausted failures so far.
+    pub consecutive: u32,
+    /// Whether the breaker is open (unit short-circuited).
+    pub open: bool,
+    /// Short-circuited calls since opening (half-open probe schedule).
+    pub short_circuited: u32,
+}
+
 /// Runs closures with panic capture, deadline budgets, bounded deterministic
 /// retry, and per-unit circuit breaking. See the module docs for the model.
 #[derive(Debug)]
@@ -290,6 +303,40 @@ impl Supervisor {
             u.open.store(false, Ordering::Relaxed);
             u.short_circuited.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Snapshot of one unit's breaker (all-default for out-of-range units).
+    pub fn unit_state(&self, unit: usize) -> BreakerState {
+        self.units.get(unit).map_or_else(BreakerState::default, |u| BreakerState {
+            consecutive: u.consecutive.load(Ordering::Relaxed),
+            open: u.open.load(Ordering::Relaxed),
+            short_circuited: u.short_circuited.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Installs a previously exported breaker snapshot onto `unit`
+    /// (no-op for out-of-range units). Together with
+    /// [`install_stats`](Self::install_stats) this lets a rebuilt shard's
+    /// supervisor continue exactly where the exported one stopped.
+    pub fn install_unit_state(&self, unit: usize, state: BreakerState) {
+        if let Some(u) = self.units.get(unit) {
+            u.consecutive.store(state.consecutive, Ordering::Relaxed);
+            u.open.store(state.open, Ordering::Relaxed);
+            u.short_circuited.store(state.short_circuited, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the cumulative counters with an exported snapshot
+    /// (fleet-migration state transplant; see `crate::migrate`).
+    pub fn install_stats(&self, stats: SupervisorStats) {
+        self.panics.store(stats.panics, Ordering::Relaxed);
+        self.deadline_misses.store(stats.deadline_misses, Ordering::Relaxed);
+        self.task_failures.store(stats.task_failures, Ordering::Relaxed);
+        self.retries.store(stats.retries, Ordering::Relaxed);
+        self.circuits_opened.store(stats.circuits_opened, Ordering::Relaxed);
+        self.short_circuits.store(stats.short_circuits, Ordering::Relaxed);
+        self.probes.store(stats.probes, Ordering::Relaxed);
+        self.circuits_closed.store(stats.circuits_closed, Ordering::Relaxed);
     }
 
     /// Snapshot of the cumulative counters.

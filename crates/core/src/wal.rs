@@ -202,6 +202,21 @@ fn io_err(what: &str, path: &Path, e: std::io::Error) -> DetectorError {
     DetectorError::Io(format!("{what} {}: {e}", path.display()))
 }
 
+/// Classifies a *write-path* failure: a full device (ENOSPC, or the short
+/// write `write_all` reports as `WriteZero`) becomes the typed
+/// [`DetectorError::WalFull`] so the governor can degrade instead of
+/// treating it like a transient I/O fault; everything else stays
+/// [`DetectorError::Io`].
+fn write_err(what: &str, path: &Path, e: std::io::Error) -> DetectorError {
+    let full = e.raw_os_error() == Some(28) // POSIX ENOSPC
+        || matches!(e.kind(), std::io::ErrorKind::WriteZero);
+    if full {
+        DetectorError::WalFull(format!("{what} {}: {e}", path.display()))
+    } else {
+        io_err(what, path, e)
+    }
+}
+
 fn segment_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("wal-{seq:06}.seg"))
 }
@@ -497,6 +512,215 @@ pub fn replay_identified(
     Ok((outcome.frames, outcome.recovery))
 }
 
+/// What kind of damage an offline [`verify`] scrub found in a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFindingKind {
+    /// The segment's header is missing, has a bad magic, or names the
+    /// wrong sequence number.
+    BadHeader,
+    /// A hole in the `wal-NNNNNN.seg` numbering: the prefix replay stops
+    /// at the gap even if later segments are intact.
+    SequenceGap,
+    /// A record extends past the end of the file (the classic torn tail
+    /// of a crashed append), or its length field is structurally invalid.
+    TornTail,
+    /// A fully-present record whose FNV-1a checksum does not match its
+    /// payload: bit rot, not a crash.
+    ChecksumMismatch,
+    /// A record decodes cleanly but carries the wrong frame index — the
+    /// contiguous frame chain is broken.
+    FrameChainBreak,
+    /// The segment's identity header disagrees with the expected identity
+    /// or with the other segments in the directory.
+    IdentityMismatch,
+}
+
+impl WalFindingKind {
+    /// Stable lowercase label for JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::BadHeader => "bad_header",
+            Self::SequenceGap => "sequence_gap",
+            Self::TornTail => "torn_tail",
+            Self::ChecksumMismatch => "checksum_mismatch",
+            Self::FrameChainBreak => "frame_chain_break",
+            Self::IdentityMismatch => "identity_mismatch",
+        }
+    }
+}
+
+/// One piece of damage found by [`verify`].
+#[derive(Debug, Clone)]
+pub struct WalFinding {
+    /// Sequence number of the segment the finding is in.
+    pub segment: u64,
+    /// Path of that segment file.
+    pub path: PathBuf,
+    /// Byte offset of the damage within the segment.
+    pub offset: u64,
+    /// Damage category.
+    pub kind: WalFindingKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Outcome of an offline [`verify`] scrub over one WAL directory.
+#[derive(Debug, Clone, Default)]
+pub struct WalVerifyReport {
+    /// Segment files examined.
+    pub segments: usize,
+    /// Records that decoded cleanly (checksum + frame chain intact).
+    pub frames: usize,
+    /// Total bytes examined.
+    pub bytes: u64,
+    /// The identity carried by the first identified segment, if any.
+    pub identity: Option<WalIdentity>,
+    /// Everything wrong, in on-disk order.
+    pub findings: Vec<WalFinding>,
+}
+
+impl WalVerifyReport {
+    /// True when the scrub found nothing wrong.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Offline integrity scrub of a WAL directory: walks **every** segment —
+/// unlike [`replay`], it does not stop at the first cut — and reports each
+/// checksum failure, torn tail, sequence gap, frame-chain break, and
+/// identity mismatch it can attribute. Nothing on disk is modified. Errors
+/// only on environmental failures (unreadable directory/file).
+pub fn verify(dir: &Path, expected: Option<WalIdentity>) -> DetectorResult<WalVerifyReport> {
+    let segments = list_segments(dir)?;
+    let mut report = WalVerifyReport::default();
+    let mut next_frame = 0u64;
+    let mut expected_seq = 0u64;
+    for (seq, path) in &segments {
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err("read", path, e))?;
+        report.segments += 1;
+        report.bytes += bytes.len() as u64;
+        if *seq != expected_seq {
+            report.findings.push(WalFinding {
+                segment: *seq,
+                path: path.clone(),
+                offset: 0,
+                kind: WalFindingKind::SequenceGap,
+                detail: format!("expected segment {expected_seq}, found {seq}"),
+            });
+        }
+        expected_seq = seq + 1;
+        let Some((header_len, stored_identity)) = parse_segment_header(&bytes, *seq) else {
+            report.findings.push(WalFinding {
+                segment: *seq,
+                path: path.clone(),
+                offset: 0,
+                kind: WalFindingKind::BadHeader,
+                detail: "missing or malformed segment header".into(),
+            });
+            continue;
+        };
+        match (report.identity, stored_identity) {
+            (None, Some(id)) => report.identity = Some(id),
+            (Some(first), Some(id)) if id != first => report.findings.push(WalFinding {
+                segment: *seq,
+                path: path.clone(),
+                offset: 0,
+                kind: WalFindingKind::IdentityMismatch,
+                detail: format!("segment belongs to {id}; directory started as {first}"),
+            }),
+            _ => {}
+        }
+        if let Some(exp) = expected {
+            match stored_identity {
+                Some(id) if id == exp => {}
+                Some(id) => report.findings.push(WalFinding {
+                    segment: *seq,
+                    path: path.clone(),
+                    offset: 0,
+                    kind: WalFindingKind::IdentityMismatch,
+                    detail: format!("segment belongs to {id}; expected {exp}"),
+                }),
+                None => report.findings.push(WalFinding {
+                    segment: *seq,
+                    path: path.clone(),
+                    offset: 0,
+                    kind: WalFindingKind::IdentityMismatch,
+                    detail: format!("legacy AEROWAL1 segment (no identity); expected {exp}"),
+                }),
+            }
+        }
+        verify_records(&bytes, header_len, *seq, path, &mut next_frame, &mut report);
+    }
+    Ok(report)
+}
+
+/// Scans one segment's record stream for [`verify`], attributing each
+/// rejection. Stops at the first torn/corrupt record (the bytes after it
+/// have no reliable framing) but keeps the directory walk going.
+fn verify_records(
+    bytes: &[u8],
+    header_len: usize,
+    seq: u64,
+    path: &Path,
+    next_frame: &mut u64,
+    report: &mut WalVerifyReport,
+) {
+    let mut pos = header_len;
+    let push = |report: &mut WalVerifyReport, offset: usize, kind, detail: String| {
+        report.findings.push(WalFinding {
+            segment: seq,
+            path: path.to_path_buf(),
+            offset: offset as u64,
+            kind,
+            detail,
+        });
+    };
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        let Some(len) = read_u32(rest, 0) else {
+            push(report, pos, WalFindingKind::TornTail, format!("{} trailing byte(s) after the last record", rest.len()));
+            return;
+        };
+        if !(20..=MAX_PAYLOAD_BYTES).contains(&len) {
+            push(report, pos, WalFindingKind::TornTail, format!("record length field {len} out of range"));
+            return;
+        }
+        let len = len as usize;
+        let (Some(payload), Some(stored)) = (rest.get(4..4 + len), read_u64(rest, 4 + len)) else {
+            push(report, pos, WalFindingKind::TornTail, format!("record of {len} payload byte(s) cut off at end of file"));
+            return;
+        };
+        if record_checksum(payload) != stored {
+            push(report, pos, WalFindingKind::ChecksumMismatch, format!("stored checksum {stored:#018x} does not match the payload"));
+            return;
+        }
+        // The checksum is good, so the payload bytes are authoritative:
+        // decode against the frame index it *carries*, and report (then
+        // resync on) any break in the chain.
+        let carried = read_u64(payload, 0).unwrap_or(u64::MAX);
+        if carried != *next_frame {
+            push(
+                report,
+                pos,
+                WalFindingKind::FrameChainBreak,
+                format!("record carries frame {carried}, chain expected {}", *next_frame),
+            );
+            *next_frame = carried;
+        }
+        if parse_payload(payload, *next_frame).is_none() {
+            push(report, pos, WalFindingKind::ChecksumMismatch, "checksummed payload is structurally invalid".into());
+            return;
+        }
+        report.frames += 1;
+        *next_frame += 1;
+        pos += 4 + len + 8;
+    }
+}
+
 /// Appends checksummed frame records to a segmented log.
 #[derive(Debug)]
 pub struct WalWriter {
@@ -506,6 +730,10 @@ pub struct WalWriter {
     seq: u64,
     frames_in_segment: usize,
     next_frame: u64,
+    /// Injectable write-error seam: `Some(n)` makes every append after the
+    /// next `n` fail as if the device were full (see
+    /// [`inject_wal_full_after`](Self::inject_wal_full_after)).
+    fault_after: Option<u64>,
 }
 
 impl WalWriter {
@@ -530,6 +758,7 @@ impl WalWriter {
             seq: 0,
             frames_in_segment: 0,
             next_frame: 0,
+            fault_after: None,
         })
     }
 
@@ -561,6 +790,7 @@ impl WalWriter {
                 seq,
                 frames_in_segment: 0,
                 next_frame: outcome.frames.len() as u64,
+                fault_after: None,
             },
             Some((seq, path, valid_len)) => {
                 // Append mode: after the truncation below, writes must land
@@ -584,6 +814,7 @@ impl WalWriter {
                     seq,
                     frames_in_segment,
                     next_frame: outcome.frames.len() as u64,
+                    fault_after: None,
                 }
             }
         };
@@ -615,7 +846,7 @@ impl WalWriter {
                 h
             }
         };
-        file.write_all(&header).map_err(|e| io_err("write", &path, e))?;
+        file.write_all(&header).map_err(|e| write_err("write", &path, e))?;
         Ok(file)
     }
 
@@ -637,12 +868,30 @@ impl WalWriter {
         self.append_record(timestamp, values, Some(meta))
     }
 
+    /// Write-error seam for tests and chaos harnesses: the next `appends`
+    /// appends succeed, then every later one fails with
+    /// [`DetectorError::WalFull`] — exactly the behaviour of a log device
+    /// running out of space mid-night. No bytes are written by a faulted
+    /// append, so the on-disk prefix stays valid.
+    pub fn inject_wal_full_after(&mut self, appends: u64) {
+        self.fault_after = Some(appends);
+    }
+
     fn append_record(
         &mut self,
         timestamp: f64,
         values: &[f32],
         meta: Option<u32>,
     ) -> DetectorResult<u64> {
+        if let Some(remaining) = self.fault_after.as_mut() {
+            if *remaining == 0 {
+                return Err(DetectorError::WalFull(format!(
+                    "append {}: injected ENOSPC (no space left on device)",
+                    segment_path(&self.dir, self.seq).display()
+                )));
+            }
+            *remaining -= 1;
+        }
         if self.frames_in_segment >= self.config.frames_per_segment.max(1) {
             if self.config.fsync != FsyncPolicy::Never {
                 self.sync()?;
@@ -662,7 +911,7 @@ impl WalWriter {
         let path = segment_path(&self.dir, self.seq);
         self.file
             .write_all(&record)
-            .map_err(|e| io_err("append", &path, e))?;
+            .map_err(|e| write_err("append", &path, e))?;
         if self.config.fsync == FsyncPolicy::EveryRecord {
             self.sync()?;
         }
@@ -984,6 +1233,78 @@ mod tests {
         let (frames, recovery) = replay(&dir).unwrap();
         assert!(frames.is_empty());
         assert!(recovery.truncated);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_reports_clean_log_and_identity() {
+        let dir = tmp_dir("verify_clean");
+        let id = WalIdentity { shard_id: 3, catalog_hash: 99 };
+        let config = WalConfig {
+            frames_per_segment: 4,
+            fsync: FsyncPolicy::Never,
+            identity: Some(id),
+        };
+        let _w = write_frames(&dir, config, 10);
+        let report = verify(&dir, Some(id)).unwrap();
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.segments, 3);
+        assert_eq!(report.frames, 10);
+        assert_eq!(report.identity, Some(id));
+        assert!(report.bytes > 0);
+        // Scrubbing is read-only: the log replays untouched afterwards.
+        let (frames, recovery) = replay(&dir).unwrap();
+        assert_eq!(frames.len(), 10);
+        assert!(!recovery.truncated);
+        // The wrong expectation is a finding, not an error.
+        let other = WalIdentity { shard_id: 4, catalog_hash: 99 };
+        let report = verify(&dir, Some(other)).unwrap();
+        assert!(!report.is_clean());
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.kind == WalFindingKind::IdentityMismatch));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_attributes_every_kind_of_damage() {
+        let dir = tmp_dir("verify_damage");
+        let config = WalConfig {
+            frames_per_segment: 3,
+            fsync: FsyncPolicy::Never,
+            identity: None,
+        };
+        let _w = write_frames(&dir, config, 9); // segments 0, 1, 2
+        // Bit-flip a payload byte mid-segment-1, tear segment 2's tail, and
+        // remove segment 0 entirely (a sequence gap). Unlike replay — which
+        // stops at the first cut — the scrub must attribute all three.
+        let path1 = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path1).unwrap();
+        let mid = bytes.len() - 10;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path1, &bytes).unwrap();
+        let path2 = segment_path(&dir, 2);
+        let len = std::fs::metadata(&path2).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path2).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+        std::fs::remove_file(segment_path(&dir, 0)).unwrap();
+
+        let report = verify(&dir, None).unwrap();
+        assert!(!report.is_clean());
+        let kinds: Vec<WalFindingKind> = report.findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&WalFindingKind::SequenceGap), "{kinds:?}");
+        assert!(kinds.contains(&WalFindingKind::ChecksumMismatch), "{kinds:?}");
+        assert!(kinds.contains(&WalFindingKind::TornTail), "{kinds:?}");
+        // Every finding names its segment file and a real byte offset.
+        for f in &report.findings {
+            assert!(f.path.exists() || f.kind == WalFindingKind::SequenceGap, "{f:?}");
+            assert!(!f.detail.is_empty());
+        }
+        // The scrub changed nothing on disk: a second pass agrees.
+        let again = verify(&dir, None).unwrap();
+        assert_eq!(again.findings.len(), report.findings.len());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -52,7 +52,7 @@ fn fixtures() -> &'static Mutex<Vec<(Dataset, Aero)>> {
 /// are `0 mod 4` produce the all-Full mix, which `score_with_modes`
 /// delegates to plain `score()` — so both public entry points are pinned.
 fn modes_from_seed(seed: u64, n: usize) -> Vec<ScoreMode> {
-    if seed % 4 == 0 {
+    if seed.is_multiple_of(4) {
         return vec![ScoreMode::Full; n];
     }
     (0..n)

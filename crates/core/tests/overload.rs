@@ -358,6 +358,53 @@ fn stalled_shard_does_not_stall_the_governor() {
     );
 }
 
+#[test]
+fn full_wal_degrades_to_hold_last_instead_of_crashing() {
+    use aero_core::LadderLevel;
+
+    // The log device "fills up" after 6 appends (the injected ENOSPC
+    // seam): the governor must detach the log, drop every star to
+    // HoldLast, and keep serving — never an Err up the stream.
+    let dir = std::env::temp_dir()
+        .join(format!("aero_overload_walfull_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut gov = governed(tight_policy());
+    let mut wal = WalWriter::create(&dir, WalConfig::default()).expect("wal");
+    wal.inject_wal_full_after(6);
+    gov.attach_wal(wal).expect("attach");
+
+    let ds = night();
+    let n = ds.num_variates();
+    let base = *ds.train.timestamps().last().unwrap();
+    let mut served = 0usize;
+    for i in 0..16 {
+        let frame: Vec<f32> = (0..n).map(|v| ds.test.get(v, i)).collect();
+        gov.offer(base + 1.0 + i as f64, &frame).expect("offer past a full log");
+        if let Some(out) = gov.poll().expect("poll past a full log") {
+            served += 1;
+            if gov.wal_exhausted() {
+                assert!(
+                    out.levels.iter().all(|&l| l == LadderLevel::HoldLast),
+                    "exhausted log must pin the ladder to HoldLast, got {:?}",
+                    out.levels
+                );
+            }
+        }
+    }
+    assert!(gov.wal_exhausted(), "the injected ENOSPC never fired");
+    assert!(gov.take_wal().is_none(), "a full log must be detached");
+    assert!(served >= 12, "the stream stalled after the log filled: {served}");
+    let counters = gov.online().health().overload;
+    assert_eq!(counters.frames_rejected, 0, "degrade, don't reject");
+
+    // The on-disk prefix (the appends before the fault) stays a valid,
+    // replayable log: a scrub finds nothing wrong with it.
+    let report = aero_core::wal::verify(&dir, None).expect("scrub");
+    assert!(report.is_clean(), "the pre-fault prefix is damaged: {:?}", report.findings);
+    assert_eq!(report.frames, 6, "exactly the pre-fault appends are on disk");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

@@ -30,21 +30,27 @@
 #      routing/rebalancing) plus a 4-shard CLI burst smoke with one injected
 #      shard kill — the killed shard must restart from its own WAL while the
 #      other shards keep streaming
-#  11. batched equivalence: the batched cross-star Stage-1 path is bitwise
+#  11. live migration: the WAL-fenced two-phase star-handoff chaos suite
+#      (kill -9 at every phase boundary — pre-fence, post-fence, pre-commit,
+#      post-commit — followed by --resume must be bitwise identical to an
+#      uninterrupted night), plus a 4-shard CLI smoke: --migrate-live with a
+#      mid-night simulated crash, then --resume to finish the night, then
+#      `aero wal verify` scrubbing every surviving shard directory
+#  12. batched equivalence: the batched cross-star Stage-1 path is bitwise
 #      identical to the per-star path across star counts, thread counts,
 #      kernel backends, and score-mode mixes; the pipelined push emits a
 #      verdict stream, WAL bytes, and health bitwise identical to
 #      sequential pushes (kill-resume included); plus one governed stream
 #      smoke with batching forced on
-#  12. resident service: wire-codec adversarial property suite (garbage,
+#  13. resident service: wire-codec adversarial property suite (garbage,
 #      torn frames, flipped bits, hostile lengths — typed errors, bounded
 #      allocation), then real-process end-to-end runs of `aero serve` +
 #      `aero loadgen` over loopback TCP — kill -9 mid-night + --resume must
 #      be bitwise identical to an uninterrupted run, seeded wire faults
 #      across concurrent tenant connections must never poison the detector,
 #      and the status/drain endpoints must answer on the same wire
-#  13. benchmark harness smoke run (keeps scripts/bench.sh wired)
-#  14. clippy -D warnings on the full workspace (the streaming modules
+#  14. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#  15. clippy -D warnings on the full workspace (the streaming modules
 #      additionally deny unwrap/expect via their own inner lint attrs)
 set -eu
 
@@ -88,6 +94,23 @@ cargo run --release -q -p aero-cli --bin aero -- stream \
     --data "$fleet_tmp/data" --shards 4 --burst 41 \
     --wal "$fleet_tmp/wal" --rebalance-every 64 \
     --kill-shard 2 --kill-after 40 --probe-after 4 > /dev/null
+
+echo "==> tier-1: live migration (two-phase handoff chaos + CLI smoke)"
+cargo test -q -p aero-core --test migration
+cargo run --release -q -p aero-cli --bin aero -- stream \
+    --data "$fleet_tmp/data" --shards 4 --burst 23 \
+    --wal "$fleet_tmp/wal_migrate" --rebalance-every 48 \
+    --kill-after 120 --migrate-live > /dev/null
+cargo run --release -q -p aero-cli --bin aero -- stream \
+    --data "$fleet_tmp/data" --shards 4 --burst 23 \
+    --wal "$fleet_tmp/wal_migrate" --rebalance-every 48 \
+    --resume --migrate-live > "$fleet_tmp/migrate_summary.json"
+grep -q '"stars_moved"' "$fleet_tmp/migrate_summary.json"
+grep -q '"migrations_rolled_back"' "$fleet_tmp/migrate_summary.json"
+for shard_dir in "$fleet_tmp"/wal_migrate/shard-*; do
+    cargo run --release -q -p aero-cli --bin aero -- \
+        wal verify "$shard_dir" > /dev/null
+done
 
 echo "==> tier-1: batched equivalence (batched == per-star, pipelined == sequential)"
 cargo test -q -p aero-core --test batched --test pipelined
