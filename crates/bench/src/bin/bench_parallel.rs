@@ -89,6 +89,7 @@ struct Report {
     batched_inference: BatchedReport,
     pipelined_push: PipelinedReport,
     streaming_allocs: AllocReport,
+    memory_at_scale: MemoryAtScaleReport,
     wal_overhead: WalReport,
     degradation_ladder: LadderReport,
     fleet_scaling: FleetScalingReport,
@@ -223,6 +224,57 @@ struct AllocReport {
     heap_allocs_per_push: f64,
     tensor_buffer_misses: u64,
     graph_tape_misses: u64,
+}
+
+/// Resident memory of a detector fleet under the shared frozen backbone
+/// (DESIGN.md §17): one `Arc`-shared trunk plus per-star adapter deltas,
+/// versus each star owning a full model copy. The headline numbers are
+/// **measured** via `Aero::resident_bytes` with an `Arc`-pointer dedup set;
+/// the curve extrapolates with the closed-form model that the measured rows
+/// (and the ±15% unit gate in `aero-core::memory`) validate.
+#[derive(Serialize)]
+struct MemoryAtScaleReport {
+    stars_measured: usize,
+    /// Measured resident bytes of one fleet sharing a single backbone.
+    shared_total_bytes_measured: usize,
+    /// Measured resident bytes of one single-star full model, counted with
+    /// a fresh dedup set (what each of N independent models would pin).
+    per_star_full_model_bytes_measured: usize,
+    shared_bytes_per_star: f64,
+    /// `per_star_full_model_bytes / shared_bytes_per_star` at
+    /// `stars_measured` — the ISSUE gate requires ≥ 4 at N = 256.
+    bytes_per_star_reduction: f64,
+    /// Second fleet measured behind the same dedup set: only delta bytes.
+    second_fleet_marginal_bytes_measured: usize,
+    /// Closed-form estimate vs the measured shared arm.
+    model_vs_measured_rel_err: f64,
+    memory_curve: Vec<MemoryCurveRow>,
+    quantized_rung: QuantRungReport,
+}
+
+#[derive(Serialize)]
+struct MemoryCurveRow {
+    stars: usize,
+    /// Measured where a fleet of this size is cheap to assemble (≤ 1024);
+    /// `null` above that — the modeled column extends the curve.
+    shared_total_bytes_measured: Option<usize>,
+    shared_total_bytes_modeled: usize,
+    per_star_full_total_bytes_modeled: usize,
+    shared_bytes_per_star_modeled: f64,
+}
+
+/// Per-frame cost of the degraded `Stage1` rung with the f32 path vs the
+/// opt-in int8 per-row-absmax quantized GEMMs, plus the measured score
+/// drift envelope of a mixed Full/Stage1 frame (the equivalence gates in
+/// `aero-core/tests/backbone.rs` pin all-Full scoring bitwise).
+#[derive(Serialize)]
+struct QuantRungReport {
+    frames_per_sample: usize,
+    stage1_f32_secs_per_frame: f64,
+    stage1_int8_secs_per_frame: f64,
+    int8_saving_ratio: f64,
+    mixed_frame_worst_abs_drift: f32,
+    mixed_frame_mean_abs_drift: f64,
 }
 
 /// Per-frame cost of a governed poll with every star forced onto one
@@ -871,6 +923,129 @@ fn main() {
         .collect();
     aero_parallel::set_max_threads(1);
 
+    // --- Memory at scale: shared frozen backbone + per-star deltas vs one
+    // full model per star (DESIGN.md §17). Runs last so the process-global
+    // int8 opt-in flipped for the quantized-rung rows cannot leak into the
+    // timing sections above (it is reset afterwards regardless). ---
+    let memory_at_scale = {
+        use std::collections::HashSet;
+
+        let mut cfg = model_config(args.smoke);
+        cfg.adapter_rank = 2;
+        let mut mono = Aero::new(cfg.clone()).unwrap();
+        mono.fit(&ds.train).unwrap();
+        let backbone = mono.backbone().unwrap();
+        let n_train = ds.train.num_variates();
+        let deltas_for = |stars: usize| -> Vec<aero_core::StarDelta> {
+            (0..stars).map(|v| mono.star_delta(v % n_train).unwrap()).collect()
+        };
+
+        let fleet_stars = 256usize;
+        let deltas = deltas_for(fleet_stars);
+        // Shared arm: the trunk's Arc'd matrices count once for the fleet.
+        let shared = Aero::from_backbone(&backbone, &deltas).unwrap();
+        let shared_total = shared.resident_bytes(&mut HashSet::new());
+        // Per-star arm: a fresh dedup set per detector counts the trunk
+        // once per detector — what N independent full models would pin.
+        let single = Aero::from_backbone(&backbone, &deltas[..1]).unwrap();
+        let per_star_full = single.resident_bytes(&mut HashSet::new());
+        // Dedup witness: a second fleet behind the *same* set adds deltas
+        // only.
+        let mut seen = HashSet::new();
+        let _first = shared.resident_bytes(&mut seen);
+        let second_fleet = Aero::from_backbone(&backbone, &deltas).unwrap();
+        let marginal = second_fleet.resident_bytes(&mut seen);
+
+        let shared_per_star = shared_total as f64 / fleet_stars as f64;
+        let estimate = aero_core::shared_fleet_memory(&cfg, fleet_stars);
+        let rel_err = (estimate.total_bytes() as f64 - shared_total as f64).abs()
+            / shared_total.max(1) as f64;
+
+        let full_model_bytes = aero_core::aero_inference_memory(&cfg, 1).total_bytes();
+        let memory_curve = [64usize, 256, 1024, 16_384, 262_144, 1_000_000]
+            .iter()
+            .map(|&stars| {
+                let modeled = aero_core::shared_fleet_memory(&cfg, stars);
+                let measured = (stars <= 1024).then(|| {
+                    Aero::from_backbone(&backbone, &deltas_for(stars))
+                        .unwrap()
+                        .resident_bytes(&mut HashSet::new())
+                });
+                MemoryCurveRow {
+                    stars,
+                    shared_total_bytes_measured: measured,
+                    shared_total_bytes_modeled: modeled.total_bytes(),
+                    per_star_full_total_bytes_modeled: full_model_bytes.saturating_mul(stars),
+                    shared_bytes_per_star_modeled: modeled.bytes_per_star(),
+                }
+            })
+            .collect();
+
+        // Quantized rung: per-frame cost of an all-Stage1 frame, f32 vs
+        // int8, over the same streamed frames as the ladder rows.
+        let rung_cost = |quant: bool| {
+            let mut online = fresh_online();
+            online.set_quantized_rungs(quant);
+            let mut offset = 0.0;
+            time_secs(reps, || {
+                for (ts, values) in &frames {
+                    online.push_with_modes(*ts + offset, values, &stage1_modes).unwrap();
+                }
+                offset += span;
+            }) / frames.len().max(1) as f64
+        };
+        let f32_rung = rung_cost(false);
+        let int8_rung = rung_cost(true);
+        // The int8 rung flipped the process-wide opt-in; drop it before the
+        // drift arms so the f32 reference stays on the pinned path.
+        aero_tensor::set_quant(false);
+
+        // Drift envelope of a mixed Full/Stage1 frame, int8 vs f32 (the
+        // backbone.rs gates assert all-Full stays bitwise; this records the
+        // measured Stage1 envelope the 0.2/0.02 gates bound).
+        let mut mixed = vec![ScoreMode::Full; n];
+        for (v, m) in mixed.iter_mut().enumerate() {
+            if v % 2 == 1 {
+                *m = ScoreMode::Stage1;
+            }
+        }
+        let small = deltas_for(n);
+        let mut f32_arm = Aero::from_backbone(&backbone, &small).unwrap();
+        f32_arm.set_quantized(false);
+        let reference = f32_arm.score_with_modes(&ds.test, &mixed).unwrap();
+        let mut int8_arm = Aero::from_backbone(&backbone, &small).unwrap();
+        int8_arm.set_quantized(true);
+        let got = int8_arm.score_with_modes(&ds.test, &mixed).unwrap();
+        aero_tensor::set_quant(false);
+        let mut worst = 0.0f32;
+        let mut sum = 0.0f64;
+        for (a, b) in reference.as_slice().iter().zip(got.as_slice()) {
+            let d = (a - b).abs();
+            worst = worst.max(d);
+            sum += f64::from(d);
+        }
+        let mean = sum / reference.as_slice().len().max(1) as f64;
+
+        MemoryAtScaleReport {
+            stars_measured: fleet_stars,
+            shared_total_bytes_measured: shared_total,
+            per_star_full_model_bytes_measured: per_star_full,
+            shared_bytes_per_star: shared_per_star,
+            bytes_per_star_reduction: per_star_full as f64 / shared_per_star.max(1.0),
+            second_fleet_marginal_bytes_measured: marginal,
+            model_vs_measured_rel_err: rel_err,
+            memory_curve,
+            quantized_rung: QuantRungReport {
+                frames_per_sample: frames.len(),
+                stage1_f32_secs_per_frame: f32_rung,
+                stage1_int8_secs_per_frame: int8_rung,
+                int8_saving_ratio: speedup_ratio(f32_rung, int8_rung),
+                mixed_frame_worst_abs_drift: worst,
+                mixed_frame_mean_abs_drift: mean,
+            },
+        }
+    };
+
     let speedup = speedup_ratio;
     let single_cpu = logical_cpus <= 1;
     let cpu_note = single_cpu.then_some("skipped_single_cpu");
@@ -915,6 +1090,7 @@ fn main() {
         batched_inference: batched_report,
         pipelined_push: pipelined_report,
         streaming_allocs,
+        memory_at_scale,
         wal_overhead: WalReport {
             frames_per_sample: frames.len(),
             push_no_wal_secs_per_frame: wal_off,

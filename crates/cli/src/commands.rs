@@ -14,7 +14,7 @@ use aero_core::fleet::{
 };
 use aero_core::{
     build_catalog, render_catalog, render_fleet_health, run_detection, Aero, AeroConfig, Detector,
-    FallbackScorer, JsonObject, OverloadPolicy, StreamGovernor, SupervisorPolicy,
+    FallbackScorer, JsonObject, OverloadPolicy, StarDelta, StreamGovernor, SupervisorPolicy,
 };
 use aero_datagen::{AstrosetConfig, FaultInjector, FaultPlan, LoadProfile, SyntheticConfig};
 use aero_eval::{evaluate_point_adjusted, threshold_scores};
@@ -579,9 +579,12 @@ fn stream_fleet(args: &Args) -> Result<(), String> {
     let catalog = StarCatalog::sequential(n);
     let assignment = ShardAssignment::partition(&catalog, num_shards, seed).map_err(io_err)?;
 
-    // Per-shard checkpoints: trained on first build, loaded bit-for-bit on
-    // every restart/resume. Without a WAL root they live in a per-process
-    // temp directory (restarts in this process still reload identical bits).
+    // One frozen trunk for the whole fleet: the first factory call trains it
+    // on a small star sample and checkpoints it; every shard (and every
+    // crash-restart rebuild) reassembles from those shared parameters plus
+    // kilobyte per-star scaler deltas. Reassembly is deterministic, so
+    // restarts stay bitwise without S full per-shard model files on disk.
+    // Without a WAL root the backbone lives in a per-process temp directory.
     let models_dir = match &wal_root {
         Some(root) => root.join("models"),
         None => std::env::temp_dir().join(format!("aero_fleet_models_{}", std::process::id())),
@@ -589,22 +592,39 @@ fn stream_fleet(args: &Args) -> Result<(), String> {
     std::fs::create_dir_all(&models_dir).map_err(io_err)?;
     let factory: ShardFactory = {
         let train = train.clone();
-        let models_dir = models_dir.clone();
+        let backbone_path = models_dir.join("backbone.json");
         let policy = policy.clone();
         Arc::new(move |members: &[usize]| {
-            let slice = train
-                .select_variates(members)
-                .map_err(|e| aero_core::DetectorError::Invalid(e.to_string()))?;
-            let key: Vec<String> = members.iter().map(|m| m.to_string()).collect();
-            let path = models_dir.join(format!("shard-{}.json", key.join("-")));
-            let model = if path.exists() {
-                aero_core::load_model(&path)?
+            let invalid = |e: aero_timeseries::TsError| {
+                aero_core::DetectorError::Invalid(e.to_string())
+            };
+            let slice = train.select_variates(members).map_err(invalid)?;
+            let reference = if backbone_path.exists() {
+                aero_core::load_model(&backbone_path)?
             } else {
+                let n = train.num_variates();
+                let k = n.min(8);
+                let sample: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+                let sample_slice = train.select_variates(&sample).map_err(invalid)?;
                 let mut model = Aero::new(AeroConfig::tiny())?;
-                model.fit(&slice)?;
-                aero_core::save_model(&model, &path)?;
+                model.fit(&sample_slice)?;
+                aero_core::save_model(&model, &backbone_path)?;
                 model
             };
+            let backbone = reference.backbone()?;
+            let mut scaler = aero_timeseries::MinMaxScaler::new();
+            scaler.fit(&slice);
+            let deltas: Vec<StarDelta> = scaler
+                .mins()
+                .iter()
+                .zip(scaler.ranges())
+                .map(|(&lo, &range)| StarDelta {
+                    scaler_min: lo,
+                    scaler_range: range,
+                    adapter: None,
+                })
+                .collect();
+            let model = Aero::from_backbone(&backbone, &deltas)?;
             OnlineAero::with_policy(model, &slice, pot, policy.clone())
         })
     };
@@ -1019,11 +1039,14 @@ mod tests {
         };
         run(" --kill-shard 1 --kill-after 40 --probe-after 4").unwrap();
 
-        // Per-shard WAL directories and model checkpoints exist.
+        // Per-shard WAL directories exist; the models dir holds the single
+        // shared backbone (shards reassemble from it deterministically —
+        // there are no per-shard model checkpoints any more).
         assert!(wal.join("shard-0000").is_dir());
         assert!(wal.join("shard-0001").is_dir());
         assert!(wal.join("fleet-plan").is_dir());
-        assert!(std::fs::read_dir(wal.join("models")).unwrap().count() >= 2);
+        assert!(wal.join("models").join("backbone.json").is_file());
+        assert_eq!(std::fs::read_dir(wal.join("models")).unwrap().count(), 1);
 
         // Night 2: resume the whole fleet from its per-shard WALs.
         run(" --resume").unwrap();

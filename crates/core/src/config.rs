@@ -103,6 +103,26 @@ pub struct AeroConfig {
     /// for A/B benchmarking and as an escape hatch. `AERO_BATCHED=0/1`
     /// overrides it at runtime.
     pub batched_inference: bool,
+    /// Rank `r` of the per-star adapter head layered over the shared frozen
+    /// backbone (`0` = no adapters; the classic monolithic model). Each star
+    /// then owns only `2·r·ω + O(1)` scalars — the "delta" that v3
+    /// checkpoints and mid-night migration move instead of a model.
+    /// `#[serde(default)]` keeps v2 checkpoints loadable.
+    #[serde(default)]
+    pub adapter_rank: usize,
+    /// Online SGD learning rate for the adapter heads.
+    #[serde(default = "default_adapter_lr")]
+    pub adapter_lr: f32,
+    /// Route degraded-rung (`Stage1Only`/`SrFallback`) scoring through the
+    /// opt-in int8 quantized GEMM path. Tolerance-gated, default off:
+    /// `FullAero` scoring stays bitwise regardless. `AERO_QUANT=1` or
+    /// [`crate::model::Aero::set_quantized`] override at runtime.
+    #[serde(default)]
+    pub quantized_rungs: bool,
+}
+
+fn default_adapter_lr() -> f32 {
+    0.05
 }
 
 fn default_batched_inference() -> bool {
@@ -142,6 +162,9 @@ impl AeroConfig {
             amplitude_matching: true,
             score_smoothing: 1,
             batched_inference: default_batched_inference(),
+            adapter_rank: 0,
+            adapter_lr: default_adapter_lr(),
+            quantized_rungs: false,
         }
     }
 
@@ -201,6 +224,16 @@ impl AeroConfig {
             if !(0.0..1.0).contains(&beta) {
                 return Err(format!("EWMA beta={beta} must be in [0, 1)"));
             }
+        }
+        if self.adapter_rank > self.effective_short_window() {
+            return Err(format!(
+                "adapter rank {} exceeds the short window ω={} it projects",
+                self.adapter_rank,
+                self.effective_short_window()
+            ));
+        }
+        if self.adapter_rank > 0 && !(self.adapter_lr.is_finite() && self.adapter_lr > 0.0) {
+            return Err(format!("adapter_lr={} must be positive and finite", self.adapter_lr));
         }
         Ok(())
     }

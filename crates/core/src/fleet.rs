@@ -565,6 +565,9 @@ pub struct FleetCoordinator {
     /// Fleet-wide batched-inference override, re-applied to every shard a
     /// restart rebuilds (the factory's model config is the default).
     batched_override: Option<bool>,
+    /// Fleet-wide quantized-rung override, same lifecycle as
+    /// `batched_override`.
+    quantized_override: Option<bool>,
     /// `None` while a shard is down or quarantined.
     shards: Vec<Option<StreamGovernor>>,
     states: Vec<ShardState>,
@@ -904,6 +907,7 @@ impl FleetCoordinator {
             fallback,
             config,
             batched_override: None,
+            quantized_override: None,
             shards: (0..num_shards).map(|_| None).collect(),
             states: vec![ShardState::Down; num_shards],
             last_errors: vec![None; num_shards],
@@ -948,6 +952,17 @@ impl FleetCoordinator {
         }
     }
 
+    /// Opts every shard's degraded rungs into int8 quantized Stage-1 GEMMs —
+    /// see [`crate::Aero::set_quantized`]. Applies to live shards immediately
+    /// and to every shard a later restart rebuilds. `FullAero` stars stay on
+    /// the f32 path bitwise regardless.
+    pub fn set_quantized_rungs(&mut self, on: bool) {
+        self.quantized_override = Some(on);
+        for gov in self.shards.iter_mut().flatten() {
+            gov.set_quantized_rungs(on);
+        }
+    }
+
     /// Builds shard `k`'s detector via the factory and validates its width.
     fn build_online(&self, shard: usize) -> DetectorResult<OnlineAero> {
         self.build_online_members(self.assignment.members(shard))
@@ -967,6 +982,9 @@ impl FleetCoordinator {
         }
         if let Some(on) = self.batched_override {
             online.set_batched_inference(on);
+        }
+        if let Some(on) = self.quantized_override {
+            online.set_quantized_rungs(on);
         }
         Ok(online)
     }
@@ -1014,6 +1032,7 @@ impl FleetCoordinator {
         wal_config: WalConfig,
         trailing_polls: usize,
         batched: Option<bool>,
+        quantized: Option<bool>,
         seed: Option<&(DetectorState, GovernorState)>,
     ) -> DetectorResult<StreamGovernor> {
         let mut online = factory(members)?;
@@ -1026,6 +1045,9 @@ impl FleetCoordinator {
         }
         if let Some(on) = batched {
             online.set_batched_inference(on);
+        }
+        if let Some(on) = quantized {
+            online.set_quantized_rungs(on);
         }
         let mut gov = match seed {
             Some(seed) => Self::seeded_governor(online, overload, fallback, seed)?,
@@ -1077,6 +1099,7 @@ impl FleetCoordinator {
         let wal_config = self.shard_wal_config(shard);
         let trailing = self.trailing_polls[shard];
         let batched = self.batched_override;
+        let quantized = self.quantized_override;
         let seed = self.seeds[shard].clone();
         let outcome = self.supervisor.run(shard, || {
             Self::rebuild_shard(
@@ -1088,6 +1111,7 @@ impl FleetCoordinator {
                 wal_config,
                 trailing,
                 batched,
+                quantized,
                 seed.as_deref(),
             )
         });

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adapter;
 pub mod config;
 pub mod detector;
 pub mod fleet;
@@ -39,6 +40,7 @@ pub mod temporal;
 pub mod wal;
 
 pub use ablation::AblationVariant;
+pub use adapter::{AdapterSet, StarAdapter};
 pub use config::{AeroConfig, GraphMode, NoiseFeatures};
 pub use detector::{
     run_detection, Detector, DetectorError, DetectorResult, RunOutcome, RunTiming,
@@ -48,12 +50,15 @@ pub use fleet::{
     ShardFactory, ShardHealth, ShardState, StarCatalog,
 };
 pub use graph_learn::{window_adjacency, GraphBuilder};
-pub use memory::{aero_memory, baseline_memory, MemoryEstimate};
+pub use memory::{
+    aero_inference_memory, aero_memory, baseline_memory, shared_fleet_memory, star_delta_bytes,
+    MemoryEstimate, SharedFleetEstimate,
+};
 pub use migrate::{
     DetectorState, GovernorStarState, GovernorState, MigrationBegin, MigrationCommit,
     MigrationKillPoint, MigrationRecord, ShardSnapshot, StarLane,
 };
-pub use model::{Aero, ChaosHook, ScoreMode, ShardFailure};
+pub use model::{Aero, BackboneSnapshot, ChaosHook, ScoreMode, ShardFailure, StarDelta};
 pub use online::{
     DegradePolicy, FrameDisposition, FrameVerdict, HealthReport, OnlineAero, StarStatus,
     StarVerdict,

@@ -8,6 +8,19 @@
 //! activations grow linearly, matching the paper's "linear increase with a
 //! modest growth rate".
 
+//!
+//! Two accounting regimes share the analytic core:
+//!
+//! * [`aero_memory`] — the *training-time* footprint of one standalone model
+//!   (parameters carry Adam moments, hence the ×3).
+//! * [`aero_inference_memory`] / [`shared_fleet_memory`] — the *resident*
+//!   footprint after [`crate::Aero::from_backbone`] assembly: the frozen
+//!   trunk holds values only (no optimizer moments, and gradient buffers are
+//!   lazily allocated so a never-trained assembly owns none), and a fleet of
+//!   `N` stars pays for the trunk **once** (`Arc`-shared) plus a kilobyte
+//!   delta per star. The estimate is pinned against the measured
+//!   [`crate::Aero::resident_bytes`] in tests.
+
 use crate::config::AeroConfig;
 
 /// Byte accounting for one model/configuration.
@@ -53,6 +66,22 @@ fn temporal_params(cfg: &AeroConfig, in_dim: usize) -> usize {
 /// weights and are processed one at a time), plus the `N × ω` error matrix,
 /// the `N × N` window graph, and the `N × T_window` score block.
 pub fn aero_memory(cfg: &AeroConfig, n: usize) -> MemoryEstimate {
+    let omega = cfg.effective_short_window();
+    // Adam keeps two moment tensors per parameter (training-time figure;
+    // the frozen-trunk inference path is `aero_inference_memory`).
+    let parameter_bytes = trunk_params(cfg, n) * F32 * 3;
+
+    let d = cfg.d_model;
+    let w = cfg.window;
+    let per_variate_transformer = 2 * w * d + cfg.heads * w * w + omega * d;
+    let graph_and_errors = n * omega + n * n + n * omega;
+    let activation_bytes = (per_variate_transformer + graph_and_errors) * F32;
+    MemoryEstimate { parameter_bytes, activation_bytes }
+}
+
+/// Analytic parameter count (floats, not bytes) of the shared trunk for a
+/// detector over `n` stars — temporal module plus GCN, no adapters.
+fn trunk_params(cfg: &AeroConfig, n: usize) -> usize {
     let in_dim = if cfg.univariate_input { 1 } else { n };
     let omega = cfg.effective_short_window();
     let mut params = 0usize;
@@ -62,15 +91,68 @@ pub fn aero_memory(cfg: &AeroConfig, n: usize) -> MemoryEstimate {
     if cfg.use_noise_module {
         params += omega * omega + omega;
     }
-    // Adam keeps two moment tensors per parameter.
-    let parameter_bytes = params * F32 * 3;
+    params
+}
 
-    let d = cfg.d_model;
-    let w = cfg.window;
-    let per_variate_transformer = 2 * w * d + cfg.heads * w * w + omega * d;
-    let graph_and_errors = n * omega + n * n + n * omega;
-    let activation_bytes = (per_variate_transformer + graph_and_errors) * F32;
-    MemoryEstimate { parameter_bytes, activation_bytes }
+/// Bytes one star's delta occupies beyond the shared trunk: its scaler
+/// statistics plus (when `adapter_rank > 0`) its low-rank adapter head.
+/// Mirrors the layout [`crate::StarDelta::delta_bytes`] measures.
+pub fn star_delta_bytes(cfg: &AeroConfig) -> usize {
+    let mut bytes = 2 * F32; // scaler min + range
+    if cfg.adapter_rank > 0 {
+        let omega = cfg.effective_short_window();
+        // P (ω×r) + Q (r×ω), bias/mean/var, update counter.
+        bytes += omega * cfg.adapter_rank * 2 * F32 + 3 * F32 + 8;
+    }
+    bytes
+}
+
+/// Memory estimate for one *inference-resident* AERO on `n` stars: frozen
+/// parameter values only (no Adam moments — those exist only while
+/// training — and no gradient buffers, which the store allocates lazily on
+/// first backward), plus per-star deltas and the same peak activations as
+/// [`aero_memory`].
+pub fn aero_inference_memory(cfg: &AeroConfig, n: usize) -> MemoryEstimate {
+    let parameter_bytes = trunk_params(cfg, n) * F32 + n * star_delta_bytes(cfg);
+    MemoryEstimate {
+        parameter_bytes,
+        activation_bytes: aero_memory(cfg, n).activation_bytes,
+    }
+}
+
+/// Resident footprint of a fleet whose detectors all share one frozen trunk
+/// ([`crate::Aero::from_backbone`]): the trunk is paid once, every star adds
+/// only its delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedFleetEstimate {
+    /// Bytes of the `Arc`-shared trunk (counted once fleet-wide).
+    pub backbone_bytes: usize,
+    /// Bytes each star adds on top of the trunk.
+    pub per_star_bytes: usize,
+    /// Stars in the fleet.
+    pub stars: usize,
+}
+
+impl SharedFleetEstimate {
+    /// Fleet-wide resident parameter-state bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.backbone_bytes + self.stars * self.per_star_bytes
+    }
+
+    /// Amortized bytes per star — approaches `per_star_bytes` as the trunk
+    /// cost spreads over more stars.
+    pub fn bytes_per_star(&self) -> f64 {
+        self.total_bytes() as f64 / self.stars.max(1) as f64
+    }
+}
+
+/// Shared-backbone fleet estimate for `n` stars under `cfg`.
+pub fn shared_fleet_memory(cfg: &AeroConfig, n: usize) -> SharedFleetEstimate {
+    SharedFleetEstimate {
+        backbone_bytes: trunk_params(cfg, n) * F32,
+        per_star_bytes: star_delta_bytes(cfg),
+        stars: n,
+    }
 }
 
 /// Reference memory curves for baseline families (Fig. 7 comparison):
@@ -107,6 +189,7 @@ pub fn baseline_memory(method: &str, cfg: &AeroConfig, n: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Detector;
 
     #[test]
     fn aero_params_independent_of_star_count() {
@@ -155,5 +238,63 @@ mod tests {
         let m = aero_memory(&cfg, 8);
         assert!(m.total_bytes() > 0);
         assert!(m.total_mib() > 0.0);
+    }
+
+    #[test]
+    fn inference_estimate_matches_measured_resident_bytes() {
+        // The analytic frozen-trunk estimate must track what a
+        // from_backbone assembly actually holds — within 15%, per-star
+        // deltas included.
+        let ds = aero_datagen::SyntheticConfig::tiny(500).build();
+        let mut cfg = AeroConfig::tiny();
+        cfg.max_epochs = 2;
+        cfg.adapter_rank = 2;
+        let mut trained = crate::Aero::new(cfg.clone()).unwrap();
+        trained.fit(&ds.train).unwrap();
+        let backbone = trained.backbone().unwrap();
+        let n = ds.train.num_variates();
+        let deltas: Vec<crate::StarDelta> =
+            (0..n).map(|v| trained.star_delta(v).unwrap()).collect();
+        let assembled = crate::Aero::from_backbone(&backbone, &deltas).unwrap();
+
+        let mut seen = std::collections::HashSet::new();
+        let measured = assembled.resident_bytes(&mut seen) as f64;
+        let estimated = aero_inference_memory(&cfg, n).parameter_bytes as f64;
+        let rel = (measured - estimated).abs() / measured;
+        assert!(
+            rel < 0.15,
+            "estimate {estimated} vs measured {measured} ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn fleet_dedup_second_detector_adds_only_delta_bytes() {
+        // Two assemblies sharing one backbone, measured through one `seen`
+        // set: the second must cost deltas + scaler, not another trunk.
+        let ds = aero_datagen::SyntheticConfig::tiny(500).build();
+        let mut cfg = AeroConfig::tiny();
+        cfg.max_epochs = 2;
+        let mut trained = crate::Aero::new(cfg.clone()).unwrap();
+        trained.fit(&ds.train).unwrap();
+        let backbone = trained.backbone().unwrap();
+        let n = ds.train.num_variates();
+        let deltas: Vec<crate::StarDelta> =
+            (0..n).map(|v| trained.star_delta(v).unwrap()).collect();
+        let a = crate::Aero::from_backbone(&backbone, &deltas).unwrap();
+        let b = crate::Aero::from_backbone(&backbone, &deltas).unwrap();
+
+        let mut seen = std::collections::HashSet::new();
+        let first = a.resident_bytes(&mut seen);
+        let second = b.resident_bytes(&mut seen);
+        let delta_budget = n * star_delta_bytes(&cfg);
+        assert!(
+            second <= delta_budget + 64,
+            "second detector added {second} bytes, deltas should cost ≤ {delta_budget}"
+        );
+        assert!(first > 10 * second, "trunk must dominate: {first} vs {second}");
+        // And the analytic fleet curve reflects the same amortization.
+        let est = shared_fleet_memory(&cfg, 1024);
+        assert!(est.bytes_per_star() < est.backbone_bytes as f64 / 64.0);
     }
 }

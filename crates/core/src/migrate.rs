@@ -66,7 +66,8 @@ pub enum MigrationKillPoint {
 }
 
 /// One star's portable detector-side state: its window column, imputation
-/// flags, data-quality status, refit score history, and circuit breaker.
+/// flags, data-quality status, refit score history, circuit breaker, and
+/// (when the fleet runs per-star adapter heads) its trained adapter delta.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StarLane {
     /// The star's column of the rolling window, oldest sample first
@@ -80,6 +81,12 @@ pub struct StarLane {
     pub score_history: Vec<f32>,
     /// The star's supervision circuit breaker.
     pub breaker: BreakerState,
+    /// The star's adapter head at the fence (`None` when the shard runs
+    /// without adapters). Online SGD state travels with the star, so a
+    /// migrated star keeps learning where it left off — kilobytes, not a
+    /// model. Snapshots with no adapters anywhere encode with the original
+    /// [`TAG_BEGIN`], keeping pre-adapter logs and byte streams identical.
+    pub adapter: Option<crate::adapter::StarAdapter>,
 }
 
 /// The detector half of a [`ShardSnapshot`]: shard-wide clocks plus one
@@ -187,9 +194,14 @@ pub enum MigrationRecord {
     Commit(MigrationCommit),
 }
 
-/// Record-type tags on the wire.
+/// Record-type tags on the wire. `TAG_BEGIN_ADAPTERS` frames the same
+/// `Begin` payload with one adapter slot appended per star lane; the writer
+/// emits it only when some lane actually carries a head, so adapter-free
+/// fleets keep producing (and re-reading) byte-identical `TAG_BEGIN`
+/// records, and logs written before adapters existed decode unchanged.
 const TAG_BEGIN: u8 = 1;
 const TAG_COMMIT: u8 = 2;
+const TAG_BEGIN_ADAPTERS: u8 = 3;
 /// Refuses absurd lengths before allocating (matches the WAL's cap).
 const MAX_RECORD_BYTES: u32 = 1 << 26;
 
@@ -276,6 +288,11 @@ impl<'a> Reader<'a> {
             )));
         }
         Ok(n)
+    }
+
+    /// Bytes left unread in the payload.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
     }
 
     fn done(&self) -> DetectorResult<()> {
@@ -463,7 +480,61 @@ fn get_sup_stats(r: &mut Reader<'_>) -> DetectorResult<SupervisorStats> {
     })
 }
 
-fn put_detector(buf: &mut Vec<u8>, d: &DetectorState) {
+/// One adapter slot: presence byte, then shape + weights + norm stats.
+fn put_adapter(buf: &mut Vec<u8>, adapter: Option<&crate::adapter::StarAdapter>) {
+    let Some(a) = adapter else {
+        put_u8(buf, 0);
+        return;
+    };
+    put_u8(buf, 1);
+    put_u32(buf, a.omega() as u32);
+    put_u32(buf, a.rank() as u32);
+    for &v in a.p.iter().chain(&a.q) {
+        put_f32(buf, v);
+    }
+    for v in [a.bias, a.mean, a.var] {
+        put_f32(buf, v);
+    }
+    put_u64(buf, a.updates());
+}
+
+fn get_adapter(r: &mut Reader<'_>) -> DetectorResult<Option<crate::adapter::StarAdapter>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let omega = r.u32()? as usize;
+            let rank = r.u32()? as usize;
+            // Bound the implied weight count against the remaining payload
+            // before allocating, like every other length in this codec.
+            let weights = omega.saturating_mul(rank).saturating_mul(2);
+            if weights.saturating_mul(4) > r.remaining() {
+                return Err(DetectorError::Corrupt(format!(
+                    "adapter shape ω={omega} r={rank} exceeds remaining payload"
+                )));
+            }
+            let mut p = Vec::with_capacity(omega * rank);
+            for _ in 0..omega * rank {
+                p.push(r.f32()?);
+            }
+            let mut q = Vec::with_capacity(rank * omega);
+            for _ in 0..rank * omega {
+                q.push(r.f32()?);
+            }
+            let bias = r.f32()?;
+            let mean = r.f32()?;
+            let var = r.f32()?;
+            let updates = r.u64()?;
+            crate::adapter::StarAdapter::from_parts(omega, rank, p, q, bias, mean, var, updates)
+                .map(Some)
+                .map_err(|e| DetectorError::Corrupt(format!("migrated adapter delta: {e}")))
+        }
+        other => Err(DetectorError::Corrupt(format!(
+            "unknown adapter presence tag {other}"
+        ))),
+    }
+}
+
+fn put_detector(buf: &mut Vec<u8>, d: &DetectorState, with_adapters: bool) {
     put_u32(buf, d.timestamps.len() as u32);
     for &ts in &d.timestamps {
         put_f64(buf, ts);
@@ -496,6 +567,9 @@ fn put_detector(buf: &mut Vec<u8>, d: &DetectorState) {
             put_f32(buf, v);
         }
         put_breaker(buf, lane.breaker);
+        if with_adapters {
+            put_adapter(buf, lane.adapter.as_ref());
+        }
     }
 }
 
@@ -510,7 +584,7 @@ fn get_star_status(r: &mut Reader<'_>) -> DetectorResult<StarStatus> {
     }
 }
 
-fn get_detector(r: &mut Reader<'_>) -> DetectorResult<DetectorState> {
+fn get_detector(r: &mut Reader<'_>, with_adapters: bool) -> DetectorResult<DetectorState> {
     let ts_len = r.len(8)?;
     let mut timestamps = Vec::with_capacity(ts_len);
     for _ in 0..ts_len {
@@ -544,12 +618,14 @@ fn get_detector(r: &mut Reader<'_>) -> DetectorResult<DetectorState> {
             score_history.push(r.f32()?);
         }
         let breaker = get_breaker(r)?;
+        let adapter = if with_adapters { get_adapter(r)? } else { None };
         stars.push(StarLane {
             window,
             imputed,
             status,
             score_history,
             breaker,
+            adapter,
         });
     }
     Ok(DetectorState {
@@ -635,7 +711,16 @@ fn encode_record(record: &MigrationRecord) -> Vec<u8> {
     let mut payload = Vec::new();
     match record {
         MigrationRecord::Begin(b) => {
-            put_u8(&mut payload, TAG_BEGIN);
+            // Adapter-free snapshots use the original tag so their byte
+            // streams (and the chaos gates pinned on them) never change.
+            let with_adapters = b
+                .affected
+                .iter()
+                .any(|s| s.detector.stars.iter().any(|l| l.adapter.is_some()));
+            put_u8(
+                &mut payload,
+                if with_adapters { TAG_BEGIN_ADAPTERS } else { TAG_BEGIN },
+            );
             put_u64(&mut payload, b.epoch);
             put_u64(&mut payload, b.frames_routed);
             put_u32(&mut payload, b.shard_of.len() as u32);
@@ -649,7 +734,7 @@ fn encode_record(record: &MigrationRecord) -> Vec<u8> {
                 for &m in &snap.members {
                     put_u32(&mut payload, m);
                 }
-                put_detector(&mut payload, &snap.detector);
+                put_detector(&mut payload, &snap.detector, with_adapters);
                 put_governor(&mut payload, &snap.governor);
             }
         }
@@ -670,7 +755,8 @@ fn encode_record(record: &MigrationRecord) -> Vec<u8> {
 fn decode_payload(payload: &[u8]) -> DetectorResult<MigrationRecord> {
     let mut r = Reader::new(payload);
     let record = match r.u8()? {
-        TAG_BEGIN => {
+        tag @ (TAG_BEGIN | TAG_BEGIN_ADAPTERS) => {
+            let with_adapters = tag == TAG_BEGIN_ADAPTERS;
             let epoch = r.u64()?;
             let frames_routed = r.u64()?;
             let plan_len = r.len(4)?;
@@ -687,7 +773,7 @@ fn decode_payload(payload: &[u8]) -> DetectorResult<MigrationRecord> {
                 for _ in 0..m {
                     members.push(r.u32()?);
                 }
-                let detector = get_detector(&mut r)?;
+                let detector = get_detector(&mut r, with_adapters)?;
                 let governor = get_governor(&mut r)?;
                 affected.push(ShardSnapshot {
                     shard,
@@ -951,6 +1037,7 @@ pub fn align_star_lane(src_ts: &[f64], lane: &StarLane, dst_ts: &[f64]) -> StarL
         status: lane.status,
         score_history: lane.score_history.clone(),
         breaker: lane.breaker,
+        adapter: lane.adapter.clone(),
     }
 }
 
@@ -1049,6 +1136,7 @@ mod tests {
             status: StarStatus::Nominal,
             score_history: vec![0.5, 0.7],
             breaker: BreakerState::default(),
+            adapter: None,
         }
     }
 

@@ -9,6 +9,7 @@ use aero_timeseries::{MinMaxScaler, MultivariateSeries};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::adapter::{AdapterSet, StarAdapter};
 use crate::config::{AeroConfig, NoiseFeatures};
 use crate::detector::{Detector, DetectorError, DetectorResult};
 use crate::graph_learn::GraphBuilder;
@@ -85,6 +86,21 @@ struct SupervisionCell {
     failures: Mutex<Vec<Option<ShardFailure>>>,
 }
 
+/// Recycled `Vec` spines for the streaming score hot path (the matrix
+/// payloads inside them come from the tensor workspace pool regardless).
+/// Kept behind a mutex because Stage-1 scores with `&self`; the lock is
+/// uncontended — each pass takes a spine out or hands one back and releases
+/// immediately.
+#[derive(Debug, Default)]
+struct ScoreScratch {
+    ends: Vec<usize>,
+    errors: Vec<Matrix>,
+    residuals: Vec<(Matrix, Matrix)>,
+    failures: Vec<Option<ShardFailure>>,
+    /// Timestamp spine for the scaled copy of each pass's input.
+    timestamps: Vec<f64>,
+}
+
 /// Fixed shard count for per-variate gradient accumulation.
 ///
 /// Work is decomposed into this many shards regardless of how many threads
@@ -128,6 +144,14 @@ pub struct Aero {
     /// Programmatic override of `config.batched_inference` (A/B harnesses);
     /// `None` falls through to the `AERO_BATCHED` env var, then the config.
     batched_override: Option<bool>,
+    /// Per-star adapter heads over the (frozen) backbone; `Some` iff
+    /// `config.adapter_rank > 0` and modules are built.
+    adapters: Option<AdapterSet>,
+    /// Programmatic override of `config.quantized_rungs`; `None` falls
+    /// through to the `AERO_QUANT` env var, then the config.
+    quant_override: Option<bool>,
+    /// Recycled scoring-pass allocations (see [`ScoreScratch`]).
+    scratch: Mutex<ScoreScratch>,
 }
 
 impl Aero {
@@ -149,7 +173,17 @@ impl Aero {
             supervision: None,
             chaos_hook: None,
             batched_override: None,
+            adapters: None,
+            quant_override: None,
+            scratch: Mutex::new(ScoreScratch::default()),
         })
+    }
+
+    /// Locks the scratch pool, recovering from a poisoned lock (scratch
+    /// holds only recycled buffers, so a panic mid-hold leaves no invariant
+    /// to protect).
+    fn scratch_lock(&self) -> std::sync::MutexGuard<'_, ScoreScratch> {
+        self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Forces the batched Stage-1 path on or off for this instance,
@@ -174,6 +208,42 @@ impl Aero {
         env.unwrap_or(self.config.batched_inference)
     }
 
+    /// Forces the int8 quantized degraded-rung path on or off for this
+    /// instance, overriding both `config.quantized_rungs` and the
+    /// `AERO_QUANT` env var. Enabling it also opts the process into the
+    /// tensor layer's quant mode (a [`aero_tensor::QuantScope`] is still
+    /// required per thread, and only degraded-star scoring enters one, so
+    /// other in-process detectors stay on the pinned f32 path).
+    pub fn set_quantized(&mut self, on: bool) {
+        self.quant_override = Some(on);
+        if on {
+            aero_tensor::set_quant(true);
+        }
+    }
+
+    /// Whether degraded-rung (`Stage1`) scoring routes through the int8
+    /// quantized GEMM path. Precedence: [`Aero::set_quantized`] >
+    /// `AERO_QUANT=1` > config. `Full` stars never do, regardless.
+    pub fn quantized_enabled(&self) -> bool {
+        if let Some(on) = self.quant_override {
+            return on;
+        }
+        aero_tensor::quant_opt_in() || self.config.quantized_rungs
+    }
+
+    /// Enters a quantized-GEMM scope when this instance has quantization
+    /// enabled (and makes sure the process-level opt-in agrees, e.g. when
+    /// only `config.quantized_rungs` asked for it).
+    fn quant_scope(&self) -> Option<aero_tensor::QuantScope> {
+        if !self.quantized_enabled() {
+            return None;
+        }
+        if !aero_tensor::quant_opt_in() {
+            aero_tensor::set_quant(true);
+        }
+        Some(aero_tensor::QuantScope::enter())
+    }
+
     /// Installs (or clears) the chaos-testing fault hook.
     pub fn set_chaos_hook(&mut self, hook: Option<ChaosHook>) {
         self.chaos_hook = hook;
@@ -185,10 +255,21 @@ impl Aero {
     /// failure instead of propagating. Any previous context is discarded, so
     /// a retried pass that panicked mid-flight starts from a clean slate.
     pub(crate) fn begin_supervised(&mut self, supervisor: Arc<Supervisor>, num_variates: usize) {
+        let mut failures = std::mem::take(&mut self.scratch_lock().failures);
+        failures.clear();
+        failures.resize_with(num_variates, || None);
         self.supervision = Some(SupervisionCell {
             sup: supervisor,
-            failures: Mutex::new(vec![None; num_variates]),
+            failures: Mutex::new(failures),
         });
+    }
+
+    /// Hands a failures vector from [`Aero::end_supervised`] back for reuse
+    /// by the next [`Aero::begin_supervised`] (streaming pushes call this
+    /// once per frame after draining the entries).
+    pub(crate) fn recycle_failures(&self, mut failures: Vec<Option<ShardFailure>>) {
+        failures.clear();
+        self.scratch_lock().failures = failures;
     }
 
     /// Disarms supervised scoring and returns the per-variate failures
@@ -236,17 +317,75 @@ impl Aero {
         (positions, deltas)
     }
 
+    /// Stage-1 error matrix for the window ending at `end`: the backbone's
+    /// `E = Y − Ŷ₁` ([`Aero::window_errors_backbone`]) minus each star's
+    /// adapter-head correction (when adapters are enabled and trained).
+    fn window_errors_internal(
+        &self,
+        scaled: &MultivariateSeries,
+        end: usize,
+        skip: Option<&[bool]>,
+        cheap: Option<&[bool]>,
+    ) -> DetectorResult<Matrix> {
+        let mut e = self.window_errors_backbone(scaled, end, skip, cheap)?;
+        self.apply_adapters(scaled, end, skip, &mut e)?;
+        Ok(e)
+    }
+
+    /// Subtracts each star's adapter-predicted systematic residual from its
+    /// error row. Identity heads (never trained) are skipped outright —
+    /// `e − 0.0` would flip `−0.0` rows, and the skip is what keeps
+    /// adapter-capable but untouched stars bitwise on the pinned path.
+    fn apply_adapters(
+        &self,
+        scaled: &MultivariateSeries,
+        end: usize,
+        skip: Option<&[bool]>,
+        e: &mut Matrix,
+    ) -> DetectorResult<()> {
+        let Some(adapters) = &self.adapters else {
+            return Ok(());
+        };
+        if (0..adapters.len()).all(|v| adapters.head(v).is_none_or(StarAdapter::is_identity)) {
+            return Ok(());
+        }
+        let omega = self.omega();
+        let y = scaled.window(end, omega)?;
+        let mut latent = vec![0.0f32; adapters.rank()];
+        let mut pred = vec![0.0f32; omega];
+        for v in 0..e.rows() {
+            if skip.is_some_and(|s| s.get(v).copied().unwrap_or(false)) {
+                continue;
+            }
+            let Some(head) = adapters.head(v) else { continue };
+            if head.is_identity() {
+                continue;
+            }
+            head.predict_into(y.row(v), &mut latent, &mut pred);
+            for (slot, p) in e.row_mut(v).iter_mut().zip(&pred) {
+                *slot -= p;
+            }
+        }
+        Ok(())
+    }
+
     /// Evaluates the temporal module's error matrix `E = Y − Ŷ₁ ∈ R^{N×ω}`
     /// for the window ending at `end` (forward only, no gradients kept).
     ///
     /// `skip[v] = true` zero-fills variate `v`'s row without running its
     /// transformer — checked *before* the chaos hook and the supervisor, so
     /// a skipped star costs nothing and leaves its breaker state untouched.
-    fn window_errors_internal(
+    ///
+    /// `cheap[v] = true` marks a degraded-rung (`Stage1`) star: when the
+    /// int8 quant mode is enabled, that star's transformer runs inside a
+    /// [`aero_tensor::QuantScope`]. With quantization off (the default)
+    /// `cheap` changes nothing and the pass stays bitwise.
+    fn window_errors_backbone(
         &self,
         scaled: &MultivariateSeries,
         end: usize,
         skip: Option<&[bool]>,
+        cheap: Option<&[bool]>,
     ) -> DetectorResult<Matrix> {
         let w = self.config.window;
         let omega = self.omega();
@@ -276,12 +415,13 @@ impl Aero {
             // need per-star fault isolation, so an installed hook keeps the
             // per-star path.
             if self.chaos_hook.is_none() && self.batched_enabled() {
-                return self.window_errors_batched(temporal, &x, &y, &positions, &deltas, skip);
+                return self.window_errors_batched(temporal, &x, &y, &positions, &deltas, skip, cheap);
             }
             // Each variate owns an independent tape over a shared read-only
             // store — embarrassingly parallel. Rows land by variate index,
             // so the result is order-deterministic.
             let hook = self.chaos_hook.clone();
+            let is_cheap = |v: usize| cheap.is_some_and(|c| c.get(v).copied().unwrap_or(false));
             let score_one = |v: usize| -> DetectorResult<Vec<f32>> {
                 if is_skipped(v) {
                     return Ok(vec![0.0; omega]);
@@ -289,6 +429,10 @@ impl Aero {
                 if let Some(hook) = &hook {
                     hook.fire(v);
                 }
+                // Degraded-rung stars may take the int8 GEMM path; the scope
+                // is thread-local, so Full stars scored by sibling pool
+                // threads stay on the pinned f32 path.
+                let _quant = if is_cheap(v) { self.quant_scope() } else { None };
                 let long = Matrix::col_vector(x.row(v));
                 let short = Matrix::col_vector(y.row(v));
                 let mut g = Graph::new();
@@ -341,6 +485,13 @@ impl Aero {
         } else {
             let long = x.transpose(); // W × N tokens
             let short = y.transpose();
+            // Joint input runs one whole-frame forward, so the int8 path can
+            // only engage when *every* scored star is on a degraded rung —
+            // a single Full star keeps the frame on the pinned f32 path.
+            let all_cheap = cheap.is_some_and(|c| {
+                (0..n).all(|v| is_skipped(v) || c.get(v).copied().unwrap_or(false))
+            });
+            let _quant = if all_cheap { self.quant_scope() } else { None };
             let mut g = Graph::new();
             let out =
                 temporal.reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
@@ -364,6 +515,15 @@ impl Aero {
     /// layer instead of A small ones. Results are de-interleaved back into
     /// per-star rows of `E`. Skipped stars keep zero rows and never enter
     /// the stack, matching the per-star path exactly.
+    ///
+    /// With the int8 quant mode enabled and a mixed frame, the stack splits
+    /// in two: `Full` stars in one f32 stack, degraded (`cheap`) stars in a
+    /// second stack evaluated inside a quant scope. The batched forward is
+    /// bitwise independent of stack composition (per-star equivalence is
+    /// tier-1 gated), so the split changes nothing for the `Full` stars; and
+    /// with quantization off (default) there is exactly one stack, same as
+    /// before.
+    #[allow(clippy::too_many_arguments)]
     fn window_errors_batched(
         &self,
         temporal: &TemporalModule,
@@ -372,31 +532,65 @@ impl Aero {
         positions: &[f32],
         deltas: &[f32],
         skip: Option<&[bool]>,
+        cheap: Option<&[bool]>,
     ) -> DetectorResult<Matrix> {
         let n = x.rows();
-        let w = x.cols();
         let omega = y.cols();
         let is_skipped = |v: usize| skip.is_some_and(|s| s.get(v).copied().unwrap_or(false));
+        let is_cheap = |v: usize| cheap.is_some_and(|c| c.get(v).copied().unwrap_or(false));
         let active: Vec<usize> = (0..n).filter(|&v| !is_skipped(v)).collect();
         let mut e = Matrix::zeros(n, omega);
         if active.is_empty() {
             return Ok(e);
         }
-        let blocks = active.len();
+        let quantize = self.quantized_enabled() && active.iter().any(|&v| is_cheap(v));
+        let stacks: Vec<(Vec<usize>, bool)> = if quantize {
+            let (cheap_stars, full_stars): (Vec<usize>, Vec<usize>) =
+                active.iter().partition(|&&v| is_cheap(v));
+            [(full_stars, false), (cheap_stars, true)]
+                .into_iter()
+                .filter(|(stars, _)| !stars.is_empty())
+                .collect()
+        } else {
+            vec![(active, false)]
+        };
+        for (stars, quant) in stacks {
+            let _scope = if quant { self.quant_scope() } else { None };
+            self.run_batched_stack(temporal, x, y, positions, deltas, &stars, &mut e)?;
+        }
+        Ok(e)
+    }
+
+    /// Runs one stacked batched forward over `stars` and writes their error
+    /// rows into `e`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_batched_stack(
+        &self,
+        temporal: &TemporalModule,
+        x: &Matrix,
+        y: &Matrix,
+        positions: &[f32],
+        deltas: &[f32],
+        stars: &[usize],
+        e: &mut Matrix,
+    ) -> DetectorResult<()> {
+        let w = x.cols();
+        let omega = y.cols();
+        let blocks = stars.len();
         let mut long = Matrix::zeros(blocks * w, 1);
         let mut short = Matrix::zeros(blocks * omega, 1);
-        for (b, &v) in active.iter().enumerate() {
+        for (b, &v) in stars.iter().enumerate() {
             long.as_mut_slice()[b * w..(b + 1) * w].copy_from_slice(x.row(v));
             short.as_mut_slice()[b * omega..(b + 1) * omega].copy_from_slice(y.row(v));
         }
         let recon =
             temporal.reconstruct_batched(&self.store, &long, &short, positions, deltas, blocks)?;
-        for (b, &v) in active.iter().enumerate() {
+        for (b, &v) in stars.iter().enumerate() {
             for t in 0..omega {
                 e.set(v, t, y.get(v, t) - recon.get(b * omega + t, 0));
             }
         }
-        Ok(e)
+        Ok(())
     }
 
     /// Snapshot of every parameter value, for divergence rollback.
@@ -568,7 +762,10 @@ impl Aero {
         self.store.set_frozen(&self.temporal_ids, true)?;
         let mut errors = Vec::with_capacity(ends.len());
         for &end in &ends {
-            errors.push(self.window_errors_internal(scaled, end, None)?);
+            // Backbone errors on purpose: the GCN learns to reconstruct the
+            // *shared* Stage-1 error structure; per-star heads are layered on
+            // afterwards (and are identity during fit anyway).
+            errors.push(self.window_errors_backbone(scaled, end, None, None)?);
         }
 
         let mut lr = self.config.lr;
@@ -643,7 +840,7 @@ impl Aero {
         skip: Option<&[bool]>,
         run_stage2: bool,
     ) -> DetectorResult<(Matrix, Matrix)> {
-        let e = self.window_errors_internal(scaled, end, skip)?;
+        let e = self.window_errors_internal(scaled, end, skip, None)?;
         self.stage2_from_error(scaled, end, e, graphs, run_stage2)
     }
 
@@ -752,7 +949,8 @@ impl Aero {
         if !self.trained {
             return Err(DetectorError::Invalid("call fit() first".into()));
         }
-        let scaled = self.scaler.transform(series)?;
+        let ts_spine = std::mem::take(&mut self.scratch_lock().timestamps);
+        let scaled = self.scaler.transform_reusing(series, ts_spine)?;
         let n = scaled.num_variates();
         if let Some(modes) = modes {
             if modes.len() != n {
@@ -764,16 +962,42 @@ impl Aero {
         }
         let skip: Option<Vec<bool>> =
             modes.map(|m| m.iter().map(|mode| *mode == ScoreMode::Skip).collect());
+        // Degraded (Stage-1-only) stars are eligible for the opt-in int8
+        // path; `Full` stars never are, so FullAero scoring stays bitwise.
+        let cheap: Option<Vec<bool>> =
+            modes.map(|m| m.iter().map(|mode| *mode == ScoreMode::Stage1).collect());
         let run_stage2 = modes.is_none_or(|m| m.contains(&ScoreMode::Full));
         let ends = self.score_ends(scaled.len());
         let errors = {
             let skip = skip.as_deref();
-            aero_parallel::supervised_map(&ends, |_, &end| {
-                self.window_errors_internal(&scaled, end, skip)
-            })
-            .into_iter()
-            .map(|r| r.map_err(DetectorError::from)?)
-            .collect::<DetectorResult<Vec<Matrix>>>()?
+            let cheap = cheap.as_deref();
+            if ends.len() == 1 {
+                // Streaming fast path: one scoring window per push, so skip
+                // the fan-out (and its per-call result vectors) and reuse
+                // the recycled spine. A panic converts to the same typed
+                // supervision error the mapped path would report.
+                let mut out = std::mem::take(&mut self.scratch_lock().errors);
+                out.clear();
+                let end = ends[0];
+                let e = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.window_errors_internal(&scaled, end, skip, cheap)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(DetectorError::from(aero_parallel::ShardError {
+                        shard: 0,
+                        message: aero_parallel::panic_message(payload),
+                    }))
+                })?;
+                out.push(e);
+                out
+            } else {
+                aero_parallel::supervised_map(&ends, |_, &end| {
+                    self.window_errors_internal(&scaled, end, skip, cheap)
+                })
+                .into_iter()
+                .map(|r| r.map_err(DetectorError::from)?)
+                .collect::<DetectorResult<Vec<Matrix>>>()?
+            }
         };
         Ok(PendingStage1 {
             scaled,
@@ -792,7 +1016,8 @@ impl Aero {
         self.graphs.reset();
         let residuals = if self.graphs.is_stateful() {
             let mut graphs = self.graphs.clone();
-            let mut out = Vec::with_capacity(pending.ends.len());
+            let mut out = std::mem::take(&mut self.scratch_lock().residuals);
+            out.clear();
             for (&end, e) in pending.ends.iter().zip(&pending.errors) {
                 out.push(self.stage2_from_error(
                     &pending.scaled,
@@ -803,6 +1028,26 @@ impl Aero {
                 )?);
             }
             self.graphs = graphs;
+            out
+        } else if pending.ends.len() == 1 {
+            // Streaming fast path — mirror of the Stage-1 single-window
+            // branch: direct call on a recycled spine, panics converted to
+            // the typed supervision error.
+            let mut out = std::mem::take(&mut self.scratch_lock().residuals);
+            out.clear();
+            let this = &*self;
+            let p = &pending;
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut graphs = this.graphs.clone();
+                this.stage2_from_error(&p.scaled, p.ends[0], p.errors[0].clone(), &mut graphs, p.run_stage2)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(DetectorError::from(aero_parallel::ShardError {
+                    shard: 0,
+                    message: aero_parallel::panic_message(payload),
+                }))
+            })?;
+            out.push(r);
             out
         } else {
             let this = &*self;
@@ -815,7 +1060,26 @@ impl Aero {
             .map(|r| r.map_err(DetectorError::from)?)
             .collect::<DetectorResult<Vec<_>>>()?
         };
-        Ok(self.combine_scores(&pending, &residuals))
+        let scores = self.combine_scores(&pending, &residuals);
+        self.recycle_pending(pending, residuals);
+        Ok(scores)
+    }
+
+    /// Returns a finished pass's `Vec` spines to the scratch pool. The
+    /// matrix payloads drop back into the tensor workspace pool as the
+    /// spines are cleared, so the next push's Stage-1 reuses both layers.
+    fn recycle_pending(&self, pending: PendingStage1, mut residuals: Vec<(Matrix, Matrix)>) {
+        let PendingStage1 { scaled, mut ends, mut errors, .. } = pending;
+        let (_values, mut ts) = scaled.into_parts();
+        ts.clear();
+        ends.clear();
+        errors.clear();
+        residuals.clear();
+        let mut scratch = self.scratch_lock();
+        scratch.ends = ends;
+        scratch.errors = errors;
+        scratch.residuals = residuals;
+        scratch.timestamps = ts;
     }
 
     /// Like [`Aero::score_stage2`] but borrowing `self` immutably, so the
@@ -889,7 +1153,8 @@ impl Aero {
         let w = self.config.window;
         let omega = self.omega();
         let stride = (omega / 2).max(1);
-        let mut ends = Vec::new();
+        let mut ends = std::mem::take(&mut self.scratch_lock().ends);
+        ends.clear();
         if len < w {
             return ends;
         }
@@ -915,7 +1180,7 @@ impl Aero {
             return Err(DetectorError::Invalid("call fit() first".into()));
         }
         let scaled = self.scaler.transform(series)?;
-        let e = self.window_errors_internal(&scaled, end, None)?;
+        let e = self.window_errors_internal(&scaled, end, None, None)?;
         Ok(crate::graph_learn::window_adjacency(&e))
     }
 
@@ -1012,6 +1277,16 @@ impl Aero {
         } else {
             self.gcn = None;
         }
+        self.adapters = if self.config.adapter_rank > 0 {
+            Some(AdapterSet::new(
+                n,
+                self.omega(),
+                self.config.adapter_rank,
+                self.config.seed,
+            ))
+        } else {
+            None
+        };
         Ok(())
     }
 
@@ -1034,6 +1309,242 @@ impl Aero {
     pub(crate) fn restore(&mut self, scaler: MinMaxScaler) {
         self.scaler = scaler;
         self.trained = true;
+    }
+
+    /// The per-star adapter heads (`None` when `adapter_rank == 0`).
+    pub fn adapters(&self) -> Option<&AdapterSet> {
+        self.adapters.as_ref()
+    }
+
+    /// Mutable adapter access (persistence / migration install paths).
+    pub(crate) fn adapters_mut(&mut self) -> Option<&mut AdapterSet> {
+        self.adapters.as_mut()
+    }
+
+    /// One online SGD step for star `v`'s adapter head: runs the frozen
+    /// backbone's Stage-1 forward for that star alone over the newest window
+    /// of `series` and nudges the head toward predicting the residual. The
+    /// trunk never moves — only the star's `2·r·ω + O(1)` delta scalars do.
+    ///
+    /// Deterministic given the call sequence, so WAL replay reproduces the
+    /// exact head state. Returns the head's total update count.
+    pub fn adapt_star(&mut self, v: usize, series: &MultivariateSeries) -> DetectorResult<u64> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        if self.adapters.is_none() {
+            return Err(DetectorError::Invalid(
+                "adapter_rank is 0: no per-star heads to adapt".into(),
+            ));
+        }
+        if !self.config.univariate_input {
+            return Err(DetectorError::Invalid(
+                "per-star adaptation requires univariate_input".into(),
+            ));
+        }
+        let scaled = self.scaler.transform(series)?;
+        if v >= scaled.num_variates() {
+            return Err(DetectorError::Invalid(format!(
+                "star {v} out of range ({} variates)",
+                scaled.num_variates()
+            )));
+        }
+        let w = self.config.window;
+        if scaled.len() < w {
+            return Err(DetectorError::Invalid(format!(
+                "series of length {} too short for W={w}",
+                scaled.len()
+            )));
+        }
+        let omega = self.omega();
+        let end = scaled.len() - 1;
+        let y = scaled.window(end, omega)?;
+        let residual: Vec<f32> = match &self.temporal {
+            Some(temporal) => {
+                let x = scaled.window(end, w)?;
+                let (positions, deltas) = Self::window_times(&scaled, end, w);
+                let long = Matrix::col_vector(x.row(v));
+                let short = Matrix::col_vector(y.row(v));
+                let mut g = Graph::new();
+                let out = temporal
+                    .reconstruct(&mut g, &self.store, &long, &short, &positions, &deltas)?;
+                let recon = g.value(out)?;
+                (0..omega).map(|t| y.get(v, t) - recon.get(t, 0)).collect()
+            }
+            // Ablation 1i: E = Y, the head learns the star's raw pattern.
+            None => y.row(v).to_vec(),
+        };
+        let lr = self.config.adapter_lr;
+        let head = self
+            .adapters
+            .as_mut()
+            .and_then(|a| a.head_mut(v))
+            .ok_or_else(|| DetectorError::Invalid(format!("no adapter head for star {v}")))?;
+        head.sgd_step(y.row(v), &residual, lr);
+        Ok(head.updates())
+    }
+
+    /// Snapshots the trained trunk for `Arc`-sharing: every parameter by
+    /// registration name, values aliased (not copied). Detectors assembled
+    /// from the snapshot via [`Aero::from_backbone`] share these buffers
+    /// byte-for-byte, so a fleet of N shards holds **one** trunk.
+    pub fn backbone(&self) -> DetectorResult<BackboneSnapshot> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let params = self
+            .store
+            .iter()
+            .map(|(_, p)| (p.name().to_string(), Arc::clone(p.value_arc())))
+            .collect();
+        BackboneSnapshot::from_parts(self.config.clone(), params)
+    }
+
+    /// Star `v`'s full per-star state beyond the shared trunk: its scaler
+    /// column plus (when adapters are enabled) its trained head. This is the
+    /// kilobyte-scale unit that v3 checkpoints and mid-night migration move.
+    pub fn star_delta(&self, v: usize) -> DetectorResult<StarDelta> {
+        if !self.trained {
+            return Err(DetectorError::Invalid("call fit() first".into()));
+        }
+        let (Some(&min), Some(&range)) = (self.scaler.mins().get(v), self.scaler.ranges().get(v))
+        else {
+            return Err(DetectorError::Invalid(format!(
+                "star {v} out of range ({} variates)",
+                self.scaler.mins().len()
+            )));
+        };
+        Ok(StarDelta {
+            scaler_min: min,
+            scaler_range: range,
+            adapter: self.adapters.as_ref().and_then(|a| a.head(v)).cloned(),
+        })
+    }
+
+    /// Assembles a trained detector from a shared backbone plus one delta
+    /// per star. The trunk parameters are `Arc`-aliased (zero copies) and
+    /// frozen; the rebuilt module layout must match the snapshot exactly —
+    /// any missing or extra parameter is a typed error, never silence.
+    ///
+    /// With identity (or absent) adapter heads the assembled detector scores
+    /// **bitwise identically** to the monolithic model it was split from:
+    /// same config, same buffers, same module layout (tier-1 gated).
+    pub fn from_backbone(backbone: &BackboneSnapshot, deltas: &[StarDelta]) -> DetectorResult<Self> {
+        if deltas.is_empty() {
+            return Err(DetectorError::Invalid(
+                "from_backbone needs at least one star delta".into(),
+            ));
+        }
+        let mut aero = Self::new(backbone.config().clone())?;
+        aero.build_modules(deltas.len())?;
+        let mut ids = Vec::with_capacity(backbone.params().len());
+        for (name, value) in backbone.params() {
+            let Some(id) = aero.store.id_by_name(name) else {
+                return Err(DetectorError::Invalid(format!(
+                    "backbone parameter `{name}` has no slot in the rebuilt module layout"
+                )));
+            };
+            aero.store.set_value_arc(id, Arc::clone(value))?;
+            ids.push(id);
+        }
+        if ids.len() != aero.store.len() {
+            return Err(DetectorError::Invalid(format!(
+                "backbone holds {} parameters, rebuilt layout expects {}",
+                ids.len(),
+                aero.store.len()
+            )));
+        }
+        aero.store.set_frozen(&ids, true)?;
+        let mins: Vec<f32> = deltas.iter().map(|d| d.scaler_min).collect();
+        let ranges: Vec<f32> = deltas.iter().map(|d| d.scaler_range).collect();
+        aero.scaler = MinMaxScaler::from_parts(mins, ranges)?;
+        for (v, d) in deltas.iter().enumerate() {
+            if let Some(head) = &d.adapter {
+                let Some(adapters) = &mut aero.adapters else {
+                    return Err(DetectorError::Invalid(format!(
+                        "star {v}'s delta carries an adapter head but adapter_rank is 0"
+                    )));
+                };
+                adapters.install_head(v, head.clone())?;
+            }
+        }
+        aero.trained = true;
+        Ok(aero)
+    }
+
+    /// Measured resident bytes of this detector's owned buffers, with
+    /// `Arc`-shared trunk parameters deduplicated across detectors via
+    /// `seen` (keyed by buffer address). The first detector to visit a
+    /// shared buffer pays for it; replicas assembled via
+    /// [`Aero::from_backbone`] then count only their per-star state. Feed a
+    /// fresh set to measure one detector standalone.
+    pub fn resident_bytes(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        let mut bytes = self.store.resident_bytes(seen);
+        bytes += (self.scaler.mins().len() + self.scaler.ranges().len())
+            * std::mem::size_of::<f32>();
+        if let Some(adapters) = &self.adapters {
+            bytes += adapters.delta_bytes();
+        }
+        bytes
+    }
+}
+
+/// The shared frozen trunk — Stage-1 Transformer + GCN parameters — trained
+/// once per night on a sampled subset of stars and then `Arc`-shared by
+/// every detector assembled from it ([`Aero::from_backbone`]). Parameters
+/// are keyed by registration name; [`Aero::build_modules`] is deterministic,
+/// so the rebuilt layout always offers the same names.
+#[derive(Debug, Clone)]
+pub struct BackboneSnapshot {
+    config: AeroConfig,
+    params: Vec<(String, Arc<Matrix>)>,
+}
+
+impl BackboneSnapshot {
+    /// Builds a snapshot from a validated config and named parameters.
+    pub fn from_parts(
+        config: AeroConfig,
+        params: Vec<(String, Arc<Matrix>)>,
+    ) -> DetectorResult<Self> {
+        config.validate().map_err(DetectorError::Invalid)?;
+        Ok(Self { config, params })
+    }
+
+    /// The training configuration the trunk was fit under.
+    pub fn config(&self) -> &AeroConfig {
+        &self.config
+    }
+
+    /// The named trunk parameters (values `Arc`-aliased, never copied).
+    pub fn params(&self) -> &[(String, Arc<Matrix>)] {
+        &self.params
+    }
+
+    /// Unique trunk bytes — each parameter buffer counted exactly once,
+    /// regardless of how many detectors share it.
+    pub fn param_bytes(&self) -> usize {
+        self.params.iter().map(|(_, m)| m.len() * std::mem::size_of::<f32>()).sum()
+    }
+}
+
+/// One star's detector state beyond the shared trunk: its scaler column and
+/// (when adapters are enabled) its trained head. Kilobytes, not a model —
+/// the unit v3 checkpoints store per star and mid-night migration ships.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarDelta {
+    /// The star's fitted min (scaler statistics).
+    pub scaler_min: f32,
+    /// The star's fitted range (scaler statistics).
+    pub scaler_range: f32,
+    /// The star's adapter head, `None` when `adapter_rank == 0`.
+    pub adapter: Option<StarAdapter>,
+}
+
+impl StarDelta {
+    /// Serialized size of this delta in bytes.
+    pub fn delta_bytes(&self) -> usize {
+        2 * std::mem::size_of::<f32>()
+            + self.adapter.as_ref().map_or(0, StarAdapter::delta_bytes)
     }
 }
 

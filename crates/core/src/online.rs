@@ -362,6 +362,10 @@ pub struct OnlineAero {
     /// outstanding — the one-deep pipeline of
     /// [`push_pipelined`](Self::push_pipelined).
     pending: Option<PendingFrame>,
+    /// Recycled timestamp buffer for [`Self::buffer_series`]: the scored
+    /// series hands its `Vec<f64>` back after each sequential push so the
+    /// steady-state path re-fills it instead of allocating.
+    ts_scratch: Vec<f64>,
 }
 
 /// A frame in flight in the pipelined push: ingested and Stage-1-scored,
@@ -451,6 +455,7 @@ impl OnlineAero {
             supervisor,
             wal: None,
             pending: None,
+            ts_scratch: Vec::new(),
         })
     }
 
@@ -711,8 +716,40 @@ impl OnlineAero {
         self.model.set_batched(on);
     }
 
-    /// The rolling buffer as a scorable series (newest frame last).
-    fn buffer_series(&self) -> DetectorResult<MultivariateSeries> {
+    /// Enables (or disables) the opt-in int8 quantized GEMM path on
+    /// degraded ladder rungs — see [`Aero::set_quantized`]. `FullAero`
+    /// scoring stays bitwise regardless of this switch.
+    pub fn set_quantized_rungs(&mut self, on: bool) {
+        self.model.set_quantized(on);
+    }
+
+    /// One online SGD step for star `v`'s adapter head against the current
+    /// rolling buffer (see [`Aero::adapt_star`]). Callers drive this on
+    /// their own cadence — typically round-robin, a star or two per frame —
+    /// so steady-state push cost stays flat. Deterministic given the push
+    /// sequence, so WAL replay reproduces head state bitwise.
+    pub fn adapt_star(&mut self, v: usize) -> DetectorResult<u64> {
+        if self.pending.is_some() {
+            return Err(DetectorError::Invalid(
+                "flush the pipelined frame before adapting a star".into(),
+            ));
+        }
+        if self.buffer.len() < self.model.config().window {
+            return Err(DetectorError::Invalid(format!(
+                "buffer holds {} frames, adapter training needs W={}",
+                self.buffer.len(),
+                self.model.config().window
+            )));
+        }
+        let series = self.buffer_series()?;
+        self.model.adapt_star(v, &series)
+    }
+
+    /// The rolling buffer as a scorable series (newest frame last). The
+    /// timestamp vector comes from `ts_scratch` when a previous push
+    /// returned it (see [`Self::recycle_series`]), so the steady-state path
+    /// allocates nothing here beyond pool-served tensor storage.
+    fn buffer_series(&mut self) -> DetectorResult<MultivariateSeries> {
         let n = self.num_variates;
         let w = self.buffer.len();
         let mut m = Matrix::zeros(n, w);
@@ -721,8 +758,17 @@ impl OnlineAero {
                 m.set(v, t, value);
             }
         }
-        let ts: Vec<f64> = self.timestamps.iter().copied().collect();
+        let mut ts = std::mem::take(&mut self.ts_scratch);
+        ts.clear();
+        ts.extend(self.timestamps.iter().copied());
         Ok(MultivariateSeries::new(m, ts)?)
+    }
+
+    /// Hands a scored buffer series' timestamp vector back for reuse by the
+    /// next [`Self::buffer_series`] call.
+    fn recycle_series(&mut self, series: MultivariateSeries) {
+        let (_values, ts) = series.into_parts();
+        self.ts_scratch = ts;
     }
 
     fn check_width(&self, values: &[f32]) -> DetectorResult<()> {
@@ -810,8 +856,23 @@ impl OnlineAero {
         let gap_filled = self.fill_gap(timestamp);
 
         // Impute non-finite values from the star's most recent valid value.
-        let mut row = values.to_vec();
-        let mut imputed_row = vec![false; self.num_variates];
+        // Steady state evicts one row per push — recycle the evicted Vecs
+        // instead of paying two heap allocations on every frame. (The buffer
+        // geometry is unchanged: push_row would evict the same front row
+        // right after appending.)
+        let (mut row, mut imputed_row) = if self.buffer.len() >= self.capacity {
+            self.timestamps.pop_front();
+            match (self.buffer.pop_front(), self.imputed.pop_front()) {
+                (Some(r), Some(i)) => (r, i),
+                _ => (Vec::new(), Vec::new()),
+            }
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        row.clear();
+        row.extend_from_slice(values);
+        imputed_row.clear();
+        imputed_row.resize(self.num_variates, false);
         for (v, value) in row.iter_mut().enumerate() {
             if !value.is_finite() {
                 *value = self.last_value(v);
@@ -968,6 +1029,7 @@ impl OnlineAero {
             let failures = model.end_supervised();
             scores.map(|s| (s, failures))
         });
+        self.recycle_series(series);
         let (scores, failures) = match outcome {
             Ok(pair) => pair,
             // Structural model errors (bad width, tensor shape drift) are
@@ -1063,6 +1125,7 @@ impl OnlineAero {
                 }
             })
             .collect();
+        self.model.recycle_failures(failures);
         self.health.circuit_breaker_trips = self.supervisor.stats().circuits_opened;
         Ok(stars)
     }
@@ -1119,6 +1182,9 @@ impl OnlineAero {
                 status: self.star_status[v],
                 score_history: self.score_history[v].iter().copied().collect(),
                 breaker: self.supervisor.unit_state(v),
+                // Online SGD state is not replayed on install, so the head
+                // itself must travel with the star.
+                adapter: self.model.adapters().and_then(|a| a.head(v)).cloned(),
             })
             .collect();
         Ok(crate::migrate::DetectorState {
@@ -1191,6 +1257,15 @@ impl OnlineAero {
         self.supervisor.install_stats(state.sup_stats);
         for (v, lane) in state.stars.iter().enumerate() {
             self.supervisor.install_unit_state(v, lane.breaker);
+            if let Some(head) = &lane.adapter {
+                let Some(adapters) = self.model.adapters_mut() else {
+                    return Err(DetectorError::Invalid(format!(
+                        "star lane {v} carries an adapter head but this \
+                         detector was built with adapter_rank 0"
+                    )));
+                };
+                adapters.install_head(v, head.clone())?;
+            }
         }
         self.supervisor.install_unit_state(n, state.refit_breaker);
         self.supervisor.install_unit_state(n + 1, state.frame_breaker);

@@ -1,0 +1,137 @@
+//! Shared-backbone reassembly and quantized-rung equivalence gates.
+//!
+//! Two promises guard the memory-at-scale machinery (DESIGN.md §17):
+//!
+//! 1. **Reassembly is lossless.** A detector rebuilt from a
+//!    [`BackboneSnapshot`] plus per-star [`StarDelta`]s scores the
+//!    `FullAero` path **bitwise identical** to the monolithic model it was
+//!    split from — across seeds, adapter ranks, and star subsets
+//!    (property-style sweep; the workspace vendors no proptest crate, so
+//!    the sweep is an explicit seeded grid).
+//! 2. **Quantization is opt-in and fenced.** With int8 rungs enabled,
+//!    all-`Full` scoring stays bitwise pinned to the f32 path; only
+//!    `Stage1` stars may diverge, and then only within tolerance.
+
+use aero_core::{Aero, AeroConfig, Detector, ScoreMode, StarDelta};
+use aero_datagen::SyntheticConfig;
+use aero_timeseries::Dataset;
+
+fn dataset(seed: u64) -> Dataset {
+    SyntheticConfig::tiny(seed).build()
+}
+
+fn fit_monolithic(ds: &Dataset, seed: u64, adapter_rank: usize) -> Aero {
+    let mut cfg = AeroConfig::tiny();
+    cfg.max_epochs = 2;
+    cfg.seed = seed;
+    cfg.adapter_rank = adapter_rank;
+    let mut model = Aero::new(cfg).expect("valid config");
+    model.fit(&ds.train).expect("fit");
+    model
+}
+
+fn split(model: &Aero, n: usize) -> (aero_core::BackboneSnapshot, Vec<StarDelta>) {
+    let backbone = model.backbone().expect("trained");
+    let deltas = (0..n).map(|v| model.star_delta(v).expect("in range")).collect();
+    (backbone, deltas)
+}
+
+#[test]
+fn reassembly_is_bitwise_equal_to_monolithic_across_seeds_and_ranks() {
+    for seed in [3u64, 7, 11] {
+        for rank in [0usize, 2] {
+            let ds = dataset(seed);
+            let mut mono = fit_monolithic(&ds, seed, rank);
+            let (backbone, deltas) = split(&mono, ds.train.num_variates());
+            let mut rebuilt = Aero::from_backbone(&backbone, &deltas).expect("reassemble");
+            let expected = mono.score(&ds.test).expect("score mono");
+            let got = rebuilt.score(&ds.test).expect("score rebuilt");
+            assert_eq!(
+                expected, got,
+                "seed {seed} rank {rank}: reassembled scores diverged from monolithic"
+            );
+        }
+    }
+}
+
+#[test]
+fn adapted_heads_survive_the_split_bitwise() {
+    // Reassembly must carry *trained* adapter state, not just the identity
+    // init: push a few online steps into one head first.
+    let ds = dataset(5);
+    let mut mono = fit_monolithic(&ds, 5, 2);
+    for _ in 0..4 {
+        mono.adapt_star(1, &ds.test).expect("adapt");
+    }
+    let (backbone, deltas) = split(&mono, ds.train.num_variates());
+    assert!(
+        deltas[1].adapter.as_ref().is_some_and(|h| !h.is_identity()),
+        "star 1's head should have moved off identity"
+    );
+    let mut rebuilt = Aero::from_backbone(&backbone, &deltas).expect("reassemble");
+    assert_eq!(
+        mono.score(&ds.test).expect("mono"),
+        rebuilt.score(&ds.test).expect("rebuilt"),
+        "adapted-head scores diverged after reassembly"
+    );
+}
+
+#[test]
+fn quantized_rungs_leave_full_stars_bitwise_and_bound_stage1_drift() {
+    let ds = dataset(9);
+    let mono = fit_monolithic(&ds, 9, 0);
+    let (backbone, deltas) = split(&mono, ds.train.num_variates());
+    let n = deltas.len();
+
+    // Reference arms, quantization off: deterministic reassembly gives each
+    // arm an identical model, so any difference below is the quant path.
+    let mut f32_full = Aero::from_backbone(&backbone, &deltas).expect("reassemble");
+    let all_full = vec![ScoreMode::Full; n];
+    let full_ref = f32_full.score_with_modes(&ds.test, &all_full).expect("f32 full");
+
+    let mut mixed = vec![ScoreMode::Full; n];
+    for (v, m) in mixed.iter_mut().enumerate() {
+        if v % 2 == 1 {
+            *m = ScoreMode::Stage1;
+        }
+    }
+    let mut f32_mixed = Aero::from_backbone(&backbone, &deltas).expect("reassemble");
+    let mixed_ref = f32_mixed.score_with_modes(&ds.test, &mixed).expect("f32 mixed");
+
+    // Quantized all-Full: the int8 path must never engage for Full stars —
+    // bitwise pinned even with the opt-in armed.
+    let mut q_full = Aero::from_backbone(&backbone, &deltas).expect("reassemble");
+    q_full.set_quantized(true);
+    let got = q_full.score_with_modes(&ds.test, &all_full).expect("quant full");
+    assert_eq!(full_ref, got, "all-Full scoring must ignore the quant opt-in bitwise");
+
+    // Quantized mixed frame: Stage1 stars run int8 GEMMs; every star (the
+    // shared GCN feeds quantized error rows to Full stars too) stays within
+    // tolerance of the f32 arm.
+    let mut q_mixed = Aero::from_backbone(&backbone, &deltas).expect("reassemble");
+    q_mixed.set_quantized(true);
+    let got = q_mixed.score_with_modes(&ds.test, &mixed).expect("quant mixed");
+    assert_eq!(got.rows(), mixed_ref.rows());
+    assert_eq!(got.cols(), mixed_ref.cols());
+    let mut worst = 0.0f32;
+    let mut sum = 0.0f64;
+    for (a, b) in mixed_ref.as_slice().iter().zip(got.as_slice()) {
+        let d = (a - b).abs();
+        worst = worst.max(d);
+        sum += f64::from(d);
+    }
+    let mean = sum / mixed_ref.as_slice().len() as f64;
+    // Per-row-absmax int8 compounds through ~10 chained GEMMs + softmax, so
+    // isolated points can drift ~0.15 on the [0, ~1.2] residual scale; the
+    // bulk of the frame must stay tight (mean gate) and the worst case
+    // bounded (BENCH_parallel.json records the measured envelope).
+    assert!(worst > 0.0, "quant path never engaged — gate is vacuous");
+    assert!(
+        worst <= 0.2,
+        "quantized Stage1 drift {worst} exceeds the 0.2 worst-case gate"
+    );
+    assert!(
+        mean <= 0.02,
+        "quantized Stage1 mean drift {mean} exceeds the 0.02 gate"
+    );
+}

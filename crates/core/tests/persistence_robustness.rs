@@ -91,7 +91,7 @@ fn bit_flipped_parameter_rejected_by_checksum() {
 #[test]
 fn version_bumped_checkpoint_rejected() {
     let json = good_json();
-    let bumped = json.replacen("\"version\":2", "\"version\":3", 1);
+    let bumped = json.replacen("\"version\":3", "\"version\":4", 1);
     assert_ne!(&bumped, json, "version field not found in the expected form");
     let path = tmp("version");
     std::fs::write(&path, &bumped).unwrap();

@@ -17,6 +17,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod body;
+pub mod quant;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -1,0 +1,324 @@
+//! Opt-in int8 quantized GEMM for degraded inference rungs.
+//!
+//! Both operands are quantized to `i8` with **per-row absmax** scales (the
+//! left operand per output row, the right operand per output column), the
+//! inner product accumulates in `i32`, and the result is dequantized with the
+//! two scales. Relative error is bounded by the 1/127 quantization step, so
+//! this path is **tolerance-gated**, never bitwise: it only runs on the
+//! overload ladder's `Stage1Only`/`SrFallback` rungs, where fidelity is
+//! already relaxed, and only when the operator opted in.
+//!
+//! Two switches gate it, both off by default:
+//!
+//! 1. A process-wide opt-in ([`set_quant`] / `AERO_QUANT=1`), mirroring the
+//!    FMA mode's contract: the bitwise determinism gates (backends, thread
+//!    counts, WAL replay) are only claimed with quantization disabled.
+//! 2. A thread-local [`QuantScope`] that the scoring layer holds **only**
+//!    while evaluating a degraded star's windows. `FullAero` work on the same
+//!    frame never sees the scope, so it stays on the pinned f32 path.
+//!
+//! Unlike the f32 kernels this module is *not* backend-multiversioned: the
+//! single baseline-feature body keeps the quantized path bitwise identical
+//! across `Backend` choices (one less axis to reason about on an
+//! approximate path), and `i8`→`i32` dot products auto-vectorize acceptably
+//! at baseline features. Scratch staging buffers are thread-local and
+//! recycled, so steady-state quantized scoring does not allocate.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const QUANT_UNSET: u8 = u8::MAX;
+const QUANT_OFF: u8 = 0;
+const QUANT_ON: u8 = 1;
+
+/// Process-global opt-in (`QUANT_UNSET` until first use; initialized from
+/// `AERO_QUANT=1`, default off).
+static QUANT: AtomicU8 = AtomicU8::new(QUANT_UNSET);
+
+/// Reused staging buffers: (qa, qb, row scales, col scales).
+type QuantScratch = (Vec<i8>, Vec<i8>, Vec<f32>, Vec<f32>);
+
+thread_local! {
+    /// Whether the *current thread* is inside a degraded-rung scoring scope.
+    static QUANT_SCOPE: Cell<bool> = const { Cell::new(false) };
+    static SCRATCH: RefCell<QuantScratch> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// True when `AERO_QUANT=1` is set in the environment.
+pub fn quant_env() -> bool {
+    std::env::var("AERO_QUANT").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Whether the int8 quantized GEMM mode has been opted into process-wide.
+///
+/// This alone does not reroute any GEMM; a [`QuantScope`] must also be live
+/// on the calling thread.
+#[inline]
+pub fn quant_opt_in() -> bool {
+    let v = QUANT.load(Ordering::Relaxed);
+    if v != QUANT_UNSET {
+        return v == QUANT_ON;
+    }
+    let init = if quant_env() { QUANT_ON } else { QUANT_OFF };
+    // Benign race: concurrent first calls compute the same value.
+    QUANT.store(init, Ordering::Relaxed);
+    init == QUANT_ON
+}
+
+/// Opts the process in or out of the quantized GEMM mode, overriding the
+/// `AERO_QUANT` environment default.
+pub fn set_quant(on: bool) {
+    QUANT.store(if on { QUANT_ON } else { QUANT_OFF }, Ordering::Relaxed);
+}
+
+/// True when GEMMs issued by the current thread should take the int8 path:
+/// the process opted in *and* a [`QuantScope`] is live on this thread.
+#[inline]
+pub fn quant_active() -> bool {
+    QUANT_SCOPE.with(|s| s.get()) && quant_opt_in()
+}
+
+/// RAII marker for "this thread is scoring a degraded-rung star".
+///
+/// GEMMs on the thread take the int8 path while the scope is alive (and the
+/// process opted in). Restores the previous state on drop, so scopes nest.
+pub struct QuantScope {
+    prev: bool,
+}
+
+impl QuantScope {
+    /// Enters the degraded-rung scope on the current thread.
+    pub fn enter() -> Self {
+        let prev = QUANT_SCOPE.with(|s| s.replace(true));
+        Self { prev }
+    }
+}
+
+impl Drop for QuantScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        QUANT_SCOPE.with(|s| s.set(prev));
+    }
+}
+
+/// Quantizes `row` (length `k`) to `i8` with an absmax scale; returns the
+/// dequantization scale. An all-zero row quantizes to zeros with scale 0.
+#[inline]
+fn quantize_lane(row_reader: impl Fn(usize) -> f32, k: usize, q: &mut [i8]) -> f32 {
+    let mut amax = 0.0f32;
+    for p in 0..k {
+        amax = amax.max(row_reader(p).abs());
+    }
+    if amax == 0.0 || !amax.is_finite() {
+        q[..k].fill(0);
+        return 0.0;
+    }
+    let inv = 127.0 / amax;
+    for (p, slot) in q.iter_mut().enumerate().take(k) {
+        // Round-half-away-from-zero; |x|·inv ≤ 127 by construction.
+        *slot = (row_reader(p) * inv).round() as i8;
+    }
+    amax / 127.0
+}
+
+/// Core int8 product: `qa` holds `m` k-contiguous lanes (output rows), `qb`
+/// holds `n` k-contiguous lanes (output columns); `out[i·n + j] = sa[i]·sb[j]
+/// · Σ_p qa[i][p]·qb[j][p]`, accumulated in `i32` in increasing `p` order.
+#[allow(clippy::too_many_arguments)]
+fn gemm_core_i8(qa: &[i8], sa: &[f32], qb: &[i8], sb: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let a_lane = &qa[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, slot) in out_row.iter_mut().enumerate() {
+            let b_lane = &qb[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += a_lane[p] as i32 * b_lane[p] as i32;
+            }
+            *slot = sa[i] * sb[j] * acc as f32;
+        }
+    }
+}
+
+/// Layout of one GEMM operand as seen by the staging pass.
+enum Operand<'a> {
+    /// `lanes × k`, each lane contiguous (an NN left operand's rows, or an NT
+    /// right operand's rows, which are the transposed product's columns).
+    RowMajor(&'a [f32]),
+    /// `k × lanes`: lane `i` is the strided column `i` (a TN left operand's
+    /// columns, or an NN right operand's columns).
+    ColMajor(&'a [f32]),
+}
+
+/// Quantizes `lanes` k-length lanes of `op` into `q` (k-contiguous), one
+/// absmax scale per lane into `scales`.
+fn stage(op: Operand<'_>, lanes: usize, k: usize, q: &mut Vec<i8>, scales: &mut Vec<f32>) {
+    q.clear();
+    q.resize(lanes * k, 0);
+    scales.clear();
+    scales.resize(lanes, 0.0);
+    for lane in 0..lanes {
+        let dst = &mut q[lane * k..(lane + 1) * k];
+        let s = match op {
+            Operand::RowMajor(data) => {
+                let row = &data[lane * k..(lane + 1) * k];
+                quantize_lane(|p| row[p], k, dst)
+            }
+            Operand::ColMajor(data) => quantize_lane(|p| data[p * lanes + lane], k, dst),
+        };
+        scales[lane] = s;
+    }
+}
+
+fn with_scratch(f: impl FnOnce(&mut Vec<i8>, &mut Vec<i8>, &mut Vec<f32>, &mut Vec<f32>)) {
+    SCRATCH.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let (qa, qb, sa, sb) = &mut *guard;
+        f(qa, qb, sa, sb);
+    });
+}
+
+/// `out = a · b` (`a` is `m × k`, `b` is `k × n`, all row-major) on the int8
+/// path. `out` must already be zero-filled with length `m·n`.
+pub fn matmul_nn_i8(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    with_scratch(|qa, qb, sa, sb| {
+        stage(Operand::RowMajor(a), m, k, qa, sa);
+        stage(Operand::ColMajor(b), n, k, qb, sb);
+        gemm_core_i8(qa, sa, qb, sb, m, k, n, out);
+    });
+}
+
+/// `out = aᵀ · b` (`a` is `k × m`, `b` is `k × n`, row-major) on the int8
+/// path.
+pub fn matmul_tn_i8(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    with_scratch(|qa, qb, sa, sb| {
+        stage(Operand::ColMajor(a), m, k, qa, sa);
+        stage(Operand::ColMajor(b), n, k, qb, sb);
+        gemm_core_i8(qa, sa, qb, sb, m, k, n, out);
+    });
+}
+
+/// `out = a · bᵀ` (`a` is `m × k`, `b` is `n × k`, row-major) on the int8
+/// path. `b`'s rows are already the product's k-contiguous columns.
+pub fn matmul_nt_i8(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    with_scratch(|qa, qb, sa, sb| {
+        stage(Operand::RowMajor(a), m, k, qa, sa);
+        stage(Operand::RowMajor(b), n, k, qb, sb);
+        gemm_core_i8(qa, sa, qb, sb, m, k, n, out);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(m: usize, k: usize, seed: u64) -> Vec<f32> {
+        // Deterministic splitmix-style fill in [-1, 1].
+        let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        (0..m * k)
+            .map(|_| {
+                s ^= s >> 30;
+                s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                s ^= s >> 27;
+                ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn reference_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a[i * k + p] as f64 * b[p * n + j] as f64;
+                }
+                out[i * n + j] = acc as f32;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn nn_matches_f32_within_quant_tolerance() {
+        let (m, k, n) = (7, 33, 11);
+        let a = dense(m, k, 1);
+        let b = dense(k, n, 2);
+        let exact = reference_nn(&a, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        matmul_nn_i8(&a, &b, m, k, n, &mut got);
+        // Error per product term is ≤ step_a·|b| + step_b·|a| + step_a·step_b
+        // with steps = absmax/127; with |a|,|b| ≤ 1 and k=33 terms a 2%
+        // absolute band is comfortably loose without hiding real bugs.
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e).abs() < 0.02 * k as f32 / 33.0 + 1e-3, "got {g}, want {e}");
+        }
+    }
+
+    #[test]
+    fn zero_rows_and_exact_grid_values_survive() {
+        // Values on the scale grid (absmax/127 multiples) quantize exactly.
+        let a = vec![127.0, -127.0, 0.0, 1.0];
+        let b = vec![1.0, 0.0, 0.0, 1.0];
+        let mut out = vec![0.0f32; 4];
+        matmul_nn_i8(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, vec![127.0, -127.0, 0.0, 1.0]);
+        // An all-zero operand yields exact zeros, not NaNs from a 0 scale.
+        let z = vec![0.0f32; 4];
+        let mut out = vec![0.0f32; 4];
+        matmul_nn_i8(&z, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn tn_and_nt_agree_with_nn_on_transposed_inputs() {
+        let (m, k, n) = (5, 16, 9);
+        let a = dense(m, k, 3);
+        let b = dense(k, n, 4);
+        let mut nn = vec![0.0f32; m * n];
+        matmul_nn_i8(&a, &b, m, k, n, &mut nn);
+
+        // aᵀ staged from the k×m transpose must reproduce nn bitwise.
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut tn = vec![0.0f32; m * n];
+        matmul_tn_i8(&at, &b, m, k, n, &mut tn);
+        assert_eq!(nn, tn);
+
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut nt = vec![0.0f32; m * n];
+        matmul_nt_i8(&a, &bt, m, k, n, &mut nt);
+        assert_eq!(nn, nt);
+    }
+
+    #[test]
+    fn scope_gates_activation() {
+        set_quant(true);
+        assert!(!quant_active(), "opt-in alone must not activate the path");
+        {
+            let _scope = QuantScope::enter();
+            assert!(quant_active());
+            {
+                let _inner = QuantScope::enter();
+                assert!(quant_active());
+            }
+            assert!(quant_active(), "nested scope exit must restore, not clear");
+        }
+        assert!(!quant_active());
+        set_quant(false);
+        let _scope = QuantScope::enter();
+        assert!(!quant_active(), "scope without opt-in must not activate");
+    }
+}

@@ -29,6 +29,11 @@ impl ParamId {
 /// and parameter snapshots share the buffer instead of cloning it; optimizer
 /// updates go through [`Arc::make_mut`], which copies only when a snapshot is
 /// still alive (copy-on-write).
+///
+/// The gradient buffer is allocated lazily on the first
+/// [`accumulate_grad`](ParamStore::accumulate_grad): a store that only ever
+/// runs forward passes — e.g. the frozen shared backbone replicated across
+/// fleet shards — holds a `0 × 0` grad and pays no gradient memory at all.
 #[derive(Debug, Clone)]
 pub struct Param {
     name: String,
@@ -77,12 +82,12 @@ impl ParamStore {
         Self::default()
     }
 
-    /// Registers a parameter initialized to `value`.
+    /// Registers a parameter initialized to `value`. Its gradient buffer is
+    /// allocated on first use, so inference-only stores stay value-sized.
     pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
-        let (r, c) = value.shape();
         self.params.push(Param {
             name: name.into(),
-            grad: Matrix::zeros(r, c),
+            grad: Matrix::zeros(0, 0),
             value: Arc::new(value),
             frozen: false,
         });
@@ -166,12 +171,17 @@ impl ParamStore {
         Ok(())
     }
 
-    /// Adds `delta` into the stored gradient of `id`.
+    /// Adds `delta` into the stored gradient of `id`, allocating the grad
+    /// buffer on first use.
     pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) -> Result<()> {
         let p = self
             .params
             .get_mut(id.0)
             .ok_or(TensorError::InvalidParam { id: id.0 })?;
+        if p.grad.is_empty() && !p.value.is_empty() {
+            let (r, c) = p.value.shape();
+            p.grad = Matrix::zeros(r, c);
+        }
         p.grad.add_assign(delta)
     }
 
@@ -201,6 +211,25 @@ impl ParamStore {
         self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
     }
 
+    /// Looks a parameter up by its registration name.
+    pub fn id_by_name(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId)
+    }
+
+    /// Resident bytes of this store's buffers, deduplicating `Arc`-shared
+    /// values across stores via `seen` (keyed by buffer address). Gradient
+    /// buffers are never shared, so they always count.
+    pub fn resident_bytes(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        let mut bytes = 0usize;
+        for p in &self.params {
+            if seen.insert(Arc::as_ptr(&p.value) as usize) {
+                bytes += p.value.len() * std::mem::size_of::<f32>();
+            }
+            bytes += p.grad.len() * std::mem::size_of::<f32>();
+        }
+        bytes
+    }
+
     /// Global L2 norm of all non-frozen gradients.
     pub fn grad_norm(&self) -> f32 {
         self.params
@@ -223,7 +252,9 @@ impl ParamStore {
             .params
             .get_mut(id.0)
             .ok_or(TensorError::InvalidParam { id: id.0 })?;
-        if !p.frozen {
+        // A never-allocated grad means no gradient signal reached this param;
+        // skipping matches the frozen case rather than stepping on zeros.
+        if !p.frozen && !p.grad.is_empty() {
             // Split borrows: take grad out temporarily to satisfy aliasing.
             let grad = std::mem::replace(&mut p.grad, Matrix::zeros(0, 0));
             // Copy-on-write: this only copies the value when a snapshot (or a
@@ -338,6 +369,40 @@ mod tests {
             })
             .unwrap();
         assert_eq!(store.value(id).unwrap().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn grads_allocate_lazily() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::ones(8, 8));
+        // No backward pass yet: no grad bytes resident.
+        assert_eq!(store.grad(id).unwrap().len(), 0);
+        let mut seen = std::collections::HashSet::new();
+        assert_eq!(store.resident_bytes(&mut seen), 64 * 4);
+        // An update with no accumulated gradient is a no-op, not a step on
+        // zeros.
+        store.apply_update(id, |v, _| v.as_mut_slice()[0] = 99.0).unwrap();
+        assert_eq!(store.value(id).unwrap().as_slice()[0], 1.0);
+        // First accumulate allocates the buffer at the value's shape.
+        store.accumulate_grad(id, &Matrix::ones(8, 8)).unwrap();
+        assert_eq!(store.grad(id).unwrap().shape(), (8, 8));
+        let mut seen = std::collections::HashSet::new();
+        assert_eq!(store.resident_bytes(&mut seen), 2 * 64 * 4);
+    }
+
+    #[test]
+    fn arc_shared_values_dedup_in_resident_bytes() {
+        let mut a = ParamStore::new();
+        let id_a = a.register("w", Matrix::ones(4, 4));
+        let mut b = ParamStore::new();
+        let id_b = b.register("w", Matrix::zeros(4, 4));
+        b.set_value_arc(id_b, a.value_arc(id_a).unwrap()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let total = a.resident_bytes(&mut seen) + b.resident_bytes(&mut seen);
+        // The shared buffer counts once across both stores.
+        assert_eq!(total, 16 * 4);
+        assert_eq!(a.id_by_name("w"), Some(id_a));
+        assert_eq!(a.id_by_name("missing"), None);
     }
 
     #[test]

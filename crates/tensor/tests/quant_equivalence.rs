@@ -1,0 +1,104 @@
+//! Quantized-GEMM equivalence gates (tier-1 `quantization-equivalence`).
+//!
+//! Two claims, mirroring the FMA mode's contract:
+//! 1. With quantization **off** (default, or opted in but outside any
+//!    [`QuantScope`]), every matmul flavour is bitwise identical to the
+//!    pinned f32 path — the determinism gates stay intact.
+//! 2. Inside an opted-in scope, the int8 per-row-absmax path tracks the f32
+//!    result within the quantization-step tolerance on random matrices.
+//!
+//! Serial: the opt-in flag is process-global, so these tests run in one
+//! thread of control (each restores the flag before returning).
+
+use aero_tensor::{set_quant, Matrix, QuantScope};
+
+fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    Matrix::from_fn(rows, cols, |_, _| {
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s ^= s >> 27;
+        ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    })
+}
+
+/// Max |a−b| over two matrices.
+fn max_abs_diff(a: &Matrix, b: &Matrix) -> f32 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+#[test]
+fn quant_gates_and_tolerance() {
+    // --- claim 1: off by default, and opt-in without a scope changes nothing.
+    let a = dense(13, 37, 1);
+    let b = dense(37, 21, 2);
+    let pinned = a.matmul(&b).unwrap();
+    let pinned_tn = dense(37, 13, 3).matmul_tn(&b).unwrap();
+    let pinned_nt = a.matmul_nt(&dense(21, 37, 4)).unwrap();
+
+    set_quant(true);
+    let opted_in = a.matmul(&b).unwrap();
+    assert_eq!(
+        pinned.as_slice(),
+        opted_in.as_slice(),
+        "opt-in without a live QuantScope must stay bitwise"
+    );
+
+    // --- claim 2: inside the scope, tolerance-level agreement.
+    {
+        let _scope = QuantScope::enter();
+        let q = a.matmul(&b).unwrap();
+        let q_tn = dense(37, 13, 3).matmul_tn(&b).unwrap();
+        let q_nt = a.matmul_nt(&dense(21, 37, 4)).unwrap();
+        // Inputs in [-1,1], k=37: per-element error is bounded by
+        // k·(step_a + step_b + step_a·step_b) with steps ≤ 1/127.
+        let tol = 37.0 * (2.0 / 127.0 + 1.0 / (127.0 * 127.0));
+        for (q, exact) in [(&q, &pinned), (&q_tn, &pinned_tn), (&q_nt, &pinned_nt)] {
+            let diff = max_abs_diff(q, exact);
+            assert!(diff > 0.0, "int8 path should actually engage (diff was exactly 0)");
+            assert!(diff <= tol, "int8 path diverged {diff} > tolerance {tol}");
+        }
+    }
+
+    // --- scope dropped: bitwise again even while still opted in.
+    let after = a.matmul(&b).unwrap();
+    assert_eq!(pinned.as_slice(), after.as_slice());
+
+    set_quant(false);
+    let _scope = QuantScope::enter();
+    let off = a.matmul(&b).unwrap();
+    assert_eq!(
+        pinned.as_slice(),
+        off.as_slice(),
+        "scope without opt-in must stay bitwise"
+    );
+}
+
+#[test]
+fn quant_error_shrinks_with_magnitude_alignment() {
+    // A sanity property of per-row absmax: scaling one row of `a` scales its
+    // output row's absolute error proportionally, leaving other rows alone.
+    let a = dense(4, 64, 7);
+    let b = dense(64, 8, 8);
+    let exact = a.matmul(&b).unwrap();
+
+    set_quant(true);
+    let q = {
+        let _scope = QuantScope::enter();
+        a.matmul(&b).unwrap()
+    };
+    set_quant(false);
+
+    let (_, cols) = q.shape();
+    for r in 0..4 {
+        let row_err = (0..cols)
+            .map(|c| (q.get(r, c) - exact.get(r, c)).abs())
+            .fold(0.0f32, f32::max);
+        let tol = 64.0 * (2.0 / 127.0 + 1.0 / (127.0 * 127.0));
+        assert!(row_err <= tol, "row {r} error {row_err} exceeds bound {tol}");
+    }
+}

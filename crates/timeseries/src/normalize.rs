@@ -64,6 +64,18 @@ impl MinMaxScaler {
     /// (widening the clamp to ±0.5 was measured to triple noise false
     /// alarms while adding nothing to recall).
     pub fn transform(&self, series: &MultivariateSeries) -> Result<MultivariateSeries> {
+        self.transform_reusing(series, Vec::new())
+    }
+
+    /// Like [`MinMaxScaler::transform`] but filling a caller-provided
+    /// timestamp spine (cleared first) instead of allocating a fresh one —
+    /// streaming scorers thread the same `Vec` through every push via
+    /// [`MultivariateSeries::into_parts`].
+    pub fn transform_reusing(
+        &self,
+        series: &MultivariateSeries,
+        mut timestamps: Vec<f64>,
+    ) -> Result<MultivariateSeries> {
         if !self.is_fitted() {
             return Err(TsError::NotFitted);
         }
@@ -83,7 +95,9 @@ impl MinMaxScaler {
                 *dst = ((x - lo) / range).clamp(-0.1, 1.1);
             }
         }
-        MultivariateSeries::new(out, series.timestamps().to_vec())
+        timestamps.clear();
+        timestamps.extend_from_slice(series.timestamps());
+        MultivariateSeries::new(out, timestamps)
     }
 
     /// Convenience: fit on `train`, transform both splits.

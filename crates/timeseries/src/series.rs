@@ -33,6 +33,13 @@ impl MultivariateSeries {
         Ok(Self { values, timestamps })
     }
 
+    /// Decomposes the series into its value matrix and timestamp vector —
+    /// the inverse of [`MultivariateSeries::new`], used by streaming callers
+    /// to recycle the timestamp allocation across scoring passes.
+    pub fn into_parts(self) -> (Matrix, Vec<f64>) {
+        (self.values, self.timestamps)
+    }
+
     /// Creates a regularly-sampled series (timestamps `0, 1, 2, …`).
     pub fn regular(values: Matrix) -> Self {
         let timestamps = (0..values.cols()).map(|t| t as f64).collect();

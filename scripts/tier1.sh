@@ -49,8 +49,14 @@
 #      be bitwise identical to an uninterrupted run, seeded wire faults
 #      across concurrent tenant connections must never poison the detector,
 #      and the status/drain endpoints must answer on the same wire
-#  14. benchmark harness smoke run (keeps scripts/bench.sh wired)
-#  15. clippy -D warnings on the full workspace (the streaming modules
+#  14. quantization equivalence: the opt-in int8 degraded-rung path stays
+#      within tolerance of f32 on seeded nights and engages only under a
+#      per-thread scope (kernel property suite), the shared-backbone
+#      reassembly is bitwise identical to the monolithic model, and with
+#      quantization off (the default) all-Full scoring stays bitwise
+#      pinned even when the opt-in is armed
+#  15. benchmark harness smoke run (keeps scripts/bench.sh wired)
+#  16. clippy -D warnings on the full workspace (the streaming modules
 #      additionally deny unwrap/expect via their own inner lint attrs)
 set -eu
 
@@ -121,6 +127,10 @@ AERO_BATCHED=1 cargo run --release -q -p aero-cli --bin aero -- stream \
 echo "==> tier-1: resident serve (wire codec + kill -9 resume + wire faults)"
 cargo test -q -p aero-core --test wire_codec
 cargo test -q -p aero-cli --test serve
+
+echo "==> tier-1: quantization equivalence (int8 rung tolerance, backbone reassembly bitwise)"
+cargo test -q -p aero-tensor --test quant_equivalence
+cargo test -q -p aero-core --test backbone
 
 echo "==> tier-1: benchmark harness smoke"
 sh scripts/bench.sh --smoke > /dev/null

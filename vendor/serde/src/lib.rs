@@ -80,6 +80,21 @@ fn type_name(v: &Value) -> &'static str {
     }
 }
 
+/// Helper used by derived code for `#[serde(default)]` /
+/// `#[serde(default = "path")]` fields: an absent field yields the fallback
+/// instead of an error (the versioned-format forward-compatibility hook); a
+/// *present* field that fails to parse still errors.
+pub fn field_or<T: Deserialize>(
+    v: &Value,
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match v.get_field(name) {
+        Some(f) => T::from_value(f).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(default()),
+    }
+}
+
 /// Helper used by derived code: fetch and deserialize a struct field.
 pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
     match v.get_field(name) {

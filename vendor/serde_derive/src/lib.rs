@@ -3,18 +3,19 @@
 //! Parses the item's token stream directly (no `syn`/`quote`, which are
 //! unavailable in hermetic builds) and emits `to_value`/`from_value`
 //! implementations keyed by field and variant names. Supports the shapes
-//! the workspace actually uses: structs with named fields, and enums whose
-//! variants are unit or struct-like. Anything else produces a descriptive
-//! compile error.
+//! the workspace actually uses: structs with named fields (with optional
+//! `#[serde(default)]` / `#[serde(default = "path")]` field attributes for
+//! forward-compatible formats), and enums whose variants are unit or
+//! struct-like. Anything else produces a descriptive compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Direction::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Direction::Deserialize)
 }
@@ -26,14 +27,23 @@ enum Direction {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     Enum { name: String, variants: Vec<Variant> },
 }
 
 struct Variant {
     name: String,
     /// `None` = unit variant; `Some(fields)` = struct-like variant.
-    fields: Option<Vec<String>>,
+    fields: Option<Vec<Field>>,
+}
+
+struct Field {
+    name: String,
+    /// Deserialization fallback when the field is absent from the input:
+    /// `None` = required, `Some(None)` = `Default::default()`
+    /// (`#[serde(default)]`), `Some(Some(path))` = call the named function
+    /// (`#[serde(default = "path")]`).
+    default: Option<Option<String>>,
 }
 
 fn expand(input: TokenStream, dir: Direction) -> TokenStream {
@@ -109,18 +119,64 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
+/// Parses the contents of one `#[serde(...)]` attribute group, returning the
+/// field's default policy when the attribute is `default` /
+/// `default = "path"`.
+fn parse_serde_attr(group: &proc_macro::Group) -> Result<Option<Option<String>>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None), // some other attribute (doc comment, lint, ...)
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Ok(None);
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match args.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => match args.get(1) {
+            None => Ok(Some(None)),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => match args.get(2) {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    let path = s.trim_matches('"').to_string();
+                    if path.is_empty() || path.len() == s.len() {
+                        Err(format!("serde stub derive: expected a string path, got {s}"))
+                    } else {
+                        Ok(Some(Some(path)))
+                    }
+                }
+                _ => Err("serde stub derive: expected `default = \"path\"`".into()),
+            },
+            _ => Err("serde stub derive: malformed `#[serde(default)]`".into()),
+        },
+        Some(other) => Err(format!(
+            "serde stub derive: unsupported serde attribute `{other}` (only `default` is implemented)"
+        )),
+        None => Ok(None),
+    }
+}
+
 /// Field names of a `{ name: Type, ... }` body. Commas inside generic
 /// arguments are skipped by tracking `<`/`>` depth (delimited groups arrive
 /// as single atomic tokens, so only angle brackets need counting).
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Skip field attributes (doc comments included) and visibility.
+        // Skip field attributes (doc comments included) and visibility,
+        // harvesting any `#[serde(default...)]` along the way.
+        let mut default = None;
         loop {
             match tokens.get(i) {
-                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if let Some(d) = parse_serde_attr(g)? {
+                            default = Some(d);
+                        }
+                    }
+                    i += 2;
+                }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     i += 1;
                     if let Some(TokenTree::Group(g)) = tokens.get(i) {
@@ -136,7 +192,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         let TokenTree::Ident(id) = tt else {
             return Err("serde stub derive: expected a named field".into());
         };
-        fields.push(id.to_string());
+        fields.push(Field { name: id.to_string(), default });
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -205,10 +261,11 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
     Ok(variants)
 }
 
-fn struct_serialize(name: &str, fields: &[String]) -> String {
+fn struct_serialize(name: &str, fields: &[Field]) -> String {
     let entries: String = fields
         .iter()
         .map(|f| {
+            let f = &f.name;
             format!(
                 "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
             )
@@ -223,11 +280,8 @@ fn struct_serialize(name: &str, fields: &[String]) -> String {
     )
 }
 
-fn struct_deserialize(name: &str, fields: &[String]) -> String {
-    let entries: String = fields
-        .iter()
-        .map(|f| format!("{f}: ::serde::field(v, {f:?})?,"))
-        .collect();
+fn struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let entries: String = fields.iter().map(|f| field_deserialize(f, "v")).collect();
     format!(
         "impl ::serde::Deserialize for {name} {{\n\
              fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
@@ -235,6 +289,22 @@ fn struct_deserialize(name: &str, fields: &[String]) -> String {
              }}\n\
          }}"
     )
+}
+
+/// One field's deserialization expression: required fields error when
+/// missing, `#[serde(default...)]`-marked fields fall back instead — the
+/// forward-compatibility hook versioned formats rely on.
+fn field_deserialize(f: &Field, source: &str) -> String {
+    let name = &f.name;
+    match &f.default {
+        None => format!("{name}: ::serde::field({source}, {name:?})?,"),
+        Some(None) => format!(
+            "{name}: ::serde::field_or({source}, {name:?}, ::std::default::Default::default)?,"
+        ),
+        Some(Some(path)) => {
+            format!("{name}: ::serde::field_or({source}, {name:?}, {path})?,")
+        }
+    }
 }
 
 fn enum_serialize(name: &str, variants: &[Variant]) -> String {
@@ -247,10 +317,12 @@ fn enum_serialize(name: &str, variants: &[Variant]) -> String {
                     "Self::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
                 ),
                 Some(fields) => {
-                    let bindings = fields.join(", ");
+                    let bindings =
+                        fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                     let entries: String = fields
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(::std::string::String::from({f:?}), \
                                  ::serde::Serialize::to_value({f})),"
@@ -286,10 +358,8 @@ fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
         .iter()
         .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
         .map(|(vn, fields)| {
-            let entries: String = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::field(inner, {f:?})?,"))
-                .collect();
+            let entries: String =
+                fields.iter().map(|f| field_deserialize(f, "inner")).collect();
             format!("{vn:?} => ::std::result::Result::Ok(Self::{vn} {{ {entries} }}),")
         })
         .collect();
